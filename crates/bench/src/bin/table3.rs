@@ -1,0 +1,105 @@
+//! Regenerates **Table 3**: kernel-time and memory-time speedups of the
+//! guided optimizations on both device presets, with geometric means and
+//! medians, side by side with the paper's numbers.
+//!
+//! Writes `results/table3.json`.
+
+use serde::Serialize;
+use vex_bench::{
+    geomean, measure_speedups, median, table3_paper_kernel_speedups,
+    table3_paper_memory_speedups, write_json,
+};
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::all_apps;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    kernel: String,
+    kernel_base_us_2080: f64,
+    kernel_speedup_2080: f64,
+    kernel_speedup_2080_paper: Option<f64>,
+    memory_base_us_2080: f64,
+    memory_speedup_2080: f64,
+    memory_speedup_2080_paper: Option<f64>,
+    kernel_speedup_a100: f64,
+    kernel_speedup_a100_paper: Option<f64>,
+    memory_speedup_a100: f64,
+    memory_speedup_a100_paper: Option<f64>,
+}
+
+fn fmt_speedup(measured: f64, paper: Option<f64>, memory_only: bool) -> String {
+    if memory_only {
+        return "     -     ".to_owned();
+    }
+    match paper {
+        Some(p) => format!("{measured:5.2}x({p:4.2})"),
+        None => format!("{measured:5.2}x(  - )"),
+    }
+}
+
+fn main() {
+    let specs = [DeviceSpec::rtx2080ti(), DeviceSpec::a100()];
+    println!("Table 3: optimization speedups, measured(paper)");
+    println!(
+        "{:<18} {:<26} {:>12} {:>12} {:>12} {:>12}",
+        "application", "kernel", "2080Ti kern", "2080Ti mem", "A100 kern", "A100 mem"
+    );
+
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let r2080 = measure_speedups(&specs[0], app.as_ref());
+        let ra100 = measure_speedups(&specs[1], app.as_ref());
+        let pk = table3_paper_kernel_speedups(app.name());
+        let pm = table3_paper_memory_speedups(app.name());
+        println!(
+            "{:<18} {:<26} {:>12} {:>12} {:>12} {:>12}",
+            app.name(),
+            if app.memory_only() { "-" } else { app.hot_kernel() },
+            fmt_speedup(r2080.kernel_speedup, pk.map(|p| p.0), app.memory_only()),
+            fmt_speedup(r2080.memory_speedup, pm.map(|p| p.0), false),
+            fmt_speedup(ra100.kernel_speedup, pk.map(|p| p.1), app.memory_only()),
+            fmt_speedup(ra100.memory_speedup, pm.map(|p| p.1), false),
+        );
+        rows.push(Row {
+            app: app.name().to_owned(),
+            kernel: app.hot_kernel().to_owned(),
+            kernel_base_us_2080: r2080.kernel_base_us,
+            kernel_speedup_2080: r2080.kernel_speedup,
+            kernel_speedup_2080_paper: pk.map(|p| p.0),
+            memory_base_us_2080: r2080.memory_base_us,
+            memory_speedup_2080: r2080.memory_speedup,
+            memory_speedup_2080_paper: pm.map(|p| p.0),
+            kernel_speedup_a100: ra100.kernel_speedup,
+            kernel_speedup_a100_paper: pk.map(|p| p.1),
+            memory_speedup_a100: ra100.memory_speedup,
+            memory_speedup_a100_paper: pm.map(|p| p.1),
+        });
+    }
+
+    let kernel_rows = |rows: &[Row], f: fn(&Row) -> f64| -> Vec<f64> {
+        rows.iter().filter(|r| !r.kernel.is_empty()).map(f).collect()
+    };
+    let gm_k2080 = geomean(kernel_rows(&rows, |r| r.kernel_speedup_2080));
+    let gm_ka100 = geomean(kernel_rows(&rows, |r| r.kernel_speedup_a100));
+    let gm_m2080 = geomean(rows.iter().map(|r| r.memory_speedup_2080));
+    let gm_ma100 = geomean(rows.iter().map(|r| r.memory_speedup_a100));
+    println!(
+        "\n{:<45} {:>12} {:>12} {:>12} {:>12}",
+        "Geometric mean (paper: 1.58 / 1.34 / 1.39 / 1.28)",
+        format!("{gm_k2080:5.2}x"),
+        format!("{gm_m2080:5.2}x"),
+        format!("{gm_ka100:5.2}x"),
+        format!("{gm_ma100:5.2}x"),
+    );
+    println!(
+        "{:<45} {:>12} {:>12} {:>12} {:>12}",
+        "Median (paper: 1.29 / 1.01 / 1.11 / 1.02)",
+        format!("{:5.2}x", median(kernel_rows(&rows, |r| r.kernel_speedup_2080))),
+        format!("{:5.2}x", median(rows.iter().map(|r| r.memory_speedup_2080))),
+        format!("{:5.2}x", median(kernel_rows(&rows, |r| r.kernel_speedup_a100))),
+        format!("{:5.2}x", median(rows.iter().map(|r| r.memory_speedup_a100))),
+    );
+
+    write_json("table3", &rows);
+}

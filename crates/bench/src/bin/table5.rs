@@ -1,0 +1,89 @@
+//! Regenerates **Table 5**: ValueExpert vs GVProf — feature comparison
+//! and measured overhead on the same workloads.
+//!
+//! The feature rows are structural (what each tool implements); the
+//! overhead row is measured: every workload runs under (a) ValueExpert's
+//! two passes with the paper's sampling configuration and (b) a
+//! GVProf-style pipeline (every kernel instrumented, every record shipped
+//! to the host, CPU-side analysis). Writes `results/table5.json`.
+
+use serde::Serialize;
+use vex_bench::{figure6_fine_builder, geomean, profile_app, write_json};
+use vex_core::overhead::OverheadModel;
+use vex_core::prelude::*;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+use vex_gvprof::GvProfSession;
+use vex_workloads::{applications, rodinia_suite, Variant};
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    valueexpert_factor: f64,
+    gvprof_factor: f64,
+}
+
+fn main() {
+    let device = DeviceSpec::rtx2080ti();
+    let model = OverheadModel::default();
+
+    println!("Table 5: ValueExpert vs GVProf");
+    println!("feature comparison:");
+    println!("  value pattern analysis of data objects : ValueExpert only");
+    println!("  result granularity                     : ValueExpert = GPU API, GVProf = instruction");
+    println!("  value flows                            : ValueExpert only");
+    println!("  on-GPU data-parallel preprocessing     : ValueExpert only");
+    println!("\nmeasured overhead ({}):", device.name);
+
+    let mut rows = Vec::new();
+    let groups: [(Vec<Box<dyn vex_workloads::GpuApp>>, bool); 2] =
+        [(rodinia_suite(), false), (applications(), true)];
+    for (apps, is_application) in groups {
+        for app in apps {
+            // ValueExpert: coarse (unsampled) + fine (sampled/filtered).
+            let (coarse_p, _) = profile_app(
+                &device,
+                app.as_ref(),
+                Variant::Baseline,
+                ValueExpert::builder().coarse(true).fine(false),
+            );
+            let (fine_p, _) = profile_app(
+                &device,
+                app.as_ref(),
+                Variant::Baseline,
+                figure6_fine_builder(app.as_ref(), is_application),
+            );
+            // The paper sums overheads across a tool's required runs.
+            let ve_factor =
+                coarse_p.overhead.coarse_factor() + fine_p.overhead.fine_factor() - 1.0;
+
+            // GVProf: kernel-level sampling only (no block sampling, no
+            // on-GPU reduction), with CPU-side per-record analysis.
+            let period = if is_application { 100 } else { 20 };
+            let mut rt = Runtime::new(device.clone());
+            let gv = GvProfSession::attach_sampled(&mut rt, period, 1);
+            app.run(&mut rt, Variant::Baseline).expect("workload runs");
+            let app_us = rt.time_report().total_us();
+            let gv_cost = model.gvprof_cost_us(&gv.collector_stats(), &device);
+            let gv_factor = (app_us + gv_cost) / app_us;
+
+            println!(
+                "  {:<18} ValueExpert {:>7.2}x   GVProf {:>8.2}x",
+                app.name(),
+                ve_factor,
+                gv_factor
+            );
+            rows.push(Row {
+                app: app.name().to_owned(),
+                valueexpert_factor: ve_factor,
+                gvprof_factor: gv_factor,
+            });
+        }
+    }
+
+    let ve = geomean(rows.iter().map(|r| r.valueexpert_factor));
+    let gv = geomean(rows.iter().map(|r| r.gvprof_factor));
+    println!("\ngeomean overhead: ValueExpert {ve:.1}x vs GVProf {gv:.1}x");
+    println!("paper:            ValueExpert 7.8x vs GVProf 47.3x");
+    write_json("table5", &rows);
+}

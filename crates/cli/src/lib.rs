@@ -1,0 +1,481 @@
+//! # vex-cli — the ValueExpert command line
+//!
+//! The launcher a user of the real tool would invoke (`gvprof -e
+//! value_pattern ./app` in the original artifact). Because our
+//! applications are simulator workloads rather than arbitrary binaries,
+//! the CLI selects them by name:
+//!
+//! ```text
+//! vex list
+//! vex profile darknet --fine --block-sampling 4 --json out.json --dot flow.dot
+//! vex profile lammps --races --reuse 64
+//! vex speedup backprop --device a100
+//! vex gvprof huffman
+//! ```
+//!
+//! The argument parser and command logic live in this library so they are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use vex_core::prelude::*;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+use vex_gvprof::GvProfSession;
+use vex_workloads::{all_apps, GpuApp, Variant};
+
+/// Which device preset to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Device {
+    /// NVIDIA RTX 2080 Ti (default — the paper's first platform).
+    #[default]
+    Rtx2080Ti,
+    /// NVIDIA A100.
+    A100,
+}
+
+impl Device {
+    /// The corresponding simulator spec.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            Device::Rtx2080Ti => DeviceSpec::rtx2080ti(),
+            Device::A100 => DeviceSpec::a100(),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `vex list` — print available workloads.
+    List,
+    /// `vex profile <app> [options]`.
+    Profile(ProfileArgs),
+    /// `vex speedup <app> [--device d]`.
+    Speedup {
+        /// Workload name.
+        app: String,
+        /// Device preset.
+        device: Device,
+    },
+    /// `vex gvprof <app>` — run the baseline profiler.
+    GvProf {
+        /// Workload name.
+        app: String,
+    },
+    /// `vex help`.
+    Help,
+}
+
+/// Options of `vex profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// Workload name.
+    pub app: String,
+    /// Device preset.
+    pub device: Device,
+    /// Enable the coarse pass (default true).
+    pub coarse: bool,
+    /// Enable the fine pass (default true).
+    pub fine: bool,
+    /// Kernel sampling period.
+    pub kernel_sampling: u64,
+    /// Block sampling period.
+    pub block_sampling: u32,
+    /// Kernel-name substring filters.
+    pub filters: Vec<String>,
+    /// Enable race detection.
+    pub races: bool,
+    /// Reuse-distance line size, if enabled.
+    pub reuse: Option<u64>,
+    /// Write the JSON profile here.
+    pub json: Option<String>,
+    /// Write the value-flow DOT here.
+    pub dot: Option<String>,
+    /// Write a Markdown report here.
+    pub md: Option<String>,
+}
+
+impl ProfileArgs {
+    fn new(app: String) -> Self {
+        ProfileArgs {
+            app,
+            device: Device::default(),
+            coarse: true,
+            fine: true,
+            kernel_sampling: 1,
+            block_sampling: 1,
+            filters: Vec::new(),
+            races: false,
+            reuse: None,
+            json: None,
+            dot: None,
+            md: None,
+        }
+    }
+}
+
+/// A CLI usage error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+usage:
+  vex list
+  vex profile <app> [--device 2080ti|a100] [--no-coarse] [--no-fine]
+               [--kernel-sampling N] [--block-sampling N] [--filter SUBSTR]...
+               [--races] [--reuse LINE_BYTES] [--json PATH] [--dot PATH] [--md PATH]
+  vex speedup <app> [--device 2080ti|a100]
+  vex gvprof <app>
+  vex help";
+
+fn parse_device(v: &str) -> Result<Device, UsageError> {
+    match v.to_ascii_lowercase().as_str() {
+        "2080ti" | "rtx2080ti" | "rtx-2080-ti" => Ok(Device::Rtx2080Ti),
+        "a100" => Ok(Device::A100),
+        other => Err(UsageError(format!("unknown device '{other}'"))),
+    }
+}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a str, UsageError> {
+    it.next().ok_or_else(|| UsageError(format!("{flag} requires a value")))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for unknown commands, flags, or values.
+pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, UsageError> {
+    let mut it = args.into_iter();
+    let cmd = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "list" => Ok(Command::List),
+        "profile" => {
+            let app = it
+                .next()
+                .ok_or_else(|| UsageError("profile requires an app name".into()))?;
+            let mut p = ProfileArgs::new(app.to_owned());
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--device" => p.device = parse_device(take_value(flag, &mut it)?)?,
+                    "--no-coarse" => p.coarse = false,
+                    "--no-fine" => p.fine = false,
+                    "--kernel-sampling" => {
+                        p.kernel_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid kernel sampling period".into()))?
+                    }
+                    "--block-sampling" => {
+                        p.block_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid block sampling period".into()))?
+                    }
+                    "--filter" => p.filters.push(take_value(flag, &mut it)?.to_owned()),
+                    "--races" => p.races = true,
+                    "--reuse" => {
+                        p.reuse = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|_| UsageError("invalid reuse line size".into()))?,
+                        )
+                    }
+                    "--json" => p.json = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--dot" => p.dot = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--md" => p.md = Some(take_value(flag, &mut it)?.to_owned()),
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if !p.coarse && !p.fine {
+                return Err(UsageError("at least one of coarse/fine must stay enabled".into()));
+            }
+            Ok(Command::Profile(p))
+        }
+        "speedup" => {
+            let app = it
+                .next()
+                .ok_or_else(|| UsageError("speedup requires an app name".into()))?
+                .to_owned();
+            let mut device = Device::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--device" => device = parse_device(take_value(flag, &mut it)?)?,
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Speedup { app, device })
+        }
+        "gvprof" => {
+            let app = it
+                .next()
+                .ok_or_else(|| UsageError("gvprof requires an app name".into()))?
+                .to_owned();
+            Ok(Command::GvProf { app })
+        }
+        other => Err(UsageError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Finds a workload by (case-insensitive) name.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] listing the valid names when not found.
+pub fn find_app(name: &str) -> Result<Box<dyn GpuApp>, UsageError> {
+    let needle = name.to_ascii_lowercase();
+    for app in all_apps() {
+        if app.name().to_ascii_lowercase() == needle {
+            return Ok(app);
+        }
+    }
+    let names: Vec<&'static str> = all_apps().iter().map(|a| a.name()).collect();
+    Err(UsageError(format!(
+        "unknown app '{name}'; available: {}",
+        names.join(", ")
+    )))
+}
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for unknown app names; I/O failures writing
+/// requested artefacts are reported as usage errors too (the path was the
+/// user's input).
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError> {
+    let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
+        Command::List => {
+            for app in all_apps() {
+                writeln!(
+                    out,
+                    "{:<18} hot kernel: {}",
+                    app.name(),
+                    if app.memory_only() { "(memory-bound rows only)" } else { app.hot_kernel() }
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Profile(p) => {
+            let app = find_app(&p.app)?;
+            let mut rt = Runtime::new(p.device.spec());
+            let mut b = ValueExpert::builder()
+                .coarse(p.coarse)
+                .fine(p.fine)
+                .kernel_sampling(p.kernel_sampling)
+                .block_sampling(p.block_sampling)
+                .race_detection(p.races);
+            if let Some(line) = p.reuse {
+                b = b.reuse_distance(line);
+            }
+            if !p.filters.is_empty() {
+                b = b.filter_kernels(p.filters.clone());
+            }
+            let vex = b.attach(&mut rt);
+            app.run(&mut rt, Variant::Baseline)
+                .map_err(|e| UsageError(format!("workload failed: {e}")))?;
+            let profile = vex.report(&rt);
+            writeln!(out, "{}", profile.render_text()).map_err(io_err)?;
+            if let Some(path) = &p.json {
+                let json = profile
+                    .to_json()
+                    .map_err(|e| UsageError(format!("serialize failed: {e}")))?;
+                std::fs::write(path, json).map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
+            }
+            if let Some(path) = &p.dot {
+                std::fs::write(path, profile.flow_graph.to_dot(profile.redundancy_threshold))
+                    .map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
+            }
+            if let Some(path) = &p.md {
+                std::fs::write(path, profile.render_markdown()).map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Speedup { app, device } => {
+            let app = find_app(app)?;
+            let measure = |variant| {
+                let mut rt = Runtime::new(device.spec());
+                app.run(&mut rt, variant).expect("workload runs");
+                rt.time_report().clone()
+            };
+            let base = measure(Variant::Baseline);
+            let opt = measure(Variant::Optimized);
+            if !app.memory_only() {
+                let k = app.hot_kernel();
+                writeln!(
+                    out,
+                    "kernel {k}: {:.1} us -> {:.1} us ({:.2}x)",
+                    base.kernel_us(k),
+                    opt.kernel_us(k),
+                    base.kernel_us(k) / opt.kernel_us(k).max(f64::MIN_POSITIVE)
+                )
+                .map_err(io_err)?;
+            }
+            writeln!(
+                out,
+                "memory time: {:.1} us -> {:.1} us ({:.2}x)",
+                base.memory_time_us,
+                opt.memory_time_us,
+                base.memory_time_us / opt.memory_time_us
+            )
+            .map_err(io_err)
+        }
+        Command::GvProf { app } => {
+            let app = find_app(app)?;
+            let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+            let gv = GvProfSession::attach(&mut rt);
+            app.run(&mut rt, Variant::Baseline)
+                .map_err(|e| UsageError(format!("workload failed: {e}")))?;
+            for (kernel, r) in gv.results() {
+                writeln!(
+                    out,
+                    "{kernel}: {:.1}% redundant stores ({}/{}), {:.1}% redundant loads ({}/{})",
+                    r.store_redundancy() * 100.0,
+                    r.redundant_stores,
+                    r.total_stores,
+                    r.load_redundancy() * 100.0,
+                    r.redundant_loads,
+                    r.total_loads
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_profile_flags() {
+        let cmd = parse_args([
+            "profile",
+            "darknet",
+            "--device",
+            "a100",
+            "--no-fine",
+            "--kernel-sampling",
+            "20",
+            "--block-sampling",
+            "4",
+            "--filter",
+            "gemm",
+            "--races",
+            "--reuse",
+            "64",
+            "--json",
+            "p.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Profile(p) => {
+                assert_eq!(p.app, "darknet");
+                assert_eq!(p.device, Device::A100);
+                assert!(p.coarse);
+                assert!(!p.fine);
+                assert_eq!(p.kernel_sampling, 20);
+                assert_eq!(p.block_sampling, 4);
+                assert_eq!(p.filters, vec!["gemm"]);
+                assert!(p.races);
+                assert_eq!(p.reuse, Some(64));
+                assert_eq!(p.json.as_deref(), Some("p.json"));
+                assert_eq!(p.dot, None);
+                assert_eq!(p.md, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(["frobnicate"]).is_err());
+        assert!(parse_args(["profile"]).is_err());
+        assert!(parse_args(["profile", "x", "--device"]).is_err());
+        assert!(parse_args(["profile", "x", "--device", "h100"]).is_err());
+        assert!(parse_args(["profile", "x", "--no-coarse", "--no-fine"]).is_err());
+        assert!(parse_args(["profile", "x", "--kernel-sampling", "many"]).is_err());
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert_eq!(parse_args([]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn find_app_is_case_insensitive() {
+        assert_eq!(find_app("darknet").unwrap().name(), "Darknet");
+        assert_eq!(find_app("LAMMPS").unwrap().name(), "LAMMPS");
+        let err = match find_app("doom") {
+            Err(e) => e,
+            Ok(app) => panic!("unexpectedly found {}", app.name()),
+        };
+        assert!(err.0.contains("available"));
+    }
+
+    #[test]
+    fn list_runs() {
+        let mut out = Vec::new();
+        run(&Command::List, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Darknet"));
+        assert!(s.contains("streamcluster"));
+        assert_eq!(s.lines().count(), 19);
+    }
+
+    #[test]
+    fn profile_small_app_end_to_end() {
+        let mut p = ProfileArgs::new("QMCPACK".into());
+        p.block_sampling = 8;
+        let mut out = Vec::new();
+        run(&Command::Profile(p), &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("ValueExpert profile"), "{s}");
+        assert!(s.contains("redundant values"), "{s}");
+    }
+
+    #[test]
+    fn speedup_runs() {
+        let mut out = Vec::new();
+        run(
+            &Command::Speedup { app: "backprop".into(), device: Device::Rtx2080Ti },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("kernel bpnn_adjust_weights_cuda"), "{s}");
+        assert!(s.contains("memory time"), "{s}");
+    }
+
+    #[test]
+    fn gvprof_runs() {
+        let mut out = Vec::new();
+        run(&Command::GvProf { app: "huffman".into() }, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("histo_kernel"), "{s}");
+    }
+}

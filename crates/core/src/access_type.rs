@@ -1,0 +1,402 @@
+//! Access-type inference by bidirectional def-use slicing (§5.1).
+//!
+//! Raw bits captured at a memory instruction can only be interpreted once
+//! its *access type* is known: an 8-byte store may be one `f64` or two
+//! `f32`s. ValueExpert (following GVProf) derives unknown access types by
+//! slicing along def-use chains in both directions: a load whose result
+//! feeds an `FADD.F64` is an `f64` load; a store whose operand was
+//! produced by an `IMAD.S32` is an `s32` store; a `CVT` changes the type
+//! across itself.
+//!
+//! The slicer runs over [`vex_gpu::ir::InstrTable`], our miniature-SASS
+//! stand-in, and produces an [`AccessTypeMap`] the online analyzer uses to
+//! decode raw bits into typed values.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use vex_gpu::ir::{InstrTable, Opcode, Pc, Reg, ScalarType};
+
+/// Resolved access types per memory instruction PC.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessTypeMap {
+    types: BTreeMap<Pc, ResolvedAccess>,
+}
+
+/// The resolved interpretation of one memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedAccess {
+    /// The scalar type of each element.
+    pub ty: ScalarType,
+    /// Number of scalar elements per access.
+    pub vector: u8,
+    /// True if the type was declared in the "binary"; false if the slicer
+    /// inferred it.
+    pub inferred: bool,
+}
+
+impl AccessTypeMap {
+    /// The resolved access at `pc`, if `pc` is a memory instruction.
+    pub fn get(&self, pc: Pc) -> Option<ResolvedAccess> {
+        self.types.get(&pc).copied()
+    }
+
+    /// Decodes the raw bits of an access at `pc` into a lossless `f64`
+    /// *magnitude view* used by the pattern recognizers (integers map to
+    /// their numeric value, floats to themselves; unknown PCs fall back to
+    /// unsigned interpretation of the bits).
+    pub fn decode(&self, pc: Pc, bits: u64, size: u8) -> DecodedValue {
+        match self.get(pc) {
+            Some(r) => DecodedValue::from_bits(r.ty, bits),
+            None => DecodedValue::from_bits(fallback_type(size), bits),
+        }
+    }
+
+    /// Iterates resolved accesses in PC order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, ResolvedAccess)> + '_ {
+        self.types.iter().map(|(pc, r)| (*pc, *r))
+    }
+
+    /// Number of memory instructions with a resolved type.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether no access types are known.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+/// Default interpretation when no type information exists: unsigned
+/// integer of the access width.
+pub fn fallback_type(size: u8) -> ScalarType {
+    match size {
+        1 => ScalarType::U8,
+        2 => ScalarType::U16,
+        8 => ScalarType::U64,
+        _ => ScalarType::U32,
+    }
+}
+
+/// A typed value decoded from raw bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedValue {
+    /// The type used to decode.
+    pub ty: ScalarType,
+    /// The raw bits (low `ty.size_bytes()` bytes significant).
+    pub bits: u64,
+}
+
+impl DecodedValue {
+    /// Decodes `bits` as `ty`.
+    pub fn from_bits(ty: ScalarType, bits: u64) -> Self {
+        DecodedValue { ty, bits }
+    }
+
+    /// Numeric magnitude as `f64` (lossless for floats and for integers up
+    /// to 2^53; adequate for range analysis).
+    pub fn as_f64(&self) -> f64 {
+        match self.ty {
+            ScalarType::F32 => f32::from_bits(self.bits as u32) as f64,
+            ScalarType::F64 => f64::from_bits(self.bits),
+            ScalarType::S8 => self.bits as u8 as i8 as f64,
+            ScalarType::S16 => self.bits as u16 as i16 as f64,
+            ScalarType::S32 => self.bits as u32 as i32 as f64,
+            ScalarType::S64 => self.bits as i64 as f64,
+            ScalarType::U8 => (self.bits & 0xFF) as f64,
+            ScalarType::U16 => (self.bits & 0xFFFF) as f64,
+            ScalarType::U32 => (self.bits & 0xFFFF_FFFF) as f64,
+            ScalarType::U64 => self.bits as f64,
+        }
+    }
+
+    /// Whether the decoded value is exactly zero (for floats, +0.0 or
+    /// -0.0).
+    pub fn is_zero(&self) -> bool {
+        match self.ty {
+            ScalarType::F32 => f32::from_bits(self.bits as u32) == 0.0,
+            ScalarType::F64 => f64::from_bits(self.bits) == 0.0,
+            _ => {
+                let mask = match self.ty.size_bytes() {
+                    1 => 0xFF,
+                    2 => 0xFFFF,
+                    4 => 0xFFFF_FFFF,
+                    _ => u64::MAX,
+                };
+                self.bits & mask == 0
+            }
+        }
+    }
+}
+
+/// Runs bidirectional slicing over `table` and resolves every memory
+/// instruction's access type.
+///
+/// Algorithm: seed a per-register type lattice from (a) declared memory
+/// access types and (b) arithmetic opcodes' operand types, then propagate
+/// along def-use edges forwards (def → uses) and backwards (use → def)
+/// until a fixed point, treating `Mov`/`Lop` as transparent and `Cvt` as a
+/// type boundary. Memory instructions whose register never receives a
+/// type keep the unsigned fallback of their width.
+pub fn infer_access_types(table: &InstrTable) -> AccessTypeMap {
+    // reg -> known type
+    let mut reg_ty: HashMap<Reg, ScalarType> = HashMap::new();
+    // Transparent adjacency: registers connected by type-preserving
+    // instructions (Mov, Lop, Ld dst<->"the memory slot", St src).
+    let mut adj: HashMap<Reg, Vec<Reg>> = HashMap::new();
+    let mut queue: VecDeque<Reg> = VecDeque::new();
+
+    let seed = |reg: Reg, ty: ScalarType, reg_ty: &mut HashMap<Reg, ScalarType>,
+                    queue: &mut VecDeque<Reg>| {
+        if reg_ty.insert(reg, ty).is_none() {
+            queue.push_back(reg);
+        }
+    };
+
+    for instr in table.iter() {
+        match (&instr.op, instr.access) {
+            (Opcode::Ld, Some(acc)) | (Opcode::St, Some(acc)) => {
+                // The register carrying the value: dst for loads, first
+                // src for stores.
+                let value_reg = if acc.is_store {
+                    instr.srcs.first().copied()
+                } else {
+                    instr.dst
+                };
+                if let (Some(reg), Some(ty)) = (value_reg, acc.ty) {
+                    seed(reg, ty, &mut reg_ty, &mut queue);
+                }
+            }
+            (Opcode::Cvt { from, to }, _) => {
+                // Cvt is a boundary that *originates* both types.
+                if let Some(dst) = instr.dst {
+                    seed(dst, *to, &mut reg_ty, &mut queue);
+                }
+                for src in &instr.srcs {
+                    seed(*src, *from, &mut reg_ty, &mut queue);
+                }
+            }
+            (op, _) => {
+                if let Some(ty) = op.operand_type() {
+                    if let Some(dst) = instr.dst {
+                        seed(dst, ty, &mut reg_ty, &mut queue);
+                    }
+                    for src in &instr.srcs {
+                        seed(*src, ty, &mut reg_ty, &mut queue);
+                    }
+                } else if matches!(op, Opcode::Mov | Opcode::Lop) {
+                    // Transparent: connect dst and srcs bidirectionally.
+                    if let Some(dst) = instr.dst {
+                        for src in &instr.srcs {
+                            adj.entry(dst).or_default().push(*src);
+                            adj.entry(*src).or_default().push(dst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagate types through transparent edges (both directions — this
+    // is the "bidirectional" part: forward def→use and backward use→def).
+    while let Some(reg) = queue.pop_front() {
+        let ty = reg_ty[&reg];
+        if let Some(neighbors) = adj.get(&reg) {
+            for n in neighbors.clone() {
+                if let std::collections::hash_map::Entry::Vacant(e) = reg_ty.entry(n) {
+                    e.insert(ty);
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+
+    // Resolve each memory instruction.
+    let mut out = AccessTypeMap::default();
+    for instr in table.memory_instrs() {
+        let acc = instr.access.expect("memory_instrs yields accesses");
+        let value_reg = if acc.is_store {
+            instr.srcs.first().copied()
+        } else {
+            instr.dst
+        };
+        let (ty, inferred) = match acc.ty {
+            Some(t) => (t, false),
+            None => match value_reg.and_then(|r| reg_ty.get(&r)) {
+                Some(t) => (*t, true),
+                None => (fallback_type(elem_width(acc.width_bytes, acc.vector)), true),
+            },
+        };
+        let vector = if acc.vector > 1 {
+            acc.vector
+        } else {
+            // A wide access with a narrower inferred type is a vector
+            // access (e.g. STG.64 of f32 values = 2 lanes).
+            (acc.width_bytes / ty.size_bytes()).max(1)
+        };
+        out.types.insert(instr.pc, ResolvedAccess { ty, vector, inferred });
+    }
+    out
+}
+
+fn elem_width(width: u8, vector: u8) -> u8 {
+    (width / vector.max(1)).max(1)
+}
+
+/// Convenience: resolves the instruction at `pc` of `table` directly.
+pub fn resolve_one(table: &InstrTable, pc: Pc) -> Option<ResolvedAccess> {
+    infer_access_types(table).get(pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::ir::{AccessDecl, FloatWidth, InstrTableBuilder, Instruction, IntWidth, MemSpace};
+
+    fn mem_instr(pc: u32, is_store: bool, width: u8, ty: Option<ScalarType>, reg: u16) -> Instruction {
+        Instruction {
+            pc: Pc(pc),
+            op: if is_store { Opcode::St } else { Opcode::Ld },
+            dst: if is_store { None } else { Some(Reg(reg)) },
+            srcs: if is_store { vec![Reg(reg)] } else { vec![] },
+            access: Some(AccessDecl {
+                width_bytes: width,
+                space: MemSpace::Global,
+                is_store,
+                ty,
+                vector: 1,
+            }),
+            line: None,
+        }
+    }
+
+    fn arith(pc: u32, op: Opcode, dst: u16, srcs: &[u16]) -> Instruction {
+        Instruction {
+            pc: Pc(pc),
+            op,
+            dst: Some(Reg(dst)),
+            srcs: srcs.iter().map(|&r| Reg(r)).collect(),
+            access: None,
+            line: None,
+        }
+    }
+
+    #[test]
+    fn declared_types_pass_through() {
+        let t = InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .store(Pc(1), ScalarType::S32, MemSpace::Global)
+            .build();
+        let m = infer_access_types(&t);
+        assert_eq!(m.get(Pc(0)).unwrap().ty, ScalarType::F32);
+        assert!(!m.get(Pc(0)).unwrap().inferred);
+        assert_eq!(m.get(Pc(1)).unwrap().ty, ScalarType::S32);
+    }
+
+    #[test]
+    fn forward_slice_load_feeds_fadd() {
+        // r0 = LDG.64 [?]; r1 = FADD.F64 r0 -> the load is f64.
+        let t = InstrTableBuilder::new()
+            .instr(mem_instr(0, false, 8, None, 0))
+            .instr(arith(1, Opcode::FAdd(FloatWidth::F64), 1, &[0]))
+            .build();
+        let r = infer_access_types(&t).get(Pc(0)).unwrap();
+        assert_eq!(r.ty, ScalarType::F64);
+        assert!(r.inferred);
+        assert_eq!(r.vector, 1);
+    }
+
+    #[test]
+    fn backward_slice_store_operand_from_imad() {
+        // r2 = IMAD.S32 ...; STG.32 [?], r2 -> the store is s32.
+        let t = InstrTableBuilder::new()
+            .instr(arith(0, Opcode::IMad(IntWidth::I32), 2, &[3, 4]))
+            .instr(mem_instr(1, true, 4, None, 2))
+            .build();
+        let r = infer_access_types(&t).get(Pc(1)).unwrap();
+        assert_eq!(r.ty, ScalarType::S32);
+        assert!(r.inferred);
+    }
+
+    #[test]
+    fn mov_is_transparent() {
+        // r0 = LDG.32 [?]; r1 = MOV r0; r2 = FMUL.F32 r1 -> load is f32.
+        let t = InstrTableBuilder::new()
+            .instr(mem_instr(0, false, 4, None, 0))
+            .instr(arith(1, Opcode::Mov, 1, &[0]))
+            .instr(arith(2, Opcode::FMul(FloatWidth::F32), 1, &[1]))
+            .build();
+        // FMul seeds r1 (both dst and srcs of arithmetic get the type),
+        // Mov connects r1 <-> r0.
+        let r = infer_access_types(&t).get(Pc(0)).unwrap();
+        assert_eq!(r.ty, ScalarType::F32);
+    }
+
+    #[test]
+    fn vectorized_store_inferred() {
+        // STG.64 whose operand is f32 -> 2-lane f32 vector store.
+        let t = InstrTableBuilder::new()
+            .instr(arith(0, Opcode::FAdd(FloatWidth::F32), 5, &[6]))
+            .instr(mem_instr(1, true, 8, None, 5))
+            .build();
+        let r = infer_access_types(&t).get(Pc(1)).unwrap();
+        assert_eq!(r.ty, ScalarType::F32);
+        assert_eq!(r.vector, 2);
+    }
+
+    #[test]
+    fn cvt_is_a_type_boundary() {
+        // r0 = LDG.32 [?]; r1 = CVT s32->f32 r0; store r1 as 4 bytes.
+        let t = InstrTableBuilder::new()
+            .instr(mem_instr(0, false, 4, None, 0))
+            .instr(Instruction {
+                pc: Pc(1),
+                op: Opcode::Cvt { from: ScalarType::S32, to: ScalarType::F32 },
+                dst: Some(Reg(1)),
+                srcs: vec![Reg(0)],
+                access: None,
+                line: None,
+            })
+            .instr(mem_instr(2, true, 4, None, 1))
+            .build();
+        let m = infer_access_types(&t);
+        assert_eq!(m.get(Pc(0)).unwrap().ty, ScalarType::S32, "load side of cvt");
+        assert_eq!(m.get(Pc(2)).unwrap().ty, ScalarType::F32, "store side of cvt");
+    }
+
+    #[test]
+    fn unknown_falls_back_to_unsigned() {
+        let t = InstrTableBuilder::new()
+            .load_untyped(Pc(0), 4, MemSpace::Global)
+            .build();
+        let r = infer_access_types(&t).get(Pc(0)).unwrap();
+        assert_eq!(r.ty, ScalarType::U32);
+        assert!(r.inferred);
+    }
+
+    #[test]
+    fn decoded_values() {
+        let v = DecodedValue::from_bits(ScalarType::F32, (1.5f32).to_bits() as u64);
+        assert_eq!(v.as_f64(), 1.5);
+        assert!(!v.is_zero());
+        let z = DecodedValue::from_bits(ScalarType::F64, (-0.0f64).to_bits());
+        assert!(z.is_zero());
+        let n = DecodedValue::from_bits(ScalarType::S8, 0xFF);
+        assert_eq!(n.as_f64(), -1.0);
+        let u = DecodedValue::from_bits(ScalarType::U16, 0xFFFF);
+        assert_eq!(u.as_f64(), 65535.0);
+    }
+
+    #[test]
+    fn decode_uses_map_or_fallback() {
+        let t = InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .build();
+        let m = infer_access_types(&t);
+        let d = m.decode(Pc(0), (2.0f32).to_bits() as u64, 4);
+        assert_eq!(d.as_f64(), 2.0);
+        // Unknown pc: fallback unsigned.
+        let d = m.decode(Pc(99), 7, 4);
+        assert_eq!(d.ty, ScalarType::U32);
+        assert_eq!(d.as_f64(), 7.0);
+    }
+}

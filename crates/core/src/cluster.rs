@@ -1,0 +1,266 @@
+//! Multi-GPU profiling sessions.
+//!
+//! The paper deploys ValueExpert on "commodity Linux clusters … with
+//! multiple GPUs per node" (§1.3): one profiler instance attaches per
+//! GPU and the per-device profiles are aggregated postmortem. This
+//! module provides that aggregation for simulated multi-GPU runs: a
+//! [`ClusterSession`] owns one [`Runtime`] + [`ValueExpert`] pair per
+//! device, the application shards its work across them, and
+//! [`ClusterSession::report`] merges the results into a
+//! [`ClusterReport`].
+
+use crate::profiler::{ProfilerBuilder, ValueExpert};
+use crate::report::Profile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+/// One device's slot in a cluster session.
+#[derive(Debug)]
+pub struct GpuSlot {
+    /// The device's runtime; the application runs its shard against it.
+    pub runtime: Runtime,
+    vex: ValueExpert,
+    index: usize,
+}
+
+impl GpuSlot {
+    /// The device index within the session.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// A profiling session spanning several (simulated) GPUs.
+///
+/// ```rust
+/// use vex_core::cluster::ClusterSession;
+/// use vex_core::prelude::*;
+/// use vex_gpu::timing::DeviceSpec;
+///
+/// # fn main() -> Result<(), vex_gpu::error::GpuError> {
+/// let mut cluster = ClusterSession::new(
+///     &DeviceSpec::a100(),
+///     2,
+///     &ValueExpert::builder().coarse(true),
+/// );
+/// cluster.for_each_gpu(|_gpu, rt| {
+///     let p = rt.malloc(256, "shard")?;
+///     rt.memset(p, 0, 256)?;
+///     rt.memset(p, 0, 256)?; // redundant on every device
+///     Ok::<_, vex_gpu::error::GpuError>(())
+/// })?;
+/// let report = cluster.report();
+/// assert_eq!(report.total_redundancies(), 2);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct ClusterSession {
+    slots: Vec<GpuSlot>,
+}
+
+impl ClusterSession {
+    /// Creates `gpus` runtimes of the given spec, each with a profiler
+    /// configured by `builder` attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero.
+    pub fn new(spec: &DeviceSpec, gpus: usize, builder: &ProfilerBuilder) -> Self {
+        assert!(gpus > 0, "a cluster needs at least one GPU");
+        let slots = (0..gpus)
+            .map(|index| {
+                let mut runtime = Runtime::new(spec.clone());
+                let vex = builder.clone().attach(&mut runtime);
+                GpuSlot { runtime, vex, index }
+            })
+            .collect();
+        ClusterSession { slots }
+    }
+
+    /// Number of devices.
+    pub fn gpus(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mutable access to one device slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn slot(&mut self, index: usize) -> &mut GpuSlot {
+        &mut self.slots[index]
+    }
+
+    /// Runs `shard` once per device (the data-parallel idiom: the closure
+    /// receives the device index and its runtime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error.
+    pub fn for_each_gpu<E>(
+        &mut self,
+        mut shard: impl FnMut(usize, &mut Runtime) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for slot in &mut self.slots {
+            shard(slot.index, &mut slot.runtime)?;
+        }
+        Ok(())
+    }
+
+    /// Collects per-device profiles and the aggregate view.
+    pub fn report(&self) -> ClusterReport {
+        let per_gpu: Vec<Profile> =
+            self.slots.iter().map(|s| s.vex.report(&s.runtime)).collect();
+        ClusterReport { per_gpu }
+    }
+}
+
+/// Aggregated multi-GPU profiling results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// One profile per device, in device order.
+    pub per_gpu: Vec<Profile>,
+}
+
+impl ClusterReport {
+    /// Patterns detected on *any* device.
+    pub fn detected_patterns(&self) -> BTreeSet<crate::patterns::ValuePattern> {
+        self.per_gpu
+            .iter()
+            .flat_map(|p| p.detected_patterns())
+            .collect()
+    }
+
+    /// Total redundant bytes across devices.
+    pub fn total_redundant_bytes(&self) -> u64 {
+        self.per_gpu
+            .iter()
+            .map(|p| p.flow_graph.total_redundant_bytes())
+            .sum()
+    }
+
+    /// Total redundancy findings across devices.
+    pub fn total_redundancies(&self) -> usize {
+        self.per_gpu.iter().map(|p| p.redundancies.len()).sum()
+    }
+
+    /// The worst per-device overhead factor (the pass gating wall-clock in
+    /// a synchronized data-parallel run).
+    pub fn worst_overhead_factor(&self) -> f64 {
+        self.per_gpu
+            .iter()
+            .map(|p| p.overhead.factor())
+            .fold(1.0, f64::max)
+    }
+
+    /// Devices whose findings differ from device 0 — load-imbalance or
+    /// shard-dependent behaviour the per-GPU view exposes.
+    pub fn divergent_devices(&self) -> Vec<usize> {
+        let Some(first) = self.per_gpu.first() else {
+            return Vec::new();
+        };
+        let reference = first.detected_patterns();
+        self.per_gpu
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, p)| p.detected_patterns() != reference)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders a cluster-level summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "=== cluster profile: {} GPUs ===", self.per_gpu.len());
+        for (i, p) in self.per_gpu.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  gpu{}: {} patterns, {} redundancy findings, overhead {:.2}x",
+                i,
+                p.detected_patterns().len(),
+                p.redundancies.len(),
+                p.overhead.factor()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "aggregate: {:?}; {} redundant bytes; worst overhead {:.2}x",
+            self.detected_patterns(),
+            self.total_redundant_bytes(),
+            self.worst_overhead_factor()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::ValuePattern;
+    use vex_gpu::error::GpuError;
+
+    fn double_init_shard(shift: u64) -> impl FnMut(usize, &mut Runtime) -> Result<(), GpuError> {
+        move |gpu, rt| {
+            let p = rt.malloc(1024 + shift * gpu as u64, "shard")?;
+            rt.memset(p, 0, 1024)?;
+            rt.memset(p, 0, 1024)?; // redundant on every device
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn aggregates_across_gpus() {
+        let mut cluster = ClusterSession::new(
+            &DeviceSpec::test_small(),
+            4,
+            &ValueExpert::builder().coarse(true).fine(false),
+        );
+        cluster.for_each_gpu(double_init_shard(0)).unwrap();
+        let report = cluster.report();
+        assert_eq!(report.per_gpu.len(), 4);
+        assert_eq!(report.total_redundancies(), 4);
+        assert!(report.detected_patterns().contains(&ValuePattern::RedundantValues));
+        assert_eq!(report.total_redundant_bytes(), 4 * 1024);
+        assert!(report.divergent_devices().is_empty());
+        assert!(report.worst_overhead_factor() >= 1.0);
+        let text = report.render_text();
+        assert!(text.contains("4 GPUs"), "{text}");
+    }
+
+    #[test]
+    fn divergent_shards_are_visible() {
+        let mut cluster = ClusterSession::new(
+            &DeviceSpec::test_small(),
+            3,
+            &ValueExpert::builder().coarse(true).fine(false),
+        );
+        cluster
+            .for_each_gpu(|gpu, rt| -> Result<(), GpuError> {
+                let p = rt.malloc(1024, "shard")?;
+                rt.memset(p, 0, 1024)?;
+                if gpu == 2 {
+                    // Only device 2 double-initializes.
+                    rt.memset(p, 0, 1024)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let report = cluster.report();
+        assert_eq!(report.total_redundancies(), 1);
+        assert_eq!(report.divergent_devices(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = ClusterSession::new(
+            &DeviceSpec::test_small(),
+            0,
+            &ValueExpert::builder(),
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! The value flow graph (§5.2, Definitions 5.1–5.3).
+//!
+//! Vertices are GPU API invocations (allocation, memory copy, memory set,
+//! kernel launch) merged by calling context; a distinguished *host* vertex
+//! stands for any host memory operation. An edge `(i → j, k)` says: vertex
+//! *j* read or wrote data object *k*, and vertex *i* was the last writer of
+//! *k* before *j*. Edges carry byte counts and redundancy, which the GUI
+//! (and our DOT export) renders as thickness and color.
+//!
+//! Two analyses make large graphs explorable:
+//!
+//! * [`FlowGraph::vertex_slice`] (Def 5.2) — the subgraph of value flows
+//!   that reach, or are reached by, one vertex of interest;
+//! * [`FlowGraph::important`] (Def 5.3) — the subgraph of edges/vertices
+//!   whose importance metric exceeds thresholds.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use vex_gpu::alloc::AllocId;
+use vex_gpu::callpath::CallPathId;
+
+/// Identifier of one flow-graph vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What kind of GPU API a vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// Data allocation (rectangle in the paper's figures).
+    Alloc,
+    /// Memory copy (circle).
+    Memcpy,
+    /// Memory set (circle).
+    Memset,
+    /// Kernel launch (oval).
+    Kernel,
+    /// The host pseudo-vertex.
+    Host,
+}
+
+impl VertexKind {
+    fn dot_shape(self) -> &'static str {
+        match self {
+            VertexKind::Alloc => "box",
+            VertexKind::Memcpy | VertexKind::Memset => "circle",
+            VertexKind::Kernel => "ellipse",
+            VertexKind::Host => "diamond",
+        }
+    }
+}
+
+/// One vertex of the value flow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Stable identifier.
+    pub id: VertexId,
+    /// API kind.
+    pub kind: VertexKind,
+    /// Display name (kernel name, allocation label, or API tag).
+    pub name: String,
+    /// Calling context; vertices with equal `(kind, name, context)` merge.
+    pub context: CallPathId,
+    /// Number of API invocations merged into this vertex (node size).
+    pub invocations: u64,
+    /// Total bytes accessed across invocations.
+    pub bytes: u64,
+}
+
+/// Whether an edge records reads or writes by its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Destination vertex reads the object.
+    Read,
+    /// Destination vertex writes the object.
+    Write,
+}
+
+/// Aggregated payload of one `(from, to, object)` edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Read operations recorded on this edge.
+    pub reads: u64,
+    /// Write operations recorded on this edge.
+    pub writes: u64,
+    /// Bytes accessed.
+    pub bytes: u64,
+    /// Bytes written whose value did not change (redundant).
+    pub redundant_bytes: u64,
+}
+
+impl EdgeData {
+    /// Fraction of accessed bytes that were redundant writes.
+    pub fn redundancy(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.redundant_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+type EdgeKey = (VertexId, VertexId, AllocId);
+
+/// The value flow graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "FlowGraphSer", from = "FlowGraphSer")]
+pub struct FlowGraph {
+    vertices: BTreeMap<VertexId, Vertex>,
+    edges: BTreeMap<EdgeKey, EdgeData>,
+    /// Interning map for vertex merging.
+    intern: HashMap<(VertexKind, String, CallPathId), VertexId>,
+    /// Last writer per object (None before first write — the alloc vertex
+    /// is installed as initial writer at allocation).
+    last_writer: HashMap<AllocId, VertexId>,
+    host: VertexId,
+    next: u32,
+}
+
+/// Flat serialization form (JSON maps require string keys).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlowGraphSer {
+    vertices: Vec<Vertex>,
+    edges: Vec<(VertexId, VertexId, AllocId, EdgeData)>,
+    host: VertexId,
+    next: u32,
+}
+
+impl From<FlowGraph> for FlowGraphSer {
+    fn from(g: FlowGraph) -> Self {
+        FlowGraphSer {
+            vertices: g.vertices.into_values().collect(),
+            edges: g.edges.into_iter().map(|((f, t, o), d)| (f, t, o, d)).collect(),
+            host: g.host,
+            next: g.next,
+        }
+    }
+}
+
+impl From<FlowGraphSer> for FlowGraph {
+    fn from(s: FlowGraphSer) -> Self {
+        let vertices: BTreeMap<VertexId, Vertex> =
+            s.vertices.into_iter().map(|v| (v.id, v)).collect();
+        let intern = vertices
+            .values()
+            .map(|v| ((v.kind, v.name.clone(), v.context), v.id))
+            .collect();
+        FlowGraph {
+            vertices,
+            edges: s.edges.into_iter().map(|(f, t, o, d)| ((f, t, o), d)).collect(),
+            intern,
+            last_writer: HashMap::new(),
+            host: s.host,
+            next: s.next,
+        }
+    }
+}
+
+impl Default for FlowGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowGraph {
+    /// Creates an empty graph containing only the host vertex.
+    pub fn new() -> Self {
+        let mut g = FlowGraph {
+            vertices: BTreeMap::new(),
+            edges: BTreeMap::new(),
+            intern: HashMap::new(),
+            last_writer: HashMap::new(),
+            host: VertexId(0),
+            next: 0,
+        };
+        let host = g.intern_vertex(VertexKind::Host, "host", CallPathId::ROOT);
+        g.host = host;
+        g
+    }
+
+    /// The host pseudo-vertex.
+    pub fn host_vertex(&self) -> VertexId {
+        self.host
+    }
+
+    /// Interns (or retrieves) the vertex for `(kind, name, context)` and
+    /// counts one invocation.
+    pub fn intern_vertex(
+        &mut self,
+        kind: VertexKind,
+        name: &str,
+        context: CallPathId,
+    ) -> VertexId {
+        let key = (kind, name.to_owned(), context);
+        if let Some(&id) = self.intern.get(&key) {
+            self.vertices
+                .get_mut(&id)
+                .expect("interned vertex exists")
+                .invocations += 1;
+            return id;
+        }
+        let id = VertexId(self.next);
+        self.next += 1;
+        self.intern.insert(key, id);
+        self.vertices.insert(
+            id,
+            Vertex {
+                id,
+                kind,
+                name: name.to_owned(),
+                context,
+                invocations: 1,
+                bytes: 0,
+            },
+        );
+        id
+    }
+
+    /// Declares `vertex` (normally an [`VertexKind::Alloc`] vertex) as the
+    /// initial writer of `object`.
+    pub fn set_initial_writer(&mut self, object: AllocId, vertex: VertexId) {
+        self.last_writer.insert(object, vertex);
+    }
+
+    /// The current last writer of `object`, if known.
+    pub fn last_writer(&self, object: AllocId) -> Option<VertexId> {
+        self.last_writer.get(&object).copied()
+    }
+
+    /// Records that `vertex` accessed `object`. A [`AccessKind::Write`]
+    /// makes `vertex` the new last writer. `redundant_bytes` only applies
+    /// to writes.
+    pub fn record_access(
+        &mut self,
+        vertex: VertexId,
+        object: AllocId,
+        kind: AccessKind,
+        bytes: u64,
+        redundant_bytes: u64,
+    ) {
+        let from = self.last_writer.get(&object).copied().unwrap_or(self.host);
+        let e = self.edges.entry((from, vertex, object)).or_default();
+        match kind {
+            AccessKind::Read => {
+                e.reads += 1;
+                debug_assert_eq!(redundant_bytes, 0, "reads cannot be redundant writes");
+            }
+            AccessKind::Write => {
+                e.writes += 1;
+                e.redundant_bytes += redundant_bytes;
+            }
+        }
+        e.bytes += bytes;
+        if let Some(v) = self.vertices.get_mut(&vertex) {
+            v.bytes += bytes;
+        }
+        if kind == AccessKind::Write {
+            self.last_writer.insert(object, vertex);
+        }
+    }
+
+    /// Records a host→device source edge for `object` into `vertex`
+    /// (Def 5.1's `e_{host,i,k}`).
+    pub fn record_host_source(&mut self, vertex: VertexId, object: AllocId, bytes: u64) {
+        let e = self.edges.entry((self.host, vertex, object)).or_default();
+        e.reads += 1;
+        e.bytes += bytes;
+    }
+
+    /// Records a device→host sink edge for `object` out of `vertex`
+    /// (Def 5.1's `e_{i,host,k}`).
+    pub fn record_host_sink(&mut self, vertex: VertexId, object: AllocId, bytes: u64) {
+        let e = self.edges.entry((vertex, self.host, object)).or_default();
+        e.reads += 1;
+        e.bytes += bytes;
+    }
+
+    /// Number of vertices (including host).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of `(from, to, object)` edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates vertices in id order.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex> {
+        self.vertices.values()
+    }
+
+    /// Looks up one vertex.
+    pub fn vertex(&self, id: VertexId) -> Option<&Vertex> {
+        self.vertices.get(&id)
+    }
+
+    /// Iterates edges in key order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, AllocId, &EdgeData)> {
+        self.edges.iter().map(|(&(f, t, o), d)| (f, t, o, d))
+    }
+
+    /// Finds a vertex by display name (first match in id order).
+    pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertices
+            .values()
+            .find(|v| v.name == name)
+            .map(|v| v.id)
+    }
+
+    /// Total redundant bytes across all edges.
+    pub fn total_redundant_bytes(&self) -> u64 {
+        self.edges.values().map(|e| e.redundant_bytes).sum()
+    }
+
+    // -----------------------------------------------------------------
+    // Def 5.2 — vertex slice graph
+    // -----------------------------------------------------------------
+
+    /// Computes the vertex slice graph `G_B(v_u)`: the subgraph of value
+    /// flows, over the objects `v_u` touches, that reach `v_u` or that
+    /// `v_u` reaches (Definition 5.2).
+    pub fn vertex_slice(&self, v_u: VertexId) -> FlowGraph {
+        // Objects v_u touches.
+        let objects: BTreeSet<AllocId> = self
+            .edges
+            .iter()
+            .filter(|(&(f, t, _), _)| f == v_u || t == v_u)
+            .map(|(&(_, _, o), _)| o)
+            .collect();
+
+        let mut kept: BTreeMap<EdgeKey, EdgeData> = BTreeMap::new();
+        for &obj in &objects {
+            // Adjacency restricted to this object's edges.
+            let mut fwd: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+            let mut bwd: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+            for &(f, t, o) in self.edges.keys() {
+                if o == obj {
+                    fwd.entry(f).or_default().push(t);
+                    bwd.entry(t).or_default().push(f);
+                }
+            }
+            let reach_from = bfs(v_u, &fwd); // v_u reaches these
+            let reach_to = bfs(v_u, &bwd); // these reach v_u
+            for (&(f, t, o), d) in &self.edges {
+                if o != obj {
+                    continue;
+                }
+                let on_path_to = reach_to.contains(&t); // edge ends on a path into v_u
+                let on_path_from = reach_from.contains(&f); // edge starts on a path out of v_u
+                if on_path_to || on_path_from {
+                    kept.insert((f, t, o), *d);
+                }
+            }
+        }
+        self.subgraph_with_edges(kept, BTreeSet::new())
+    }
+
+    // -----------------------------------------------------------------
+    // Def 5.3 — important graph
+    // -----------------------------------------------------------------
+
+    /// Computes the important graph: keep edges with `bytes >= min_edge_bytes`
+    /// and vertices that lie on a kept edge or have
+    /// `invocations >= min_vertex_invocations` (Definition 5.3 with
+    /// `I(e) = accessed bytes`, `I(v) = invocations`).
+    pub fn important(&self, min_edge_bytes: u64, min_vertex_invocations: u64) -> FlowGraph {
+        let kept: BTreeMap<EdgeKey, EdgeData> = self
+            .edges
+            .iter()
+            .filter(|(_, d)| d.bytes >= min_edge_bytes)
+            .map(|(&k, &d)| (k, d))
+            .collect();
+        let extra: BTreeSet<VertexId> = self
+            .vertices
+            .values()
+            .filter(|v| v.invocations >= min_vertex_invocations && v.kind != VertexKind::Host)
+            .map(|v| v.id)
+            .collect();
+        self.subgraph_with_edges(kept, extra)
+    }
+
+    fn subgraph_with_edges(
+        &self,
+        edges: BTreeMap<EdgeKey, EdgeData>,
+        extra_vertices: BTreeSet<VertexId>,
+    ) -> FlowGraph {
+        let mut used: BTreeSet<VertexId> = extra_vertices;
+        for &(f, t, _) in edges.keys() {
+            used.insert(f);
+            used.insert(t);
+        }
+        used.insert(self.host);
+        let vertices: BTreeMap<VertexId, Vertex> = self
+            .vertices
+            .iter()
+            .filter(|(id, _)| used.contains(id))
+            .map(|(&id, v)| (id, v.clone()))
+            .collect();
+        FlowGraph {
+            vertices,
+            edges,
+            intern: HashMap::new(),
+            last_writer: HashMap::new(),
+            host: self.host,
+            next: self.next,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // DOT export (the GUI stand-in)
+    // -----------------------------------------------------------------
+
+    /// Renders the graph in Graphviz DOT, reproducing the paper's visual
+    /// conventions: rectangles for allocations, circles for memory APIs,
+    /// ovals for kernels; red edges for redundancy above
+    /// `redundancy_threshold`, green otherwise; edge pen width scaled by
+    /// bytes; node size scaled by invocations.
+    pub fn to_dot(&self, redundancy_threshold: f64) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "digraph value_flow {{").expect("write to String");
+        writeln!(s, "  rankdir=LR;").expect("write to String");
+        for v in self.vertices.values() {
+            let size = 0.5 + (v.invocations as f64).log10().max(0.0) * 0.4;
+            writeln!(
+                s,
+                "  {} [label=\"{}\\n{} ({})\" shape={} width={:.2}];",
+                v.id.0,
+                v.id.0,
+                escape(&v.name),
+                v.invocations,
+                v.kind.dot_shape(),
+                size
+            )
+            .expect("write to String");
+        }
+        for (&(f, t, o), d) in &self.edges {
+            let color = if d.writes > 0 && d.redundancy() >= redundancy_threshold {
+                "red"
+            } else {
+                "green"
+            };
+            let width = 1.0 + (d.bytes.max(1) as f64).log10() * 0.6;
+            let label = format!(
+                "{} {}B{}",
+                o,
+                d.bytes,
+                if d.redundant_bytes > 0 {
+                    format!(" ({:.0}% red.)", d.redundancy() * 100.0)
+                } else {
+                    String::new()
+                }
+            );
+            writeln!(
+                s,
+                "  {} -> {} [color={color} penwidth={width:.2} label=\"{}\"];",
+                f.0,
+                t.0,
+                escape(&label)
+            )
+            .expect("write to String");
+        }
+        writeln!(s, "}}").expect("write to String");
+        s
+    }
+}
+
+fn bfs(start: VertexId, adj: &HashMap<VertexId, Vec<VertexId>>) -> BTreeSet<VertexId> {
+    let mut seen = BTreeSet::new();
+    seen.insert(start);
+    let mut q = VecDeque::from([start]);
+    while let Some(v) = q.pop_front() {
+        if let Some(ns) = adj.get(&v) {
+            for &n in ns {
+                if seen.insert(n) {
+                    q.push_back(n);
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the 7-line example program of Figure 3:
+    /// ```text
+    /// 1: A_dev = malloc        2: B_dev = malloc
+    /// 3: memset(A_dev, 0)      4: memset(B_dev, 0)
+    /// 5: kernel writes A_dev   6: kernel writes B_dev
+    /// 7: kernel reads A_dev, writes B_dev
+    /// ```
+    fn figure3_graph() -> (FlowGraph, Vec<VertexId>, AllocId, AllocId) {
+        let a = AllocId(1);
+        let b = AllocId(2);
+        let mut g = FlowGraph::new();
+        let ctx = |i: u32| CallPathId(i);
+        let v1 = g.intern_vertex(VertexKind::Alloc, "A_dev", ctx(1));
+        let v2 = g.intern_vertex(VertexKind::Alloc, "B_dev", ctx(2));
+        g.set_initial_writer(a, v1);
+        g.set_initial_writer(b, v2);
+        let v3 = g.intern_vertex(VertexKind::Memset, "memset", ctx(3));
+        g.record_access(v3, a, AccessKind::Write, 64, 0);
+        let v4 = g.intern_vertex(VertexKind::Memset, "memset", ctx(4));
+        g.record_access(v4, b, AccessKind::Write, 64, 0);
+        let v5 = g.intern_vertex(VertexKind::Kernel, "write_a", ctx(5));
+        g.record_access(v5, a, AccessKind::Write, 64, 64); // writes zeros onto zeros
+        let v6 = g.intern_vertex(VertexKind::Kernel, "write_b", ctx(6));
+        g.record_access(v6, b, AccessKind::Write, 64, 64);
+        let v7 = g.intern_vertex(VertexKind::Kernel, "combine", ctx(7));
+        g.record_access(v7, a, AccessKind::Read, 64, 0);
+        g.record_access(v7, b, AccessKind::Write, 64, 0);
+        (g, vec![v1, v2, v3, v4, v5, v6, v7], a, b)
+    }
+
+    #[test]
+    fn figure3_construction() {
+        let (g, v, a, b) = figure3_graph();
+        // host + 7 program vertices.
+        assert_eq!(g.vertex_count(), 8);
+        // Edges: 1->3(a), 2->4(b), 3->5(a), 4->6(b), 5->7(a read), 6->7(b write).
+        assert_eq!(g.edge_count(), 6);
+        let edges: Vec<_> = g.edges().collect();
+        assert!(edges
+            .iter()
+            .any(|&(f, t, o, d)| f == v[0] && t == v[2] && o == a && d.writes == 1));
+        assert!(edges
+            .iter()
+            .any(|&(f, t, o, d)| f == v[4] && t == v[6] && o == a && d.reads == 1));
+        // last writer of b is vertex 7.
+        assert_eq!(g.last_writer(b), Some(v[6]));
+    }
+
+    #[test]
+    fn redundancy_marks_edges() {
+        let (g, v, a, _) = figure3_graph();
+        let (_, _, _, d) = g
+            .edges()
+            .find(|&(f, t, o, _)| f == v[2] && t == v[4] && o == a)
+            .expect("3->5 edge");
+        assert_eq!(d.redundancy(), 1.0);
+    }
+
+    #[test]
+    fn vertex_merging_by_context() {
+        let mut g = FlowGraph::new();
+        let v1 = g.intern_vertex(VertexKind::Kernel, "k", CallPathId(1));
+        let v2 = g.intern_vertex(VertexKind::Kernel, "k", CallPathId(1));
+        let v3 = g.intern_vertex(VertexKind::Kernel, "k", CallPathId(2));
+        assert_eq!(v1, v2);
+        assert_ne!(v1, v3);
+        assert_eq!(g.vertex(v1).unwrap().invocations, 2);
+    }
+
+    #[test]
+    fn vertex_slice_of_figure3d() {
+        // Slicing on vertex 6 keeps only B's chain: 2->4->6->7, per the
+        // paper's Figure 3d.
+        let (g, v, _, b) = figure3_graph();
+        let slice = g.vertex_slice(v[5]); // vertex "6" (write_b)
+        let kept: Vec<_> = slice.edges().collect();
+        assert!(kept.iter().all(|&(_, _, o, _)| o == b));
+        assert_eq!(kept.len(), 3); // 2->4, 4->6, 6->7
+        assert!(slice.vertex(v[0]).is_none(), "A's alloc is eliminated");
+        assert!(slice.vertex(v[4]).is_none(), "write_a is eliminated");
+        assert!(slice.vertex(v[6]).is_some(), "downstream consumer kept");
+    }
+
+    #[test]
+    fn important_graph_prunes() {
+        let mut g = FlowGraph::new();
+        let a = AllocId(1);
+        let big = g.intern_vertex(VertexKind::Alloc, "big", CallPathId(1));
+        g.set_initial_writer(a, big);
+        let hot = g.intern_vertex(VertexKind::Kernel, "hot", CallPathId(2));
+        g.record_access(hot, a, AccessKind::Write, 1_000_000, 0);
+        let cold = g.intern_vertex(VertexKind::Kernel, "cold", CallPathId(3));
+        g.record_access(cold, a, AccessKind::Read, 10, 0);
+        let pruned = g.important(1000, u64::MAX);
+        assert!(pruned.vertex(hot).is_some());
+        assert!(pruned.vertex(cold).is_none());
+        assert_eq!(pruned.edge_count(), 1);
+        // Low vertex threshold keeps isolated vertices too.
+        let pruned2 = g.important(u64::MAX, 1);
+        assert_eq!(pruned2.edge_count(), 0);
+        assert!(pruned2.vertex(cold).is_some());
+    }
+
+    #[test]
+    fn host_edges() {
+        let mut g = FlowGraph::new();
+        let a = AllocId(1);
+        let alloc = g.intern_vertex(VertexKind::Alloc, "x", CallPathId(1));
+        g.set_initial_writer(a, alloc);
+        let h2d = g.intern_vertex(VertexKind::Memcpy, "h2d", CallPathId(2));
+        g.record_host_source(h2d, a, 128);
+        g.record_access(h2d, a, AccessKind::Write, 128, 0);
+        let d2h = g.intern_vertex(VertexKind::Memcpy, "d2h", CallPathId(3));
+        g.record_access(d2h, a, AccessKind::Read, 128, 0);
+        g.record_host_sink(d2h, a, 128);
+        let host = g.host_vertex();
+        assert!(g.edges().any(|(f, t, _, _)| f == host && t == h2d));
+        assert!(g.edges().any(|(f, t, _, _)| f == d2h && t == host));
+    }
+
+    #[test]
+    fn dot_output_contains_conventions() {
+        let (g, _, _, _) = figure3_graph();
+        let dot = g.to_dot(0.33);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=box"), "alloc rectangles");
+        assert!(dot.contains("shape=ellipse"), "kernel ovals");
+        assert!(dot.contains("color=red"), "redundant edges");
+        assert!(dot.contains("color=green"), "benign edges");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn total_redundant_bytes() {
+        let (g, _, _, _) = figure3_graph();
+        assert_eq!(g.total_redundant_bytes(), 128);
+    }
+}

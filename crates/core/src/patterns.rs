@@ -1,0 +1,673 @@
+//! The eight value patterns of §3 and their recognizers.
+//!
+//! Coarse-grained patterns (*redundant values*, *duplicate values*) are
+//! detected from value snapshots by the coarse analyzer
+//! ([`crate::coarse`]); the six fine-grained patterns are recognized here
+//! from per-object access statistics accumulated by the fine analyzer
+//! ([`crate::fine`]):
+//!
+//! * **frequent values** — some value accounts for ≥ threshold of accesses,
+//! * **single value** — every accessed value is identical,
+//! * **single zero** — every accessed value is zero,
+//! * **heavy type** — the declared type is more expressive than the
+//!   values stored need,
+//! * **structured values** — values are linearly correlated with the
+//!   addresses holding them,
+//! * **approximate values** — after truncating the float mantissa to `K`
+//!   bits, one of the exact fine-grained patterns appears.
+
+use crate::access_type::DecodedValue;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use vex_gpu::ir::{Pc, ScalarType};
+
+/// The eight value patterns of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValuePattern {
+    /// A write leaves some/all of an object's elements unchanged (§3.1).
+    RedundantValues,
+    /// Two objects hold identical values at some GPU API (§3.1).
+    DuplicateValues,
+    /// One or a few values dominate the accesses (§3.2).
+    FrequentValues,
+    /// All accessed values are the same (§3.2).
+    SingleValue,
+    /// All accessed values are zero (§3.2).
+    SingleZero,
+    /// The data type is wider than the values require (§3.2).
+    HeavyType,
+    /// Values are linearly correlated with their addresses (§3.2).
+    StructuredValues,
+    /// A fine-grained pattern appears after mantissa truncation (§3.2).
+    ApproximateValues,
+}
+
+impl ValuePattern {
+    /// All patterns in Table 1 column order.
+    pub const ALL: [ValuePattern; 8] = [
+        ValuePattern::RedundantValues,
+        ValuePattern::DuplicateValues,
+        ValuePattern::FrequentValues,
+        ValuePattern::SingleValue,
+        ValuePattern::SingleZero,
+        ValuePattern::HeavyType,
+        ValuePattern::StructuredValues,
+        ValuePattern::ApproximateValues,
+    ];
+
+    /// Whether this is a coarse-grained pattern (detected per GPU API from
+    /// snapshots) rather than a fine-grained one (from access streams).
+    pub fn is_coarse(self) -> bool {
+        matches!(self, ValuePattern::RedundantValues | ValuePattern::DuplicateValues)
+    }
+
+    /// The optimization guidance of §3, one line per pattern.
+    pub fn guidance(self) -> &'static str {
+        match self {
+            ValuePattern::RedundantValues => {
+                "remove the redundant write (e.g. double initialization) or skip unchanged elements"
+            }
+            ValuePattern::DuplicateValues => {
+                "initialize on the device (cudaMemset) or share one copy instead of transferring duplicates"
+            }
+            ValuePattern::FrequentValues => {
+                "bypass computation conditionally when the frequent value is seen"
+            }
+            ValuePattern::SingleValue => {
+                "contract the vector to a scalar, or use a sparse structure"
+            }
+            ValuePattern::SingleZero => {
+                "skip the computation/initialization entirely; zeros are identity for +/-"
+            }
+            ValuePattern::HeavyType => "demote the element type to the narrowest sufficient width",
+            ValuePattern::StructuredValues => {
+                "compute values from indices instead of loading them from memory"
+            }
+            ValuePattern::ApproximateValues => {
+                "if accuracy permits, exploit the pattern that appears after truncation"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ValuePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ValuePattern::RedundantValues => "redundant values",
+            ValuePattern::DuplicateValues => "duplicate values",
+            ValuePattern::FrequentValues => "frequent values",
+            ValuePattern::SingleValue => "single value",
+            ValuePattern::SingleZero => "single zero",
+            ValuePattern::HeavyType => "heavy type",
+            ValuePattern::StructuredValues => "structured values",
+            ValuePattern::ApproximateValues => "approximate values",
+        })
+    }
+}
+
+/// Thresholds of the recognizers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternConfig {
+    /// Fraction of accesses one value must reach for *frequent values*
+    /// (the paper uses "a predefined percentage threshold 𝒯").
+    pub frequent_threshold: f64,
+    /// Unchanged-byte fraction for *redundant values* (the paper uses
+    /// 33%).
+    pub redundancy_threshold: f64,
+    /// Mantissa bits kept for *approximate values* (𝒦).
+    pub approx_mantissa_bits: u32,
+    /// Minimum |Pearson r| for *structured values*.
+    pub structured_min_corr: f64,
+    /// Minimum distinct addresses before structured detection fires.
+    pub structured_min_samples: u64,
+    /// Cap on distinct values tracked per object (memory guard).
+    pub max_distinct_values: usize,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig {
+            frequent_threshold: 0.5,
+            redundancy_threshold: 0.33,
+            approx_mantissa_bits: 8,
+            structured_min_corr: 0.999,
+            structured_min_samples: 16,
+            max_distinct_values: 1 << 16,
+        }
+    }
+}
+
+/// Truncates a float's mantissa to `k` bits (the approximate-values view).
+pub fn truncate_mantissa(value: f64, k: u32) -> f64 {
+    let keep = 52u32.saturating_sub(k.min(52));
+    let bits = value.to_bits();
+    let mask = !((1u64 << keep) - 1);
+    f64::from_bits(bits & mask)
+}
+
+/// Streaming per-object, per-direction value statistics.
+///
+/// One `ValueStats` accumulates all loads *or* all stores of one data
+/// object during one GPU API invocation; [`ValueStats::patterns`]
+/// evaluates the fine-grained recognizers at kernel end.
+///
+/// ```rust
+/// use vex_core::access_type::DecodedValue;
+/// use vex_core::patterns::{PatternConfig, ValuePattern, ValueStats};
+/// use vex_gpu::ir::ScalarType;
+///
+/// let mut stats = ValueStats::new(PatternConfig::default());
+/// for i in 0..64u64 {
+///     stats.record(i * 4, DecodedValue::from_bits(ScalarType::F32, 0));
+/// }
+/// let hits = stats.patterns();
+/// assert!(hits.iter().any(|h| h.pattern == ValuePattern::SingleZero));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses whose decoded value was zero.
+    pub zeros: u64,
+    /// Exact-value histogram (bits + type as key) with an overflow guard.
+    histogram: HashMap<(ScalarType, u64), u64>,
+    /// Accesses not individually tracked after the histogram cap hit.
+    pub histogram_overflow: u64,
+    /// Mantissa-truncated histogram for the approximate view (floats only).
+    approx_histogram: HashMap<u64, u64>,
+    /// Observed value range (for heavy-type detection).
+    pub min_value: f64,
+    /// Maximum observed value.
+    pub max_value: f64,
+    /// Whether every float value seen was exactly representable in f32.
+    pub f32_representable: bool,
+    /// Whether every value seen was integral (fractional part zero).
+    pub integral_only: bool,
+    /// The widest scalar type observed at the accesses.
+    pub observed_type: Option<ScalarType>,
+    /// Static instructions that contributed accesses.
+    pub pcs: BTreeSet<Pc>,
+    // Linear-regression accumulators for structured detection
+    // (x = address, y = value).
+    n_xy: u64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_yy: f64,
+    sum_xy: f64,
+    config: PatternConfig,
+}
+
+impl ValueStats {
+    /// Creates empty statistics under `config`.
+    pub fn new(config: PatternConfig) -> Self {
+        ValueStats {
+            accesses: 0,
+            zeros: 0,
+            histogram: HashMap::new(),
+            histogram_overflow: 0,
+            approx_histogram: HashMap::new(),
+            min_value: f64::INFINITY,
+            max_value: f64::NEG_INFINITY,
+            f32_representable: true,
+            integral_only: true,
+            observed_type: None,
+            pcs: BTreeSet::new(),
+            n_xy: 0,
+            sum_x: 0.0,
+            sum_y: 0.0,
+            sum_xx: 0.0,
+            sum_yy: 0.0,
+            sum_xy: 0.0,
+            config,
+        }
+    }
+
+    /// Feeds one access: decoded value at `addr`, tagged with the
+    /// instruction that performed it.
+    pub fn record_at(&mut self, addr: u64, value: DecodedValue, pc: Pc) {
+        self.pcs.insert(pc);
+        self.record(addr, value);
+    }
+
+    /// Feeds one access: decoded value at `addr`.
+    pub fn record(&mut self, addr: u64, value: DecodedValue) {
+        self.accesses += 1;
+        let v = value.as_f64();
+        if value.is_zero() {
+            self.zeros += 1;
+        }
+        if self.histogram.len() < self.config.max_distinct_values
+            || self.histogram.contains_key(&(value.ty, value.bits))
+        {
+            *self.histogram.entry((value.ty, value.bits)).or_insert(0) += 1;
+        } else {
+            self.histogram_overflow += 1;
+        }
+        if value.ty.is_float() {
+            let t = truncate_mantissa(v, self.config.approx_mantissa_bits);
+            if self.approx_histogram.len() < self.config.max_distinct_values
+                || self.approx_histogram.contains_key(&t.to_bits())
+            {
+                *self.approx_histogram.entry(t.to_bits()).or_insert(0) += 1;
+            }
+            if (v as f32) as f64 != v {
+                self.f32_representable = false;
+            }
+        }
+        if v.fract() != 0.0 {
+            self.integral_only = false;
+        }
+        if v < self.min_value {
+            self.min_value = v;
+        }
+        if v > self.max_value {
+            self.max_value = v;
+        }
+        self.observed_type = Some(match self.observed_type {
+            None => value.ty,
+            Some(t) if t.size_bytes() >= value.ty.size_bytes() => t,
+            Some(_) => value.ty,
+        });
+        // Regression accumulators.
+        let x = addr as f64;
+        self.n_xy += 1;
+        self.sum_x += x;
+        self.sum_y += v;
+        self.sum_xx += x * x;
+        self.sum_yy += v * v;
+        self.sum_xy += x * v;
+    }
+
+    /// Number of distinct exact values observed (capped).
+    pub fn distinct_values(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// The most frequent exact value and its count.
+    pub fn top_value(&self) -> Option<(ScalarType, u64, u64)> {
+        self.histogram
+            .iter()
+            .max_by_key(|(k, &c)| (c, std::cmp::Reverse(k.1)))
+            .map(|(&(ty, bits), &c)| (ty, bits, c))
+    }
+
+    /// Fraction of accesses hitting the most frequent value.
+    pub fn top_fraction(&self) -> f64 {
+        match self.top_value() {
+            Some((_, _, c)) if self.accesses > 0 => c as f64 / self.accesses as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Pearson correlation between addresses and values.
+    pub fn address_value_correlation(&self) -> Option<f64> {
+        if self.n_xy < 2 {
+            return None;
+        }
+        let n = self.n_xy as f64;
+        let cov = self.sum_xy - self.sum_x * self.sum_y / n;
+        let var_x = self.sum_xx - self.sum_x * self.sum_x / n;
+        let var_y = self.sum_yy - self.sum_y * self.sum_y / n;
+        if var_x <= 0.0 || var_y <= 0.0 {
+            return None; // constant addresses or constant values
+        }
+        Some(cov / (var_x.sqrt() * var_y.sqrt()))
+    }
+
+    /// The narrowest type that can represent every observed value, given
+    /// the declared/observed type — `None` when the current type is
+    /// already minimal.
+    pub fn demotable_type(&self) -> Option<ScalarType> {
+        let ty = self.observed_type?;
+        if self.accesses == 0 {
+            return None;
+        }
+        let (lo, hi) = (self.min_value, self.max_value);
+        if ty.is_float() {
+            if ty == ScalarType::F64 && self.f32_representable {
+                return Some(ScalarType::F32);
+            }
+            return None;
+        }
+        // Integer demotion: pick the narrowest type holding [lo, hi].
+        let candidates: &[(ScalarType, f64, f64)] = &[
+            (ScalarType::U8, 0.0, u8::MAX as f64),
+            (ScalarType::S8, i8::MIN as f64, i8::MAX as f64),
+            (ScalarType::U16, 0.0, u16::MAX as f64),
+            (ScalarType::S16, i16::MIN as f64, i16::MAX as f64),
+            (ScalarType::U32, 0.0, u32::MAX as f64),
+            (ScalarType::S32, i32::MIN as f64, i32::MAX as f64),
+        ];
+        for &(cand, cl, ch) in candidates {
+            if cand.size_bytes() < ty.size_bytes() && lo >= cl && hi <= ch {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Evaluates the fine-grained recognizers.
+    pub fn patterns(&self) -> Vec<PatternHit> {
+        let mut hits = Vec::new();
+        if self.accesses == 0 {
+            return hits;
+        }
+        let exact_distinct = self.distinct_values() + usize::from(self.histogram_overflow > 0);
+        let top_frac = self.top_fraction();
+
+        if exact_distinct == 1 {
+            if self.zeros == self.accesses {
+                hits.push(PatternHit {
+                    pattern: ValuePattern::SingleZero,
+                    strength: 1.0,
+                    detail: format!("{} accesses, all zero", self.accesses),
+                });
+            } else {
+                let (ty, bits, _) = self.top_value().expect("distinct == 1");
+                hits.push(PatternHit {
+                    pattern: ValuePattern::SingleValue,
+                    strength: 1.0,
+                    detail: format!(
+                        "{} accesses, all {}",
+                        self.accesses,
+                        DecodedValue::from_bits(ty, bits).as_f64()
+                    ),
+                });
+            }
+        } else if top_frac >= self.config.frequent_threshold {
+            let (ty, bits, count) = self.top_value().expect("nonempty");
+            hits.push(PatternHit {
+                pattern: ValuePattern::FrequentValues,
+                strength: top_frac,
+                detail: format!(
+                    "value {} covers {:.1}% of {} accesses",
+                    DecodedValue::from_bits(ty, bits).as_f64(),
+                    top_frac * 100.0,
+                    count.max(self.accesses) // count <= accesses; show total
+                ),
+            });
+        }
+
+        if let Some(demoted) = self.demotable_type() {
+            let ty = self.observed_type.expect("demotable implies observed");
+            hits.push(PatternHit {
+                pattern: ValuePattern::HeavyType,
+                strength: 1.0 - demoted.size_bytes() as f64 / ty.size_bytes() as f64,
+                detail: format!(
+                    "values in [{}, {}] fit {} (declared {})",
+                    self.min_value, self.max_value, demoted, ty
+                ),
+            });
+        }
+
+        if self.n_xy >= self.config.structured_min_samples && exact_distinct > 1 {
+            if let Some(r) = self.address_value_correlation() {
+                if r.abs() >= self.config.structured_min_corr {
+                    hits.push(PatternHit {
+                        pattern: ValuePattern::StructuredValues,
+                        strength: r.abs(),
+                        detail: format!("address-value correlation r = {r:.4}"),
+                    });
+                }
+            }
+        }
+
+        // Approximate: the truncated view is single/frequent while the
+        // exact view is not.
+        if self.observed_type.is_some_and(ScalarType::is_float) && !self.approx_histogram.is_empty()
+        {
+            let approx_distinct = self.approx_histogram.len();
+            let approx_top = self
+                .approx_histogram
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0) as f64
+                / self.accesses as f64;
+            let exact_hits_already = exact_distinct == 1 || top_frac >= self.config.frequent_threshold;
+            if !exact_hits_already
+                && (approx_distinct == 1 || approx_top >= self.config.frequent_threshold)
+            {
+                hits.push(PatternHit {
+                    pattern: ValuePattern::ApproximateValues,
+                    strength: approx_top,
+                    detail: format!(
+                        "with {}-bit mantissa: {} distinct values, top covers {:.1}%",
+                        self.config.approx_mantissa_bits,
+                        approx_distinct,
+                        approx_top * 100.0
+                    ),
+                });
+            }
+        }
+
+        hits
+    }
+}
+
+/// One recognized pattern instance with its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternHit {
+    /// The recognized pattern.
+    pub pattern: ValuePattern,
+    /// Normalized strength in `(0, 1]` (fraction, correlation, or savings
+    /// ratio depending on the pattern).
+    pub strength: f64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(stats: &mut ValueStats, addr: u64, ty: ScalarType, v: f64) {
+        let bits = match ty {
+            ScalarType::F32 => (v as f32).to_bits() as u64,
+            ScalarType::F64 => v.to_bits(),
+            _ => v as i64 as u64,
+        };
+        stats.record(addr, DecodedValue::from_bits(ty, bits));
+    }
+
+    fn has(hits: &[PatternHit], p: ValuePattern) -> bool {
+        hits.iter().any(|h| h.pattern == p)
+    }
+
+    #[test]
+    fn single_zero_detected() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..100 {
+            rec(&mut s, i * 4, ScalarType::F32, 0.0);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::SingleZero));
+        assert!(!has(&hits, ValuePattern::SingleValue));
+        assert!(!has(&hits, ValuePattern::FrequentValues));
+    }
+
+    #[test]
+    fn single_value_detected() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..100 {
+            rec(&mut s, i * 8, ScalarType::F64, 3.25);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::SingleValue));
+        assert!(!has(&hits, ValuePattern::SingleZero));
+    }
+
+    #[test]
+    fn frequent_values_detected() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..100u64 {
+            let v = if i % 10 == 0 { i as f64 } else { 7.0 };
+            rec(&mut s, i * 4, ScalarType::F32, v);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::FrequentValues));
+        let hit = hits.iter().find(|h| h.pattern == ValuePattern::FrequentValues).unwrap();
+        assert!((hit.strength - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_type_int_demotion() {
+        // Values 0..=9 stored as s32 (the Rodinia/bfs g_cost case).
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..200u64 {
+            rec(&mut s, i * 4, ScalarType::S32, (i % 10) as f64);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::HeavyType));
+        assert_eq!(s.demotable_type(), Some(ScalarType::U8));
+    }
+
+    #[test]
+    fn heavy_type_f64_to_f32() {
+        // lavaMD's rA: ten values 0.1..1.0 stored as f64. They are not
+        // exactly f32-representable... use f32-representable doubles.
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..100u64 {
+            rec(&mut s, i * 8, ScalarType::F64, (i % 10) as f64 * 0.5);
+        }
+        assert_eq!(s.demotable_type(), Some(ScalarType::F32));
+    }
+
+    #[test]
+    fn no_heavy_type_when_range_needs_width() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        rec(&mut s, 0, ScalarType::S32, -100000.0);
+        rec(&mut s, 4, ScalarType::S32, 100000.0);
+        assert_eq!(s.demotable_type(), None);
+        assert!(!has(&s.patterns(), ValuePattern::HeavyType));
+    }
+
+    #[test]
+    fn structured_values_detected() {
+        // srad_v1's d_iN-style neighbor index arrays: value = f(index).
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..128u64 {
+            rec(&mut s, 1000 + i * 4, ScalarType::S32, (i as f64) - 1.0);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::StructuredValues));
+    }
+
+    #[test]
+    fn structured_not_detected_for_noise() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        let mut x = 42u64;
+        for i in 0..128u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rec(&mut s, 1000 + i * 4, ScalarType::S32, (x % 1000) as f64);
+        }
+        assert!(!has(&s.patterns(), ValuePattern::StructuredValues));
+    }
+
+    #[test]
+    fn approximate_values_detected() {
+        // hotspot3D-style: temperatures clustered around 330.0 with tiny
+        // perturbations — exact values all distinct, truncated identical.
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..256u64 {
+            rec(&mut s, i * 8, ScalarType::F64, 330.0 + 1e-9 * i as f64);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::ApproximateValues));
+        assert!(!has(&hits, ValuePattern::SingleValue));
+        assert!(!has(&hits, ValuePattern::FrequentValues));
+    }
+
+    #[test]
+    fn approximate_suppressed_when_exact_pattern_exists() {
+        let mut s = ValueStats::new(PatternConfig::default());
+        for i in 0..64u64 {
+            rec(&mut s, i * 4, ScalarType::F32, 1.0);
+        }
+        let hits = s.patterns();
+        assert!(has(&hits, ValuePattern::SingleValue));
+        assert!(!has(&hits, ValuePattern::ApproximateValues));
+    }
+
+    #[test]
+    fn truncate_mantissa_behaviour() {
+        assert_eq!(truncate_mantissa(1.0, 8), 1.0);
+        let a = truncate_mantissa(330.000001, 8);
+        let b = truncate_mantissa(330.000002, 8);
+        assert_eq!(a, b);
+        assert_ne!(truncate_mantissa(330.0, 8), truncate_mantissa(331.0, 8));
+        // k >= 52 keeps everything.
+        assert_eq!(truncate_mantissa(std::f64::consts::PI, 60), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn histogram_cap_is_respected() {
+        let cfg = PatternConfig { max_distinct_values: 10, ..PatternConfig::default() };
+        let mut s = ValueStats::new(cfg);
+        for i in 0..100u64 {
+            rec(&mut s, i * 4, ScalarType::U32, i as f64);
+        }
+        assert_eq!(s.distinct_values(), 10);
+        assert_eq!(s.histogram_overflow, 90);
+        // Overflow means we can no longer claim single-value.
+        assert!(!has(&s.patterns(), ValuePattern::SingleValue));
+    }
+
+    #[test]
+    fn empty_stats_no_patterns() {
+        let s = ValueStats::new(PatternConfig::default());
+        assert!(s.patterns().is_empty());
+        assert_eq!(s.top_fraction(), 0.0);
+        assert!(s.address_value_correlation().is_none());
+    }
+
+    #[test]
+    fn pattern_metadata() {
+        assert!(ValuePattern::RedundantValues.is_coarse());
+        assert!(!ValuePattern::SingleZero.is_coarse());
+        assert_eq!(ValuePattern::ALL.len(), 8);
+        for p in ValuePattern::ALL {
+            assert!(!p.guidance().is_empty());
+            assert!(!p.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_single_value_iff_one_distinct(values in prop::collection::vec(0u32..5, 1..200)) {
+            let mut s = ValueStats::new(PatternConfig::default());
+            for (i, v) in values.iter().enumerate() {
+                rec(&mut s, (i * 4) as u64, ScalarType::U32, *v as f64);
+            }
+            let distinct: std::collections::HashSet<_> = values.iter().collect();
+            let hits = s.patterns();
+            let single = has(&hits, ValuePattern::SingleValue) || has(&hits, ValuePattern::SingleZero);
+            prop_assert_eq!(single, distinct.len() == 1);
+        }
+
+        #[test]
+        fn prop_zeros_counted(values in prop::collection::vec(0u32..3, 1..100)) {
+            let mut s = ValueStats::new(PatternConfig::default());
+            for (i, v) in values.iter().enumerate() {
+                rec(&mut s, (i * 4) as u64, ScalarType::U32, *v as f64);
+            }
+            prop_assert_eq!(s.zeros, values.iter().filter(|&&v| v == 0).count() as u64);
+            prop_assert_eq!(s.accesses, values.len() as u64);
+        }
+
+        #[test]
+        fn prop_correlation_bounded(
+            pairs in prop::collection::vec((0u64..10_000, -1000i64..1000), 2..100)
+        ) {
+            let mut s = ValueStats::new(PatternConfig::default());
+            for (a, v) in &pairs {
+                rec(&mut s, *a, ScalarType::S32, *v as f64);
+            }
+            if let Some(r) = s.address_value_correlation() {
+                prop_assert!((-1.0001..=1.0001).contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! The ValueExpert profiler front-end (§4).
+//!
+//! [`ValueExpert`] wires the coarse analyzer, the fine analyzer, and the
+//! trace collector onto a [`vex_gpu::runtime::Runtime`], mirroring the
+//! paper's component diagram (Figure 1): the *data collector* overloads
+//! GPU APIs and instruments kernels, the *online analyzer* recognizes
+//! patterns and builds the value flow graph, and the report machinery in
+//! [`crate::report`] stands in for the GUI.
+//!
+//! ```rust
+//! use vex_core::profiler::ValueExpert;
+//! use vex_gpu::prelude::*;
+//!
+//! # fn main() -> Result<(), GpuError> {
+//! let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+//! let vex = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt);
+//! // ... run the application against `rt` ...
+//! let profile = vex.report(&rt);
+//! assert_eq!(profile.redundancies.len(), 0);
+//! # Ok(()) }
+//! ```
+
+use crate::coarse::{CoarseState, CoarseTraffic, KernelIntervals};
+use crate::copy_strategy::AdaptivePolicy;
+use crate::fine::{FineState, FineTraffic};
+use crate::interval::Interval;
+use crate::overhead::{OverheadModel, OverheadReport};
+use crate::patterns::PatternConfig;
+use crate::races::RaceDetector;
+use crate::registry::ObjectRegistry;
+use crate::reuse::ReuseAnalyzer;
+use crate::report::Profile;
+use crate::sampling::{BlockSampler, HierarchicalSampler, KernelNameFilter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vex_gpu::exec::LaunchStats;
+use vex_gpu::hooks::{
+    AccessEvent, ApiEvent, ApiHook, ApiKind, ApiPhase, DeviceView, LaunchInfo, MemAccessHook,
+};
+use vex_gpu::runtime::Runtime;
+use vex_trace::{AccessRecord, Collector, CollectorStats, TraceSink};
+
+/// Configuration for a profiling session; see [`ValueExpert::builder`].
+#[derive(Debug, Clone)]
+pub struct ProfilerBuilder {
+    coarse: bool,
+    fine: bool,
+    pattern: PatternConfig,
+    copy_policy: AdaptivePolicy,
+    overhead: OverheadModel,
+    buffer_capacity: usize,
+    kernel_filter: Option<Vec<String>>,
+    kernel_period: u64,
+    block_period: u32,
+    reuse_line_bytes: Option<u64>,
+    race_detection: bool,
+    warp_compaction: bool,
+}
+
+impl Default for ProfilerBuilder {
+    fn default() -> Self {
+        ProfilerBuilder {
+            coarse: true,
+            fine: false,
+            pattern: PatternConfig::default(),
+            copy_policy: AdaptivePolicy::default(),
+            overhead: OverheadModel::default(),
+            buffer_capacity: 1 << 16,
+            kernel_filter: None,
+            kernel_period: 1,
+            block_period: 1,
+            reuse_line_bytes: None,
+            race_detection: false,
+            warp_compaction: true,
+        }
+    }
+}
+
+impl ProfilerBuilder {
+    /// Enables or disables the coarse-grained pass (default on).
+    #[must_use]
+    pub fn coarse(mut self, on: bool) -> Self {
+        self.coarse = on;
+        self
+    }
+
+    /// Enables or disables the fine-grained pass (default off).
+    #[must_use]
+    pub fn fine(mut self, on: bool) -> Self {
+        self.fine = on;
+        self
+    }
+
+    /// Overrides recognizer thresholds.
+    #[must_use]
+    pub fn pattern_config(mut self, config: PatternConfig) -> Self {
+        self.pattern = config;
+        self
+    }
+
+    /// Overrides the adaptive snapshot-copy policy.
+    #[must_use]
+    pub fn copy_policy(mut self, policy: AdaptivePolicy) -> Self {
+        self.copy_policy = policy;
+        self
+    }
+
+    /// Overrides the overhead model constants.
+    #[must_use]
+    pub fn overhead_model(mut self, model: OverheadModel) -> Self {
+        self.overhead = model;
+        self
+    }
+
+    /// Sets the simulated device-buffer capacity in records.
+    #[must_use]
+    pub fn buffer_capacity(mut self, records: usize) -> Self {
+        self.buffer_capacity = records;
+        self
+    }
+
+    /// Restricts fine-grained analysis to kernels whose name contains one
+    /// of `names` (§6.2 filtering).
+    #[must_use]
+    pub fn filter_kernels<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.kernel_filter = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the kernel sampling period (§6.2; instrument every P-th launch
+    /// of each kernel).
+    #[must_use]
+    pub fn kernel_sampling(mut self, period: u64) -> Self {
+        self.kernel_period = period.max(1);
+        self
+    }
+
+    /// Sets the block sampling period (§6.2; analyze every Q-th block).
+    #[must_use]
+    pub fn block_sampling(mut self, period: u32) -> Self {
+        self.block_period = period.max(1);
+        self
+    }
+
+    /// Enables reuse-distance analysis at the given cache-line size
+    /// (one of the §9 analyses layered on the same record stream;
+    /// requires the fine pass).
+    ///
+    /// # Panics
+    ///
+    /// `attach` panics if `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn reuse_distance(mut self, line_bytes: u64) -> Self {
+        self.reuse_line_bytes = Some(line_bytes);
+        self
+    }
+
+    /// Enables inter-block race detection (§9; requires the fine pass).
+    /// Block sampling distorts race coverage, so pair this with
+    /// `block_sampling(1)` for sound results.
+    #[must_use]
+    pub fn race_detection(mut self, on: bool) -> Self {
+        self.race_detection = on;
+        self
+    }
+
+    /// Toggles §6.1's warp-level interval compaction (default on; turning
+    /// it off exists for the ablation study — every raw access interval
+    /// then reaches the merge stage).
+    #[must_use]
+    pub fn warp_compaction(mut self, on: bool) -> Self {
+        self.warp_compaction = on;
+        self
+    }
+
+    /// Attaches the profiler to a runtime and returns the session handle.
+    pub fn attach(self, rt: &mut Runtime) -> ValueExpert {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                registry: ObjectRegistry::new(),
+                coarse: self
+                    .coarse
+                    .then(|| CoarseState::new(self.pattern, self.copy_policy)),
+                // Block sampling is applied at collection (in the
+                // Collector), so the analyzer sees every record it gets.
+                fine: self.fine.then(|| FineState::new(self.pattern, BlockSampler::new(1))),
+                reuse: self
+                    .reuse_line_bytes
+                    .filter(|_| self.fine)
+                    .map(ReuseAnalyzer::new),
+                races: (self.race_detection && self.fine).then(RaceDetector::new),
+            }),
+            overhead: self.overhead,
+            pattern: self.pattern,
+            warp_compaction: self.warp_compaction,
+        });
+
+        // API interception (registry + coarse analysis).
+        rt.register_api_hook(Arc::new(ApiGlue(shared.clone())));
+
+        // Coarse interval monitoring.
+        if self.coarse {
+            rt.register_access_hook(Arc::new(CoarseGlue(shared.clone())));
+        }
+
+        // Fine collection through the bounded device buffer.
+        let collector = if self.fine {
+            let sampler = match &self.kernel_filter {
+                Some(names) => HierarchicalSampler::new(self.kernel_period)
+                    .with_name_filter(KernelNameFilter::new(names.clone())),
+                None => HierarchicalSampler::new(self.kernel_period),
+            };
+            let collector = Arc::new(
+                Collector::new(
+                    self.buffer_capacity,
+                    Arc::new(FineGlue(shared.clone())),
+                    Arc::new(sampler),
+                )
+                .with_block_period(self.block_period),
+            );
+            rt.register_access_hook(collector.clone());
+            Some(collector)
+        } else {
+            None
+        };
+
+        // The paper's collector serializes concurrent streams.
+        rt.serialize_streams(true);
+
+        ValueExpert { shared, collector }
+    }
+}
+
+struct Inner {
+    registry: ObjectRegistry,
+    coarse: Option<CoarseState>,
+    fine: Option<FineState>,
+    reuse: Option<ReuseAnalyzer>,
+    races: Option<RaceDetector>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    overhead: OverheadModel,
+    pattern: PatternConfig,
+    warp_compaction: bool,
+}
+
+/// A live profiling session attached to a runtime.
+pub struct ValueExpert {
+    shared: Arc<Shared>,
+    collector: Option<Arc<Collector>>,
+}
+
+impl std::fmt::Debug for ValueExpert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueExpert")
+            .field("fine", &self.collector.is_some())
+            .finish()
+    }
+}
+
+impl ValueExpert {
+    /// Starts configuring a profiling session.
+    pub fn builder() -> ProfilerBuilder {
+        ProfilerBuilder::default()
+    }
+
+    /// Collector traffic of the fine pass (zeros when fine is disabled).
+    pub fn collector_stats(&self) -> CollectorStats {
+        self.collector
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Produces the profile: findings, value flow graph, and the overhead
+    /// report for the application time accumulated in `rt`'s time report.
+    pub fn report(&self, rt: &Runtime) -> Profile {
+        let inner = self.shared.inner.lock();
+        let (flow, redundancies, duplicates, coarse_traffic) = match &inner.coarse {
+            Some(c) => (
+                c.flow_graph().clone(),
+                c.redundancies().to_vec(),
+                c.duplicates().to_vec(),
+                c.traffic(),
+            ),
+            None => (
+                crate::flowgraph::FlowGraph::new(),
+                Vec::new(),
+                Vec::new(),
+                CoarseTraffic::default(),
+            ),
+        };
+        let (fine_findings, fine_traffic) = match &inner.fine {
+            Some(f) => (f.merged_findings(), f.traffic()),
+            None => (Vec::new(), FineTraffic::default()),
+        };
+        let reuse = inner.reuse.as_ref().map(|r| r.histogram().clone());
+        let races = inner
+            .races
+            .as_ref()
+            .map(|r| r.reports().to_vec())
+            .unwrap_or_default();
+        let collector_stats = self.collector_stats();
+        let spec = rt.spec();
+        let overhead = OverheadReport {
+            fine_us: self
+                .shared
+                .overhead
+                .fine_cost_us(&collector_stats, &fine_traffic, spec),
+            coarse_us: self.shared.overhead.coarse_cost_us(&coarse_traffic, spec),
+            app_us: rt.time_report().total_us(),
+        };
+        let contexts = {
+            let mut map = std::collections::BTreeMap::new();
+            let cp = rt.callpaths();
+            let mut record = |id: vex_gpu::callpath::CallPathId| {
+                map.entry(id).or_insert_with(|| cp.render(id));
+            };
+            for r in &redundancies {
+                record(r.context);
+            }
+            for f in &fine_findings {
+                record(f.context);
+            }
+            for v in flow.vertices() {
+                record(v.context);
+            }
+            map
+        };
+        Profile {
+            device: spec.name.clone(),
+            flow_graph: flow,
+            redundancies,
+            duplicates,
+            fine_findings,
+            reuse,
+            races,
+            coarse_traffic,
+            fine_traffic,
+            collector_stats,
+            overhead,
+            contexts,
+            redundancy_threshold: self.shared.pattern.redundancy_threshold,
+        }
+    }
+}
+
+/// API-hook glue: maintains the registry and drives the coarse analyzer.
+struct ApiGlue(Arc<Shared>);
+
+impl ApiHook for ApiGlue {
+    fn on_api(&self, phase: ApiPhase, event: &ApiEvent, view: &dyn DeviceView) {
+        if phase != ApiPhase::After {
+            return;
+        }
+        let mut inner = self.0.inner.lock();
+        let inner = &mut *inner;
+        if let ApiKind::Malloc { info } = &event.kind {
+            inner.registry.on_alloc(info);
+        }
+        if let Some(coarse) = &mut inner.coarse {
+            coarse.on_api_after(event, &inner.registry, view);
+        }
+        if let ApiKind::Free { info } = &event.kind {
+            inner.registry.on_free(info);
+        }
+    }
+}
+
+/// Access-hook glue for the coarse pass: collects access intervals.
+struct CoarseGlue(Arc<Shared>);
+
+impl MemAccessHook for CoarseGlue {
+    fn on_launch_begin(&self, _info: &LaunchInfo) -> bool {
+        let compaction = self.0.warp_compaction;
+        let mut inner = self.0.inner.lock();
+        if let Some(coarse) = &mut inner.coarse {
+            coarse.current_kernel = Some(KernelIntervals::new(compaction));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_access(&self, event: &AccessEvent) {
+        // Shared-memory traffic never updates global snapshots.
+        if event.space != vex_gpu::ir::MemSpace::Global {
+            return;
+        }
+        let mut inner = self.0.inner.lock();
+        if let Some(coarse) = &mut inner.coarse {
+            if let Some(k) = &mut coarse.current_kernel {
+                let (s, e) = event.interval();
+                k.add(event.block, event.thread, Interval::new(s, e), event.is_store);
+            }
+        }
+    }
+
+    fn on_launch_end(
+        &self,
+        _info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _instrumented: bool,
+        _view: &dyn DeviceView,
+    ) {
+        // Interval processing happens on the KernelLaunch API-After event,
+        // which fires after this callback with the same post-kernel view.
+    }
+}
+
+/// Trace-sink glue for the fine pass.
+struct FineGlue(Arc<Shared>);
+
+impl TraceSink for FineGlue {
+    fn on_batch(&self, info: &LaunchInfo, records: &[AccessRecord]) {
+        let mut inner = self.0.inner.lock();
+        let inner = &mut *inner;
+        if let Some(fine) = &mut inner.fine {
+            fine.on_batch(info, records, &inner.registry);
+        }
+        if let Some(reuse) = &mut inner.reuse {
+            for rec in records {
+                if rec.space == vex_gpu::ir::MemSpace::Global {
+                    reuse.record(rec);
+                }
+            }
+        }
+        if let Some(races) = &mut inner.races {
+            races.ensure_launch(info);
+            for rec in records {
+                races.record(rec);
+            }
+        }
+    }
+
+    fn on_launch_complete(
+        &self,
+        info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _view: &dyn DeviceView,
+    ) {
+        let mut inner = self.0.inner.lock();
+        let inner = &mut *inner;
+        if let Some(fine) = &mut inner.fine {
+            fine.on_launch_complete(info, &inner.registry);
+        }
+        if let Some(races) = &mut inner.races {
+            races.on_launch_end();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::ValuePattern;
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+    use vex_gpu::kernel::Kernel;
+    use vex_gpu::prelude::*;
+    use vex_gpu::timing::DeviceSpec;
+
+    /// fill(out, v): the canonical redundant-initialization kernel.
+    struct Fill {
+        out: u64,
+        n: usize,
+        v: f32,
+    }
+    impl Kernel for Fill {
+        fn name(&self) -> &str {
+            "fill_kernel"
+        }
+        fn instr_table(&self) -> InstrTable {
+            InstrTableBuilder::new()
+                .store(Pc(0), ScalarType::F32, MemSpace::Global)
+                .build()
+        }
+        fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+            let i = ctx.global_thread_id();
+            if i < self.n {
+                ctx.store::<f32>(Pc(0), self.out + (i * 4) as u64, self.v);
+            }
+        }
+    }
+
+    fn profiled_run() -> (Runtime, ValueExpert) {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let vex = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt);
+        let out = rt.with_fn("init", |rt| rt.malloc(256, "out")).unwrap();
+        rt.with_fn("forward", |rt| {
+            rt.memset(out, 0, 256).unwrap();
+            // Kernel rewrites the same zeros: redundant + single-zero.
+            rt.launch(
+                &Fill { out: out.addr(), n: 64, v: 0.0 },
+                Dim3::linear(2),
+                Dim3::linear(32),
+            )
+            .unwrap();
+        });
+        (rt, vex)
+    }
+
+    #[test]
+    fn end_to_end_redundancy_and_single_zero() {
+        let (rt, vex) = profiled_run();
+        let profile = vex.report(&rt);
+        assert_eq!(profile.device, "TestGPU");
+        // Coarse: the kernel's stores were fully redundant.
+        assert!(
+            profile
+                .redundancies
+                .iter()
+                .any(|r| r.api == "fill_kernel" && r.fraction() == 1.0),
+            "findings: {:?}",
+            profile.redundancies
+        );
+        // Fine: the stored values match the single-zero pattern.
+        let f = profile
+            .fine_findings
+            .iter()
+            .find(|f| f.kernel == "fill_kernel")
+            .expect("fine finding");
+        assert!(f.hits.iter().any(|h| h.pattern == ValuePattern::SingleZero));
+        // Flow graph has host, alloc, memset, kernel.
+        assert_eq!(profile.flow_graph.vertex_count(), 4);
+        assert!(profile.flow_graph.edge_count() >= 2);
+        // Contexts rendered.
+        let ctx = profile.contexts.get(&f.context).unwrap();
+        assert!(ctx.contains("forward"), "context: {ctx}");
+        // Overhead is positive and finite.
+        assert!(profile.overhead.factor() > 1.0);
+        assert!(profile.overhead.factor().is_finite());
+    }
+
+    #[test]
+    fn coarse_only_session_has_no_fine_findings() {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let vex = ValueExpert::builder().coarse(true).fine(false).attach(&mut rt);
+        let out = rt.malloc(128, "x").unwrap();
+        rt.memset(out, 0, 128).unwrap();
+        rt.memset(out, 0, 128).unwrap();
+        let p = vex.report(&rt);
+        assert!(!p.redundancies.is_empty());
+        assert!(p.fine_findings.is_empty());
+        assert_eq!(p.collector_stats.events, 0);
+    }
+
+    #[test]
+    fn kernel_filter_limits_fine_analysis() {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let vex = ValueExpert::builder()
+            .coarse(false)
+            .fine(true)
+            .filter_kernels(["other"])
+            .attach(&mut rt);
+        let out = rt.malloc(256, "out").unwrap();
+        rt.launch(
+            &Fill { out: out.addr(), n: 64, v: 1.0 },
+            Dim3::linear(2),
+            Dim3::linear(32),
+        )
+        .unwrap();
+        let p = vex.report(&rt);
+        assert!(p.fine_findings.is_empty());
+        assert_eq!(p.collector_stats.skipped_launches, 1);
+    }
+
+    #[test]
+    fn sampling_period_reduces_events() {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let vex = ValueExpert::builder()
+            .coarse(false)
+            .fine(true)
+            .kernel_sampling(4)
+            .attach(&mut rt);
+        let out = rt.malloc(256, "out").unwrap();
+        for _ in 0..8 {
+            rt.launch(
+                &Fill { out: out.addr(), n: 64, v: 2.0 },
+                Dim3::linear(2),
+                Dim3::linear(32),
+            )
+            .unwrap();
+        }
+        let s = vex.collector_stats();
+        assert_eq!(s.instrumented_launches, 2); // launches 0 and 4
+        assert_eq!(s.skipped_launches, 6);
+        assert_eq!(s.events, 2 * 64);
+    }
+
+    #[test]
+    fn overhead_reported_against_app_time() {
+        let (rt, vex) = profiled_run();
+        let p = vex.report(&rt);
+        assert!(p.overhead.app_us > 0.0);
+        assert!(p.overhead.coarse_us > 0.0);
+        assert!(p.overhead.fine_us > 0.0);
+        assert!(p.overhead.factor() >= p.overhead.coarse_factor());
+    }
+}

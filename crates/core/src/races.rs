@@ -1,0 +1,348 @@
+//! Inter-block data-race detection over the instrumentation stream.
+//!
+//! The second analysis the paper's conclusion plans to offload onto the
+//! fast collection pipeline (alongside reuse distance; cf. the cited
+//! CURD race detector). On a real GPU, thread blocks of one kernel
+//! execute in an undefined order with no inter-block synchronization, so
+//! two accesses to the same address from *different blocks* of the same
+//! launch race unless both are reads or both are hardware atomics.
+//!
+//! The detector consumes the same [`vex_trace::AccessRecord`] stream the
+//! value profiler uses, so a single instrumented run yields value
+//! patterns *and* race reports.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use vex_gpu::hooks::LaunchInfo;
+use vex_gpu::ir::{MemSpace, Pc};
+use vex_trace::AccessRecord;
+
+/// The kind of conflict observed on one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RaceKind {
+    /// Two blocks wrote the address (write-write).
+    WriteWrite,
+    /// One block wrote, another read (read-write).
+    ReadWrite,
+}
+
+impl std::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+        })
+    }
+}
+
+/// One reported race: an address with conflicting inter-block accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Conflict kind (write-write dominates read-write in reports).
+    pub kind: RaceKind,
+    /// A representative racing address.
+    pub addr: u64,
+    /// PCs of the two conflicting accesses (first writer, then the other
+    /// party).
+    pub pcs: (Pc, Pc),
+    /// Flat block ids of the two parties.
+    pub blocks: (u32, u32),
+    /// How many distinct addresses in this kernel raced with the same
+    /// `(kind, pcs)` signature — races are usually whole-array, and one
+    /// row per address would bury the user.
+    pub addresses: u64,
+}
+
+/// Per-address state within the current launch.
+#[derive(Debug, Clone, Copy)]
+struct AddrState {
+    /// Last writer (block, pc), if any non-atomic write happened.
+    writer: Option<(u32, Pc)>,
+    /// Last reader (block, pc), if any non-atomic read happened.
+    reader: Option<(u32, Pc)>,
+}
+
+/// Streaming inter-block race detector.
+///
+/// Feed it the launch boundaries and records of an instrumented run; it
+/// reports conflicting non-atomic accesses to one address from different
+/// thread blocks. See `examples/reuse_and_races.rs` for end-to-end use
+/// through [`crate::profiler::ProfilerBuilder::race_detection`].
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    state: HashMap<u64, AddrState>,
+    /// (kind, pc_a, pc_b) -> (representative report, address count)
+    found: BTreeMap<(RaceKind, Pc, Pc), (RaceReport, u64)>,
+    reports: Vec<RaceReport>,
+    current_kernel: Option<String>,
+    current_launch: Option<vex_gpu::hooks::LaunchId>,
+}
+
+impl RaceDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a launch: inter-block conflicts only matter within one
+    /// kernel, so per-address state resets.
+    pub fn on_launch_begin(&mut self, info: &LaunchInfo) {
+        self.state.clear();
+        self.found.clear();
+        self.current_kernel = Some(info.kernel_name.clone());
+        self.current_launch = Some(info.launch);
+    }
+
+    /// Idempotent launch entry used by streaming consumers: begins a new
+    /// launch whenever the id changes (closing the previous one).
+    pub fn ensure_launch(&mut self, info: &LaunchInfo) {
+        if self.current_launch != Some(info.launch) {
+            if self.current_launch.is_some() {
+                self.on_launch_end();
+            }
+            self.on_launch_begin(info);
+        }
+    }
+
+    /// Feeds one record of the current launch.
+    pub fn record(&mut self, rec: &AccessRecord) {
+        // Shared memory is per-block: cross-block conflicts are impossible,
+        // and intra-block ordering is the kernel's responsibility
+        // (__syncthreads), which our block-phased execution models.
+        if rec.space != MemSpace::Global || rec.is_atomic {
+            return;
+        }
+        let kernel = match &self.current_kernel {
+            Some(k) => k.clone(),
+            None => return,
+        };
+        let entry = *self
+            .state
+            .entry(rec.addr)
+            .or_insert(AddrState { writer: None, reader: None });
+
+        if rec.is_store {
+            if let Some((wb, wpc)) = entry.writer {
+                if wb != rec.block {
+                    self.report(&kernel, RaceKind::WriteWrite, rec.addr, (wpc, rec.pc), (wb, rec.block));
+                }
+            }
+            if let Some((rb, rpc)) = entry.reader {
+                if rb != rec.block {
+                    self.report(&kernel, RaceKind::ReadWrite, rec.addr, (rec.pc, rpc), (rec.block, rb));
+                }
+            }
+            self.state
+                .get_mut(&rec.addr)
+                .expect("inserted above")
+                .writer = Some((rec.block, rec.pc));
+        } else {
+            if let Some((wb, wpc)) = entry.writer {
+                if wb != rec.block {
+                    self.report(&kernel, RaceKind::ReadWrite, rec.addr, (wpc, rec.pc), (wb, rec.block));
+                }
+            }
+            self.state
+                .get_mut(&rec.addr)
+                .expect("inserted above")
+                .reader = Some((rec.block, rec.pc));
+        }
+    }
+
+    fn report(&mut self, kernel: &str, kind: RaceKind, addr: u64, pcs: (Pc, Pc), blocks: (u32, u32)) {
+        let key = (kind, pcs.0, pcs.1);
+        match self.found.get_mut(&key) {
+            Some((_, count)) => *count += 1,
+            None => {
+                self.found.insert(
+                    key,
+                    (
+                        RaceReport {
+                            kernel: kernel.to_owned(),
+                            kind,
+                            addr,
+                            pcs,
+                            blocks,
+                            addresses: 1,
+                        },
+                        1,
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Ends the launch, folding its aggregated reports into the result
+    /// list.
+    pub fn on_launch_end(&mut self) {
+        for (_, (mut report, count)) in std::mem::take(&mut self.found) {
+            report.addresses = count;
+            self.reports.push(report);
+        }
+        self.state.clear();
+        self.current_kernel = None;
+        self.current_launch = None;
+    }
+
+    /// All races found so far (one row per `(kernel launch, kind, pc
+    /// pair)` signature).
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Consumes the detector, returning the reports.
+    pub fn finish(mut self) -> Vec<RaceReport> {
+        self.on_launch_end();
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vex_gpu::callpath::CallPathId;
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::hooks::LaunchId;
+    use vex_gpu::ir::InstrTable;
+    use vex_gpu::stream::StreamId;
+
+    fn info(name: &str) -> LaunchInfo {
+        LaunchInfo {
+            launch: LaunchId(0),
+            kernel_name: name.to_owned(),
+            grid: Dim3::linear(4),
+            block: Dim3::linear(32),
+            shared_bytes: 0,
+            context: CallPathId::ROOT,
+            stream: StreamId::DEFAULT,
+            instr_table: Arc::new(InstrTable::new()),
+        }
+    }
+
+    fn rec(addr: u64, block: u32, is_store: bool, is_atomic: bool, pc: u32) -> AccessRecord {
+        AccessRecord {
+            pc: Pc(pc),
+            addr,
+            bits: 0,
+            size: 4,
+            is_store,
+            space: MemSpace::Global,
+            block,
+            thread: 0,
+            is_atomic,
+        }
+    }
+
+    fn run(records: &[AccessRecord]) -> Vec<RaceReport> {
+        let mut d = RaceDetector::new();
+        d.on_launch_begin(&info("k"));
+        for r in records {
+            d.record(r);
+        }
+        d.finish()
+    }
+
+    #[test]
+    fn disjoint_blocks_do_not_race() {
+        let reports = run(&[
+            rec(0, 0, true, false, 0),
+            rec(4, 1, true, false, 0),
+            rec(8, 2, true, false, 0),
+        ]);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn write_write_across_blocks_races() {
+        let reports = run(&[rec(64, 0, true, false, 1), rec(64, 1, true, false, 1)]);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.kind, RaceKind::WriteWrite);
+        assert_eq!(r.blocks, (0, 1));
+        assert_eq!(r.addr, 64);
+    }
+
+    #[test]
+    fn read_write_across_blocks_races() {
+        let reports = run(&[rec(64, 0, false, false, 2), rec(64, 1, true, false, 3)]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn same_block_conflicts_are_not_races() {
+        let reports = run(&[
+            rec(64, 0, true, false, 0),
+            rec(64, 0, true, false, 1),
+            rec(64, 0, false, false, 2),
+        ]);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn atomics_are_exempt() {
+        let reports = run(&[
+            rec(64, 0, false, true, 0),
+            rec(64, 0, true, true, 0),
+            rec(64, 1, false, true, 0),
+            rec(64, 1, true, true, 0),
+        ]);
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn atomic_vs_plain_write_still_races() {
+        // A plain write racing with a later plain read — atomic accesses
+        // in between are ignored, the plain pair still conflicts.
+        let reports = run(&[
+            rec(64, 0, true, false, 0),
+            rec(64, 1, true, true, 1), // atomic, exempt
+            rec(64, 2, false, false, 2),
+        ]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, RaceKind::ReadWrite);
+        assert_eq!(reports[0].blocks, (0, 2));
+    }
+
+    #[test]
+    fn whole_array_race_aggregates() {
+        // 100 addresses each written by two blocks at the same PC pair:
+        // one report, 100 addresses.
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            records.push(rec(i * 4, 0, true, false, 7));
+            records.push(rec(i * 4, 1, true, false, 7));
+        }
+        let reports = run(&records);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].addresses, 100);
+    }
+
+    #[test]
+    fn state_resets_between_launches() {
+        let mut d = RaceDetector::new();
+        d.on_launch_begin(&info("a"));
+        d.record(&rec(64, 0, true, false, 0));
+        d.on_launch_end();
+        d.on_launch_begin(&info("b"));
+        d.record(&rec(64, 1, true, false, 0)); // different launch: no race
+        d.on_launch_end();
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn shared_memory_is_ignored() {
+        let mut d = RaceDetector::new();
+        d.on_launch_begin(&info("k"));
+        let mut r = rec(0, 0, true, false, 0);
+        r.space = MemSpace::Shared;
+        d.record(&r);
+        let mut r2 = rec(0, 1, true, false, 0);
+        r2.space = MemSpace::Shared;
+        d.record(&r2);
+        assert!(d.finish().is_empty());
+    }
+}

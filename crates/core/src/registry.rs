@@ -1,0 +1,150 @@
+//! Data-object life-cycle tracking (§5.1).
+//!
+//! ValueExpert intercepts allocation and deallocation to know, for every
+//! address, which *data object* it belongs to — patterns are reported per
+//! object, not per raw address. Shared memory has no allocation API, so
+//! the whole shared space of a launch is treated as a single pseudo
+//! object, exactly as the paper does.
+
+use std::collections::BTreeMap;
+use vex_gpu::alloc::{AllocId, AllocationInfo};
+use vex_gpu::ir::MemSpace;
+
+/// Identifies the data object an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObjectKey {
+    /// A global-memory allocation.
+    Global(AllocId),
+    /// The per-block shared memory of a kernel (one pseudo object).
+    Shared,
+}
+
+impl std::fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectKey::Global(id) => write!(f, "{id}"),
+            ObjectKey::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// Mirror of the device allocation table, maintained from API events.
+#[derive(Debug, Default)]
+pub struct ObjectRegistry {
+    /// Live objects by start address.
+    by_addr: BTreeMap<u64, AllocationInfo>,
+    /// All objects ever seen, by id (findings may outlive frees).
+    all: BTreeMap<AllocId, AllocationInfo>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation (from a `Malloc` API event).
+    pub fn on_alloc(&mut self, info: &AllocationInfo) {
+        self.by_addr.insert(info.addr, info.clone());
+        self.all.insert(info.id, info.clone());
+    }
+
+    /// Removes an allocation (from a `Free` API event).
+    pub fn on_free(&mut self, info: &AllocationInfo) {
+        self.by_addr.remove(&info.addr);
+        if let Some(i) = self.all.get_mut(&info.id) {
+            i.live = false;
+        }
+    }
+
+    /// The live object containing `addr` (global space), if any.
+    pub fn find(&self, addr: u64) -> Option<&AllocationInfo> {
+        let (_, info) = self.by_addr.range(..=addr).next_back()?;
+        (addr < info.addr + info.size).then_some(info)
+    }
+
+    /// Resolves an access to its object key.
+    pub fn key_for(&self, space: MemSpace, addr: u64) -> Option<ObjectKey> {
+        match space {
+            MemSpace::Shared => Some(ObjectKey::Shared),
+            MemSpace::Global => self.find(addr).map(|i| ObjectKey::Global(i.id)),
+        }
+    }
+
+    /// Metadata for object `id` (live or freed).
+    pub fn info(&self, id: AllocId) -> Option<&AllocationInfo> {
+        self.all.get(&id)
+    }
+
+    /// Display label for an object key.
+    pub fn label(&self, key: ObjectKey) -> String {
+        match key {
+            ObjectKey::Shared => "shared".to_owned(),
+            ObjectKey::Global(id) => self
+                .info(id)
+                .map(|i| i.label.clone())
+                .unwrap_or_else(|| id.to_string()),
+        }
+    }
+
+    /// Iterates live objects in address order.
+    pub fn live(&self) -> impl Iterator<Item = &AllocationInfo> {
+        self.by_addr.values()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.by_addr.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::callpath::CallPathId;
+
+    fn info(id: u64, addr: u64, size: u64, label: &str) -> AllocationInfo {
+        AllocationInfo {
+            id: AllocId(id),
+            addr,
+            size,
+            label: label.to_owned(),
+            context: CallPathId::ROOT,
+            live: true,
+        }
+    }
+
+    #[test]
+    fn find_and_key() {
+        let mut r = ObjectRegistry::new();
+        r.on_alloc(&info(1, 256, 100, "a"));
+        r.on_alloc(&info(2, 512, 100, "b"));
+        assert_eq!(r.find(300).unwrap().id, AllocId(1));
+        assert_eq!(r.find(356), None, "gap between allocations");
+        assert_eq!(
+            r.key_for(MemSpace::Global, 512),
+            Some(ObjectKey::Global(AllocId(2)))
+        );
+        assert_eq!(r.key_for(MemSpace::Shared, 4), Some(ObjectKey::Shared));
+        assert_eq!(r.live_count(), 2);
+    }
+
+    #[test]
+    fn free_keeps_metadata() {
+        let mut r = ObjectRegistry::new();
+        let i = info(1, 256, 100, "a");
+        r.on_alloc(&i);
+        r.on_free(&i);
+        assert_eq!(r.find(300), None);
+        let dead = r.info(AllocId(1)).unwrap();
+        assert!(!dead.live);
+        assert_eq!(r.label(ObjectKey::Global(AllocId(1))), "a");
+    }
+
+    #[test]
+    fn label_for_unknown_is_id() {
+        let r = ObjectRegistry::new();
+        assert_eq!(r.label(ObjectKey::Global(AllocId(9))), "obj9");
+        assert_eq!(r.label(ObjectKey::Shared), "shared");
+    }
+}

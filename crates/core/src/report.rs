@@ -1,0 +1,507 @@
+//! Profile output — the GUI stand-in.
+//!
+//! A [`Profile`] bundles everything a ValueExpert session produced:
+//! coarse and fine findings, the value flow graph, traffic counters, the
+//! overhead report, and rendered calling contexts. It serializes to JSON
+//! (for the experiment harness) and renders a human-readable text report
+//! (for the examples).
+
+use crate::coarse::{CoarseTraffic, DuplicateFinding, RedundancyFinding};
+use crate::fine::{FineFinding, FineTraffic};
+use crate::flowgraph::FlowGraph;
+use crate::overhead::OverheadReport;
+use crate::patterns::ValuePattern;
+use crate::races::RaceReport;
+use crate::reuse::ReuseHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use vex_gpu::callpath::CallPathId;
+use vex_trace::CollectorStats;
+
+/// Collector stats mirror that serializes (vex-trace keeps serde out of
+/// its public deps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectorStatsOut {
+    /// Access events recorded.
+    pub events: u64,
+    /// Access events inspected (including block-sampled-out).
+    pub events_checked: u64,
+    /// Device-buffer flushes.
+    pub flushes: u64,
+    /// Bytes flushed device→host.
+    pub bytes_flushed: u64,
+    /// Instrumented launches.
+    pub instrumented_launches: u64,
+    /// Skipped launches.
+    pub skipped_launches: u64,
+}
+
+impl From<CollectorStats> for CollectorStatsOut {
+    fn from(s: CollectorStats) -> Self {
+        CollectorStatsOut {
+            events: s.events,
+            events_checked: s.events_checked,
+            flushes: s.flushes,
+            bytes_flushed: s.bytes_flushed,
+            instrumented_launches: s.instrumented_launches,
+            skipped_launches: s.skipped_launches,
+        }
+    }
+}
+
+/// The complete output of one profiling session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profile {
+    /// Device the application ran on.
+    pub device: String,
+    /// The value flow graph (Def 5.1).
+    pub flow_graph: FlowGraph,
+    /// Redundant-values findings (coarse).
+    pub redundancies: Vec<RedundancyFinding>,
+    /// Duplicate-values findings (coarse).
+    pub duplicates: Vec<DuplicateFinding>,
+    /// Fine-grained findings, merged per GPU API.
+    pub fine_findings: Vec<FineFinding>,
+    /// Reuse-distance histogram, when the analysis was enabled (§9).
+    #[serde(default)]
+    pub reuse: Option<ReuseHistogram>,
+    /// Inter-block race reports, when the analysis was enabled (§9).
+    #[serde(default)]
+    pub races: Vec<RaceReport>,
+    /// Coarse measurement traffic.
+    pub coarse_traffic: CoarseTraffic,
+    /// Fine analysis traffic.
+    pub fine_traffic: FineTraffic,
+    /// Collector traffic.
+    #[serde(
+        serialize_with = "ser_collector",
+        deserialize_with = "de_collector"
+    )]
+    pub collector_stats: CollectorStats,
+    /// Modeled profiling overhead.
+    pub overhead: OverheadReport,
+    /// Rendered calling contexts referenced by findings and vertices.
+    #[serde(
+        serialize_with = "ser_contexts",
+        deserialize_with = "de_contexts"
+    )]
+    pub contexts: BTreeMap<CallPathId, String>,
+    /// The redundancy threshold used (for DOT coloring).
+    pub redundancy_threshold: f64,
+}
+
+fn ser_collector<S: serde::Serializer>(s: &CollectorStats, ser: S) -> Result<S::Ok, S::Error> {
+    CollectorStatsOut::from(*s).serialize(ser)
+}
+
+fn ser_contexts<S: serde::Serializer>(
+    m: &BTreeMap<CallPathId, String>,
+    ser: S,
+) -> Result<S::Ok, S::Error> {
+    // JSON object keys must be strings; flatten to (id, rendering) pairs.
+    let v: Vec<(CallPathId, &String)> = m.iter().map(|(k, s)| (*k, s)).collect();
+    v.serialize(ser)
+}
+
+fn de_contexts<'de, D: serde::Deserializer<'de>>(
+    de: D,
+) -> Result<BTreeMap<CallPathId, String>, D::Error> {
+    let v: Vec<(CallPathId, String)> = Vec::deserialize(de)?;
+    Ok(v.into_iter().collect())
+}
+
+fn de_collector<'de, D: serde::Deserializer<'de>>(de: D) -> Result<CollectorStats, D::Error> {
+    let o = CollectorStatsOut::deserialize(de)?;
+    Ok(CollectorStats {
+        events: o.events,
+        events_checked: o.events_checked,
+        flushes: o.flushes,
+        bytes_flushed: o.bytes_flushed,
+        instrumented_launches: o.instrumented_launches,
+        skipped_launches: o.skipped_launches,
+    })
+}
+
+impl Profile {
+    /// The set of value patterns this profile detected — the row of
+    /// Table 1 for the profiled application.
+    ///
+    /// Following §3.2 ("the single value and single zero patterns are
+    /// special cases of the frequent values pattern"), a detected
+    /// single-zero implies single-value, and a detected single-value
+    /// implies frequent-values.
+    pub fn detected_patterns(&self) -> BTreeSet<ValuePattern> {
+        let mut set = BTreeSet::new();
+        if !self.redundancies.is_empty() {
+            set.insert(ValuePattern::RedundantValues);
+        }
+        if !self.duplicates.is_empty() {
+            set.insert(ValuePattern::DuplicateValues);
+        }
+        for f in &self.fine_findings {
+            for h in &f.hits {
+                set.insert(h.pattern);
+            }
+        }
+        if set.contains(&ValuePattern::SingleZero) {
+            set.insert(ValuePattern::SingleValue);
+        }
+        if set.contains(&ValuePattern::SingleValue) {
+            set.insert(ValuePattern::FrequentValues);
+        }
+        set
+    }
+
+    /// Whether `pattern` was detected anywhere.
+    pub fn has_pattern(&self, pattern: ValuePattern) -> bool {
+        self.detected_patterns().contains(&pattern)
+    }
+
+    /// Redundancy findings sorted by redundant bytes, largest first — the
+    /// "thick red edges first" ordering the paper recommends.
+    pub fn top_redundancies(&self) -> Vec<&RedundancyFinding> {
+        let mut v: Vec<&RedundancyFinding> = self.redundancies.iter().collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.unchanged_bytes));
+        v
+    }
+
+    /// Serializes the profile to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails (it cannot for
+    /// this type in practice).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Renders a human-readable text report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "=== ValueExpert profile ({}) ===", self.device);
+        let _ = writeln!(
+            s,
+            "value flow graph: {} nodes, {} edges",
+            self.flow_graph.vertex_count(),
+            self.flow_graph.edge_count()
+        );
+        let _ = writeln!(
+            s,
+            "overhead: total {:.2}x (coarse {:.2}x, fine {:.2}x) over {:.1} us app time",
+            self.overhead.factor(),
+            self.overhead.coarse_factor(),
+            self.overhead.fine_factor(),
+            self.overhead.app_us
+        );
+
+        let patterns = self.detected_patterns();
+        let _ = writeln!(s, "\ndetected patterns ({}):", patterns.len());
+        for p in &patterns {
+            let _ = writeln!(s, "  - {p}: {}", p.guidance());
+        }
+
+        if !self.redundancies.is_empty() {
+            let _ = writeln!(s, "\nredundant values ({} findings):", self.redundancies.len());
+            for r in self.top_redundancies().iter().take(10) {
+                let ctx = self
+                    .contexts
+                    .get(&r.context)
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>");
+                let _ = writeln!(
+                    s,
+                    "  [{}] {} wrote {} of '{}' unchanged ({:.0}%) at {}",
+                    r.vertex,
+                    r.api,
+                    human_bytes(r.unchanged_bytes),
+                    r.object_label,
+                    r.fraction() * 100.0,
+                    ctx
+                );
+            }
+        }
+        if !self.duplicates.is_empty() {
+            let _ = writeln!(s, "\nduplicate values ({} findings):", self.duplicates.len());
+            for d in self.duplicates.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "  [{}] '{}' == '{}' ({})",
+                    d.vertex,
+                    d.labels.0,
+                    d.labels.1,
+                    human_bytes(d.bytes)
+                );
+            }
+        }
+        if let Some(reuse) = &self.reuse {
+            let _ = writeln!(
+                s,
+                "\nreuse distance: {} accesses, {:.1}% cold; est. miss ratio @4096 lines: {:.1}%",
+                reuse.total,
+                reuse.cold_ratio() * 100.0,
+                reuse.miss_ratio(4096) * 100.0
+            );
+        }
+        if !self.races.is_empty() {
+            let _ = writeln!(s, "\ninter-block races ({}):", self.races.len());
+            for r in self.races.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "  {} in {}: {} addresses (e.g. {:#x}), blocks {} vs {}",
+                    r.kind, r.kernel, r.addresses, r.addr, r.blocks.0, r.blocks.1
+                );
+            }
+        }
+        if !self.fine_findings.is_empty() {
+            let _ = writeln!(s, "\nfine-grained findings ({}):", self.fine_findings.len());
+            for f in self.fine_findings.iter().take(20) {
+                let at = if f.lines.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " [line{} {}]",
+                        if f.lines.len() > 1 { "s" } else { "" },
+                        f.lines.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                    )
+                };
+                for h in &f.hits {
+                    let _ = writeln!(
+                        s,
+                        "  {} / '{}' ({}){}: {} — {}",
+                        f.kernel, f.object, f.direction, at, h.pattern, h.detail
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the profile as a Markdown report (CI-comment friendly).
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "## ValueExpert profile — {}\n", self.device);
+        let _ = writeln!(
+            s,
+            "- value flow graph: **{} nodes / {} edges**",
+            self.flow_graph.vertex_count(),
+            self.flow_graph.edge_count()
+        );
+        let _ = writeln!(
+            s,
+            "- overhead: **{:.2}×** (coarse {:.2}×, fine {:.2}×)",
+            self.overhead.factor(),
+            self.overhead.coarse_factor(),
+            self.overhead.fine_factor()
+        );
+        let patterns = self.detected_patterns();
+        let _ = writeln!(
+            s,
+            "- patterns: {}\n",
+            if patterns.is_empty() {
+                "none".to_owned()
+            } else {
+                patterns.iter().map(|p| format!("`{p}`")).collect::<Vec<_>>().join(", ")
+            }
+        );
+        if !self.redundancies.is_empty() {
+            let _ = writeln!(s, "### Redundant values\n");
+            let _ = writeln!(s, "| API | object | unchanged | of written | context |");
+            let _ = writeln!(s, "|---|---|---|---|---|");
+            for r in self.top_redundancies().iter().take(15) {
+                let ctx = self
+                    .contexts
+                    .get(&r.context)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(
+                    s,
+                    "| `{}` | `{}` | {} | {:.0}% | {} |",
+                    r.api,
+                    r.object_label,
+                    human_bytes(r.unchanged_bytes),
+                    r.fraction() * 100.0,
+                    ctx
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if !self.duplicates.is_empty() {
+            let _ = writeln!(s, "### Duplicate values\n");
+            for d in self.duplicates.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "- `{}` == `{}` ({})",
+                    d.labels.0,
+                    d.labels.1,
+                    human_bytes(d.bytes)
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if !self.fine_findings.is_empty() {
+            let _ = writeln!(s, "### Fine-grained patterns\n");
+            let _ = writeln!(s, "| kernel | object | dir | pattern | evidence |");
+            let _ = writeln!(s, "|---|---|---|---|---|");
+            for f in self.fine_findings.iter().take(25) {
+                for h in &f.hits {
+                    let _ = writeln!(
+                        s,
+                        "| `{}` | `{}` | {} | {} | {} |",
+                        f.kernel, f.object, f.direction, h.pattern, h.detail
+                    );
+                }
+            }
+            let _ = writeln!(s);
+        }
+        if !self.races.is_empty() {
+            let _ = writeln!(s, "### Inter-block races\n");
+            for r in self.races.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "- **{}** in `{}`: {} addresses (blocks {} vs {})",
+                    r.kind, r.kernel, r.addresses, r.blocks.0, r.blocks.1
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+    use crate::flowgraph::VertexId;
+
+    #[test]
+    fn markdown_contains_sections_and_tables() {
+        let p = Profile {
+            device: "TestGPU".into(),
+            flow_graph: FlowGraph::new(),
+            redundancies: vec![RedundancyFinding {
+                vertex: VertexId(1),
+                api: "memset".into(),
+                context: CallPathId(1),
+                object: vex_gpu::alloc::AllocId(1),
+                object_label: "out".into(),
+                written_bytes: 2048,
+                unchanged_bytes: 2048,
+            }],
+            duplicates: Vec::new(),
+            fine_findings: Vec::new(),
+            reuse: None,
+            races: Vec::new(),
+            coarse_traffic: CoarseTraffic::default(),
+            fine_traffic: FineTraffic::default(),
+            collector_stats: CollectorStats::default(),
+            overhead: OverheadReport { fine_us: 0.0, coarse_us: 5.0, app_us: 5.0 },
+            contexts: BTreeMap::from([(CallPathId(1), "main -> init".to_owned())]),
+            redundancy_threshold: 0.33,
+        };
+        let md = p.render_markdown();
+        assert!(md.starts_with("## ValueExpert profile — TestGPU"));
+        assert!(md.contains("### Redundant values"));
+        assert!(md.contains("| `memset` | `out` |"));
+        assert!(md.contains("100%"));
+        assert!(md.contains("`redundant values`"));
+    }
+}
+
+/// Renders a byte count with a binary-prefix unit.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{:.1} {}", v, UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowgraph::VertexId;
+
+    fn sample_profile() -> Profile {
+        Profile {
+            device: "TestGPU".into(),
+            flow_graph: FlowGraph::new(),
+            redundancies: vec![RedundancyFinding {
+                vertex: VertexId(1),
+                api: "memset".into(),
+                context: CallPathId(1),
+                object: vex_gpu::alloc::AllocId(1),
+                object_label: "out".into(),
+                written_bytes: 1024,
+                unchanged_bytes: 1024,
+            }],
+            duplicates: Vec::new(),
+            fine_findings: Vec::new(),
+            reuse: None,
+            races: Vec::new(),
+            coarse_traffic: CoarseTraffic::default(),
+            fine_traffic: FineTraffic::default(),
+            collector_stats: CollectorStats::default(),
+            overhead: OverheadReport { fine_us: 0.0, coarse_us: 10.0, app_us: 10.0 },
+            contexts: BTreeMap::from([(CallPathId(1), "main -> init".to_owned())]),
+            redundancy_threshold: 0.33,
+        }
+    }
+
+    #[test]
+    fn detected_patterns_from_findings() {
+        let p = sample_profile();
+        assert!(p.has_pattern(ValuePattern::RedundantValues));
+        assert!(!p.has_pattern(ValuePattern::SingleZero));
+        assert_eq!(p.detected_patterns().len(), 1);
+    }
+
+    #[test]
+    fn text_render_mentions_finding() {
+        let p = sample_profile();
+        let text = p.render_text();
+        assert!(text.contains("redundant values"));
+        assert!(text.contains("main -> init"));
+        assert!(text.contains("2.00x") || text.contains("overhead"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = sample_profile();
+        let json = p.to_json().unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device, "TestGPU");
+        assert_eq!(back.redundancies.len(), 1);
+        assert_eq!(back.collector_stats, CollectorStats::default());
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(14 * 1024 * 1024 + 256 * 1024), "14.2 MiB");
+    }
+
+    #[test]
+    fn top_redundancies_sorted() {
+        let mut p = sample_profile();
+        p.redundancies.push(RedundancyFinding {
+            vertex: VertexId(2),
+            api: "k".into(),
+            context: CallPathId(1),
+            object: vex_gpu::alloc::AllocId(2),
+            object_label: "big".into(),
+            written_bytes: 10_000,
+            unchanged_bytes: 9_000,
+        });
+        let top = p.top_redundancies();
+        assert_eq!(top[0].object_label, "big");
+    }
+}

@@ -1,0 +1,372 @@
+//! Reuse-distance analysis over the instrumentation stream.
+//!
+//! The paper's conclusion names reuse distance as the next analysis to
+//! offload onto the same fast collection pipeline ("we intend to offload
+//! other important program analyses, such as reuse distance and race
+//! detection, to GPUs"). This module implements the analysis side: a
+//! classic LRU stack-distance computation over [`vex_trace::AccessRecord`]
+//! streams, producing per-object histograms and cache miss-ratio
+//! estimates.
+//!
+//! Algorithm: for each access, the reuse distance is the number of
+//! *distinct* cache lines touched since the previous access to the same
+//! line (∞ for first touches). We keep, per line, the timestamp of its
+//! last access, and a Fenwick tree over timestamps marking which ones are
+//! the *most recent* access of their line; the distance is then a prefix
+//! sum — `O(log N)` per access.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vex_trace::AccessRecord;
+
+/// Binary-indexed tree over access timestamps, growing by doubling.
+/// A shadow value array keeps growth simple: on resize the tree is
+/// rebuilt from the values (amortized O(1) per insert).
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<i64>,
+    vals: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Fenwick { tree: vec![0; 2], vals: vec![0; 2] }
+    }
+
+    fn grow_to(&mut self, i: usize) {
+        if i < self.vals.len() {
+            return;
+        }
+        let new_len = (i + 1).next_power_of_two().max(self.vals.len() * 2);
+        self.vals.resize(new_len, 0);
+        self.tree = vec![0; new_len];
+        for idx in 1..new_len {
+            if self.vals[idx] != 0 {
+                self.add_inner(idx, self.vals[idx]);
+            }
+        }
+    }
+
+    fn add_inner(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Adds `delta` at index `i` (1-based), growing as needed.
+    fn add(&mut self, i: usize, delta: i64) {
+        self.grow_to(i);
+        self.vals[i] += delta;
+        self.add_inner(i, delta);
+    }
+
+    /// Sum of `[1, i]`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        let mut s = 0i64;
+        i = i.min(self.tree.len() - 1);
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of `(i, end]`.
+    fn suffix_after(&self, i: usize) -> u64 {
+        (self.prefix(self.tree.len() - 1) - self.prefix(i)).max(0) as u64
+    }
+}
+
+/// Power-of-two bucketed reuse-distance histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    /// `buckets[k]` counts accesses with distance in
+    /// `[2^k - 1, 2^(k+1) - 2]`, i.e. `floor(log2(d + 1)) == k`; bucket 0
+    /// holds exactly distance 0.
+    pub buckets: Vec<u64>,
+    /// First touches (infinite distance).
+    pub cold: u64,
+    /// Total accesses.
+    pub total: u64,
+}
+
+impl ReuseHistogram {
+    /// Bucket index for a distance: `floor(log2(d + 1))`, so bucket 0
+    /// holds exactly distance 0 (the only distance that always hits).
+    fn bucket_of(distance: u64) -> usize {
+        (63 - (distance + 1).leading_zeros()) as usize
+    }
+
+    /// Inclusive distance range `[lo, hi]` of bucket `k`.
+    fn bucket_range(k: usize) -> (u64, u64) {
+        ((1u64 << k) - 1, (1u64 << (k + 1)) - 2)
+    }
+
+    fn record(&mut self, distance: u64) {
+        self.total += 1;
+        let bucket = Self::bucket_of(distance);
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    fn record_cold(&mut self) {
+        self.total += 1;
+        self.cold += 1;
+    }
+
+    /// Estimated miss ratio of a fully associative LRU cache holding
+    /// `lines` cache lines: accesses with distance ≥ `lines` (plus cold
+    /// misses) miss. Buckets straddling the cache size are apportioned
+    /// linearly.
+    pub fn miss_ratio(&self, lines: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut misses = self.cold as f64;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            let (lo, hi) = Self::bucket_range(k);
+            if lo >= lines {
+                misses += count as f64;
+            } else if hi >= lines {
+                // Distances lines..=hi of this bucket miss.
+                let frac = (hi - lines + 1) as f64 / (hi - lo + 1) as f64;
+                misses += count as f64 * frac;
+            }
+        }
+        misses / self.total as f64
+    }
+
+    /// Fraction of accesses that were first touches.
+    pub fn cold_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / self.total as f64
+        }
+    }
+}
+
+/// Streaming reuse-distance analyzer at cache-line granularity.
+///
+/// ```rust
+/// use vex_core::reuse::ReuseAnalyzer;
+/// let mut a = ReuseAnalyzer::new(64);
+/// for pass in 0..2 {
+///     let _ = pass;
+///     for line in 0..8u64 {
+///         a.access(line * 64);
+///     }
+/// }
+/// let h = a.finish();
+/// assert_eq!(h.cold, 8);                     // first pass
+/// assert_eq!(h.miss_ratio(16), 0.5);         // second pass hits in 16 lines
+/// ```
+#[derive(Debug)]
+pub struct ReuseAnalyzer {
+    line_bytes: u64,
+    /// line -> timestamp of last access (1-based).
+    last_access: HashMap<u64, usize>,
+    /// Marks timestamps that are the latest access of their line.
+    live: Fenwick,
+    clock: usize,
+    histogram: ReuseHistogram,
+}
+
+impl ReuseAnalyzer {
+    /// Creates an analyzer with the given cache-line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero or not a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "cache line size must be a nonzero power of two"
+        );
+        ReuseAnalyzer {
+            line_bytes,
+            last_access: HashMap::new(),
+            live: Fenwick::new(),
+            clock: 0,
+            histogram: ReuseHistogram::default(),
+        }
+    }
+
+    /// Feeds one address (any access width within one line).
+    pub fn access(&mut self, addr: u64) {
+        let line = addr / self.line_bytes;
+        self.clock += 1;
+        let t = self.clock;
+        match self.last_access.insert(line, t) {
+            None => {
+                self.histogram.record_cold();
+            }
+            Some(prev) => {
+                // Distinct lines touched since prev = live marks in (prev, t).
+                let distance = self.live.suffix_after(prev);
+                self.histogram.record(distance);
+                self.live.add(prev, -1);
+            }
+        }
+        self.live.add(t, 1);
+    }
+
+    /// Feeds one instrumentation record.
+    pub fn record(&mut self, rec: &AccessRecord) {
+        self.access(rec.addr);
+    }
+
+    /// The accumulated histogram.
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.histogram
+    }
+
+    /// Distinct lines observed.
+    pub fn footprint_lines(&self) -> usize {
+        self.last_access.len()
+    }
+
+    /// Consumes the analyzer, returning the histogram.
+    pub fn finish(self) -> ReuseHistogram {
+        self.histogram
+    }
+}
+
+/// Reference implementation: naive O(N²) stack distance, used by tests.
+#[cfg(test)]
+fn naive_distances(lines: &[u64]) -> Vec<Option<u64>> {
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, &l) in lines.iter().enumerate() {
+        let prev = lines[..i].iter().rposition(|&p| p == l);
+        match prev {
+            None => out.push(None),
+            Some(p) => {
+                let distinct: std::collections::HashSet<u64> =
+                    lines[p + 1..i].iter().copied().collect();
+                out.push(Some(distinct.len() as u64));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn distances(addrs: &[u64]) -> (ReuseHistogram, Vec<Option<u64>>) {
+        let mut a = ReuseAnalyzer::new(1);
+        for &x in addrs {
+            a.access(x);
+        }
+        (a.finish(), naive_distances(addrs))
+    }
+
+    #[test]
+    fn sequential_scan_is_all_cold() {
+        let addrs: Vec<u64> = (0..100).collect();
+        let (h, _) = distances(&addrs);
+        assert_eq!(h.cold, 100);
+        assert_eq!(h.total, 100);
+        assert_eq!(h.cold_ratio(), 1.0);
+        assert_eq!(h.miss_ratio(1024), 1.0);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let (h, _) = distances(&[5, 5, 5, 5]);
+        assert_eq!(h.cold, 1);
+        assert_eq!(h.buckets[0], 3); // distance 0 → bucket 0
+        assert_eq!(h.miss_ratio(1), 0.25, "only the cold miss");
+    }
+
+    #[test]
+    fn cyclic_scan_distance_equals_working_set() {
+        // Repeating 0..8 twice: second round distances are all 7.
+        let addrs: Vec<u64> = (0..8).chain(0..8).collect();
+        let mut a = ReuseAnalyzer::new(1);
+        for &x in &addrs {
+            a.access(x);
+        }
+        let h = a.finish();
+        assert_eq!(h.cold, 8);
+        // distance 7 → bucket 3 (d+1 = 8).
+        assert_eq!(h.buckets[3], 8);
+        // A cache of 8 lines captures the cycle; 4 lines does not.
+        assert!(h.miss_ratio(8) < h.miss_ratio(4));
+        assert_eq!(h.miss_ratio(4), 1.0);
+        assert_eq!(h.miss_ratio(16), 0.5, "only the 8 cold misses");
+    }
+
+    #[test]
+    fn line_granularity_coalesces() {
+        let mut a = ReuseAnalyzer::new(64);
+        a.access(0);
+        a.access(4); // same 64B line: distance 0
+        a.access(100); // new line
+        a.access(32); // line 0 again, distance 1
+        let h = a.histogram().clone();
+        assert_eq!(h.cold, 2);
+        assert_eq!(a.footprint_lines(), 2);
+        assert_eq!(h.buckets[0], 1); // the distance-0 access
+        assert_eq!(h.buckets[1], 1); // the distance-1 access (d+1 = 2)
+    }
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        let mut h = ReuseHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(7);
+        h.record(8);
+        assert_eq!(h.buckets[0], 1); // {0}
+        assert_eq!(h.buckets[1], 2); // {1, 2}
+        assert_eq!(h.buckets[2], 2); // {3..6}: 3, 4
+        assert_eq!(h.buckets[3], 2); // {7..14}: 7, 8
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive_reference(addrs in prop::collection::vec(0u64..64, 1..300)) {
+            let mut fast = ReuseAnalyzer::new(1);
+            for &a in &addrs {
+                fast.access(a);
+            }
+            let h = fast.finish();
+            let naive = naive_distances(&addrs);
+            let naive_cold = naive.iter().filter(|d| d.is_none()).count() as u64;
+            prop_assert_eq!(h.cold, naive_cold);
+            // Compare bucketed counts.
+            let mut ref_hist = ReuseHistogram::default();
+            for d in naive.iter().flatten() {
+                ref_hist.record(*d);
+            }
+            prop_assert_eq!(h.buckets, ref_hist.buckets);
+        }
+
+        #[test]
+        fn prop_miss_ratio_monotone_in_cache_size(
+            addrs in prop::collection::vec(0u64..128, 1..200)
+        ) {
+            let mut a = ReuseAnalyzer::new(1);
+            for &x in &addrs {
+                a.access(x);
+            }
+            let h = a.finish();
+            let mut prev = 1.0f64;
+            for lines in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+                let m = h.miss_ratio(lines);
+                prop_assert!(m <= prev + 1e-9, "miss ratio must not grow with cache size");
+                prop_assert!((0.0..=1.0).contains(&m));
+                prev = m;
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Kernel filtering and hierarchical sampling (§6.2).
+//!
+//! Fine-grained analysis is expensive, so ValueExpert supports:
+//!
+//! * **filtering** — instrument only user-specified kernels (by name),
+//!   typically the hot kernels found by a cheap first pass;
+//! * **hierarchical sampling** — instrument every *P*-th launch of each
+//!   kernel (kernel sampling period), and within an instrumented launch
+//!   analyze every *Q*-th thread block (block sampling period), exploiting
+//!   the observation that value patterns repeat across iterations and
+//!   blocks.
+//!
+//! Both plug into [`vex_trace::LaunchFilter`]; block sampling is a
+//! predicate on access records applied by the analyzers.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use vex_gpu::hooks::LaunchInfo;
+use vex_trace::LaunchFilter;
+
+/// Instruments only kernels whose name contains one of the given
+/// substrings (CUDA kernel names are mangled, so substring matching is
+/// the practical interface real tools expose).
+#[derive(Debug)]
+pub struct KernelNameFilter {
+    needles: Vec<String>,
+}
+
+impl KernelNameFilter {
+    /// Creates a filter matching any of `names` as substrings.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        KernelNameFilter {
+            needles: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Whether `kernel_name` matches the filter.
+    pub fn matches(&self, kernel_name: &str) -> bool {
+        self.needles.iter().any(|n| kernel_name.contains(n.as_str()))
+    }
+}
+
+impl LaunchFilter for KernelNameFilter {
+    fn accept(&self, info: &LaunchInfo) -> bool {
+        self.matches(&info.kernel_name)
+    }
+}
+
+/// Hierarchical sampler: accepts launch number 0, P, 2P, … of each kernel
+/// independently (per-kernel counters), optionally composed with a name
+/// filter.
+///
+/// ```rust
+/// use vex_core::sampling::{HierarchicalSampler, KernelNameFilter};
+/// let sampler = HierarchicalSampler::new(20)
+///     .with_name_filter(KernelNameFilter::new(["gemm"]));
+/// assert_eq!(sampler.kernel_period(), 20);
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalSampler {
+    kernel_period: u64,
+    counters: Mutex<HashMap<String, u64>>,
+    name_filter: Option<KernelNameFilter>,
+}
+
+impl HierarchicalSampler {
+    /// Creates a sampler instrumenting every `kernel_period`-th launch of
+    /// each kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_period` is zero.
+    pub fn new(kernel_period: u64) -> Self {
+        assert!(kernel_period > 0, "kernel sampling period must be nonzero");
+        HierarchicalSampler {
+            kernel_period,
+            counters: Mutex::new(HashMap::new()),
+            name_filter: None,
+        }
+    }
+
+    /// Restricts sampling to kernels matching `filter`.
+    #[must_use]
+    pub fn with_name_filter(mut self, filter: KernelNameFilter) -> Self {
+        self.name_filter = Some(filter);
+        self
+    }
+
+    /// The sampling period.
+    pub fn kernel_period(&self) -> u64 {
+        self.kernel_period
+    }
+}
+
+impl LaunchFilter for HierarchicalSampler {
+    fn accept(&self, info: &LaunchInfo) -> bool {
+        if let Some(f) = &self.name_filter {
+            if !f.matches(&info.kernel_name) {
+                return false;
+            }
+        }
+        let mut counters = self.counters.lock();
+        let c = counters.entry(info.kernel_name.clone()).or_insert(0);
+        let accept = (*c).is_multiple_of(self.kernel_period);
+        *c += 1;
+        accept
+    }
+}
+
+/// Block-level sampling predicate: analyze blocks `0, Q, 2Q, …`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSampler {
+    period: u32,
+}
+
+impl BlockSampler {
+    /// Creates a block sampler with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "block sampling period must be nonzero");
+        BlockSampler { period }
+    }
+
+    /// Whether records from `block` are analyzed.
+    pub fn keep(&self, block: u32) -> bool {
+        block.is_multiple_of(self.period)
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Fraction of blocks analyzed for a grid of `blocks` blocks.
+    pub fn coverage(&self, blocks: u32) -> f64 {
+        if blocks == 0 {
+            return 0.0;
+        }
+        let kept = blocks.div_ceil(self.period);
+        kept as f64 / blocks as f64
+    }
+}
+
+impl Default for BlockSampler {
+    fn default() -> Self {
+        BlockSampler { period: 1 }
+    }
+}
+
+/// Accepts kernels by exact names collected during a discovery pass; used
+/// by the recommended workflow (coarse pass first, then fine on the hot
+/// kernels).
+#[derive(Debug, Default)]
+pub struct KernelSet {
+    names: HashSet<String>,
+}
+
+impl KernelSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a kernel name.
+    pub fn insert(&mut self, name: impl Into<String>) {
+        self.names.insert(name.into());
+    }
+
+    /// Number of kernels in the set.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl LaunchFilter for KernelSet {
+    fn accept(&self, info: &LaunchInfo) -> bool {
+        self.names.contains(&info.kernel_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vex_gpu::callpath::CallPathId;
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::hooks::LaunchId;
+    use vex_gpu::ir::InstrTable;
+    use vex_gpu::stream::StreamId;
+
+    fn info(name: &str) -> LaunchInfo {
+        LaunchInfo {
+            launch: LaunchId(0),
+            kernel_name: name.to_owned(),
+            grid: Dim3::linear(1),
+            block: Dim3::linear(1),
+            shared_bytes: 0,
+            context: CallPathId::ROOT,
+            stream: StreamId::DEFAULT,
+            instr_table: Arc::new(InstrTable::new()),
+        }
+    }
+
+    #[test]
+    fn name_filter_substring_match() {
+        let f = KernelNameFilter::new(["gemm", "conv"]);
+        assert!(f.accept(&info("volta_sgemm_128x64")));
+        assert!(f.accept(&info("conv2d_forward")));
+        assert!(!f.accept(&info("fill_kernel")));
+    }
+
+    #[test]
+    fn sampler_period() {
+        let s = HierarchicalSampler::new(3);
+        let pattern: Vec<bool> = (0..9).map(|_| s.accept(&info("k"))).collect();
+        assert_eq!(
+            pattern,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn sampler_counts_per_kernel() {
+        let s = HierarchicalSampler::new(2);
+        assert!(s.accept(&info("a"))); // a#0
+        assert!(s.accept(&info("b"))); // b#0 — independent counter
+        assert!(!s.accept(&info("a"))); // a#1
+        assert!(!s.accept(&info("b"))); // b#1
+        assert!(s.accept(&info("a"))); // a#2
+    }
+
+    #[test]
+    fn sampler_with_name_filter() {
+        let s = HierarchicalSampler::new(1).with_name_filter(KernelNameFilter::new(["hot"]));
+        assert!(s.accept(&info("hot_kernel")));
+        assert!(!s.accept(&info("cold_kernel")));
+    }
+
+    #[test]
+    fn block_sampler() {
+        let b = BlockSampler::new(20);
+        assert!(b.keep(0));
+        assert!(!b.keep(1));
+        assert!(b.keep(40));
+        assert!((b.coverage(100) - 0.05).abs() < 1e-9);
+        assert_eq!(BlockSampler::default().period(), 1);
+        assert!(BlockSampler::default().keep(7));
+    }
+
+    #[test]
+    fn kernel_set() {
+        let mut s = KernelSet::new();
+        assert!(s.is_empty());
+        s.insert("histo_kernel");
+        assert_eq!(s.len(), 1);
+        assert!(s.accept(&info("histo_kernel")));
+        assert!(!s.accept(&info("histo")));
+    }
+}

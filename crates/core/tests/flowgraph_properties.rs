@@ -1,0 +1,163 @@
+//! Property-based tests over the value flow graph: construction
+//! invariants under arbitrary access sequences, and the closure
+//! properties of the Def 5.2 / Def 5.3 subgraph analyses.
+
+use proptest::prelude::*;
+use vex_core::flowgraph::{AccessKind, FlowGraph, VertexKind};
+use vex_gpu::alloc::AllocId;
+use vex_gpu::callpath::CallPathId;
+
+/// One step of a random graph-construction trace.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Allocate object `o` at a fresh alloc vertex.
+    Alloc(u8),
+    /// API `v` reads object `o`.
+    Read(u8, u8),
+    /// API `v` writes object `o` (with some redundant bytes).
+    Write(u8, u8, u16),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..6).prop_map(Step::Alloc),
+        (0u8..8, 0u8..6).prop_map(|(v, o)| Step::Read(v, o)),
+        (0u8..8, 0u8..6, 0u16..512).prop_map(|(v, o, r)| Step::Write(v, o, r)),
+    ]
+}
+
+fn build(steps: &[Step]) -> FlowGraph {
+    let mut g = FlowGraph::new();
+    let mut allocated = [false; 6];
+    for s in steps {
+        match *s {
+            Step::Alloc(o) => {
+                if !allocated[o as usize] {
+                    let v = g.intern_vertex(
+                        VertexKind::Alloc,
+                        &format!("obj{o}"),
+                        CallPathId(100 + o as u32),
+                    );
+                    g.set_initial_writer(AllocId(o as u64), v);
+                    allocated[o as usize] = true;
+                }
+            }
+            Step::Read(v, o) => {
+                if allocated[o as usize] {
+                    let vid =
+                        g.intern_vertex(VertexKind::Kernel, &format!("k{v}"), CallPathId(v as u32));
+                    g.record_access(vid, AllocId(o as u64), AccessKind::Read, 1024, 0);
+                }
+            }
+            Step::Write(v, o, red) => {
+                if allocated[o as usize] {
+                    let vid =
+                        g.intern_vertex(VertexKind::Kernel, &format!("k{v}"), CallPathId(v as u32));
+                    g.record_access(
+                        vid,
+                        AllocId(o as u64),
+                        AccessKind::Write,
+                        1024,
+                        red as u64,
+                    );
+                }
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Every edge endpoint is a vertex of the graph; redundancy never
+    /// exceeds accessed bytes; edge counts are consistent.
+    #[test]
+    fn construction_invariants(steps in prop::collection::vec(step(), 0..80)) {
+        let g = build(&steps);
+        for (from, to, _obj, data) in g.edges() {
+            prop_assert!(g.vertex(from).is_some(), "dangling source {from}");
+            prop_assert!(g.vertex(to).is_some(), "dangling target {to}");
+            prop_assert!(data.redundant_bytes <= data.bytes);
+            prop_assert!(data.reads + data.writes >= 1);
+            prop_assert!((0.0..=1.0).contains(&data.redundancy()));
+        }
+        // The host vertex always exists.
+        prop_assert!(g.vertex(g.host_vertex()).is_some());
+    }
+
+    /// A vertex slice is a subgraph: its vertices/edges all exist in the
+    /// full graph, every kept edge is on a path through the slice target's
+    /// objects, and slicing is idempotent in size.
+    #[test]
+    fn vertex_slice_is_a_subgraph(steps in prop::collection::vec(step(), 0..80)) {
+        let g = build(&steps);
+        for v in g.vertices().map(|v| v.id).collect::<Vec<_>>() {
+            let slice = g.vertex_slice(v);
+            prop_assert!(slice.vertex_count() <= g.vertex_count());
+            prop_assert!(slice.edge_count() <= g.edge_count());
+            let full_edges: Vec<_> = g.edges().map(|(f, t, o, _)| (f, t, o)).collect();
+            for (f, t, o, _) in slice.edges() {
+                prop_assert!(full_edges.contains(&(f, t, o)), "invented edge");
+            }
+        }
+    }
+
+    /// Important-graph thresholds are monotone: raising the edge threshold
+    /// never adds edges, and threshold 0 keeps everything.
+    #[test]
+    fn important_graph_monotone(steps in prop::collection::vec(step(), 0..80)) {
+        let g = build(&steps);
+        let all = g.important(0, u64::MAX);
+        prop_assert_eq!(all.edge_count(), g.edge_count());
+        let mut prev = usize::MAX;
+        for threshold in [0u64, 512, 1024, 4096, 1 << 20] {
+            let pruned = g.important(threshold, u64::MAX);
+            prop_assert!(pruned.edge_count() <= prev);
+            prev = pruned.edge_count();
+            // Every kept edge meets the threshold.
+            for (_, _, _, d) in pruned.edges() {
+                prop_assert!(d.bytes >= threshold);
+            }
+        }
+    }
+
+    /// Last-writer chaining: after any trace, an object's last writer is
+    /// the most recent writer (or its alloc vertex if never written).
+    #[test]
+    fn last_writer_tracks_most_recent_write(steps in prop::collection::vec(step(), 0..80)) {
+        let g = build(&steps);
+        // Recompute expected last writers by replaying the trace.
+        let mut expected: std::collections::HashMap<u8, String> = Default::default();
+        let mut allocated = [false; 6];
+        for s in &steps {
+            match *s {
+                Step::Alloc(o) if !allocated[o as usize] => {
+                    allocated[o as usize] = true;
+                    expected.insert(o, format!("obj{o}"));
+                }
+                Step::Write(v, o, _) if allocated[o as usize] => {
+                    expected.insert(o, format!("k{v}"));
+                }
+                _ => {}
+            }
+        }
+        for (o, name) in expected {
+            let writer = g.last_writer(AllocId(o as u64)).expect("allocated object");
+            prop_assert_eq!(&g.vertex(writer).unwrap().name, &name);
+        }
+    }
+
+    /// DOT export is syntactically sane for arbitrary graphs.
+    #[test]
+    fn dot_always_wellformed(steps in prop::collection::vec(step(), 0..60)) {
+        let g = build(&steps);
+        let dot = g.to_dot(0.33);
+        prop_assert!(dot.starts_with("digraph"));
+        let ends_with_brace = dot.trim_end().ends_with('}');
+        prop_assert!(ends_with_brace);
+        let opens = dot.matches('[').count();
+        let closes = dot.matches(']').count();
+        prop_assert_eq!(opens, closes);
+        // One node line per vertex, one edge line per edge.
+        prop_assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+}

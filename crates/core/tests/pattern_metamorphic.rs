@@ -1,0 +1,126 @@
+//! Metamorphic properties of the pattern recognizers: transformations of
+//! the access stream that must (or must not) change the detected
+//! patterns.
+
+use proptest::prelude::*;
+use vex_core::access_type::DecodedValue;
+use vex_core::patterns::{PatternConfig, PatternHit, ValuePattern, ValueStats};
+use vex_gpu::ir::ScalarType;
+
+fn stats_of(pairs: &[(u64, f64)], ty: ScalarType) -> Vec<PatternHit> {
+    let mut s = ValueStats::new(PatternConfig::default());
+    for &(addr, v) in pairs {
+        let bits = match ty {
+            ScalarType::F32 => (v as f32).to_bits() as u64,
+            ScalarType::F64 => v.to_bits(),
+            _ => v as i64 as u64,
+        };
+        s.record(addr, DecodedValue::from_bits(ty, bits));
+    }
+    s.patterns()
+}
+
+fn names(hits: &[PatternHit]) -> Vec<ValuePattern> {
+    let mut v: Vec<ValuePattern> = hits.iter().map(|h| h.pattern).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    /// Permutation invariance: recognizers see a multiset of
+    /// (address, value) pairs — stream order must not matter.
+    #[test]
+    fn order_does_not_matter(
+        mut pairs in prop::collection::vec((0u64..4096, -50i64..50), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let base: Vec<(u64, f64)> =
+            pairs.iter().map(|&(a, v)| (a, v as f64)).collect();
+        // Deterministic shuffle.
+        let mut x = seed | 1;
+        for i in (1..pairs.len()).rev() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            pairs.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let shuffled: Vec<(u64, f64)> =
+            pairs.iter().map(|&(a, v)| (a, v as f64)).collect();
+        prop_assert_eq!(
+            names(&stats_of(&base, ScalarType::S32)),
+            names(&stats_of(&shuffled, ScalarType::S32))
+        );
+    }
+
+    /// Translation invariance of structured detection: adding a constant
+    /// to every address preserves perfect linear correlation.
+    #[test]
+    fn structured_survives_address_translation(offset in 0u64..1_000_000) {
+        let affine: Vec<(u64, f64)> =
+            (0..64u64).map(|i| (i * 4, i as f64 * 3.0 + 7.0)).collect();
+        let translated: Vec<(u64, f64)> =
+            affine.iter().map(|&(a, v)| (a + offset, v)).collect();
+        let a = names(&stats_of(&affine, ScalarType::S32));
+        let b = names(&stats_of(&translated, ScalarType::S32));
+        prop_assert!(a.contains(&ValuePattern::StructuredValues));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Negating the slope keeps structured detection (|r| is used).
+    #[test]
+    fn structured_sign_insensitive(slope in 1i64..100) {
+        let up: Vec<(u64, f64)> =
+            (0..64u64).map(|i| (i * 8, (i as i64 * slope) as f64)).collect();
+        let down: Vec<(u64, f64)> =
+            (0..64u64).map(|i| (i * 8, (-(i as i64) * slope) as f64)).collect();
+        prop_assert!(names(&stats_of(&up, ScalarType::S32))
+            .contains(&ValuePattern::StructuredValues));
+        prop_assert!(names(&stats_of(&down, ScalarType::S32))
+            .contains(&ValuePattern::StructuredValues));
+    }
+
+    /// Duplicating the whole stream never changes the verdicts (fractions
+    /// and distinct counts are scale-free).
+    #[test]
+    fn duplication_is_idempotent(
+        pairs in prop::collection::vec((0u64..512, 0i64..8), 1..100)
+    ) {
+        let base: Vec<(u64, f64)> =
+            pairs.iter().map(|&(a, v)| (a, v as f64)).collect();
+        let mut doubled = base.clone();
+        doubled.extend_from_slice(&base);
+        prop_assert_eq!(
+            names(&stats_of(&base, ScalarType::U32)),
+            names(&stats_of(&doubled, ScalarType::U32))
+        );
+    }
+
+    /// Heavy-type detection is threshold-exact: values up to the u8 max
+    /// stay demotable; one value beyond it kills the u8 verdict.
+    #[test]
+    fn heavy_type_boundary(extra in 256i64..100_000) {
+        let small: Vec<(u64, f64)> =
+            (0..64u64).map(|i| (i * 4, (i % 200) as f64)).collect();
+        let hits = stats_of(&small, ScalarType::S32);
+        prop_assert!(names(&hits).contains(&ValuePattern::HeavyType));
+
+        let mut with_big = small.clone();
+        with_big.push((4096, extra as f64));
+        let hits2 = stats_of(&with_big, ScalarType::S32);
+        // Might still demote to u16/s16 for extra < 32768 — but never u8.
+        for h in &hits2 {
+            if h.pattern == ValuePattern::HeavyType {
+                prop_assert!(!h.detail.contains("fit u8"), "{}", h.detail);
+            }
+        }
+    }
+
+    /// Zeroing every value turns any stream into single-zero.
+    #[test]
+    fn zeroing_forces_single_zero(
+        addrs in prop::collection::vec(0u64..4096, 1..100)
+    ) {
+        let zeroed: Vec<(u64, f64)> = addrs.iter().map(|&a| (a, 0.0)).collect();
+        let hits = stats_of(&zeroed, ScalarType::F32);
+        prop_assert!(names(&hits).contains(&ValuePattern::SingleZero));
+        prop_assert!(!names(&hits).contains(&ValuePattern::FrequentValues));
+    }
+}

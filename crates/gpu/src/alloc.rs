@@ -1,0 +1,303 @@
+//! A first-fit free-list allocator over device global memory.
+//!
+//! ValueExpert tracks the *life cycle* of every data object: allocation
+//! context, starting address, and size (§5.1 of the paper). The allocator
+//! therefore assigns every allocation a stable [`AllocId`] and keeps enough
+//! metadata to answer "which live object contains address X?" queries,
+//! which the profiler performs on every access event.
+
+use crate::callpath::CallPathId;
+use crate::error::GpuError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of one device allocation (unique within one [`Allocator`]'s
+/// lifetime; never reused even after `free`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AllocId(pub u64);
+
+impl std::fmt::Display for AllocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Metadata of one device allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationInfo {
+    /// Stable identifier.
+    pub id: AllocId,
+    /// First byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// User-supplied label (e.g. the variable name, like `l.output_gpu`).
+    pub label: String,
+    /// Calling context of the allocation site.
+    pub context: CallPathId,
+    /// Whether the allocation is still live.
+    pub live: bool,
+}
+
+impl AllocationInfo {
+    /// Whether `addr` falls inside this allocation.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.addr + self.size
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.size
+    }
+}
+
+/// Byte written into freshly allocated memory. Real GPU memory is
+/// uninitialized; a recognizable poison pattern keeps workloads honest
+/// (reading it produces obviously-garbage values rather than zeros).
+pub const POISON_BYTE: u8 = 0xCD;
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    addr: u64,
+    size: u64,
+}
+
+/// First-fit allocator with coalescing free.
+#[derive(Debug)]
+pub struct Allocator {
+    /// Free blocks ordered by address.
+    free: Vec<FreeBlock>,
+    /// Live allocations by start address.
+    by_addr: BTreeMap<u64, AllocId>,
+    /// All allocations ever made (the profiler needs dead objects too).
+    infos: BTreeMap<AllocId, AllocationInfo>,
+    next_id: u64,
+    capacity: u64,
+    in_use: u64,
+    /// Alignment of every allocation, in bytes (CUDA guarantees 256).
+    align: u64,
+}
+
+impl Allocator {
+    /// Creates an allocator over `[base, base+capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero (address 0 is reserved for null) or
+    /// `capacity` is zero.
+    pub fn new(base: u64, capacity: u64) -> Self {
+        assert!(base > 0, "allocator base must leave address 0 unused");
+        assert!(capacity > 0, "capacity must be nonzero");
+        Allocator {
+            free: vec![FreeBlock { addr: base, size: capacity }],
+            by_addr: BTreeMap::new(),
+            infos: BTreeMap::new(),
+            next_id: 1,
+            capacity,
+            in_use: 0,
+            align: 256,
+        }
+    }
+
+    /// Total free bytes (possibly fragmented).
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Allocates `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::ZeroSize`] for zero-size requests and
+    /// [`GpuError::OutOfMemory`] when no free block fits.
+    pub fn alloc(
+        &mut self,
+        size: u64,
+        label: &str,
+        context: CallPathId,
+    ) -> Result<AllocationInfo, GpuError> {
+        if size == 0 {
+            return Err(GpuError::ZeroSize);
+        }
+        let rounded = size.div_ceil(self.align) * self.align;
+        let slot = self
+            .free
+            .iter()
+            .position(|b| b.size >= rounded)
+            .ok_or(GpuError::OutOfMemory {
+                requested: size,
+                free: self.free_bytes(),
+            })?;
+        let block = self.free[slot];
+        if block.size == rounded {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = FreeBlock {
+                addr: block.addr + rounded,
+                size: block.size - rounded,
+            };
+        }
+        self.in_use += rounded;
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        let info = AllocationInfo {
+            id,
+            addr: block.addr,
+            size,
+            label: label.to_owned(),
+            context,
+            live: true,
+        };
+        self.by_addr.insert(block.addr, id);
+        self.infos.insert(id, info.clone());
+        Ok(info)
+    }
+
+    /// Frees the allocation starting at `addr`, coalescing neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidFree`] if `addr` is not the start of a
+    /// live allocation.
+    pub fn free(&mut self, addr: u64) -> Result<AllocationInfo, GpuError> {
+        let id = self
+            .by_addr
+            .remove(&addr)
+            .ok_or(GpuError::InvalidFree { addr })?;
+        let info = {
+            let info = self.infos.get_mut(&id).expect("by_addr/infos in sync");
+            info.live = false;
+            info.clone()
+        };
+        let rounded = info.size.div_ceil(self.align) * self.align;
+        self.in_use -= rounded;
+        // Insert the freed block keeping `free` address-sorted, then coalesce.
+        let pos = self.free.partition_point(|b| b.addr < addr);
+        self.free.insert(pos, FreeBlock { addr, size: rounded });
+        self.coalesce(pos);
+        Ok(info)
+    }
+
+    fn coalesce(&mut self, pos: usize) {
+        // Try to merge with the following block first, then the preceding.
+        if pos + 1 < self.free.len()
+            && self.free[pos].addr + self.free[pos].size == self.free[pos + 1].addr
+        {
+            self.free[pos].size += self.free[pos + 1].size;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].addr + self.free[pos - 1].size == self.free[pos].addr {
+            self.free[pos - 1].size += self.free[pos].size;
+            self.free.remove(pos);
+        }
+    }
+
+    /// Metadata for allocation `id` (live or freed).
+    pub fn info(&self, id: AllocId) -> Option<&AllocationInfo> {
+        self.infos.get(&id)
+    }
+
+    /// The live allocation containing `addr`, if any.
+    pub fn find_containing(&self, addr: u64) -> Option<&AllocationInfo> {
+        let (_, id) = self.by_addr.range(..=addr).next_back()?;
+        let info = &self.infos[id];
+        info.contains(addr).then_some(info)
+    }
+
+    /// The live allocation *starting at* `addr`, if any.
+    pub fn find_exact(&self, addr: u64) -> Option<&AllocationInfo> {
+        self.by_addr.get(&addr).map(|id| &self.infos[id])
+    }
+
+    /// Iterates over all live allocations in address order.
+    pub fn live_allocations(&self) -> impl Iterator<Item = &AllocationInfo> {
+        self.by_addr.values().map(move |id| &self.infos[id])
+    }
+
+    /// Iterates over every allocation ever made, in id order.
+    pub fn all_allocations(&self) -> impl Iterator<Item = &AllocationInfo> {
+        self.infos.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CallPathId {
+        CallPathId::ROOT
+    }
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut a = Allocator::new(256, 4096);
+        let x = a.alloc(100, "x", ctx()).unwrap();
+        let y = a.alloc(100, "y", ctx()).unwrap();
+        assert_ne!(x.addr, y.addr);
+        assert_eq!(x.addr % 256, 0);
+        a.free(x.addr).unwrap();
+        let z = a.alloc(50, "z", ctx()).unwrap();
+        // First-fit: reuses the freed hole.
+        assert_eq!(z.addr, x.addr);
+        assert_ne!(z.id, x.id, "ids are never reused");
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut a = Allocator::new(256, 1024);
+        assert!(a.alloc(2048, "big", ctx()).is_err());
+        let e = a.alloc(0, "zero", ctx());
+        assert_eq!(e, Err(GpuError::ZeroSize));
+    }
+
+    #[test]
+    fn invalid_free() {
+        let mut a = Allocator::new(256, 1024);
+        let x = a.alloc(16, "x", ctx()).unwrap();
+        assert!(a.free(x.addr + 1).is_err());
+        a.free(x.addr).unwrap();
+        assert_eq!(a.free(x.addr), Err(GpuError::InvalidFree { addr: x.addr }));
+    }
+
+    #[test]
+    fn coalescing_restores_capacity() {
+        let mut a = Allocator::new(256, 4096);
+        let xs: Vec<_> = (0..4).map(|i| a.alloc(256, &format!("b{i}"), ctx()).unwrap()).collect();
+        for x in &xs {
+            a.free(x.addr).unwrap();
+        }
+        // After freeing everything we can allocate the whole arena again.
+        assert!(a.alloc(4096, "all", ctx()).is_ok());
+    }
+
+    #[test]
+    fn find_containing() {
+        let mut a = Allocator::new(256, 4096);
+        let x = a.alloc(100, "x", ctx()).unwrap();
+        assert_eq!(a.find_containing(x.addr + 50).unwrap().id, x.id);
+        assert_eq!(a.find_containing(x.addr + 100), None, "past logical size");
+        assert!(a.find_exact(x.addr).is_some());
+        assert!(a.find_exact(x.addr + 1).is_none());
+        a.free(x.addr).unwrap();
+        assert!(a.find_containing(x.addr + 50).is_none());
+        // Dead object metadata still queryable by id.
+        assert!(!a.info(x.id).unwrap().live);
+    }
+
+    #[test]
+    fn live_allocations_in_address_order() {
+        let mut a = Allocator::new(256, 8192);
+        let x = a.alloc(256, "x", ctx()).unwrap();
+        let y = a.alloc(256, "y", ctx()).unwrap();
+        a.free(x.addr).unwrap();
+        let z = a.alloc(256, "z", ctx()).unwrap(); // lands in x's hole
+        let addrs: Vec<u64> = a.live_allocations().map(|i| i.addr).collect();
+        assert_eq!(addrs, vec![z.addr, y.addr]);
+        assert!(addrs[0] < addrs[1]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Grid and block dimensions, mirroring CUDA's `dim3`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A three-dimensional extent used for grids and thread blocks.
+///
+/// All components are at least 1; [`Dim3::new`] validates this.
+///
+/// ```rust
+/// use vex_gpu::dim::Dim3;
+/// let g = Dim3::new(4, 2, 1);
+/// assert_eq!(g.count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying).
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a new extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is zero.
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "Dim3 components must be nonzero");
+        Dim3 { x, y, z }
+    }
+
+    /// A one-dimensional extent `(x, 1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is zero.
+    pub fn linear(x: u32) -> Self {
+        Dim3::new(x, 1, 1)
+    }
+
+    /// A two-dimensional extent `(x, y, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is zero.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3::new(x, y, 1)
+    }
+
+    /// Total number of positions in the extent.
+    pub fn count(&self) -> usize {
+        self.x as usize * self.y as usize * self.z as usize
+    }
+
+    /// Flattens a coordinate inside this extent to a linear index
+    /// (x fastest-varying, matching CUDA's thread numbering).
+    pub fn flatten(&self, x: u32, y: u32, z: u32) -> usize {
+        debug_assert!(x < self.x && y < self.y && z < self.z);
+        (z as usize * self.y as usize + y as usize) * self.x as usize + x as usize
+    }
+
+    /// Inverse of [`Dim3::flatten`].
+    pub fn unflatten(&self, idx: usize) -> (u32, u32, u32) {
+        debug_assert!(idx < self.count());
+        let x = (idx % self.x as usize) as u32;
+        let rest = idx / self.x as usize;
+        let y = (rest % self.y as usize) as u32;
+        let z = (rest / self.y as usize) as u32;
+        (x, y, z)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::linear(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::new(x, y, z)
+    }
+}
+
+/// Computes the number of 1-D blocks needed to cover `n` items with
+/// `block_size` threads per block (CUDA's common `(n + b - 1) / b` idiom).
+///
+/// ```rust
+/// use vex_gpu::dim::blocks_for;
+/// assert_eq!(blocks_for(1000, 256), 4);
+/// assert_eq!(blocks_for(0, 256), 1); // always launch at least one block
+/// ```
+pub fn blocks_for(n: usize, block_size: u32) -> u32 {
+    assert!(block_size > 0, "block size must be nonzero");
+    let b = n.div_ceil(block_size as usize).max(1);
+    u32::try_from(b).expect("grid too large")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let d = Dim3::new(3, 4, 5);
+        for i in 0..d.count() {
+            let (x, y, z) = d.unflatten(i);
+            assert_eq!(d.flatten(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn x_fastest_varying() {
+        let d = Dim3::new(4, 4, 1);
+        assert_eq!(d.flatten(1, 0, 0), 1);
+        assert_eq!(d.flatten(0, 1, 0), 4);
+    }
+
+    #[test]
+    fn count_matches_product() {
+        assert_eq!(Dim3::new(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::linear(7).count(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_component_panics() {
+        let _ = Dim3::new(0, 1, 1);
+    }
+
+    #[test]
+    fn blocks_for_covers() {
+        assert_eq!(blocks_for(1, 32), 1);
+        assert_eq!(blocks_for(32, 32), 1);
+        assert_eq!(blocks_for(33, 32), 2);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(5u32), Dim3::linear(5));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::xy(2, 3));
+        assert_eq!(Dim3::from((2u32, 3u32, 4u32)), Dim3::new(2, 3, 4));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulated GPU runtime.
+///
+/// These mirror the failure modes of the CUDA runtime API that a profiler
+/// must survive: allocation failure, invalid device pointers, out-of-bounds
+/// transfers, and misuse of the allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpuError {
+    /// The device allocator could not satisfy a request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free on the device (possibly fragmented).
+        free: u64,
+    },
+    /// A device pointer does not fall inside any live allocation.
+    InvalidPointer {
+        /// The offending address.
+        addr: u64,
+    },
+    /// An access (copy, set, load, or store) extends past the end of device
+    /// memory or of the addressed allocation.
+    OutOfBounds {
+        /// Start address of the access.
+        addr: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// End of the valid region that was exceeded.
+        limit: u64,
+    },
+    /// `free` was called on an address that is not the start of a live
+    /// allocation.
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// A zero-byte allocation or transfer was requested where the runtime
+    /// requires a positive size.
+    ZeroSize,
+    /// A launch configuration is invalid (e.g. more threads per block than
+    /// the device supports).
+    InvalidLaunch {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} bytes, {free} free")
+            }
+            GpuError::InvalidPointer { addr } => {
+                write!(f, "invalid device pointer {addr:#x}")
+            }
+            GpuError::OutOfBounds { addr, len, limit } => {
+                write!(
+                    f,
+                    "access [{addr:#x}, {:#x}) exceeds limit {limit:#x}",
+                    addr.saturating_add(*len)
+                )
+            }
+            GpuError::InvalidFree { addr } => {
+                write!(f, "free of non-allocation address {addr:#x}")
+            }
+            GpuError::ZeroSize => write!(f, "zero-size request"),
+            GpuError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+        }
+    }
+}
+
+impl Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpuError::OutOfMemory { requested: 100, free: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = GpuError::OutOfBounds { addr: 0x10, len: 0x10, limit: 0x18 };
+        assert!(e.to_string().contains("0x18"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_good<T: Error + Send + Sync + 'static>() {}
+        assert_good::<GpuError>();
+    }
+}

@@ -1,0 +1,291 @@
+//! Observation interfaces: API interception and per-access instrumentation.
+//!
+//! Two hook families mirror the paper's two collection mechanisms:
+//!
+//! * [`ApiHook`] — invoked before and after every runtime API call
+//!   (allocation, memory copy, memory set, kernel launch), with a read-only
+//!   [`DeviceView`] of device memory and the allocation table. This is the
+//!   equivalent of overloading the `cudaMemcpy`/`cudaMemset`/launch entry
+//!   points, and is what the *coarse-grained* collector uses to capture
+//!   value snapshots.
+//! * [`MemAccessHook`] — invoked on every memory load and store executed by
+//!   a kernel, carrying PC, address, width, raw bits, and thread
+//!   coordinates. This is the equivalent of the Sanitizer API's
+//!   per-instruction callbacks, used by the *fine-grained* collector.
+//!
+//! Hooks take `&self`; implementations use interior mutability so a single
+//! hook object can be registered for both roles and shared with the
+//! analysis side.
+
+use crate::alloc::AllocationInfo;
+use crate::callpath::CallPathId;
+use crate::dim::Dim3;
+use crate::exec::LaunchStats;
+use crate::ir::{InstrTable, MemSpace, Pc};
+use crate::memory::DevicePtr;
+use crate::stream::StreamId;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Identifier of one kernel launch (monotonic per runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LaunchId(pub u64);
+
+impl std::fmt::Display for LaunchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "launch{}", self.0)
+    }
+}
+
+/// Read-only view of device state offered to hooks.
+pub trait DeviceView {
+    /// Reads `dst.len()` bytes of device memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::GpuError::OutOfBounds`] for invalid ranges.
+    fn read(&self, addr: u64, dst: &mut [u8]) -> Result<(), crate::error::GpuError>;
+
+    /// Copies `[addr, addr+len)` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::GpuError::OutOfBounds`] for invalid ranges.
+    fn read_vec(&self, addr: u64, len: u64) -> Result<Vec<u8>, crate::error::GpuError> {
+        let mut v = vec![0u8; usize::try_from(len).expect("read too large")];
+        self.read(addr, &mut v)?;
+        Ok(v)
+    }
+
+    /// The live allocation containing `addr`, if any.
+    fn find_allocation(&self, addr: u64) -> Option<AllocationInfo>;
+
+    /// All live allocations, in address order.
+    fn live_allocations(&self) -> Vec<AllocationInfo>;
+}
+
+/// What a runtime API invocation did. Pointers and sizes are the arguments
+/// the application passed; allocation identities can be recovered through
+/// the [`DeviceView`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ApiKind {
+    /// `cudaMalloc`-equivalent; carries the resulting allocation.
+    Malloc {
+        /// The new allocation.
+        info: AllocationInfo,
+    },
+    /// `cudaFree`-equivalent.
+    Free {
+        /// The allocation being released.
+        info: AllocationInfo,
+    },
+    /// Host-to-device copy.
+    MemcpyH2D {
+        /// Destination device pointer.
+        dst: DevicePtr,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// Device-to-host copy.
+    MemcpyD2H {
+        /// Source device pointer.
+        src: DevicePtr,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// Device-to-device copy.
+    MemcpyD2D {
+        /// Destination device pointer.
+        dst: DevicePtr,
+        /// Source device pointer.
+        src: DevicePtr,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// `cudaMemset`-equivalent.
+    Memset {
+        /// Destination device pointer.
+        dst: DevicePtr,
+        /// Fill byte.
+        value: u8,
+        /// Bytes set.
+        bytes: u64,
+    },
+    /// Kernel launch; detailed configuration is in the associated
+    /// [`LaunchInfo`] delivered to [`MemAccessHook::on_launch_begin`].
+    KernelLaunch {
+        /// Launch identifier.
+        launch: LaunchId,
+        /// Kernel name.
+        name: String,
+    },
+}
+
+impl ApiKind {
+    /// Short lowercase tag for display ("malloc", "memcpy_h2d", ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ApiKind::Malloc { .. } => "malloc",
+            ApiKind::Free { .. } => "free",
+            ApiKind::MemcpyH2D { .. } => "memcpy_h2d",
+            ApiKind::MemcpyD2H { .. } => "memcpy_d2h",
+            ApiKind::MemcpyD2D { .. } => "memcpy_d2d",
+            ApiKind::Memset { .. } => "memset",
+            ApiKind::KernelLaunch { .. } => "kernel",
+        }
+    }
+}
+
+/// One intercepted API invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiEvent {
+    /// Monotonic sequence number over all API calls of the runtime.
+    pub seq: u64,
+    /// What the call did.
+    pub kind: ApiKind,
+    /// Interned CPU calling context of the call site.
+    pub context: CallPathId,
+    /// Stream the operation was enqueued on.
+    pub stream: StreamId,
+}
+
+/// Whether a hook is being called before or after the API executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiPhase {
+    /// The API has not executed yet (device state is the "before" state).
+    Before,
+    /// The API has completed (device state is the "after" state).
+    After,
+}
+
+/// Observer of runtime API invocations.
+pub trait ApiHook: Send + Sync {
+    /// Called before and after each API invocation.
+    fn on_api(&self, phase: ApiPhase, event: &ApiEvent, view: &dyn DeviceView);
+}
+
+/// One memory access executed by a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Launch this access belongs to.
+    pub launch: LaunchId,
+    /// Static program counter of the instruction.
+    pub pc: Pc,
+    /// Address space.
+    pub space: MemSpace,
+    /// Address (global address for [`MemSpace::Global`]; byte offset within
+    /// the block's shared memory for [`MemSpace::Shared`]).
+    pub addr: u64,
+    /// Access width in bytes (1..=8).
+    pub size: u8,
+    /// True for stores.
+    pub is_store: bool,
+    /// Raw value bits, little-endian in the low `size` bytes. For loads the
+    /// value read; for stores the value written.
+    pub bits: u64,
+    /// Flat block index within the grid.
+    pub block: u32,
+    /// Flat thread index within the block.
+    pub thread: u32,
+    /// True when the access is one half of a hardware atomic
+    /// read-modify-write (race detectors must not flag atomics).
+    pub is_atomic: bool,
+}
+
+impl AccessEvent {
+    /// Warp index of the accessing thread within its block (32 threads per
+    /// warp, as on all NVIDIA GPUs this tool targets).
+    pub fn warp(&self) -> u32 {
+        self.thread / 32
+    }
+
+    /// Lane of the accessing thread within its warp.
+    pub fn lane(&self) -> u32 {
+        self.thread % 32
+    }
+
+    /// Half-open address interval `[addr, addr+size)` touched.
+    pub fn interval(&self) -> (u64, u64) {
+        (self.addr, self.addr + self.size as u64)
+    }
+}
+
+/// Static configuration of one kernel launch, delivered to access hooks.
+#[derive(Debug, Clone)]
+pub struct LaunchInfo {
+    /// Launch identifier.
+    pub launch: LaunchId,
+    /// Kernel name.
+    pub kernel_name: String,
+    /// Grid dimensions.
+    pub grid: Dim3,
+    /// Block dimensions.
+    pub block: Dim3,
+    /// Shared memory bytes per block.
+    pub shared_bytes: u64,
+    /// Calling context of the launch site.
+    pub context: CallPathId,
+    /// Stream of the launch.
+    pub stream: StreamId,
+    /// The kernel's instruction table (mini-SASS) for offline analysis.
+    pub instr_table: Arc<InstrTable>,
+}
+
+/// Observer of kernel memory traffic, the Sanitizer-API equivalent.
+///
+/// `on_launch_begin` may return `false` to decline instrumentation of this
+/// launch entirely (kernel filtering / sampling); in that case no
+/// `on_access` callbacks fire for it, and `on_launch_end` still fires with
+/// `instrumented = false`.
+pub trait MemAccessHook: Send + Sync {
+    /// A kernel is about to run. Return `false` to skip instrumenting it.
+    fn on_launch_begin(&self, _info: &LaunchInfo) -> bool {
+        true
+    }
+
+    /// One memory access was executed.
+    fn on_access(&self, event: &AccessEvent);
+
+    /// The kernel finished. `view` shows post-kernel device memory.
+    fn on_launch_end(
+        &self,
+        _info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _instrumented: bool,
+        _view: &dyn DeviceView,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_and_lane() {
+        let ev = AccessEvent {
+            launch: LaunchId(0),
+            pc: Pc(0),
+            space: MemSpace::Global,
+            addr: 256,
+            size: 4,
+            is_store: false,
+            bits: 0,
+            block: 0,
+            thread: 70,
+            is_atomic: false,
+        };
+        assert_eq!(ev.warp(), 2);
+        assert_eq!(ev.lane(), 6);
+        assert_eq!(ev.interval(), (256, 260));
+    }
+
+    #[test]
+    fn api_kind_tags() {
+        let k = ApiKind::Memset { dst: DevicePtr(256), value: 0, bytes: 4 };
+        assert_eq!(k.tag(), "memset");
+        let k = ApiKind::KernelLaunch { launch: LaunchId(3), name: "k".into() };
+        assert_eq!(k.tag(), "kernel");
+    }
+}

@@ -1,0 +1,104 @@
+//! Host-side byte-view helpers for plain-old-data numeric slices.
+//!
+//! The runtime's memory copy APIs move raw bytes, exactly like
+//! `cudaMemcpy`. These helpers let workloads pass `&[f32]`/`&[i32]`/…
+//! buffers without hand-rolled serialization loops.
+
+/// Marker for types that are valid for any bit pattern and contain no
+/// padding, so reinterpreting slices of them as bytes (and back) is sound.
+///
+/// This trait is sealed: it is implemented exactly for the fixed-width
+/// numeric primitives and cannot be implemented downstream.
+pub trait Pod: private::Sealed + Copy + 'static {}
+
+mod private {
+    pub trait Sealed {}
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(
+            impl private::Sealed for $t {}
+            impl Pod for $t {}
+        )*
+    };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Views a slice of POD values as bytes (native endianness).
+///
+/// ```rust
+/// let v = [1.0f32, 2.0];
+/// assert_eq!(vex_gpu::host::as_bytes(&v).len(), 8);
+/// ```
+pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
+    // SAFETY: T is sealed to fixed-width numeric primitives: no padding,
+    // no invalid bit patterns, and alignment of u8 (1) is never stricter.
+    unsafe {
+        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
+    }
+}
+
+/// Views a mutable slice of POD values as bytes (native endianness).
+pub fn as_bytes_mut<T: Pod>(slice: &mut [T]) -> &mut [u8] {
+    // SAFETY: as in `as_bytes`; additionally any byte pattern written is a
+    // valid T because T is sealed to primitives valid for all bit patterns.
+    unsafe {
+        std::slice::from_raw_parts_mut(
+            slice.as_mut_ptr().cast::<u8>(),
+            std::mem::size_of_val(slice),
+        )
+    }
+}
+
+/// Copies a byte buffer into a freshly allocated `Vec<T>`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+pub fn from_bytes<T: Pod + Default>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        bytes.len().is_multiple_of(size),
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    let mut out = vec![T::default(); bytes.len() / size];
+    as_bytes_mut(&mut out).copy_from_slice(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f32() {
+        let v = [1.5f32, -2.25, 0.0, f32::INFINITY];
+        let b = as_bytes(&v);
+        let back: Vec<f32> = from_bytes(b);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_i64() {
+        let v = [i64::MIN, -1, 0, i64::MAX];
+        let back: Vec<i64> = from_bytes(as_bytes(&v));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn mutation_through_bytes() {
+        let mut v = [0u32; 2];
+        as_bytes_mut(&mut v)[0] = 0xFF;
+        assert_eq!(v[0], 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_length_panics() {
+        let _: Vec<u32> = from_bytes(&[0u8; 7]);
+    }
+}

@@ -1,0 +1,513 @@
+//! A miniature kernel IR standing in for SASS.
+//!
+//! The real ValueExpert disassembles GPU binaries and runs a *bidirectional
+//! slicing* over def-use chains to recover the **access type** (value type,
+//! width, vector count) of each memory instruction; raw bits captured at run
+//! time can only be interpreted once the access type is known (a `STG.64`
+//! may store two `f32`s or one `f64`).
+//!
+//! Our kernels are Rust closures, so instead of disassembling machine code
+//! each [`crate::kernel::Kernel`] publishes an [`InstrTable`]: a list of
+//! instructions with program counters, opcodes, register defs/uses, and —
+//! crucially — memory instructions whose scalar type may be *unknown*. The
+//! offline analyzer (`vex-core::access_type`) runs the same slicing
+//! algorithm over this table that the paper runs over SASS.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A virtual program counter inside one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:04}", self.0)
+    }
+}
+
+/// A virtual register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Floating-point operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FloatWidth {
+    /// 32-bit IEEE 754.
+    F32,
+    /// 64-bit IEEE 754.
+    F64,
+}
+
+/// Integer operand width (bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntWidth {
+    /// 8-bit.
+    I8,
+    /// 16-bit.
+    I16,
+    /// 32-bit.
+    I32,
+    /// 64-bit.
+    I64,
+}
+
+impl IntWidth {
+    /// Width in bits.
+    pub fn bits(self) -> u8 {
+        match self {
+            IntWidth::I8 => 8,
+            IntWidth::I16 => 16,
+            IntWidth::I32 => 32,
+            IntWidth::I64 => 64,
+        }
+    }
+}
+
+/// The scalar interpretation of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// Signed integers by width.
+    S8,
+    /// 16-bit signed integer.
+    S16,
+    /// 32-bit signed integer.
+    S32,
+    /// 64-bit signed integer.
+    S64,
+    /// 8-bit unsigned integer.
+    U8,
+    /// 16-bit unsigned integer.
+    U16,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 64-bit unsigned integer.
+    U64,
+}
+
+impl ScalarType {
+    /// Size of one scalar in bytes.
+    pub fn size_bytes(self) -> u8 {
+        match self {
+            ScalarType::S8 | ScalarType::U8 => 1,
+            ScalarType::S16 | ScalarType::U16 => 2,
+            ScalarType::F32 | ScalarType::S32 | ScalarType::U32 => 4,
+            ScalarType::F64 | ScalarType::S64 | ScalarType::U64 => 8,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// Whether the type is a signed integer type.
+    pub fn is_signed_int(self) -> bool {
+        matches!(
+            self,
+            ScalarType::S8 | ScalarType::S16 | ScalarType::S32 | ScalarType::S64
+        )
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::F32 => "f32",
+            ScalarType::F64 => "f64",
+            ScalarType::S8 => "s8",
+            ScalarType::S16 => "s16",
+            ScalarType::S32 => "s32",
+            ScalarType::S64 => "s64",
+            ScalarType::U8 => "u8",
+            ScalarType::U16 => "u16",
+            ScalarType::U32 => "u32",
+            ScalarType::U64 => "u64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which address space a memory instruction touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Device global memory (allocated through the runtime).
+    Global,
+    /// Per-block shared memory.
+    Shared,
+}
+
+/// Static description of a memory instruction's access.
+///
+/// `ty == None` models the common SASS situation where the load/store
+/// encodes only a *width*, not a type — the slicer must recover the type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessDecl {
+    /// Total access width in bytes (1, 2, 4, 8, or 16).
+    pub width_bytes: u8,
+    /// Address space.
+    pub space: MemSpace,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Declared scalar type, if the "binary" encodes one.
+    pub ty: Option<ScalarType>,
+    /// Number of scalars per access (vectorized accesses have `> 1`).
+    pub vector: u8,
+}
+
+/// Opcodes of the miniature ISA. Arithmetic opcodes carry the operand type
+/// information that the slicer propagates onto untyped memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Opcode {
+    /// Global/shared load; access details live in [`Instruction::access`].
+    Ld,
+    /// Global/shared store.
+    St,
+    /// Floating add.
+    FAdd(FloatWidth),
+    /// Floating multiply.
+    FMul(FloatWidth),
+    /// Fused multiply-add.
+    FFma(FloatWidth),
+    /// Integer add.
+    IAdd(IntWidth),
+    /// Integer multiply-add.
+    IMad(IntWidth),
+    /// Bitwise logic (type-neutral: propagates but does not originate types).
+    Lop,
+    /// Register move (type-neutral).
+    Mov,
+    /// Convert between scalar types.
+    Cvt {
+        /// Source type.
+        from: ScalarType,
+        /// Destination type.
+        to: ScalarType,
+    },
+    /// Compare, produces a predicate.
+    Setp(ScalarType),
+    /// Branch (no defs/uses of interest).
+    Bra,
+    /// Kernel exit.
+    Exit,
+}
+
+impl Opcode {
+    /// The scalar type this opcode *originates* for its operands, if any.
+    /// Type-neutral opcodes (`Mov`, `Lop`, `Ld`, `St`, `Bra`, `Exit`) return
+    /// `None`; `Cvt` is handled specially by the slicer because its source
+    /// and destination differ.
+    pub fn operand_type(&self) -> Option<ScalarType> {
+        match self {
+            Opcode::FAdd(FloatWidth::F32)
+            | Opcode::FMul(FloatWidth::F32)
+            | Opcode::FFma(FloatWidth::F32) => Some(ScalarType::F32),
+            Opcode::FAdd(FloatWidth::F64)
+            | Opcode::FMul(FloatWidth::F64)
+            | Opcode::FFma(FloatWidth::F64) => Some(ScalarType::F64),
+            Opcode::IAdd(w) | Opcode::IMad(w) => Some(match w {
+                IntWidth::I8 => ScalarType::S8,
+                IntWidth::I16 => ScalarType::S16,
+                IntWidth::I32 => ScalarType::S32,
+                IntWidth::I64 => ScalarType::S64,
+            }),
+            Opcode::Setp(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// One instruction of the miniature ISA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Virtual program counter (unique within a kernel).
+    pub pc: Pc,
+    /// Opcode.
+    pub op: Opcode,
+    /// Destination register, if the instruction defines one.
+    pub dst: Option<Reg>,
+    /// Source registers.
+    pub srcs: Vec<Reg>,
+    /// Memory access description for `Ld`/`St` opcodes.
+    pub access: Option<AccessDecl>,
+    /// Optional source line for line mapping (offline analyzer output).
+    pub line: Option<u32>,
+}
+
+/// The static instruction table of one kernel — our stand-in for its SASS.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstrTable {
+    instrs: BTreeMap<Pc, Instruction>,
+}
+
+impl InstrTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction with the same PC was already added.
+    pub fn push(&mut self, instr: Instruction) {
+        let pc = instr.pc;
+        let prev = self.instrs.insert(pc, instr);
+        assert!(prev.is_none(), "duplicate instruction at {pc}");
+    }
+
+    /// Looks up the instruction at `pc`.
+    pub fn get(&self, pc: Pc) -> Option<&Instruction> {
+        self.instrs.get(&pc)
+    }
+
+    /// Iterates instructions in PC order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
+        self.instrs.values()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Memory instructions (loads and stores) in PC order.
+    pub fn memory_instrs(&self) -> impl Iterator<Item = &Instruction> {
+        self.iter().filter(|i| i.access.is_some())
+    }
+}
+
+/// Fluent builder for [`InstrTable`], used by workload kernels.
+///
+/// The builder auto-assigns registers so simple chains can be declared
+/// succinctly; kernels needing precise def-use graphs can use
+/// [`InstrTableBuilder::instr`] directly.
+#[derive(Debug, Default)]
+pub struct InstrTableBuilder {
+    table: InstrTable,
+    next_reg: u16,
+    last_pc: Option<Pc>,
+}
+
+impl InstrTableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn push(&mut self, instr: Instruction) {
+        self.last_pc = Some(instr.pc);
+        self.table.push(instr);
+    }
+
+    /// Adds a typed load of one scalar of `ty` from `space` at `pc`.
+    #[must_use]
+    pub fn load(mut self, pc: Pc, ty: ScalarType, space: MemSpace) -> Self {
+        let dst = self.fresh_reg();
+        self.push(Instruction {
+            pc,
+            op: Opcode::Ld,
+            dst: Some(dst),
+            srcs: vec![],
+            access: Some(AccessDecl {
+                width_bytes: ty.size_bytes(),
+                space,
+                is_store: false,
+                ty: Some(ty),
+                vector: 1,
+            }),
+            line: None,
+        });
+        self
+    }
+
+    /// Adds an *untyped* load of `width_bytes` (the slicer must recover the
+    /// type from surrounding arithmetic).
+    #[must_use]
+    pub fn load_untyped(mut self, pc: Pc, width_bytes: u8, space: MemSpace) -> Self {
+        let dst = self.fresh_reg();
+        self.push(Instruction {
+            pc,
+            op: Opcode::Ld,
+            dst: Some(dst),
+            srcs: vec![],
+            access: Some(AccessDecl {
+                width_bytes,
+                space,
+                is_store: false,
+                ty: None,
+                vector: 1,
+            }),
+            line: None,
+        });
+        self
+    }
+
+    /// Adds a typed store of one scalar of `ty` to `space` at `pc`.
+    #[must_use]
+    pub fn store(mut self, pc: Pc, ty: ScalarType, space: MemSpace) -> Self {
+        let src = self.fresh_reg();
+        self.push(Instruction {
+            pc,
+            op: Opcode::St,
+            dst: None,
+            srcs: vec![src],
+            access: Some(AccessDecl {
+                width_bytes: ty.size_bytes(),
+                space,
+                is_store: true,
+                ty: Some(ty),
+                vector: 1,
+            }),
+            line: None,
+        });
+        self
+    }
+
+    /// Adds an untyped store of `width_bytes`.
+    #[must_use]
+    pub fn store_untyped(mut self, pc: Pc, width_bytes: u8, space: MemSpace) -> Self {
+        let src = self.fresh_reg();
+        self.push(Instruction {
+            pc,
+            op: Opcode::St,
+            dst: None,
+            srcs: vec![src],
+            access: Some(AccessDecl {
+                width_bytes,
+                space,
+                is_store: true,
+                ty: None,
+                vector: 1,
+            }),
+            line: None,
+        });
+        self
+    }
+
+    /// Adds a non-memory instruction with fresh registers.
+    #[must_use]
+    pub fn op(mut self, pc: Pc, op: Opcode) -> Self {
+        let dst = self.fresh_reg();
+        self.push(Instruction {
+            pc,
+            op,
+            dst: Some(dst),
+            srcs: vec![],
+            access: None,
+            line: None,
+        });
+        self
+    }
+
+    /// Adds an arbitrary instruction verbatim.
+    #[must_use]
+    pub fn instr(mut self, instr: Instruction) -> Self {
+        self.push(instr);
+        self
+    }
+
+    /// Attaches a source line to the most recently added instruction
+    /// (the debugging-section line mapping of a real binary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been added yet.
+    #[must_use]
+    pub fn at_line(mut self, line: u32) -> Self {
+        let pc = self.last_pc.expect("at_line requires a preceding instruction");
+        self.table
+            .instrs
+            .get_mut(&pc)
+            .expect("last_pc tracks pushed instructions")
+            .line = Some(line);
+        self
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> InstrTable {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_unique_pcs_and_regs() {
+        let t = InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .op(Pc(1), Opcode::FMul(FloatWidth::F32))
+            .store(Pc(2), ScalarType::F32, MemSpace::Global)
+            .build();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.memory_instrs().count(), 2);
+        let ld = t.get(Pc(0)).unwrap();
+        assert!(!ld.access.unwrap().is_store);
+        assert_eq!(ld.access.unwrap().ty, Some(ScalarType::F32));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_pc_panics() {
+        let _ = InstrTableBuilder::new()
+            .op(Pc(0), Opcode::Mov)
+            .op(Pc(0), Opcode::Mov)
+            .build();
+    }
+
+    #[test]
+    fn scalar_type_sizes() {
+        assert_eq!(ScalarType::F64.size_bytes(), 8);
+        assert_eq!(ScalarType::U8.size_bytes(), 1);
+        assert!(ScalarType::F32.is_float());
+        assert!(ScalarType::S16.is_signed_int());
+        assert!(!ScalarType::U32.is_signed_int());
+    }
+
+    #[test]
+    fn opcode_operand_types() {
+        assert_eq!(
+            Opcode::FFma(FloatWidth::F64).operand_type(),
+            Some(ScalarType::F64)
+        );
+        assert_eq!(Opcode::IAdd(IntWidth::I32).operand_type(), Some(ScalarType::S32));
+        assert_eq!(Opcode::Mov.operand_type(), None);
+        assert_eq!(Opcode::Ld.operand_type(), None);
+    }
+
+    #[test]
+    fn untyped_load_has_no_type() {
+        let t = InstrTableBuilder::new()
+            .load_untyped(Pc(0), 8, MemSpace::Global)
+            .build();
+        let a = t.get(Pc(0)).unwrap().access.unwrap();
+        assert_eq!(a.ty, None);
+        assert_eq!(a.width_bytes, 8);
+    }
+}

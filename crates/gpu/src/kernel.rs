@@ -1,0 +1,88 @@
+//! The kernel abstraction.
+
+use crate::exec::{BlockCtx, ThreadCtx};
+use crate::ir::InstrTable;
+
+/// A GPU kernel.
+///
+/// A kernel supplies two views of itself:
+///
+/// * **behaviour** — [`Kernel::execute`], run once per thread of the launch
+///   grid against a [`ThreadCtx`] that performs (and instruments) its
+///   memory accesses; and
+/// * **a static "binary"** — [`Kernel::instr_table`], the miniature-SASS
+///   instruction table the offline analyzer consumes. Every `Pc` a kernel
+///   passes to [`ThreadCtx::load`]/[`ThreadCtx::store`] should appear in
+///   the table with a matching width, so the profiler's access-type
+///   analysis agrees with the dynamic stream.
+///
+/// Kernels that need block-level phase synchronization (the effect of
+/// `__syncthreads()` between producer and consumer phases) override
+/// [`Kernel::execute_block`] and run each phase as a separate sweep over
+/// the block's threads.
+pub trait Kernel {
+    /// Kernel (mangled or source) name; used for filtering and reporting.
+    fn name(&self) -> &str;
+
+    /// The kernel's static instruction table.
+    fn instr_table(&self) -> InstrTable;
+
+    /// Per-thread behaviour.
+    fn execute(&self, ctx: &mut ThreadCtx<'_>);
+
+    /// Per-block behaviour; the default runs [`Kernel::execute`] for every
+    /// thread of the block in ascending flat-thread order.
+    fn execute_block(&self, blk: &mut BlockCtx<'_>) {
+        blk.for_each_thread(|ctx| self.execute(ctx));
+    }
+
+    /// Shared memory bytes to allocate per block.
+    fn shared_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim3;
+    use crate::exec::run_launch;
+    use crate::hooks::LaunchId;
+    use crate::ir::{InstrTableBuilder, MemSpace, Pc, ScalarType};
+    use crate::memory::GlobalMemory;
+
+    struct WriteId;
+    impl Kernel for WriteId {
+        fn name(&self) -> &str {
+            "write_id"
+        }
+        fn instr_table(&self) -> InstrTable {
+            InstrTableBuilder::new()
+                .store(Pc(0), ScalarType::U32, MemSpace::Global)
+                .build()
+        }
+        fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+            let i = ctx.global_thread_id() as u64;
+            ctx.store::<u32>(Pc(0), 256 + i * 4, ctx.global_thread_id() as u32);
+        }
+    }
+
+    #[test]
+    fn default_execute_block_covers_all_threads() {
+        let mut mem = GlobalMemory::new(4096);
+        let stats = run_launch(
+            &WriteId,
+            Dim3::linear(2),
+            Dim3::linear(4),
+            &mut mem,
+            &[],
+            false,
+            LaunchId(0),
+        );
+        assert_eq!(stats.threads, 8);
+        assert_eq!(stats.stores, 8);
+        for i in 0..8u64 {
+            assert_eq!(mem.read_bits(256 + i * 4, 4).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! # vex-gpu — a deterministic SIMT GPU simulator
+//!
+//! This crate is the hardware substrate for the ValueExpert reproduction.
+//! It models the parts of a CUDA-capable system that a *value profiler*
+//! observes:
+//!
+//! * a device with global memory, an allocator, and streams
+//!   ([`runtime::Runtime`]),
+//! * a CUDA-like API surface (`malloc` / `memcpy` / `memset` / kernel
+//!   launch) whose every invocation can be intercepted by [`hooks::ApiHook`]
+//!   observers — the moral equivalent of overloading the CUDA runtime,
+//! * SIMT kernel execution over a grid of blocks of threads
+//!   ([`kernel::Kernel`], [`exec::ThreadCtx`]) where every memory load and
+//!   store emits an [`hooks::AccessEvent`] to registered
+//!   [`hooks::MemAccessHook`]s — the moral equivalent of the NVIDIA
+//!   Sanitizer API's per-instruction callbacks,
+//! * a miniature kernel IR ([`ir`]) standing in for SASS so that binary
+//!   analyses (access-type slicing) have something to chew on, and
+//! * an analytic timing model ([`timing`]) with presets for the two GPUs of
+//!   the paper's evaluation (RTX 2080 Ti and A100) so that optimization
+//!   experiments report first-order-faithful simulated times.
+//!
+//! Determinism: given the same program, the simulator produces the same
+//! access streams, the same memory contents, and the same simulated times on
+//! every run. Threads within a launch execute in a fixed order (block-major,
+//! then thread-major), which serializes the SIMT semantics; data races in
+//! kernels therefore resolve deterministically rather than being detected.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use vex_gpu::prelude::*;
+//!
+//! // A kernel that doubles a float array.
+//! struct Double { data: DevicePtr, n: usize }
+//! impl Kernel for Double {
+//!     fn name(&self) -> &str { "double" }
+//!     fn instr_table(&self) -> InstrTable {
+//!         InstrTableBuilder::new()
+//!             .load(Pc(0), ScalarType::F32, MemSpace::Global)
+//!             .op(Pc(1), Opcode::FMul(FloatWidth::F32))
+//!             .store(Pc(2), ScalarType::F32, MemSpace::Global)
+//!             .build()
+//!     }
+//!     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+//!         let i = ctx.global_thread_id();
+//!         if i < self.n {
+//!             let addr = self.data.offset((i * 4) as u64).addr();
+//!             let v: f32 = ctx.load(Pc(0), addr);
+//!             ctx.flops(Precision::F32, 1);
+//!             ctx.store(Pc(2), addr, v * 2.0);
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), GpuError> {
+//! let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+//! let buf = rt.malloc(4 * 4, "data")?;
+//! rt.memcpy_h2d(buf, host::as_bytes(&[1.0f32, 2.0, 3.0, 4.0]))?;
+//! rt.launch(&Double { data: buf, n: 4 }, Dim3::linear(1), Dim3::linear(32))?;
+//! let mut out = [0.0f32; 4];
+//! rt.memcpy_d2h(host::as_bytes_mut(&mut out), buf)?;
+//! assert_eq!(out, [2.0, 4.0, 6.0, 8.0]);
+//! # Ok(()) }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod alloc;
+pub mod callpath;
+pub mod dim;
+pub mod error;
+pub mod exec;
+pub mod hooks;
+pub mod host;
+pub mod ir;
+pub mod kernel;
+pub mod memory;
+pub mod runtime;
+pub mod stream;
+pub mod timing;
+
+/// Convenient glob import for simulator users.
+pub mod prelude {
+    pub use crate::alloc::{AllocId, AllocationInfo};
+    pub use crate::callpath::{CallPathId, Frame};
+    pub use crate::dim::Dim3;
+    pub use crate::error::GpuError;
+    pub use crate::exec::{LaunchStats, Precision, ThreadCtx};
+    pub use crate::hooks::{AccessEvent, ApiEvent, ApiHook, ApiKind, MemAccessHook};
+    pub use crate::host;
+    pub use crate::ir::{
+        AccessDecl, FloatWidth, InstrTable, InstrTableBuilder, Instruction, IntWidth, MemSpace,
+        Opcode, Pc, Reg, ScalarType,
+    };
+    pub use crate::kernel::Kernel;
+    pub use crate::memory::DevicePtr;
+    pub use crate::hooks::LaunchId;
+    pub use crate::runtime::Runtime;
+    pub use crate::stream::StreamId;
+    pub use crate::timing::{DeviceSpec, TimeReport};
+}

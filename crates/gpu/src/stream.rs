@@ -1,0 +1,118 @@
+//! GPU streams.
+//!
+//! The simulator executes operations synchronously in issue order, but
+//! records the stream each operation was enqueued on. ValueExpert
+//! *serializes concurrent GPU streams* during measurement (§4 of the
+//! paper); [`StreamTable::serialized`] reports whether a profiler has
+//! requested that mode so the timing model can charge the serialization
+//! penalty (no copy/compute overlap).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one stream. Stream 0 is the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// Tracks created streams and the serialization flag.
+#[derive(Debug, Clone)]
+pub struct StreamTable {
+    next: u32,
+    serialized: bool,
+    /// Per-stream count of enqueued operations (diagnostics).
+    op_counts: Vec<u64>,
+}
+
+impl Default for StreamTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamTable {
+    /// Creates a table containing only the default stream.
+    pub fn new() -> Self {
+        StreamTable { next: 1, serialized: false, op_counts: vec![0] }
+    }
+
+    /// Creates a new stream.
+    pub fn create(&mut self) -> StreamId {
+        let id = StreamId(self.next);
+        self.next += 1;
+        self.op_counts.push(0);
+        id
+    }
+
+    /// Number of streams (including the default stream).
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+
+    /// Records one operation enqueued on `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` was not created by this table.
+    pub fn record_op(&mut self, stream: StreamId) {
+        self.op_counts[stream.0 as usize] += 1;
+    }
+
+    /// Operations enqueued on `stream` so far.
+    pub fn ops(&self, stream: StreamId) -> u64 {
+        self.op_counts.get(stream.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Enables or disables profiler-requested stream serialization.
+    pub fn set_serialized(&mut self, on: bool) {
+        self.serialized = on;
+    }
+
+    /// Whether streams are serialized (profiling mode).
+    pub fn serialized(&self) -> bool {
+        self.serialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_exists() {
+        let t = StreamTable::new();
+        assert_eq!(t.count(), 1);
+        assert_eq!(StreamId::default(), StreamId::DEFAULT);
+    }
+
+    #[test]
+    fn create_and_record() {
+        let mut t = StreamTable::new();
+        let s1 = t.create();
+        let s2 = t.create();
+        assert_ne!(s1, s2);
+        t.record_op(s1);
+        t.record_op(s1);
+        t.record_op(StreamId::DEFAULT);
+        assert_eq!(t.ops(s1), 2);
+        assert_eq!(t.ops(s2), 0);
+        assert_eq!(t.ops(StreamId::DEFAULT), 1);
+    }
+
+    #[test]
+    fn serialization_flag() {
+        let mut t = StreamTable::new();
+        assert!(!t.serialized());
+        t.set_serialized(true);
+        assert!(t.serialized());
+    }
+}

@@ -1,0 +1,303 @@
+//! Analytic timing model with presets for the paper's two platforms.
+//!
+//! The paper evaluates on an RTX 2080 Ti (GDDR6, weak FP64) and an A100
+//! (HBM2, strong FP64) — Table 2. Speedup *shapes* in Tables 3 and 4 hinge
+//! on exactly the first-order characteristics an analytic roofline model
+//! captures:
+//!
+//! * memory-bound kernels scale with memory bandwidth, so removing loads
+//!   and stores helps the 2080 Ti (616 GB/s) more than the A100
+//!   (1555 GB/s);
+//! * FP64-heavy kernels are crippled on the 2080 Ti (1:32 FP64 ratio), so
+//!   bypassing FP64 computation (backprop's single-zero optimization)
+//!   yields a far larger speedup there than on the A100 (1:2);
+//! * CPU↔GPU transfers ride PCIe, two orders of magnitude slower than
+//!   device memory, so eliminating copies dominates "memory time".
+//!
+//! Times are simulated microseconds (`f64`); no wall-clock is consulted.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hardware description used by the timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Number of streaming multiprocessors (Table 2: 72 / 108).
+    pub num_sms: u32,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// FP32 throughput in GFLOP/s.
+    pub fp32_gflops: f64,
+    /// FP64 throughput in GFLOP/s.
+    pub fp64_gflops: f64,
+    /// Integer throughput in GOP/s.
+    pub int_gops: f64,
+    /// Host↔device interconnect bandwidth in GB/s (PCIe).
+    pub pcie_gbps: f64,
+    /// Fixed overhead per kernel launch, microseconds.
+    pub launch_overhead_us: f64,
+    /// Fixed overhead per memory API call (alloc/copy/set), microseconds.
+    pub memop_overhead_us: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+}
+
+impl DeviceSpec {
+    /// The RTX 2080 Ti platform of the paper (Table 2): 72 SMs, 11 GB
+    /// GDDR6 at ~616 GB/s, FP64 at 1/32 of FP32, PCIe 3.0.
+    pub fn rtx2080ti() -> Self {
+        DeviceSpec {
+            name: "RTX 2080 Ti".to_owned(),
+            num_sms: 72,
+            mem_bandwidth_gbps: 616.0,
+            fp32_gflops: 13_450.0,
+            fp64_gflops: 420.0,
+            int_gops: 13_450.0,
+            pcie_gbps: 12.0,
+            launch_overhead_us: 0.5,
+            memop_overhead_us: 1.0,
+            memory_bytes: 11 * (1 << 30),
+            max_threads_per_block: 1024,
+        }
+    }
+
+    /// The A100 platform of the paper (Table 2): 108 SMs, 40 GB HBM2 at
+    /// ~1555 GB/s, FP64 at 1/2 of FP32, PCIe 4.0.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100".to_owned(),
+            num_sms: 108,
+            mem_bandwidth_gbps: 1555.0,
+            fp32_gflops: 19_500.0,
+            fp64_gflops: 9_700.0,
+            int_gops: 19_500.0,
+            pcie_gbps: 22.0,
+            launch_overhead_us: 0.5,
+            memop_overhead_us: 1.0,
+            memory_bytes: 40 * (1 << 30),
+            max_threads_per_block: 1024,
+        }
+    }
+
+    /// A small test device: 1 MiB of memory, round-number throughputs.
+    /// Used by unit tests so failures produce easy numbers.
+    pub fn test_small() -> Self {
+        DeviceSpec {
+            name: "TestGPU".to_owned(),
+            num_sms: 4,
+            mem_bandwidth_gbps: 100.0,
+            fp32_gflops: 1000.0,
+            fp64_gflops: 100.0,
+            int_gops: 1000.0,
+            pcie_gbps: 10.0,
+            launch_overhead_us: 1.0,
+            memop_overhead_us: 1.0,
+            memory_bytes: 1 << 20,
+            max_threads_per_block: 1024,
+        }
+    }
+
+    /// Time to move `bytes` across PCIe, in microseconds (excluding the
+    /// fixed per-call overhead).
+    pub fn pcie_time_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.pcie_gbps * 1e3)
+    }
+
+    /// Time to stream `bytes` through device memory, in microseconds.
+    pub fn devmem_time_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.mem_bandwidth_gbps * 1e3)
+    }
+}
+
+/// Work counters of one kernel launch used to derive its simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Bytes loaded from global memory.
+    pub bytes_loaded: u64,
+    /// Bytes stored to global memory.
+    pub bytes_stored: u64,
+    /// Single-precision floating operations.
+    pub flops_f32: u64,
+    /// Double-precision floating operations.
+    pub flops_f64: u64,
+    /// Integer operations.
+    pub int_ops: u64,
+}
+
+impl KernelWork {
+    /// Total global memory traffic.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+}
+
+/// Computes simulated times from work counters against a [`DeviceSpec`].
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    spec: DeviceSpec,
+}
+
+impl TimeModel {
+    /// Creates a model for `spec`.
+    pub fn new(spec: DeviceSpec) -> Self {
+        TimeModel { spec }
+    }
+
+    /// The underlying device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Roofline kernel time: `max(memory streaming, compute) + launch
+    /// overhead`, microseconds.
+    pub fn kernel_time_us(&self, work: &KernelWork) -> f64 {
+        let mem = self.spec.devmem_time_us(work.bytes());
+        let compute = work.flops_f32 as f64 / (self.spec.fp32_gflops * 1e3)
+            + work.flops_f64 as f64 / (self.spec.fp64_gflops * 1e3)
+            + work.int_ops as f64 / (self.spec.int_gops * 1e3);
+        mem.max(compute) + self.spec.launch_overhead_us
+    }
+
+    /// Host-to-device or device-to-host copy time, microseconds.
+    pub fn pcie_copy_time_us(&self, bytes: u64) -> f64 {
+        self.spec.pcie_time_us(bytes) + self.spec.memop_overhead_us
+    }
+
+    /// Device-to-device copy time (read + write device memory).
+    pub fn d2d_copy_time_us(&self, bytes: u64) -> f64 {
+        self.spec.devmem_time_us(bytes * 2) + self.spec.memop_overhead_us
+    }
+
+    /// Memset time (write-only device traffic).
+    pub fn memset_time_us(&self, bytes: u64) -> f64 {
+        self.spec.devmem_time_us(bytes) + self.spec.memop_overhead_us
+    }
+
+    /// Allocation / free bookkeeping time.
+    pub fn alloc_time_us(&self) -> f64 {
+        self.spec.memop_overhead_us
+    }
+}
+
+/// Accumulated simulated time, split the way Table 3 reports it:
+/// per-kernel execution time and aggregate "memory time" (allocation,
+/// copy, and set).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeReport {
+    /// Total simulated kernel time per kernel name, microseconds.
+    pub kernel_time_us: BTreeMap<String, f64>,
+    /// Number of launches per kernel name.
+    pub kernel_launches: BTreeMap<String, u64>,
+    /// Total memory-operation time (alloc + copy + set), microseconds.
+    pub memory_time_us: f64,
+    /// Number of memory API invocations.
+    pub memory_ops: u64,
+}
+
+impl TimeReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one kernel launch.
+    pub fn add_kernel(&mut self, name: &str, time_us: f64) {
+        *self.kernel_time_us.entry(name.to_owned()).or_default() += time_us;
+        *self.kernel_launches.entry(name.to_owned()).or_default() += 1;
+    }
+
+    /// Records one memory operation.
+    pub fn add_memory_op(&mut self, time_us: f64) {
+        self.memory_time_us += time_us;
+        self.memory_ops += 1;
+    }
+
+    /// Total kernel time over all kernels, microseconds.
+    pub fn total_kernel_time_us(&self) -> f64 {
+        self.kernel_time_us.values().sum()
+    }
+
+    /// Kernel time for one kernel name (0.0 if never launched).
+    pub fn kernel_us(&self, name: &str) -> f64 {
+        self.kernel_time_us.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Total simulated application time (kernels + memory ops).
+    pub fn total_us(&self) -> f64 {
+        self.total_kernel_time_us() + self.memory_time_us
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &TimeReport) {
+        for (k, v) in &other.kernel_time_us {
+            *self.kernel_time_us.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.kernel_launches {
+            *self.kernel_launches.entry(k.clone()).or_default() += v;
+        }
+        self.memory_time_us += other.memory_time_us;
+        self.memory_ops += other.memory_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bandwidth() {
+        let w = KernelWork { bytes_loaded: 1 << 30, ..Default::default() };
+        let t_2080 = TimeModel::new(DeviceSpec::rtx2080ti()).kernel_time_us(&w);
+        let t_a100 = TimeModel::new(DeviceSpec::a100()).kernel_time_us(&w);
+        assert!(t_2080 > t_a100 * 2.0, "2080Ti ({t_2080}) vs A100 ({t_a100})");
+    }
+
+    #[test]
+    fn fp64_penalty_on_2080ti() {
+        let w = KernelWork { flops_f64: 1 << 30, ..Default::default() };
+        let t_2080 = TimeModel::new(DeviceSpec::rtx2080ti()).kernel_time_us(&w);
+        let t_a100 = TimeModel::new(DeviceSpec::a100()).kernel_time_us(&w);
+        // FP64 ratio 420 vs 9700 GFLOPs -> ~23x gap.
+        assert!(t_2080 > t_a100 * 10.0);
+    }
+
+    #[test]
+    fn pcie_much_slower_than_devmem() {
+        let spec = DeviceSpec::a100();
+        assert!(spec.pcie_time_us(1 << 20) > spec.devmem_time_us(1 << 20) * 10.0);
+    }
+
+    #[test]
+    fn report_accumulates_and_merges() {
+        let mut r = TimeReport::new();
+        r.add_kernel("k", 10.0);
+        r.add_kernel("k", 5.0);
+        r.add_memory_op(3.0);
+        assert_eq!(r.kernel_us("k"), 15.0);
+        assert_eq!(r.kernel_launches["k"], 2);
+        assert_eq!(r.total_us(), 18.0);
+
+        let mut r2 = TimeReport::new();
+        r2.add_kernel("k", 1.0);
+        r2.add_kernel("j", 2.0);
+        r2.merge(&r);
+        assert_eq!(r2.kernel_us("k"), 16.0);
+        assert_eq!(r2.kernel_us("j"), 2.0);
+        assert_eq!(r2.memory_ops, 1);
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let m = TimeModel::new(DeviceSpec::test_small());
+        // Pure compute: 1e9 fp32 ops at 1000 GFLOPs = 1000 us (+1 launch).
+        let w = KernelWork { flops_f32: 1_000_000_000, ..Default::default() };
+        assert!((m.kernel_time_us(&w) - 1001.0).abs() < 1e-6);
+        // Adding a tiny memory load does not change the max.
+        let w2 = KernelWork { bytes_loaded: 1000, ..w };
+        assert_eq!(m.kernel_time_us(&w), m.kernel_time_us(&w2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based and failure-injection tests for the simulator
+//! substrate: allocator invariants under arbitrary alloc/free sequences,
+//! memory bounds, runtime error paths, and timing-model monotonicity.
+
+use proptest::prelude::*;
+use vex_gpu::alloc::{AllocId, Allocator};
+use vex_gpu::callpath::CallPathId;
+use vex_gpu::dim::Dim3;
+use vex_gpu::error::GpuError;
+use vex_gpu::exec::ThreadCtx;
+use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::memory::{DevicePtr, GlobalMemory};
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::{DeviceSpec, KernelWork, TimeModel};
+
+/// One step of a random allocator workout.
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    /// Free the i-th oldest live allocation (modulo live count).
+    Free(usize),
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (1u64..5000).prop_map(AllocOp::Alloc),
+        (0usize..16).prop_map(AllocOp::Free),
+    ]
+}
+
+proptest! {
+    /// Live allocations never overlap, stay inside the arena, and ids are
+    /// unique — under any interleaving of allocs and frees.
+    #[test]
+    fn allocator_invariants(ops in prop::collection::vec(alloc_op(), 1..120)) {
+        let base = 256u64;
+        let capacity = 1 << 20;
+        let mut a = Allocator::new(base, capacity);
+        let mut live: Vec<u64> = Vec::new(); // start addresses
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    if let Ok(info) = a.alloc(size, "x", CallPathId::ROOT) {
+                        prop_assert!(info.addr >= base);
+                        prop_assert!(info.addr + info.size <= base + capacity);
+                        live.push(info.addr);
+                    }
+                }
+                AllocOp::Free(i) => {
+                    if !live.is_empty() {
+                        let addr = live.remove(i % live.len());
+                        prop_assert!(a.free(addr).is_ok());
+                    }
+                }
+            }
+            // Pairwise disjointness of live allocations.
+            let infos: Vec<_> = a.live_allocations().collect();
+            for w in infos.windows(2) {
+                prop_assert!(w[0].addr + w[0].size <= w[1].addr,
+                    "overlap: {:?} then {:?}", w[0], w[1]);
+            }
+            // Ids unique across everything ever allocated.
+            let mut ids: Vec<AllocId> = a.all_allocations().map(|i| i.id).collect();
+            let n = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n);
+        }
+        // Free everything; the arena must be whole again.
+        for addr in live {
+            prop_assert!(a.free(addr).is_ok());
+        }
+        prop_assert_eq!(a.used_bytes(), 0);
+        prop_assert!(a.alloc(capacity, "all", CallPathId::ROOT).is_ok());
+    }
+
+    /// Any in-bounds write is read back verbatim; address 0 always faults.
+    #[test]
+    fn memory_write_read_roundtrip(
+        addr in 1u64..4000,
+        data in prop::collection::vec(any::<u8>(), 1..64)
+    ) {
+        let mut m = GlobalMemory::new(4096);
+        if addr + data.len() as u64 <= 4096 {
+            m.write(addr, &data).unwrap();
+            let mut back = vec![0u8; data.len()];
+            m.read(addr, &mut back).unwrap();
+            prop_assert_eq!(back, data);
+        } else {
+            prop_assert!(m.write(addr, &data).is_err());
+        }
+    }
+
+    /// Kernel time is monotone in every work component.
+    #[test]
+    fn kernel_time_monotone(
+        bytes in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        flops in 0u64..1_000_000,
+    ) {
+        let model = TimeModel::new(DeviceSpec::rtx2080ti());
+        let base = KernelWork { bytes_loaded: bytes, flops_f32: flops, ..Default::default() };
+        let more_bytes = KernelWork { bytes_loaded: bytes + extra, ..base };
+        let more_flops = KernelWork { flops_f32: flops + extra, ..base };
+        let t = model.kernel_time_us(&base);
+        prop_assert!(model.kernel_time_us(&more_bytes) >= t);
+        prop_assert!(model.kernel_time_us(&more_flops) >= t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+struct OneStore {
+    addr: u64,
+}
+
+impl Kernel for OneStore {
+    fn name(&self) -> &str {
+        "one_store"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .store(Pc(0), ScalarType::U32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        if ctx.global_thread_id() == 0 {
+            ctx.store::<u32>(Pc(0), self.addr, 1);
+        }
+    }
+}
+
+#[test]
+fn oom_is_reported_not_fatal() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    // test_small has 1 MiB; ask for 2 MiB.
+    match rt.malloc(2 << 20, "huge") {
+        Err(GpuError::OutOfMemory { requested, .. }) => assert_eq!(requested, 2 << 20),
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    // Runtime remains usable.
+    let p = rt.malloc(1024, "ok").unwrap();
+    rt.memset(p, 0, 1024).unwrap();
+}
+
+#[test]
+fn fragmentation_can_oom_then_recover() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    // Fill the arena with eight ~128KiB blocks, free alternating ones:
+    // 512 KiB free total but no contiguous 256 KiB hole.
+    let blocks: Vec<DevicePtr> =
+        (0..8).map(|i| rt.malloc(127 * 1024, &format!("b{i}")).unwrap()).collect();
+    for (i, p) in blocks.iter().enumerate() {
+        if i % 2 == 0 {
+            rt.free(*p).unwrap();
+        }
+    }
+    assert!(rt.malloc(256 * 1024, "big").is_err(), "fragmented arena");
+    // Freeing the rest coalesces and the big allocation fits.
+    for (i, p) in blocks.iter().enumerate() {
+        if i % 2 == 1 {
+            rt.free(*p).unwrap();
+        }
+    }
+    assert!(rt.malloc(256 * 1024, "big").is_ok());
+}
+
+#[test]
+fn kernel_oob_store_panics_with_context() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.launch(&OneStore { addr: u64::MAX - 2 }, Dim3::linear(1), Dim3::linear(1))
+            .unwrap();
+    }))
+    .expect_err("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("store fault"), "{msg}");
+    assert!(msg.contains("pc0000"), "{msg}");
+}
+
+#[test]
+fn copy_into_gap_between_allocations_fails() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let a = rt.malloc(100, "a").unwrap();
+    let _b = rt.malloc(100, "b").unwrap();
+    // Alignment pads allocations to 256; byte 100..256 after `a` is a gap.
+    let gap = DevicePtr(a.addr() + 130);
+    assert!(matches!(
+        rt.memcpy_h2d(gap, &[0u8; 4]),
+        Err(GpuError::InvalidPointer { .. })
+    ));
+}
+
+#[test]
+fn zero_size_requests_rejected() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    assert_eq!(rt.malloc(0, "zero"), Err(GpuError::ZeroSize));
+}
+
+#[test]
+fn launch_too_many_threads_rejected_before_execution() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let before = rt.time_report().clone();
+    let err = rt.launch(&OneStore { addr: 0 }, Dim3::linear(1), Dim3::new(64, 64, 2));
+    assert!(matches!(err, Err(GpuError::InvalidLaunch { .. })));
+    assert_eq!(rt.time_report(), &before, "nothing was charged");
+}
+
+#[test]
+fn double_free_and_stale_pointer() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let p = rt.malloc(64, "x").unwrap();
+    rt.free(p).unwrap();
+    assert!(matches!(rt.free(p), Err(GpuError::InvalidFree { .. })));
+    assert!(rt.memcpy_d2h(&mut [0u8; 4], p).is_err());
+}

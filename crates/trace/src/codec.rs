@@ -1,0 +1,228 @@
+//! The on-device record wire format.
+//!
+//! The real tool's instrumentation callbacks write packed structs into a
+//! raw GPU buffer that is later `cudaMemcpy`'d to the host; this module
+//! defines that byte layout so the simulated buffer traffic corresponds
+//! to real bytes. One record occupies exactly
+//! [`AccessRecord::DEVICE_BYTES`] (32) bytes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  pc
+//!      4     8  addr
+//!     12     8  bits
+//!     20     1  size
+//!     21     1  flags (bit0 store, bit1 shared, bit2 atomic)
+//!     22     2  (padding, zero)
+//!     24     4  block
+//!     28     4  thread
+//! ```
+
+use crate::AccessRecord;
+use vex_gpu::ir::{MemSpace, Pc};
+
+const FLAG_STORE: u8 = 1 << 0;
+const FLAG_SHARED: u8 = 1 << 1;
+const FLAG_ATOMIC: u8 = 1 << 2;
+
+/// Errors decoding a device buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer length is not a multiple of the record size.
+    Truncated {
+        /// The offending length.
+        len: usize,
+    },
+    /// Reserved flag bits or padding were nonzero.
+    Corrupt {
+        /// Record index within the buffer.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { len } => {
+                write!(f, "buffer length {len} is not a multiple of 32")
+            }
+            DecodeError::Corrupt { index } => write!(f, "corrupt record at index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one record into its 32-byte wire form.
+pub fn encode_record(rec: &AccessRecord) -> [u8; AccessRecord::DEVICE_BYTES as usize] {
+    let mut out = [0u8; AccessRecord::DEVICE_BYTES as usize];
+    out[0..4].copy_from_slice(&rec.pc.0.to_le_bytes());
+    out[4..12].copy_from_slice(&rec.addr.to_le_bytes());
+    out[12..20].copy_from_slice(&rec.bits.to_le_bytes());
+    out[20] = rec.size;
+    let mut flags = 0u8;
+    if rec.is_store {
+        flags |= FLAG_STORE;
+    }
+    if rec.space == MemSpace::Shared {
+        flags |= FLAG_SHARED;
+    }
+    if rec.is_atomic {
+        flags |= FLAG_ATOMIC;
+    }
+    out[21] = flags;
+    out[24..28].copy_from_slice(&rec.block.to_le_bytes());
+    out[28..32].copy_from_slice(&rec.thread.to_le_bytes());
+    out
+}
+
+/// Decodes one 32-byte wire record.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Corrupt`] (with index 0) if reserved bits are
+/// set.
+pub fn decode_record(
+    buf: &[u8; AccessRecord::DEVICE_BYTES as usize],
+) -> Result<AccessRecord, DecodeError> {
+    let flags = buf[21];
+    if flags & !(FLAG_STORE | FLAG_SHARED | FLAG_ATOMIC) != 0 || buf[22] != 0 || buf[23] != 0 {
+        return Err(DecodeError::Corrupt { index: 0 });
+    }
+    Ok(AccessRecord {
+        pc: Pc(u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"))),
+        addr: u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")),
+        bits: u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")),
+        size: buf[20],
+        is_store: flags & FLAG_STORE != 0,
+        space: if flags & FLAG_SHARED != 0 { MemSpace::Shared } else { MemSpace::Global },
+        block: u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+        thread: u32::from_le_bytes(buf[28..32].try_into().expect("4 bytes")),
+        is_atomic: flags & FLAG_ATOMIC != 0,
+    })
+}
+
+/// Encodes a batch into one contiguous device-buffer image.
+pub fn encode_batch(records: &[AccessRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * AccessRecord::DEVICE_BYTES as usize);
+    for rec in records {
+        out.extend_from_slice(&encode_record(rec));
+    }
+    out
+}
+
+/// Decodes a device-buffer image back into records.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] for misaligned lengths and
+/// [`DecodeError::Corrupt`] (with the record index) for invalid records.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<AccessRecord>, DecodeError> {
+    let rec_size = AccessRecord::DEVICE_BYTES as usize;
+    if !buf.len().is_multiple_of(rec_size) {
+        return Err(DecodeError::Truncated { len: buf.len() });
+    }
+    let mut out = Vec::with_capacity(buf.len() / rec_size);
+    for (index, chunk) in buf.chunks_exact(rec_size).enumerate() {
+        let arr: &[u8; 32] = chunk.try_into().expect("chunks_exact yields 32");
+        match decode_record(arr) {
+            Ok(rec) => out.push(rec),
+            Err(_) => return Err(DecodeError::Corrupt { index }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_record() -> impl Strategy<Value = AccessRecord> {
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            1u8..=8,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(|(pc, addr, bits, size, store, shared, atomic, block, thread)| {
+                AccessRecord {
+                    pc: Pc(pc),
+                    addr,
+                    bits,
+                    size,
+                    is_store: store,
+                    space: if shared { MemSpace::Shared } else { MemSpace::Global },
+                    block,
+                    thread,
+                    is_atomic: atomic,
+                }
+            })
+    }
+
+    #[test]
+    fn record_size_matches_constant() {
+        let rec = AccessRecord {
+            pc: Pc(1),
+            addr: 2,
+            bits: 3,
+            size: 4,
+            is_store: true,
+            space: MemSpace::Global,
+            block: 5,
+            thread: 6,
+            is_atomic: false,
+        };
+        assert_eq!(encode_record(&rec).len() as u64, AccessRecord::DEVICE_BYTES);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        assert_eq!(decode_batch(&[0u8; 33]), Err(DecodeError::Truncated { len: 33 }));
+        assert_eq!(decode_batch(&[]), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn corrupt_flags_rejected() {
+        let mut buf = [0u8; 32];
+        buf[21] = 0x80; // reserved bit
+        assert_eq!(decode_record(&buf), Err(DecodeError::Corrupt { index: 0 }));
+        buf[21] = 0;
+        buf[22] = 1; // padding
+        assert_eq!(decode_record(&buf), Err(DecodeError::Corrupt { index: 0 }));
+        // Error carries the right index inside a batch.
+        let good = encode_record(&AccessRecord {
+            pc: Pc(0),
+            addr: 0,
+            bits: 0,
+            size: 4,
+            is_store: false,
+            space: MemSpace::Global,
+            block: 0,
+            thread: 0,
+            is_atomic: false,
+        });
+        let mut batch = Vec::new();
+        batch.extend_from_slice(&good);
+        batch.extend_from_slice(&buf);
+        assert_eq!(decode_batch(&batch), Err(DecodeError::Corrupt { index: 1 }));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(records in prop::collection::vec(arb_record(), 0..50)) {
+            let encoded = encode_batch(&records);
+            prop_assert_eq!(
+                encoded.len() as u64,
+                records.len() as u64 * AccessRecord::DEVICE_BYTES
+            );
+            let decoded = decode_batch(&encoded).unwrap();
+            prop_assert_eq!(decoded, records);
+        }
+    }
+}

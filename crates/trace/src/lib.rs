@@ -1,0 +1,487 @@
+//! # vex-trace — the instrumentation engine
+//!
+//! ValueExpert's fine-grained collector instruments every memory load and
+//! store of a GPU kernel, stores the records in a **pre-allocated GPU
+//! buffer**, and copies the buffer to the CPU when it fills (§4, §5.1 of
+//! the paper). This crate reproduces that machinery on top of
+//! [`vex_gpu`]'s access hooks:
+//!
+//! * [`AccessRecord`] — the compact on-device record format,
+//! * [`DeviceBuffer`] — a bounded buffer that signals when full,
+//! * [`Collector`] — a [`vex_gpu::hooks::MemAccessHook`] that fills the
+//!   buffer and delivers batches to a [`TraceSink`] (the analyzer),
+//!   tracking flush traffic so the profiler can charge realistic
+//!   overhead, and
+//! * [`LaunchFilter`] — pluggable per-launch instrumentation decisions
+//!   (kernel filtering and sampling plug in here; implementations live in
+//!   `vex-core::sampling`).
+//!
+//! The collector serializes concurrent streams by construction: the
+//! simulator runs one operation at a time, and the collector asserts that
+//! launches do not interleave.
+
+#![deny(missing_docs)]
+
+pub mod codec;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vex_gpu::exec::LaunchStats;
+use vex_gpu::hooks::{AccessEvent, DeviceView, LaunchInfo, MemAccessHook};
+use vex_gpu::ir::{MemSpace, Pc};
+
+/// Compact per-access record, the simulated on-GPU buffer entry.
+///
+/// 32 bytes per record in the simulated device buffer, mirroring the kind
+/// of packed struct a real tool writes from an instrumentation callback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessRecord {
+    /// Static program counter.
+    pub pc: Pc,
+    /// Accessed address (global) or offset (shared).
+    pub addr: u64,
+    /// Raw little-endian value bits.
+    pub bits: u64,
+    /// Access width in bytes.
+    pub size: u8,
+    /// True for stores.
+    pub is_store: bool,
+    /// Address space.
+    pub space: MemSpace,
+    /// Flat block index.
+    pub block: u32,
+    /// Flat thread index within the block.
+    pub thread: u32,
+    /// True when the access is half of a hardware atomic.
+    pub is_atomic: bool,
+}
+
+impl AccessRecord {
+    /// Size of one record in the simulated device buffer, bytes.
+    pub const DEVICE_BYTES: u64 = 32;
+
+    /// Half-open `[addr, addr + size)` interval of the access.
+    pub fn interval(&self) -> (u64, u64) {
+        (self.addr, self.addr + self.size as u64)
+    }
+}
+
+impl From<&AccessEvent> for AccessRecord {
+    fn from(ev: &AccessEvent) -> Self {
+        AccessRecord {
+            pc: ev.pc,
+            addr: ev.addr,
+            bits: ev.bits,
+            size: ev.size,
+            is_store: ev.is_store,
+            space: ev.space,
+            block: ev.block,
+            thread: ev.thread,
+            is_atomic: ev.is_atomic,
+        }
+    }
+}
+
+/// A bounded record buffer standing in for the pre-allocated GPU buffer.
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    records: Vec<AccessRecord>,
+    capacity: usize,
+}
+
+impl DeviceBuffer {
+    /// Creates a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "device buffer capacity must be nonzero");
+        DeviceBuffer { records: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Appends a record; returns `true` if the buffer is now full and must
+    /// be flushed before the next append.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a full buffer (the caller failed to flush).
+    pub fn push(&mut self, rec: AccessRecord) -> bool {
+        assert!(self.records.len() < self.capacity, "push into full device buffer");
+        self.records.push(rec);
+        self.records.len() == self.capacity
+    }
+
+    /// Current number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Buffer capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drains all buffered records.
+    pub fn drain(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Receives record batches from the collector.
+///
+/// `on_batch` is called whenever the device buffer fills mid-kernel and
+/// once at kernel end with the remainder; `on_launch_complete` is called
+/// after the final batch with post-kernel device state.
+pub trait TraceSink: Send + Sync {
+    /// A batch of records was flushed from the device buffer.
+    fn on_batch(&self, info: &LaunchInfo, records: &[AccessRecord]);
+
+    /// The launch finished (after the final `on_batch`).
+    fn on_launch_complete(
+        &self,
+        _info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _view: &dyn DeviceView,
+    ) {
+    }
+
+    /// A launch ran *uninstrumented* (declined by the filter). Sinks that
+    /// account coverage can note it; most ignore it.
+    fn on_skipped_launch(&self, _info: &LaunchInfo, _stats: &LaunchStats) {}
+}
+
+/// Decides whether a launch is instrumented. See `vex-core::sampling` for
+/// the kernel-filter and hierarchical-sampling implementations.
+pub trait LaunchFilter: Send + Sync {
+    /// Returns `true` to instrument this launch.
+    fn accept(&self, info: &LaunchInfo) -> bool;
+}
+
+/// Instruments every launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceptAll;
+
+impl LaunchFilter for AcceptAll {
+    fn accept(&self, _info: &LaunchInfo) -> bool {
+        true
+    }
+}
+
+/// Measurement-traffic counters used by the overhead model (Figure 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Access events recorded into the device buffer (post block
+    /// sampling).
+    pub events: u64,
+    /// Access events the instrumentation callback inspected (including
+    /// those dropped by block sampling).
+    pub events_checked: u64,
+    /// Device-buffer flushes triggered (full buffer or kernel end).
+    pub flushes: u64,
+    /// Bytes of record traffic copied device→host.
+    pub bytes_flushed: u64,
+    /// Launches that were instrumented.
+    pub instrumented_launches: u64,
+    /// Launches skipped by the filter.
+    pub skipped_launches: u64,
+}
+
+struct CollectorState {
+    buffer: DeviceBuffer,
+    current: Option<LaunchInfo>,
+    stats: CollectorStats,
+}
+
+/// The fine-grained collector: buffers per-access records in a bounded
+/// device buffer and flushes batches to a [`TraceSink`].
+pub struct Collector {
+    state: Mutex<CollectorState>,
+    sink: Arc<dyn TraceSink>,
+    filter: Arc<dyn LaunchFilter>,
+    /// Record only blocks `0, P, 2P, …` (§6.2 block sampling happens at
+    /// collection: skipped blocks never enter the device buffer).
+    block_period: u32,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Collector")
+            .field("buffered", &st.buffer.len())
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+impl Collector {
+    /// Creates a collector with the given buffer capacity (records), sink,
+    /// and launch filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_capacity` is zero.
+    pub fn new(
+        buffer_capacity: usize,
+        sink: Arc<dyn TraceSink>,
+        filter: Arc<dyn LaunchFilter>,
+    ) -> Self {
+        Collector {
+            state: Mutex::new(CollectorState {
+                buffer: DeviceBuffer::new(buffer_capacity),
+                current: None,
+                stats: CollectorStats::default(),
+            }),
+            sink,
+            filter,
+            block_period: 1,
+        }
+    }
+
+    /// Enables block sampling: only record accesses from every
+    /// `period`-th thread block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_block_period(mut self, period: u32) -> Self {
+        assert!(period > 0, "block sampling period must be nonzero");
+        self.block_period = period;
+        self
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> CollectorStats {
+        self.state.lock().stats
+    }
+
+    fn flush(state: &mut CollectorState, sink: &dyn TraceSink) {
+        if state.buffer.is_empty() {
+            return;
+        }
+        let records = state.buffer.drain();
+        state.stats.flushes += 1;
+        state.stats.bytes_flushed += records.len() as u64 * AccessRecord::DEVICE_BYTES;
+        let info = state
+            .current
+            .as_ref()
+            .expect("flush outside of a launch")
+            .clone();
+        sink.on_batch(&info, &records);
+    }
+}
+
+impl MemAccessHook for Collector {
+    fn on_launch_begin(&self, info: &LaunchInfo) -> bool {
+        if !self.filter.accept(info) {
+            return false;
+        }
+        let mut st = self.state.lock();
+        assert!(
+            st.current.is_none(),
+            "interleaved launches: collector requires serialized streams"
+        );
+        st.current = Some(info.clone());
+        st.stats.instrumented_launches += 1;
+        true
+    }
+
+    fn on_access(&self, event: &AccessEvent) {
+        let mut st = self.state.lock();
+        debug_assert!(st.current.is_some(), "access outside instrumented launch");
+        st.stats.events_checked += 1;
+        if !event.block.is_multiple_of(self.block_period) {
+            return; // block sampling: never buffered, never flushed
+        }
+        st.stats.events += 1;
+        let full = st.buffer.push(AccessRecord::from(event));
+        if full {
+            Self::flush(&mut st, &*self.sink);
+        }
+    }
+
+    fn on_launch_end(
+        &self,
+        info: &LaunchInfo,
+        stats: &LaunchStats,
+        instrumented: bool,
+        view: &dyn DeviceView,
+    ) {
+        if !instrumented {
+            let mut st = self.state.lock();
+            st.stats.skipped_launches += 1;
+            drop(st);
+            self.sink.on_skipped_launch(info, stats);
+            return;
+        }
+        let mut st = self.state.lock();
+        Self::flush(&mut st, &*self.sink);
+        st.current = None;
+        drop(st);
+        self.sink.on_launch_complete(info, stats, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::hooks::LaunchId;
+    use vex_gpu::ir::{InstrTable, InstrTableBuilder, ScalarType};
+    use vex_gpu::kernel::Kernel;
+    use vex_gpu::prelude::*;
+    use vex_gpu::timing::DeviceSpec;
+
+    struct CountingSink {
+        batches: Mutex<Vec<usize>>,
+        completed: Mutex<u64>,
+        skipped: Mutex<u64>,
+    }
+
+    impl CountingSink {
+        fn new() -> Self {
+            CountingSink {
+                batches: Mutex::new(Vec::new()),
+                completed: Mutex::new(0),
+                skipped: Mutex::new(0),
+            }
+        }
+    }
+
+    impl TraceSink for CountingSink {
+        fn on_batch(&self, _info: &LaunchInfo, records: &[AccessRecord]) {
+            self.batches.lock().push(records.len());
+        }
+        fn on_launch_complete(
+            &self,
+            _info: &LaunchInfo,
+            _stats: &LaunchStats,
+            _view: &dyn DeviceView,
+        ) {
+            *self.completed.lock() += 1;
+        }
+        fn on_skipped_launch(&self, _info: &LaunchInfo, _stats: &LaunchStats) {
+            *self.skipped.lock() += 1;
+        }
+    }
+
+    struct WriteN {
+        base: u64,
+        n: usize,
+    }
+    impl Kernel for WriteN {
+        fn name(&self) -> &str {
+            "write_n"
+        }
+        fn instr_table(&self) -> InstrTable {
+            InstrTableBuilder::new()
+                .store(Pc(0), ScalarType::U32, MemSpace::Global)
+                .build()
+        }
+        fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+            let i = ctx.global_thread_id();
+            if i < self.n {
+                ctx.store::<u32>(Pc(0), self.base + (i * 4) as u64, i as u32);
+            }
+        }
+    }
+
+    fn run_with_collector(
+        n: usize,
+        capacity: usize,
+        filter: Arc<dyn LaunchFilter>,
+    ) -> (Arc<CountingSink>, Arc<Collector>) {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let sink = Arc::new(CountingSink::new());
+        let collector = Arc::new(Collector::new(capacity, sink.clone(), filter));
+        rt.register_access_hook(collector.clone());
+        let base = rt.malloc((n * 4) as u64, "buf").unwrap().addr();
+        rt.launch(
+            &WriteN { base, n },
+            Dim3::linear(1),
+            Dim3::linear(n.max(1) as u32),
+        )
+        .unwrap();
+        (sink, collector)
+    }
+
+    #[test]
+    fn batches_respect_capacity() {
+        let (sink, collector) = run_with_collector(10, 4, Arc::new(AcceptAll));
+        let batches = sink.batches.lock().clone();
+        assert_eq!(batches, vec![4, 4, 2]);
+        let stats = collector.stats();
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.flushes, 3);
+        assert_eq!(stats.bytes_flushed, 10 * AccessRecord::DEVICE_BYTES);
+        assert_eq!(*sink.completed.lock(), 1);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_empty_final_batch() {
+        let (sink, _c) = run_with_collector(8, 4, Arc::new(AcceptAll));
+        assert_eq!(sink.batches.lock().clone(), vec![4, 4]);
+    }
+
+    #[test]
+    fn filter_skips_launches() {
+        struct RejectAll;
+        impl LaunchFilter for RejectAll {
+            fn accept(&self, _info: &LaunchInfo) -> bool {
+                false
+            }
+        }
+        let (sink, collector) = run_with_collector(10, 4, Arc::new(RejectAll));
+        assert!(sink.batches.lock().is_empty());
+        assert_eq!(*sink.skipped.lock(), 1);
+        let stats = collector.stats();
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.skipped_launches, 1);
+        assert_eq!(stats.instrumented_launches, 0);
+    }
+
+    #[test]
+    fn record_roundtrip_from_event() {
+        let ev = AccessEvent {
+            launch: LaunchId(1),
+            pc: Pc(3),
+            space: MemSpace::Global,
+            addr: 512,
+            size: 8,
+            is_store: true,
+            bits: 0xDEAD_BEEF,
+            block: 2,
+            thread: 33,
+            is_atomic: false,
+        };
+        let rec = AccessRecord::from(&ev);
+        assert_eq!(rec.interval(), (512, 520));
+        assert_eq!(rec.bits, 0xDEAD_BEEF);
+        assert!(rec.is_store);
+    }
+
+    #[test]
+    #[should_panic(expected = "full device buffer")]
+    fn overfull_buffer_panics() {
+        let mut b = DeviceBuffer::new(1);
+        let rec = AccessRecord {
+            pc: Pc(0),
+            addr: 0,
+            bits: 0,
+            size: 4,
+            is_store: false,
+            space: MemSpace::Global,
+            block: 0,
+            thread: 0,
+            is_atomic: false,
+        };
+        b.push(rec);
+        b.push(rec);
+    }
+}

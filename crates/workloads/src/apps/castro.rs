@@ -1,0 +1,163 @@
+//! **Castro** — astrophysical radiation hydrodynamics on AMReX (§8.3).
+//!
+//! The paper's finding (Sedov, `inputs.2d.cyl_in_cartcoords`): the AMReX
+//! kernel `cellconslin_slopes_mmlim` scales slope values by a limiter
+//! factor that is 1.0 for almost every cell in this input — an identity
+//! multiplication that re-stores unchanged values (redundant values).
+//! Conditionally bypassing the update when the factor is 1.0 yields
+//! 1.27× / 1.24× on the kernel (Table 3); confirmed by the Castro
+//! developers, and the fix lives in AMReX so it benefits every consumer.
+
+use crate::{checksum_f64, AppOutput, GpuApp, Variant, XorShift};
+use vex_gpu::dim::{blocks_for, Dim3};
+use vex_gpu::error::GpuError;
+use vex_gpu::exec::{Precision, ThreadCtx};
+use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::memory::DevicePtr;
+use vex_gpu::runtime::Runtime;
+
+/// The Castro Sedov model.
+#[derive(Debug, Clone)]
+pub struct Castro {
+    /// Grid cells.
+    pub cells: usize,
+    /// Conserved components per cell.
+    pub comps: usize,
+    /// Hydro steps.
+    pub steps: usize,
+    /// Percent of cells whose limiter is exactly 1.0.
+    pub identity_pct: u64,
+}
+
+impl Default for Castro {
+    fn default() -> Self {
+        Castro { cells: 8192, comps: 4, steps: 2, identity_pct: 50 }
+    }
+}
+
+const BLOCK: u32 = 256;
+
+struct SlopesKernel {
+    slopes: DevicePtr,
+    limiter: DevicePtr,
+    cells: usize,
+    comps: usize,
+    bypass_identity: bool,
+}
+
+impl Kernel for SlopesKernel {
+    fn name(&self) -> &str {
+        "cellconslin_slopes_mmlim"
+    }
+
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F64, MemSpace::Global) // limiter a
+            .load(Pc(1), ScalarType::F64, MemSpace::Global) // slope
+            .op(Pc(2), Opcode::FMul(FloatWidth::F64))
+            .store(Pc(3), ScalarType::F64, MemSpace::Global) // slope
+            .build()
+    }
+
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i >= self.cells {
+            return;
+        }
+        let a: f64 = ctx.load(Pc(0), self.limiter.addr() + (i * 8) as u64);
+        if self.bypass_identity && a == 1.0 {
+            // The paper's condition check at Listing 5 Line 5: identity
+            // scaling leaves the slopes unchanged — skip loads and stores.
+            return;
+        }
+        for c in 0..self.comps {
+            let off = ((i * self.comps + c) * 8) as u64;
+            let s: f64 = ctx.load(Pc(1), self.slopes.addr() + off);
+            ctx.flops(Precision::F64, 1);
+            ctx.store(Pc(3), self.slopes.addr() + off, s * a);
+        }
+    }
+}
+
+impl GpuApp for Castro {
+    fn name(&self) -> &'static str {
+        "Castro"
+    }
+
+    fn hot_kernel(&self) -> &'static str {
+        "cellconslin_slopes_mmlim"
+    }
+
+    fn run(&self, rt: &mut Runtime, variant: Variant) -> Result<AppOutput, GpuError> {
+        let mut rng = XorShift::new(0xCA5);
+        let slopes: Vec<f64> =
+            (0..self.cells * self.comps).map(|_| rng.unit_f32() as f64).collect();
+        let limiter: Vec<f64> = (0..self.cells)
+            .map(|_| {
+                if rng.below(100) < self.identity_pct {
+                    1.0
+                } else {
+                    0.5 + 0.25 * rng.unit_f32() as f64
+                }
+            })
+            .collect();
+
+        let (d_slopes, d_limiter) = rt.with_fn("Castro::Sedov::setup", |rt| {
+            let s = rt.malloc_from("slopes", &slopes)?;
+            let l = rt.malloc_from("mm_limiter", &limiter)?;
+            Ok::<_, GpuError>((s, l))
+        })?;
+
+        let kernel = SlopesKernel {
+            slopes: d_slopes,
+            limiter: d_limiter,
+            cells: self.cells,
+            comps: self.comps,
+            bypass_identity: variant == Variant::Optimized,
+        };
+        let grid = Dim3::linear(blocks_for(self.cells, BLOCK));
+        for _ in 0..self.steps {
+            rt.with_fn("AMReX::mol_slopes", |rt| {
+                rt.launch(&kernel, grid, Dim3::linear(BLOCK))
+            })?;
+        }
+
+        let out: Vec<f64> = rt.read_typed(d_slopes, self.cells * self.comps)?;
+        Ok(AppOutput::exact(checksum_f64(&out)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::timing::DeviceSpec;
+
+    #[test]
+    fn bypass_is_exact_and_faster() {
+        let app = Castro::default();
+        let mut rt1 = Runtime::new(DeviceSpec::rtx2080ti());
+        let base = app.run(&mut rt1, Variant::Baseline).unwrap();
+        let mut rt2 = Runtime::new(DeviceSpec::rtx2080ti());
+        let opt = app.run(&mut rt2, Variant::Optimized).unwrap();
+        assert_eq!(base.checksum, opt.checksum, "x * 1.0 == x exactly in IEEE");
+        let speedup = rt1.time_report().kernel_us("cellconslin_slopes_mmlim")
+            / rt2.time_report().kernel_us("cellconslin_slopes_mmlim");
+        assert!(speedup > 1.15, "kernel speedup {speedup}");
+    }
+
+    #[test]
+    fn speedup_tracks_identity_fraction() {
+        let mostly_identity = Castro { identity_pct: 95, ..Castro::default() };
+        let rarely_identity = Castro { identity_pct: 10, ..Castro::default() };
+        let speedup = |app: &Castro| {
+            let mut rt1 = Runtime::new(DeviceSpec::a100());
+            app.run(&mut rt1, Variant::Baseline).unwrap();
+            let mut rt2 = Runtime::new(DeviceSpec::a100());
+            app.run(&mut rt2, Variant::Optimized).unwrap();
+            rt1.time_report().kernel_us("cellconslin_slopes_mmlim")
+                / rt2.time_report().kernel_us("cellconslin_slopes_mmlim")
+        };
+        assert!(speedup(&mostly_identity) > speedup(&rarely_identity));
+    }
+}

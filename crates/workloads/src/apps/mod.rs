@@ -1,0 +1,11 @@
+//! Application models: the GPU-facing phases of the paper's case studies.
+
+pub mod barracuda;
+pub mod bert;
+pub mod castro;
+pub mod darknet;
+pub mod deepwave;
+pub mod lammps;
+pub mod namd;
+pub mod qmcpack;
+pub mod resnet50;

@@ -1,0 +1,235 @@
+//! # vex-workloads — benchmarks and application models
+//!
+//! Re-creations of every program the paper evaluates (Tables 1, 3, 4),
+//! written against the [`vex_gpu`] simulator:
+//!
+//! * the ten **Rodinia** benchmarks ([`rodinia`]) — the kernels are
+//!   re-implemented so they exhibit the same value behaviour the paper
+//!   reports for each benchmark, and
+//! * nine **application models** ([`apps`]) — Darknet, QMCPACK, Castro,
+//!   BarraCUDA, PyTorch-Deepwave, PyTorch-Bert, PyTorch-Resnet50, NAMD,
+//!   and LAMMPS, each modelled by the GPU-facing phases the paper's case
+//!   studies (§1.1, §8) describe.
+//!
+//! Every app implements [`GpuApp`] and can run as [`Variant::Baseline`]
+//! or [`Variant::Optimized`] — the optimized variant applies exactly the
+//! (typically ≤ 5-line) fix the paper derived from ValueExpert's
+//! findings. Optimized variants must produce the same results as the
+//! baseline within [`AppOutput::tolerance`] (zero for all exact
+//! optimizations; small for the two approximate-computing cases), which
+//! the test suites assert.
+
+#![deny(missing_docs)]
+
+pub mod apps;
+pub mod rodinia;
+
+use vex_gpu::error::GpuError;
+use vex_gpu::runtime::Runtime;
+
+/// Which variant of an application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The code as shipped, with the inefficiency present.
+    Baseline,
+    /// The paper's optimization applied.
+    Optimized,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Variant::Baseline => "baseline",
+            Variant::Optimized => "optimized",
+        })
+    }
+}
+
+/// Result summary of one application run, used to verify that an
+/// optimization did not change the computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppOutput {
+    /// A deterministic checksum over the application's results.
+    pub checksum: f64,
+    /// Allowed |baseline - optimized| checksum difference. Zero for exact
+    /// optimizations; nonzero only for the approximate-computing cases
+    /// (hotspot, hotspot3D), mirroring the paper's 2% RMSE budget.
+    pub tolerance: f64,
+}
+
+impl AppOutput {
+    /// An exact output (optimizations must match bit-for-bit).
+    pub fn exact(checksum: f64) -> Self {
+        AppOutput { checksum, tolerance: 0.0 }
+    }
+
+    /// An approximate output with the given tolerance.
+    pub fn approximate(checksum: f64, tolerance: f64) -> Self {
+        AppOutput { checksum, tolerance }
+    }
+
+    /// Whether `other` matches this output within tolerance.
+    pub fn matches(&self, other: &AppOutput) -> bool {
+        let tol = self.tolerance.max(other.tolerance);
+        if tol == 0.0 {
+            self.checksum == other.checksum
+        } else {
+            let denom = self.checksum.abs().max(1e-12);
+            ((self.checksum - other.checksum) / denom).abs() <= tol
+        }
+    }
+}
+
+/// A GPU-accelerated application the experiments can run.
+pub trait GpuApp {
+    /// Application name, matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The kernel Table 3 reports ("" for memory-only rows such as
+    /// streamcluster, QMCPACK, and LAMMPS).
+    fn hot_kernel(&self) -> &'static str;
+
+    /// Runs the application on `rt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (they indicate workload bugs).
+    fn run(&self, rt: &mut Runtime, variant: Variant) -> Result<AppOutput, GpuError>;
+
+    /// True when the paper reports only memory-time speedups for this app.
+    fn memory_only(&self) -> bool {
+        self.hot_kernel().is_empty()
+    }
+}
+
+/// The ten Rodinia benchmarks, in Table 1 order.
+pub fn rodinia_suite() -> Vec<Box<dyn GpuApp>> {
+    vec![
+        Box::new(rodinia::bfs::Bfs::default()),
+        Box::new(rodinia::backprop::Backprop::default()),
+        Box::new(rodinia::sradv1::SradV1::default()),
+        Box::new(rodinia::hotspot::Hotspot::default()),
+        Box::new(rodinia::pathfinder::Pathfinder::default()),
+        Box::new(rodinia::cfd::Cfd::default()),
+        Box::new(rodinia::huffman::Huffman::default()),
+        Box::new(rodinia::lavamd::LavaMd::default()),
+        Box::new(rodinia::hotspot3d::Hotspot3D::default()),
+        Box::new(rodinia::streamcluster::StreamCluster::default()),
+    ]
+}
+
+/// The nine application models, in Table 1 order.
+pub fn applications() -> Vec<Box<dyn GpuApp>> {
+    vec![
+        Box::new(apps::darknet::Darknet::default()),
+        Box::new(apps::qmcpack::Qmcpack::default()),
+        Box::new(apps::castro::Castro::default()),
+        Box::new(apps::barracuda::Barracuda::default()),
+        Box::new(apps::deepwave::Deepwave::default()),
+        Box::new(apps::bert::Bert::default()),
+        Box::new(apps::resnet50::Resnet50::default()),
+        Box::new(apps::namd::Namd::default()),
+        Box::new(apps::lammps::Lammps::default()),
+    ]
+}
+
+/// Every workload of the evaluation (Rodinia suite + applications).
+pub fn all_apps() -> Vec<Box<dyn GpuApp>> {
+    let mut v = rodinia_suite();
+    v.extend(applications());
+    v
+}
+
+/// Deterministic xorshift RNG for workload inputs — no external seeding,
+/// identical streams on every run.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Folds a float slice into an order-independent checksum.
+pub fn checksum_f32(data: &[f32]) -> f64 {
+    data.iter().map(|&v| v as f64).sum()
+}
+
+/// Folds a double slice into an order-independent checksum.
+pub fn checksum_f64(data: &[f64]) -> f64 {
+    data.iter().sum()
+}
+
+/// Folds an integer slice into an order-independent checksum.
+pub fn checksum_u32(data: &[u32]) -> f64 {
+    data.iter().map(|&v| v as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_matching() {
+        let a = AppOutput::exact(10.0);
+        let b = AppOutput::exact(10.0);
+        assert!(a.matches(&b));
+        assert!(!a.matches(&AppOutput::exact(10.0001)));
+        let c = AppOutput::approximate(10.0, 0.02);
+        assert!(c.matches(&AppOutput::exact(10.1)));
+        assert!(!c.matches(&AppOutput::exact(11.0)));
+    }
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = XorShift::new(7).unit_f32();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn registries_have_all_19() {
+        assert_eq!(rodinia_suite().len(), 10);
+        assert_eq!(applications().len(), 9);
+        let apps = all_apps();
+        assert_eq!(apps.len(), 19);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "app names are unique");
+    }
+
+    #[test]
+    fn memory_only_rows_match_table3() {
+        for app in all_apps() {
+            let expect = matches!(app.name(), "streamcluster" | "QMCPACK" | "LAMMPS");
+            assert_eq!(app.memory_only(), expect, "{}", app.name());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Rodinia **backprop** — neural-network weight adjustment.
+//!
+//! Table 1 patterns: redundant values, duplicate values, **single zero**.
+//! §8.5: the kernel `bpnn_adjust_weights_cuda` updates weight arrays `w`
+//! and `oldw` whose elements are zeros; conditionally bypassing the FP64
+//! computation and the writes when the operands are zero yields 8.18× on
+//! the RTX 2080 Ti (whose FP64 units are 1:32) but only 1.67× on the
+//! A100 (FP64 at 1:2) — the strongest cross-device contrast in Table 3.
+//!
+//! The duplicate-values pattern comes from the host copying the same
+//! zero-initialized array into both `w` and `oldw` (no speedup from it,
+//! as Table 4 records).
+
+use crate::{checksum_f64, AppOutput, GpuApp, Variant};
+use vex_gpu::dim::{blocks_for, Dim3};
+use vex_gpu::error::GpuError;
+use vex_gpu::exec::{Precision, ThreadCtx};
+use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::memory::DevicePtr;
+use vex_gpu::runtime::Runtime;
+
+/// The backprop benchmark.
+#[derive(Debug, Clone)]
+pub struct Backprop {
+    /// Number of weights (hidden × output edges).
+    pub weights: usize,
+    /// Training iterations.
+    pub iterations: usize,
+}
+
+impl Default for Backprop {
+    fn default() -> Self {
+        Backprop { weights: 262_144, iterations: 2 }
+    }
+}
+
+const BLOCK: u32 = 256;
+/// Simulated FP64 cost of the weight-update expression per element
+/// (momentum term, learning-rate multiply, adds).
+const FLOPS_PER_ELEM: u64 = 100;
+
+struct AdjustWeights {
+    w: DevicePtr,
+    oldw: DevicePtr,
+    delta: DevicePtr,
+    n: usize,
+    /// Optimized variant: skip FP64 work and writes when values are zero.
+    bypass_zeros: bool,
+}
+
+impl Kernel for AdjustWeights {
+    fn name(&self) -> &str {
+        "bpnn_adjust_weights_cuda"
+    }
+
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F64, MemSpace::Global) // delta
+            .load(Pc(1), ScalarType::F64, MemSpace::Global) // oldw
+            .load(Pc(2), ScalarType::F64, MemSpace::Global) // w
+            .op(Pc(3), Opcode::FFma(FloatWidth::F64))
+            .store(Pc(4), ScalarType::F64, MemSpace::Global) // w
+            .store(Pc(5), ScalarType::F64, MemSpace::Global) // oldw
+            .build()
+    }
+
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i >= self.n {
+            return;
+        }
+        let off = (i * 8) as u64;
+        let delta: f64 = ctx.load(Pc(0), self.delta.addr() + off);
+        let oldw: f64 = ctx.load(Pc(1), self.oldw.addr() + off);
+        if self.bypass_zeros && delta == 0.0 && oldw == 0.0 {
+            // The paper's ≤5-line fix: zero delta and zero momentum leave
+            // the weight unchanged — skip the FP64 update and the writes.
+            return;
+        }
+        let w: f64 = ctx.load(Pc(2), self.w.addr() + off);
+        ctx.flops(Precision::F64, FLOPS_PER_ELEM);
+        let new_w = w + 0.3 * delta + 0.3 * oldw;
+        let new_oldw = 0.3 * delta + 0.3 * oldw;
+        ctx.store(Pc(4), self.w.addr() + off, new_w);
+        ctx.store(Pc(5), self.oldw.addr() + off, new_oldw);
+    }
+}
+
+/// Rodinia's first kernel: the forward pass, staging inputs through
+/// shared memory with a `__syncthreads()` phase split (exercises the
+/// simulator's block-phased execution and the shared pseudo-object).
+struct LayerForward {
+    input: DevicePtr,
+    weights: DevicePtr,
+    partial: DevicePtr,
+    n: usize,
+}
+
+const FWD_TILE: usize = 16;
+
+impl Kernel for LayerForward {
+    fn name(&self) -> &str {
+        "bpnn_layerforward_CUDA"
+    }
+
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global) // input
+            .store(Pc(1), ScalarType::F32, MemSpace::Shared) // stage
+            .load(Pc(2), ScalarType::F32, MemSpace::Shared) // reload
+            .load(Pc(3), ScalarType::F32, MemSpace::Global) // weight
+            .op(Pc(4), Opcode::FFma(FloatWidth::F32))
+            .store(Pc(5), ScalarType::F32, MemSpace::Global) // partial sum
+            .build()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        (FWD_TILE * 4) as u64
+    }
+
+    fn execute(&self, _ctx: &mut ThreadCtx<'_>) {
+        unreachable!("block-phased kernel");
+    }
+
+    fn execute_block(&self, blk: &mut vex_gpu::exec::BlockCtx<'_>) {
+        let n = self.n;
+        let tile_base = blk.block_flat() as usize * FWD_TILE;
+        // Phase 1: stage the block's input tile into shared memory.
+        blk.for_each_thread(|ctx| {
+            let t = ctx.thread_flat() as usize;
+            if t < FWD_TILE && tile_base + t < n {
+                let v: f32 = ctx.load(Pc(0), self.input.addr() + ((tile_base + t) * 4) as u64);
+                ctx.shared_store(Pc(1), (t * 4) as u64, v);
+            }
+        });
+        // Phase 2 (after the implied __syncthreads): each thread reduces
+        // the staged tile against its weight column.
+        blk.for_each_thread(|ctx| {
+            let t = ctx.thread_flat() as usize;
+            if t < FWD_TILE && tile_base + t < n {
+                let mut acc = 0.0f32;
+                for j in 0..FWD_TILE.min(n - tile_base) {
+                    let x: f32 = ctx.shared_load(Pc(2), (j * 4) as u64);
+                    let w: f32 =
+                        ctx.load(Pc(3), self.weights.addr() + ((tile_base + j) * 4) as u64);
+                    ctx.flops(Precision::F32, 2);
+                    acc += x * w;
+                }
+                ctx.store(Pc(5), self.partial.addr() + ((tile_base + t) * 4) as u64, acc);
+            }
+        });
+    }
+}
+
+impl GpuApp for Backprop {
+    fn name(&self) -> &'static str {
+        "backprop"
+    }
+
+    fn hot_kernel(&self) -> &'static str {
+        "bpnn_adjust_weights_cuda"
+    }
+
+    fn run(&self, rt: &mut Runtime, variant: Variant) -> Result<AppOutput, GpuError> {
+        let n = self.weights;
+        let host_zeros = vec![0.0f64; n];
+
+        let (w, oldw, delta) = rt.with_fn("bpnn_train_cuda", |rt| -> Result<_, GpuError> {
+            let w = rt.malloc((n * 8) as u64, "input_hidden_cuda")?;
+            let oldw = rt.malloc((n * 8) as u64, "input_prev_weights_cuda")?;
+            let delta = rt.malloc((n * 8) as u64, "hidden_delta_cuda")?;
+            // Duplicate values: the same zeroed host array is copied into
+            // both weight buffers (Table 1's duplicate column for backprop).
+            rt.memcpy_h2d(w, vex_gpu::host::as_bytes(&host_zeros))?;
+            rt.memcpy_h2d(oldw, vex_gpu::host::as_bytes(&host_zeros))?;
+            rt.memcpy_h2d(delta, vex_gpu::host::as_bytes(&host_zeros))?;
+            Ok((w, oldw, delta))
+        })?;
+
+        // Forward pass over a small input layer (Rodinia's first kernel).
+        let fwd_n = 1024.min(n);
+        let mut rng = crate::XorShift::new(0xB9);
+        let input_units: Vec<f32> = (0..fwd_n).map(|_| rng.unit_f32()).collect();
+        let fwd_weights: Vec<f32> = (0..fwd_n).map(|_| rng.unit_f32() - 0.5).collect();
+        let d_input = rt.malloc_from("input_cuda", &input_units)?;
+        let d_fwd_w = rt.malloc_from("hidden_weights", &fwd_weights)?;
+        let d_partial = rt.malloc((fwd_n * 4) as u64, "hidden_partial_sum")?;
+        let fwd = LayerForward { input: d_input, weights: d_fwd_w, partial: d_partial, n: fwd_n };
+        let fwd_grid = Dim3::linear(blocks_for(fwd_n, FWD_TILE as u32));
+
+        let kernel = AdjustWeights {
+            w,
+            oldw,
+            delta,
+            n,
+            bypass_zeros: variant == Variant::Optimized,
+        };
+        let grid = Dim3::linear(blocks_for(n, BLOCK));
+        for _ in 0..self.iterations {
+            rt.with_fn("bpnn_train_cuda::forward", |rt| {
+                rt.launch(&fwd, fwd_grid, Dim3::linear(FWD_TILE as u32))
+            })?;
+            rt.with_fn("bpnn_train_cuda::adjust", |rt| {
+                rt.launch(&kernel, grid, Dim3::linear(BLOCK))
+            })?;
+        }
+
+        let final_w: Vec<f64> = rt.read_typed(w, n)?;
+        Ok(AppOutput::exact(checksum_f64(&final_w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::timing::DeviceSpec;
+
+    fn run_on(spec: DeviceSpec, variant: Variant) -> (AppOutput, f64) {
+        let mut rt = Runtime::new(spec);
+        let out = Backprop::default().run(&mut rt, variant).unwrap();
+        let t = rt.time_report().kernel_us("bpnn_adjust_weights_cuda");
+        (out, t)
+    }
+
+    #[test]
+    fn optimized_is_bit_identical() {
+        let (base, _) = run_on(DeviceSpec::rtx2080ti(), Variant::Baseline);
+        let (opt, _) = run_on(DeviceSpec::rtx2080ti(), Variant::Optimized);
+        assert_eq!(base.checksum, opt.checksum);
+        assert_eq!(base.checksum, 0.0, "all-zero weights stay zero");
+    }
+
+    #[test]
+    fn speedup_is_much_larger_on_2080ti_than_a100() {
+        let (_, base_t) = run_on(DeviceSpec::rtx2080ti(), Variant::Baseline);
+        let (_, opt_t) = run_on(DeviceSpec::rtx2080ti(), Variant::Optimized);
+        let speedup_2080 = base_t / opt_t;
+
+        let (_, base_a) = run_on(DeviceSpec::a100(), Variant::Baseline);
+        let (_, opt_a) = run_on(DeviceSpec::a100(), Variant::Optimized);
+        let speedup_a100 = base_a / opt_a;
+
+        assert!(speedup_2080 > 3.0, "2080Ti speedup {speedup_2080}");
+        assert!(speedup_a100 > 1.0, "A100 speedup {speedup_a100}");
+        assert!(
+            speedup_2080 > speedup_a100 * 1.5,
+            "FP64 bypass must help the 2080Ti far more: {speedup_2080} vs {speedup_a100}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! The Rodinia benchmark suite (v3.1 subset used by the paper).
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod hotspot;
+pub mod hotspot3d;
+pub mod huffman;
+pub mod lavamd;
+pub mod pathfinder;
+pub mod sradv1;
+pub mod streamcluster;

@@ -1,0 +1,281 @@
+//! Rodinia **srad_v1** — speckle-reducing anisotropic diffusion.
+//!
+//! Table 1 patterns: duplicate values, frequent values, single value,
+//! **heavy type**, **structured values**. §3.2 calls out the four
+//! neighbor-coordinate arrays `d_iN`, `d_iS`, `d_jW`, `d_jE`: each holds
+//! values linearly correlated with its index (`d_iN[i] = i - 1`, clamped),
+//! stored as `int32` while fitting much narrower types. The optimizations
+//! (Table 4): demote the coordinate arrays (heavy type, 1.40×/1.05×
+//! kernel) and compute coordinates from indices instead of loading them
+//! (structured values, 1.05×/1.08×).
+
+use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
+use vex_gpu::dim::{blocks_for, Dim3};
+use vex_gpu::error::GpuError;
+use vex_gpu::exec::{Precision, ThreadCtx};
+use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::memory::DevicePtr;
+use vex_gpu::runtime::Runtime;
+
+/// The srad_v1 benchmark.
+#[derive(Debug, Clone)]
+pub struct SradV1 {
+    /// Image rows.
+    pub rows: usize,
+    /// Image columns.
+    pub cols: usize,
+    /// Diffusion iterations.
+    pub iterations: usize,
+}
+
+impl Default for SradV1 {
+    fn default() -> Self {
+        SradV1 { rows: 128, cols: 128, iterations: 2 }
+    }
+}
+
+const BLOCK: u32 = 256;
+
+/// How the srad kernel obtains neighbor coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NeighborMode {
+    /// Load i32 coordinate arrays (baseline).
+    LoadWide,
+    /// Compute coordinates from the thread index (structured-values
+    /// optimization — removes four loads per element).
+    Compute,
+}
+
+struct SradKernel {
+    image: DevicePtr,
+    out: DevicePtr,
+    i_n: DevicePtr,
+    i_s: DevicePtr,
+    j_w: DevicePtr,
+    j_e: DevicePtr,
+    lambda: DevicePtr,
+    rows: usize,
+    cols: usize,
+    mode: NeighborMode,
+}
+
+impl SradKernel {
+    fn coord(&self, ctx: &mut ThreadCtx<'_>, pc: Pc, arr: DevicePtr, i: usize) -> i32 {
+        ctx.load::<i32>(pc, arr.addr() + (i * 4) as u64)
+    }
+}
+
+impl Kernel for SradKernel {
+    fn name(&self) -> &str {
+        "srad"
+    }
+
+    fn instr_table(&self) -> InstrTable {
+        let mut b = InstrTableBuilder::new()
+            .load(Pc(4), ScalarType::F32, MemSpace::Global) // center
+            .load(Pc(5), ScalarType::F32, MemSpace::Global) // north
+            .load(Pc(6), ScalarType::F32, MemSpace::Global) // south
+            .load(Pc(7), ScalarType::F32, MemSpace::Global) // west
+            .load(Pc(8), ScalarType::F32, MemSpace::Global) // east
+            .op(Pc(9), Opcode::FMul(FloatWidth::F32))
+            .store(Pc(10), ScalarType::F32, MemSpace::Global)
+            .load(Pc(11), ScalarType::F32, MemSpace::Global); // lambda
+        if self.mode == NeighborMode::LoadWide {
+            b = b
+                .load(Pc(0), ScalarType::S32, MemSpace::Global)
+                .load(Pc(1), ScalarType::S32, MemSpace::Global)
+                .load(Pc(2), ScalarType::S32, MemSpace::Global)
+                .load(Pc(3), ScalarType::S32, MemSpace::Global);
+        }
+        b.build()
+    }
+
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        let n = self.rows * self.cols;
+        if i >= n {
+            return;
+        }
+        let (row, col) = (i / self.cols, i % self.cols);
+        let (rn, rs, cw, ce) = match self.mode {
+            NeighborMode::LoadWide => (
+                self.coord(ctx, Pc(0), self.i_n, row) as usize,
+                self.coord(ctx, Pc(1), self.i_s, row) as usize,
+                self.coord(ctx, Pc(2), self.j_w, col) as usize,
+                self.coord(ctx, Pc(3), self.j_e, col) as usize,
+            ),
+            NeighborMode::Compute => {
+                // The structured-values fix: the arrays are affine in the
+                // index, so derive the coordinates arithmetically.
+                ctx.flops(Precision::Int, 4);
+                (
+                    row.saturating_sub(1),
+                    (row + 1).min(self.rows - 1),
+                    col.saturating_sub(1),
+                    (col + 1).min(self.cols - 1),
+                )
+            }
+        };
+        let at = |r: usize, c: usize| (r * self.cols + c) as u64 * 4;
+        let jc: f32 = ctx.load(Pc(4), self.image.addr() + at(row, col));
+        let jn: f32 = ctx.load(Pc(5), self.image.addr() + at(rn, col));
+        let js: f32 = ctx.load(Pc(6), self.image.addr() + at(rs, col));
+        let jw: f32 = ctx.load(Pc(7), self.image.addr() + at(row, cw));
+        let je: f32 = ctx.load(Pc(8), self.image.addr() + at(row, ce));
+        let lambda: f32 = ctx.load(Pc(11), self.lambda.addr() + (row * 4) as u64);
+        ctx.flops(Precision::F32, 16);
+        let dn = jn - jc;
+        let ds = js - jc;
+        let dw = jw - jc;
+        let de = je - jc;
+        let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc + 1e-6);
+        let c = 1.0 / (1.0 + g2);
+        let out = jc + lambda * c * (dn + ds + dw + de);
+        ctx.store(Pc(10), self.out.addr() + at(row, col), out);
+    }
+}
+
+/// Rodinia's second kernel (`srad2`): applies the divergence of the
+/// diffusion coefficients back onto the image. Reading the coefficient
+/// field written by `srad` gives the flow graph its kernel→kernel edge.
+struct Srad2Kernel {
+    image: DevicePtr,
+    coeff: DevicePtr,
+    rows: usize,
+    cols: usize,
+}
+
+impl Kernel for Srad2Kernel {
+    fn name(&self) -> &str {
+        "srad2"
+    }
+
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global) // coeff center
+            .load(Pc(1), ScalarType::F32, MemSpace::Global) // coeff east/south
+            .load(Pc(2), ScalarType::F32, MemSpace::Global) // image
+            .op(Pc(3), Opcode::FFma(FloatWidth::F32))
+            .store(Pc(4), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        let n = self.rows * self.cols;
+        if i >= n {
+            return;
+        }
+        let (row, col) = (i / self.cols, i % self.cols);
+        let at = |r: usize, c: usize| (r * self.cols + c) as u64 * 4;
+        let cc: f32 = ctx.load(Pc(0), self.coeff.addr() + at(row, col));
+        let ce: f32 = ctx.load(Pc(1), self.coeff.addr() + at(row, (col + 1).min(self.cols - 1)));
+        let cs: f32 = ctx.load(Pc(1), self.coeff.addr() + at((row + 1).min(self.rows - 1), col));
+        let j: f32 = ctx.load(Pc(2), self.image.addr() + at(row, col));
+        ctx.flops(Precision::F32, 8);
+        let d = 0.25 * (ce + cs - 2.0 * cc);
+        ctx.store(Pc(4), self.image.addr() + at(row, col), j + 0.05 * d);
+    }
+}
+
+impl GpuApp for SradV1 {
+    fn name(&self) -> &'static str {
+        "sradv1"
+    }
+
+    fn hot_kernel(&self) -> &'static str {
+        "srad"
+    }
+
+    fn run(&self, rt: &mut Runtime, variant: Variant) -> Result<AppOutput, GpuError> {
+        let (rows, cols) = (self.rows, self.cols);
+        let n = rows * cols;
+        let mut rng = XorShift::new(0x5AD);
+        // Ultrasound images are mostly flat background speckle: 60% of
+        // pixels share one exact intensity (frequent values on the image
+        // loads), the rest vary.
+        let host_image: Vec<f32> = (0..n)
+            .map(|_| if rng.below(100) < 60 { 0.5 } else { 0.5 + rng.unit_f32() })
+            .collect();
+        // The diffusion rate lambda is one scalar broadcast into an array
+        // (single value on its loads).
+        let host_lambda: Vec<f32> = vec![0.05; rows];
+
+        // Neighbor coordinate arrays: affine in the index (structured).
+        let i_n: Vec<i32> = (0..rows).map(|r| r.saturating_sub(1) as i32).collect();
+        let i_s: Vec<i32> = (0..rows).map(|r| ((r + 1).min(rows - 1)) as i32).collect();
+        let j_w: Vec<i32> = (0..cols).map(|c| c.saturating_sub(1) as i32).collect();
+        let j_e: Vec<i32> = (0..cols).map(|c| ((c + 1).min(cols - 1)) as i32).collect();
+
+        let (image, out, d_in, d_is, d_jw, d_je, d_lambda) =
+            rt.with_fn("srad::setup", |rt| -> Result<_, GpuError> {
+                let image = rt.malloc_from("d_I", &host_image)?;
+                let out = rt.malloc((n * 4) as u64, "d_c")?;
+                let d_in = rt.malloc_from("d_iN", &i_n)?;
+                let d_is = rt.malloc_from("d_iS", &i_s)?;
+                let d_jw = rt.malloc_from("d_jW", &j_w)?;
+                let d_je = rt.malloc_from("d_jE", &j_e)?;
+                let d_lambda = rt.malloc_from("d_lambda", &host_lambda)?;
+                Ok((image, out, d_in, d_is, d_jw, d_je, d_lambda))
+            })?;
+
+        let mode = match variant {
+            Variant::Baseline => NeighborMode::LoadWide,
+            Variant::Optimized => NeighborMode::Compute,
+        };
+        let kernel = SradKernel {
+            image,
+            out,
+            i_n: d_in,
+            i_s: d_is,
+            j_w: d_jw,
+            j_e: d_je,
+            lambda: d_lambda,
+            rows,
+            cols,
+            mode,
+        };
+        let srad2 = Srad2Kernel { image, coeff: out, rows, cols };
+        let grid = Dim3::linear(blocks_for(n, BLOCK));
+        for _ in 0..self.iterations {
+            rt.with_fn("srad::iterate", |rt| rt.launch(&kernel, grid, Dim3::linear(BLOCK)))?;
+            rt.memcpy_d2d(image, out, (n * 4) as u64)?;
+            rt.with_fn("srad::divergence", |rt| {
+                rt.launch(&srad2, grid, Dim3::linear(BLOCK))
+            })?;
+        }
+        let result: Vec<f32> = rt.read_typed(image, n)?;
+        Ok(AppOutput::exact(checksum_f32(&result)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::timing::DeviceSpec;
+
+    #[test]
+    fn optimized_is_bit_identical() {
+        let app = SradV1::default();
+        let mut rt1 = Runtime::new(DeviceSpec::rtx2080ti());
+        let base = app.run(&mut rt1, Variant::Baseline).unwrap();
+        let mut rt2 = Runtime::new(DeviceSpec::rtx2080ti());
+        let opt = app.run(&mut rt2, Variant::Optimized).unwrap();
+        assert_eq!(base.checksum, opt.checksum);
+        assert!(
+            rt2.time_report().kernel_us("srad") < rt1.time_report().kernel_us("srad"),
+            "removing coordinate loads reduces kernel time"
+        );
+    }
+
+    #[test]
+    fn neighbor_arrays_are_affine() {
+        // The premise of the structured-values pattern.
+        let app = SradV1 { rows: 16, cols: 16, iterations: 1 };
+        let i_s: Vec<i32> = (0..app.rows).map(|r| ((r + 1).min(app.rows - 1)) as i32).collect();
+        for w in i_s.windows(2).take(app.rows - 2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+}

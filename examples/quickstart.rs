@@ -1,0 +1,84 @@
+//! Quickstart: profile a tiny GPU program and print ValueExpert's report.
+//!
+//! ```bash
+//! cargo run -p vex-bench --example quickstart
+//! ```
+//!
+//! The program makes the two classic mistakes the paper opens with: it
+//! double-initializes a device buffer, and it copies host zeros to the
+//! device instead of `cudaMemset`-ing them. ValueExpert flags both.
+
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::{Precision, ThreadCtx};
+use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const N: usize = 4096;
+
+/// y[i] = a * x[i] + y[i]
+struct Saxpy {
+    a: f32,
+    x: DevicePtr,
+    y: DevicePtr,
+}
+
+impl Kernel for Saxpy {
+    fn name(&self) -> &str {
+        "saxpy"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .load(Pc(1), ScalarType::F32, MemSpace::Global)
+            .op(Pc(2), Opcode::FFma(FloatWidth::F32))
+            .store(Pc(3), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < N {
+            let x: f32 = ctx.load(Pc(0), self.x.addr() + (i * 4) as u64);
+            let y: f32 = ctx.load(Pc(1), self.y.addr() + (i * 4) as u64);
+            ctx.flops(Precision::F32, 2);
+            ctx.store(Pc(3), self.y.addr() + (i * 4) as u64, self.a * x + y);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Create a simulated GPU and attach ValueExpert.
+    let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+    let vex = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt);
+
+    // 2. Run an application with two value-related inefficiencies.
+    let x = rt.with_fn("setup", |rt| rt.malloc((N * 4) as u64, "x"))?;
+    let y = rt.with_fn("setup", |rt| rt.malloc((N * 4) as u64, "y"))?;
+
+    // Inefficiency A: copying host zeros instead of memset.
+    let host_zeros = vec![0.0f32; N];
+    rt.with_fn("init", |rt| rt.memcpy_h2d(y, vex_gpu::host::as_bytes(&host_zeros)))?;
+    // Inefficiency B: double initialization.
+    rt.with_fn("init", |rt| rt.memset(y, 0, (N * 4) as u64))?;
+
+    let host_x = vec![1.5f32; N];
+    rt.with_fn("init", |rt| rt.memcpy_h2d(x, vex_gpu::host::as_bytes(&host_x)))?;
+
+    rt.with_fn("compute", |rt| {
+        rt.launch(&Saxpy { a: 2.0, x, y }, Dim3::linear(16), Dim3::linear(256))
+    })?;
+
+    // 3. Inspect the profile.
+    let profile = vex.report(&rt);
+    println!("{}", profile.render_text());
+
+    assert!(profile.has_pattern(ValuePattern::RedundantValues), "double init flagged");
+    println!(
+        "value flow graph DOT (paste into graphviz):\n{}",
+        profile.flow_graph.to_dot(profile.redundancy_threshold)
+    );
+    Ok(())
+}

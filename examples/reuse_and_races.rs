@@ -1,0 +1,157 @@
+//! The §9 extension analyses in action: one profiled run yields value
+//! patterns, a reuse-distance profile, and inter-block race reports —
+//! all from the same instrumentation stream.
+//!
+//! ```bash
+//! cargo run --release -p vex-bench --example reuse_and_races
+//! ```
+
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::{Precision, ThreadCtx};
+use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const N: usize = 4096;
+const TILE: usize = 64;
+
+/// A blocked matrix-vector-ish sweep with a cache-friendly tile reuse
+/// pattern — interesting reuse-distance profile.
+struct TiledSweep {
+    data: DevicePtr,
+    out: DevicePtr,
+}
+
+impl Kernel for TiledSweep {
+    fn name(&self) -> &str {
+        "tiled_sweep"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .at_line(12)
+            .op(Pc(1), Opcode::FAdd(FloatWidth::F32))
+            .store(Pc(2), ScalarType::F32, MemSpace::Global)
+            .at_line(14)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let t = ctx.global_thread_id();
+        if t >= N / TILE {
+            return;
+        }
+        // Each thread sweeps its tile 4 times: reuse distance = TILE-1.
+        let base = t * TILE;
+        let mut acc = 0.0f32;
+        for _pass in 0..4 {
+            for j in 0..TILE {
+                let v: f32 = ctx.load(Pc(0), self.data.addr() + ((base + j) * 4) as u64);
+                ctx.flops(Precision::F32, 1);
+                acc += v;
+            }
+        }
+        ctx.store(Pc(2), self.out.addr() + (t * 4) as u64, acc);
+    }
+}
+
+/// A histogram kernel written *wrong*: plain read-modify-write instead of
+/// atomics — the classic inter-block race.
+struct BuggyHistogram {
+    input: DevicePtr,
+    histo: DevicePtr,
+    n: usize,
+}
+
+impl Kernel for BuggyHistogram {
+    fn name(&self) -> &str {
+        "buggy_histogram"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::U8, MemSpace::Global)
+            .load(Pc(1), ScalarType::U32, MemSpace::Global)
+            .at_line(31)
+            .store(Pc(2), ScalarType::U32, MemSpace::Global)
+            .at_line(31)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < self.n {
+            let sym: u8 = ctx.load(Pc(0), self.input.addr() + i as u64);
+            let slot = self.histo.addr() + (sym as usize % 16 * 4) as u64;
+            // BUG: load + store from many blocks without an atomic.
+            let c: u32 = ctx.load(Pc(1), slot);
+            ctx.store(Pc(2), slot, c + 1);
+        }
+    }
+}
+
+fn main() {
+    let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+    let vex = ValueExpert::builder()
+        .coarse(true)
+        .fine(true)
+        .reuse_distance(64) // 64-byte cache lines
+        .race_detection(true)
+        .attach(&mut rt);
+
+    let data = rt
+        .malloc_from("data", &vec![1.0f32; N])
+        .expect("alloc data");
+    let out = rt.malloc((N / TILE * 4) as u64, "out").expect("alloc out");
+    rt.launch(&TiledSweep { data, out }, Dim3::linear(1), Dim3::linear(64))
+        .expect("sweep");
+
+    let input: Vec<u8> = (0..N).map(|i| (i % 251) as u8).collect();
+    let d_input = rt.malloc_from("symbols", &input).expect("alloc symbols");
+    let histo = rt.malloc(64, "histo").expect("alloc histo");
+    rt.memset(histo, 0, 64).expect("zero histo");
+    rt.launch(
+        &BuggyHistogram { input: d_input, histo, n: N },
+        Dim3::linear(16),
+        Dim3::linear(256),
+    )
+    .expect("histogram");
+
+    let profile = vex.report(&rt);
+
+    // --- reuse distance ---------------------------------------------
+    let reuse = profile.reuse.as_ref().expect("reuse enabled");
+    println!("reuse distance over {} accesses:", reuse.total);
+    println!("  cold (first touch): {:.1}%", reuse.cold_ratio() * 100.0);
+    for lines in [4u64, 16, 64, 256, 1024] {
+        println!(
+            "  est. miss ratio with {lines:>5} cache lines: {:>5.1}%",
+            reuse.miss_ratio(lines) * 100.0
+        );
+    }
+    assert!(
+        reuse.miss_ratio(1024) < reuse.miss_ratio(4),
+        "bigger caches must not miss more"
+    );
+
+    // --- races --------------------------------------------------------
+    println!("\nraces:");
+    for r in &profile.races {
+        println!(
+            "  {} in {} at source line(s) of {}–{}: {} addresses, blocks {} vs {}",
+            r.kind, r.kernel, r.pcs.0, r.pcs.1, r.addresses, r.blocks.0, r.blocks.1
+        );
+    }
+    assert!(
+        profile.races.iter().any(|r| r.kernel == "buggy_histogram"),
+        "the buggy histogram must be flagged"
+    );
+    assert!(
+        !profile.races.iter().any(|r| r.kernel == "tiled_sweep"),
+        "disjoint tiles do not race"
+    );
+
+    // --- and the value patterns still come along ----------------------
+    println!("\nvalue patterns detected: {:?}", profile.detected_patterns());
+    assert!(profile.has_pattern(ValuePattern::SingleValue), "data is all 1.0");
+}

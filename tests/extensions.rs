@@ -1,0 +1,178 @@
+//! §9 extension analyses through the full profiler pipeline: reuse
+//! distance and inter-block race detection ride the same instrumentation
+//! stream as the value-pattern analyses.
+
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::ThreadCtx;
+use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const N: usize = 512;
+
+/// Streams the array twice: half the accesses reuse at distance N-1.
+struct DoubleScan {
+    data: DevicePtr,
+}
+
+impl Kernel for DoubleScan {
+    fn name(&self) -> &str {
+        "double_scan"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i == 0 {
+            // One thread scans twice so the access *order* is exactly two
+            // passes (deterministic distances).
+            for pass in 0..2 {
+                let _ = pass;
+                for j in 0..N {
+                    let _: f32 = ctx.load(Pc(0), self.data.addr() + (j * 4) as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Every block writes element 0 — a deliberate inter-block race.
+struct RacyReduce {
+    out: DevicePtr,
+}
+
+impl Kernel for RacyReduce {
+    fn name(&self) -> &str {
+        "racy_reduce"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .store(Pc(0), ScalarType::U32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        if ctx.thread_flat() == 0 {
+            ctx.store::<u32>(Pc(0), self.out.addr(), ctx.block_flat());
+        }
+    }
+}
+
+/// The corrected version: atomic accumulation.
+struct AtomicReduce {
+    out: DevicePtr,
+}
+
+impl Kernel for AtomicReduce {
+    fn name(&self) -> &str {
+        "atomic_reduce"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::U32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        if ctx.thread_flat() == 0 {
+            ctx.atomic_add::<u32>(Pc(0), self.out.addr(), 1);
+        }
+    }
+}
+
+#[test]
+fn reuse_distance_through_profiler() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder()
+        .coarse(false)
+        .fine(true)
+        .reuse_distance(4)
+        .attach(&mut rt);
+    let data = rt.malloc((N * 4) as u64, "data").unwrap();
+    rt.launch(&DoubleScan { data }, Dim3::linear(1), Dim3::linear(32)).unwrap();
+    let p = vex.report(&rt);
+    let reuse = p.reuse.as_ref().expect("reuse enabled");
+    assert_eq!(reuse.total, 2 * N as u64);
+    assert_eq!(reuse.cold, N as u64, "first pass is all cold");
+    // Second pass reuses at distance N-1: a cache of N lines captures it,
+    // a tiny cache does not.
+    assert!(reuse.miss_ratio(2 * N as u64) < 0.6);
+    assert!(reuse.miss_ratio(4) > 0.9);
+}
+
+#[test]
+fn race_detector_flags_unsynchronized_cross_block_writes() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder()
+        .coarse(false)
+        .fine(true)
+        .race_detection(true)
+        .attach(&mut rt);
+    let out = rt.malloc(64, "out").unwrap();
+    rt.launch(&RacyReduce { out }, Dim3::linear(4), Dim3::linear(32)).unwrap();
+    let p = vex.report(&rt);
+    assert!(!p.races.is_empty(), "cross-block writes must be flagged");
+    assert!(p.races.iter().any(|r| r.kernel == "racy_reduce"
+        && r.kind == RaceKind::WriteWrite));
+    let text = p.render_text();
+    assert!(text.contains("inter-block races"), "{text}");
+}
+
+#[test]
+fn atomic_reduction_is_race_free() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder()
+        .coarse(false)
+        .fine(true)
+        .race_detection(true)
+        .attach(&mut rt);
+    let out = rt.malloc(64, "out").unwrap();
+    rt.memset(out, 0, 4).unwrap();
+    rt.launch(&AtomicReduce { out }, Dim3::linear(4), Dim3::linear(32)).unwrap();
+    let p = vex.report(&rt);
+    assert!(p.races.is_empty(), "{:?}", p.races);
+    // And the reduction computed the right answer.
+    assert_eq!(rt.read_typed::<u32>(out, 1).unwrap()[0], 4);
+}
+
+#[test]
+fn extensions_do_not_disturb_value_patterns() {
+    // Value-pattern findings must be identical with and without the
+    // extension analyses enabled.
+    let run = |ext: bool| {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let mut b = ValueExpert::builder().coarse(true).fine(true);
+        if ext {
+            b = b.reuse_distance(64).race_detection(true);
+        }
+        let vex = b.attach(&mut rt);
+        let data = rt.malloc((N * 4) as u64, "data").unwrap();
+        rt.memset(data, 0, (N * 4) as u64).unwrap();
+        rt.memset(data, 0, (N * 4) as u64).unwrap();
+        let p = vex.report(&rt);
+        (p.detected_patterns(), p.redundancies.len())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn races_serialize_in_profile_json() {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder()
+        .coarse(false)
+        .fine(true)
+        .race_detection(true)
+        .reuse_distance(32)
+        .attach(&mut rt);
+    let out = rt.malloc(64, "out").unwrap();
+    rt.launch(&RacyReduce { out }, Dim3::linear(2), Dim3::linear(32)).unwrap();
+    let p = vex.report(&rt);
+    let json = p.to_json().unwrap();
+    let back: Profile = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.races, p.races);
+    assert_eq!(back.reuse, p.reuse);
+}

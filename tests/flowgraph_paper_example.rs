@@ -1,0 +1,154 @@
+//! The §5.2 / Figure 3 worked example, run through the real runtime and
+//! profiler: a 7-line GPU program whose value flow graph, vertex slice,
+//! and important graph must come out exactly as the paper draws them.
+
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::ThreadCtx;
+use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const N: usize = 64;
+
+struct WriteZeros {
+    name: &'static str,
+    dst: DevicePtr,
+}
+
+impl Kernel for WriteZeros {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .store(Pc(0), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < N {
+            ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, 0.0f32);
+        }
+    }
+}
+
+struct ReadAWriteB {
+    a: DevicePtr,
+    b: DevicePtr,
+}
+
+impl Kernel for ReadAWriteB {
+    fn name(&self) -> &str {
+        "combine"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .store(Pc(1), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < N {
+            let v: f32 = ctx.load(Pc(0), self.a.addr() + (i * 4) as u64);
+            ctx.store(Pc(1), self.b.addr() + (i * 4) as u64, v + 1.0);
+        }
+    }
+}
+
+fn build() -> Profile {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder().coarse(true).fine(false).attach(&mut rt);
+    let a = rt.with_fn("line1", |rt| rt.malloc((N * 4) as u64, "A_dev")).unwrap();
+    let b = rt.with_fn("line2", |rt| rt.malloc((N * 4) as u64, "B_dev")).unwrap();
+    rt.with_fn("line3", |rt| rt.memset(a, 0, (N * 4) as u64)).unwrap();
+    rt.with_fn("line4", |rt| rt.memset(b, 0, (N * 4) as u64)).unwrap();
+    rt.with_fn("line5", |rt| {
+        rt.launch(&WriteZeros { name: "write_a", dst: a }, Dim3::linear(2), Dim3::linear(32))
+    })
+    .unwrap();
+    rt.with_fn("line6", |rt| {
+        rt.launch(&WriteZeros { name: "write_b", dst: b }, Dim3::linear(2), Dim3::linear(32))
+    })
+    .unwrap();
+    rt.with_fn("line7", |rt| {
+        rt.launch(&ReadAWriteB { a, b }, Dim3::linear(2), Dim3::linear(32))
+    })
+    .unwrap();
+    vex.report(&rt)
+}
+
+#[test]
+fn graph_matches_figure3() {
+    let p = build();
+    let g = &p.flow_graph;
+    // host + 2 allocs + 2 memsets + 3 kernels = 8 vertices.
+    assert_eq!(g.vertex_count(), 8);
+    // 1->3(A), 2->4(B), 3->5(A), 4->6(B), 5->7(A read), 6->7(B write).
+    assert_eq!(g.edge_count(), 6);
+}
+
+#[test]
+fn kernels_rewriting_memset_zeros_are_red() {
+    let p = build();
+    // write_a and write_b rewrite the zeros the memsets installed — both
+    // must be flagged redundant (the red edges in Figure 3).
+    let redundant_kernels: Vec<&str> = p
+        .redundancies
+        .iter()
+        .map(|r| r.api.as_str())
+        .collect();
+    assert!(redundant_kernels.contains(&"write_a"), "{redundant_kernels:?}");
+    assert!(redundant_kernels.contains(&"write_b"));
+    // combine writes v+1.0 = 1.0 over zeros: changed, not redundant.
+    assert!(!redundant_kernels.contains(&"combine"));
+}
+
+#[test]
+fn vertex_slice_on_line6_matches_figure3d() {
+    let p = build();
+    let g = &p.flow_graph;
+    let v6 = g.find_by_name("write_b").expect("vertex 6");
+    let slice = g.vertex_slice(v6);
+    // B's chain: alloc B -> memset B -> write_b -> combine. Everything on
+    // A's side except the shared consumer disappears.
+    assert!(slice.vertex(g.find_by_name("A_dev").unwrap()).is_none());
+    assert!(slice.vertex(g.find_by_name("write_a").unwrap()).is_none());
+    assert!(slice.vertex(g.find_by_name("B_dev").unwrap()).is_some());
+    assert!(slice.vertex(g.find_by_name("combine").unwrap()).is_some());
+    assert_eq!(slice.edge_count(), 3);
+}
+
+#[test]
+fn important_graph_prunes_like_figure3e() {
+    let p = build();
+    let g = &p.flow_graph;
+    let max_bytes = g.edges().map(|(_, _, _, d)| d.bytes).max().unwrap();
+    // All edges carry the same bytes here, so I_e = max/2 keeps them all;
+    // a threshold above max prunes every edge.
+    assert_eq!(g.important(max_bytes / 2, u64::MAX).edge_count(), g.edge_count());
+    let empty = g.important(max_bytes + 1, u64::MAX);
+    assert_eq!(empty.edge_count(), 0);
+    // Vertex importance keeps hot vertices even without edges.
+    let hot = g.important(max_bytes + 1, 1);
+    assert!(hot.vertex_count() > 1);
+}
+
+#[test]
+fn duplicates_between_a_and_b_after_memsets() {
+    let p = build();
+    // After line 4, A and B are both all-zeros: the duplicate-values
+    // pattern (the paper's Figure 3 graph carries this as matching
+    // snapshots on both chains).
+    assert!(
+        p.duplicates.iter().any(|d| {
+            let l = (d.labels.0.as_str(), d.labels.1.as_str());
+            l == ("A_dev", "B_dev") || l == ("B_dev", "A_dev")
+        }),
+        "{:?}",
+        p.duplicates
+    );
+}

@@ -1,0 +1,202 @@
+//! End-to-end profiler pipeline tests spanning vex-gpu, vex-trace, and
+//! vex-core: sampling and filtering semantics, overhead accounting,
+//! adaptive copy behaviour, and profile serialization.
+
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::ThreadCtx;
+use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const N: usize = 1024;
+
+struct Sweep {
+    dst: DevicePtr,
+    value: f32,
+}
+
+impl Kernel for Sweep {
+    fn name(&self) -> &str {
+        "sweep"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .store(Pc(0), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < N {
+            ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, self.value);
+        }
+    }
+}
+
+/// A kernel touching a sparse subset of a large object — exercises the
+/// segment-copy path of the adaptive snapshot updater.
+struct SparseTouch {
+    dst: DevicePtr,
+}
+
+impl Kernel for SparseTouch {
+    fn name(&self) -> &str {
+        "sparse_touch"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .store(Pc(0), ScalarType::F32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let i = ctx.global_thread_id();
+        if i < 3 {
+            // Three accesses, 256 KiB apart: streaming the gaps would be
+            // far costlier than three copy calls.
+            ctx.store(Pc(0), self.dst.addr() + (i * 262_144) as u64, 1.0f32);
+        }
+    }
+}
+
+fn runtime() -> Runtime {
+    Runtime::new(DeviceSpec::test_small())
+}
+
+#[test]
+fn kernel_sampling_instruments_every_pth_launch() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder().coarse(false).fine(true).kernel_sampling(3).attach(&mut rt);
+    let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+    for _ in 0..9 {
+        rt.launch(&Sweep { dst, value: 1.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    }
+    let s = vex.collector_stats();
+    assert_eq!(s.instrumented_launches, 3);
+    assert_eq!(s.skipped_launches, 6);
+    assert_eq!(s.events, 3 * N as u64);
+}
+
+#[test]
+fn block_sampling_filters_at_collection() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder().coarse(false).fine(true).block_sampling(4).attach(&mut rt);
+    let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+    rt.launch(&Sweep { dst, value: 2.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    let p = vex.report(&rt);
+    // Every access was inspected, but only every 4th block's records
+    // entered the device buffer (§6.2 sampling happens at collection).
+    assert_eq!(p.collector_stats.events_checked, N as u64);
+    assert_eq!(p.collector_stats.events, N as u64 / 4);
+    assert_eq!(p.fine_traffic.records_analyzed, N as u64 / 4);
+    assert_eq!(p.fine_traffic.records_skipped, 0);
+    // The sampled blocks still expose the pattern.
+    assert!(p.has_pattern(ValuePattern::SingleValue));
+}
+
+#[test]
+fn kernel_filter_composes_with_sampling() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder()
+        .coarse(false)
+        .fine(true)
+        .filter_kernels(["sweep"])
+        .kernel_sampling(2)
+        .attach(&mut rt);
+    let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+    for _ in 0..4 {
+        rt.launch(&Sweep { dst, value: 1.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+        rt.launch(&SparseTouch { dst }, Dim3::linear(1), Dim3::linear(32)).unwrap();
+    }
+    let s = vex.collector_stats();
+    // sweep launches 0 and 2 instrumented; sparse_touch never.
+    assert_eq!(s.instrumented_launches, 2);
+    assert_eq!(s.events, 2 * N as u64);
+}
+
+#[test]
+fn overhead_grows_with_instrumented_work() {
+    let mut rt1 = runtime();
+    let vex_all = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt1);
+    let dst = rt1.malloc((N * 4) as u64, "buf").unwrap();
+    for _ in 0..4 {
+        rt1.launch(&Sweep { dst, value: 1.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    }
+    let full = vex_all.report(&rt1).overhead;
+
+    let mut rt2 = runtime();
+    let vex_sampled = ValueExpert::builder()
+        .coarse(true)
+        .fine(true)
+        .kernel_sampling(4)
+        .block_sampling(4)
+        .attach(&mut rt2);
+    let dst = rt2.malloc((N * 4) as u64, "buf").unwrap();
+    for _ in 0..4 {
+        rt2.launch(&Sweep { dst, value: 1.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    }
+    let sampled = vex_sampled.report(&rt2).overhead;
+
+    assert!(full.factor() > sampled.factor(), "{} vs {}", full.factor(), sampled.factor());
+    assert!(sampled.factor() >= 1.0);
+}
+
+#[test]
+fn sparse_kernel_uses_segment_copy() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder().coarse(true).fine(false).attach(&mut rt);
+    let dst = rt.malloc(2 * 262_144 + 4096, "big").unwrap();
+    rt.launch(&SparseTouch { dst }, Dim3::linear(1), Dim3::linear(32)).unwrap();
+    let p = vex.report(&rt);
+    // Adaptive copy must not ship the whole object: 3 disjoint 4-byte
+    // intervals spanning 512 KiB → segment copy, 12 bytes total.
+    assert_eq!(p.coarse_traffic.snapshot_calls, 3);
+    assert_eq!(p.coarse_traffic.snapshot_bytes, 12);
+}
+
+#[test]
+fn dense_kernel_uses_single_copy() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder().coarse(true).fine(false).attach(&mut rt);
+    let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+    rt.launch(&Sweep { dst, value: 3.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    let p = vex.report(&rt);
+    // Contiguous coverage merges to one interval → one copy call.
+    assert_eq!(p.coarse_traffic.merged_intervals, 1);
+    assert_eq!(p.coarse_traffic.snapshot_calls, 1);
+    assert_eq!(p.coarse_traffic.snapshot_bytes, (N * 4) as u64);
+    // Warp compaction collapsed the per-thread intervals first.
+    assert!(p.coarse_traffic.compacted_intervals < p.coarse_traffic.raw_intervals);
+}
+
+#[test]
+fn profile_json_roundtrip_through_serde() {
+    let mut rt = runtime();
+    let vex = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt);
+    let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+    rt.memset(dst, 0, (N * 4) as u64).unwrap();
+    rt.launch(&Sweep { dst, value: 0.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    let p = vex.report(&rt);
+    let json = p.to_json().expect("serialize");
+    let back: Profile = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.redundancies.len(), p.redundancies.len());
+    assert_eq!(back.flow_graph.vertex_count(), p.flow_graph.vertex_count());
+    assert_eq!(back.fine_findings.len(), p.fine_findings.len());
+}
+
+#[test]
+fn unprofiled_run_is_unperturbed() {
+    // The profiler must not change application results (snapshots are
+    // CPU-side copies, never writes to device memory).
+    let run = |profiled: bool| -> Vec<u8> {
+        let mut rt = runtime();
+        let _vex = profiled
+            .then(|| ValueExpert::builder().coarse(true).fine(true).attach(&mut rt));
+        let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
+        rt.memset(dst, 7, (N * 4) as u64).unwrap();
+        rt.launch(&Sweep { dst, value: 5.5 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+        rt.read_vec(dst, (N * 4) as u64).unwrap()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,215 @@
+//! Randomized full-pipeline robustness: arbitrary GPU programs (API
+//! sequences plus kernels with arbitrary access patterns) run under the
+//! complete profiler — coarse + fine + reuse + races — and must never
+//! panic, must keep the flow graph well-formed, and must produce a
+//! serializable profile.
+
+use proptest::prelude::*;
+use vex_core::prelude::*;
+use vex_gpu::dim::Dim3;
+use vex_gpu::exec::ThreadCtx;
+use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+use vex_gpu::kernel::Kernel;
+use vex_gpu::prelude::DevicePtr;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+
+const OBJECTS: usize = 4;
+const OBJ_SIZE: u64 = 4096;
+
+/// One operation of a random program.
+#[derive(Debug, Clone)]
+enum Op {
+    Memset { obj: u8, value: u8, len: u16 },
+    H2D { obj: u8, len: u16, fill: u8 },
+    D2D { dst: u8, src: u8, len: u16 },
+    Launch { accesses: Vec<Access> },
+}
+
+#[derive(Debug, Clone)]
+struct Access {
+    obj: u8,
+    offset: u16,
+    is_store: bool,
+    value: u32,
+}
+
+fn access() -> impl Strategy<Value = Access> {
+    (0u8..OBJECTS as u8, 0u16..(OBJ_SIZE as u16 - 4), any::<bool>(), any::<u32>()).prop_map(
+        |(obj, offset, is_store, value)| Access {
+            obj,
+            offset: offset & !3, // 4-byte aligned
+            is_store,
+            value,
+        },
+    )
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..OBJECTS as u8, any::<u8>(), 4u16..1024)
+            .prop_map(|(obj, value, len)| Op::Memset { obj, value, len }),
+        (0u8..OBJECTS as u8, 4u16..1024, any::<u8>())
+            .prop_map(|(obj, len, fill)| Op::H2D { obj, len, fill }),
+        (0u8..OBJECTS as u8, 0u8..OBJECTS as u8, 4u16..1024)
+            .prop_map(|(dst, src, len)| Op::D2D { dst, src, len }),
+        prop::collection::vec(access(), 1..40)
+            .prop_map(|accesses| Op::Launch { accesses }),
+    ]
+}
+
+/// A kernel executing a precomputed access script (spread over threads).
+struct ScriptKernel {
+    bases: Vec<DevicePtr>,
+    accesses: Vec<Access>,
+}
+
+impl Kernel for ScriptKernel {
+    fn name(&self) -> &str {
+        "script"
+    }
+    fn instr_table(&self) -> InstrTable {
+        InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::U32, MemSpace::Global)
+            .store(Pc(1), ScalarType::U32, MemSpace::Global)
+            .build()
+    }
+    fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+        let t = ctx.global_thread_id();
+        // Thread t performs accesses t, t+T, t+2T, ... (some cross-block
+        // conflicts arise naturally — the race detector must cope).
+        let threads = ctx.grid_dim().count() * ctx.block_dim().count();
+        let mut i = t;
+        while i < self.accesses.len() {
+            let a = &self.accesses[i];
+            let addr = self.bases[a.obj as usize].addr() + a.offset as u64;
+            if a.is_store {
+                ctx.store::<u32>(Pc(1), addr, a.value);
+            } else {
+                let _: u32 = ctx.load(Pc(0), addr);
+            }
+            i += threads;
+        }
+    }
+}
+
+fn run_program(ops: &[Op]) -> Profile {
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder()
+        .coarse(true)
+        .fine(true)
+        .reuse_distance(64)
+        .race_detection(true)
+        .attach(&mut rt);
+    let bases: Vec<DevicePtr> = (0..OBJECTS)
+        .map(|i| rt.malloc(OBJ_SIZE, &format!("obj{i}")).expect("alloc"))
+        .collect();
+    for op in ops {
+        match op {
+            Op::Memset { obj, value, len } => {
+                rt.memset(bases[*obj as usize], *value, *len as u64).expect("memset");
+            }
+            Op::H2D { obj, len, fill } => {
+                let data = vec![*fill; *len as usize];
+                rt.memcpy_h2d(bases[*obj as usize], &data).expect("h2d");
+            }
+            Op::D2D { dst, src, len } => {
+                rt.memcpy_d2d(bases[*dst as usize], bases[*src as usize], *len as u64)
+                    .expect("d2d");
+            }
+            Op::Launch { accesses } => {
+                let k = ScriptKernel { bases: bases.clone(), accesses: accesses.clone() };
+                rt.launch(&k, Dim3::linear(2), Dim3::linear(8)).expect("launch");
+            }
+        }
+    }
+    vex.report(&rt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_never_break_the_profiler(
+        ops in prop::collection::vec(op(), 0..25)
+    ) {
+        let profile = run_program(&ops);
+
+        // Flow graph well-formedness.
+        for (from, to, _obj, data) in profile.flow_graph.edges() {
+            prop_assert!(profile.flow_graph.vertex(from).is_some());
+            prop_assert!(profile.flow_graph.vertex(to).is_some());
+            prop_assert!(data.redundant_bytes <= data.bytes);
+        }
+
+        // Findings reference real contexts.
+        for r in &profile.redundancies {
+            prop_assert!(profile.contexts.contains_key(&r.context));
+            prop_assert!(r.unchanged_bytes <= r.written_bytes);
+        }
+
+        // Traffic accounting is self-consistent.
+        let t = profile.coarse_traffic;
+        prop_assert!(t.compacted_intervals <= t.raw_intervals);
+        prop_assert!(t.merged_intervals <= t.compacted_intervals.max(1));
+        let c = profile.collector_stats;
+        prop_assert!(c.events <= c.events_checked);
+        prop_assert_eq!(
+            c.bytes_flushed,
+            c.events * vex_trace::AccessRecord::DEVICE_BYTES
+        );
+
+        // Reuse histogram accounting.
+        if let Some(reuse) = &profile.reuse {
+            let bucketed: u64 = reuse.buckets.iter().sum();
+            prop_assert_eq!(reuse.total, reuse.cold + bucketed);
+        }
+
+        // Overhead finite, profile serializable and round-trippable.
+        prop_assert!(profile.overhead.factor().is_finite());
+        let json = profile.to_json().expect("serialize");
+        let back: Profile = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back.redundancies.len(), profile.redundancies.len());
+        prop_assert_eq!(back.races.len(), profile.races.len());
+    }
+
+    #[test]
+    fn random_programs_unperturbed_by_profiling(
+        ops in prop::collection::vec(op(), 0..15)
+    ) {
+        // Final device contents must be identical with and without the
+        // profiler.
+        let run_plain = |profiled: bool| -> Vec<Vec<u8>> {
+            let mut rt = Runtime::new(DeviceSpec::test_small());
+            let _vex = profiled.then(|| {
+                ValueExpert::builder().coarse(true).fine(true).attach(&mut rt)
+            });
+            let bases: Vec<DevicePtr> = (0..OBJECTS)
+                .map(|i| rt.malloc(OBJ_SIZE, &format!("obj{i}")).expect("alloc"))
+                .collect();
+            for op in &ops {
+                match op {
+                    Op::Memset { obj, value, len } => {
+                        rt.memset(bases[*obj as usize], *value, *len as u64).expect("memset")
+                    }
+                    Op::H2D { obj, len, fill } => {
+                        let data = vec![*fill; *len as usize];
+                        rt.memcpy_h2d(bases[*obj as usize], &data).expect("h2d")
+                    }
+                    Op::D2D { dst, src, len } => rt
+                        .memcpy_d2d(bases[*dst as usize], bases[*src as usize], *len as u64)
+                        .expect("d2d"),
+                    Op::Launch { accesses } => {
+                        let k = ScriptKernel {
+                            bases: bases.clone(),
+                            accesses: accesses.clone(),
+                        };
+                        rt.launch(&k, Dim3::linear(2), Dim3::linear(8)).expect("launch");
+                    }
+                }
+            }
+            bases.iter().map(|b| rt.read_vec(*b, OBJ_SIZE).expect("read")).collect()
+        };
+        prop_assert_eq!(run_plain(false), run_plain(true));
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 1 reproduction as a test: every workload, profiled with both
+//! passes, must exhibit at least the *headline* pattern its Table 4
+//! optimization exploits, and the full detected set is compared against
+//! the paper's matrix (recall is asserted; extra detections are allowed
+//! because the recognizers run on synthetic inputs).
+//!
+//! Downsized app instances keep this suite fast; the full-size matrix is
+//! produced by `cargo run -p vex-bench --bin table1`.
+
+use vex_bench::{table1_expected, table4_pattern};
+use vex_core::prelude::*;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, GpuApp, Variant};
+
+fn profile(app: &dyn GpuApp) -> Profile {
+    let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+    let vex = ValueExpert::builder()
+        .coarse(true)
+        .fine(true)
+        .block_sampling(4)
+        .attach(&mut rt);
+    app.run(&mut rt, Variant::Baseline).expect("run baseline");
+    vex.report(&rt)
+}
+
+#[test]
+fn every_app_exhibits_its_headline_pattern() {
+    for app in all_apps() {
+        let headline = table4_pattern(app.name());
+        let p = profile(app.as_ref());
+        assert!(
+            p.has_pattern(headline),
+            "{}: headline pattern {headline} not detected (found {:?})",
+            app.name(),
+            p.detected_patterns()
+        );
+    }
+}
+
+#[test]
+fn table1_recall_is_high() {
+    // Across the whole matrix we demand ≥ 80% of the paper's cells, and
+    // per-app at least one of its cells.
+    let mut paper_cells = 0usize;
+    let mut matched = 0usize;
+    let mut misses: Vec<String> = Vec::new();
+    for app in all_apps() {
+        let expected = table1_expected(app.name());
+        let p = profile(app.as_ref());
+        let detected = p.detected_patterns();
+        let app_matched = expected.intersection(&detected).count();
+        assert!(
+            app_matched > 0,
+            "{}: none of {:?} detected (found {:?})",
+            app.name(),
+            expected,
+            detected
+        );
+        paper_cells += expected.len();
+        matched += app_matched;
+        for m in expected.difference(&detected) {
+            misses.push(format!("{}:{m}", app.name()));
+        }
+    }
+    let recall = matched as f64 / paper_cells as f64;
+    assert!(
+        recall >= 0.8,
+        "matrix recall {recall:.2} ({matched}/{paper_cells}); misses: {misses:?}"
+    );
+}
+
+#[test]
+fn no_false_positives_on_a_patternless_program() {
+    // The paper claims no false positives in pattern identification. A
+    // program writing unique, address-uncorrelated values through the
+    // full width of its type must trigger nothing.
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::exec::ThreadCtx;
+    use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+    use vex_gpu::kernel::Kernel;
+
+    struct HashStore {
+        dst: u64,
+    }
+    impl Kernel for HashStore {
+        fn name(&self) -> &str {
+            "hash_store"
+        }
+        fn instr_table(&self) -> InstrTable {
+            InstrTableBuilder::new()
+                .store(Pc(0), ScalarType::U32, MemSpace::Global)
+                .build()
+        }
+        fn execute(&self, ctx: &mut ThreadCtx<'_>) {
+            let i = ctx.global_thread_id() as u64;
+            // splitmix-style hash: full-width, uncorrelated with address.
+            let mut x = i.wrapping_add(0x9E3779B97F4A7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ctx.store::<u32>(Pc(0), self.dst + i * 4, (x >> 16) as u32);
+        }
+    }
+
+    let mut rt = Runtime::new(DeviceSpec::test_small());
+    let vex = ValueExpert::builder().coarse(true).fine(true).attach(&mut rt);
+    let dst = rt.malloc(1024 * 4, "random").unwrap();
+    rt.launch(&HashStore { dst: dst.addr() }, Dim3::linear(4), Dim3::linear(256)).unwrap();
+    let p = vex.report(&rt);
+    assert!(
+        p.detected_patterns().is_empty(),
+        "false positives: {:?}",
+        p.detected_patterns()
+    );
+}

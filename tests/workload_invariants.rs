@@ -1,0 +1,86 @@
+//! Cross-cutting invariants over all 19 workloads:
+//!
+//! * determinism — two runs of the same variant produce bit-identical
+//!   checksums and identical simulated times;
+//! * optimization validity — the optimized variant matches the baseline
+//!   within its declared tolerance on *both* device presets;
+//! * profiler transparency — attaching the coarse profiler does not
+//!   change application results;
+//! * timing sanity — simulated times are positive and finite everywhere.
+
+use vex_core::prelude::*;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, AppOutput, GpuApp, Variant};
+
+fn run(spec: &DeviceSpec, app: &dyn GpuApp, variant: Variant, profiled: bool) -> (AppOutput, f64) {
+    let mut rt = Runtime::new(spec.clone());
+    let _vex = profiled.then(|| ValueExpert::builder().coarse(true).fine(false).attach(&mut rt));
+    let out = app.run(&mut rt, variant).expect("workload runs");
+    (out, rt.time_report().total_us())
+}
+
+#[test]
+fn all_apps_are_deterministic() {
+    let spec = DeviceSpec::rtx2080ti();
+    for app in all_apps() {
+        let (a, ta) = run(&spec, app.as_ref(), Variant::Baseline, false);
+        let (b, tb) = run(&spec, app.as_ref(), Variant::Baseline, false);
+        assert_eq!(a.checksum, b.checksum, "{} checksum nondeterministic", app.name());
+        assert_eq!(ta, tb, "{} timing nondeterministic", app.name());
+    }
+}
+
+#[test]
+fn optimizations_valid_on_both_devices() {
+    for spec in [DeviceSpec::rtx2080ti(), DeviceSpec::a100()] {
+        for app in all_apps() {
+            let (base, _) = run(&spec, app.as_ref(), Variant::Baseline, false);
+            let (opt, _) = run(&spec, app.as_ref(), Variant::Optimized, false);
+            assert!(
+                base.matches(&opt),
+                "{} on {}: {base:?} vs {opt:?}",
+                app.name(),
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn coarse_profiler_is_transparent() {
+    let spec = DeviceSpec::rtx2080ti();
+    for app in all_apps() {
+        let (plain, _) = run(&spec, app.as_ref(), Variant::Baseline, false);
+        let (profiled, _) = run(&spec, app.as_ref(), Variant::Baseline, true);
+        assert_eq!(
+            plain.checksum,
+            profiled.checksum,
+            "{}: profiling perturbed the application",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn simulated_times_are_sane() {
+    let spec = DeviceSpec::a100();
+    for app in all_apps() {
+        let mut rt = Runtime::new(spec.clone());
+        app.run(&mut rt, Variant::Baseline).expect("runs");
+        let report = rt.time_report();
+        assert!(report.total_us().is_finite() && report.total_us() > 0.0, "{}", app.name());
+        assert!(report.memory_time_us > 0.0, "{} must move data", app.name());
+        for (kernel, us) in &report.kernel_time_us {
+            assert!(us.is_finite() && *us > 0.0, "{}::{kernel}", app.name());
+        }
+        if !app.memory_only() {
+            assert!(
+                report.kernel_time_us.contains_key(app.hot_kernel()),
+                "{} never launched its hot kernel {}",
+                app.name(),
+                app.hot_kernel()
+            );
+        }
+    }
+}
