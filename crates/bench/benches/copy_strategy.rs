@@ -13,9 +13,8 @@ use vex_core::interval::Interval;
 fn layout(count: usize, density: f64) -> (Vec<Interval>, u64) {
     let piece = 256u64;
     let stride = (piece as f64 / density) as u64;
-    let intervals: Vec<Interval> = (0..count as u64)
-        .map(|i| Interval::new(i * stride, i * stride + piece))
-        .collect();
+    let intervals: Vec<Interval> =
+        (0..count as u64).map(|i| Interval::new(i * stride, i * stride + piece)).collect();
     let object = count as u64 * stride + 4096;
     (intervals, object)
 }
@@ -29,7 +28,9 @@ fn bench_planning(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("adaptive", format!("n{count}_d{density}")),
                 &intervals,
-                |b, iv| b.iter(|| plan_adaptive(black_box(iv), object, &AdaptivePolicy::default())),
+                |b, iv| {
+                    b.iter(|| plan_adaptive(black_box(iv), object, &AdaptivePolicy::default()))
+                },
             );
         }
     }

@@ -66,13 +66,9 @@ fn bench_warp_compact(c: &mut Criterion) {
     let mut group = c.benchmark_group("warp_compaction");
     // One warp's worth of coalesced accesses — the common fast path.
     let warp: Vec<Interval> = coalesced(32);
-    group.bench_function("coalesced_warp_32", |b| {
-        b.iter(|| warp_compact(black_box(&warp)))
-    });
+    group.bench_function("coalesced_warp_32", |b| b.iter(|| warp_compact(black_box(&warp))));
     let scattered: Vec<Interval> = strided(32);
-    group.bench_function("strided_warp_32", |b| {
-        b.iter(|| warp_compact(black_box(&scattered)))
-    });
+    group.bench_function("strided_warp_32", |b| b.iter(|| warp_compact(black_box(&scattered))));
     group.finish();
 }
 

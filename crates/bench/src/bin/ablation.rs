@@ -105,10 +105,10 @@ fn main() {
             &spec,
             app.as_ref(),
             Variant::Baseline,
-            ValueExpert::builder().coarse(true).fine(false).copy_policy(AdaptivePolicy {
-                max_segments: 0,
-                ..AdaptivePolicy::default()
-            }),
+            ValueExpert::builder()
+                .coarse(true)
+                .fine(false)
+                .copy_policy(AdaptivePolicy { max_segments: 0, ..AdaptivePolicy::default() }),
         )
         .0
         .coarse_traffic;
@@ -117,10 +117,10 @@ fn main() {
             &spec,
             app.as_ref(),
             Variant::Baseline,
-            ValueExpert::builder().coarse(true).fine(false).copy_policy(AdaptivePolicy {
-                per_call_us: 0.0,
-                ..AdaptivePolicy::default()
-            }),
+            ValueExpert::builder()
+                .coarse(true)
+                .fine(false)
+                .copy_policy(AdaptivePolicy { per_call_us: 0.0, ..AdaptivePolicy::default() }),
         )
         .0
         .coarse_traffic;

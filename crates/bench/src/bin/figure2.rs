@@ -5,63 +5,20 @@
 //! Writes `results/darknet_flow.dot` (Graphviz) and
 //! `results/figure2.json` with node/edge counts. The paper's Darknet
 //! graph has 70 nodes and 114 edges; LAMMPS trims 660/1258 to 132/97
-//! under the important-graph analysis.
+//! under the important-graph analysis. The analysis itself lives in
+//! [`vex_bench::figure2_stats`] so the golden-file regression test
+//! re-runs the identical pipeline in-process.
 
-use serde::Serialize;
-use vex_bench::{profile_app, write_json};
-use vex_core::prelude::*;
-use vex_gpu::timing::DeviceSpec;
-use vex_workloads::{apps::darknet::Darknet, apps::lammps::Lammps, GpuApp, Variant};
-
-#[derive(Serialize)]
-struct GraphStats {
-    app: String,
-    nodes: usize,
-    edges: usize,
-    redundant_bytes: u64,
-    important_nodes: usize,
-    important_edges: usize,
-    slice_nodes: usize,
-    slice_edges: usize,
-}
+use vex_bench::{figure2_stats, write_json, GraphStats};
+use vex_workloads::{apps::darknet::Darknet, apps::lammps::Lammps, GpuApp};
 
 fn analyze(app: &dyn GpuApp, slice_target: &str, dot_name: &str) -> GraphStats {
-    let spec = DeviceSpec::rtx2080ti();
-    let (profile, _) = profile_app(
-        &spec,
-        app,
-        Variant::Baseline,
-        ValueExpert::builder().coarse(true).fine(false),
-    );
-    let g = &profile.flow_graph;
-
-    // Important graph: keep edges above half the maximum edge weight,
-    // mirroring the I_e = N/2 choice in the paper's Figure 3 walkthrough.
-    let max_bytes = g.edges().map(|(_, _, _, d)| d.bytes).max().unwrap_or(0);
-    let important = g.important(max_bytes / 2, u64::MAX);
-
-    // Vertex slice on an interesting kernel.
-    let slice = g
-        .find_by_name(slice_target)
-        .map(|v| g.vertex_slice(v))
-        .unwrap_or_else(FlowGraph::new);
-
-    let dot = g.to_dot(profile.redundancy_threshold);
+    let (stats, dot) = figure2_stats(app, slice_target);
     std::fs::create_dir_all("results").expect("create results dir");
     let path = format!("results/{dot_name}.dot");
     std::fs::write(&path, &dot).expect("write dot file");
     eprintln!("[wrote {path}]");
-
-    GraphStats {
-        app: app.name().to_owned(),
-        nodes: g.vertex_count(),
-        edges: g.edge_count(),
-        redundant_bytes: g.total_redundant_bytes(),
-        important_nodes: important.vertex_count(),
-        important_edges: important.edge_count(),
-        slice_nodes: slice.vertex_count(),
-        slice_edges: slice.edge_count(),
-    }
+    stats
 }
 
 fn main() {

@@ -30,9 +30,7 @@ impl Kernel for WriteKernel {
         self.name
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -88,11 +86,19 @@ fn main() {
     rt.with_fn("line3", |rt| rt.memset(a, 0, (N * 4) as u64)).expect("memset A");
     rt.with_fn("line4", |rt| rt.memset(b, 0, (N * 4) as u64)).expect("memset B");
     rt.with_fn("line5", |rt| {
-        rt.launch(&WriteKernel { name: "write_a", dst: a, value: 0.0 }, Dim3::linear(2), Dim3::linear(32))
+        rt.launch(
+            &WriteKernel { name: "write_a", dst: a, value: 0.0 },
+            Dim3::linear(2),
+            Dim3::linear(32),
+        )
     })
     .expect("kernel 5");
     rt.with_fn("line6", |rt| {
-        rt.launch(&WriteKernel { name: "write_b", dst: b, value: 0.0 }, Dim3::linear(2), Dim3::linear(32))
+        rt.launch(
+            &WriteKernel { name: "write_b", dst: b, value: 0.0 },
+            Dim3::linear(2),
+            Dim3::linear(32),
+        )
     })
     .expect("kernel 6");
     rt.with_fn("line7", |rt| {

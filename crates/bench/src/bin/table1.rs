@@ -3,36 +3,14 @@
 //! Runs every workload under ValueExpert (coarse + fine, light block
 //! sampling to bound runtime), collects the detected pattern set, and
 //! prints it next to the paper's matrix. Writes `results/table1.json`.
+//! The profiling configuration and row layout live in
+//! [`vex_bench::table1_detect`] / [`vex_bench::table1_row`] so the
+//! golden-file regression test re-runs the identical pipeline.
 
-use serde::Serialize;
-use std::collections::BTreeSet;
-use vex_bench::{profile_app, table1_expected, write_json};
+use vex_bench::{table1_detect, table1_expected, table1_row, write_json};
 use vex_core::prelude::*;
 use vex_gpu::timing::DeviceSpec;
-use vex_workloads::{all_apps, Variant};
-
-#[derive(Serialize)]
-struct Row {
-    app: String,
-    detected: Vec<String>,
-    paper: Vec<String>,
-    matched: Vec<String>,
-    missed: Vec<String>,
-    extra: Vec<String>,
-}
-
-fn short(p: ValuePattern) -> &'static str {
-    match p {
-        ValuePattern::RedundantValues => "Red",
-        ValuePattern::DuplicateValues => "Dup",
-        ValuePattern::FrequentValues => "Freq",
-        ValuePattern::SingleValue => "SVal",
-        ValuePattern::SingleZero => "SZero",
-        ValuePattern::HeavyType => "Heavy",
-        ValuePattern::StructuredValues => "Struct",
-        ValuePattern::ApproximateValues => "Approx",
-    }
-}
+use vex_workloads::all_apps;
 
 fn main() {
     let spec = DeviceSpec::rtx2080ti();
@@ -44,13 +22,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for app in all_apps() {
-        let builder = ValueExpert::builder()
-            .coarse(true)
-            .fine(true)
-            .block_sampling(4);
-        let (profile, _) = profile_app(&spec, app.as_ref(), Variant::Baseline, builder);
-        let detected = profile.detected_patterns();
+        let detected = table1_detect(&spec, app.as_ref());
         let paper = table1_expected(app.name());
+        let row = table1_row(app.name(), &detected, &paper);
 
         let cells: Vec<String> = ValuePattern::ALL
             .iter()
@@ -65,7 +39,6 @@ fn main() {
                 }
             })
             .collect();
-        let matched: BTreeSet<_> = detected.intersection(&paper).copied().collect();
         println!(
             "{:<18} {:>4} {:>4} {:>4} {:>5} {:>5} {:>5} {:>6} {:>6}   {}/{}",
             app.name(),
@@ -77,23 +50,17 @@ fn main() {
             cells[5],
             cells[6],
             cells[7],
-            matched.len(),
+            row.matched.len(),
             paper.len()
         );
-
-        rows.push(Row {
-            app: app.name().to_owned(),
-            detected: detected.iter().map(|p| short(*p).to_owned()).collect(),
-            paper: paper.iter().map(|p| short(*p).to_owned()).collect(),
-            matched: matched.iter().map(|p| short(*p).to_owned()).collect(),
-            missed: paper.difference(&detected).map(|p| short(*p).to_owned()).collect(),
-            extra: detected.difference(&paper).map(|p| short(*p).to_owned()).collect(),
-        });
+        rows.push(row);
     }
 
     let total_paper: usize = rows.iter().map(|r| r.paper.len()).sum();
     let total_matched: usize = rows.iter().map(|r| r.matched.len()).sum();
-    println!("\nlegend: ✓ detected & in paper, + extra detection, miss = paper cell not detected");
+    println!(
+        "\nlegend: ✓ detected & in paper, + extra detection, miss = paper cell not detected"
+    );
     println!("matched {total_matched}/{total_paper} paper cells");
     write_json("table1", &rows);
 }

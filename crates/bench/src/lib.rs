@@ -178,7 +178,9 @@ pub fn table1_expected(app: &str) -> BTreeSet<ValuePattern> {
     let v: &[ValuePattern] = match app {
         "bfs" => &[RedundantValues, FrequentValues, SingleValue, HeavyType],
         "backprop" => &[RedundantValues, DuplicateValues, SingleZero],
-        "sradv1" => &[DuplicateValues, FrequentValues, SingleValue, HeavyType, StructuredValues],
+        "sradv1" => {
+            &[DuplicateValues, FrequentValues, SingleValue, HeavyType, StructuredValues]
+        }
         "hotspot" => &[FrequentValues, ApproximateValues],
         "pathfinder" => &[RedundantValues, FrequentValues, HeavyType],
         "cfd" => &[RedundantValues, FrequentValues],
@@ -264,6 +266,121 @@ pub fn table4_pattern(app: &str) -> ValuePattern {
     }
 }
 
+/// Node and edge statistics of one application's value flow graph — one
+/// row of the Figure 2 artefact (`results/figure2.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphStats {
+    /// Application name.
+    pub app: String,
+    /// Vertices in the full value flow graph.
+    pub nodes: usize,
+    /// Edges in the full value flow graph.
+    pub edges: usize,
+    /// Redundant bytes attributed to edges.
+    pub redundant_bytes: u64,
+    /// Vertices surviving the important-graph analysis.
+    pub important_nodes: usize,
+    /// Edges surviving the important-graph analysis.
+    pub important_edges: usize,
+    /// Vertices of the slice rooted at the target kernel.
+    pub slice_nodes: usize,
+    /// Edges of the slice rooted at the target kernel.
+    pub slice_edges: usize,
+}
+
+/// Profiles `app` coarse-only (the Figure 2 configuration) and derives
+/// its flow-graph statistics plus the rendered DOT text. Shared between
+/// the `figure2` binary and the golden-file regression test so both
+/// always run the identical pipeline.
+pub fn figure2_stats(app: &dyn GpuApp, slice_target: &str) -> (GraphStats, String) {
+    let spec = DeviceSpec::rtx2080ti();
+    let (profile, _) = profile_app(
+        &spec,
+        app,
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    );
+    let g = &profile.flow_graph;
+
+    // Important graph: keep edges above half the maximum edge weight,
+    // mirroring the I_e = N/2 choice in the paper's Figure 3 walkthrough.
+    let max_bytes = g.edges().map(|(_, _, _, d)| d.bytes).max().unwrap_or(0);
+    let important = g.important(max_bytes / 2, u64::MAX);
+
+    // Vertex slice on an interesting kernel.
+    let slice =
+        g.find_by_name(slice_target).map(|v| g.vertex_slice(v)).unwrap_or_else(FlowGraph::new);
+
+    let dot = g.to_dot(profile.redundancy_threshold);
+    let stats = GraphStats {
+        app: app.name().to_owned(),
+        nodes: g.vertex_count(),
+        edges: g.edge_count(),
+        redundant_bytes: g.total_redundant_bytes(),
+        important_nodes: important.vertex_count(),
+        important_edges: important.edge_count(),
+        slice_nodes: slice.vertex_count(),
+        slice_edges: slice.edge_count(),
+    };
+    (stats, dot)
+}
+
+/// One row of the Table 1 artefact (`results/table1.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Patterns ValueExpert detected (abbreviated).
+    pub detected: Vec<String>,
+    /// Patterns the paper's matrix lists.
+    pub paper: Vec<String>,
+    /// Intersection of detected and paper.
+    pub matched: Vec<String>,
+    /// Paper cells not detected.
+    pub missed: Vec<String>,
+    /// Detections beyond the paper's matrix.
+    pub extra: Vec<String>,
+}
+
+/// Abbreviated pattern name used in artefact rows.
+pub fn pattern_short(p: ValuePattern) -> &'static str {
+    match p {
+        ValuePattern::RedundantValues => "Red",
+        ValuePattern::DuplicateValues => "Dup",
+        ValuePattern::FrequentValues => "Freq",
+        ValuePattern::SingleValue => "SVal",
+        ValuePattern::SingleZero => "SZero",
+        ValuePattern::HeavyType => "Heavy",
+        ValuePattern::StructuredValues => "Struct",
+        ValuePattern::ApproximateValues => "Approx",
+    }
+}
+
+/// Runs the Table 1 profiling configuration (coarse + fine, light block
+/// sampling) on `app` and returns the detected pattern set.
+pub fn table1_detect(spec: &DeviceSpec, app: &dyn GpuApp) -> BTreeSet<ValuePattern> {
+    let builder = ValueExpert::builder().coarse(true).fine(true).block_sampling(4);
+    let (profile, _) = profile_app(spec, app, Variant::Baseline, builder);
+    profile.detected_patterns()
+}
+
+/// Builds the Table 1 artefact row from an application's detected set.
+pub fn table1_row(
+    app: &str,
+    detected: &BTreeSet<ValuePattern>,
+    paper: &BTreeSet<ValuePattern>,
+) -> Table1Row {
+    let matched: BTreeSet<_> = detected.intersection(paper).copied().collect();
+    Table1Row {
+        app: app.to_owned(),
+        detected: detected.iter().map(|p| pattern_short(*p).to_owned()).collect(),
+        paper: paper.iter().map(|p| pattern_short(*p).to_owned()).collect(),
+        matched: matched.iter().map(|p| pattern_short(*p).to_owned()).collect(),
+        missed: paper.difference(detected).map(|p| pattern_short(*p).to_owned()).collect(),
+        extra: detected.difference(paper).map(|p| pattern_short(*p).to_owned()).collect(),
+    }
+}
+
 /// A small fine-analysis configuration matching the paper's Figure 6
 /// setup: no sampling for coarse, kernel+block sampling for fine
 /// (period 20 for benchmarks, 100 for applications), kernel filtering on
@@ -317,11 +434,8 @@ mod tests {
     #[test]
     fn speedup_measurement_smoke() {
         // One cheap app end-to-end through the harness path.
-        let app = vex_workloads::apps::qmcpack::Qmcpack {
-            walkers: 1024,
-            setup_elems: 64,
-            steps: 1,
-        };
+        let app =
+            vex_workloads::apps::qmcpack::Qmcpack { walkers: 1024, setup_elems: 64, steps: 1 };
         let row = measure_speedups(&DeviceSpec::rtx2080ti(), &app);
         assert_eq!(row.app, "QMCPACK");
         assert!(row.memory_speedup > 0.5);

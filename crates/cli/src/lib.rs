@@ -168,9 +168,8 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
     match cmd {
         "list" => Ok(Command::List),
         "profile" => {
-            let app = it
-                .next()
-                .ok_or_else(|| UsageError("profile requires an app name".into()))?;
+            let app =
+                it.next().ok_or_else(|| UsageError("profile requires an app name".into()))?;
             let mut p = ProfileArgs::new(app.to_owned());
             while let Some(flag) = it.next() {
                 match flag {
@@ -245,10 +244,7 @@ pub fn find_app(name: &str) -> Result<Box<dyn GpuApp>, UsageError> {
         }
     }
     let names: Vec<&'static str> = all_apps().iter().map(|a| a.name()).collect();
-    Err(UsageError(format!(
-        "unknown app '{name}'; available: {}",
-        names.join(", ")
-    )))
+    Err(UsageError(format!("unknown app '{name}'; available: {}", names.join(", "))))
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -268,7 +264,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                     out,
                     "{:<18} hot kernel: {}",
                     app.name(),
-                    if app.memory_only() { "(memory-bound rows only)" } else { app.hot_kernel() }
+                    if app.memory_only() {
+                        "(memory-bound rows only)"
+                    } else {
+                        app.hot_kernel()
+                    }
                 )
                 .map_err(io_err)?;
             }
@@ -461,11 +461,8 @@ mod tests {
     #[test]
     fn speedup_runs() {
         let mut out = Vec::new();
-        run(
-            &Command::Speedup { app: "backprop".into(), device: Device::Rtx2080Ti },
-            &mut out,
-        )
-        .unwrap();
+        run(&Command::Speedup { app: "backprop".into(), device: Device::Rtx2080Ti }, &mut out)
+            .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("kernel bpnn_adjust_weights_cuda"), "{s}");
         assert!(s.contains("memory time"), "{s}");

@@ -145,8 +145,10 @@ pub fn infer_access_types(table: &InstrTable) -> AccessTypeMap {
     let mut adj: HashMap<Reg, Vec<Reg>> = HashMap::new();
     let mut queue: VecDeque<Reg> = VecDeque::new();
 
-    let seed = |reg: Reg, ty: ScalarType, reg_ty: &mut HashMap<Reg, ScalarType>,
-                    queue: &mut VecDeque<Reg>| {
+    let seed = |reg: Reg,
+                ty: ScalarType,
+                reg_ty: &mut HashMap<Reg, ScalarType>,
+                queue: &mut VecDeque<Reg>| {
         if reg_ty.insert(reg, ty).is_none() {
             queue.push_back(reg);
         }
@@ -157,11 +159,8 @@ pub fn infer_access_types(table: &InstrTable) -> AccessTypeMap {
             (Opcode::Ld, Some(acc)) | (Opcode::St, Some(acc)) => {
                 // The register carrying the value: dst for loads, first
                 // src for stores.
-                let value_reg = if acc.is_store {
-                    instr.srcs.first().copied()
-                } else {
-                    instr.dst
-                };
+                let value_reg =
+                    if acc.is_store { instr.srcs.first().copied() } else { instr.dst };
                 if let (Some(reg), Some(ty)) = (value_reg, acc.ty) {
                     seed(reg, ty, &mut reg_ty, &mut queue);
                 }
@@ -214,11 +213,7 @@ pub fn infer_access_types(table: &InstrTable) -> AccessTypeMap {
     let mut out = AccessTypeMap::default();
     for instr in table.memory_instrs() {
         let acc = instr.access.expect("memory_instrs yields accesses");
-        let value_reg = if acc.is_store {
-            instr.srcs.first().copied()
-        } else {
-            instr.dst
-        };
+        let value_reg = if acc.is_store { instr.srcs.first().copied() } else { instr.dst };
         let (ty, inferred) = match acc.ty {
             Some(t) => (t, false),
             None => match value_reg.and_then(|r| reg_ty.get(&r)) {
@@ -250,9 +245,17 @@ pub fn resolve_one(table: &InstrTable, pc: Pc) -> Option<ResolvedAccess> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vex_gpu::ir::{AccessDecl, FloatWidth, InstrTableBuilder, Instruction, IntWidth, MemSpace};
+    use vex_gpu::ir::{
+        AccessDecl, FloatWidth, InstrTableBuilder, Instruction, IntWidth, MemSpace,
+    };
 
-    fn mem_instr(pc: u32, is_store: bool, width: u8, ty: Option<ScalarType>, reg: u16) -> Instruction {
+    fn mem_instr(
+        pc: u32,
+        is_store: bool,
+        width: u8,
+        ty: Option<ScalarType>,
+        reg: u16,
+    ) -> Instruction {
         Instruction {
             pc: Pc(pc),
             op: if is_store { Opcode::St } else { Opcode::Ld },
@@ -365,9 +368,7 @@ mod tests {
 
     #[test]
     fn unknown_falls_back_to_unsigned() {
-        let t = InstrTableBuilder::new()
-            .load_untyped(Pc(0), 4, MemSpace::Global)
-            .build();
+        let t = InstrTableBuilder::new().load_untyped(Pc(0), 4, MemSpace::Global).build();
         let r = infer_access_types(&t).get(Pc(0)).unwrap();
         assert_eq!(r.ty, ScalarType::U32);
         assert!(r.inferred);
@@ -388,9 +389,7 @@ mod tests {
 
     #[test]
     fn decode_uses_map_or_fallback() {
-        let t = InstrTableBuilder::new()
-            .load(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build();
+        let t = InstrTableBuilder::new().load(Pc(0), ScalarType::F32, MemSpace::Global).build();
         let m = infer_access_types(&t);
         let d = m.decode(Pc(0), (2.0f32).to_bits() as u64, 4);
         assert_eq!(d.as_f64(), 2.0);

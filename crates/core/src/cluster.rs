@@ -127,18 +127,12 @@ pub struct ClusterReport {
 impl ClusterReport {
     /// Patterns detected on *any* device.
     pub fn detected_patterns(&self) -> BTreeSet<crate::patterns::ValuePattern> {
-        self.per_gpu
-            .iter()
-            .flat_map(|p| p.detected_patterns())
-            .collect()
+        self.per_gpu.iter().flat_map(|p| p.detected_patterns()).collect()
     }
 
     /// Total redundant bytes across devices.
     pub fn total_redundant_bytes(&self) -> u64 {
-        self.per_gpu
-            .iter()
-            .map(|p| p.flow_graph.total_redundant_bytes())
-            .sum()
+        self.per_gpu.iter().map(|p| p.flow_graph.total_redundant_bytes()).sum()
     }
 
     /// Total redundancy findings across devices.
@@ -149,10 +143,7 @@ impl ClusterReport {
     /// The worst per-device overhead factor (the pass gating wall-clock in
     /// a synchronized data-parallel run).
     pub fn worst_overhead_factor(&self) -> f64 {
-        self.per_gpu
-            .iter()
-            .map(|p| p.overhead.factor())
-            .fold(1.0, f64::max)
+        self.per_gpu.iter().map(|p| p.overhead.factor()).fold(1.0, f64::max)
     }
 
     /// Devices whose findings differ from device 0 — load-imbalance or
@@ -203,7 +194,9 @@ mod tests {
     use crate::patterns::ValuePattern;
     use vex_gpu::error::GpuError;
 
-    fn double_init_shard(shift: u64) -> impl FnMut(usize, &mut Runtime) -> Result<(), GpuError> {
+    fn double_init_shard(
+        shift: u64,
+    ) -> impl FnMut(usize, &mut Runtime) -> Result<(), GpuError> {
         move |gpu, rt| {
             let p = rt.malloc(1024 + shift * gpu as u64, "shard")?;
             rt.memset(p, 0, 1024)?;
@@ -257,10 +250,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_rejected() {
-        let _ = ClusterSession::new(
-            &DeviceSpec::test_small(),
-            0,
-            &ValueExpert::builder(),
-        );
+        let _ = ClusterSession::new(&DeviceSpec::test_small(), 0, &ValueExpert::builder());
     }
 }

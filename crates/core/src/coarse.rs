@@ -237,12 +237,7 @@ impl CoarseState {
     /// Consumes the analyzer, returning its products.
     pub fn into_parts(
         self,
-    ) -> (
-        FlowGraph,
-        Vec<RedundancyFinding>,
-        Vec<DuplicateFinding>,
-        CoarseTraffic,
-    ) {
+    ) -> (FlowGraph, Vec<RedundancyFinding>, Vec<DuplicateFinding>, CoarseTraffic) {
         (self.flow, self.redundancies, self.duplicates, self.traffic)
     }
 
@@ -258,9 +253,7 @@ impl CoarseState {
                 let v = self.flow.intern_vertex(VertexKind::Alloc, &info.label, event.context);
                 self.alloc_vertex.insert(info.id, v);
                 self.flow.set_initial_writer(info.id, v);
-                let shadow = view
-                    .read_vec(info.addr, info.size)
-                    .expect("allocation readable");
+                let shadow = view.read_vec(info.addr, info.size).expect("allocation readable");
                 self.objects.insert(
                     info.id,
                     ObjectState { shadow, hash: None, label: info.label.clone() },
@@ -303,7 +296,15 @@ impl CoarseState {
                     let (reads, writes, raw, compacted) = collected.finish();
                     self.traffic.raw_intervals += raw;
                     self.traffic.compacted_intervals += compacted;
-                    self.kernel_intervals(v, name, event.context, reads, writes, registry, view);
+                    self.kernel_intervals(
+                        v,
+                        name,
+                        event.context,
+                        reads,
+                        writes,
+                        registry,
+                        view,
+                    );
                 }
             }
             _ => {}
@@ -389,9 +390,7 @@ impl CoarseState {
         for iv in intervals {
             let off = (iv.start - obj_addr) as usize;
             let len = iv.len() as usize;
-            let new = view
-                .read_vec(iv.start, iv.len())
-                .expect("interval within device memory");
+            let new = view.read_vec(iv.start, iv.len()).expect("interval within device memory");
             let old = &state.shadow[off..off + len];
             unchanged += unchanged_bytes(old, &new, iv.start);
             written += len as u64;
@@ -401,7 +400,8 @@ impl CoarseState {
 
         self.flow.record_access(v, obj, AccessKind::Write, written, unchanged);
 
-        if written > 0 && unchanged as f64 / written as f64 >= self.config.redundancy_threshold {
+        if written > 0 && unchanged as f64 / written as f64 >= self.config.redundancy_threshold
+        {
             self.redundancies.push(RedundancyFinding {
                 vertex: v,
                 api: api.to_owned(),
@@ -424,14 +424,14 @@ impl CoarseState {
                 dups.push(other);
             }
         }
+        // `objects` is a HashMap; sort so finding order does not depend on
+        // its per-process iteration order.
+        dups.sort_unstable();
         for other in dups {
             let key = if obj < other { (obj, other, v) } else { (other, obj, v) };
             if self.seen_duplicates.insert(key) {
-                let other_label = self
-                    .objects
-                    .get(&other)
-                    .map(|s| s.label.clone())
-                    .unwrap_or_default();
+                let other_label =
+                    self.objects.get(&other).map(|s| s.label.clone()).unwrap_or_default();
                 self.duplicates.push(DuplicateFinding {
                     vertex: v,
                     objects: (key.0, key.1),
@@ -481,7 +481,11 @@ fn unchanged_bytes(old: &[u8], new: &[u8], start_addr: u64) -> u64 {
 /// Splits disjoint sorted intervals by the object containing them,
 /// clipping at object bounds. Addresses outside any live object are
 /// dropped (they cannot be attributed to a data object).
-fn split_by_object(
+///
+/// Shared with the pipelined engine (`crate::pipeline`), which runs the
+/// same split on the application thread to decide which byte ranges to
+/// capture for deferred replay.
+pub(crate) fn split_by_object(
     intervals: &[Interval],
     registry: &ObjectRegistry,
 ) -> BTreeMap<AllocId, Vec<Interval>> {
@@ -643,7 +647,13 @@ mod tests {
         }
         c.current_kernel = Some(k);
         c.on_api_after(
-            &ev(1, ApiKind::KernelLaunch { launch: vex_gpu::hooks::LaunchId(0), name: "fill".into() }),
+            &ev(
+                1,
+                ApiKind::KernelLaunch {
+                    launch: vex_gpu::hooks::LaunchId(0),
+                    name: "fill".into(),
+                },
+            ),
             &reg,
             &view,
         );
@@ -660,7 +670,13 @@ mod tests {
         k.add(0, 0, Interval::new(256, 320), true);
         c.current_kernel = Some(k);
         c.on_api_after(
-            &ev(2, ApiKind::KernelLaunch { launch: vex_gpu::hooks::LaunchId(1), name: "fill".into() }),
+            &ev(
+                2,
+                ApiKind::KernelLaunch {
+                    launch: vex_gpu::hooks::LaunchId(1),
+                    name: "fill".into(),
+                },
+            ),
             &reg,
             &view,
         );
@@ -677,7 +693,13 @@ mod tests {
         k.add(0, 0, Interval::new(256, 320), false);
         c.current_kernel = Some(k);
         c.on_api_after(
-            &ev(1, ApiKind::KernelLaunch { launch: vex_gpu::hooks::LaunchId(0), name: "consume".into() }),
+            &ev(
+                1,
+                ApiKind::KernelLaunch {
+                    launch: vex_gpu::hooks::LaunchId(0),
+                    name: "consume".into(),
+                },
+            ),
             &reg,
             &view,
         );

@@ -103,19 +103,11 @@ pub fn plan(strategy: CopyStrategy, merged: &[Interval], object_bytes: u64) -> C
         },
         CopyStrategy::MinMax => {
             let span = merged.last().expect("nonempty").end - merged[0].start;
-            CopyPlan {
-                strategy,
-                calls: 1,
-                bytes: span,
-                wasted_bytes: span - touched,
-            }
+            CopyPlan { strategy, calls: 1, bytes: span, wasted_bytes: span - touched }
         }
-        CopyStrategy::Segment => CopyPlan {
-            strategy,
-            calls: merged.len() as u64,
-            bytes: touched,
-            wasted_bytes: 0,
-        },
+        CopyStrategy::Segment => {
+            CopyPlan { strategy, calls: merged.len() as u64, bytes: touched, wasted_bytes: 0 }
+        }
     }
 }
 
@@ -144,8 +136,8 @@ pub fn choose_strategy(merged: &[Interval], policy: &AdaptivePolicy) -> CopyStra
     }
     let touched = covered_bytes(merged);
     let span = merged.last().expect("nonempty").end - merged[0].start;
-    let seg_us = merged.len() as f64 * policy.per_call_us
-        + touched as f64 / (policy.pcie_gbps * 1e3);
+    let seg_us =
+        merged.len() as f64 * policy.per_call_us + touched as f64 / (policy.pcie_gbps * 1e3);
     let mm_us = policy.per_call_us + span as f64 / (policy.pcie_gbps * 1e3);
     if seg_us < mm_us {
         CopyStrategy::Segment
@@ -159,7 +151,11 @@ pub fn choose_strategy(merged: &[Interval], policy: &AdaptivePolicy) -> CopyStra
 /// # Panics
 ///
 /// Panics if `merged` is empty.
-pub fn plan_adaptive(merged: &[Interval], object_bytes: u64, policy: &AdaptivePolicy) -> CopyPlan {
+pub fn plan_adaptive(
+    merged: &[Interval],
+    object_bytes: u64,
+    policy: &AdaptivePolicy,
+) -> CopyPlan {
     plan(choose_strategy(merged, policy), merged, object_bytes)
 }
 
@@ -216,7 +212,8 @@ mod tests {
     fn adaptive_prefers_minmax_for_many_segments() {
         // 10k tiny intervals over a modest span: per-call overheads for
         // segment copy dwarf the streamed gap bytes.
-        let merged: Vec<Interval> = (0..10_000u64).map(|i| iv(i * 1000, i * 1000 + 4)).collect();
+        let merged: Vec<Interval> =
+            (0..10_000u64).map(|i| iv(i * 1000, i * 1000 + 4)).collect();
         assert_eq!(choose_strategy(&merged, &AdaptivePolicy::default()), CopyStrategy::MinMax);
     }
 

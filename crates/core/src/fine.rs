@@ -78,6 +78,11 @@ pub struct FineState {
     type_maps: HashMap<String, AccessTypeMap>,
     current: BTreeMap<(ObjectKey, Direction), ValueStats>,
     findings: Vec<FineFinding>,
+    /// Object key of each entry in `findings`, index-aligned. Keys are not
+    /// part of the reported finding (which names objects by label), but the
+    /// sharded pipeline needs them to reassemble the serial finding order
+    /// deterministically.
+    finding_keys: Vec<ObjectKey>,
     traffic: FineTraffic,
 }
 
@@ -90,6 +95,7 @@ impl FineState {
             type_maps: HashMap::new(),
             current: BTreeMap::new(),
             findings: Vec::new(),
+            finding_keys: Vec::new(),
             traffic: FineTraffic::default(),
         }
     }
@@ -157,6 +163,7 @@ impl FineState {
                 .collect();
             lines.sort_unstable();
             lines.dedup();
+            self.finding_keys.push(key);
             self.findings.push(FineFinding {
                 kernel: info.kernel_name.clone(),
                 context: info.context,
@@ -175,38 +182,54 @@ impl FineState {
     /// access counts and keeping each pattern's strongest hit — the
     /// per-GPU-API view the paper reports.
     pub fn merged_findings(&self) -> Vec<FineFinding> {
-        let mut merged: BTreeMap<(String, CallPathId, String, Direction), FineFinding> =
-            BTreeMap::new();
-        for f in &self.findings {
-            let key = (f.kernel.clone(), f.context, f.object.clone(), f.direction);
-            match merged.get_mut(&key) {
-                None => {
-                    merged.insert(key, f.clone());
-                }
-                Some(m) => {
-                    m.accesses += f.accesses;
-                    m.distinct_values = m.distinct_values.max(f.distinct_values);
-                    for line in &f.lines {
-                        if !m.lines.contains(line) {
-                            m.lines.push(*line);
-                        }
+        merge_findings(&self.findings)
+    }
+
+    /// Findings paired with the object key they were accumulated under,
+    /// for the sharded pipeline's deterministic reduction.
+    pub(crate) fn tagged_findings(&self) -> Vec<(ObjectKey, FineFinding)> {
+        self.finding_keys.iter().copied().zip(self.findings.iter().cloned()).collect()
+    }
+}
+
+/// Merges raw findings by `(kernel, context, object, direction)`, summing
+/// access counts and keeping each pattern's strongest hit. Ties between
+/// equal-strength hits keep the earlier finding's hit, so callers that
+/// need byte-identical output must present findings in a deterministic
+/// order ([`FineState`] produces them launch by launch, objects in key
+/// order within each launch).
+pub fn merge_findings(findings: &[FineFinding]) -> Vec<FineFinding> {
+    let mut merged: BTreeMap<(String, CallPathId, String, Direction), FineFinding> =
+        BTreeMap::new();
+    for f in findings {
+        let key = (f.kernel.clone(), f.context, f.object.clone(), f.direction);
+        match merged.get_mut(&key) {
+            None => {
+                merged.insert(key, f.clone());
+            }
+            Some(m) => {
+                m.accesses += f.accesses;
+                m.distinct_values = m.distinct_values.max(f.distinct_values);
+                for line in &f.lines {
+                    if !m.lines.contains(line) {
+                        m.lines.push(*line);
                     }
-                    m.lines.sort_unstable();
-                    for hit in &f.hits {
-                        match m.hits.iter_mut().find(|h| h.pattern == hit.pattern) {
-                            Some(existing) => {
-                                if hit.strength > existing.strength {
-                                    *existing = hit.clone();
-                                }
+                }
+                m.lines.sort_unstable();
+                for hit in &f.hits {
+                    match m.hits.iter_mut().find(|h| h.pattern == hit.pattern) {
+                        Some(existing) => {
+                            if hit.strength > existing.strength {
+                                *existing = hit.clone();
                             }
-                            None => m.hits.push(hit.clone()),
                         }
+                        None => m.hits.push(hit.clone()),
                     }
                 }
             }
         }
-        merged.into_values().collect()
     }
+    merged.into_values().collect()
 }
 
 #[cfg(test)]
@@ -261,9 +284,8 @@ mod tests {
 
     #[test]
     fn single_zero_finding_end_to_end() {
-        let table = InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build();
+        let table =
+            InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build();
         let info = launch_info("fill", table);
         let reg = registry_with(256, 4096, "out");
         let mut fine = FineState::new(PatternConfig::default(), BlockSampler::default());
@@ -281,15 +303,13 @@ mod tests {
 
     #[test]
     fn block_sampling_drops_records() {
-        let table = InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build();
+        let table =
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build();
         let info = launch_info("k", table);
         let reg = registry_with(256, 4096, "o");
         let mut fine = FineState::new(PatternConfig::default(), BlockSampler::new(2));
-        let records: Vec<AccessRecord> = (0..10u32)
-            .map(|b| store_rec(0, 256 + b as u64 * 4, 1, 4, b))
-            .collect();
+        let records: Vec<AccessRecord> =
+            (0..10u32).map(|b| store_rec(0, 256 + b as u64 * 4, 1, 4, b)).collect();
         fine.on_batch(&info, &records, &reg);
         let t = fine.traffic();
         assert_eq!(t.records_analyzed, 5);
@@ -340,15 +360,17 @@ mod tests {
 
     #[test]
     fn merged_findings_aggregate_launches() {
-        let table = InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build();
+        let table =
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build();
         let reg = registry_with(256, 4096, "o");
         let mut fine = FineState::new(PatternConfig::default(), BlockSampler::default());
         for launch in 0..3u64 {
-            let mut info = launch_info("k", InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                .build());
+            let mut info = launch_info(
+                "k",
+                InstrTableBuilder::new()
+                    .store(Pc(0), ScalarType::U32, MemSpace::Global)
+                    .build(),
+            );
             info.launch = LaunchId(launch);
             let records: Vec<AccessRecord> =
                 (0..8).map(|i| store_rec(0, 256 + i * 4, 5, 4, 0)).collect();
@@ -364,9 +386,8 @@ mod tests {
 
     #[test]
     fn unattributable_records_ignored() {
-        let table = InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build();
+        let table =
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build();
         let info = launch_info("k", table);
         let reg = ObjectRegistry::new(); // nothing allocated
         let mut fine = FineState::new(PatternConfig::default(), BlockSampler::default());
@@ -378,9 +399,8 @@ mod tests {
 
     #[test]
     fn shared_memory_is_one_object() {
-        let table = InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Shared)
-            .build();
+        let table =
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Shared).build();
         let info = launch_info("k", table);
         let reg = ObjectRegistry::new();
         let mut fine = FineState::new(PatternConfig::default(), BlockSampler::default());

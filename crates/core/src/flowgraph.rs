@@ -146,10 +146,8 @@ impl From<FlowGraphSer> for FlowGraph {
     fn from(s: FlowGraphSer) -> Self {
         let vertices: BTreeMap<VertexId, Vertex> =
             s.vertices.into_iter().map(|v| (v.id, v)).collect();
-        let intern = vertices
-            .values()
-            .map(|v| ((v.kind, v.name.clone(), v.context), v.id))
-            .collect();
+        let intern =
+            vertices.values().map(|v| ((v.kind, v.name.clone(), v.context), v.id)).collect();
         FlowGraph {
             vertices,
             edges: s.edges.into_iter().map(|(f, t, o, d)| ((f, t, o), d)).collect(),
@@ -198,10 +196,7 @@ impl FlowGraph {
     ) -> VertexId {
         let key = (kind, name.to_owned(), context);
         if let Some(&id) = self.intern.get(&key) {
-            self.vertices
-                .get_mut(&id)
-                .expect("interned vertex exists")
-                .invocations += 1;
+            self.vertices.get_mut(&id).expect("interned vertex exists").invocations += 1;
             return id;
         }
         let id = VertexId(self.next);
@@ -209,14 +204,7 @@ impl FlowGraph {
         self.intern.insert(key, id);
         self.vertices.insert(
             id,
-            Vertex {
-                id,
-                kind,
-                name: name.to_owned(),
-                context,
-                invocations: 1,
-                bytes: 0,
-            },
+            Vertex { id, kind, name: name.to_owned(), context, invocations: 1, bytes: 0 },
         );
         id
     }
@@ -307,10 +295,7 @@ impl FlowGraph {
 
     /// Finds a vertex by display name (first match in id order).
     pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
-        self.vertices
-            .values()
-            .find(|v| v.name == name)
-            .map(|v| v.id)
+        self.vertices.values().find(|v| v.name == name).map(|v| v.id)
     }
 
     /// Total redundant bytes across all edges.

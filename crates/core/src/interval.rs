@@ -162,19 +162,13 @@ pub fn merge_parallel(intervals: &[Interval]) -> Vec<Interval> {
     }
 
     // Steps 4-5: start flags and their exclusive scan.
-    let start_flags: Vec<u64> = endpoints
-        .iter()
-        .zip(&depth)
-        .map(|(&e, &d)| u64::from(e & 1 == 0 && d == 1))
-        .collect();
+    let start_flags: Vec<u64> =
+        endpoints.iter().zip(&depth).map(|(&e, &d)| u64::from(e & 1 == 0 && d == 1)).collect();
     let start_idx = exclusive_scan(&start_flags);
 
     // Steps 6-7: end flags and their exclusive scan.
-    let end_flags: Vec<u64> = endpoints
-        .iter()
-        .zip(&depth)
-        .map(|(&e, &d)| u64::from(e & 1 == 1 && d == 0))
-        .collect();
+    let end_flags: Vec<u64> =
+        endpoints.iter().zip(&depth).map(|(&e, &d)| u64::from(e & 1 == 1 && d == 0)).collect();
     let end_idx = exclusive_scan(&end_flags);
 
     // Steps 8-9: scatter.
@@ -191,11 +185,7 @@ pub fn merge_parallel(intervals: &[Interval]) -> Vec<Interval> {
             ends[end_idx[i] as usize] = addr;
         }
     }
-    starts
-        .into_iter()
-        .zip(ends)
-        .map(|(s, e)| Interval::new(s, e))
-        .collect()
+    starts.into_iter().zip(ends).map(|(s, e)| Interval::new(s, e)).collect()
 }
 
 fn exclusive_scan(v: &[u64]) -> Vec<u64> {
@@ -240,10 +230,8 @@ pub fn merge_parallel_threaded(intervals: &[Interval], threads: usize) -> Vec<In
                 None => next.push(a),
             }
         }
-        let mut merged: Vec<Vec<u64>> = pairs
-            .iter()
-            .map(|(a, b)| Vec::with_capacity(a.len() + b.len()))
-            .collect();
+        let mut merged: Vec<Vec<u64>> =
+            pairs.iter().map(|(a, b)| Vec::with_capacity(a.len() + b.len())).collect();
         crossbeam::thread::scope(|s| {
             for ((a, b), out) in pairs.iter().zip(merged.iter_mut()) {
                 s.spawn(move |_| {
@@ -276,7 +264,8 @@ pub fn merge_parallel_threaded(intervals: &[Interval], threads: usize) -> Vec<In
         let mut partial = vec![0i64; threads];
         crossbeam::thread::scope(|s| {
             let mut partial_rest: &mut [i64] = &mut partial;
-            for (d_part, e_part) in depth.chunks_mut(scan_chunk).zip(sorted.chunks(scan_chunk)) {
+            for (d_part, e_part) in depth.chunks_mut(scan_chunk).zip(sorted.chunks(scan_chunk))
+            {
                 let (p, rest) = partial_rest.split_first_mut().expect("one slot per chunk");
                 partial_rest = rest;
                 s.spawn(move |_| {
@@ -419,7 +408,11 @@ mod tests {
         let expect = merge_sequential(&intervals);
         assert_eq!(merge_parallel(&intervals), expect);
         for threads in [2, 3, 4, 8] {
-            assert_eq!(merge_parallel_threaded(&intervals, threads), expect, "{threads} threads");
+            assert_eq!(
+                merge_parallel_threaded(&intervals, threads),
+                expect,
+                "{threads} threads"
+            );
         }
     }
 

@@ -21,6 +21,10 @@
 //!   ([`interval`]), **adaptive snapshot copy strategies**
 //!   ([`copy_strategy`]), and **kernel filtering / hierarchical
 //!   sampling** ([`sampling`]),
+//! * a **sharded, off-critical-path analysis engine** that runs both
+//!   analyzers on worker threads behind bounded channels while producing
+//!   byte-identical reports
+//!   ([`ProfilerBuilder::analysis_shards`](profiler::ProfilerBuilder::analysis_shards)),
 //! * a **profiler front-end** that wires everything onto a runtime
 //!   ([`profiler`]) and a report/GUI stand-in ([`report`]), plus an
 //!   explicit **overhead model** ([`overhead`]).
@@ -57,11 +61,12 @@ pub mod flowgraph;
 pub mod interval;
 pub mod overhead;
 pub mod patterns;
+pub(crate) mod pipeline;
 pub mod profiler;
 pub mod races;
 pub mod registry;
-pub mod reuse;
 pub mod report;
+pub mod reuse;
 pub mod sampling;
 pub mod sha256;
 

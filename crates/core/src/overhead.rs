@@ -116,9 +116,7 @@ impl OverheadModel {
         fine: &FineTraffic,
         spec: &DeviceSpec,
     ) -> f64 {
-        let checked = collector
-            .events_checked
-            .saturating_sub(collector.events) as f64
+        let checked = collector.events_checked.saturating_sub(collector.events) as f64
             * self.fine_check_us;
         let events = collector.events as f64 * self.fine_event_us;
         let flushes = collector.flushes as f64 * self.flush_fixed_us
@@ -137,6 +135,64 @@ impl OverheadModel {
         let cpu = traffic.bytes_hashed as f64 * self.hash_byte_us
             + traffic.bytes_compared as f64 * self.compare_byte_us;
         events + merge + copies + cpu
+    }
+
+    /// The part of [`Self::fine_cost_us`] that is bound to the
+    /// application's critical path no matter what: instrumentation
+    /// callbacks, sampling checks, and device-buffer flushes. The
+    /// remainder — per-record analysis — is what the sharded pipeline
+    /// ([`crate::profiler::ProfilerBuilder::analysis_shards`]) moves onto
+    /// worker threads.
+    pub fn fine_collection_us(&self, collector: &CollectorStats, spec: &DeviceSpec) -> f64 {
+        let checked = collector.events_checked.saturating_sub(collector.events) as f64
+            * self.fine_check_us;
+        let events = collector.events as f64 * self.fine_event_us;
+        let flushes = collector.flushes as f64 * self.flush_fixed_us
+            + spec.pcie_time_us(collector.bytes_flushed);
+        checked + events + flushes
+    }
+
+    /// The deferrable part of [`Self::fine_cost_us`]: per-record decode
+    /// and pattern analysis. `fine_collection_us + fine_analysis_us ==
+    /// fine_cost_us` by construction.
+    pub fn fine_analysis_us(&self, fine: &FineTraffic) -> f64 {
+        fine.records_analyzed as f64 * self.analyze_record_us
+    }
+
+    /// The part of [`Self::coarse_cost_us`] bound to the critical path:
+    /// interval callbacks, the on-device merge, and snapshot copies (the
+    /// pipelined engine still captures the same byte ranges on the
+    /// application thread before publishing).
+    pub fn coarse_collection_us(&self, traffic: &CoarseTraffic, spec: &DeviceSpec) -> f64 {
+        let events = traffic.raw_intervals as f64 * self.coarse_event_us;
+        let merge = traffic.compacted_intervals as f64 * self.merge_interval_us;
+        let copies = traffic.snapshot_calls as f64 * self.copy_call_us
+            + spec.pcie_time_us(traffic.snapshot_bytes);
+        events + merge + copies
+    }
+
+    /// The deferrable part of [`Self::coarse_cost_us`]: snapshot diffing
+    /// and SHA-256 hashing. `coarse_collection_us + coarse_analysis_us ==
+    /// coarse_cost_us` by construction.
+    pub fn coarse_analysis_us(&self, traffic: &CoarseTraffic) -> f64 {
+        traffic.bytes_hashed as f64 * self.hash_byte_us
+            + traffic.bytes_compared as f64 * self.compare_byte_us
+    }
+
+    /// Modeled critical-path cost when analysis runs off-path on the
+    /// sharded pipeline: only the collection terms remain. The serialized
+    /// [`OverheadReport`] deliberately keeps the *full* cost in both
+    /// modes — the work still happens, on worker threads — which is also
+    /// what keeps serial and pipelined profiles byte-identical; this
+    /// helper exists for capacity planning and the scaling benchmark's
+    /// interpretation, not for the report.
+    pub fn pipelined_critical_path_us(
+        &self,
+        collector: &CollectorStats,
+        coarse: &CoarseTraffic,
+        spec: &DeviceSpec,
+    ) -> f64 {
+        self.fine_collection_us(collector, spec) + self.coarse_collection_us(coarse, spec)
     }
 
     /// Cost of a *GVProf-style* fine pass for comparison (Table 5): every
@@ -224,6 +280,37 @@ mod tests {
             m.fine_cost_us(&sampled, &f_samp, &spec())
                 < m.fine_cost_us(&full, &f_full, &spec()) / 10.0
         );
+    }
+
+    #[test]
+    fn collection_analysis_split_sums_to_full_cost() {
+        let m = OverheadModel::default();
+        let collector = CollectorStats {
+            events: 200_000,
+            events_checked: 800_000,
+            flushes: 12,
+            bytes_flushed: 6_400_000,
+            instrumented_launches: 8,
+            skipped_launches: 24,
+        };
+        let fine = FineTraffic { records_analyzed: 200_000, records_skipped: 0, launches: 8 };
+        let coarse = CoarseTraffic {
+            raw_intervals: 500_000,
+            compacted_intervals: 20_000,
+            snapshot_calls: 40,
+            snapshot_bytes: 16 << 20,
+            bytes_hashed: 16 << 20,
+            bytes_compared: 16 << 20,
+            ..Default::default()
+        };
+        let s = spec();
+        let fine_sum = m.fine_collection_us(&collector, &s) + m.fine_analysis_us(&fine);
+        assert!((fine_sum - m.fine_cost_us(&collector, &fine, &s)).abs() < 1e-9);
+        let coarse_sum = m.coarse_collection_us(&coarse, &s) + m.coarse_analysis_us(&coarse);
+        assert!((coarse_sum - m.coarse_cost_us(&coarse, &s)).abs() < 1e-9);
+        // Deferring analysis strictly shrinks the modeled critical path.
+        let path = m.pipelined_critical_path_us(&collector, &coarse, &s);
+        assert!(path < m.fine_cost_us(&collector, &fine, &s) + m.coarse_cost_us(&coarse, &s));
     }
 
     #[test]

@@ -415,17 +415,14 @@ impl ValueStats {
 
         // Approximate: the truncated view is single/frequent while the
         // exact view is not.
-        if self.observed_type.is_some_and(ScalarType::is_float) && !self.approx_histogram.is_empty()
+        if self.observed_type.is_some_and(ScalarType::is_float)
+            && !self.approx_histogram.is_empty()
         {
             let approx_distinct = self.approx_histogram.len();
-            let approx_top = self
-                .approx_histogram
-                .values()
-                .copied()
-                .max()
-                .unwrap_or(0) as f64
+            let approx_top = self.approx_histogram.values().copied().max().unwrap_or(0) as f64
                 / self.accesses as f64;
-            let exact_hits_already = exact_distinct == 1 || top_frac >= self.config.frequent_threshold;
+            let exact_hits_already =
+                exact_distinct == 1 || top_frac >= self.config.frequent_threshold;
             if !exact_hits_already
                 && (approx_distinct == 1 || approx_top >= self.config.frequent_threshold)
             {

@@ -23,13 +23,15 @@
 use crate::coarse::{CoarseState, CoarseTraffic, KernelIntervals};
 use crate::copy_strategy::AdaptivePolicy;
 use crate::fine::{FineState, FineTraffic};
+use crate::flowgraph::FlowGraph;
 use crate::interval::Interval;
 use crate::overhead::{OverheadModel, OverheadReport};
 use crate::patterns::PatternConfig;
+use crate::pipeline::{Pipeline, PipelineSpec};
 use crate::races::RaceDetector;
 use crate::registry::ObjectRegistry;
-use crate::reuse::ReuseAnalyzer;
 use crate::report::Profile;
+use crate::reuse::ReuseAnalyzer;
 use crate::sampling::{BlockSampler, HierarchicalSampler, KernelNameFilter};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -55,6 +57,8 @@ pub struct ProfilerBuilder {
     reuse_line_bytes: Option<u64>,
     race_detection: bool,
     warp_compaction: bool,
+    analysis_shards: usize,
+    analysis_queue_depth: usize,
 }
 
 impl Default for ProfilerBuilder {
@@ -72,6 +76,8 @@ impl Default for ProfilerBuilder {
             reuse_line_bytes: None,
             race_detection: false,
             warp_compaction: true,
+            analysis_shards: 0,
+            analysis_queue_depth: 64,
         }
     }
 }
@@ -177,50 +183,94 @@ impl ProfilerBuilder {
         self
     }
 
+    /// Moves analysis off the application's critical path: `shards` fine
+    /// analysis workers (work partitioned by data object, so per-object
+    /// state never crosses shards), plus a router, a sequential
+    /// reuse/race worker, and a coarse replay worker as the enabled
+    /// passes require. `0` — the default — keeps the fully synchronous
+    /// engine. Reports are **byte-identical** for every shard count; see
+    /// [`crate::pipeline`] for the determinism argument.
+    #[must_use]
+    pub fn analysis_shards(mut self, shards: usize) -> Self {
+        self.analysis_shards = shards;
+        self
+    }
+
+    /// Capacity, in messages, of each bounded pipeline channel (default
+    /// 64). Deeper queues decouple the application further from analysis
+    /// at the cost of memory; a full queue back-pressures the publisher.
+    #[must_use]
+    pub fn analysis_queue_depth(mut self, depth: usize) -> Self {
+        self.analysis_queue_depth = depth.max(1);
+        self
+    }
+
     /// Attaches the profiler to a runtime and returns the session handle.
     pub fn attach(self, rt: &mut Runtime) -> ValueExpert {
+        let pipeline = (self.analysis_shards > 0).then(|| {
+            Pipeline::spawn(&PipelineSpec {
+                shards: self.analysis_shards,
+                queue_depth: self.analysis_queue_depth,
+                coarse: self.coarse,
+                fine: self.fine,
+                pattern: self.pattern,
+                policy: self.copy_policy,
+                reuse_line_bytes: self.reuse_line_bytes.filter(|_| self.fine),
+                races: self.race_detection && self.fine,
+                warp_compaction: self.warp_compaction,
+            })
+        });
+        let synchronous = pipeline.is_none();
+
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 registry: ObjectRegistry::new(),
-                coarse: self
-                    .coarse
+                coarse: (self.coarse && synchronous)
                     .then(|| CoarseState::new(self.pattern, self.copy_policy)),
                 // Block sampling is applied at collection (in the
                 // Collector), so the analyzer sees every record it gets.
-                fine: self.fine.then(|| FineState::new(self.pattern, BlockSampler::new(1))),
+                fine: (self.fine && synchronous)
+                    .then(|| FineState::new(self.pattern, BlockSampler::new(1))),
                 reuse: self
                     .reuse_line_bytes
-                    .filter(|_| self.fine)
+                    .filter(|_| self.fine && synchronous)
                     .map(ReuseAnalyzer::new),
-                races: (self.race_detection && self.fine).then(RaceDetector::new),
+                races: (self.race_detection && self.fine && synchronous)
+                    .then(RaceDetector::new),
             }),
             overhead: self.overhead,
             pattern: self.pattern,
             warp_compaction: self.warp_compaction,
         });
 
-        // API interception (registry + coarse analysis).
-        rt.register_api_hook(Arc::new(ApiGlue(shared.clone())));
+        // API interception (registry + coarse analysis or capture).
+        match &pipeline {
+            None => rt.register_api_hook(Arc::new(ApiGlue(shared.clone()))),
+            Some(p) => rt.register_api_hook(Arc::new(PipedApiGlue(p.clone()))),
+        }
 
         // Coarse interval monitoring.
         if self.coarse {
-            rt.register_access_hook(Arc::new(CoarseGlue(shared.clone())));
+            match &pipeline {
+                None => rt.register_access_hook(Arc::new(CoarseGlue(shared.clone()))),
+                Some(p) => rt.register_access_hook(Arc::new(PipedCoarseGlue(p.clone()))),
+            }
         }
 
         // Fine collection through the bounded device buffer.
         let collector = if self.fine {
+            let sink: Arc<dyn TraceSink> = match &pipeline {
+                None => Arc::new(FineGlue(shared.clone())),
+                Some(p) => p.fine_sink(),
+            };
             let sampler = match &self.kernel_filter {
                 Some(names) => HierarchicalSampler::new(self.kernel_period)
                     .with_name_filter(KernelNameFilter::new(names.clone())),
                 None => HierarchicalSampler::new(self.kernel_period),
             };
             let collector = Arc::new(
-                Collector::new(
-                    self.buffer_capacity,
-                    Arc::new(FineGlue(shared.clone())),
-                    Arc::new(sampler),
-                )
-                .with_block_period(self.block_period),
+                Collector::new(self.buffer_capacity, sink, Arc::new(sampler))
+                    .with_block_period(self.block_period),
             );
             rt.register_access_hook(collector.clone());
             Some(collector)
@@ -231,7 +281,7 @@ impl ProfilerBuilder {
         // The paper's collector serializes concurrent streams.
         rt.serialize_streams(true);
 
-        ValueExpert { shared, collector }
+        ValueExpert { shared, collector, pipeline }
     }
 }
 
@@ -254,13 +304,25 @@ struct Shared {
 pub struct ValueExpert {
     shared: Arc<Shared>,
     collector: Option<Arc<Collector>>,
+    pipeline: Option<Arc<Pipeline>>,
 }
 
 impl std::fmt::Debug for ValueExpert {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ValueExpert")
             .field("fine", &self.collector.is_some())
+            .field("pipelined", &self.pipeline.is_some())
             .finish()
+    }
+}
+
+impl Drop for ValueExpert {
+    fn drop(&mut self) {
+        // Stop and join the analysis workers even when the session ends
+        // without a report.
+        if let Some(p) = &self.pipeline {
+            p.shutdown();
+        }
     }
 }
 
@@ -272,15 +334,41 @@ impl ValueExpert {
 
     /// Collector traffic of the fine pass (zeros when fine is disabled).
     pub fn collector_stats(&self) -> CollectorStats {
-        self.collector
-            .as_ref()
-            .map(|c| c.stats())
-            .unwrap_or_default()
+        self.collector.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Produces the profile: findings, value flow graph, and the overhead
     /// report for the application time accumulated in `rt`'s time report.
+    ///
+    /// In pipelined mode ([`ProfilerBuilder::analysis_shards`]) this is
+    /// the synchronization point: it blocks until every published record
+    /// batch and API event is analyzed, then reduces the per-shard state
+    /// deterministically. The resulting profile is byte-identical to the
+    /// synchronous engine's.
     pub fn report(&self, rt: &Runtime) -> Profile {
+        if let Some(p) = &self.pipeline {
+            let products = p.flush();
+            let (flow, redundancies, duplicates, coarse_traffic) = match products.coarse {
+                Some(c) => (c.flow, c.redundancies, c.duplicates, c.traffic),
+                None => (FlowGraph::new(), Vec::new(), Vec::new(), CoarseTraffic::default()),
+            };
+            let (fine_findings, fine_traffic) = match products.fine {
+                Some((raw, traffic)) => (crate::fine::merge_findings(&raw), traffic),
+                None => (Vec::new(), FineTraffic::default()),
+            };
+            return self.assemble(
+                rt,
+                flow,
+                redundancies,
+                duplicates,
+                coarse_traffic,
+                fine_findings,
+                fine_traffic,
+                products.reuse,
+                products.races,
+            );
+        }
+
         let inner = self.shared.inner.lock();
         let (flow, redundancies, duplicates, coarse_traffic) = match &inner.coarse {
             Some(c) => (
@@ -289,30 +377,48 @@ impl ValueExpert {
                 c.duplicates().to_vec(),
                 c.traffic(),
             ),
-            None => (
-                crate::flowgraph::FlowGraph::new(),
-                Vec::new(),
-                Vec::new(),
-                CoarseTraffic::default(),
-            ),
+            None => (FlowGraph::new(), Vec::new(), Vec::new(), CoarseTraffic::default()),
         };
         let (fine_findings, fine_traffic) = match &inner.fine {
             Some(f) => (f.merged_findings(), f.traffic()),
             None => (Vec::new(), FineTraffic::default()),
         };
         let reuse = inner.reuse.as_ref().map(|r| r.histogram().clone());
-        let races = inner
-            .races
-            .as_ref()
-            .map(|r| r.reports().to_vec())
-            .unwrap_or_default();
+        let races = inner.races.as_ref().map(|r| r.reports().to_vec()).unwrap_or_default();
+        drop(inner);
+        self.assemble(
+            rt,
+            flow,
+            redundancies,
+            duplicates,
+            coarse_traffic,
+            fine_findings,
+            fine_traffic,
+            reuse,
+            races,
+        )
+    }
+
+    /// Shared tail of [`Self::report`]: overhead model, context
+    /// rendering, and profile assembly. Keeping one implementation for
+    /// both engines guarantees the report layouts cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        rt: &Runtime,
+        flow: FlowGraph,
+        redundancies: Vec<crate::coarse::RedundancyFinding>,
+        duplicates: Vec<crate::coarse::DuplicateFinding>,
+        coarse_traffic: CoarseTraffic,
+        fine_findings: Vec<crate::fine::FineFinding>,
+        fine_traffic: FineTraffic,
+        reuse: Option<crate::reuse::ReuseHistogram>,
+        races: Vec<crate::races::RaceReport>,
+    ) -> Profile {
         let collector_stats = self.collector_stats();
         let spec = rt.spec();
         let overhead = OverheadReport {
-            fine_us: self
-                .shared
-                .overhead
-                .fine_cost_us(&collector_stats, &fine_traffic, spec),
+            fine_us: self.shared.overhead.fine_cost_us(&collector_stats, &fine_traffic, spec),
             coarse_us: self.shared.overhead.coarse_cost_us(&coarse_traffic, spec),
             app_us: rt.time_report().total_us(),
         };
@@ -456,6 +562,54 @@ impl TraceSink for FineGlue {
     }
 }
 
+/// API-hook glue in pipelined mode: updates the app-side registry,
+/// captures the device bytes the deferred coarse replay will read, and
+/// publishes the event — no analysis on the critical path.
+struct PipedApiGlue(Arc<Pipeline>);
+
+impl ApiHook for PipedApiGlue {
+    fn on_api(&self, phase: ApiPhase, event: &ApiEvent, view: &dyn DeviceView) {
+        if phase == ApiPhase::After {
+            self.0.on_api_after(event, view);
+        }
+    }
+}
+
+/// Access-hook glue in pipelined mode: interval collection only; the
+/// merge/split/diff work happens on the coarse worker.
+struct PipedCoarseGlue(Arc<Pipeline>);
+
+impl MemAccessHook for PipedCoarseGlue {
+    fn on_launch_begin(&self, _info: &LaunchInfo) -> bool {
+        if self.0.coarse_enabled() {
+            self.0.on_launch_begin();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_access(&self, event: &AccessEvent) {
+        // Shared-memory traffic never updates global snapshots.
+        if event.space != vex_gpu::ir::MemSpace::Global {
+            return;
+        }
+        let (s, e) = event.interval();
+        self.0.on_coarse_access(event.block, event.thread, Interval::new(s, e), event.is_store);
+    }
+
+    fn on_launch_end(
+        &self,
+        _info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _instrumented: bool,
+        _view: &dyn DeviceView,
+    ) {
+        // Interval publication happens on the KernelLaunch API-After
+        // event, which fires after this callback with the same view.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,9 +631,7 @@ mod tests {
             "fill_kernel"
         }
         fn instr_table(&self) -> InstrTable {
-            InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::F32, MemSpace::Global)
-                .build()
+            InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
         }
         fn execute(&self, ctx: &mut ThreadCtx<'_>) {
             let i = ctx.global_thread_id();
@@ -513,10 +665,7 @@ mod tests {
         assert_eq!(profile.device, "TestGPU");
         // Coarse: the kernel's stores were fully redundant.
         assert!(
-            profile
-                .redundancies
-                .iter()
-                .any(|r| r.api == "fill_kernel" && r.fraction() == 1.0),
+            profile.redundancies.iter().any(|r| r.api == "fill_kernel" && r.fraction() == 1.0),
             "findings: {:?}",
             profile.redundancies
         );
@@ -560,12 +709,8 @@ mod tests {
             .filter_kernels(["other"])
             .attach(&mut rt);
         let out = rt.malloc(256, "out").unwrap();
-        rt.launch(
-            &Fill { out: out.addr(), n: 64, v: 1.0 },
-            Dim3::linear(2),
-            Dim3::linear(32),
-        )
-        .unwrap();
+        rt.launch(&Fill { out: out.addr(), n: 64, v: 1.0 }, Dim3::linear(2), Dim3::linear(32))
+            .unwrap();
         let p = vex.report(&rt);
         assert!(p.fine_findings.is_empty());
         assert_eq!(p.collector_stats.skipped_launches, 1);
@@ -574,11 +719,8 @@ mod tests {
     #[test]
     fn sampling_period_reduces_events() {
         let mut rt = Runtime::new(DeviceSpec::test_small());
-        let vex = ValueExpert::builder()
-            .coarse(false)
-            .fine(true)
-            .kernel_sampling(4)
-            .attach(&mut rt);
+        let vex =
+            ValueExpert::builder().coarse(false).fine(true).kernel_sampling(4).attach(&mut rt);
         let out = rt.malloc(256, "out").unwrap();
         for _ in 0..8 {
             rt.launch(

@@ -118,40 +118,59 @@ impl RaceDetector {
             Some(k) => k.clone(),
             None => return,
         };
-        let entry = *self
-            .state
-            .entry(rec.addr)
-            .or_insert(AddrState { writer: None, reader: None });
+        let entry =
+            *self.state.entry(rec.addr).or_insert(AddrState { writer: None, reader: None });
 
         if rec.is_store {
             if let Some((wb, wpc)) = entry.writer {
                 if wb != rec.block {
-                    self.report(&kernel, RaceKind::WriteWrite, rec.addr, (wpc, rec.pc), (wb, rec.block));
+                    self.report(
+                        &kernel,
+                        RaceKind::WriteWrite,
+                        rec.addr,
+                        (wpc, rec.pc),
+                        (wb, rec.block),
+                    );
                 }
             }
             if let Some((rb, rpc)) = entry.reader {
                 if rb != rec.block {
-                    self.report(&kernel, RaceKind::ReadWrite, rec.addr, (rec.pc, rpc), (rec.block, rb));
+                    self.report(
+                        &kernel,
+                        RaceKind::ReadWrite,
+                        rec.addr,
+                        (rec.pc, rpc),
+                        (rec.block, rb),
+                    );
                 }
             }
-            self.state
-                .get_mut(&rec.addr)
-                .expect("inserted above")
-                .writer = Some((rec.block, rec.pc));
+            self.state.get_mut(&rec.addr).expect("inserted above").writer =
+                Some((rec.block, rec.pc));
         } else {
             if let Some((wb, wpc)) = entry.writer {
                 if wb != rec.block {
-                    self.report(&kernel, RaceKind::ReadWrite, rec.addr, (wpc, rec.pc), (wb, rec.block));
+                    self.report(
+                        &kernel,
+                        RaceKind::ReadWrite,
+                        rec.addr,
+                        (wpc, rec.pc),
+                        (wb, rec.block),
+                    );
                 }
             }
-            self.state
-                .get_mut(&rec.addr)
-                .expect("inserted above")
-                .reader = Some((rec.block, rec.pc));
+            self.state.get_mut(&rec.addr).expect("inserted above").reader =
+                Some((rec.block, rec.pc));
         }
     }
 
-    fn report(&mut self, kernel: &str, kind: RaceKind, addr: u64, pcs: (Pc, Pc), blocks: (u32, u32)) {
+    fn report(
+        &mut self,
+        kernel: &str,
+        kind: RaceKind,
+        addr: u64,
+        pcs: (Pc, Pc),
+        blocks: (u32, u32),
+    ) {
         let key = (kind, pcs.0, pcs.1);
         match self.found.get_mut(&key) {
             Some((_, count)) => *count += 1,

@@ -80,10 +80,9 @@ impl ObjectRegistry {
     pub fn label(&self, key: ObjectKey) -> String {
         match key {
             ObjectKey::Shared => "shared".to_owned(),
-            ObjectKey::Global(id) => self
-                .info(id)
-                .map(|i| i.label.clone())
-                .unwrap_or_else(|| id.to_string()),
+            ObjectKey::Global(id) => {
+                self.info(id).map(|i| i.label.clone()).unwrap_or_else(|| id.to_string())
+            }
         }
     }
 
@@ -121,10 +120,7 @@ mod tests {
         r.on_alloc(&info(2, 512, 100, "b"));
         assert_eq!(r.find(300).unwrap().id, AllocId(1));
         assert_eq!(r.find(356), None, "gap between allocations");
-        assert_eq!(
-            r.key_for(MemSpace::Global, 512),
-            Some(ObjectKey::Global(AllocId(2)))
-        );
+        assert_eq!(r.key_for(MemSpace::Global, 512), Some(ObjectKey::Global(AllocId(2))));
         assert_eq!(r.key_for(MemSpace::Shared, 4), Some(ObjectKey::Shared));
         assert_eq!(r.live_count(), 2);
     }

@@ -73,18 +73,12 @@ pub struct Profile {
     /// Fine analysis traffic.
     pub fine_traffic: FineTraffic,
     /// Collector traffic.
-    #[serde(
-        serialize_with = "ser_collector",
-        deserialize_with = "de_collector"
-    )]
+    #[serde(serialize_with = "ser_collector", deserialize_with = "de_collector")]
     pub collector_stats: CollectorStats,
     /// Modeled profiling overhead.
     pub overhead: OverheadReport,
     /// Rendered calling contexts referenced by findings and vertices.
-    #[serde(
-        serialize_with = "ser_contexts",
-        deserialize_with = "de_contexts"
-    )]
+    #[serde(serialize_with = "ser_contexts", deserialize_with = "de_contexts")]
     pub contexts: BTreeMap<CallPathId, String>,
     /// The redundancy threshold used (for DOT coloring).
     pub redundancy_threshold: f64,
@@ -204,11 +198,8 @@ impl Profile {
         if !self.redundancies.is_empty() {
             let _ = writeln!(s, "\nredundant values ({} findings):", self.redundancies.len());
             for r in self.top_redundancies().iter().take(10) {
-                let ctx = self
-                    .contexts
-                    .get(&r.context)
-                    .map(String::as_str)
-                    .unwrap_or("<unknown>");
+                let ctx =
+                    self.contexts.get(&r.context).map(String::as_str).unwrap_or("<unknown>");
                 let _ = writeln!(
                     s,
                     "  [{}] {} wrote {} of '{}' unchanged ({:.0}%) at {}",
@@ -310,11 +301,7 @@ impl Profile {
             let _ = writeln!(s, "| API | object | unchanged | of written | context |");
             let _ = writeln!(s, "|---|---|---|---|---|");
             for r in self.top_redundancies().iter().take(15) {
-                let ctx = self
-                    .contexts
-                    .get(&r.context)
-                    .map(String::as_str)
-                    .unwrap_or("?");
+                let ctx = self.contexts.get(&r.context).map(String::as_str).unwrap_or("?");
                 let _ = writeln!(
                     s,
                     "| `{}` | `{}` | {} | {:.0}% | {} |",

@@ -182,10 +182,7 @@ impl ReuseAnalyzer {
     ///
     /// Panics if `line_bytes` is zero or not a power of two.
     pub fn new(line_bytes: u64) -> Self {
-        assert!(
-            line_bytes.is_power_of_two(),
-            "cache line size must be a nonzero power of two"
-        );
+        assert!(line_bytes.is_power_of_two(), "cache line size must be a nonzero power of two");
         ReuseAnalyzer {
             line_bytes,
             last_access: HashMap::new(),

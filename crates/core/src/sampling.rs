@@ -33,9 +33,7 @@ impl KernelNameFilter {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        KernelNameFilter {
-            needles: names.into_iter().map(Into::into).collect(),
-        }
+        KernelNameFilter { needles: names.into_iter().map(Into::into).collect() }
     }
 
     /// Whether `kernel_name` matches the filter.
@@ -225,10 +223,7 @@ mod tests {
     fn sampler_period() {
         let s = HierarchicalSampler::new(3);
         let pattern: Vec<bool> = (0..9).map(|_| s.accept(&info("k"))).collect();
-        assert_eq!(
-            pattern,
-            vec![true, false, false, true, false, false, true, false, false]
-        );
+        assert_eq!(pattern, vec![true, false, false, true, false, false, true, false, false]);
     }
 
     #[test]

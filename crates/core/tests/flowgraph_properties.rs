@@ -44,15 +44,21 @@ fn build(steps: &[Step]) -> FlowGraph {
             }
             Step::Read(v, o) => {
                 if allocated[o as usize] {
-                    let vid =
-                        g.intern_vertex(VertexKind::Kernel, &format!("k{v}"), CallPathId(v as u32));
+                    let vid = g.intern_vertex(
+                        VertexKind::Kernel,
+                        &format!("k{v}"),
+                        CallPathId(v as u32),
+                    );
                     g.record_access(vid, AllocId(o as u64), AccessKind::Read, 1024, 0);
                 }
             }
             Step::Write(v, o, red) => {
                 if allocated[o as usize] {
-                    let vid =
-                        g.intern_vertex(VertexKind::Kernel, &format!("k{v}"), CallPathId(v as u32));
+                    let vid = g.intern_vertex(
+                        VertexKind::Kernel,
+                        &format!("k{v}"),
+                        CallPathId(v as u32),
+                    );
                     g.record_access(
                         vid,
                         AllocId(o as u64),

@@ -129,18 +129,13 @@ impl Allocator {
             .free
             .iter()
             .position(|b| b.size >= rounded)
-            .ok_or(GpuError::OutOfMemory {
-                requested: size,
-                free: self.free_bytes(),
-            })?;
+            .ok_or(GpuError::OutOfMemory { requested: size, free: self.free_bytes() })?;
         let block = self.free[slot];
         if block.size == rounded {
             self.free.remove(slot);
         } else {
-            self.free[slot] = FreeBlock {
-                addr: block.addr + rounded,
-                size: block.size - rounded,
-            };
+            self.free[slot] =
+                FreeBlock { addr: block.addr + rounded, size: block.size - rounded };
         }
         self.in_use += rounded;
         let id = AllocId(self.next_id);
@@ -165,10 +160,7 @@ impl Allocator {
     /// Returns [`GpuError::InvalidFree`] if `addr` is not the start of a
     /// live allocation.
     pub fn free(&mut self, addr: u64) -> Result<AllocationInfo, GpuError> {
-        let id = self
-            .by_addr
-            .remove(&addr)
-            .ok_or(GpuError::InvalidFree { addr })?;
+        let id = self.by_addr.remove(&addr).ok_or(GpuError::InvalidFree { addr })?;
         let info = {
             let info = self.infos.get_mut(&id).expect("by_addr/infos in sync");
             info.live = false;
@@ -267,7 +259,8 @@ mod tests {
     #[test]
     fn coalescing_restores_capacity() {
         let mut a = Allocator::new(256, 4096);
-        let xs: Vec<_> = (0..4).map(|i| a.alloc(256, &format!("b{i}"), ctx()).unwrap()).collect();
+        let xs: Vec<_> =
+            (0..4).map(|i| a.alloc(256, &format!("b{i}"), ctx()).unwrap()).collect();
         for x in &xs {
             a.free(x.addr).unwrap();
         }

@@ -31,11 +31,7 @@ impl Frame {
 
     /// Creates a frame with full source location.
     pub fn located(function: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
-        Frame {
-            function: function.into(),
-            file: Some(file.into()),
-            line: Some(line),
-        }
+        Frame { function: function.into(), file: Some(file.into()), line: Some(line) }
     }
 }
 
@@ -81,11 +77,8 @@ impl Default for CallPathRecorder {
 impl CallPathRecorder {
     /// Creates a recorder whose current path is the empty root path.
     pub fn new() -> Self {
-        let mut r = CallPathRecorder {
-            stack: Vec::new(),
-            interned: HashMap::new(),
-            paths: Vec::new(),
-        };
+        let mut r =
+            CallPathRecorder { stack: Vec::new(), interned: HashMap::new(), paths: Vec::new() };
         let root = r.intern_current();
         debug_assert_eq!(root, CallPathId::ROOT);
         r
@@ -130,11 +123,9 @@ impl CallPathRecorder {
     pub fn render(&self, id: CallPathId) -> String {
         match self.frames(id) {
             Some([]) => "<root>".to_owned(),
-            Some(frames) => frames
-                .iter()
-                .map(Frame::to_string)
-                .collect::<Vec<_>>()
-                .join(" -> "),
+            Some(frames) => {
+                frames.iter().map(Frame::to_string).collect::<Vec<_>>().join(" -> ")
+            }
             None => format!("<unknown {id}>"),
         }
     }

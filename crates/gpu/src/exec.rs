@@ -271,7 +271,15 @@ impl ThreadCtx<'_> {
         self.block_flat as usize * self.block_dim.count() + self.thread_flat as usize
     }
 
-    fn emit(&mut self, pc: Pc, space: MemSpace, addr: u64, size: u8, is_store: bool, bits: u64) {
+    fn emit(
+        &mut self,
+        pc: Pc,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+        is_store: bool,
+        bits: u64,
+    ) {
         self.emit_full(pc, space, addr, size, is_store, bits, false);
     }
 
@@ -514,7 +522,15 @@ mod tests {
             mem.write_bits(256 + i * 4, 4, (i as f32).to_bits() as u64).unwrap();
         }
         let k = AddOne { base: 256, n: 10 };
-        let stats = run_launch(&k, Dim3::linear(1), Dim3::linear(32), &mut mem, &[], false, LaunchId(1));
+        let stats = run_launch(
+            &k,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &mut mem,
+            &[],
+            false,
+            LaunchId(1),
+        );
         assert_eq!(stats.threads, 32);
         assert_eq!(stats.loads, 10);
         assert_eq!(stats.stores, 10);
@@ -623,15 +639,21 @@ mod tests {
                 "histo"
             }
             fn instr_table(&self) -> InstrTable {
-                InstrTableBuilder::new()
-                    .load(Pc(0), ScalarType::U32, MemSpace::Global)
-                    .build()
+                InstrTableBuilder::new().load(Pc(0), ScalarType::U32, MemSpace::Global).build()
             }
             fn execute(&self, ctx: &mut ThreadCtx<'_>) {
                 ctx.atomic_add::<u32>(Pc(0), 256, 1);
             }
         }
-        run_launch(&Histo, Dim3::linear(1), Dim3::linear(4), &mut mem, &hooks, true, LaunchId(0));
+        run_launch(
+            &Histo,
+            Dim3::linear(1),
+            Dim3::linear(4),
+            &mut mem,
+            &hooks,
+            true,
+            LaunchId(0),
+        );
         assert_eq!(mem.read_bits(256, 4).unwrap(), 4);
         let evs = rec.0.lock();
         assert_eq!(evs.len(), 8);

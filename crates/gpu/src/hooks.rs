@@ -64,6 +64,85 @@ pub trait DeviceView {
     fn live_allocations(&self) -> Vec<AllocationInfo>;
 }
 
+/// A [`DeviceView`] over byte ranges captured earlier from a live view.
+///
+/// Device memory is only valid inside a hook callback; an analyzer that
+/// defers its work to another thread must copy the ranges it will read
+/// *during* the callback and replay against the capture. `capture` takes
+/// the synchronous snapshot; `read` serves any range fully contained in
+/// one captured segment.
+///
+/// `find_allocation`/`live_allocations` intentionally report nothing: a
+/// capture preserves bytes, not the allocation table — consumers replay
+/// against their own registry replica.
+#[derive(Debug, Clone, Default)]
+pub struct CapturedView {
+    /// Captured `(start_addr, bytes)` segments, sorted by start address.
+    segments: Vec<(u64, Vec<u8>)>,
+}
+
+impl CapturedView {
+    /// Creates an empty capture (all reads fail).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `[addr, addr+len)` out of `view` into the capture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the live view's error for invalid ranges.
+    pub fn capture(
+        &mut self,
+        view: &dyn DeviceView,
+        addr: u64,
+        len: u64,
+    ) -> Result<(), crate::error::GpuError> {
+        let bytes = view.read_vec(addr, len)?;
+        let at = self.segments.partition_point(|(s, _)| *s < addr);
+        self.segments.insert(at, (addr, bytes));
+        Ok(())
+    }
+
+    /// Number of captured segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total captured bytes.
+    pub fn captured_bytes(&self) -> u64 {
+        self.segments.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+}
+
+impl DeviceView for CapturedView {
+    fn read(&self, addr: u64, dst: &mut [u8]) -> Result<(), crate::error::GpuError> {
+        let len = dst.len() as u64;
+        // Last segment starting at or before `addr`.
+        let idx = self.segments.partition_point(|(s, _)| *s <= addr);
+        let mut limit = 0;
+        if idx > 0 {
+            let (start, bytes) = &self.segments[idx - 1];
+            let end = start + bytes.len() as u64;
+            if addr + len <= end {
+                let off = (addr - start) as usize;
+                dst.copy_from_slice(&bytes[off..off + dst.len()]);
+                return Ok(());
+            }
+            limit = end;
+        }
+        Err(crate::error::GpuError::OutOfBounds { addr, len, limit })
+    }
+
+    fn find_allocation(&self, _addr: u64) -> Option<AllocationInfo> {
+        None
+    }
+
+    fn live_allocations(&self) -> Vec<AllocationInfo> {
+        Vec::new()
+    }
+}
+
 /// What a runtime API invocation did. Pointers and sizes are the arguments
 /// the application passed; allocation identities can be recovered through
 /// the [`DeviceView`].
@@ -279,6 +358,53 @@ mod tests {
         assert_eq!(ev.warp(), 2);
         assert_eq!(ev.lane(), 6);
         assert_eq!(ev.interval(), (256, 260));
+    }
+
+    struct SliceView(Vec<u8>);
+    impl DeviceView for SliceView {
+        fn read(&self, addr: u64, dst: &mut [u8]) -> Result<(), crate::error::GpuError> {
+            let a = addr as usize;
+            dst.copy_from_slice(&self.0[a..a + dst.len()]);
+            Ok(())
+        }
+        fn find_allocation(&self, _addr: u64) -> Option<AllocationInfo> {
+            None
+        }
+        fn live_allocations(&self) -> Vec<AllocationInfo> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn captured_view_replays_contained_ranges() {
+        let live = SliceView((0u8..=255).collect());
+        let mut cap = CapturedView::new();
+        cap.capture(&live, 16, 8).unwrap();
+        cap.capture(&live, 64, 4).unwrap();
+        assert_eq!(cap.segment_count(), 2);
+        assert_eq!(cap.captured_bytes(), 12);
+        // Full segment.
+        assert_eq!(cap.read_vec(16, 8).unwrap(), (16u8..24).collect::<Vec<_>>());
+        // Sub-range of a segment.
+        assert_eq!(cap.read_vec(18, 4).unwrap(), vec![18, 19, 20, 21]);
+        assert_eq!(cap.read_vec(64, 4).unwrap(), vec![64, 65, 66, 67]);
+        // Uncaptured or straddling ranges fail.
+        assert!(cap.read_vec(0, 4).is_err());
+        assert!(cap.read_vec(20, 8).is_err());
+        assert!(cap.find_allocation(16).is_none());
+        assert!(cap.live_allocations().is_empty());
+    }
+
+    #[test]
+    fn captured_view_keeps_segments_sorted() {
+        let live = SliceView(vec![7u8; 128]);
+        let mut cap = CapturedView::new();
+        cap.capture(&live, 96, 8).unwrap();
+        cap.capture(&live, 0, 8).unwrap();
+        cap.capture(&live, 32, 8).unwrap();
+        assert_eq!(cap.read_vec(0, 8).unwrap(), vec![7u8; 8]);
+        assert_eq!(cap.read_vec(32, 8).unwrap(), vec![7u8; 8]);
+        assert_eq!(cap.read_vec(96, 8).unwrap(), vec![7u8; 8]);
     }
 
     #[test]

@@ -114,10 +114,7 @@ impl ScalarType {
 
     /// Whether the type is a signed integer type.
     pub fn is_signed_int(self) -> bool {
-        matches!(
-            self,
-            ScalarType::S8 | ScalarType::S16 | ScalarType::S32 | ScalarType::S64
-        )
+        matches!(self, ScalarType::S8 | ScalarType::S16 | ScalarType::S32 | ScalarType::S64)
     }
 }
 
@@ -440,11 +437,8 @@ impl InstrTableBuilder {
     #[must_use]
     pub fn at_line(mut self, line: u32) -> Self {
         let pc = self.last_pc.expect("at_line requires a preceding instruction");
-        self.table
-            .instrs
-            .get_mut(&pc)
-            .expect("last_pc tracks pushed instructions")
-            .line = Some(line);
+        self.table.instrs.get_mut(&pc).expect("last_pc tracks pushed instructions").line =
+            Some(line);
         self
     }
 
@@ -475,10 +469,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicate_pc_panics() {
-        let _ = InstrTableBuilder::new()
-            .op(Pc(0), Opcode::Mov)
-            .op(Pc(0), Opcode::Mov)
-            .build();
+        let _ = InstrTableBuilder::new().op(Pc(0), Opcode::Mov).op(Pc(0), Opcode::Mov).build();
     }
 
     #[test]
@@ -492,10 +483,7 @@ mod tests {
 
     #[test]
     fn opcode_operand_types() {
-        assert_eq!(
-            Opcode::FFma(FloatWidth::F64).operand_type(),
-            Some(ScalarType::F64)
-        );
+        assert_eq!(Opcode::FFma(FloatWidth::F64).operand_type(), Some(ScalarType::F64));
         assert_eq!(Opcode::IAdd(IntWidth::I32).operand_type(), Some(ScalarType::S32));
         assert_eq!(Opcode::Mov.operand_type(), None);
         assert_eq!(Opcode::Ld.operand_type(), None);
@@ -503,9 +491,7 @@ mod tests {
 
     #[test]
     fn untyped_load_has_no_type() {
-        let t = InstrTableBuilder::new()
-            .load_untyped(Pc(0), 8, MemSpace::Global)
-            .build();
+        let t = InstrTableBuilder::new().load_untyped(Pc(0), 8, MemSpace::Global).build();
         let a = t.get(Pc(0)).unwrap().access.unwrap();
         assert_eq!(a.ty, None);
         assert_eq!(a.width_bytes, 8);

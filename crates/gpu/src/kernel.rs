@@ -57,9 +57,7 @@ mod tests {
             "write_id"
         }
         fn instr_table(&self) -> InstrTable {
-            InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                .build()
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
         }
         fn execute(&self, ctx: &mut ThreadCtx<'_>) {
             let i = ctx.global_thread_id() as u64;

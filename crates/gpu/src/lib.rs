@@ -87,6 +87,7 @@ pub mod prelude {
     pub use crate::dim::Dim3;
     pub use crate::error::GpuError;
     pub use crate::exec::{LaunchStats, Precision, ThreadCtx};
+    pub use crate::hooks::LaunchId;
     pub use crate::hooks::{AccessEvent, ApiEvent, ApiHook, ApiKind, MemAccessHook};
     pub use crate::host;
     pub use crate::ir::{
@@ -95,7 +96,6 @@ pub mod prelude {
     };
     pub use crate::kernel::Kernel;
     pub use crate::memory::DevicePtr;
-    pub use crate::hooks::LaunchId;
     pub use crate::runtime::Runtime;
     pub use crate::stream::StreamId;
     pub use crate::timing::{DeviceSpec, TimeReport};

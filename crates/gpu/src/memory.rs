@@ -48,9 +48,7 @@ pub struct GlobalMemory {
 
 impl fmt::Debug for GlobalMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("GlobalMemory")
-            .field("size", &self.bytes.len())
-            .finish()
+        f.debug_struct("GlobalMemory").field("size", &self.bytes.len()).finish()
     }
 }
 
@@ -78,11 +76,7 @@ impl GlobalMemory {
             limit: self.size(),
         })?;
         if addr == 0 || end > self.size() {
-            return Err(GpuError::OutOfBounds {
-                addr,
-                len,
-                limit: self.size(),
-            });
+            return Err(GpuError::OutOfBounds { addr, len, limit: self.size() });
         }
         Ok((addr as usize, end as usize))
     }
@@ -154,11 +148,7 @@ impl GlobalMemory {
     /// Returns [`GpuError::OutOfBounds`] for invalid ranges or `size > 8`.
     pub fn read_bits(&self, addr: u64, size: u8) -> Result<u64, GpuError> {
         if size > 8 {
-            return Err(GpuError::OutOfBounds {
-                addr,
-                len: size as u64,
-                limit: self.size(),
-            });
+            return Err(GpuError::OutOfBounds { addr, len: size as u64, limit: self.size() });
         }
         let mut buf = [0u8; 8];
         self.read(addr, &mut buf[..size as usize])?;
@@ -172,11 +162,7 @@ impl GlobalMemory {
     /// Returns [`GpuError::OutOfBounds`] for invalid ranges or `size > 8`.
     pub fn write_bits(&mut self, addr: u64, size: u8, bits: u64) -> Result<(), GpuError> {
         if size > 8 {
-            return Err(GpuError::OutOfBounds {
-                addr,
-                len: size as u64,
-                limit: self.size(),
-            });
+            return Err(GpuError::OutOfBounds { addr, len: size as u64, limit: self.size() });
         }
         let buf = bits.to_le_bytes();
         self.write(addr, &buf[..size as usize])
@@ -206,10 +192,7 @@ mod tests {
     #[test]
     fn out_of_bounds_detected() {
         let m = GlobalMemory::new(64);
-        assert!(matches!(
-            m.slice(60, 8),
-            Err(GpuError::OutOfBounds { .. })
-        ));
+        assert!(matches!(m.slice(60, 8), Err(GpuError::OutOfBounds { .. })));
         // Overflowing addr+len must not panic.
         assert!(m.slice(u64::MAX, 2).is_err());
     }

@@ -1,6 +1,6 @@
 //! The CUDA-like runtime: allocation, transfers, launches, interception.
 
-use crate::alloc::{Allocator, AllocationInfo, POISON_BYTE};
+use crate::alloc::{AllocationInfo, Allocator, POISON_BYTE};
 use crate::callpath::{CallPathId, CallPathRecorder, Frame};
 use crate::dim::Dim3;
 use crate::error::GpuError;
@@ -221,7 +221,11 @@ impl Runtime {
     /// # Errors
     ///
     /// Propagates allocation and copy errors.
-    pub fn malloc_from<T: Pod>(&mut self, label: &str, data: &[T]) -> Result<DevicePtr, GpuError> {
+    pub fn malloc_from<T: Pod>(
+        &mut self,
+        label: &str,
+        data: &[T],
+    ) -> Result<DevicePtr, GpuError> {
         let bytes = crate::host::as_bytes(data);
         let ptr = self.malloc(bytes.len() as u64, label)?;
         self.memcpy_h2d(ptr, bytes)?;
@@ -256,11 +260,7 @@ impl Runtime {
             .find_containing(ptr.addr())
             .ok_or(GpuError::InvalidPointer { addr: ptr.addr() })?;
         if ptr.addr() + len > info.end() {
-            return Err(GpuError::OutOfBounds {
-                addr: ptr.addr(),
-                len,
-                limit: info.end(),
-            });
+            return Err(GpuError::OutOfBounds { addr: ptr.addr(), len, limit: info.end() });
         }
         Ok(())
     }
@@ -277,8 +277,7 @@ impl Runtime {
         self.fire_api(ApiPhase::Before, &ev);
         self.memory.write(dst.addr(), src)?;
         self.fire_api(ApiPhase::After, &ev);
-        self.report
-            .add_memory_op(self.model.pcie_copy_time_us(src.len() as u64));
+        self.report.add_memory_op(self.model.pcie_copy_time_us(src.len() as u64));
         Ok(())
     }
 
@@ -293,8 +292,7 @@ impl Runtime {
         self.fire_api(ApiPhase::Before, &ev);
         self.memory.read(src.addr(), dst)?;
         self.fire_api(ApiPhase::After, &ev);
-        self.report
-            .add_memory_op(self.model.pcie_copy_time_us(dst.len() as u64));
+        self.report.add_memory_op(self.model.pcie_copy_time_us(dst.len() as u64));
         Ok(())
     }
 
@@ -303,7 +301,12 @@ impl Runtime {
     /// # Errors
     ///
     /// As for [`Runtime::memcpy_h2d`], for either range.
-    pub fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> Result<(), GpuError> {
+    pub fn memcpy_d2d(
+        &mut self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        len: u64,
+    ) -> Result<(), GpuError> {
         self.check_range(dst, len)?;
         self.check_range(src, len)?;
         let ev = self.next_event(ApiKind::MemcpyD2D { dst, src, bytes: len });
@@ -389,10 +392,8 @@ impl Runtime {
         }
         let launch = LaunchId(self.next_launch);
         self.next_launch += 1;
-        let ev = self.next_event(ApiKind::KernelLaunch {
-            launch,
-            name: kernel.name().to_owned(),
-        });
+        let ev =
+            self.next_event(ApiKind::KernelLaunch { launch, name: kernel.name().to_owned() });
         let info = LaunchInfo {
             launch,
             kernel_name: kernel.name().to_owned(),
@@ -407,28 +408,23 @@ impl Runtime {
         self.fire_api(ApiPhase::Before, &ev);
 
         // Ask each access hook whether it wants this launch instrumented.
-        let accepted: Vec<Arc<dyn MemAccessHook>> = self
-            .access_hooks
-            .iter()
-            .filter(|h| h.on_launch_begin(&info))
-            .cloned()
-            .collect();
+        let accepted: Vec<Arc<dyn MemAccessHook>> =
+            self.access_hooks.iter().filter(|h| h.on_launch_begin(&info)).cloned().collect();
         let instrument = !accepted.is_empty();
 
-        let stats = run_launch(kernel, grid, block, &mut self.memory, &accepted, instrument, launch);
+        let stats =
+            run_launch(kernel, grid, block, &mut self.memory, &accepted, instrument, launch);
 
         {
             let view = View { memory: &self.memory, allocator: &self.allocator };
             for h in &self.access_hooks {
-                let was_instrumented =
-                    instrument && accepted.iter().any(|a| Arc::ptr_eq(a, h));
+                let was_instrumented = instrument && accepted.iter().any(|a| Arc::ptr_eq(a, h));
                 h.on_launch_end(&info, &stats, was_instrumented, &view);
             }
         }
 
         self.fire_api(ApiPhase::After, &ev);
-        self.report
-            .add_kernel(kernel.name(), self.model.kernel_time_us(&stats.work()));
+        self.report.add_kernel(kernel.name(), self.model.kernel_time_us(&stats.work()));
         Ok(stats)
     }
 }
@@ -470,10 +466,7 @@ mod tests {
     fn copy_bounds_are_per_allocation() {
         let mut rt = Runtime::new(DeviceSpec::test_small());
         let p = rt.malloc(16, "x").unwrap();
-        assert!(matches!(
-            rt.memcpy_h2d(p, &[0u8; 32]),
-            Err(GpuError::OutOfBounds { .. })
-        ));
+        assert!(matches!(rt.memcpy_h2d(p, &[0u8; 32]), Err(GpuError::OutOfBounds { .. })));
         assert!(matches!(
             rt.memcpy_h2d(DevicePtr(3), &[0u8; 1]),
             Err(GpuError::InvalidPointer { .. })
@@ -579,9 +572,7 @@ mod tests {
                 "writer"
             }
             fn instr_table(&self) -> InstrTable {
-                InstrTableBuilder::new()
-                    .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                    .build()
+                InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
             }
             fn execute(&self, ctx: &mut crate::exec::ThreadCtx<'_>) {
                 ctx.store::<u32>(Pc(0), 256, 1);

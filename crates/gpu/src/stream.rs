@@ -10,7 +10,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one stream. Stream 0 is the default stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct StreamId(pub u32);
 
 impl StreamId {

@@ -23,10 +23,7 @@ enum AllocOp {
 }
 
 fn alloc_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        (1u64..5000).prop_map(AllocOp::Alloc),
-        (0usize..16).prop_map(AllocOp::Free),
-    ]
+    prop_oneof![(1u64..5000).prop_map(AllocOp::Alloc), (0usize..16).prop_map(AllocOp::Free),]
 }
 
 proptest! {
@@ -121,9 +118,7 @@ impl Kernel for OneStore {
         "one_store"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         if ctx.global_thread_id() == 0 {
@@ -171,14 +166,10 @@ fn fragmentation_can_oom_then_recover() {
 fn kernel_oob_store_panics_with_context() {
     let mut rt = Runtime::new(DeviceSpec::test_small());
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        rt.launch(&OneStore { addr: u64::MAX - 2 }, Dim3::linear(1), Dim3::linear(1))
-            .unwrap();
+        rt.launch(&OneStore { addr: u64::MAX - 2 }, Dim3::linear(1), Dim3::linear(1)).unwrap();
     }))
     .expect_err("must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("store fault"), "{msg}");
     assert!(msg.contains("pc0000"), "{msg}");
 }
@@ -190,10 +181,7 @@ fn copy_into_gap_between_allocations_fails() {
     let _b = rt.malloc(100, "b").unwrap();
     // Alignment pads allocations to 256; byte 100..256 after `a` is a gap.
     let gap = DevicePtr(a.addr() + 130);
-    assert!(matches!(
-        rt.memcpy_h2d(gap, &[0u8; 4]),
-        Err(GpuError::InvalidPointer { .. })
-    ));
+    assert!(matches!(rt.memcpy_h2d(gap, &[0u8; 4]), Err(GpuError::InvalidPointer { .. })));
 }
 
 #[test]

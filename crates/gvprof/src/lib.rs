@@ -82,9 +82,7 @@ pub struct GvProf {
 
 impl std::fmt::Debug for GvProf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GvProf")
-            .field("kernels", &self.state.lock().per_kernel.len())
-            .finish()
+        f.debug_struct("GvProf").field("kernels", &self.state.lock().per_kernel.len()).finish()
     }
 }
 
@@ -132,7 +130,11 @@ impl GvProfSession {
     /// Attaches GVProf with its hierarchical sampling (kernel period and
     /// block period) — the configuration the paper's Table 5 measured
     /// against.
-    pub fn attach_sampled(rt: &mut Runtime, kernel_period: u64, block_period: u32) -> GvProfSession {
+    pub fn attach_sampled(
+        rt: &mut Runtime,
+        kernel_period: u64,
+        block_period: u32,
+    ) -> GvProfSession {
         let sampler = PeriodicSampler {
             period: kernel_period.max(1),
             counters: Mutex::new(HashMap::new()),
@@ -229,9 +231,7 @@ mod tests {
             "store_const"
         }
         fn instr_table(&self) -> InstrTable {
-            InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                .build()
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
         }
         fn execute(&self, ctx: &mut ThreadCtx<'_>) {
             let i = ctx.global_thread_id();
@@ -293,8 +293,7 @@ mod tests {
         let mut rt = Runtime::new(DeviceSpec::test_small());
         let gv = GvProfSession::attach(&mut rt);
         let buf = rt.malloc(256, "buf").unwrap();
-        rt.launch(&DoubleStore { base: buf.addr() }, Dim3::linear(1), Dim3::linear(8))
-            .unwrap();
+        rt.launch(&DoubleStore { base: buf.addr() }, Dim3::linear(1), Dim3::linear(8)).unwrap();
         let r = &gv.results()["double_store"];
         assert_eq!(r.total_stores, 16);
         assert_eq!(r.redundant_stores, 8);
@@ -326,8 +325,7 @@ mod tests {
         let gv = GvProfSession::attach(&mut rt);
         let buf = rt.malloc(256, "buf").unwrap();
         rt.memset(buf, 0, 256).unwrap();
-        rt.launch(&DoubleLoad { base: buf.addr() }, Dim3::linear(1), Dim3::linear(8))
-            .unwrap();
+        rt.launch(&DoubleLoad { base: buf.addr() }, Dim3::linear(1), Dim3::linear(8)).unwrap();
         let r = &gv.results()["double_load"];
         assert_eq!(r.total_loads, 16);
         assert_eq!(r.redundant_loads, 8);

@@ -1,0 +1,217 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the benchmarking surface its `harness = false`
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `bench_function`/`bench_with_input`, `Throughput`, and
+//! `BenchmarkId`. Measurements are simple wall-clock timings (median
+//! of samples) printed to stdout — no statistics, plots, or HTML.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, &b, None, 20);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            &b,
+            self.throughput,
+            self.sample_size,
+        );
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b,
+            self.throughput,
+            self.sample_size,
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+#[derive(Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        // Sample until ~200ms or 50 samples, whichever first.
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while self.samples.len() < 50 && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>, _sample_size: usize) {
+    let med = b.median();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+            let per_s = n as f64 / med.as_secs_f64();
+            format!("  {:.1} MiB/s", per_s / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+            let per_s = n as f64 / med.as_secs_f64();
+            format!("  {per_s:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {id}: median {:?} over {} samples{rate}",
+        med,
+        b.samples.len()
+    );
+}
+
+/// Declares a group function running each benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,604 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a small, self-contained serialization framework
+//! with serde's surface syntax: `Serialize`/`Deserialize` traits (and
+//! derive macros), `Serializer`/`Deserializer` traits usable in
+//! `serialize_with`/`deserialize_with` functions, and the container
+//! attributes this workspace uses (`default`, `into`, `from`,
+//! `serialize_with`, `deserialize_with`).
+//!
+//! Unlike real serde's visitor architecture, this implementation is
+//! value-based: everything serializes through the JSON-like [`Value`]
+//! tree. That is exactly what the workspace needs (its only format is
+//! JSON via the vendored `serde_json`), and it keeps the vendored code
+//! auditable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// A JSON-like value tree; the interchange representation all
+/// serialization goes through. Object fields keep insertion order so
+/// struct fields serialize in declaration order, like serde_json.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0; non-negatives use [`Value::U64`]).
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+pub mod ser {
+    use std::fmt;
+
+    /// Error trait for serializers.
+    pub trait Error: Sized + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A serializer: consumes a [`crate::Value`] tree.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        fn serialize_value(self, v: crate::Value) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    /// Error trait for deserializers (mirrors `serde::de::Error`).
+    pub trait Error: Sized + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error produced by value-tree deserialization.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError {
+        msg: String,
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    /// A deserializer: produces a [`crate::Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+        fn take_value(self) -> Result<crate::Value, Self::Error>;
+    }
+}
+
+pub use de::{DeError, Deserializer};
+pub use ser::Serializer;
+
+/// A type that can be serialized. `to_value` is the required method;
+/// `serialize` adapts it to any [`Serializer`] (this is what
+/// `serialize_with` functions call).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can be deserialized. `from_value` is the required
+/// method; `deserialize` adapts any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer
+            .take_value()
+            .map_err(|e| <D::Error as de::Error>::custom(e))?;
+        Self::from_value(&v).map_err(|e| <D::Error as de::Error>::custom(e))
+    }
+}
+
+/// Adapters between the trait surface and [`Value`] trees; used by the
+/// derive macros.
+pub mod value {
+    use super::*;
+
+    /// Serializer whose output *is* the value tree.
+    pub struct ValueSerializer;
+
+    impl ser::Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            <DeError as de::Error>::custom(msg)
+        }
+    }
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = DeError;
+        fn serialize_value(self, v: Value) -> Result<Value, DeError> {
+            Ok(v)
+        }
+    }
+
+    /// Deserializer reading from a borrowed value tree.
+    pub struct ValueDeserializer<'a>(pub &'a Value);
+
+    impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = DeError;
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Looks up a field in an object (linear scan; objects are small).
+    pub fn get_field<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Error for a missing struct field.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        <DeError as de::Error>::custom(format!("missing field `{field}` in {ty}"))
+    }
+
+    /// Error for a type mismatch.
+    pub fn wrong_type(expected: &str, got: &Value) -> DeError {
+        <DeError as de::Error>::custom(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for primitives and std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => return Err(value::wrong_type("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    <DeError as de::Error>::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        <DeError as de::Error>::custom(format!("integer {n} overflows i64"))
+                    })?,
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && f >= i64::MIN as f64
+                            && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    ref other => return Err(value::wrong_type("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    <DeError as de::Error>::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    ref other => Err(value::wrong_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(value::wrong_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(value::wrong_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(value::wrong_type("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(value::wrong_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(value::wrong_type("array", other)),
+        }
+    }
+}
+
+/// Converts a serialized key into a JSON object key, matching
+/// serde_json: strings pass through, integers are stringified.
+fn key_to_string(v: Value) -> Result<String, &'static str> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err("map key must serialize to a string or integer"),
+    }
+}
+
+/// Parses a JSON object key back into a key type, via the value tree.
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, DeError> {
+    // Try as string first, then as integer.
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(<DeError as de::Error>::custom(format!(
+        "cannot parse map key `{s}`"
+    )))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(k.to_value()).expect("unsupported map key"),
+                        v.to_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(value::wrong_type("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (HashMap iteration order is not).
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k.to_value()).expect("unsupported map key"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(<DeError as de::Error>::custom(format!(
+                        "expected tuple of {LEN}, found array of {}",
+                        items.len()
+                    ))),
+                    other => Err(value::wrong_type("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u32.to_value(), Value::U64(42));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(u32::from_value(&Value::U64(42)), Ok(42));
+        assert_eq!(i32::from_value(&Value::I64(-3)), Ok(-3));
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let m: BTreeMap<u32, String> =
+            [(1, "a".to_owned()), (2, "b".to_owned())].into_iter().collect();
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+        let t = (1u8, "x".to_owned(), -2i32);
+        assert_eq!(
+            <(u8, String, i32)>::from_value(&t.to_value()).unwrap(),
+            t
+        );
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), o);
+    }
+}

@@ -1,0 +1,599 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The build environment has no network access to crates.io, so `syn`
+//! and `quote` are unavailable; the derive input is parsed directly
+//! from `proc_macro::TokenStream` token trees. Supported input shapes
+//! (everything this workspace derives on):
+//!
+//! * unit / tuple / named-field structs without generics;
+//! * enums whose variants are unit, tuple, or named-field;
+//! * container attributes `#[serde(into = "T", from = "T")]`;
+//! * field attributes `#[serde(default)]`,
+//!   `#[serde(serialize_with = "f", deserialize_with = "f")]`.
+//!
+//! Generated code targets the value-tree model of the vendored
+//! `serde`: `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    into: Option<String>,
+    from: Option<String>,
+}
+
+#[derive(Default, Debug)]
+struct FieldAttrs {
+    default: bool,
+    serialize_with: Option<String>,
+    deserialize_with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Strips the surrounding quotes from a string literal token.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    let s = s.strip_prefix('"').unwrap_or(s);
+    let s = s.strip_suffix('"').unwrap_or(s);
+    s.to_owned()
+}
+
+/// Parses the contents of one `serde(...)` attribute group into
+/// key/value pairs (`default` becomes `("default", "")`).
+fn parse_serde_args(group: &Group) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        if is_punct(tokens.get(i), '=') {
+            i += 1;
+            let val = match tokens.get(i) {
+                Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                Some(other) => other.to_string(),
+                None => String::new(),
+            };
+            i += 1;
+            out.push((key, val));
+        } else {
+            out.push((key, String::new()));
+        }
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a run of `#[...]` attributes starting at `*i`, returning
+/// the arguments of any `serde(...)` attributes found.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    let mut serde_args = Vec::new();
+    while is_punct(tokens.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_ident(inner.first(), "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    serde_args.extend(parse_serde_args(args));
+                }
+            }
+            *i += 2;
+        } else {
+            panic!("malformed attribute in derive input");
+        }
+    }
+    serde_args
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips tokens until a top-level `,` (tracking `<`/`>` depth so
+/// generic arguments do not terminate the type early) or end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn field_attrs(serde_args: Vec<(String, String)>, context: &str) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for (k, v) in serde_args {
+        match k.as_str() {
+            "default" => attrs.default = true,
+            "serialize_with" => attrs.serialize_with = Some(v),
+            "deserialize_with" => attrs.deserialize_with = Some(v),
+            other => panic!("unsupported serde field attribute `{other}` on {context}"),
+        }
+    }
+    attrs
+}
+
+/// Parses the brace group of a named-field struct or struct variant.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let serde_args = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found `{other}`"),
+        };
+        i += 1;
+        assert!(is_punct(tokens.get(i), ':'), "expected `:` after field `{name}`");
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            attrs: field_attrs(serde_args, &name),
+            name,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant paren group.
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        // Each element: attrs, visibility, then a type.
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g);
+                i += 1;
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        if is_punct(tokens.get(i), '=') {
+            panic!("explicit enum discriminants are not supported by the vendored serde derive");
+        }
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let serde_args = skip_attrs(&tokens, &mut i);
+    let mut attrs = ContainerAttrs::default();
+    for (k, v) in serde_args {
+        match k.as_str() {
+            "into" => attrs.into = Some(v),
+            "from" => attrs.from = Some(v),
+            // `transparent`, rename rules etc. are not needed here.
+            other => panic!("unsupported serde container attribute `{other}`"),
+        }
+    }
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        panic!("generic types are not supported by the vendored serde derive (type `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    Input { name, attrs, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_to_value(name: &str, fields: &Fields, out: &mut String) {
+    match fields {
+        Fields::Unit => out.push_str("::serde::Value::Null"),
+        Fields::Tuple(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
+        Fields::Tuple(n) => {
+            out.push_str("::serde::Value::Array(::std::vec![");
+            for idx in 0..*n {
+                out.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),"));
+            }
+            out.push_str("])");
+        }
+        Fields::Named(fields) => {
+            let _ = name;
+            out.push_str(
+                "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();",
+            );
+            for f in fields {
+                let fname = &f.name;
+                if let Some(ser_fn) = &f.attrs.serialize_with {
+                    out.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         match {ser_fn}(&self.{fname}, ::serde::value::ValueSerializer) {{ \
+                         ::std::result::Result::Ok(v) => v, \
+                         ::std::result::Result::Err(e) => \
+                         ::std::panic!(\"serialize_with failed: {{}}\", e) }}));"
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value(&self.{fname})));"
+                    ));
+                }
+            }
+            out.push_str("::serde::Value::Object(__fields) }");
+        }
+    }
+}
+
+fn gen_struct_from_value(name: &str, fields: &Fields, out: &mut String) {
+    match fields {
+        Fields::Unit => out.push_str(&format!("::std::result::Result::Ok({name})")),
+        Fields::Tuple(1) => out.push_str(&format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        )),
+        Fields::Tuple(n) => {
+            out.push_str(&format!(
+                "match __v.as_array() {{ \
+                 ::std::option::Option::Some(__a) if __a.len() == {n} => \
+                 ::std::result::Result::Ok({name}("
+            ));
+            for idx in 0..*n {
+                out.push_str(&format!("::serde::Deserialize::from_value(&__a[{idx}])?,"));
+            }
+            out.push_str(&format!(
+                ")), _ => ::std::result::Result::Err(::serde::value::wrong_type(\
+                 \"array of {n}\", __v)) }}"
+            ));
+        }
+        Fields::Named(fields) => {
+            out.push_str(&format!(
+                "{{ let __obj = match __v.as_object() {{ \
+                 ::std::option::Option::Some(o) => o, \
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::value::wrong_type(\"object\", __v)) }};\
+                 ::std::result::Result::Ok({name} {{"
+            ));
+            for f in fields {
+                let fname = &f.name;
+                let some_arm = if let Some(de_fn) = &f.attrs.deserialize_with {
+                    format!("{de_fn}(::serde::value::ValueDeserializer(__f))?")
+                } else {
+                    "::serde::Deserialize::from_value(__f)?".to_owned()
+                };
+                let none_arm = if f.attrs.default {
+                    "::std::default::Default::default()".to_owned()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(\
+                         ::serde::value::missing_field(\"{name}\", \"{fname}\"))"
+                    )
+                };
+                out.push_str(&format!(
+                    "{fname}: match ::serde::value::get_field(__obj, \"{fname}\") {{ \
+                     ::std::option::Option::Some(__f) => {some_arm}, \
+                     ::std::option::Option::None => {none_arm} }},"
+                ));
+            }
+            out.push_str("}) }");
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    if let Some(into_ty) = &input.attrs.into {
+        body.push_str(&format!(
+            "let __tmp: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self)); \
+             ::serde::Serialize::to_value(&__tmp)"
+        ));
+    } else {
+        match &input.body {
+            Body::Struct(fields) => gen_struct_to_value(name, fields, &mut body),
+            Body::Enum(variants) => {
+                body.push_str("match self {");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(",")
+                                )
+                            };
+                            body.push_str(&format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds.join(",")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            body.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                binds.join(","),
+                                items.join(",")
+                            ));
+                        }
+                    }
+                }
+                body.push('}');
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    if let Some(from_ty) = &input.attrs.from {
+        body.push_str(&format!(
+            "let __tmp: {from_ty} = ::serde::Deserialize::from_value(__v)?; \
+             ::std::result::Result::Ok(::std::convert::From::from(__tmp))"
+        ));
+    } else {
+        match &input.body {
+            Body::Struct(fields) => gen_struct_from_value(name, fields, &mut body),
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        )),
+                        Fields::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let mut items = String::new();
+                            for idx in 0..*n {
+                                items.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&__a[{idx}])?,"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => match __payload.as_array() {{ \
+                                 ::std::option::Option::Some(__a) if __a.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({items})), \
+                                 _ => ::std::result::Result::Err(::serde::value::wrong_type(\
+                                 \"array of {n}\", __payload)) }},"
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let mut inner = String::new();
+                            for f in fields {
+                                let fname = &f.name;
+                                let none_arm = if f.attrs.default {
+                                    "::std::default::Default::default()".to_owned()
+                                } else {
+                                    format!(
+                                        "return ::std::result::Result::Err(\
+                                         ::serde::value::missing_field(\
+                                         \"{name}::{vname}\", \"{fname}\"))"
+                                    )
+                                };
+                                inner.push_str(&format!(
+                                    "{fname}: match ::serde::value::get_field(__vo, \"{fname}\") \
+                                     {{ ::std::option::Option::Some(__f) => \
+                                     ::serde::Deserialize::from_value(__f)?, \
+                                     ::std::option::Option::None => {none_arm} }},"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => match __payload.as_object() {{ \
+                                 ::std::option::Option::Some(__vo) => \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inner} }}), \
+                                 ::std::option::Option::None => \
+                                 ::std::result::Result::Err(::serde::value::wrong_type(\
+                                 \"object\", __payload)) }},"
+                            ));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "match __v {{ \
+                     ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(<::serde::DeError as \
+                     ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))) }}, \
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                     let (__tag, __payload) = &__o[0]; \
+                     match __tag.as_str() {{ \
+                     {data_arms} \
+                     __other => ::std::result::Result::Err(<::serde::DeError as \
+                     ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))) }} }}, \
+                     __other => ::std::result::Result::Err(::serde::value::wrong_type(\
+                     \"string or single-key object\", __other)) }}"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("vendored serde derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("vendored serde derive generated invalid Rust")
+}

@@ -150,8 +150,8 @@ mod tests {
             any::<u32>(),
             any::<u32>(),
         )
-            .prop_map(|(pc, addr, bits, size, store, shared, atomic, block, thread)| {
-                AccessRecord {
+            .prop_map(
+                |(pc, addr, bits, size, store, shared, atomic, block, thread)| AccessRecord {
                     pc: Pc(pc),
                     addr,
                     bits,
@@ -161,8 +161,8 @@ mod tests {
                     block,
                     thread,
                     is_atomic: atomic,
-                }
-            })
+                },
+            )
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   overhead, and
 //! * [`LaunchFilter`] — pluggable per-launch instrumentation decisions
 //!   (kernel filtering and sampling plug in here; implementations live in
-//!   `vex-core::sampling`).
+//!   `vex-core::sampling`), and
+//! * [`transport`] — a channel-backed [`TraceSink`] that publishes record
+//!   batches into bounded queues so analysis runs off the critical path.
 //!
 //! The collector serializes concurrent streams by construction: the
 //! simulator runs one operation at a time, and the collector asserts that
@@ -23,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod transport;
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -268,11 +271,7 @@ impl Collector {
         let records = state.buffer.drain();
         state.stats.flushes += 1;
         state.stats.bytes_flushed += records.len() as u64 * AccessRecord::DEVICE_BYTES;
-        let info = state
-            .current
-            .as_ref()
-            .expect("flush outside of a launch")
-            .clone();
+        let info = state.current.as_ref().expect("flush outside of a launch").clone();
         sink.on_batch(&info, &records);
     }
 }
@@ -380,9 +379,7 @@ mod tests {
             "write_n"
         }
         fn instr_table(&self) -> InstrTable {
-            InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                .build()
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
         }
         fn execute(&self, ctx: &mut ThreadCtx<'_>) {
             let i = ctx.global_thread_id();
@@ -402,12 +399,7 @@ mod tests {
         let collector = Arc::new(Collector::new(capacity, sink.clone(), filter));
         rt.register_access_hook(collector.clone());
         let base = rt.malloc((n * 4) as u64, "buf").unwrap().addr();
-        rt.launch(
-            &WriteN { base, n },
-            Dim3::linear(1),
-            Dim3::linear(n.max(1) as u32),
-        )
-        .unwrap();
+        rt.launch(&WriteN { base, n }, Dim3::linear(1), Dim3::linear(n.max(1) as u32)).unwrap();
         (sink, collector)
     }
 

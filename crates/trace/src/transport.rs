@@ -1,0 +1,217 @@
+//! Channel transport: publishing collector output off the critical path.
+//!
+//! The paper's collector writes records into a pre-allocated GPU buffer
+//! and ships full buffers to the host asynchronously, so the analyzer
+//! never stalls kernel execution (§4, §5.1). [`ChannelSink`] is the
+//! simulator-side equivalent: a [`TraceSink`] that forwards every batch
+//! into a bounded [`crossbeam::channel`], where analysis workers consume
+//! it concurrently with simulator execution. The only work left on the
+//! application thread is one memcpy of the batch and a channel send.
+//!
+//! The sink is generic over the consumer's message type `M` so pipelines
+//! can interleave trace events with other in-band messages (e.g. the
+//! allocation events an analysis worker needs to mirror the object
+//! registry) on a single FIFO channel, preserving program order.
+//!
+//! Delivery accounting: a send that fails because every receiver is gone
+//! (consumer shutdown mid-kernel) increments `dropped` instead of
+//! panicking — the application must be able to outlive its profiler.
+
+use crate::{AccessRecord, TraceSink};
+use crossbeam::channel::Sender;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vex_gpu::exec::LaunchStats;
+use vex_gpu::hooks::{DeviceView, LaunchInfo};
+
+/// One collector event, as published on the transport channel.
+///
+/// Batches carry their records behind an [`Arc`] so a router can fan one
+/// batch out to several consumers (e.g. analysis shards plus a reuse /
+/// race worker) without re-copying.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A record batch flushed from the device buffer.
+    Batch {
+        /// The launch the records belong to.
+        info: Arc<LaunchInfo>,
+        /// The flushed records.
+        records: Arc<Vec<AccessRecord>>,
+    },
+    /// An instrumented launch finished (after its final batch).
+    LaunchComplete {
+        /// The completed launch.
+        info: Arc<LaunchInfo>,
+    },
+    /// A launch ran uninstrumented (declined by the filter).
+    SkippedLaunch {
+        /// The skipped launch.
+        info: Arc<LaunchInfo>,
+    },
+}
+
+/// A [`TraceSink`] that publishes collector events into a channel.
+///
+/// `map` translates each [`TraceEvent`] into the consumer's message type;
+/// returning `None` drops the event without sending (e.g. a pipeline that
+/// ignores skipped launches).
+pub struct ChannelSink<M: Send + 'static> {
+    tx: Sender<M>,
+    #[allow(clippy::type_complexity)]
+    map: Box<dyn Fn(TraceEvent) -> Option<M> + Send + Sync>,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<M: Send + 'static> ChannelSink<M> {
+    /// Creates a sink publishing into `tx` through `map`.
+    pub fn new(
+        tx: Sender<M>,
+        map: impl Fn(TraceEvent) -> Option<M> + Send + Sync + 'static,
+    ) -> Self {
+        ChannelSink {
+            tx,
+            map: Box::new(map),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Events successfully handed to the channel.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Events lost because all receivers were gone.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, event: TraceEvent) {
+        if let Some(msg) = (self.map)(event) {
+            match self.tx.send(msg) {
+                Ok(()) => {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Consumers shut down; the app keeps running.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl<M: Send + 'static> std::fmt::Debug for ChannelSink<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSink")
+            .field("delivered", &self.delivered())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> TraceSink for ChannelSink<M> {
+    fn on_batch(&self, info: &LaunchInfo, records: &[AccessRecord]) {
+        // The one on-critical-path copy: device buffer -> heap batch.
+        self.publish(TraceEvent::Batch {
+            info: Arc::new(info.clone()),
+            records: Arc::new(records.to_vec()),
+        });
+    }
+
+    fn on_launch_complete(
+        &self,
+        info: &LaunchInfo,
+        _stats: &LaunchStats,
+        _view: &dyn DeviceView,
+    ) {
+        self.publish(TraceEvent::LaunchComplete { info: Arc::new(info.clone()) });
+    }
+
+    fn on_skipped_launch(&self, info: &LaunchInfo, _stats: &LaunchStats) {
+        self.publish(TraceEvent::SkippedLaunch { info: Arc::new(info.clone()) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::sync::Arc;
+    use vex_gpu::callpath::CallPathId;
+    use vex_gpu::dim::Dim3;
+    use vex_gpu::hooks::LaunchId;
+    use vex_gpu::ir::{InstrTable, MemSpace, Pc};
+    use vex_gpu::stream::StreamId;
+
+    fn info() -> LaunchInfo {
+        LaunchInfo {
+            launch: LaunchId(0),
+            kernel_name: "k".to_owned(),
+            grid: Dim3::linear(1),
+            block: Dim3::linear(1),
+            shared_bytes: 0,
+            context: CallPathId::ROOT,
+            stream: StreamId::DEFAULT,
+            instr_table: Arc::new(InstrTable::default()),
+        }
+    }
+
+    fn rec(addr: u64) -> AccessRecord {
+        AccessRecord {
+            pc: Pc(0),
+            addr,
+            bits: 0,
+            size: 4,
+            is_store: true,
+            space: MemSpace::Global,
+            block: 0,
+            thread: 0,
+            is_atomic: false,
+        }
+    }
+
+    #[test]
+    fn batches_arrive_in_order() {
+        let (tx, rx) = bounded(8);
+        let sink = ChannelSink::new(tx, Some);
+        for i in 0..5u64 {
+            sink.on_batch(&info(), &[rec(i * 4)]);
+        }
+        drop(sink);
+        let addrs: Vec<u64> = rx
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::Batch { records, .. } => records[0].addr,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn map_can_filter_events() {
+        let (tx, rx) = bounded(8);
+        let sink = ChannelSink::new(tx, |ev| match ev {
+            TraceEvent::SkippedLaunch { .. } => None,
+            other => Some(other),
+        });
+        sink.on_skipped_launch(&info(), &LaunchStats::default());
+        sink.on_batch(&info(), &[rec(0)]);
+        assert_eq!(sink.delivered(), 1);
+        drop(sink);
+        assert_eq!(rx.iter().count(), 1);
+    }
+
+    #[test]
+    fn disconnected_channel_counts_drops_without_panicking() {
+        let (tx, rx) = bounded(8);
+        let sink = ChannelSink::new(tx, Some);
+        drop(rx);
+        sink.on_batch(&info(), &[rec(0)]);
+        sink.on_batch(&info(), &[rec(4)]);
+        assert_eq!(sink.delivered(), 0);
+        assert_eq!(sink.dropped(), 2);
+    }
+}

@@ -71,10 +71,8 @@ impl Kernel for EmbeddingGather {
             return; // padding token: row untouched by the gather
         }
         for d in 0..self.dim {
-            let w: f32 = ctx.load(
-                Pc(1),
-                self.weight.addr() + ((id as usize * self.dim + d) * 4) as u64,
-            );
+            let w: f32 =
+                ctx.load(Pc(1), self.weight.addr() + ((id as usize * self.dim + d) * 4) as u64);
             ctx.flops(Precision::F32, 1);
             ctx.store(Pc(2), self.out.addr() + ((t * self.dim + d) * 4) as u64, w);
         }

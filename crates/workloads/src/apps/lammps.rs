@@ -17,7 +17,9 @@ use crate::{checksum_f64, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -80,10 +82,8 @@ impl Kernel for PairForce {
         let x: f64 = ctx.load(Pc(0), self.coords.addr() + (i * 8) as u64);
         let mut f = (x * 0.3).sin();
         for s in 0..SCANNED_SLOTS {
-            let nb: i32 = ctx.load(
-                Pc(3),
-                self.neighbors.addr() + ((i * SCANNED_SLOTS + s) * 4) as u64,
-            );
+            let nb: i32 =
+                ctx.load(Pc(3), self.neighbors.addr() + ((i * SCANNED_SLOTS + s) * 4) as u64);
             if nb == EMPTY_SLOT {
                 continue;
             }
@@ -208,7 +208,8 @@ impl GpuApp for Lammps {
             module_bufs.push(buf);
         }
 
-        let pair = PairForce { coords: d_coords, forces: d_forces, neighbors: d_neigh, atoms: n };
+        let pair =
+            PairForce { coords: d_coords, forces: d_forces, neighbors: d_neigh, atoms: n };
         let grid = Dim3::linear(blocks_for(n, BLOCK));
         for step in 0..self.steps {
             // Neighbor rebuild: the memory-time hot spot.
@@ -218,10 +219,8 @@ impl GpuApp for Lammps {
                     // all 0xFF bytes), a small exception list across PCIe,
                     // and a scatter kernel applying it.
                     rt.memset(d_neigh, 0xFF, (slots * 4) as u64)?;
-                    let packed: Vec<i32> = exceptions
-                        .iter()
-                        .flat_map(|&(i, v)| [i as i32, v])
-                        .collect();
+                    let packed: Vec<i32> =
+                        exceptions.iter().flat_map(|&(i, v)| [i as i32, v]).collect();
                     let d_exc = rt.malloc_from("neigh_exceptions", &packed)?;
                     rt.launch(
                         &ScatterExceptions {

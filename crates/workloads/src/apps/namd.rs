@@ -12,7 +12,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;

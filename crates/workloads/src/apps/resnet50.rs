@@ -13,7 +13,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -101,26 +103,33 @@ impl GpuApp for Resnet50 {
 
         let mut src = d_input;
         for l in 0..self.layers {
-            let out = rt.with_fn(&format!("Conv2d::forward[{l}]"), |rt| -> Result<_, GpuError> {
-                let output = rt.malloc((n * 4) as u64, "output")?;
-                if let Some(ones) = d_ones {
-                    // The redundant `ones` tensor of Listing 4: resized and
-                    // re-initialized to zeros every pass, used only for the
-                    // bias accumulation that Resnet's batch-norm makes
-                    // unnecessary (redundant values + single zero).
+            let out =
+                rt.with_fn(&format!("Conv2d::forward[{l}]"), |rt| -> Result<_, GpuError> {
+                    let output = rt.malloc((n * 4) as u64, "output")?;
+                    if let Some(ones) = d_ones {
+                        // The redundant `ones` tensor of Listing 4: resized and
+                        // re-initialized to zeros every pass, used only for the
+                        // bias accumulation that Resnet's batch-norm makes
+                        // unnecessary (redundant values + single zero).
+                        rt.launch(
+                            &FillKernel { dst: ones, n, value: 0.0 },
+                            grid,
+                            Dim3::linear(BLOCK),
+                        )?;
+                    }
                     rt.launch(
-                        &FillKernel { dst: ones, n, value: 0.0 },
+                        &ConvKernel {
+                            input: src,
+                            weight: d_weight,
+                            output,
+                            n,
+                            taps: self.taps,
+                        },
                         grid,
                         Dim3::linear(BLOCK),
                     )?;
-                }
-                rt.launch(
-                    &ConvKernel { input: src, weight: d_weight, output, n, taps: self.taps },
-                    grid,
-                    Dim3::linear(BLOCK),
-                )?;
-                Ok(output)
-            })?;
+                    Ok(output)
+                })?;
             src = out;
         }
 

@@ -15,7 +15,9 @@ use crate::{checksum_f64, AppOutput, GpuApp, Variant};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -186,16 +188,12 @@ impl GpuApp for Backprop {
         let d_input = rt.malloc_from("input_cuda", &input_units)?;
         let d_fwd_w = rt.malloc_from("hidden_weights", &fwd_weights)?;
         let d_partial = rt.malloc((fwd_n * 4) as u64, "hidden_partial_sum")?;
-        let fwd = LayerForward { input: d_input, weights: d_fwd_w, partial: d_partial, n: fwd_n };
+        let fwd =
+            LayerForward { input: d_input, weights: d_fwd_w, partial: d_partial, n: fwd_n };
         let fwd_grid = Dim3::linear(blocks_for(fwd_n, FWD_TILE as u32));
 
-        let kernel = AdjustWeights {
-            w,
-            oldw,
-            delta,
-            n,
-            bypass_zeros: variant == Variant::Optimized,
-        };
+        let kernel =
+            AdjustWeights { w, oldw, delta, n, bypass_zeros: variant == Variant::Optimized };
         let grid = Dim3::linear(blocks_for(n, BLOCK));
         for _ in 0..self.iterations {
             rt.with_fn("bpnn_train_cuda::forward", |rt| {

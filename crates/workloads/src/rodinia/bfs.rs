@@ -122,7 +122,11 @@ impl Kernel for BfsKernel {
             ctx.flops(Precision::Int, 2);
             if seen == 0 {
                 if self.wide_cost {
-                    ctx.store::<i32>(Pc(6), self.cost.addr() + (dst as usize * 4) as u64, my_cost + 1);
+                    ctx.store::<i32>(
+                        Pc(6),
+                        self.cost.addr() + (dst as usize * 4) as u64,
+                        my_cost + 1,
+                    );
                 } else {
                     ctx.store::<u8>(Pc(6), self.cost.addr() + dst as u64, (my_cost + 1) as u8);
                 }
@@ -221,9 +225,7 @@ impl GpuApp for Bfs {
             for _ in 0..8 {
                 rt.with_fn("bfs::sweep", |rt| rt.launch(&kernel, grid, Dim3::linear(BLOCK)))?;
                 rt.memset(over, 0, 1)?;
-                rt.with_fn("bfs::update", |rt| {
-                    rt.launch(&kernel2, grid, Dim3::linear(BLOCK))
-                })?;
+                rt.with_fn("bfs::update", |rt| rt.launch(&kernel2, grid, Dim3::linear(BLOCK)))?;
             }
 
             // Read back costs.

@@ -16,7 +16,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -90,10 +92,7 @@ impl Kernel for ComputeFlux {
             *o = ctx.load(Pc(1), self.variables.addr() + var_at(i, v));
         }
         for nb in 0..4usize {
-            let idx: i32 = ctx.load(
-                Pc(0),
-                self.neighbors.addr() + ((i * 4 + nb) * 4) as u64,
-            );
+            let idx: i32 = ctx.load(Pc(0), self.neighbors.addr() + ((i * 4 + nb) * 4) as u64);
             let e = idx as usize;
             for (v, f) in flux.iter_mut().enumerate() {
                 let nv: f32 = ctx.load(Pc(2), self.variables.addr() + var_at(e, v));
@@ -194,19 +193,19 @@ impl GpuApp for Cfd {
     fn run(&self, rt: &mut Runtime, variant: Variant) -> Result<AppOutput, GpuError> {
         let n = self.elements;
         let uniform = 1.4f32; // far-field density of the stock input
-        // Conservation variables of the stock far-field: density 1.4,
-        // zero momentum (the frequent value), energy 2.5 — uniform across
-        // elements, so neighbor differences (and fluxes) are exactly zero.
+                              // Conservation variables of the stock far-field: density 1.4,
+                              // zero momentum (the frequent value), energy 2.5 — uniform across
+                              // elements, so neighbor differences (and fluxes) are exactly zero.
         let component = [uniform, 0.0, 0.0, 0.0, 2.5f32];
         let host_vars: Vec<f32> = (0..n * NVAR).map(|i| component[i % NVAR]).collect();
         let mut rng = XorShift::new(0xCFD);
-        let host_neighbors: Vec<i32> =
-            (0..n * 4).map(|_| rng.below(n as u64) as i32).collect();
+        let host_neighbors: Vec<i32> = (0..n * 4).map(|_| rng.below(n as u64) as i32).collect();
 
         let (variables, neighbors, fluxes, step_factors) =
             rt.with_fn("cfd::setup", |rt| -> Result<_, GpuError> {
                 let variables = rt.malloc_from("variables", &host_vars)?;
-                let neighbors = rt.malloc_from("elements_surrounding_elements", &host_neighbors)?;
+                let neighbors =
+                    rt.malloc_from("elements_surrounding_elements", &host_neighbors)?;
                 let fluxes = rt.malloc((n * NVAR * 4) as u64, "fluxes")?;
                 let step_factors = rt.malloc((n * 4) as u64, "step_factors")?;
                 Ok((variables, neighbors, fluxes, step_factors))
@@ -220,8 +219,7 @@ impl GpuApp for Cfd {
             elements: n,
             exploit_frequent: variant == Variant::Optimized,
         };
-        let step_kernel =
-            ComputeStepFactor { variables, step_factors, elements: n };
+        let step_kernel = ComputeStepFactor { variables, step_factors, elements: n };
         let time_kernel = TimeStep { variables, fluxes, step_factors, elements: n };
         let grid = Dim3::linear(blocks_for(n, BLOCK));
         for _ in 0..self.iterations {

@@ -11,7 +11,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -115,19 +117,17 @@ impl GpuApp for Hotspot {
         let mut rng = XorShift::new(0x407);
         // Nearly uniform temperatures (the approximate-values premise)
         // with a few hot cells driven by power.
-        let host_temp: Vec<f32> = (0..n)
-            .map(|_| T_AMB + 1e-4 * rng.unit_f32())
-            .collect();
-        let host_power: Vec<f32> = (0..n)
-            .map(|i| if i % 97 == 0 { 10.0 + rng.unit_f32() } else { 0.0 })
-            .collect();
+        let host_temp: Vec<f32> = (0..n).map(|_| T_AMB + 1e-4 * rng.unit_f32()).collect();
+        let host_power: Vec<f32> =
+            (0..n).map(|i| if i % 97 == 0 { 10.0 + rng.unit_f32() } else { 0.0 }).collect();
 
-        let (t_in, t_out, power) = rt.with_fn("hotspot::setup", |rt| -> Result<_, GpuError> {
-            let t_in = rt.malloc_from("MatrixTemp[0]", &host_temp)?;
-            let t_out = rt.malloc((n * 4) as u64, "MatrixTemp[1]")?;
-            let power = rt.malloc_from("MatrixPower", &host_power)?;
-            Ok((t_in, t_out, power))
-        })?;
+        let (t_in, t_out, power) =
+            rt.with_fn("hotspot::setup", |rt| -> Result<_, GpuError> {
+                let t_in = rt.malloc_from("MatrixTemp[0]", &host_temp)?;
+                let t_out = rt.malloc((n * 4) as u64, "MatrixTemp[1]")?;
+                let power = rt.malloc_from("MatrixPower", &host_power)?;
+                Ok((t_in, t_out, power))
+            })?;
 
         let tiles = blocks_for(self.side, TILE);
         let grid = Dim3::xy(tiles, tiles);
@@ -142,9 +142,7 @@ impl GpuApp for Hotspot {
                 side: self.side,
                 approximate: variant == Variant::Optimized,
             };
-            rt.with_fn("compute_tran_temp", |rt| {
-                rt.launch(&kernel, grid, block)
-            })?;
+            rt.with_fn("compute_tran_temp", |rt| rt.launch(&kernel, grid, block))?;
             std::mem::swap(&mut src, &mut dst);
         }
         let result: Vec<f32> = rt.read_typed(src, n)?;

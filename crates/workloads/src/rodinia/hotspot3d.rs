@@ -11,7 +11,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -120,16 +122,16 @@ impl GpuApp for Hotspot3D {
         let n = self.side * self.side * self.side;
         let mut rng = XorShift::new(0x3D);
         let host_temp: Vec<f32> = (0..n).map(|_| T_AMB + 1e-4 * rng.unit_f32()).collect();
-        let host_power: Vec<f32> = (0..n)
-            .map(|i| if i % 131 == 0 { 4.0 + rng.unit_f32() } else { 0.0 })
-            .collect();
+        let host_power: Vec<f32> =
+            (0..n).map(|i| if i % 131 == 0 { 4.0 + rng.unit_f32() } else { 0.0 }).collect();
 
-        let (t_in, t_out, power) = rt.with_fn("hotspot3D::setup", |rt| -> Result<_, GpuError> {
-            let t_in = rt.malloc_from("tIn_d", &host_temp)?;
-            let t_out = rt.malloc((n * 4) as u64, "tOut_d")?;
-            let power = rt.malloc_from("pIn_d", &host_power)?;
-            Ok((t_in, t_out, power))
-        })?;
+        let (t_in, t_out, power) =
+            rt.with_fn("hotspot3D::setup", |rt| -> Result<_, GpuError> {
+                let t_in = rt.malloc_from("tIn_d", &host_temp)?;
+                let t_out = rt.malloc((n * 4) as u64, "tOut_d")?;
+                let power = rt.malloc_from("pIn_d", &host_power)?;
+                Ok((t_in, t_out, power))
+            })?;
 
         let grid = Dim3::linear(blocks_for(n, BLOCK));
         let (mut src, mut dst) = (t_in, t_out);
@@ -141,9 +143,7 @@ impl GpuApp for Hotspot3D {
                 side: self.side,
                 approximate: variant == Variant::Optimized,
             };
-            rt.with_fn("hotspot3D::step", |rt| {
-                rt.launch(&kernel, grid, Dim3::linear(BLOCK))
-            })?;
+            rt.with_fn("hotspot3D::step", |rt| rt.launch(&kernel, grid, Dim3::linear(BLOCK)))?;
             std::mem::swap(&mut src, &mut dst);
         }
         let result: Vec<f32> = rt.read_typed(src, n)?;

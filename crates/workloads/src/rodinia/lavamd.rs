@@ -13,7 +13,9 @@ use crate::{checksum_f64, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, IntWidth, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, IntWidth, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -37,8 +39,7 @@ const BLOCK: u32 = 128;
 /// The ten charge magnitudes of the stock input.
 /// All ten magnitudes are exactly representable in f32, which is what
 /// makes the f64 storage demotable (heavy type).
-const CHARGES: [f64; 10] =
-    [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.125, 1.25];
+const CHARGES: [f64; 10] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.125, 1.25];
 
 struct ForceKernel {
     /// Baseline: f64 charges. Optimized: u8 codes.
@@ -56,9 +57,11 @@ impl Kernel for ForceKernel {
     }
 
     fn instr_table(&self) -> InstrTable {
-        let mut b = InstrTableBuilder::new()
-            .op(Pc(3), Opcode::FFma(FloatWidth::F64))
-            .store(Pc(4), ScalarType::F64, MemSpace::Global);
+        let mut b = InstrTableBuilder::new().op(Pc(3), Opcode::FFma(FloatWidth::F64)).store(
+            Pc(4),
+            ScalarType::F64,
+            MemSpace::Global,
+        );
         if self.decoded {
             b = b
                 .load(Pc(0), ScalarType::U8, MemSpace::Global) // charge code
@@ -132,14 +135,8 @@ impl GpuApp for LavaMd {
             Ok((ra, lut, forces))
         })?;
 
-        let kernel = ForceKernel {
-            ra,
-            lut,
-            forces,
-            particles: n,
-            neighbors: self.neighbors,
-            decoded,
-        };
+        let kernel =
+            ForceKernel { ra, lut, forces, particles: n, neighbors: self.neighbors, decoded };
         rt.with_fn("lavaMD::force", |rt| {
             rt.launch(&kernel, Dim3::linear(blocks_for(n, BLOCK)), Dim3::linear(BLOCK))
         })?;
@@ -164,8 +161,7 @@ mod tests {
         assert_eq!(base.checksum, opt.checksum, "LUT decode is exact");
 
         // Memory time improves (smaller H2D copy)...
-        let mem_speedup =
-            rt1.time_report().memory_time_us / rt2.time_report().memory_time_us;
+        let mem_speedup = rt1.time_report().memory_time_us / rt2.time_report().memory_time_us;
         assert!(mem_speedup > 1.2, "memory speedup {mem_speedup}");
         // ...while the kernel does NOT get faster (decode overhead).
         let k_base = rt1.time_report().kernel_us("kernel_gpu_cuda");

@@ -123,13 +123,7 @@ impl GpuApp for Pathfinder {
         let grid = Dim3::linear(blocks_for(cols, BLOCK));
         let mut bufs = (src, dst);
         for wall_row in wall_rows.iter().skip(1).copied() {
-            let kernel = DynprocKernel {
-                wall_row,
-                src: bufs.0,
-                dst: bufs.1,
-                cols,
-                narrow,
-            };
+            let kernel = DynprocKernel { wall_row, src: bufs.0, dst: bufs.1, cols, narrow };
             rt.with_fn("run::dynproc", |rt| rt.launch(&kernel, grid, Dim3::linear(BLOCK)))?;
             bufs = (bufs.1, bufs.0);
         }

@@ -13,7 +13,9 @@ use crate::{checksum_f32, AppOutput, GpuApp, Variant, XorShift};
 use vex_gpu::dim::{blocks_for, Dim3};
 use vex_gpu::error::GpuError;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::memory::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -170,8 +172,10 @@ impl Kernel for Srad2Kernel {
         let (row, col) = (i / self.cols, i % self.cols);
         let at = |r: usize, c: usize| (r * self.cols + c) as u64 * 4;
         let cc: f32 = ctx.load(Pc(0), self.coeff.addr() + at(row, col));
-        let ce: f32 = ctx.load(Pc(1), self.coeff.addr() + at(row, (col + 1).min(self.cols - 1)));
-        let cs: f32 = ctx.load(Pc(1), self.coeff.addr() + at((row + 1).min(self.rows - 1), col));
+        let ce: f32 =
+            ctx.load(Pc(1), self.coeff.addr() + at(row, (col + 1).min(self.cols - 1)));
+        let cs: f32 =
+            ctx.load(Pc(1), self.coeff.addr() + at((row + 1).min(self.rows - 1), col));
         let j: f32 = ctx.load(Pc(2), self.image.addr() + at(row, col));
         ctx.flops(Precision::F32, 8);
         let d = 0.25 * (ce + cs - 2.0 * cc);
@@ -241,9 +245,7 @@ impl GpuApp for SradV1 {
         for _ in 0..self.iterations {
             rt.with_fn("srad::iterate", |rt| rt.launch(&kernel, grid, Dim3::linear(BLOCK)))?;
             rt.memcpy_d2d(image, out, (n * 4) as u64)?;
-            rt.with_fn("srad::divergence", |rt| {
-                rt.launch(&srad2, grid, Dim3::linear(BLOCK))
-            })?;
+            rt.with_fn("srad::divergence", |rt| rt.launch(&srad2, grid, Dim3::linear(BLOCK)))?;
         }
         let result: Vec<f32> = rt.read_typed(image, n)?;
         Ok(AppOutput::exact(checksum_f32(&result)))

@@ -46,10 +46,8 @@ fn main() {
 
     // Inefficiency II: host zeros copied to the device (redundant H2D +
     // duplicate values between l.output_gpu and l.x_gpu).
-    let ineff2 = profile
-        .duplicates
-        .first()
-        .expect("inefficiency II visible as duplicate values");
+    let ineff2 =
+        profile.duplicates.first().expect("inefficiency II visible as duplicate values");
     println!(
         "\nInefficiency II — unnecessary CPU-GPU transfer:\n  objects '{}' and '{}' hold identical values ({} bytes)\n  fix: cudaMemset on the device instead of copying host zeros",
         ineff2.labels.0, ineff2.labels.1, ineff2.bytes

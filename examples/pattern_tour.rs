@@ -39,13 +39,9 @@ impl Kernel for StoreKernel {
         }
         let v = (self.f)(i);
         match self.ty {
-            ScalarType::F32 => {
-                ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, v as f32)
-            }
+            ScalarType::F32 => ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, v as f32),
             ScalarType::F64 => ctx.store(Pc(0), self.dst.addr() + (i * 8) as u64, v),
-            ScalarType::S32 => {
-                ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, v as i32)
-            }
+            ScalarType::S32 => ctx.store(Pc(0), self.dst.addr() + (i * 4) as u64, v as i32),
             _ => unreachable!("tour uses f32/f64/s32"),
         }
     }
@@ -85,13 +81,23 @@ fn main() {
     let tours: [(&str, StoreKernel, usize, ValuePattern); 5] = [
         (
             "single zero — everything written is 0.0",
-            StoreKernel { name: "zeros", dst: DevicePtr::NULL, f: |_| 0.0, ty: ScalarType::F32 },
+            StoreKernel {
+                name: "zeros",
+                dst: DevicePtr::NULL,
+                f: |_| 0.0,
+                ty: ScalarType::F32,
+            },
             4,
             ValuePattern::SingleZero,
         ),
         (
             "single value — everything written is 7.5",
-            StoreKernel { name: "sevens", dst: DevicePtr::NULL, f: |_| 7.5, ty: ScalarType::F32 },
+            StoreKernel {
+                name: "sevens",
+                dst: DevicePtr::NULL,
+                f: |_| 7.5,
+                ty: ScalarType::F32,
+            },
             4,
             ValuePattern::SingleValue,
         ),

@@ -9,7 +9,9 @@
 use vex_core::prelude::*;
 use vex_gpu::dim::Dim3;
 use vex_gpu::exec::{Precision, ThreadCtx};
-use vex_gpu::ir::{FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType};
+use vex_gpu::ir::{
+    FloatWidth, InstrTable, InstrTableBuilder, MemSpace, Opcode, Pc, ScalarType,
+};
 use vex_gpu::kernel::Kernel;
 use vex_gpu::prelude::DevicePtr;
 use vex_gpu::runtime::Runtime;
@@ -99,12 +101,9 @@ fn main() {
         .race_detection(true)
         .attach(&mut rt);
 
-    let data = rt
-        .malloc_from("data", &vec![1.0f32; N])
-        .expect("alloc data");
+    let data = rt.malloc_from("data", &vec![1.0f32; N]).expect("alloc data");
     let out = rt.malloc((N / TILE * 4) as u64, "out").expect("alloc out");
-    rt.launch(&TiledSweep { data, out }, Dim3::linear(1), Dim3::linear(64))
-        .expect("sweep");
+    rt.launch(&TiledSweep { data, out }, Dim3::linear(1), Dim3::linear(64)).expect("sweep");
 
     let input: Vec<u8> = (0..N).map(|i| (i % 251) as u8).collect();
     let d_input = rt.malloc_from("symbols", &input).expect("alloc symbols");
@@ -129,10 +128,7 @@ fn main() {
             reuse.miss_ratio(lines) * 100.0
         );
     }
-    assert!(
-        reuse.miss_ratio(1024) < reuse.miss_ratio(4),
-        "bigger caches must not miss more"
-    );
+    assert!(reuse.miss_ratio(1024) < reuse.miss_ratio(4), "bigger caches must not miss more");
 
     // --- races --------------------------------------------------------
     println!("\nraces:");

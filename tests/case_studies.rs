@@ -10,11 +10,7 @@ use vex_workloads::{apps, rodinia, GpuApp, Variant};
 
 fn profile(app: &dyn GpuApp, fine: bool) -> Profile {
     let mut rt = vex_gpu::runtime::Runtime::new(DeviceSpec::rtx2080ti());
-    let vex = ValueExpert::builder()
-        .coarse(true)
-        .fine(fine)
-        .block_sampling(2)
-        .attach(&mut rt);
+    let vex = ValueExpert::builder().coarse(true).fine(fine).block_sampling(2).attach(&mut rt);
     app.run(&mut rt, Variant::Baseline).expect("baseline run");
     vex.report(&rt)
 }
@@ -39,11 +35,8 @@ fn darknet_findings_carry_source_lines() {
     // binary's line table; our mini-SASS carries Listing 1's line numbers.
     let app = apps::darknet::Darknet { layers: 2, outputs: 2048, k: 4 };
     let p = profile(&app, true);
-    let fill = p
-        .fine_findings
-        .iter()
-        .find(|f| f.kernel == "fill_kernel")
-        .expect("fill finding");
+    let fill =
+        p.fine_findings.iter().find(|f| f.kernel == "fill_kernel").expect("fill finding");
     assert_eq!(fill.lines, vec![2], "fill_ongpu is Listing 1 line 2");
     assert!(p
         .fine_findings
@@ -82,11 +75,8 @@ fn deepwave_gradinput_double_zero_init() {
         .find(|r| r.object_label == "gradInput")
         .expect("redundancy on gradInput");
     assert_eq!(hit.fraction(), 1.0, "paper reports 100% redundant accesses");
-    assert!(p
-        .fine_findings
-        .iter()
-        .any(|f| f.object == "gradInput"
-            && f.hits.iter().any(|h| h.pattern == ValuePattern::SingleZero)));
+    assert!(p.fine_findings.iter().any(|f| f.object == "gradInput"
+        && f.hits.iter().any(|h| h.pattern == ValuePattern::SingleZero)));
 }
 
 #[test]
@@ -108,13 +98,11 @@ fn resnet50_ones_tensor_redundant() {
 fn bert_padding_reinitialized_every_iteration() {
     // §8.2: the out array's paddings are re-zeroed by masked_fill_ every
     // iteration after reset_parameters already zeroed them.
-    let app = apps::bert::Bert { tokens: 512, dim: 16, vocab: 256, padding_pct: 30, iterations: 2 };
+    let app =
+        apps::bert::Bert { tokens: 512, dim: 16, vocab: 256, padding_pct: 30, iterations: 2 };
     let p = profile(&app, false);
-    let hit = p
-        .redundancies
-        .iter()
-        .find(|r| r.api == "masked_fill_")
-        .expect("masked_fill_ flagged");
+    let hit =
+        p.redundancies.iter().find(|r| r.api == "masked_fill_").expect("masked_fill_ flagged");
     assert_eq!(hit.object_label, "out");
     assert!(hit.fraction() > 0.9);
 }
@@ -160,10 +148,10 @@ fn barracuda_empty_batch_copies_and_zero_alns() {
         .iter()
         .find(|f| f.object == "global_alns")
         .expect("global_alns analyzed");
-    assert!(alns.hits.iter().any(|h| matches!(
-        h.pattern,
-        ValuePattern::FrequentValues | ValuePattern::SingleZero
-    )));
+    assert!(alns
+        .hits
+        .iter()
+        .any(|h| matches!(h.pattern, ValuePattern::FrequentValues | ValuePattern::SingleZero)));
 }
 
 #[test]
@@ -172,11 +160,8 @@ fn cfd_variables_frequent_values() {
     // `variables` during the first iterations.
     let app = rodinia::cfd::Cfd { elements: 4096, iterations: 1 };
     let p = profile(&app, true);
-    let vars = p
-        .fine_findings
-        .iter()
-        .find(|f| f.object == "variables")
-        .expect("variables analyzed");
+    let vars =
+        p.fine_findings.iter().find(|f| f.object == "variables").expect("variables analyzed");
     assert!(vars.hits.iter().any(|h| matches!(
         h.pattern,
         ValuePattern::FrequentValues | ValuePattern::SingleValue
@@ -221,11 +206,8 @@ fn qmcpack_and_namd_findings_exist_but_are_small() {
     let n = apps::namd::Namd { atoms: 2048, pairs: 4, steps: 2 };
     let p = profile(&n, true);
     assert!(p.redundancies.iter().any(|r| r.object_label == "exclusions"));
-    let excl = p
-        .fine_findings
-        .iter()
-        .find(|f| f.object == "exclusions")
-        .expect("exclusions analyzed");
+    let excl =
+        p.fine_findings.iter().find(|f| f.object == "exclusions").expect("exclusions analyzed");
     assert!(excl.hits.iter().any(|h| h.pattern == ValuePattern::SingleZero));
     assert!(excl.hits.iter().any(|h| h.pattern == ValuePattern::HeavyType));
 }
@@ -236,11 +218,8 @@ fn lammps_neighbor_recopy_flagged() {
     // copies after the first are almost entirely redundant.
     let app = apps::lammps::Lammps { atoms: 512, neigh_slots: 16, steps: 3, modules: 4 };
     let p = profile(&app, false);
-    let hits: Vec<_> = p
-        .redundancies
-        .iter()
-        .filter(|r| r.object_label.contains("neigh"))
-        .collect();
+    let hits: Vec<_> =
+        p.redundancies.iter().filter(|r| r.object_label.contains("neigh")).collect();
     assert!(!hits.is_empty(), "neighbor recopy not flagged");
     assert!(hits.iter().any(|h| h.fraction() == 1.0));
 }
@@ -267,11 +246,7 @@ fn hotspot3d_approximate_single_value() {
     // §3.2: with truncated mantissa, tIn_d shows the single-value pattern.
     let app = rodinia::hotspot3d::Hotspot3D { side: 16, steps: 1 };
     let p = profile(&app, true);
-    let t_in = p
-        .fine_findings
-        .iter()
-        .find(|f| f.object == "tIn_d")
-        .expect("tIn_d analyzed");
+    let t_in = p.fine_findings.iter().find(|f| f.object == "tIn_d").expect("tIn_d analyzed");
     assert!(
         t_in.hits.iter().any(|h| h.pattern == ValuePattern::ApproximateValues),
         "{:?}",

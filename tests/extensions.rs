@@ -23,9 +23,7 @@ impl Kernel for DoubleScan {
         "double_scan"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .load(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().load(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -52,9 +50,7 @@ impl Kernel for RacyReduce {
         "racy_reduce"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         if ctx.thread_flat() == 0 {
@@ -73,9 +69,7 @@ impl Kernel for AtomicReduce {
         "atomic_reduce"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .load(Pc(0), ScalarType::U32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().load(Pc(0), ScalarType::U32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         if ctx.thread_flat() == 0 {
@@ -87,11 +81,7 @@ impl Kernel for AtomicReduce {
 #[test]
 fn reuse_distance_through_profiler() {
     let mut rt = Runtime::new(DeviceSpec::test_small());
-    let vex = ValueExpert::builder()
-        .coarse(false)
-        .fine(true)
-        .reuse_distance(4)
-        .attach(&mut rt);
+    let vex = ValueExpert::builder().coarse(false).fine(true).reuse_distance(4).attach(&mut rt);
     let data = rt.malloc((N * 4) as u64, "data").unwrap();
     rt.launch(&DoubleScan { data }, Dim3::linear(1), Dim3::linear(32)).unwrap();
     let p = vex.report(&rt);
@@ -107,17 +97,16 @@ fn reuse_distance_through_profiler() {
 #[test]
 fn race_detector_flags_unsynchronized_cross_block_writes() {
     let mut rt = Runtime::new(DeviceSpec::test_small());
-    let vex = ValueExpert::builder()
-        .coarse(false)
-        .fine(true)
-        .race_detection(true)
-        .attach(&mut rt);
+    let vex =
+        ValueExpert::builder().coarse(false).fine(true).race_detection(true).attach(&mut rt);
     let out = rt.malloc(64, "out").unwrap();
     rt.launch(&RacyReduce { out }, Dim3::linear(4), Dim3::linear(32)).unwrap();
     let p = vex.report(&rt);
     assert!(!p.races.is_empty(), "cross-block writes must be flagged");
-    assert!(p.races.iter().any(|r| r.kernel == "racy_reduce"
-        && r.kind == RaceKind::WriteWrite));
+    assert!(p
+        .races
+        .iter()
+        .any(|r| r.kernel == "racy_reduce" && r.kind == RaceKind::WriteWrite));
     let text = p.render_text();
     assert!(text.contains("inter-block races"), "{text}");
 }
@@ -125,11 +114,8 @@ fn race_detector_flags_unsynchronized_cross_block_writes() {
 #[test]
 fn atomic_reduction_is_race_free() {
     let mut rt = Runtime::new(DeviceSpec::test_small());
-    let vex = ValueExpert::builder()
-        .coarse(false)
-        .fine(true)
-        .race_detection(true)
-        .attach(&mut rt);
+    let vex =
+        ValueExpert::builder().coarse(false).fine(true).race_detection(true).attach(&mut rt);
     let out = rt.malloc(64, "out").unwrap();
     rt.memset(out, 0, 4).unwrap();
     rt.launch(&AtomicReduce { out }, Dim3::linear(4), Dim3::linear(32)).unwrap();

@@ -23,9 +23,7 @@ impl Kernel for WriteZeros {
         self.name
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -96,11 +94,7 @@ fn kernels_rewriting_memset_zeros_are_red() {
     let p = build();
     // write_a and write_b rewrite the zeros the memsets installed — both
     // must be flagged redundant (the red edges in Figure 3).
-    let redundant_kernels: Vec<&str> = p
-        .redundancies
-        .iter()
-        .map(|r| r.api.as_str())
-        .collect();
+    let redundant_kernels: Vec<&str> = p.redundancies.iter().map(|r| r.api.as_str()).collect();
     assert!(redundant_kernels.contains(&"write_a"), "{redundant_kernels:?}");
     assert!(redundant_kernels.contains(&"write_b"));
     // combine writes v+1.0 = 1.0 over zeros: changed, not redundant.

@@ -27,9 +27,7 @@ impl Kernel for Fill {
         "fill"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -63,11 +61,8 @@ fn valueexpert_sees_cross_api_redundancy_gvprof_does_not() {
     let vex = ValueExpert::builder().coarse(true).attach(&mut rt);
     run_cross_api(&mut rt);
     let p = vex.report(&rt);
-    let hit = p
-        .redundancies
-        .iter()
-        .find(|r| r.api == "fill")
-        .expect("ValueExpert flags the kernel");
+    let hit =
+        p.redundancies.iter().find(|r| r.api == "fill").expect("ValueExpert flags the kernel");
     assert_eq!(hit.fraction(), 1.0);
     assert_eq!(hit.object_label, "buf");
 }
@@ -131,10 +126,7 @@ fn gvprof_overhead_is_an_order_of_magnitude_higher() {
     workload(&mut rt);
     let gv_cost = model.gvprof_cost_us(&gv.collector_stats(), &spec);
 
-    assert!(
-        gv_cost > ve_cost * 10.0,
-        "GVProf {gv_cost:.1}us vs ValueExpert {ve_cost:.1}us"
-    );
+    assert!(gv_cost > ve_cost * 10.0, "GVProf {gv_cost:.1}us vs ValueExpert {ve_cost:.1}us");
 }
 
 #[test]
@@ -152,11 +144,8 @@ fn collector_flush_counts_differ() {
 
     let mut rt = Runtime::new(spec);
     let sink = Arc::new(NullSink);
-    let collector = Arc::new(vex_trace::Collector::new(
-        1 << 16,
-        sink,
-        Arc::new(vex_trace::AcceptAll),
-    ));
+    let collector =
+        Arc::new(vex_trace::Collector::new(1 << 16, sink, Arc::new(vex_trace::AcceptAll)));
     rt.register_access_hook(collector.clone());
     let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
     for _ in 0..8 {

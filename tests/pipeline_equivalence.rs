@@ -1,0 +1,79 @@
+//! Serial ≡ parallel equivalence suite for the sharded analysis engine.
+//!
+//! The pipelined profiler (`ProfilerBuilder::analysis_shards`) promises
+//! reports **byte-identical** to the synchronous engine's, for every
+//! worker count. This suite holds it to that promise on every bundled
+//! workload: each app is profiled once synchronously and once under 1, 2,
+//! and 8 shards, and all three rendered report forms — the text report,
+//! the JSON serialization, and the flow-graph DOT — must match byte for
+//! byte.
+
+use vex_bench::profile_app;
+use vex_core::prelude::*;
+use vex_core::profiler::ProfilerBuilder;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, GpuApp, Variant};
+
+/// Every byte-comparable rendering of a profile.
+fn rendered(profile: &Profile) -> (String, String, String) {
+    (
+        profile.render_text(),
+        profile.to_json().expect("profile serializes"),
+        profile.flow_graph.to_dot(profile.redundancy_threshold),
+    )
+}
+
+fn assert_equivalent(app: &dyn GpuApp, make_builder: &dyn Fn() -> ProfilerBuilder) {
+    let spec = DeviceSpec::rtx2080ti();
+    let serial = profile_app(&spec, app, Variant::Baseline, make_builder()).0;
+    let (text, json, dot) = rendered(&serial);
+    for shards in [1usize, 2, 8] {
+        let piped =
+            profile_app(&spec, app, Variant::Baseline, make_builder().analysis_shards(shards))
+                .0;
+        let (ptext, pjson, pdot) = rendered(&piped);
+        assert_eq!(text, ptext, "{}: text report diverged at {shards} shards", app.name());
+        assert_eq!(json, pjson, "{}: JSON report diverged at {shards} shards", app.name());
+        assert_eq!(dot, pdot, "{}: flow-graph DOT diverged at {shards} shards", app.name());
+    }
+}
+
+/// Coarse + fine (the Table 1 configuration) on every bundled workload.
+#[test]
+fn every_workload_is_shard_count_invariant() {
+    for app in all_apps() {
+        assert_equivalent(app.as_ref(), &|| {
+            ValueExpert::builder().coarse(true).fine(true).block_sampling(4)
+        });
+    }
+}
+
+/// The order-sensitive aux analyses (reuse distance, race detection)
+/// run on a dedicated sequential worker; they must be equivalent too.
+#[test]
+fn aux_analyses_are_shard_count_invariant() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(true).fine(true).reuse_distance(32).race_detection(true)
+    });
+}
+
+/// Coarse-only sessions exercise the capture-and-replay path alone.
+#[test]
+fn coarse_only_is_shard_count_invariant() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_equivalent(app.as_ref(), &|| ValueExpert::builder().coarse(true).fine(false));
+}
+
+/// Fine-only sessions exercise routing and reduction without the coarse
+/// worker, under kernel sampling so skipped launches flow through too.
+#[test]
+fn fine_only_with_sampling_is_shard_count_invariant() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(false).fine(true).kernel_sampling(2)
+    });
+}

@@ -23,9 +23,7 @@ impl Kernel for Sweep {
         "sweep"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -46,9 +44,7 @@ impl Kernel for SparseTouch {
         "sparse_touch"
     }
     fn instr_table(&self) -> InstrTable {
-        InstrTableBuilder::new()
-            .store(Pc(0), ScalarType::F32, MemSpace::Global)
-            .build()
+        InstrTableBuilder::new().store(Pc(0), ScalarType::F32, MemSpace::Global).build()
     }
     fn execute(&self, ctx: &mut ThreadCtx<'_>) {
         let i = ctx.global_thread_id();
@@ -67,7 +63,8 @@ fn runtime() -> Runtime {
 #[test]
 fn kernel_sampling_instruments_every_pth_launch() {
     let mut rt = runtime();
-    let vex = ValueExpert::builder().coarse(false).fine(true).kernel_sampling(3).attach(&mut rt);
+    let vex =
+        ValueExpert::builder().coarse(false).fine(true).kernel_sampling(3).attach(&mut rt);
     let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
     for _ in 0..9 {
         rt.launch(&Sweep { dst, value: 1.0 }, Dim3::linear(4), Dim3::linear(256)).unwrap();
@@ -191,8 +188,8 @@ fn unprofiled_run_is_unperturbed() {
     // CPU-side copies, never writes to device memory).
     let run = |profiled: bool| -> Vec<u8> {
         let mut rt = runtime();
-        let _vex = profiled
-            .then(|| ValueExpert::builder().coarse(true).fine(true).attach(&mut rt));
+        let _vex =
+            profiled.then(|| ValueExpert::builder().coarse(true).fine(true).attach(&mut rt));
         let dst = rt.malloc((N * 4) as u64, "buf").unwrap();
         rt.memset(dst, 7, (N * 4) as u64).unwrap();
         rt.launch(&Sweep { dst, value: 5.5 }, Dim3::linear(4), Dim3::linear(256)).unwrap();

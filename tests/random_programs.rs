@@ -49,12 +49,14 @@ fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..OBJECTS as u8, any::<u8>(), 4u16..1024)
             .prop_map(|(obj, value, len)| Op::Memset { obj, value, len }),
-        (0u8..OBJECTS as u8, 4u16..1024, any::<u8>())
-            .prop_map(|(obj, len, fill)| Op::H2D { obj, len, fill }),
+        (0u8..OBJECTS as u8, 4u16..1024, any::<u8>()).prop_map(|(obj, len, fill)| Op::H2D {
+            obj,
+            len,
+            fill
+        }),
         (0u8..OBJECTS as u8, 0u8..OBJECTS as u8, 4u16..1024)
             .prop_map(|(dst, src, len)| Op::D2D { dst, src, len }),
-        prop::collection::vec(access(), 1..40)
-            .prop_map(|accesses| Op::Launch { accesses }),
+        prop::collection::vec(access(), 1..40).prop_map(|accesses| Op::Launch { accesses }),
     ]
 }
 
@@ -101,9 +103,8 @@ fn run_program(ops: &[Op]) -> Profile {
         .reuse_distance(64)
         .race_detection(true)
         .attach(&mut rt);
-    let bases: Vec<DevicePtr> = (0..OBJECTS)
-        .map(|i| rt.malloc(OBJ_SIZE, &format!("obj{i}")).expect("alloc"))
-        .collect();
+    let bases: Vec<DevicePtr> =
+        (0..OBJECTS).map(|i| rt.malloc(OBJ_SIZE, &format!("obj{i}")).expect("alloc")).collect();
     for op in ops {
         match op {
             Op::Memset { obj, value, len } => {

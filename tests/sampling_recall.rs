@@ -56,7 +56,8 @@ fn traffic_falls_with_block_period() {
     let app = rodinia::hotspot3d::Hotspot3D { side: 32, steps: 1 };
     let full = profile_with_period(&app, 1);
     let sampled = profile_with_period(&app, 4);
-    let ratio = full.collector_stats.events as f64 / sampled.collector_stats.events.max(1) as f64;
+    let ratio =
+        full.collector_stats.events as f64 / sampled.collector_stats.events.max(1) as f64;
     assert!(
         (2.0..=8.0).contains(&ratio),
         "period 4 should cut recorded events ~4x, got {ratio:.1}x \

@@ -15,11 +15,7 @@ use vex_workloads::{all_apps, GpuApp, Variant};
 
 fn profile(app: &dyn GpuApp) -> Profile {
     let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
-    let vex = ValueExpert::builder()
-        .coarse(true)
-        .fine(true)
-        .block_sampling(4)
-        .attach(&mut rt);
+    let vex = ValueExpert::builder().coarse(true).fine(true).block_sampling(4).attach(&mut rt);
     app.run(&mut rt, Variant::Baseline).expect("run baseline");
     vex.report(&rt)
 }
@@ -88,9 +84,7 @@ fn no_false_positives_on_a_patternless_program() {
             "hash_store"
         }
         fn instr_table(&self) -> InstrTable {
-            InstrTableBuilder::new()
-                .store(Pc(0), ScalarType::U32, MemSpace::Global)
-                .build()
+            InstrTableBuilder::new().store(Pc(0), ScalarType::U32, MemSpace::Global).build()
         }
         fn execute(&self, ctx: &mut ThreadCtx<'_>) {
             let i = ctx.global_thread_id() as u64;
@@ -107,9 +101,5 @@ fn no_false_positives_on_a_patternless_program() {
     let dst = rt.malloc(1024 * 4, "random").unwrap();
     rt.launch(&HashStore { dst: dst.addr() }, Dim3::linear(4), Dim3::linear(256)).unwrap();
     let p = vex.report(&rt);
-    assert!(
-        p.detected_patterns().is_empty(),
-        "false positives: {:?}",
-        p.detected_patterns()
-    );
+    assert!(p.detected_patterns().is_empty(), "false positives: {:?}", p.detected_patterns());
 }

@@ -13,9 +13,15 @@ use vex_gpu::runtime::Runtime;
 use vex_gpu::timing::DeviceSpec;
 use vex_workloads::{all_apps, AppOutput, GpuApp, Variant};
 
-fn run(spec: &DeviceSpec, app: &dyn GpuApp, variant: Variant, profiled: bool) -> (AppOutput, f64) {
+fn run(
+    spec: &DeviceSpec,
+    app: &dyn GpuApp,
+    variant: Variant,
+    profiled: bool,
+) -> (AppOutput, f64) {
     let mut rt = Runtime::new(spec.clone());
-    let _vex = profiled.then(|| ValueExpert::builder().coarse(true).fine(false).attach(&mut rt));
+    let _vex =
+        profiled.then(|| ValueExpert::builder().coarse(true).fine(false).attach(&mut rt));
     let out = app.run(&mut rt, variant).expect("workload runs");
     (out, rt.time_report().total_us())
 }
@@ -37,12 +43,7 @@ fn optimizations_valid_on_both_devices() {
         for app in all_apps() {
             let (base, _) = run(&spec, app.as_ref(), Variant::Baseline, false);
             let (opt, _) = run(&spec, app.as_ref(), Variant::Optimized, false);
-            assert!(
-                base.matches(&opt),
-                "{} on {}: {base:?} vs {opt:?}",
-                app.name(),
-                spec.name
-            );
+            assert!(base.matches(&opt), "{} on {}: {base:?} vs {opt:?}", app.name(), spec.name);
         }
     }
 }
