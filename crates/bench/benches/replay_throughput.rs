@@ -1,0 +1,150 @@
+//! Replay-path throughput: how fast can a recorded `.vex` trace be
+//! decoded and dispatched back through the analysis engines?
+//!
+//! Three stages are measured per workload, each in events per second:
+//!
+//! * **decode** — parsing the container bytes into [`RecordedTrace`]
+//!   (header, frames, record batches);
+//! * **dispatch** — fanning the decoded events into an [`EventSink`]
+//!   (the fixed per-event cost every replay consumer pays);
+//! * **replay_analysis** — a full offline ValueExpert replay (decode
+//!   cost excluded), the `vex replay` end-to-end path.
+//!
+//! Besides the Criterion groups, a `results/replay_throughput.json`
+//! artefact records median events/s for the decode and decode+dispatch
+//! paths.
+//!
+//! Run with `cargo bench --bench replay_throughput`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use vex_bench::{median, record_app, write_json};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_trace::container::{read_trace, RecordedTrace};
+use vex_trace::event::{Event, EventSink};
+use vex_workloads::{all_apps, GpuApp, Variant};
+
+/// The workloads measured — one small, one large event stream.
+const SELECTION: [&str; 2] = ["backprop", "Darknet"];
+
+/// A sink that only counts, to isolate dispatch overhead from analysis.
+struct CountingSink(AtomicU64);
+
+impl EventSink for CountingSink {
+    fn on_event(&self, event: &Event) {
+        black_box(event);
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn recorded(app: &dyn GpuApp) -> Vec<u8> {
+    record_app(
+        &DeviceSpec::rtx2080ti(),
+        app,
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(true),
+    )
+}
+
+fn dispatch_count(trace: &RecordedTrace) -> u64 {
+    let sink = CountingSink(AtomicU64::new(0));
+    trace.dispatch(&sink);
+    sink.0.load(Ordering::Relaxed)
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let apps = all_apps();
+    let mut group = c.benchmark_group("replay_throughput");
+    group.sample_size(10);
+    for app in apps.iter().filter(|a| SELECTION.contains(&a.name())) {
+        let bytes = recorded(app.as_ref());
+        let trace = read_trace(&bytes).expect("trace decodes");
+        group.throughput(Throughput::Elements(trace.events.len() as u64));
+        group.bench_with_input(BenchmarkId::new("decode", app.name()), &bytes, |b, bytes| {
+            b.iter(|| black_box(read_trace(black_box(bytes)).expect("trace decodes")))
+        });
+        group.bench_with_input(BenchmarkId::new("dispatch", app.name()), &trace, |b, trace| {
+            b.iter(|| black_box(dispatch_count(trace)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("replay_analysis", app.name()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    black_box(
+                        ValueExpert::builder()
+                            .coarse(true)
+                            .fine(true)
+                            .replay(trace)
+                            .expect("replay succeeds"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One row of the JSON artefact.
+#[derive(Serialize)]
+struct ThroughputRow {
+    app: String,
+    trace_bytes: usize,
+    events: usize,
+    decode_events_per_s: f64,
+    decode_plus_dispatch_events_per_s: f64,
+}
+
+fn measure_events_per_s(events: usize, mut routine: impl FnMut()) -> f64 {
+    const RUNS: usize = 5;
+    let mut rates = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        routine();
+        rates.push(events as f64 / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE));
+    }
+    median(rates)
+}
+
+fn artifact() {
+    let apps = all_apps();
+    let mut rows = Vec::new();
+    for app in apps.iter().filter(|a| SELECTION.contains(&a.name())) {
+        let bytes = recorded(app.as_ref());
+        let trace = read_trace(&bytes).expect("trace decodes");
+        let events = trace.events.len();
+        let decode = measure_events_per_s(events, || {
+            black_box(read_trace(black_box(&bytes)).expect("trace decodes"));
+        });
+        let decode_dispatch = measure_events_per_s(events, || {
+            let t = read_trace(black_box(&bytes)).expect("trace decodes");
+            black_box(dispatch_count(&t));
+        });
+        rows.push(ThroughputRow {
+            app: app.name().to_owned(),
+            trace_bytes: bytes.len(),
+            events,
+            decode_events_per_s: decode,
+            decode_plus_dispatch_events_per_s: decode_dispatch,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:<10} {:>10} events {:>12} bytes  decode {:>12.0} ev/s  decode+dispatch {:>12.0} ev/s",
+            r.app, r.events, r.trace_bytes, r.decode_events_per_s,
+            r.decode_plus_dispatch_events_per_s
+        );
+    }
+    write_json("replay_throughput", &rows);
+}
+
+criterion_group!(benches, bench_replay);
+
+fn main() {
+    benches();
+    artifact();
+}

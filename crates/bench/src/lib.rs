@@ -63,6 +63,25 @@ pub fn profile_app(
     (profile, times)
 }
 
+/// Runs `app` under a trace recorder configured by `builder` and returns
+/// the serialized `.vex` container bytes.
+///
+/// # Panics
+///
+/// Panics if the workload errors or the trace fails to serialize.
+pub fn record_app(
+    spec: &DeviceSpec,
+    app: &dyn GpuApp,
+    variant: Variant,
+    builder: ProfilerBuilder,
+) -> Vec<u8> {
+    let mut rt = Runtime::new(spec.clone());
+    let rec = builder.record(&mut rt, Vec::new()).expect("in-memory trace header");
+    app.run(&mut rt, variant)
+        .unwrap_or_else(|e| panic!("{} {variant} failed under recorder: {e}", app.name()));
+    rec.finish(&mut rt).expect("in-memory trace trailer")
+}
+
 /// Speedups of one application on one device (a Table 3 cell pair).
 #[derive(Debug, Clone, Serialize)]
 pub struct SpeedupRow {
@@ -163,8 +182,10 @@ pub fn median(values: impl IntoIterator<Item = f64>) -> f64 {
 ///
 /// Panics on I/O errors — the harness cannot proceed without artefacts.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+    // Anchor at the workspace root so examples (run from the root) and
+    // benches (run from the package dir) land in the same `results/`.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize artefact");
     std::fs::write(&path, json).expect("write artefact");

@@ -11,6 +11,9 @@
 //! vex profile lammps --races --reuse 64
 //! vex speedup backprop --device a100
 //! vex gvprof huffman
+//! vex record darknet --fine -o darknet.vex
+//! vex replay darknet.vex --fine --json out.json
+//! vex replay darknet.vex --gvprof
 //! ```
 //!
 //! The argument parser and command logic live in this library so they are
@@ -64,8 +67,96 @@ pub enum Command {
         /// Workload name.
         app: String,
     },
+    /// `vex record <app> [options] -o trace.vex`.
+    Record(RecordArgs),
+    /// `vex replay <trace.vex> [options]`.
+    Replay(ReplayArgs),
     /// `vex help`.
     Help,
+}
+
+/// Options of `vex record`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordArgs {
+    /// Workload name.
+    pub app: String,
+    /// Device preset.
+    pub device: Device,
+    /// Record coarse capture snapshots (default true).
+    pub coarse: bool,
+    /// Record fine-grained access records (default false).
+    pub fine: bool,
+    /// Kernel sampling period applied while recording.
+    pub kernel_sampling: u64,
+    /// Block sampling period applied while recording.
+    pub block_sampling: u32,
+    /// Kernel-name substring filters applied while recording.
+    pub filters: Vec<String>,
+    /// Output trace path.
+    pub output: String,
+}
+
+impl RecordArgs {
+    fn new(app: String) -> Self {
+        RecordArgs {
+            app,
+            device: Device::default(),
+            coarse: true,
+            fine: false,
+            kernel_sampling: 1,
+            block_sampling: 1,
+            filters: Vec::new(),
+            output: "trace.vex".into(),
+        }
+    }
+}
+
+/// Options of `vex replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArgs {
+    /// Trace path.
+    pub path: String,
+    /// Run the coarse pass (default true).
+    pub coarse: bool,
+    /// Run the fine pass (default false).
+    pub fine: bool,
+    /// Run race detection (implies fine records in the trace).
+    pub races: bool,
+    /// Reuse-distance line size, if enabled.
+    pub reuse: Option<u64>,
+    /// Number of analysis shards (0 = synchronous engine).
+    pub shards: usize,
+    /// Replay through the GVProf baseline instead of ValueExpert.
+    pub gvprof: bool,
+    /// GVProf kernel sampling period (only with `--gvprof`).
+    pub kernel_sampling: u64,
+    /// GVProf block sampling period (only with `--gvprof`).
+    pub block_sampling: u32,
+    /// Write the JSON profile here.
+    pub json: Option<String>,
+    /// Write the value-flow DOT here.
+    pub dot: Option<String>,
+    /// Write a Markdown report here.
+    pub md: Option<String>,
+}
+
+impl ReplayArgs {
+    fn new(path: String) -> Self {
+        ReplayArgs {
+            path,
+            coarse: true,
+            fine: false,
+            races: false,
+            reuse: None,
+            shards: 0,
+            gvprof: false,
+            kernel_sampling: 1,
+            block_sampling: 1,
+            json: None,
+            dot: None,
+            md: None,
+        }
+    }
 }
 
 /// Options of `vex profile`.
@@ -137,6 +228,16 @@ usage:
                [--races] [--reuse LINE_BYTES] [--json PATH] [--dot PATH] [--md PATH]
   vex speedup <app> [--device 2080ti|a100]
   vex gvprof <app>
+  vex record <app> [-o|--output PATH] [--device 2080ti|a100] [--no-coarse] [--fine]
+               [--kernel-sampling N] [--block-sampling N] [--filter SUBSTR]...
+               record the canonical event stream to a .vex trace (default trace.vex);
+               sampling and filters are baked into the trace
+  vex replay <trace.vex> [--no-coarse] [--fine] [--races] [--reuse LINE_BYTES]
+               [--shards N] [--json PATH] [--dot PATH] [--md PATH]
+               re-run analyses offline from a recorded trace; reports are
+               byte-identical to a live session with the same options
+  vex replay <trace.vex> --gvprof [--kernel-sampling N] [--block-sampling N]
+               replay a --fine trace through the GVProf baseline
   vex help";
 
 fn parse_device(v: &str) -> Result<Device, UsageError> {
@@ -225,7 +326,111 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                 .next()
                 .ok_or_else(|| UsageError("gvprof requires an app name".into()))?
                 .to_owned();
+            if app == "--help" || app == "-h" {
+                return Ok(Command::Help);
+            }
+            if let Some(flag) = it.next() {
+                return match flag {
+                    "--help" | "-h" => Ok(Command::Help),
+                    other => Err(UsageError(format!("unknown flag '{other}'"))),
+                };
+            }
             Ok(Command::GvProf { app })
+        }
+        "record" => {
+            let app =
+                it.next().ok_or_else(|| UsageError("record requires an app name".into()))?;
+            if app == "--help" || app == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut r = RecordArgs::new(app.to_owned());
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "-o" | "--output" => r.output = take_value(flag, &mut it)?.to_owned(),
+                    "--device" => r.device = parse_device(take_value(flag, &mut it)?)?,
+                    "--no-coarse" => r.coarse = false,
+                    "--fine" => r.fine = true,
+                    "--kernel-sampling" => {
+                        r.kernel_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid kernel sampling period".into()))?
+                    }
+                    "--block-sampling" => {
+                        r.block_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid block sampling period".into()))?
+                    }
+                    "--filter" => r.filters.push(take_value(flag, &mut it)?.to_owned()),
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if !r.coarse && !r.fine {
+                return Err(UsageError("at least one of coarse/fine must stay enabled".into()));
+            }
+            Ok(Command::Record(r))
+        }
+        "replay" => {
+            let path =
+                it.next().ok_or_else(|| UsageError("replay requires a trace path".into()))?;
+            if path == "--help" || path == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut r = ReplayArgs::new(path.to_owned());
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "--no-coarse" => r.coarse = false,
+                    "--fine" => r.fine = true,
+                    "--races" => r.races = true,
+                    "--reuse" => {
+                        r.reuse = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|_| UsageError("invalid reuse line size".into()))?,
+                        )
+                    }
+                    "--shards" => {
+                        r.shards = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid shard count".into()))?
+                    }
+                    "--gvprof" => r.gvprof = true,
+                    "--kernel-sampling" => {
+                        r.kernel_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid kernel sampling period".into()))?
+                    }
+                    "--block-sampling" => {
+                        r.block_sampling = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid block sampling period".into()))?
+                    }
+                    "--json" => r.json = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--dot" => r.dot = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--md" => r.md = Some(take_value(flag, &mut it)?.to_owned()),
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if r.gvprof && (r.fine || r.races || r.reuse.is_some() || !r.coarse || r.shards > 0)
+            {
+                return Err(UsageError(
+                    "--gvprof replays the baseline profiler and cannot be combined with \
+                     ValueExpert analysis flags"
+                        .into(),
+                ));
+            }
+            if !r.gvprof && (r.kernel_sampling != 1 || r.block_sampling != 1) {
+                return Err(UsageError(
+                    "sampling periods are baked into the trace at record time; \
+                     --kernel-sampling/--block-sampling only apply to --gvprof replays"
+                        .into(),
+                ));
+            }
+            if !r.gvprof && !r.coarse && !r.fine {
+                return Err(UsageError("at least one of coarse/fine must stay enabled".into()));
+            }
+            Ok(Command::Replay(r))
         }
         other => Err(UsageError(format!("unknown command '{other}'"))),
     }
@@ -347,22 +552,94 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             let gv = GvProfSession::attach(&mut rt);
             app.run(&mut rt, Variant::Baseline)
                 .map_err(|e| UsageError(format!("workload failed: {e}")))?;
-            for (kernel, r) in gv.results() {
-                writeln!(
-                    out,
-                    "{kernel}: {:.1}% redundant stores ({}/{}), {:.1}% redundant loads ({}/{})",
-                    r.store_redundancy() * 100.0,
-                    r.redundant_stores,
-                    r.total_stores,
-                    r.load_redundancy() * 100.0,
-                    r.redundant_loads,
-                    r.total_loads
-                )
-                .map_err(io_err)?;
+            write_gvprof_results(out, &gv.results())
+        }
+        Command::Record(r) => {
+            let app = find_app(&r.app)?;
+            let mut rt = Runtime::new(r.device.spec());
+            let file = std::fs::File::create(&r.output).map_err(io_err)?;
+            let mut b = ValueExpert::builder()
+                .coarse(r.coarse)
+                .fine(r.fine)
+                .kernel_sampling(r.kernel_sampling)
+                .block_sampling(r.block_sampling);
+            if !r.filters.is_empty() {
+                b = b.filter_kernels(r.filters.clone());
+            }
+            let rec = b.record(&mut rt, std::io::BufWriter::new(file)).map_err(io_err)?;
+            app.run(&mut rt, Variant::Baseline)
+                .map_err(|e| UsageError(format!("workload failed: {e}")))?;
+            let stats = rec.stats();
+            rec.finish(&mut rt).map_err(|e| UsageError(format!("trace write failed: {e}")))?;
+            writeln!(
+                out,
+                "wrote {} ({} fine records, {} instrumented launches)",
+                r.output, stats.events, stats.instrumented_launches
+            )
+            .map_err(io_err)
+        }
+        Command::Replay(r) => {
+            let trace = vex_trace::container::read_trace_file(std::path::Path::new(&r.path))
+                .map_err(|e| UsageError(format!("cannot read trace '{}': {e}", r.path)))?;
+            if r.gvprof {
+                let (results, _) =
+                    vex_gvprof::replay(&trace, r.kernel_sampling, r.block_sampling)
+                        .map_err(|e| UsageError(e.to_string()))?;
+                return write_gvprof_results(out, &results);
+            }
+            let mut b = ValueExpert::builder()
+                .coarse(r.coarse)
+                .fine(r.fine)
+                .race_detection(r.races)
+                .analysis_shards(r.shards);
+            if let Some(line) = r.reuse {
+                b = b.reuse_distance(line);
+            }
+            let profile = b.replay(&trace).map_err(|e| UsageError(e.to_string()))?;
+            writeln!(out, "{}", profile.render_text()).map_err(io_err)?;
+            if let Some(path) = &r.json {
+                let json = profile
+                    .to_json()
+                    .map_err(|e| UsageError(format!("serialize failed: {e}")))?;
+                std::fs::write(path, json).map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
+            }
+            if let Some(path) = &r.dot {
+                std::fs::write(path, profile.flow_graph.to_dot(profile.redundancy_threshold))
+                    .map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
+            }
+            if let Some(path) = &r.md {
+                std::fs::write(path, profile.render_markdown()).map_err(io_err)?;
+                writeln!(out, "wrote {path}").map_err(io_err)?;
             }
             Ok(())
         }
     }
+}
+
+/// Prints per-kernel GVProf results in the format shared by `vex gvprof`
+/// and `vex replay --gvprof`, so live and replayed output match
+/// byte-for-byte.
+fn write_gvprof_results(
+    out: &mut dyn std::io::Write,
+    results: &std::collections::BTreeMap<String, vex_gvprof::KernelRedundancy>,
+) -> Result<(), UsageError> {
+    let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
+    for (kernel, r) in results {
+        writeln!(
+            out,
+            "{kernel}: {:.1}% redundant stores ({}/{}), {:.1}% redundant loads ({}/{})",
+            r.store_redundancy() * 100.0,
+            r.redundant_stores,
+            r.total_stores,
+            r.load_redundancy() * 100.0,
+            r.redundant_loads,
+            r.total_loads
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -424,6 +701,107 @@ mod tests {
         assert_eq!(parse_args([]).unwrap(), Command::Help);
         assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
         assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+        // Per-command help for the trace commands.
+        assert_eq!(parse_args(["record", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["record", "darknet", "-h"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["replay", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["replay", "t.vex", "--help"]).unwrap(), Command::Help);
+        assert!(USAGE.contains("vex record"), "{USAGE}");
+        assert!(USAGE.contains("vex replay"), "{USAGE}");
+    }
+
+    #[test]
+    fn parses_record_flags() {
+        let cmd = parse_args([
+            "record",
+            "darknet",
+            "--fine",
+            "--device",
+            "a100",
+            "--kernel-sampling",
+            "4",
+            "--block-sampling",
+            "2",
+            "--filter",
+            "gemm",
+            "-o",
+            "d.vex",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Record(r) => {
+                assert_eq!(r.app, "darknet");
+                assert!(r.coarse);
+                assert!(r.fine);
+                assert_eq!(r.device, Device::A100);
+                assert_eq!(r.kernel_sampling, 4);
+                assert_eq!(r.block_sampling, 2);
+                assert_eq!(r.filters, vec!["gemm"]);
+                assert_eq!(r.output, "d.vex");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: coarse-only into trace.vex.
+        match parse_args(["record", "huffman"]).unwrap() {
+            Command::Record(r) => {
+                assert!(r.coarse);
+                assert!(!r.fine);
+                assert_eq!(r.output, "trace.vex");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_replay_flags() {
+        let cmd = parse_args([
+            "replay", "t.vex", "--fine", "--races", "--reuse", "64", "--shards", "8", "--json",
+            "p.json", "--dot", "f.dot",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Replay(r) => {
+                assert_eq!(r.path, "t.vex");
+                assert!(r.coarse);
+                assert!(r.fine);
+                assert!(r.races);
+                assert_eq!(r.reuse, Some(64));
+                assert_eq!(r.shards, 8);
+                assert!(!r.gvprof);
+                assert_eq!(r.json.as_deref(), Some("p.json"));
+                assert_eq!(r.dot.as_deref(), Some("f.dot"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["replay", "t.vex", "--gvprof", "--kernel-sampling", "4"]).unwrap() {
+            Command::Replay(r) => {
+                assert!(r.gvprof);
+                assert_eq!(r.kernel_sampling, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_subcommand_rejects_unknown_flags() {
+        assert!(parse_args(["profile", "x", "--frob"]).is_err());
+        assert!(parse_args(["speedup", "x", "--frob"]).is_err());
+        assert!(parse_args(["gvprof", "x", "--frob"]).is_err());
+        assert!(parse_args(["record", "x", "--frob"]).is_err());
+        assert!(parse_args(["replay", "x.vex", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn replay_flag_combinations_are_validated() {
+        // GVProf mode excludes ValueExpert analysis flags.
+        assert!(parse_args(["replay", "t.vex", "--gvprof", "--fine"]).is_err());
+        assert!(parse_args(["replay", "t.vex", "--gvprof", "--races"]).is_err());
+        assert!(parse_args(["replay", "t.vex", "--gvprof", "--shards", "2"]).is_err());
+        // Sampling is baked into the trace outside GVProf mode.
+        assert!(parse_args(["replay", "t.vex", "--kernel-sampling", "4"]).is_err());
+        // Everything off is an error, as for profile.
+        assert!(parse_args(["replay", "t.vex", "--no-coarse"]).is_err());
+        assert!(parse_args(["record", "x", "--no-coarse"]).is_err());
     }
 
     #[test]
@@ -466,6 +844,34 @@ mod tests {
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("kernel bpnn_adjust_weights_cuda"), "{s}");
         assert!(s.contains("memory time"), "{s}");
+    }
+
+    #[test]
+    fn record_then_replay_round_trip() {
+        let dir = std::env::temp_dir().join(format!("vex-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("q.vex").to_str().unwrap().to_owned();
+
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.fine = true;
+        rec.output = trace.clone();
+        let mut out = Vec::new();
+        run(&Command::Record(rec), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("wrote"), "record output");
+
+        let mut live = Vec::new();
+        run(&Command::Profile(ProfileArgs::new("QMCPACK".into())), &mut live).unwrap();
+
+        let mut rep = ReplayArgs::new(trace);
+        rep.fine = true;
+        let mut replayed = Vec::new();
+        run(&Command::Replay(rep), &mut replayed).unwrap();
+        assert_eq!(
+            String::from_utf8(live).unwrap(),
+            String::from_utf8(replayed).unwrap(),
+            "replayed report must be byte-identical to the live one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,7 +14,10 @@
 
 use crate::copy_strategy::{plan_adaptive, AdaptivePolicy, CopyPlan};
 use crate::flowgraph::{AccessKind, FlowGraph, VertexId, VertexKind};
-use crate::interval::{merge_parallel, warp_compact, Interval};
+use crate::interval::{merge_parallel, Interval};
+// The warp-level interval monitor now lives with the canonical event model
+// (`vex_trace::event`), where the shared `EventSource` runs it once for
+// every engine; the coarse analyzer only consumes its output.
 use crate::patterns::PatternConfig;
 use crate::registry::ObjectRegistry;
 use crate::sha256::{sha256, Digest};
@@ -24,6 +27,7 @@ use vex_gpu::alloc::AllocId;
 use vex_gpu::callpath::CallPathId;
 use vex_gpu::hooks::{ApiEvent, ApiKind, DeviceView};
 use vex_gpu::memory::DevicePtr;
+pub(crate) use vex_trace::event::KernelIntervals;
 
 /// A redundant-values finding: a write that left ≥ threshold of its bytes
 /// unchanged.
@@ -95,89 +99,6 @@ struct ObjectState {
     shadow: Vec<u8>,
     hash: Option<Digest>,
     label: String,
-}
-
-/// Intervals collected during the currently executing kernel.
-#[derive(Debug)]
-pub(crate) struct KernelIntervals {
-    /// Warp-level compaction enabled (§6.1's fast path; off for the
-    /// ablation study).
-    compaction: bool,
-    /// Write intervals after incremental warp compaction.
-    pub writes: Vec<Interval>,
-    /// Read intervals after incremental warp compaction.
-    pub reads: Vec<Interval>,
-    /// Pending (not yet compacted) intervals of the current warp batch.
-    pending_writes: Vec<Interval>,
-    pending_reads: Vec<Interval>,
-    pending_warp: Option<(u32, u32)>,
-    /// Raw interval count before compaction.
-    pub raw: u64,
-}
-
-impl Default for KernelIntervals {
-    fn default() -> Self {
-        KernelIntervals::new(true)
-    }
-}
-
-impl KernelIntervals {
-    /// Creates a collector with warp compaction on or off.
-    pub fn new(compaction: bool) -> Self {
-        KernelIntervals {
-            compaction,
-            writes: Vec::new(),
-            reads: Vec::new(),
-            pending_writes: Vec::new(),
-            pending_reads: Vec::new(),
-            pending_warp: None,
-            raw: 0,
-        }
-    }
-
-    /// Adds one access, compacting whenever the producing warp changes —
-    /// the moral equivalent of the paper's warp-level interval compaction
-    /// with shuffle primitives.
-    pub fn add(&mut self, block: u32, thread: u32, interval: Interval, is_store: bool) {
-        self.raw += 1;
-        if !self.compaction {
-            // Ablation path: raw intervals go straight to the buffer.
-            if is_store {
-                self.writes.push(interval);
-            } else {
-                self.reads.push(interval);
-            }
-            return;
-        }
-        let warp = (block, thread / 32);
-        if self.pending_warp != Some(warp) {
-            self.flush_pending();
-            self.pending_warp = Some(warp);
-        }
-        if is_store {
-            self.pending_writes.push(interval);
-        } else {
-            self.pending_reads.push(interval);
-        }
-    }
-
-    fn flush_pending(&mut self) {
-        if !self.pending_writes.is_empty() {
-            self.writes.extend(warp_compact(&self.pending_writes));
-            self.pending_writes.clear();
-        }
-        if !self.pending_reads.is_empty() {
-            self.reads.extend(warp_compact(&self.pending_reads));
-            self.pending_reads.clear();
-        }
-    }
-
-    /// Finishes collection: returns (reads, writes, raw_count, compacted_count).
-    pub fn finish(mut self) -> (Vec<Interval>, Vec<Interval>, u64, u64) {
-        self.flush_pending();
-        let compacted = (self.reads.len() + self.writes.len()) as u64;
-        (self.reads, self.writes, self.raw, compacted)
-    }
 }
 
 /// The coarse-grained analyzer state. Driven by the profiler front-end

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::interval::Interval;
     pub use crate::overhead::{OverheadModel, OverheadReport};
     pub use crate::patterns::{PatternConfig, PatternHit, ValuePattern};
-    pub use crate::profiler::{ProfilerBuilder, ValueExpert};
+    pub use crate::profiler::{ProfilerBuilder, Recording, ReplayError, ValueExpert};
     pub use crate::races::{RaceKind, RaceReport};
     pub use crate::report::Profile;
     pub use crate::reuse::{ReuseAnalyzer, ReuseHistogram};

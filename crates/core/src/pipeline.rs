@@ -2,19 +2,20 @@
 //!
 //! In the synchronous profiler (`crate::profiler` with zero analysis
 //! shards) every analysis step — record decoding, pattern recognition,
-//! snapshot diffing, SHA-256 hashing — runs inside the runtime's hook
-//! callbacks, on the application's critical path. This module moves that
-//! work onto worker threads, mirroring the paper's design goal of keeping
-//! the collector fast and deferring analysis (§4): the callbacks only
-//! copy what a worker will need and publish it into bounded
-//! [`crossbeam::channel`]s.
+//! snapshot diffing, SHA-256 hashing — runs inside the shared
+//! [`vex_trace::event::EventSource`]'s callbacks, on the application's
+//! critical path. This module moves that work onto worker threads,
+//! mirroring the paper's design goal of keeping the collector fast and
+//! deferring analysis (§4): [`PipelineSink`] — the engine's
+//! [`EventSink`] over the canonical event stream — only clones the
+//! `Arc`-shared event payloads into bounded [`crossbeam::channel`]s.
 //!
 //! # Topology
 //!
 //! ```text
-//! app thread ──ApiEvent + captured bytes──────────────▶ coarse worker
+//! EventSource ──Api events (+ captured bytes)──────────▶ coarse worker
 //!     │                                                  (snapshot diff,
-//!     │ record batches (one copy + send)                  SHA-256, flow graph)
+//!     │ record batches (Arc clone + send)                 SHA-256, flow graph)
 //!     ▼
 //!  router ──per-shard sub-batches──▶ fine shard 0..N-1   (decode, ValueStats,
 //!     │                                                   recognizers)
@@ -29,12 +30,12 @@
 //!   in-band alloc/free events) to attribute addresses to keys.
 //! * The **aux worker** runs the globally order-sensitive analyses (reuse
 //!   distance, race detection) sequentially over the unsharded stream.
-//! * The **coarse worker** replays `CoarseState::on_api_after` against a
-//!   [`CapturedView`]: device memory is only valid during the callback,
-//!   so the application thread captures exactly the byte ranges the
-//!   replay will read (the same ranges the serial engine reads — capture
-//!   cost equals the serial snapshot cost; the diff, hash, and graph
-//!   bookkeeping move off-path).
+//! * The **coarse worker** replays `CoarseState::on_api_after` against
+//!   the [`CapturedView`] carried by each API event: device memory is
+//!   only valid during the hook callback, so the `EventSource` captures
+//!   exactly the byte ranges the replay will read (the same ranges the
+//!   serial engine reads — capture cost equals the serial snapshot cost;
+//!   the diff, hash, and graph bookkeeping move off-path).
 //!
 //! # Determinism
 //!
@@ -47,12 +48,11 @@
 //! `tests/pipeline_equivalence.rs` locks this in for every bundled
 //! workload under 1, 2, and 8 shards.
 
-use crate::coarse::{split_by_object, CoarseState, CoarseTraffic, KernelIntervals};
+use crate::coarse::{CoarseState, CoarseTraffic, KernelIntervals};
 use crate::coarse::{DuplicateFinding, RedundancyFinding};
 use crate::copy_strategy::AdaptivePolicy;
 use crate::fine::{FineFinding, FineState, FineTraffic};
 use crate::flowgraph::FlowGraph;
-use crate::interval::{merge_parallel, Interval};
 use crate::patterns::PatternConfig;
 use crate::races::{RaceDetector, RaceReport};
 use crate::registry::{ObjectKey, ObjectRegistry};
@@ -63,9 +63,9 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use vex_gpu::alloc::{AllocId, AllocationInfo};
-use vex_gpu::hooks::{ApiEvent, ApiKind, CapturedView, DeviceView, LaunchInfo};
-use vex_trace::transport::{ChannelSink, TraceEvent};
-use vex_trace::{AccessRecord, TraceSink};
+use vex_gpu::hooks::{ApiEvent, ApiKind, CapturedView, LaunchInfo};
+use vex_trace::event::{Event, EventSink, KernelSummary};
+use vex_trace::AccessRecord;
 
 /// Static configuration of a pipelined session, filled in by
 /// `ProfilerBuilder::attach`.
@@ -86,8 +86,6 @@ pub(crate) struct PipelineSpec {
     pub reuse_line_bytes: Option<u64>,
     /// Race detection enabled.
     pub races: bool,
-    /// Warp-level interval compaction (§6.1).
-    pub warp_compaction: bool,
 }
 
 /// Messages consumed by the router thread. Trace events and registry
@@ -138,12 +136,13 @@ enum AuxMsg {
 enum CoarseMsg {
     /// One API event with everything its deferred replay needs: the
     /// kernel's collected intervals (for `KernelLaunch`) and the device
-    /// bytes the replay will read.
+    /// bytes the replay will read, exactly as the `EventSource` packaged
+    /// them in [`Event::Api`].
     Event {
         event: ApiEvent,
-        /// `(reads, writes, raw_count)` of the finished kernel.
-        kernel: Option<(Vec<Interval>, Vec<Interval>, u64)>,
-        captured: CapturedView,
+        /// Interval summary of the finished kernel.
+        kernel: Option<KernelSummary>,
+        captured: Arc<CapturedView>,
     },
     Flush {
         reply: Sender<CoarseSnapshot>,
@@ -191,25 +190,70 @@ pub(crate) struct PipelineProducts {
     pub races: Vec<RaceReport>,
 }
 
-/// State the hook callbacks mutate on the application thread.
-struct AppSide {
-    /// The live registry, used to compute capture ranges and clip writes.
-    registry: ObjectRegistry,
-    /// Intervals of the in-flight kernel (coarse pass).
-    current_kernel: Option<KernelIntervals>,
-}
-
 /// A running sharded analysis engine. Owned by the profiler session;
-/// hooks hold `Arc` clones.
+/// the [`PipelineSink`] holds an `Arc` clone.
 pub(crate) struct Pipeline {
-    app: Mutex<AppSide>,
     router_tx: Option<Sender<RouterMsg>>,
     coarse_tx: Option<Sender<CoarseMsg>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     shards: usize,
     has_aux: bool,
-    coarse_enabled: bool,
-    warp_compaction: bool,
+}
+
+/// The pipeline's adapter onto the canonical event stream: clones each
+/// event's `Arc`-shared payloads into the worker channels. This is the
+/// engine's entire critical-path cost in pipelined mode.
+pub(crate) struct PipelineSink(Arc<Pipeline>);
+
+impl PipelineSink {
+    /// Wraps a spawned pipeline as an [`EventSink`].
+    pub(crate) fn new(pipeline: Arc<Pipeline>) -> Self {
+        PipelineSink(pipeline)
+    }
+}
+
+impl EventSink for PipelineSink {
+    fn on_event(&self, event: &Event) {
+        let p = &self.0;
+        match event {
+            Event::Api { event, kernel, captured } => {
+                // Mirror the serial engine's ordering: the router's
+                // registry replica must see the alloc before any batch of
+                // it and the free only after.
+                if let ApiKind::Malloc { info } = &event.kind {
+                    if let Some(tx) = &p.router_tx {
+                        let _ = tx.send(RouterMsg::Alloc(info.clone()));
+                    }
+                }
+                if let Some(tx) = &p.coarse_tx {
+                    let _ = tx.send(CoarseMsg::Event {
+                        event: event.clone(),
+                        kernel: kernel.clone(),
+                        captured: captured.clone(),
+                    });
+                }
+                if let ApiKind::Free { info } = &event.kind {
+                    if let Some(tx) = &p.router_tx {
+                        let _ = tx.send(RouterMsg::Free(info.clone()));
+                    }
+                }
+            }
+            Event::Batch { info, records } => {
+                if let Some(tx) = &p.router_tx {
+                    let _ = tx.send(RouterMsg::Batch {
+                        info: info.clone(),
+                        records: records.clone(),
+                    });
+                }
+            }
+            Event::LaunchEnd { info } => {
+                if let Some(tx) = &p.router_tx {
+                    let _ = tx.send(RouterMsg::LaunchComplete { info: info.clone() });
+                }
+            }
+            Event::LaunchBegin { .. } | Event::SkippedLaunch { .. } => {}
+        }
+    }
 }
 
 /// Deterministic shard routing: splitmix64 over the object key. The
@@ -283,111 +327,12 @@ impl Pipeline {
         });
 
         Arc::new(Pipeline {
-            app: Mutex::new(AppSide { registry: ObjectRegistry::new(), current_kernel: None }),
             router_tx,
             coarse_tx,
             workers: Mutex::new(workers),
             shards: spec.shards,
             has_aux,
-            coarse_enabled: spec.coarse,
-            warp_compaction: spec.warp_compaction,
         })
-    }
-
-    /// Whether the coarse pass is active (drives `on_launch_begin`).
-    pub(crate) fn coarse_enabled(&self) -> bool {
-        self.coarse_enabled
-    }
-
-    /// Begins coarse interval collection for a launch.
-    pub(crate) fn on_launch_begin(&self) {
-        self.app.lock().current_kernel = Some(KernelIntervals::new(self.warp_compaction));
-    }
-
-    /// Records one global-memory access interval of the running kernel.
-    pub(crate) fn on_coarse_access(
-        &self,
-        block: u32,
-        thread: u32,
-        interval: Interval,
-        is_store: bool,
-    ) {
-        let mut app = self.app.lock();
-        if let Some(k) = &mut app.current_kernel {
-            k.add(block, thread, interval, is_store);
-        }
-    }
-
-    /// Handles an API-After event on the application thread: updates the
-    /// live registry, captures the device bytes the coarse replay will
-    /// read, and publishes to the workers. This is the entire critical-
-    /// path cost of the coarse pass in pipelined mode.
-    pub(crate) fn on_api_after(&self, event: &ApiEvent, view: &dyn DeviceView) {
-        let mut app = self.app.lock();
-        if let ApiKind::Malloc { info } = &event.kind {
-            app.registry.on_alloc(info);
-            if let Some(tx) = &self.router_tx {
-                let _ = tx.send(RouterMsg::Alloc(info.clone()));
-            }
-        }
-
-        if let Some(tx) = &self.coarse_tx {
-            let mut captured = CapturedView::new();
-            let mut kernel = None;
-            match &event.kind {
-                ApiKind::Malloc { info } => {
-                    captured.capture(view, info.addr, info.size).expect("allocation readable");
-                }
-                ApiKind::Memset { dst, bytes, .. }
-                | ApiKind::MemcpyH2D { dst, bytes }
-                | ApiKind::MemcpyD2D { dst, bytes, .. } => {
-                    // Clip exactly as CoarseState::write_range will.
-                    if let Some(obj) = app.registry.find(dst.addr()) {
-                        let end = (dst.addr() + bytes).min(obj.addr + obj.size);
-                        if end > dst.addr() {
-                            captured
-                                .capture(view, dst.addr(), end - dst.addr())
-                                .expect("write range readable");
-                        }
-                    }
-                }
-                ApiKind::KernelLaunch { .. } => {
-                    if let Some(collected) = app.current_kernel.take() {
-                        let (reads, writes, raw, _compacted) = collected.finish();
-                        // The replay will merge, split by object, and read
-                        // each split interval; capture exactly those.
-                        let merged = merge_parallel(&writes);
-                        for ivs in split_by_object(&merged, &app.registry).values() {
-                            for iv in ivs {
-                                captured
-                                    .capture(view, iv.start, iv.len())
-                                    .expect("kernel write interval readable");
-                            }
-                        }
-                        kernel = Some((reads, writes, raw));
-                    }
-                }
-                _ => {}
-            }
-            let _ = tx.send(CoarseMsg::Event { event: event.clone(), kernel, captured });
-        }
-
-        if let ApiKind::Free { info } = &event.kind {
-            app.registry.on_free(info);
-            if let Some(tx) = &self.router_tx {
-                let _ = tx.send(RouterMsg::Free(info.clone()));
-            }
-        }
-    }
-
-    /// Builds the collector sink publishing into the router channel.
-    pub(crate) fn fine_sink(&self) -> Arc<dyn TraceSink> {
-        let tx = self.router_tx.as_ref().expect("fine sink requires the fine pass").clone();
-        Arc::new(ChannelSink::new(tx, |ev| match ev {
-            TraceEvent::Batch { info, records } => Some(RouterMsg::Batch { info, records }),
-            TraceEvent::LaunchComplete { info } => Some(RouterMsg::LaunchComplete { info }),
-            TraceEvent::SkippedLaunch { .. } => None,
-        }))
     }
 
     /// Flush barrier: waits until every published message is analyzed and
@@ -602,19 +547,19 @@ fn coarse_worker(rx: Receiver<CoarseMsg>, pattern: PatternConfig, policy: Adapti
     while let Ok(msg) = rx.recv() {
         match msg {
             CoarseMsg::Event { event, kernel, captured } => {
-                // Mirror ApiGlue's ordering: alloc before analysis, free
-                // after.
+                // Mirror the serial engine's ordering: alloc before
+                // analysis, free after.
                 if let ApiKind::Malloc { info } = &event.kind {
                     registry.on_alloc(info);
                 }
-                if let Some((reads, writes, raw)) = kernel {
+                if let Some(summary) = kernel {
                     let mut k = KernelIntervals::new(false);
-                    k.reads = reads;
-                    k.writes = writes;
-                    k.raw = raw;
+                    k.reads = summary.reads;
+                    k.writes = summary.writes;
+                    k.raw = summary.raw;
                     coarse.current_kernel = Some(k);
                 }
-                coarse.on_api_after(&event, &registry, &captured);
+                coarse.on_api_after(&event, &registry, captured.as_ref());
                 if let ApiKind::Free { info } = &event.kind {
                     registry.on_free(info);
                 }
@@ -667,7 +612,6 @@ mod tests {
             policy: AdaptivePolicy::default(),
             reuse_line_bytes: Some(32),
             races: true,
-            warp_compaction: true,
         };
         let p = Pipeline::spawn(&spec);
         let products = p.flush();

@@ -1,11 +1,20 @@
 //! The ValueExpert profiler front-end (§4).
 //!
-//! [`ValueExpert`] wires the coarse analyzer, the fine analyzer, and the
-//! trace collector onto a [`vex_gpu::runtime::Runtime`], mirroring the
-//! paper's component diagram (Figure 1): the *data collector* overloads
-//! GPU APIs and instruments kernels, the *online analyzer* recognizes
-//! patterns and builds the value flow graph, and the report machinery in
-//! [`crate::report`] stands in for the GUI.
+//! [`ValueExpert`] attaches one shared [`EventSource`] — the canonical
+//! data collector of `vex_trace::event` — to a
+//! [`vex_gpu::runtime::Runtime`], mirroring the paper's component diagram
+//! (Figure 1): the *data collector* overloads GPU APIs and instruments
+//! kernels, the *online analyzer* recognizes patterns and builds the
+//! value flow graph, and the report machinery in [`crate::report`] stands
+//! in for the GUI.
+//!
+//! Both analysis engines are [`EventSink`]s over the same stream: the
+//! synchronous engine ([`SyncEngine`], zero shards) and the sharded
+//! pipeline (`crate::pipeline`, [`ProfilerBuilder::analysis_shards`]).
+//! Because the stream is also what `vex_trace::container` persists, a
+//! session can be recorded ([`ProfilerBuilder::record`]) and replayed
+//! later ([`ProfilerBuilder::replay`]) through either engine with
+//! byte-identical reports.
 //!
 //! ```rust
 //! use vex_core::profiler::ValueExpert;
@@ -20,27 +29,35 @@
 //! # Ok(()) }
 //! ```
 
-use crate::coarse::{CoarseState, CoarseTraffic, KernelIntervals};
+use crate::coarse::{
+    CoarseState, CoarseTraffic, DuplicateFinding, KernelIntervals, RedundancyFinding,
+};
 use crate::copy_strategy::AdaptivePolicy;
-use crate::fine::{FineState, FineTraffic};
+use crate::fine::{FineFinding, FineState, FineTraffic};
 use crate::flowgraph::FlowGraph;
-use crate::interval::Interval;
 use crate::overhead::{OverheadModel, OverheadReport};
 use crate::patterns::PatternConfig;
-use crate::pipeline::{Pipeline, PipelineSpec};
-use crate::races::RaceDetector;
+use crate::pipeline::{Pipeline, PipelineSink, PipelineSpec};
+use crate::races::{RaceDetector, RaceReport};
 use crate::registry::ObjectRegistry;
 use crate::report::Profile;
-use crate::reuse::ReuseAnalyzer;
+use crate::reuse::{ReuseAnalyzer, ReuseHistogram};
 use crate::sampling::{BlockSampler, HierarchicalSampler, KernelNameFilter};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use vex_gpu::exec::LaunchStats;
-use vex_gpu::hooks::{
-    AccessEvent, ApiEvent, ApiHook, ApiKind, ApiPhase, DeviceView, LaunchInfo, MemAccessHook,
-};
+use vex_gpu::callpath::CallPathId;
+use vex_gpu::hooks::ApiKind;
+use vex_gpu::ir::MemSpace;
 use vex_gpu::runtime::Runtime;
-use vex_trace::{AccessRecord, Collector, CollectorStats, TraceSink};
+use vex_gpu::timing::DeviceSpec;
+use vex_trace::codec::DecodeError;
+use vex_trace::container::{RecordedTrace, TraceFlags, TraceWriter};
+use vex_trace::event::{AnalysisPass, Event, EventSink, EventSource, EventSourceConfig};
+use vex_trace::{CollectorStats, LaunchFilter};
+
+/// A spawned analysis engine: the sink fed to the [`EventSource`] plus
+/// whichever concrete engine backs it (exactly one is `Some`).
+type Engine = (Arc<dyn EventSink>, Option<Arc<SyncEngine>>, Option<Arc<Pipeline>>);
 
 /// Configuration for a profiling session; see [`ValueExpert::builder`].
 #[derive(Debug, Clone)]
@@ -205,10 +222,37 @@ impl ProfilerBuilder {
         self
     }
 
-    /// Attaches the profiler to a runtime and returns the session handle.
-    pub fn attach(self, rt: &mut Runtime) -> ValueExpert {
-        let pipeline = (self.analysis_shards > 0).then(|| {
-            Pipeline::spawn(&PipelineSpec {
+    /// The collector configuration this builder implies. The API stream
+    /// is always intercepted: the registry every engine replicates is fed
+    /// by in-band alloc/free events.
+    fn source_config(&self) -> EventSourceConfig {
+        EventSourceConfig {
+            api: true,
+            coarse: self.coarse,
+            fine: self.fine,
+            buffer_records: self.buffer_capacity,
+            block_period: self.block_period,
+            warp_compaction: self.warp_compaction,
+        }
+    }
+
+    /// The §6.2 launch filter (kernel sampling + optional name filter).
+    fn launch_filter(&self) -> Arc<dyn LaunchFilter> {
+        match &self.kernel_filter {
+            Some(names) => Arc::new(
+                HierarchicalSampler::new(self.kernel_period)
+                    .with_name_filter(KernelNameFilter::new(names.clone())),
+            ),
+            None => Arc::new(HierarchicalSampler::new(self.kernel_period)),
+        }
+    }
+
+    /// Builds the analysis engine for this configuration: either the
+    /// synchronous [`SyncEngine`] or the sharded pipeline, both plain
+    /// [`EventSink`]s over the canonical stream.
+    fn spawn_engine(&self) -> Engine {
+        if self.analysis_shards > 0 {
+            let pipeline = Pipeline::spawn(&PipelineSpec {
                 shards: self.analysis_shards,
                 queue_depth: self.analysis_queue_depth,
                 coarse: self.coarse,
@@ -217,74 +261,187 @@ impl ProfilerBuilder {
                 policy: self.copy_policy,
                 reuse_line_bytes: self.reuse_line_bytes.filter(|_| self.fine),
                 races: self.race_detection && self.fine,
-                warp_compaction: self.warp_compaction,
-            })
-        });
-        let synchronous = pipeline.is_none();
+            });
+            (Arc::new(PipelineSink::new(pipeline.clone())), None, Some(pipeline))
+        } else {
+            let sync = Arc::new(SyncEngine {
+                inner: Mutex::new(Inner {
+                    registry: ObjectRegistry::new(),
+                    coarse: self
+                        .coarse
+                        .then(|| CoarseState::new(self.pattern, self.copy_policy)),
+                    // Block sampling is applied at collection (in the
+                    // EventSource), so the analyzer sees every record it
+                    // gets.
+                    fine: self.fine.then(|| FineState::new(self.pattern, BlockSampler::new(1))),
+                    reuse: self.reuse_line_bytes.filter(|_| self.fine).map(ReuseAnalyzer::new),
+                    races: (self.race_detection && self.fine).then(RaceDetector::new),
+                }),
+            });
+            (sync.clone(), Some(sync), None)
+        }
+    }
 
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                registry: ObjectRegistry::new(),
-                coarse: (self.coarse && synchronous)
-                    .then(|| CoarseState::new(self.pattern, self.copy_policy)),
-                // Block sampling is applied at collection (in the
-                // Collector), so the analyzer sees every record it gets.
-                fine: (self.fine && synchronous)
-                    .then(|| FineState::new(self.pattern, BlockSampler::new(1))),
-                reuse: self
-                    .reuse_line_bytes
-                    .filter(|_| self.fine && synchronous)
-                    .map(ReuseAnalyzer::new),
-                races: (self.race_detection && self.fine && synchronous)
-                    .then(RaceDetector::new),
-            }),
+    /// Attaches the profiler to a runtime and returns the session handle.
+    pub fn attach(self, rt: &mut Runtime) -> ValueExpert {
+        let (sink, sync, pipeline) = self.spawn_engine();
+        let source = EventSource::attach(rt, self.source_config(), self.launch_filter(), sink);
+        ValueExpert {
             overhead: self.overhead,
             pattern: self.pattern,
-            warp_compaction: self.warp_compaction,
-        });
-
-        // API interception (registry + coarse analysis or capture).
-        match &pipeline {
-            None => rt.register_api_hook(Arc::new(ApiGlue(shared.clone()))),
-            Some(p) => rt.register_api_hook(Arc::new(PipedApiGlue(p.clone()))),
+            sync,
+            pipeline,
+            source: Some(source),
         }
+    }
 
-        // Coarse interval monitoring.
-        if self.coarse {
-            match &pipeline {
-                None => rt.register_access_hook(Arc::new(CoarseGlue(shared.clone()))),
-                Some(p) => rt.register_access_hook(Arc::new(PipedCoarseGlue(p.clone()))),
-            }
+    /// Attaches only the trace recorder: the canonical event stream is
+    /// persisted into `out` in the `.vex` container format and no
+    /// analysis runs. The recorded passes mirror this builder's `coarse`
+    /// and `fine` flags; sampling and filter options apply at record time
+    /// (they are baked into the trace). Finish the recording with
+    /// [`Recording::finish`] after the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if writing the container header fails.
+    pub fn record<W: std::io::Write + Send + 'static>(
+        self,
+        rt: &mut Runtime,
+        out: W,
+    ) -> std::io::Result<Recording<W>> {
+        let flags = TraceFlags { coarse: self.coarse, fine: self.fine };
+        let writer = Arc::new(TraceWriter::new(out, rt.spec(), flags)?);
+        let source =
+            EventSource::attach(rt, self.source_config(), self.launch_filter(), writer.clone());
+        Ok(Recording { writer, source })
+    }
+
+    /// Replays a recorded trace through the analysis engine this builder
+    /// configures (synchronous or sharded) and assembles the profile with
+    /// the recording session's device preset, application time, and call
+    /// paths — byte-identical to the report a live session with this
+    /// configuration would have produced.
+    ///
+    /// Collection options (`buffer_capacity`, sampling, filters,
+    /// `warp_compaction`) have no effect here: they were applied by the
+    /// recording session and are baked into the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError`] when the requested passes were not recorded.
+    pub fn replay(self, trace: &RecordedTrace) -> Result<Profile, ReplayError> {
+        if self.coarse && !trace.flags.coarse {
+            return Err(ReplayError::CoarseNotRecorded);
         }
-
-        // Fine collection through the bounded device buffer.
-        let collector = if self.fine {
-            let sink: Arc<dyn TraceSink> = match &pipeline {
-                None => Arc::new(FineGlue(shared.clone())),
-                Some(p) => p.fine_sink(),
-            };
-            let sampler = match &self.kernel_filter {
-                Some(names) => HierarchicalSampler::new(self.kernel_period)
-                    .with_name_filter(KernelNameFilter::new(names.clone())),
-                None => HierarchicalSampler::new(self.kernel_period),
-            };
-            let collector = Arc::new(
-                Collector::new(self.buffer_capacity, sink, Arc::new(sampler))
-                    .with_block_period(self.block_period),
-            );
-            rt.register_access_hook(collector.clone());
-            Some(collector)
-        } else {
-            None
+        if self.fine && !trace.flags.fine {
+            return Err(ReplayError::FineNotRecorded);
+        }
+        // A live coarse-only session reports zero collector traffic; only
+        // fine replays surface the recorded counters.
+        let stats = if self.fine { trace.stats } else { CollectorStats::default() };
+        let (sink, sync, pipeline) = self.spawn_engine();
+        trace.dispatch(&*sink);
+        let vex = ValueExpert {
+            overhead: self.overhead,
+            pattern: self.pattern,
+            sync,
+            pipeline,
+            source: None,
         };
-
-        // The paper's collector serializes concurrent streams.
-        rt.serialize_streams(true);
-
-        ValueExpert { shared, collector, pipeline }
+        let products = vex.products();
+        Ok(vex.assemble(products, stats, &trace.spec, trace.app_us, |id| {
+            trace
+                .contexts
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("<unrecorded context {}>", id.0))
+        }))
     }
 }
 
+/// Replaying a trace failed before any analysis ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Coarse analysis was requested but the trace carries no capture
+    /// snapshots.
+    CoarseNotRecorded,
+    /// A fine-grained analysis was requested but the trace carries no
+    /// access records.
+    FineNotRecorded,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::CoarseNotRecorded => write!(
+                f,
+                "this trace has no coarse capture snapshots; re-record without disabling the \
+                 coarse pass (it is on by default in `vex record`)"
+            ),
+            ReplayError::FineNotRecorded => write!(
+                f,
+                "this trace has no access records; re-record with `vex record --fine` to run \
+                 fine-grained analyses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A trace recording in progress; created by [`ProfilerBuilder::record`].
+pub struct Recording<W: std::io::Write + Send + 'static> {
+    writer: Arc<TraceWriter<W>>,
+    source: Arc<EventSource>,
+}
+
+impl<W: std::io::Write + Send + 'static> std::fmt::Debug for Recording<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recording").field("stats", &self.source.stats()).finish_non_exhaustive()
+    }
+}
+
+impl<W: std::io::Write + Send + 'static> Recording<W> {
+    /// Collector traffic of the recording so far.
+    pub fn stats(&self) -> CollectorStats {
+        self.source.stats()
+    }
+
+    /// Writes the container trailer — every rendered call path, the
+    /// collector counters, and the application time — flushes, and
+    /// returns the underlying writer. Detaches all hooks from `rt` (the
+    /// recorder is expected to be the only attached session).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Io`] if any container write failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace writer is still shared (e.g. it was also
+    /// registered with a fan-out sink that outlives the recording).
+    pub fn finish(self, rt: &mut Runtime) -> Result<W, DecodeError> {
+        rt.clear_hooks();
+        let Recording { writer, source } = self;
+        let stats = source.stats();
+        drop(source); // releases the source's Arc to the writer
+        let writer = match Arc::try_unwrap(writer) {
+            Ok(w) => w,
+            Err(_) => panic!("trace writer still shared; drop other sinks before finish"),
+        };
+        let cp = rt.callpaths();
+        let contexts: Vec<(CallPathId, String)> = (0..cp.path_count())
+            .map(|i| {
+                let id = CallPathId(i as u32);
+                (id, cp.render(id))
+            })
+            .collect();
+        writer.finish(&contexts, &stats, rt.time_report().total_us())
+    }
+}
+
+/// Per-pass analyzer state of the synchronous engine.
 struct Inner {
     registry: ObjectRegistry,
     coarse: Option<CoarseState>,
@@ -293,24 +450,104 @@ struct Inner {
     races: Option<RaceDetector>,
 }
 
-struct Shared {
+/// The synchronous analysis engine: one [`EventSink`] running every
+/// enabled pass inline, in stream order. The coarse pass analyzes the
+/// capture snapshots carried by [`Event::Api`] — the same deferred-replay
+/// inputs the pipelined engine and a trace replay consume, which is what
+/// makes the three modes byte-identical.
+struct SyncEngine {
     inner: Mutex<Inner>,
-    overhead: OverheadModel,
-    pattern: PatternConfig,
-    warp_compaction: bool,
+}
+
+impl EventSink for SyncEngine {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::Api { event, kernel, captured } => {
+                let mut inner = self.inner.lock();
+                let inner = &mut *inner;
+                if let ApiKind::Malloc { info } = &event.kind {
+                    inner.registry.on_alloc(info);
+                }
+                if let Some(coarse) = &mut inner.coarse {
+                    if let Some(summary) = kernel {
+                        let mut k = KernelIntervals::new(false);
+                        k.reads = summary.reads.clone();
+                        k.writes = summary.writes.clone();
+                        k.raw = summary.raw;
+                        coarse.current_kernel = Some(k);
+                    }
+                    coarse.on_api_after(event, &inner.registry, captured.as_ref());
+                }
+                if let ApiKind::Free { info } = &event.kind {
+                    inner.registry.on_free(info);
+                }
+            }
+            Event::Batch { info, records } => {
+                let mut inner = self.inner.lock();
+                let inner = &mut *inner;
+                if let Some(fine) = &mut inner.fine {
+                    fine.on_batch(info, records, &inner.registry);
+                }
+                if let Some(reuse) = &mut inner.reuse {
+                    for rec in records.iter() {
+                        if rec.space == MemSpace::Global {
+                            reuse.record(rec);
+                        }
+                    }
+                }
+                if let Some(races) = &mut inner.races {
+                    races.ensure_launch(info);
+                    for rec in records.iter() {
+                        races.record(rec);
+                    }
+                }
+            }
+            Event::LaunchEnd { info } => {
+                let mut inner = self.inner.lock();
+                let inner = &mut *inner;
+                if let Some(fine) = &mut inner.fine {
+                    fine.on_launch_complete(info, &inner.registry);
+                }
+                if let Some(races) = &mut inner.races {
+                    races.on_launch_end();
+                }
+            }
+            Event::LaunchBegin { .. } | Event::SkippedLaunch { .. } => {}
+        }
+    }
+}
+
+impl AnalysisPass for SyncEngine {
+    fn name(&self) -> &'static str {
+        "valueexpert"
+    }
+}
+
+/// Everything an engine produced, gathered for report assembly.
+struct EngineProducts {
+    flow: FlowGraph,
+    redundancies: Vec<RedundancyFinding>,
+    duplicates: Vec<DuplicateFinding>,
+    coarse_traffic: CoarseTraffic,
+    fine_findings: Vec<FineFinding>,
+    fine_traffic: FineTraffic,
+    reuse: Option<ReuseHistogram>,
+    races: Vec<RaceReport>,
 }
 
 /// A live profiling session attached to a runtime.
 pub struct ValueExpert {
-    shared: Arc<Shared>,
-    collector: Option<Arc<Collector>>,
+    overhead: OverheadModel,
+    pattern: PatternConfig,
+    sync: Option<Arc<SyncEngine>>,
     pipeline: Option<Arc<Pipeline>>,
+    source: Option<Arc<EventSource>>,
 }
 
 impl std::fmt::Debug for ValueExpert {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ValueExpert")
-            .field("fine", &self.collector.is_some())
+            .field("live", &self.source.is_some())
             .field("pipelined", &self.pipeline.is_some())
             .finish()
     }
@@ -334,7 +571,7 @@ impl ValueExpert {
 
     /// Collector traffic of the fine pass (zeros when fine is disabled).
     pub fn collector_stats(&self) -> CollectorStats {
-        self.collector.as_ref().map(|c| c.stats()).unwrap_or_default()
+        self.source.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
     /// Produces the profile: findings, value flow graph, and the overhead
@@ -346,6 +583,19 @@ impl ValueExpert {
     /// deterministically. The resulting profile is byte-identical to the
     /// synchronous engine's.
     pub fn report(&self, rt: &Runtime) -> Profile {
+        let products = self.products();
+        let cp = rt.callpaths();
+        self.assemble(
+            products,
+            self.collector_stats(),
+            rt.spec(),
+            rt.time_report().total_us(),
+            |id| cp.render(id),
+        )
+    }
+
+    /// Gathers the engine's products (flushing the pipeline when sharded).
+    fn products(&self) -> EngineProducts {
         if let Some(p) = &self.pipeline {
             let products = p.flush();
             let (flow, redundancies, duplicates, coarse_traffic) = match products.coarse {
@@ -356,20 +606,19 @@ impl ValueExpert {
                 Some((raw, traffic)) => (crate::fine::merge_findings(&raw), traffic),
                 None => (Vec::new(), FineTraffic::default()),
             };
-            return self.assemble(
-                rt,
+            return EngineProducts {
                 flow,
                 redundancies,
                 duplicates,
                 coarse_traffic,
                 fine_findings,
                 fine_traffic,
-                products.reuse,
-                products.races,
-            );
+                reuse: products.reuse,
+                races: products.races,
+            };
         }
 
-        let inner = self.shared.inner.lock();
+        let inner = self.sync.as_ref().expect("one engine is always built").inner.lock();
         let (flow, redundancies, duplicates, coarse_traffic) = match &inner.coarse {
             Some(c) => (
                 c.flow_graph().clone(),
@@ -383,230 +632,66 @@ impl ValueExpert {
             Some(f) => (f.merged_findings(), f.traffic()),
             None => (Vec::new(), FineTraffic::default()),
         };
-        let reuse = inner.reuse.as_ref().map(|r| r.histogram().clone());
-        let races = inner.races.as_ref().map(|r| r.reports().to_vec()).unwrap_or_default();
-        drop(inner);
-        self.assemble(
-            rt,
+        EngineProducts {
             flow,
             redundancies,
             duplicates,
             coarse_traffic,
             fine_findings,
             fine_traffic,
-            reuse,
-            races,
-        )
+            reuse: inner.reuse.as_ref().map(|r| r.histogram().clone()),
+            races: inner.races.as_ref().map(|r| r.reports().to_vec()).unwrap_or_default(),
+        }
     }
 
-    /// Shared tail of [`Self::report`]: overhead model, context
-    /// rendering, and profile assembly. Keeping one implementation for
-    /// both engines guarantees the report layouts cannot diverge.
-    #[allow(clippy::too_many_arguments)]
+    /// Shared tail of live reporting and trace replay: overhead model,
+    /// context rendering, and profile assembly. Keeping one
+    /// implementation for every mode guarantees the report layouts cannot
+    /// diverge.
     fn assemble(
         &self,
-        rt: &Runtime,
-        flow: FlowGraph,
-        redundancies: Vec<crate::coarse::RedundancyFinding>,
-        duplicates: Vec<crate::coarse::DuplicateFinding>,
-        coarse_traffic: CoarseTraffic,
-        fine_findings: Vec<crate::fine::FineFinding>,
-        fine_traffic: FineTraffic,
-        reuse: Option<crate::reuse::ReuseHistogram>,
-        races: Vec<crate::races::RaceReport>,
+        products: EngineProducts,
+        collector_stats: CollectorStats,
+        spec: &DeviceSpec,
+        app_us: f64,
+        mut render: impl FnMut(CallPathId) -> String,
     ) -> Profile {
-        let collector_stats = self.collector_stats();
-        let spec = rt.spec();
         let overhead = OverheadReport {
-            fine_us: self.shared.overhead.fine_cost_us(&collector_stats, &fine_traffic, spec),
-            coarse_us: self.shared.overhead.coarse_cost_us(&coarse_traffic, spec),
-            app_us: rt.time_report().total_us(),
+            fine_us: self.overhead.fine_cost_us(&collector_stats, &products.fine_traffic, spec),
+            coarse_us: self.overhead.coarse_cost_us(&products.coarse_traffic, spec),
+            app_us,
         };
         let contexts = {
             let mut map = std::collections::BTreeMap::new();
-            let cp = rt.callpaths();
-            let mut record = |id: vex_gpu::callpath::CallPathId| {
-                map.entry(id).or_insert_with(|| cp.render(id));
+            let mut record = |id: CallPathId| {
+                map.entry(id).or_insert_with(|| render(id));
             };
-            for r in &redundancies {
+            for r in &products.redundancies {
                 record(r.context);
             }
-            for f in &fine_findings {
+            for f in &products.fine_findings {
                 record(f.context);
             }
-            for v in flow.vertices() {
+            for v in products.flow.vertices() {
                 record(v.context);
             }
             map
         };
         Profile {
             device: spec.name.clone(),
-            flow_graph: flow,
-            redundancies,
-            duplicates,
-            fine_findings,
-            reuse,
-            races,
-            coarse_traffic,
-            fine_traffic,
+            flow_graph: products.flow,
+            redundancies: products.redundancies,
+            duplicates: products.duplicates,
+            fine_findings: products.fine_findings,
+            reuse: products.reuse,
+            races: products.races,
+            coarse_traffic: products.coarse_traffic,
+            fine_traffic: products.fine_traffic,
             collector_stats,
             overhead,
             contexts,
-            redundancy_threshold: self.shared.pattern.redundancy_threshold,
+            redundancy_threshold: self.pattern.redundancy_threshold,
         }
-    }
-}
-
-/// API-hook glue: maintains the registry and drives the coarse analyzer.
-struct ApiGlue(Arc<Shared>);
-
-impl ApiHook for ApiGlue {
-    fn on_api(&self, phase: ApiPhase, event: &ApiEvent, view: &dyn DeviceView) {
-        if phase != ApiPhase::After {
-            return;
-        }
-        let mut inner = self.0.inner.lock();
-        let inner = &mut *inner;
-        if let ApiKind::Malloc { info } = &event.kind {
-            inner.registry.on_alloc(info);
-        }
-        if let Some(coarse) = &mut inner.coarse {
-            coarse.on_api_after(event, &inner.registry, view);
-        }
-        if let ApiKind::Free { info } = &event.kind {
-            inner.registry.on_free(info);
-        }
-    }
-}
-
-/// Access-hook glue for the coarse pass: collects access intervals.
-struct CoarseGlue(Arc<Shared>);
-
-impl MemAccessHook for CoarseGlue {
-    fn on_launch_begin(&self, _info: &LaunchInfo) -> bool {
-        let compaction = self.0.warp_compaction;
-        let mut inner = self.0.inner.lock();
-        if let Some(coarse) = &mut inner.coarse {
-            coarse.current_kernel = Some(KernelIntervals::new(compaction));
-            true
-        } else {
-            false
-        }
-    }
-
-    fn on_access(&self, event: &AccessEvent) {
-        // Shared-memory traffic never updates global snapshots.
-        if event.space != vex_gpu::ir::MemSpace::Global {
-            return;
-        }
-        let mut inner = self.0.inner.lock();
-        if let Some(coarse) = &mut inner.coarse {
-            if let Some(k) = &mut coarse.current_kernel {
-                let (s, e) = event.interval();
-                k.add(event.block, event.thread, Interval::new(s, e), event.is_store);
-            }
-        }
-    }
-
-    fn on_launch_end(
-        &self,
-        _info: &LaunchInfo,
-        _stats: &LaunchStats,
-        _instrumented: bool,
-        _view: &dyn DeviceView,
-    ) {
-        // Interval processing happens on the KernelLaunch API-After event,
-        // which fires after this callback with the same post-kernel view.
-    }
-}
-
-/// Trace-sink glue for the fine pass.
-struct FineGlue(Arc<Shared>);
-
-impl TraceSink for FineGlue {
-    fn on_batch(&self, info: &LaunchInfo, records: &[AccessRecord]) {
-        let mut inner = self.0.inner.lock();
-        let inner = &mut *inner;
-        if let Some(fine) = &mut inner.fine {
-            fine.on_batch(info, records, &inner.registry);
-        }
-        if let Some(reuse) = &mut inner.reuse {
-            for rec in records {
-                if rec.space == vex_gpu::ir::MemSpace::Global {
-                    reuse.record(rec);
-                }
-            }
-        }
-        if let Some(races) = &mut inner.races {
-            races.ensure_launch(info);
-            for rec in records {
-                races.record(rec);
-            }
-        }
-    }
-
-    fn on_launch_complete(
-        &self,
-        info: &LaunchInfo,
-        _stats: &LaunchStats,
-        _view: &dyn DeviceView,
-    ) {
-        let mut inner = self.0.inner.lock();
-        let inner = &mut *inner;
-        if let Some(fine) = &mut inner.fine {
-            fine.on_launch_complete(info, &inner.registry);
-        }
-        if let Some(races) = &mut inner.races {
-            races.on_launch_end();
-        }
-    }
-}
-
-/// API-hook glue in pipelined mode: updates the app-side registry,
-/// captures the device bytes the deferred coarse replay will read, and
-/// publishes the event — no analysis on the critical path.
-struct PipedApiGlue(Arc<Pipeline>);
-
-impl ApiHook for PipedApiGlue {
-    fn on_api(&self, phase: ApiPhase, event: &ApiEvent, view: &dyn DeviceView) {
-        if phase == ApiPhase::After {
-            self.0.on_api_after(event, view);
-        }
-    }
-}
-
-/// Access-hook glue in pipelined mode: interval collection only; the
-/// merge/split/diff work happens on the coarse worker.
-struct PipedCoarseGlue(Arc<Pipeline>);
-
-impl MemAccessHook for PipedCoarseGlue {
-    fn on_launch_begin(&self, _info: &LaunchInfo) -> bool {
-        if self.0.coarse_enabled() {
-            self.0.on_launch_begin();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn on_access(&self, event: &AccessEvent) {
-        // Shared-memory traffic never updates global snapshots.
-        if event.space != vex_gpu::ir::MemSpace::Global {
-            return;
-        }
-        let (s, e) = event.interval();
-        self.0.on_coarse_access(event.block, event.thread, Interval::new(s, e), event.is_store);
-    }
-
-    fn on_launch_end(
-        &self,
-        _info: &LaunchInfo,
-        _stats: &LaunchStats,
-        _instrumented: bool,
-        _view: &dyn DeviceView,
-    ) {
-        // Interval publication happens on the KernelLaunch API-After
-        // event, which fires after this callback with the same view.
     }
 }
 
@@ -615,7 +700,7 @@ mod tests {
     use super::*;
     use crate::patterns::ValuePattern;
     use vex_gpu::dim::Dim3;
-    use vex_gpu::ir::{InstrTable, InstrTableBuilder, MemSpace, Pc, ScalarType};
+    use vex_gpu::ir::{InstrTable, InstrTableBuilder, Pc, ScalarType};
     use vex_gpu::kernel::Kernel;
     use vex_gpu::prelude::*;
     use vex_gpu::timing::DeviceSpec;
@@ -744,5 +829,71 @@ mod tests {
         assert!(p.overhead.coarse_us > 0.0);
         assert!(p.overhead.fine_us > 0.0);
         assert!(p.overhead.factor() >= p.overhead.coarse_factor());
+    }
+
+    /// Runs the `profiled_run` workload under a recorder instead of a
+    /// live analysis.
+    fn recorded_run() -> Vec<u8> {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let rec = ValueExpert::builder()
+            .coarse(true)
+            .fine(true)
+            .record(&mut rt, Vec::new())
+            .expect("header written");
+        let out = rt.with_fn("init", |rt| rt.malloc(256, "out")).unwrap();
+        rt.with_fn("forward", |rt| {
+            rt.memset(out, 0, 256).unwrap();
+            rt.launch(
+                &Fill { out: out.addr(), n: 64, v: 0.0 },
+                Dim3::linear(2),
+                Dim3::linear(32),
+            )
+            .unwrap();
+        });
+        rec.finish(&mut rt).expect("trailer written")
+    }
+
+    /// Renders every report surface; byte-equality of these is the
+    /// replay contract.
+    fn rendered(profile: &Profile) -> (String, String, String) {
+        (
+            profile.render_text(),
+            profile.to_json().expect("profile serializes"),
+            profile.flow_graph.to_dot(profile.redundancy_threshold),
+        )
+    }
+
+    #[test]
+    fn replay_matches_live_report() {
+        let (rt, vex) = profiled_run();
+        let live = vex.report(&rt);
+        let bytes = recorded_run();
+        let trace = vex_trace::container::read_trace(&bytes).expect("trace decodes");
+        let replayed = ValueExpert::builder()
+            .coarse(true)
+            .fine(true)
+            .replay(&trace)
+            .expect("replay succeeds");
+        assert_eq!(rendered(&live), rendered(&replayed));
+    }
+
+    #[test]
+    fn replay_validates_recorded_passes() {
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let rec = ValueExpert::builder()
+            .coarse(true)
+            .fine(false)
+            .record(&mut rt, Vec::new())
+            .expect("header written");
+        rt.malloc(64, "x").unwrap();
+        let bytes = rec.finish(&mut rt).expect("trailer written");
+        let trace = vex_trace::container::read_trace(&bytes).expect("trace decodes");
+        let err = ValueExpert::builder().fine(true).replay(&trace).unwrap_err();
+        assert_eq!(err, ReplayError::FineNotRecorded);
+        assert!(err.to_string().contains("--fine"), "{err}");
+        // The recorded pass still replays fine.
+        let profile =
+            ValueExpert::builder().coarse(true).replay(&trace).expect("coarse replay");
+        assert_eq!(profile.collector_stats, CollectorStats::default());
     }
 }

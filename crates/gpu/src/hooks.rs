@@ -113,6 +113,24 @@ impl CapturedView {
     pub fn captured_bytes(&self) -> u64 {
         self.segments.iter().map(|(_, b)| b.len() as u64).sum()
     }
+
+    /// The captured `(start_addr, bytes)` segments, sorted by start.
+    ///
+    /// Exposed so captures can be serialized (trace recording) and
+    /// reconstructed with [`CapturedView::from_segments`].
+    pub fn segments(&self) -> &[(u64, Vec<u8>)] {
+        &self.segments
+    }
+
+    /// Rebuilds a capture from previously serialized segments.
+    ///
+    /// Segments are re-sorted by start address, restoring the invariant
+    /// `capture` maintains; overlap semantics are the caller's concern,
+    /// exactly as with repeated `capture` calls.
+    pub fn from_segments(mut segments: Vec<(u64, Vec<u8>)>) -> Self {
+        segments.sort_by_key(|(s, _)| *s);
+        CapturedView { segments }
+    }
 }
 
 impl DeviceView for CapturedView {

@@ -16,19 +16,24 @@
 //!   order of magnitude above ValueExpert's (47.3× vs 7.8× geomean in
 //!   Table 5).
 //!
-//! The implementation rides the same [`vex_trace::Collector`] machinery
-//! (small buffer, every record shipped), so its traffic counters can be
-//! priced by [`vex_core::overhead::OverheadModel::gvprof_cost_us`].
+//! The implementation rides the same canonical event stream as
+//! ValueExpert — a [`vex_trace::event::EventSource`] configured with
+//! GVProf's small buffer and every record shipped — so its traffic
+//! counters can be priced by
+//! [`vex_core::overhead::OverheadModel::gvprof_cost_us`], and a trace
+//! recorded by `vex record --fine` can be replayed through it offline
+//! ([`replay`]).
 
 #![deny(missing_docs)]
 
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use vex_gpu::exec::LaunchStats;
-use vex_gpu::hooks::{DeviceView, LaunchInfo};
+use vex_gpu::hooks::LaunchInfo;
 use vex_gpu::runtime::Runtime;
-use vex_trace::{AcceptAll, AccessRecord, Collector, CollectorStats, TraceSink};
+use vex_trace::container::RecordedTrace;
+use vex_trace::event::{AnalysisPass, Event, EventSink, EventSource, EventSourceConfig};
+use vex_trace::{AcceptAll, AccessRecord, CollectorStats};
 
 /// Per-kernel redundancy metrics, GVProf's unit of reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,7 +117,7 @@ impl vex_trace::LaunchFilter for PeriodicSampler {
 /// A GVProf session attached to a runtime.
 pub struct GvProfSession {
     profiler: Arc<GvProf>,
-    collector: Arc<Collector>,
+    source: Arc<EventSource>,
 }
 
 impl std::fmt::Debug for GvProfSession {
@@ -148,13 +153,13 @@ impl GvProfSession {
         block_period: u32,
     ) -> GvProfSession {
         let profiler = Arc::new(GvProf { state: Mutex::new(State::default()) });
-        let collector = Arc::new(
-            Collector::new(GVPROF_BUFFER_RECORDS, profiler.clone(), filter)
-                .with_block_period(block_period),
+        let source = EventSource::attach(
+            rt,
+            gvprof_source_config(block_period),
+            filter,
+            profiler.clone(),
         );
-        rt.register_access_hook(collector.clone());
-        rt.serialize_streams(true);
-        GvProfSession { profiler, collector }
+        GvProfSession { profiler, source }
     }
 
     /// Per-kernel redundancy results (kernel name → metrics), aggregated
@@ -165,12 +170,26 @@ impl GvProfSession {
 
     /// Measurement traffic, for the Table 5 overhead comparison.
     pub fn collector_stats(&self) -> CollectorStats {
-        self.collector.stats()
+        self.source.stats()
     }
 }
 
-impl TraceSink for GvProf {
-    fn on_batch(&self, _info: &LaunchInfo, records: &[AccessRecord]) {
+/// The collector configuration GVProf runs under: no API interception,
+/// no coarse snapshots, every record shipped through the small
+/// synchronous buffer.
+fn gvprof_source_config(block_period: u32) -> EventSourceConfig {
+    EventSourceConfig {
+        api: false,
+        coarse: false,
+        fine: true,
+        buffer_records: GVPROF_BUFFER_RECORDS,
+        block_period: block_period.max(1),
+        warp_compaction: true,
+    }
+}
+
+impl GvProf {
+    fn on_batch(&self, records: &[AccessRecord]) {
         let mut st = self.state.lock();
         for rec in records {
             if rec.is_store {
@@ -193,12 +212,7 @@ impl TraceSink for GvProf {
         }
     }
 
-    fn on_launch_complete(
-        &self,
-        info: &LaunchInfo,
-        _stats: &LaunchStats,
-        _view: &dyn DeviceView,
-    ) {
+    fn on_launch_complete(&self, info: &LaunchInfo) {
         let mut st = self.state.lock();
         let current = std::mem::take(&mut st.current);
         let agg = st.per_kernel.entry(info.kernel_name.clone()).or_default();
@@ -210,6 +224,136 @@ impl TraceSink for GvProf {
         st.last_value.clear();
         st.last_load.clear();
     }
+}
+
+impl EventSink for GvProf {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::Batch { records, .. } => self.on_batch(records),
+            Event::LaunchEnd { info } => self.on_launch_complete(info),
+            _ => {}
+        }
+    }
+}
+
+impl AnalysisPass for GvProf {
+    fn name(&self) -> &'static str {
+        "gvprof"
+    }
+}
+
+/// Replaying a trace through GVProf failed before any analysis ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GvProfReplayError {
+    /// The trace carries no access records.
+    FineNotRecorded,
+}
+
+impl std::fmt::Display for GvProfReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GvProfReplayError::FineNotRecorded => write!(
+                f,
+                "this trace has no access records; re-record with `vex record --fine` to replay \
+                 it through the GVProf baseline"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GvProfReplayError {}
+
+/// Replays a recorded trace through the GVProf baseline, re-applying its
+/// hierarchical sampling (`kernel_period`, `block_period`) and simulating
+/// its small synchronous buffer so the returned [`CollectorStats`] price
+/// the run exactly as a live session would. Results and counters match a
+/// live [`GvProfSession`] when the trace was recorded at full fidelity
+/// (kernel and block period 1, as `vex record --fine` does by default);
+/// a sampled recording replays only what it kept.
+///
+/// # Errors
+///
+/// [`GvProfReplayError::FineNotRecorded`] when the trace has no access
+/// records to analyze.
+pub fn replay(
+    trace: &RecordedTrace,
+    kernel_period: u64,
+    block_period: u32,
+) -> Result<(BTreeMap<String, KernelRedundancy>, CollectorStats), GvProfReplayError> {
+    if !trace.flags.fine {
+        return Err(GvProfReplayError::FineNotRecorded);
+    }
+    let kernel_period = kernel_period.max(1);
+    let block_period = block_period.max(1);
+    let profiler = GvProf { state: Mutex::new(State::default()) };
+    let mut stats = CollectorStats::default();
+    let mut counters: HashMap<String, u64> = HashMap::new();
+    let mut active: Option<Arc<LaunchInfo>> = None;
+    let mut buffer: Vec<AccessRecord> = Vec::with_capacity(GVPROF_BUFFER_RECORDS);
+    fn flush(
+        profiler: &GvProf,
+        stats: &mut CollectorStats,
+        info: &Arc<LaunchInfo>,
+        buffer: &mut Vec<AccessRecord>,
+    ) {
+        if buffer.is_empty() {
+            return;
+        }
+        stats.flushes += 1;
+        stats.bytes_flushed += buffer.len() as u64 * AccessRecord::DEVICE_BYTES;
+        let records = Arc::new(std::mem::take(buffer));
+        profiler.on_event(&Event::Batch { info: info.clone(), records });
+    }
+    for event in &trace.events {
+        match event {
+            Event::LaunchBegin { info } => {
+                let c = counters.entry(info.kernel_name.clone()).or_insert(0);
+                let accept = c.is_multiple_of(kernel_period);
+                *c += 1;
+                if accept {
+                    stats.instrumented_launches += 1;
+                    active = Some(info.clone());
+                } else {
+                    stats.skipped_launches += 1;
+                    active = None;
+                }
+            }
+            Event::Batch { info, records } => {
+                if active.as_ref().is_none_or(|a| !Arc::ptr_eq(a, info)) {
+                    continue;
+                }
+                for rec in records.iter() {
+                    stats.events_checked += 1;
+                    if !rec.block.is_multiple_of(block_period) {
+                        continue;
+                    }
+                    stats.events += 1;
+                    buffer.push(*rec);
+                    if buffer.len() >= GVPROF_BUFFER_RECORDS {
+                        flush(&profiler, &mut stats, info, &mut buffer);
+                    }
+                }
+            }
+            Event::LaunchEnd { info } => {
+                if active.as_ref().is_some_and(|a| Arc::ptr_eq(a, info)) {
+                    flush(&profiler, &mut stats, info, &mut buffer);
+                    profiler.on_event(&Event::LaunchEnd { info: info.clone() });
+                    active = None;
+                }
+            }
+            Event::SkippedLaunch { info } => {
+                // The recording session already declined this launch; its
+                // kernel still advances the sampling counter so replayed
+                // periods line up with a live session's.
+                let c = counters.entry(info.kernel_name.clone()).or_insert(0);
+                *c += 1;
+                stats.skipped_launches += 1;
+            }
+            Event::Api { .. } => {}
+        }
+    }
+    let results = profiler.state.into_inner().per_kernel;
+    Ok((results, stats))
 }
 
 #[cfg(test)]

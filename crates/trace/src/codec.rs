@@ -25,7 +25,8 @@ const FLAG_STORE: u8 = 1 << 0;
 const FLAG_SHARED: u8 = 1 << 1;
 const FLAG_ATOMIC: u8 = 1 << 2;
 
-/// Errors decoding a device buffer.
+/// Errors decoding a device buffer or a `.vex` trace container
+/// ([`crate::container`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// Buffer length is not a multiple of the record size.
@@ -38,6 +39,42 @@ pub enum DecodeError {
         /// Record index within the buffer.
         index: usize,
     },
+    /// The container header's magic bytes are wrong — not a `.vex` trace.
+    BadMagic,
+    /// The container was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this reader understands.
+        supported: u32,
+    },
+    /// The container ended mid-frame (cut off while recording, or file
+    /// truncated in transit).
+    TruncatedFrame {
+        /// Byte offset where the incomplete frame starts.
+        offset: u64,
+    },
+    /// A frame carries a kind tag this reader does not know.
+    UnknownFrameKind {
+        /// The unrecognized kind byte.
+        kind: u8,
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+    /// A frame's payload failed validation.
+    BadFrame {
+        /// Kind byte of the offending frame.
+        kind: u8,
+        /// Byte offset of the frame.
+        offset: u64,
+        /// What was wrong with the payload.
+        what: &'static str,
+    },
+    /// The underlying reader or writer failed.
+    Io {
+        /// The I/O error's message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -47,11 +84,38 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "buffer length {len} is not a multiple of 32")
             }
             DecodeError::Corrupt { index } => write!(f, "corrupt record at index {index}"),
+            DecodeError::BadMagic => {
+                write!(
+                    f,
+                    "not a .vex trace (bad magic); expected a file written by `vex record`"
+                )
+            }
+            DecodeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "trace format version {found} is not supported (this reader understands up to \
+                 version {supported}); re-record the trace with this build of `vex record`"
+            ),
+            DecodeError::TruncatedFrame { offset } => {
+                write!(f, "trace ends mid-frame at byte {offset}; the recording was cut short")
+            }
+            DecodeError::UnknownFrameKind { kind, offset } => {
+                write!(f, "unknown frame kind {kind} at byte {offset}")
+            }
+            DecodeError::BadFrame { kind, offset, what } => {
+                write!(f, "invalid frame (kind {kind}) at byte {offset}: {what}")
+            }
+            DecodeError::Io { message } => write!(f, "trace i/o failed: {message}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+impl From<std::io::Error> for DecodeError {
+    fn from(e: std::io::Error) -> Self {
+        DecodeError::Io { message: e.to_string() }
+    }
+}
 
 /// Encodes one record into its 32-byte wire form.
 pub fn encode_record(rec: &AccessRecord) -> [u8; AccessRecord::DEVICE_BYTES as usize] {
@@ -211,6 +275,32 @@ mod tests {
         batch.extend_from_slice(&good);
         batch.extend_from_slice(&buf);
         assert_eq!(decode_batch(&batch), Err(DecodeError::Corrupt { index: 1 }));
+    }
+
+    #[test]
+    fn every_error_variant_displays() {
+        let cases: Vec<(DecodeError, &str)> = vec![
+            (DecodeError::Truncated { len: 33 }, "not a multiple"),
+            (DecodeError::Corrupt { index: 7 }, "index 7"),
+            (DecodeError::BadMagic, "not a .vex trace"),
+            (DecodeError::UnsupportedVersion { found: 9, supported: 1 }, "re-record"),
+            (DecodeError::TruncatedFrame { offset: 40 }, "mid-frame at byte 40"),
+            (DecodeError::UnknownFrameKind { kind: 200, offset: 12 }, "kind 200"),
+            (DecodeError::BadFrame { kind: 3, offset: 99, what: "bad utf-8" }, "bad utf-8"),
+            (DecodeError::Io { message: "disk full".into() }, "disk full"),
+        ];
+        for (err, needle) in cases {
+            let shown = err.to_string();
+            assert!(shown.contains(needle), "{shown:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_message_is_actionable() {
+        let msg = DecodeError::UnsupportedVersion { found: 2, supported: 1 }.to_string();
+        assert!(msg.contains("version 2"), "{msg}");
+        assert!(msg.contains("up to version 1"), "{msg}");
+        assert!(msg.contains("re-record"), "{msg}");
     }
 
     proptest! {

@@ -1,0 +1,1406 @@
+//! The `.vex` trace container: a versioned, length-framed, streamed
+//! on-disk encoding of the canonical [`Event`] stream.
+//!
+//! Recording the collector's output makes every analysis an *offline*
+//! analysis: `vex record` writes the stream once, `vex replay` drives any
+//! sink ([`crate::event::EventSink`]) from the file, and the replayed
+//! report is byte-identical to the live one because the stream is
+//! self-contained (captures carry device bytes, batches carry records,
+//! the trailer carries call-path renderings and traffic counters).
+//!
+//! ## Layout
+//!
+//! ```text
+//! header:
+//!   offset  size  field
+//!        0     8  magic "VEXTRACE"
+//!        8     4  format version (u32, currently 1)
+//!       12     4  flags (bit0 coarse captures, bit1 fine records)
+//!       16     …  device preset (DeviceSpec, see below)
+//! frames (repeated until the Finish frame):
+//!        0     1  kind
+//!        1     4  payload length N (u32)
+//!        5     N  payload
+//! ```
+//!
+//! All integers are little-endian; floats are stored as `f64::to_bits`.
+//! Strings are a `u32` byte length followed by UTF-8 bytes. Frame kinds:
+//!
+//! ```text
+//! kind  payload
+//!    1  Api            seq u64, context u32, stream u32, api-kind tag +
+//!                      arguments, optional kernel summary, capture segments
+//!    2  LaunchBegin    full LaunchInfo (incl. instruction table)
+//!    3  Batch          launch id u64, record count u32, 32-byte records
+//!                      (codec::encode_record)
+//!    4  LaunchEnd      launch id u64
+//!    5  SkippedLaunch  full LaunchInfo
+//!    6  Contexts       count u32, then (call-path id u32, rendered string)*
+//!    7  Finish         CollectorStats (6 × u64), app time (f64 bits);
+//!                      must be the last frame
+//! ```
+//!
+//! Launch-referencing frames (`Batch`, `LaunchEnd`) name the launch by id;
+//! the reader resolves it against the preceding `LaunchBegin`. Unknown
+//! format versions, unknown frame kinds, and malformed payloads are
+//! rejected with the [`DecodeError`] variants added for this container —
+//! decoding never panics, whatever the input bytes.
+
+use crate::codec::{self, DecodeError};
+use crate::event::{Event, EventSink, KernelSummary};
+use crate::interval::Interval;
+use crate::{AccessRecord, CollectorStats};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use vex_gpu::alloc::AllocationInfo;
+use vex_gpu::callpath::CallPathId;
+use vex_gpu::dim::Dim3;
+use vex_gpu::hooks::{ApiEvent, ApiKind, CapturedView, LaunchId, LaunchInfo};
+use vex_gpu::ir::{
+    AccessDecl, FloatWidth, InstrTable, Instruction, IntWidth, MemSpace, Opcode, Pc, Reg,
+    ScalarType,
+};
+use vex_gpu::memory::DevicePtr;
+use vex_gpu::stream::StreamId;
+use vex_gpu::timing::DeviceSpec;
+
+/// Magic bytes opening every `.vex` trace.
+pub const TRACE_MAGIC: [u8; 8] = *b"VEXTRACE";
+/// Newest container format version this build reads and writes.
+pub const TRACE_VERSION: u32 = 1;
+
+const FLAG_COARSE: u32 = 1 << 0;
+const FLAG_FINE: u32 = 1 << 1;
+
+const FRAME_API: u8 = 1;
+const FRAME_LAUNCH_BEGIN: u8 = 2;
+const FRAME_BATCH: u8 = 3;
+const FRAME_LAUNCH_END: u8 = 4;
+const FRAME_SKIPPED_LAUNCH: u8 = 5;
+const FRAME_CONTEXTS: u8 = 6;
+const FRAME_FINISH: u8 = 7;
+
+/// Which collection passes the recording session ran — determines which
+/// analyses a replay can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceFlags {
+    /// Coarse pass: API events carry capture snapshots and kernel
+    /// interval summaries.
+    pub coarse: bool,
+    /// Fine pass: the stream contains access-record batches.
+    pub fine: bool,
+}
+
+impl TraceFlags {
+    fn to_bits(self) -> u32 {
+        (if self.coarse { FLAG_COARSE } else { 0 }) | (if self.fine { FLAG_FINE } else { 0 })
+    }
+
+    fn from_bits(bits: u32) -> Result<Self, &'static str> {
+        if bits & !(FLAG_COARSE | FLAG_FINE) != 0 {
+            return Err("unknown trace flag bits");
+        }
+        Ok(TraceFlags { coarse: bits & FLAG_COARSE != 0, fine: bits & FLAG_FINE != 0 })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_intervals(out: &mut Vec<u8>, ivs: &[Interval]) {
+    put_u32(out, ivs.len() as u32);
+    for iv in ivs {
+        put_u64(out, iv.start);
+        put_u64(out, iv.end);
+    }
+}
+
+fn put_alloc(out: &mut Vec<u8>, info: &AllocationInfo) {
+    put_u64(out, info.id.0);
+    put_u64(out, info.addr);
+    put_u64(out, info.size);
+    put_str(out, &info.label);
+    put_u32(out, info.context.0);
+    put_bool(out, info.live);
+}
+
+fn put_scalar(out: &mut Vec<u8>, t: ScalarType) {
+    let tag = match t {
+        ScalarType::F32 => 0,
+        ScalarType::F64 => 1,
+        ScalarType::S8 => 2,
+        ScalarType::S16 => 3,
+        ScalarType::S32 => 4,
+        ScalarType::S64 => 5,
+        ScalarType::U8 => 6,
+        ScalarType::U16 => 7,
+        ScalarType::U32 => 8,
+        ScalarType::U64 => 9,
+    };
+    put_u8(out, tag);
+}
+
+fn put_opcode(out: &mut Vec<u8>, op: &Opcode) {
+    match op {
+        Opcode::Ld => put_u8(out, 1),
+        Opcode::St => put_u8(out, 2),
+        Opcode::FAdd(w) => {
+            put_u8(out, 3);
+            put_u8(out, *w as u8);
+        }
+        Opcode::FMul(w) => {
+            put_u8(out, 4);
+            put_u8(out, *w as u8);
+        }
+        Opcode::FFma(w) => {
+            put_u8(out, 5);
+            put_u8(out, *w as u8);
+        }
+        Opcode::IAdd(w) => {
+            put_u8(out, 6);
+            put_u8(out, *w as u8);
+        }
+        Opcode::IMad(w) => {
+            put_u8(out, 7);
+            put_u8(out, *w as u8);
+        }
+        Opcode::Lop => put_u8(out, 8),
+        Opcode::Mov => put_u8(out, 9),
+        Opcode::Cvt { from, to } => {
+            put_u8(out, 10);
+            put_scalar(out, *from);
+            put_scalar(out, *to);
+        }
+        Opcode::Setp(t) => {
+            put_u8(out, 11);
+            put_scalar(out, *t);
+        }
+        Opcode::Bra => put_u8(out, 12),
+        Opcode::Exit => put_u8(out, 13),
+        // `Opcode` is #[non_exhaustive]; a new opcode needs a new format
+        // version before it can be recorded.
+        _ => panic!("opcode not representable in trace format v{TRACE_VERSION}"),
+    }
+}
+
+fn put_launch_info(out: &mut Vec<u8>, info: &LaunchInfo) {
+    put_u64(out, info.launch.0);
+    put_str(out, &info.kernel_name);
+    for d in [info.grid, info.block] {
+        put_u32(out, d.x);
+        put_u32(out, d.y);
+        put_u32(out, d.z);
+    }
+    put_u64(out, info.shared_bytes);
+    put_u32(out, info.context.0);
+    put_u32(out, info.stream.0);
+    put_u32(out, info.instr_table.len() as u32);
+    for instr in info.instr_table.iter() {
+        put_u32(out, instr.pc.0);
+        put_opcode(out, &instr.op);
+        match instr.dst {
+            Some(r) => {
+                put_bool(out, true);
+                put_u16(out, r.0);
+            }
+            None => put_bool(out, false),
+        }
+        put_u32(out, instr.srcs.len() as u32);
+        for r in &instr.srcs {
+            put_u16(out, r.0);
+        }
+        match &instr.access {
+            Some(a) => {
+                put_bool(out, true);
+                put_u8(out, a.width_bytes);
+                put_u8(out, a.space as u8);
+                put_bool(out, a.is_store);
+                match a.ty {
+                    Some(t) => {
+                        put_bool(out, true);
+                        put_scalar(out, t);
+                    }
+                    None => put_bool(out, false),
+                }
+                put_u8(out, a.vector);
+            }
+            None => put_bool(out, false),
+        }
+        match instr.line {
+            Some(l) => {
+                put_bool(out, true);
+                put_u32(out, l);
+            }
+            None => put_bool(out, false),
+        }
+    }
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &DeviceSpec) {
+    put_str(out, &spec.name);
+    put_u32(out, spec.num_sms);
+    put_f64(out, spec.mem_bandwidth_gbps);
+    put_f64(out, spec.fp32_gflops);
+    put_f64(out, spec.fp64_gflops);
+    put_f64(out, spec.int_gops);
+    put_f64(out, spec.pcie_gbps);
+    put_f64(out, spec.launch_overhead_us);
+    put_f64(out, spec.memop_overhead_us);
+    put_u64(out, spec.memory_bytes);
+    put_u32(out, spec.max_threads_per_block);
+}
+
+fn encode_event(event: &Event) -> (u8, Vec<u8>) {
+    let mut p = Vec::new();
+    match event {
+        Event::Api { event, kernel, captured } => {
+            put_u64(&mut p, event.seq);
+            put_u32(&mut p, event.context.0);
+            put_u32(&mut p, event.stream.0);
+            match &event.kind {
+                ApiKind::Malloc { info } => {
+                    put_u8(&mut p, 1);
+                    put_alloc(&mut p, info);
+                }
+                ApiKind::Free { info } => {
+                    put_u8(&mut p, 2);
+                    put_alloc(&mut p, info);
+                }
+                ApiKind::MemcpyH2D { dst, bytes } => {
+                    put_u8(&mut p, 3);
+                    put_u64(&mut p, dst.addr());
+                    put_u64(&mut p, *bytes);
+                }
+                ApiKind::MemcpyD2H { src, bytes } => {
+                    put_u8(&mut p, 4);
+                    put_u64(&mut p, src.addr());
+                    put_u64(&mut p, *bytes);
+                }
+                ApiKind::MemcpyD2D { dst, src, bytes } => {
+                    put_u8(&mut p, 5);
+                    put_u64(&mut p, dst.addr());
+                    put_u64(&mut p, src.addr());
+                    put_u64(&mut p, *bytes);
+                }
+                ApiKind::Memset { dst, value, bytes } => {
+                    put_u8(&mut p, 6);
+                    put_u64(&mut p, dst.addr());
+                    put_u8(&mut p, *value);
+                    put_u64(&mut p, *bytes);
+                }
+                ApiKind::KernelLaunch { launch, name } => {
+                    put_u8(&mut p, 7);
+                    put_u64(&mut p, launch.0);
+                    put_str(&mut p, name);
+                }
+                // See `put_opcode`: new API kinds need a format bump.
+                _ => panic!("api kind not representable in trace format v{TRACE_VERSION}"),
+            }
+            match kernel {
+                Some(s) => {
+                    put_bool(&mut p, true);
+                    put_intervals(&mut p, &s.reads);
+                    put_intervals(&mut p, &s.writes);
+                    put_u64(&mut p, s.raw);
+                }
+                None => put_bool(&mut p, false),
+            }
+            let segments = captured.segments();
+            put_u32(&mut p, segments.len() as u32);
+            for (start, bytes) in segments {
+                put_u64(&mut p, *start);
+                put_u64(&mut p, bytes.len() as u64);
+                p.extend_from_slice(bytes);
+            }
+            (FRAME_API, p)
+        }
+        Event::LaunchBegin { info } => {
+            put_launch_info(&mut p, info);
+            (FRAME_LAUNCH_BEGIN, p)
+        }
+        Event::Batch { info, records } => {
+            put_u64(&mut p, info.launch.0);
+            put_u32(&mut p, records.len() as u32);
+            for rec in records.iter() {
+                p.extend_from_slice(&codec::encode_record(rec));
+            }
+            (FRAME_BATCH, p)
+        }
+        Event::LaunchEnd { info } => {
+            put_u64(&mut p, info.launch.0);
+            (FRAME_LAUNCH_END, p)
+        }
+        Event::SkippedLaunch { info } => {
+            put_launch_info(&mut p, info);
+            (FRAME_SKIPPED_LAUNCH, p)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding primitives
+// ---------------------------------------------------------------------------
+
+/// Bounded cursor over one frame payload. Every accessor validates the
+/// remaining length, so malformed payloads surface as errors, never
+/// panics or runaway allocations.
+struct Payload<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Payload { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+        if self.remaining() < n {
+            return Err("payload too short");
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, &'static str> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, &'static str> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err("boolean byte not 0 or 1"),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, &'static str> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, &'static str> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, &'static str> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, &'static str> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not valid utf-8")
+    }
+
+    fn intervals(&mut self) -> Result<Vec<Interval>, &'static str> {
+        let count = self.u32()? as usize;
+        if self.remaining() < count * 16 {
+            return Err("interval list longer than payload");
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = self.u64()?;
+            let end = self.u64()?;
+            if start >= end {
+                return Err("empty or inverted interval");
+            }
+            out.push(Interval::new(start, end));
+        }
+        Ok(out)
+    }
+
+    fn alloc(&mut self) -> Result<AllocationInfo, &'static str> {
+        Ok(AllocationInfo {
+            id: vex_gpu::alloc::AllocId(self.u64()?),
+            addr: self.u64()?,
+            size: self.u64()?,
+            label: self.str()?,
+            context: CallPathId(self.u32()?),
+            live: self.bool()?,
+        })
+    }
+
+    fn scalar(&mut self) -> Result<ScalarType, &'static str> {
+        Ok(match self.u8()? {
+            0 => ScalarType::F32,
+            1 => ScalarType::F64,
+            2 => ScalarType::S8,
+            3 => ScalarType::S16,
+            4 => ScalarType::S32,
+            5 => ScalarType::S64,
+            6 => ScalarType::U8,
+            7 => ScalarType::U16,
+            8 => ScalarType::U32,
+            9 => ScalarType::U64,
+            _ => return Err("unknown scalar type tag"),
+        })
+    }
+
+    fn float_width(&mut self) -> Result<FloatWidth, &'static str> {
+        Ok(match self.u8()? {
+            0 => FloatWidth::F32,
+            1 => FloatWidth::F64,
+            _ => return Err("unknown float width tag"),
+        })
+    }
+
+    fn int_width(&mut self) -> Result<IntWidth, &'static str> {
+        Ok(match self.u8()? {
+            0 => IntWidth::I8,
+            1 => IntWidth::I16,
+            2 => IntWidth::I32,
+            3 => IntWidth::I64,
+            _ => return Err("unknown int width tag"),
+        })
+    }
+
+    fn opcode(&mut self) -> Result<Opcode, &'static str> {
+        Ok(match self.u8()? {
+            1 => Opcode::Ld,
+            2 => Opcode::St,
+            3 => Opcode::FAdd(self.float_width()?),
+            4 => Opcode::FMul(self.float_width()?),
+            5 => Opcode::FFma(self.float_width()?),
+            6 => Opcode::IAdd(self.int_width()?),
+            7 => Opcode::IMad(self.int_width()?),
+            8 => Opcode::Lop,
+            9 => Opcode::Mov,
+            10 => Opcode::Cvt { from: self.scalar()?, to: self.scalar()? },
+            11 => Opcode::Setp(self.scalar()?),
+            12 => Opcode::Bra,
+            13 => Opcode::Exit,
+            _ => return Err("unknown opcode tag"),
+        })
+    }
+
+    fn launch_info(&mut self) -> Result<LaunchInfo, &'static str> {
+        let launch = LaunchId(self.u64()?);
+        let kernel_name = self.str()?;
+        let grid = Dim3 { x: self.u32()?, y: self.u32()?, z: self.u32()? };
+        let block = Dim3 { x: self.u32()?, y: self.u32()?, z: self.u32()? };
+        let shared_bytes = self.u64()?;
+        let context = CallPathId(self.u32()?);
+        let stream = StreamId(self.u32()?);
+        let count = self.u32()? as usize;
+        if self.remaining() < count * 2 {
+            return Err("instruction table longer than payload");
+        }
+        let mut table = InstrTable::new();
+        let mut last_pc: Option<u32> = None;
+        for _ in 0..count {
+            let pc = self.u32()?;
+            // PC-ordered and duplicate-free, so `InstrTable::push` (which
+            // panics on duplicates) is safe to call.
+            if last_pc.is_some_and(|prev| prev >= pc) {
+                return Err("instruction table not in strict pc order");
+            }
+            last_pc = Some(pc);
+            let op = self.opcode()?;
+            let dst = if self.bool()? { Some(Reg(self.u16()?)) } else { None };
+            let src_count = self.u32()? as usize;
+            if self.remaining() < src_count * 2 {
+                return Err("source register list longer than payload");
+            }
+            let mut srcs = Vec::with_capacity(src_count);
+            for _ in 0..src_count {
+                srcs.push(Reg(self.u16()?));
+            }
+            let access = if self.bool()? {
+                Some(AccessDecl {
+                    width_bytes: self.u8()?,
+                    space: match self.u8()? {
+                        0 => MemSpace::Global,
+                        1 => MemSpace::Shared,
+                        _ => return Err("unknown memory space tag"),
+                    },
+                    is_store: self.bool()?,
+                    ty: if self.bool()? { Some(self.scalar()?) } else { None },
+                    vector: self.u8()?,
+                })
+            } else {
+                None
+            };
+            let line = if self.bool()? { Some(self.u32()?) } else { None };
+            table.push(Instruction { pc: Pc(pc), op, dst, srcs, access, line });
+        }
+        Ok(LaunchInfo {
+            launch,
+            kernel_name,
+            grid,
+            block,
+            shared_bytes,
+            context,
+            stream,
+            instr_table: Arc::new(table),
+        })
+    }
+
+    fn finished(&self) -> Result<(), &'static str> {
+        if self.remaining() != 0 {
+            return Err("trailing bytes in payload");
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct WriterState<W: Write> {
+    out: W,
+    error: Option<String>,
+}
+
+/// Streams the canonical event stream into a `.vex` container.
+///
+/// Implements [`EventSink`], so it plugs into an
+/// [`crate::event::EventSource`] directly (or side-by-side with a live
+/// analysis through [`crate::event::FanoutSink`]). I/O errors during
+/// streaming are latched and reported by [`TraceWriter::finish`].
+pub struct TraceWriter<W: Write> {
+    state: Mutex<WriterState<W>>,
+}
+
+impl<W: Write> std::fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("error", &self.state.lock().error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the container header and returns the streaming writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if writing the header fails.
+    pub fn new(mut out: W, spec: &DeviceSpec, flags: TraceFlags) -> std::io::Result<Self> {
+        let mut header = Vec::new();
+        header.extend_from_slice(&TRACE_MAGIC);
+        put_u32(&mut header, TRACE_VERSION);
+        put_u32(&mut header, flags.to_bits());
+        put_spec(&mut header, spec);
+        out.write_all(&header)?;
+        Ok(TraceWriter { state: Mutex::new(WriterState { out, error: None }) })
+    }
+
+    fn write_frame(st: &mut WriterState<W>, kind: u8, payload: &[u8]) {
+        if st.error.is_some() {
+            return;
+        }
+        let mut head = [0u8; 5];
+        head[0] = kind;
+        head[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let result = st.out.write_all(&head).and_then(|()| st.out.write_all(payload));
+        if let Err(e) = result {
+            st.error = Some(e.to_string());
+        }
+    }
+
+    /// Writes the context table and the trailer (traffic counters and
+    /// application time), flushes, and returns the underlying writer.
+    ///
+    /// `contexts` should cover every interned call path of the recording
+    /// session (`CallPathRecorder::render` for each id), so a replay can
+    /// render contexts exactly as the live session would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Io`] if any write (including earlier
+    /// streamed frames) failed.
+    pub fn finish(
+        self,
+        contexts: &[(CallPathId, String)],
+        stats: &CollectorStats,
+        app_us: f64,
+    ) -> Result<W, DecodeError> {
+        let mut st = self.state.into_inner();
+        let mut p = Vec::new();
+        put_u32(&mut p, contexts.len() as u32);
+        for (id, rendered) in contexts {
+            put_u32(&mut p, id.0);
+            put_str(&mut p, rendered);
+        }
+        Self::write_frame(&mut st, FRAME_CONTEXTS, &p);
+
+        let mut p = Vec::new();
+        put_u64(&mut p, stats.events);
+        put_u64(&mut p, stats.events_checked);
+        put_u64(&mut p, stats.flushes);
+        put_u64(&mut p, stats.bytes_flushed);
+        put_u64(&mut p, stats.instrumented_launches);
+        put_u64(&mut p, stats.skipped_launches);
+        put_f64(&mut p, app_us);
+        Self::write_frame(&mut st, FRAME_FINISH, &p);
+
+        if st.error.is_none() {
+            if let Err(e) = st.out.flush() {
+                st.error = Some(e.to_string());
+            }
+        }
+        match st.error {
+            Some(message) => Err(DecodeError::Io { message }),
+            None => Ok(st.out),
+        }
+    }
+}
+
+impl<W: Write + Send> EventSink for TraceWriter<W> {
+    fn on_event(&self, event: &Event) {
+        let (kind, payload) = encode_event(event);
+        let mut st = self.state.lock();
+        Self::write_frame(&mut st, kind, &payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One decoded frame, as yielded by [`TraceReader::next_frame`].
+#[derive(Debug, Clone)]
+pub enum TraceFrame {
+    /// A stream event (API call, launch boundary, or record batch).
+    Event(Event),
+    /// The context table: interned call-path id → rendered string.
+    Contexts(BTreeMap<CallPathId, String>),
+    /// The trailer: collector traffic and application time. Always the
+    /// last frame of a complete trace.
+    Finish {
+        /// Fine-pass traffic counters of the recording session.
+        stats: CollectorStats,
+        /// Application time accumulated by the recorded run, µs.
+        app_us: f64,
+    },
+}
+
+/// Streaming `.vex` reader: decodes the header eagerly and frames on
+/// demand, resolving launch references against earlier `LaunchBegin` /
+/// `SkippedLaunch` frames.
+pub struct TraceReader<R: Read> {
+    input: R,
+    spec: DeviceSpec,
+    flags: TraceFlags,
+    launches: HashMap<u64, Arc<LaunchInfo>>,
+    offset: u64,
+    finished: bool,
+}
+
+impl<R: Read> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("offset", &self.offset)
+            .field("flags", &self.flags)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the container header.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadMagic`] for non-trace input,
+    /// [`DecodeError::UnsupportedVersion`] for future format versions,
+    /// [`DecodeError::TruncatedFrame`] / [`DecodeError::BadFrame`] for a
+    /// cut-off or malformed header.
+    pub fn new(mut input: R) -> Result<Self, DecodeError> {
+        let mut fixed = [0u8; 16];
+        read_exact_at(&mut input, &mut fixed, 0)?;
+        if fixed[0..8] != TRACE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = u32::from_le_bytes(fixed[8..12].try_into().expect("4 bytes"));
+        if version != TRACE_VERSION {
+            return Err(DecodeError::UnsupportedVersion {
+                found: version,
+                supported: TRACE_VERSION,
+            });
+        }
+        let flags = TraceFlags::from_bits(u32::from_le_bytes(
+            fixed[12..16].try_into().expect("4 bytes"),
+        ))
+        .map_err(|what| DecodeError::BadFrame { kind: 0, offset: 12, what })?;
+        // The device spec is variable-length (name string); decode it
+        // field-by-field from the stream.
+        let mut spec_bytes = Vec::new();
+        let spec = read_spec(&mut input, &mut spec_bytes)
+            .map_err(|what| DecodeError::BadFrame { kind: 0, offset: 16, what })?;
+        Ok(TraceReader {
+            input,
+            spec,
+            flags,
+            launches: HashMap::new(),
+            offset: 16 + spec_bytes.len() as u64,
+            finished: false,
+        })
+    }
+
+    /// Device preset the trace was recorded against.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Which passes the recording session ran.
+    pub fn flags(&self) -> TraceFlags {
+        self.flags
+    }
+
+    /// Decodes the next frame; `Ok(None)` at a clean end of stream
+    /// (after the `Finish` frame).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]; notably [`DecodeError::TruncatedFrame`] when
+    /// the input ends mid-frame or before the trailer.
+    pub fn next_frame(&mut self) -> Result<Option<TraceFrame>, DecodeError> {
+        let frame_offset = self.offset;
+        let mut head = [0u8; 5];
+        let first = {
+            let mut one = [0u8; 1];
+            match self.input.read(&mut one) {
+                Ok(0) => {
+                    if self.finished {
+                        return Ok(None);
+                    }
+                    // Clean EOF but no trailer: the recording was cut off
+                    // at a frame boundary.
+                    return Err(DecodeError::TruncatedFrame { offset: frame_offset });
+                }
+                Ok(_) => one[0],
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if self.finished {
+            return Err(DecodeError::BadFrame {
+                kind: first,
+                offset: frame_offset,
+                what: "data after the Finish frame",
+            });
+        }
+        head[0] = first;
+        read_exact_at(&mut self.input, &mut head[1..5], frame_offset)?;
+        let kind = head[0];
+        let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes")) as usize;
+        // Bounded read: allocates only what actually arrives, so a huge
+        // (corrupt) length on a short file fails cleanly.
+        let mut payload = Vec::new();
+        let got = (&mut self.input)
+            .take(len as u64)
+            .read_to_end(&mut payload)
+            .map_err(DecodeError::from)?;
+        if got < len {
+            return Err(DecodeError::TruncatedFrame { offset: frame_offset });
+        }
+        self.offset = frame_offset + 5 + len as u64;
+        let bad = |what| DecodeError::BadFrame { kind, offset: frame_offset, what };
+        let mut p = Payload::new(&payload);
+        let frame = match kind {
+            FRAME_API => {
+                let seq = p.u64().map_err(bad)?;
+                let context = CallPathId(p.u32().map_err(bad)?);
+                let stream = StreamId(p.u32().map_err(bad)?);
+                let api_kind = match p.u8().map_err(bad)? {
+                    1 => ApiKind::Malloc { info: p.alloc().map_err(bad)? },
+                    2 => ApiKind::Free { info: p.alloc().map_err(bad)? },
+                    3 => ApiKind::MemcpyH2D {
+                        dst: DevicePtr(p.u64().map_err(bad)?),
+                        bytes: p.u64().map_err(bad)?,
+                    },
+                    4 => ApiKind::MemcpyD2H {
+                        src: DevicePtr(p.u64().map_err(bad)?),
+                        bytes: p.u64().map_err(bad)?,
+                    },
+                    5 => ApiKind::MemcpyD2D {
+                        dst: DevicePtr(p.u64().map_err(bad)?),
+                        src: DevicePtr(p.u64().map_err(bad)?),
+                        bytes: p.u64().map_err(bad)?,
+                    },
+                    6 => ApiKind::Memset {
+                        dst: DevicePtr(p.u64().map_err(bad)?),
+                        value: p.u8().map_err(bad)?,
+                        bytes: p.u64().map_err(bad)?,
+                    },
+                    7 => ApiKind::KernelLaunch {
+                        launch: LaunchId(p.u64().map_err(bad)?),
+                        name: p.str().map_err(bad)?,
+                    },
+                    _ => return Err(bad("unknown api kind tag")),
+                };
+                let kernel = if p.bool().map_err(bad)? {
+                    Some(KernelSummary {
+                        reads: p.intervals().map_err(bad)?,
+                        writes: p.intervals().map_err(bad)?,
+                        raw: p.u64().map_err(bad)?,
+                    })
+                } else {
+                    None
+                };
+                let seg_count = p.u32().map_err(bad)? as usize;
+                let mut segments = Vec::new();
+                for _ in 0..seg_count {
+                    let start = p.u64().map_err(bad)?;
+                    let len = p.u64().map_err(bad)?;
+                    if (p.remaining() as u64) < len {
+                        return Err(bad("capture segment longer than payload"));
+                    }
+                    segments.push((start, p.bytes(len as usize).map_err(bad)?.to_vec()));
+                }
+                p.finished().map_err(bad)?;
+                TraceFrame::Event(Event::Api {
+                    event: ApiEvent { seq, kind: api_kind, context, stream },
+                    kernel,
+                    captured: Arc::new(CapturedView::from_segments(segments)),
+                })
+            }
+            FRAME_LAUNCH_BEGIN | FRAME_SKIPPED_LAUNCH => {
+                let info = Arc::new(p.launch_info().map_err(bad)?);
+                p.finished().map_err(bad)?;
+                self.launches.insert(info.launch.0, info.clone());
+                if kind == FRAME_LAUNCH_BEGIN {
+                    TraceFrame::Event(Event::LaunchBegin { info })
+                } else {
+                    TraceFrame::Event(Event::SkippedLaunch { info })
+                }
+            }
+            FRAME_BATCH => {
+                let launch = p.u64().map_err(bad)?;
+                let info = self
+                    .launches
+                    .get(&launch)
+                    .cloned()
+                    .ok_or(bad("batch references an undeclared launch"))?;
+                let count = p.u32().map_err(bad)? as usize;
+                if p.remaining() != count * AccessRecord::DEVICE_BYTES as usize {
+                    return Err(bad("record count does not match payload length"));
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let chunk: &[u8; 32] =
+                        p.bytes(32).map_err(bad)?.try_into().expect("bytes(32) yields 32");
+                    records.push(
+                        codec::decode_record(chunk)
+                            .map_err(|_| bad("corrupt access record"))?,
+                    );
+                }
+                TraceFrame::Event(Event::Batch { info, records: Arc::new(records) })
+            }
+            FRAME_LAUNCH_END => {
+                let launch = p.u64().map_err(bad)?;
+                p.finished().map_err(bad)?;
+                let info = self
+                    .launches
+                    .get(&launch)
+                    .cloned()
+                    .ok_or(bad("launch end references an undeclared launch"))?;
+                TraceFrame::Event(Event::LaunchEnd { info })
+            }
+            FRAME_CONTEXTS => {
+                let count = p.u32().map_err(bad)? as usize;
+                let mut map = BTreeMap::new();
+                for _ in 0..count {
+                    let id = CallPathId(p.u32().map_err(bad)?);
+                    map.insert(id, p.str().map_err(bad)?);
+                }
+                p.finished().map_err(bad)?;
+                TraceFrame::Contexts(map)
+            }
+            FRAME_FINISH => {
+                let stats = CollectorStats {
+                    events: p.u64().map_err(bad)?,
+                    events_checked: p.u64().map_err(bad)?,
+                    flushes: p.u64().map_err(bad)?,
+                    bytes_flushed: p.u64().map_err(bad)?,
+                    instrumented_launches: p.u64().map_err(bad)?,
+                    skipped_launches: p.u64().map_err(bad)?,
+                };
+                let app_us = p.f64().map_err(bad)?;
+                p.finished().map_err(bad)?;
+                self.finished = true;
+                TraceFrame::Finish { stats, app_us }
+            }
+            _ => return Err(DecodeError::UnknownFrameKind { kind, offset: frame_offset }),
+        };
+        Ok(Some(frame))
+    }
+}
+
+fn read_exact_at<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    offset: u64,
+) -> Result<(), DecodeError> {
+    match input.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(DecodeError::TruncatedFrame { offset })
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Reads a `DeviceSpec` directly from the stream (used for the header,
+/// which is not length-framed). Appends consumed bytes to `consumed` so
+/// the caller can track the offset.
+fn spec_bytes<R: Read>(
+    input: &mut R,
+    consumed: &mut Vec<u8>,
+    n: usize,
+) -> Result<Vec<u8>, &'static str> {
+    let mut buf = vec![0u8; n];
+    input.read_exact(&mut buf).map_err(|_| "header cut short")?;
+    consumed.extend_from_slice(&buf);
+    Ok(buf)
+}
+
+fn spec_u32<R: Read>(input: &mut R, consumed: &mut Vec<u8>) -> Result<u32, &'static str> {
+    Ok(u32::from_le_bytes(
+        spec_bytes(input, consumed, 4)?.as_slice().try_into().expect("4 bytes"),
+    ))
+}
+
+fn spec_u64<R: Read>(input: &mut R, consumed: &mut Vec<u8>) -> Result<u64, &'static str> {
+    Ok(u64::from_le_bytes(
+        spec_bytes(input, consumed, 8)?.as_slice().try_into().expect("8 bytes"),
+    ))
+}
+
+fn spec_f64<R: Read>(input: &mut R, consumed: &mut Vec<u8>) -> Result<f64, &'static str> {
+    Ok(f64::from_bits(spec_u64(input, consumed)?))
+}
+
+fn read_spec<R: Read>(
+    input: &mut R,
+    consumed: &mut Vec<u8>,
+) -> Result<DeviceSpec, &'static str> {
+    let name_len = spec_u32(input, consumed)? as usize;
+    if name_len > 1 << 16 {
+        return Err("device name implausibly long");
+    }
+    let name = String::from_utf8(spec_bytes(input, consumed, name_len)?)
+        .map_err(|_| "device name not utf-8")?;
+    Ok(DeviceSpec {
+        name,
+        num_sms: spec_u32(input, consumed)?,
+        mem_bandwidth_gbps: spec_f64(input, consumed)?,
+        fp32_gflops: spec_f64(input, consumed)?,
+        fp64_gflops: spec_f64(input, consumed)?,
+        int_gops: spec_f64(input, consumed)?,
+        pcie_gbps: spec_f64(input, consumed)?,
+        launch_overhead_us: spec_f64(input, consumed)?,
+        memop_overhead_us: spec_f64(input, consumed)?,
+        memory_bytes: spec_u64(input, consumed)?,
+        max_threads_per_block: spec_u32(input, consumed)?,
+    })
+}
+
+/// A fully decoded trace: everything a replay needs to reproduce the
+/// live report.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// Device preset of the recording session.
+    pub spec: DeviceSpec,
+    /// Which passes were recorded.
+    pub flags: TraceFlags,
+    /// The event stream, in collection order.
+    pub events: Vec<Event>,
+    /// Rendered call paths (id → string) of the recording session.
+    pub contexts: BTreeMap<CallPathId, String>,
+    /// Fine-pass traffic counters of the recording session.
+    pub stats: CollectorStats,
+    /// Application time of the recorded run, µs.
+    pub app_us: f64,
+}
+
+impl RecordedTrace {
+    /// Feeds every event to `sink`, in stream order.
+    pub fn dispatch(&self, sink: &dyn EventSink) {
+        for event in &self.events {
+            sink.on_event(event);
+        }
+    }
+}
+
+/// Decodes a complete trace from bytes.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; a trace without its `Finish` trailer is
+/// [`DecodeError::TruncatedFrame`].
+pub fn read_trace(bytes: &[u8]) -> Result<RecordedTrace, DecodeError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut events = Vec::new();
+    let mut contexts = BTreeMap::new();
+    let mut trailer = None;
+    while let Some(frame) = reader.next_frame()? {
+        match frame {
+            TraceFrame::Event(e) => events.push(e),
+            TraceFrame::Contexts(map) => contexts = map,
+            TraceFrame::Finish { stats, app_us } => trailer = Some((stats, app_us)),
+        }
+    }
+    let (stats, app_us) = trailer.expect("reader yields None only after Finish");
+    Ok(RecordedTrace {
+        spec: reader.spec().clone(),
+        flags: reader.flags(),
+        events,
+        contexts,
+        stats,
+        app_us,
+    })
+}
+
+/// Reads and decodes a trace file.
+///
+/// # Errors
+///
+/// [`DecodeError::Io`] if the file cannot be read, otherwise as
+/// [`read_trace`].
+pub fn read_trace_file(path: &std::path::Path) -> Result<RecordedTrace, DecodeError> {
+    let bytes = std::fs::read(path)?;
+    read_trace(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vex_gpu::ir::InstrTableBuilder;
+
+    fn sample_launch_info(id: u64) -> Arc<LaunchInfo> {
+        let table = InstrTableBuilder::new()
+            .load(Pc(0), ScalarType::F32, MemSpace::Global)
+            .store(Pc(1), ScalarType::F32, MemSpace::Global)
+            .build();
+        Arc::new(LaunchInfo {
+            launch: LaunchId(id),
+            kernel_name: format!("kernel_{id}"),
+            grid: Dim3 { x: 4, y: 2, z: 1 },
+            block: Dim3 { x: 32, y: 1, z: 1 },
+            shared_bytes: 256,
+            context: CallPathId(3),
+            stream: StreamId(0),
+            instr_table: Arc::new(table),
+        })
+    }
+
+    fn sample_record(i: u64) -> AccessRecord {
+        AccessRecord {
+            pc: Pc(i as u32 % 3),
+            addr: 4096 + i * 4,
+            bits: i.wrapping_mul(0x9e37_79b9),
+            size: 4,
+            is_store: i.is_multiple_of(2),
+            space: MemSpace::Global,
+            block: (i / 32) as u32,
+            thread: (i % 32) as u32,
+            is_atomic: false,
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let info = sample_launch_info(0);
+        let alloc = AllocationInfo {
+            id: vex_gpu::alloc::AllocId(1),
+            addr: 4096,
+            size: 1024,
+            label: "buf".into(),
+            context: CallPathId(1),
+            live: true,
+        };
+        let captured = CapturedView::from_segments(vec![(4096, vec![0xAB; 64])]);
+        vec![
+            Event::Api {
+                event: ApiEvent {
+                    seq: 0,
+                    kind: ApiKind::Malloc { info: alloc.clone() },
+                    context: CallPathId(1),
+                    stream: StreamId(0),
+                },
+                kernel: None,
+                captured: Arc::new(CapturedView::from_segments(vec![(4096, vec![0xCD; 16])])),
+            },
+            Event::Api {
+                event: ApiEvent {
+                    seq: 1,
+                    kind: ApiKind::Memset { dst: DevicePtr(4096), value: 0, bytes: 512 },
+                    context: CallPathId(1),
+                    stream: StreamId(0),
+                },
+                kernel: None,
+                captured: Arc::new(CapturedView::from_segments(vec![(4096, vec![0u8; 512])])),
+            },
+            Event::LaunchBegin { info: info.clone() },
+            Event::Batch {
+                info: info.clone(),
+                records: Arc::new((0..10).map(sample_record).collect()),
+            },
+            Event::LaunchEnd { info: info.clone() },
+            Event::Api {
+                event: ApiEvent {
+                    seq: 2,
+                    kind: ApiKind::KernelLaunch {
+                        launch: LaunchId(0),
+                        name: "kernel_0".into(),
+                    },
+                    context: CallPathId(2),
+                    stream: StreamId(0),
+                },
+                kernel: Some(KernelSummary {
+                    reads: vec![Interval::new(4096, 4100)],
+                    writes: vec![Interval::new(4096, 4136)],
+                    raw: 20,
+                }),
+                captured: Arc::new(captured),
+            },
+            Event::SkippedLaunch { info: sample_launch_info(1) },
+            Event::Api {
+                event: ApiEvent {
+                    seq: 3,
+                    kind: ApiKind::Free { info: AllocationInfo { live: false, ..alloc } },
+                    context: CallPathId(1),
+                    stream: StreamId(0),
+                },
+                kernel: None,
+                captured: Arc::new(CapturedView::new()),
+            },
+        ]
+    }
+
+    fn write_sample(events: &[Event]) -> Vec<u8> {
+        let spec = DeviceSpec::test_small();
+        let flags = TraceFlags { coarse: true, fine: true };
+        let writer = TraceWriter::new(Vec::new(), &spec, flags).unwrap();
+        for e in events {
+            writer.on_event(e);
+        }
+        let stats = CollectorStats {
+            events: 10,
+            events_checked: 10,
+            flushes: 1,
+            bytes_flushed: 320,
+            instrumented_launches: 1,
+            skipped_launches: 1,
+        };
+        writer.finish(&[(CallPathId(0), "<root>".into())], &stats, 123.5).unwrap()
+    }
+
+    fn assert_event_eq(a: &Event, b: &Event) {
+        match (a, b) {
+            (
+                Event::Api { event: ea, kernel: ka, captured: ca },
+                Event::Api { event: eb, kernel: kb, captured: cb },
+            ) => {
+                assert_eq!(ea, eb);
+                assert_eq!(ka, kb);
+                assert_eq!(ca.segments(), cb.segments());
+            }
+            (Event::LaunchBegin { info: a }, Event::LaunchBegin { info: b })
+            | (Event::LaunchEnd { info: a }, Event::LaunchEnd { info: b })
+            | (Event::SkippedLaunch { info: a }, Event::SkippedLaunch { info: b }) => {
+                assert_launch_eq(a, b);
+            }
+            (
+                Event::Batch { info: ia, records: ra },
+                Event::Batch { info: ib, records: rb },
+            ) => {
+                assert_launch_eq(ia, ib);
+                assert_eq!(ra, rb);
+            }
+            _ => panic!("event kind mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    fn assert_launch_eq(a: &LaunchInfo, b: &LaunchInfo) {
+        assert_eq!(a.launch, b.launch);
+        assert_eq!(a.kernel_name, b.kernel_name);
+        assert_eq!(a.grid, b.grid);
+        assert_eq!(a.block, b.block);
+        assert_eq!(a.shared_bytes, b.shared_bytes);
+        assert_eq!(a.context, b.context);
+        assert_eq!(a.stream, b.stream);
+        assert_eq!(*a.instr_table, *b.instr_table);
+    }
+
+    #[test]
+    fn event_stream_roundtrip_is_bit_exact() {
+        let events = sample_events();
+        let bytes = write_sample(&events);
+        let trace = read_trace(&bytes).unwrap();
+        assert_eq!(trace.spec, DeviceSpec::test_small());
+        assert_eq!(trace.flags, TraceFlags { coarse: true, fine: true });
+        assert_eq!(trace.events.len(), events.len());
+        for (a, b) in trace.events.iter().zip(&events) {
+            assert_event_eq(a, b);
+        }
+        assert_eq!(trace.contexts[&CallPathId(0)], "<root>");
+        assert_eq!(trace.stats.events, 10);
+        assert_eq!(trace.app_us, 123.5);
+        // Batches share the LaunchBegin's Arc, like the live source.
+        let (begin, batch) = (&trace.events[2], &trace.events[3]);
+        if let (Event::LaunchBegin { info: a }, Event::Batch { info: b, .. }) = (begin, batch) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("unexpected event order");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_versions_are_rejected() {
+        let bytes = write_sample(&sample_events());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(read_trace(&wrong), Err(DecodeError::BadMagic)));
+        let mut future = bytes.clone();
+        future[8] = 99;
+        assert!(matches!(
+            read_trace(&future),
+            Err(DecodeError::UnsupportedVersion { found: 99, supported: TRACE_VERSION })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_never_panics() {
+        let bytes = write_sample(&sample_events());
+        for cut in 0..bytes.len() {
+            let result = read_trace(&bytes[..cut]);
+            assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+        assert!(read_trace(&bytes).is_ok());
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected_with_offset() {
+        let spec = DeviceSpec::test_small();
+        let writer = TraceWriter::new(Vec::new(), &spec, TraceFlags::default()).unwrap();
+        let mut bytes = writer.finish(&[], &CollectorStats::default(), 0.0).unwrap();
+        // Append a frame with kind 200 after the trailer would be "data
+        // after Finish"; instead splice it before by rebuilding.
+        let trailer_start = bytes.len();
+        bytes.extend_from_slice(&[200, 0, 0, 0, 0]);
+        let err = read_trace(&bytes).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::BadFrame { kind: 200, .. })
+                || matches!(err, DecodeError::UnknownFrameKind { kind: 200, .. }),
+            "unexpected error {err:?} (trailer at {trailer_start})"
+        );
+    }
+
+    #[test]
+    fn batch_for_undeclared_launch_is_rejected() {
+        let spec = DeviceSpec::test_small();
+        let writer =
+            TraceWriter::new(Vec::new(), &spec, TraceFlags { coarse: false, fine: true })
+                .unwrap();
+        let info = sample_launch_info(7);
+        // Batch without a preceding LaunchBegin.
+        writer.on_event(&Event::Batch { info, records: Arc::new(vec![sample_record(0)]) });
+        let bytes = writer.finish(&[], &CollectorStats::default(), 0.0).unwrap();
+        let err = read_trace(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::BadFrame { what: "batch references an undeclared launch", .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_record_batches_roundtrip(
+            records in prop::collection::vec(
+                (any::<u32>(), any::<u64>(), any::<u64>(), 1u8..=8, any::<bool>(),
+                 any::<bool>(), any::<u32>(), any::<u32>(), any::<bool>()),
+                0..100,
+            )
+        ) {
+            let records: Vec<AccessRecord> = records
+                .into_iter()
+                .map(|(pc, addr, bits, size, store, shared, block, thread, atomic)| AccessRecord {
+                    pc: Pc(pc),
+                    addr,
+                    bits,
+                    size,
+                    is_store: store,
+                    space: if shared { MemSpace::Shared } else { MemSpace::Global },
+                    block,
+                    thread,
+                    is_atomic: atomic,
+                })
+                .collect();
+            let info = sample_launch_info(0);
+            let events = vec![
+                Event::LaunchBegin { info: info.clone() },
+                Event::Batch { info: info.clone(), records: Arc::new(records.clone()) },
+                Event::LaunchEnd { info },
+            ];
+            let bytes = write_sample(&events);
+            let trace = read_trace(&bytes).unwrap();
+            let Event::Batch { records: decoded, .. } = &trace.events[1] else {
+                panic!("expected batch");
+            };
+            prop_assert_eq!(decoded.as_ref(), &records);
+        }
+
+        #[test]
+        fn prop_corrupt_bytes_never_panic(
+            index in 0usize..4096,
+            value in any::<u8>(),
+            cut in 0usize..8192,
+        ) {
+            let mut bytes = write_sample(&sample_events());
+            let index = index % bytes.len();
+            bytes[index] = value;
+            // Upper half of the range means "no cut".
+            if cut < 4096 {
+                bytes.truncate(cut % (bytes.len() + 1));
+            }
+            // Success or a clean error, never a panic.
+            let _ = read_trace(&bytes);
+        }
+    }
+}

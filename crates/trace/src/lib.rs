@@ -18,6 +18,19 @@
 //! * [`transport`] — a channel-backed [`TraceSink`] that publishes record
 //!   batches into bounded queues so analysis runs off the critical path.
 //!
+//! On top of that machinery sits the **canonical event model** every
+//! consumer shares:
+//!
+//! * [`event`] — the [`event::Event`] enum (API events + capture
+//!   snapshots, launch boundaries, record batches), the
+//!   [`event::EventSink`] interface all analyses implement, and the
+//!   unified [`event::EventSource`] that attaches once to a runtime and
+//!   feeds them all,
+//! * [`container`] — the versioned, length-framed `.vex` trace container:
+//!   record an event stream to disk, replay it later through any sink,
+//! * [`interval`] — the §6.1 interval representation and merge
+//!   algorithms the coarse pass and the container share.
+//!
 //! The collector serializes concurrent streams by construction: the
 //! simulator runs one operation at a time, and the collector asserts that
 //! launches do not interleave.
@@ -25,6 +38,9 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod container;
+pub mod event;
+pub mod interval;
 pub mod transport;
 
 use parking_lot::Mutex;

@@ -1,0 +1,191 @@
+//! Live ≡ replay equivalence suite for the persistent trace format.
+//!
+//! `vex record` persists the canonical event stream; `vex replay` feeds
+//! it back through the same analysis engines. Because the engines consume
+//! the identical [`vex_trace::event::Event`] values a live session
+//! produces, every rendered report form — text, JSON, flow-graph DOT —
+//! must match the live profiler byte for byte, under the synchronous
+//! engine and under the sharded pipeline at every shard count. The same
+//! trace also replays through the GVProf baseline, matching a live
+//! GVProf session's results and traffic counters.
+
+use vex_bench::{profile_app, record_app};
+use vex_core::prelude::*;
+use vex_core::profiler::ProfilerBuilder;
+use vex_gpu::runtime::Runtime;
+use vex_gpu::timing::DeviceSpec;
+use vex_gvprof::GvProfSession;
+use vex_trace::container::read_trace;
+use vex_workloads::{all_apps, GpuApp, Variant};
+
+/// Every byte-comparable rendering of a profile.
+fn rendered(profile: &Profile) -> (String, String, String) {
+    (
+        profile.render_text(),
+        profile.to_json().expect("profile serializes"),
+        profile.flow_graph.to_dot(profile.redundancy_threshold),
+    )
+}
+
+/// Records `app` once and checks that replaying the trace reproduces the
+/// live profiler byte-for-byte under the synchronous engine and 1/2/8
+/// pipeline shards.
+fn assert_replay_equivalent(app: &dyn GpuApp, make_builder: &dyn Fn() -> ProfilerBuilder) {
+    let spec = DeviceSpec::rtx2080ti();
+    let live = profile_app(&spec, app, Variant::Baseline, make_builder()).0;
+    let (text, json, dot) = rendered(&live);
+
+    let bytes = record_app(&spec, app, Variant::Baseline, make_builder());
+    let trace = read_trace(&bytes).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+
+    for shards in [0usize, 1, 2, 8] {
+        let replayed = make_builder()
+            .analysis_shards(shards)
+            .replay(&trace)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", app.name()));
+        let (rtext, rjson, rdot) = rendered(&replayed);
+        let engine = if shards == 0 { "sync".into() } else { format!("{shards}-shard") };
+        assert_eq!(text, rtext, "{}: text report diverged ({engine} replay)", app.name());
+        assert_eq!(json, rjson, "{}: JSON report diverged ({engine} replay)", app.name());
+        assert_eq!(dot, rdot, "{}: flow-graph DOT diverged ({engine} replay)", app.name());
+    }
+}
+
+/// Coarse + fine on every bundled workload, through every engine.
+#[test]
+fn every_workload_replays_byte_identically() {
+    for app in all_apps() {
+        assert_replay_equivalent(app.as_ref(), &|| {
+            ValueExpert::builder().coarse(true).fine(true).block_sampling(4)
+        });
+    }
+}
+
+/// Record-time sampling and filtering are baked into the trace; a replay
+/// of a sampled recording must match a live session with the same
+/// sampling options.
+#[test]
+fn sampled_recording_replays_byte_identically() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_replay_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(true).fine(true).kernel_sampling(2).block_sampling(2)
+    });
+}
+
+/// The order-sensitive aux analyses replay identically too.
+#[test]
+fn aux_analyses_replay_byte_identically() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_replay_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(true).fine(true).reuse_distance(32).race_detection(true)
+    });
+}
+
+/// Coarse-only recordings exercise the capture-snapshot frames alone.
+#[test]
+fn coarse_only_recording_replays_byte_identically() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_replay_equivalent(app.as_ref(), &|| ValueExpert::builder().coarse(true).fine(false));
+}
+
+/// One full-fidelity trace serves every analysis: replaying a subset of
+/// the recorded passes matches a live session running just that subset.
+#[test]
+fn subset_replays_match_live_subset_sessions() {
+    let spec = DeviceSpec::rtx2080ti();
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    let bytes = record_app(
+        &spec,
+        app.as_ref(),
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(true),
+    );
+    let trace = read_trace(&bytes).expect("trace decodes");
+
+    for (make_builder, label) in [
+        (
+            (|| ValueExpert::builder().coarse(true).fine(false)) as fn() -> ProfilerBuilder,
+            "coarse-only",
+        ),
+        (|| ValueExpert::builder().coarse(false).fine(true), "fine-only"),
+    ] {
+        let live = profile_app(&spec, app.as_ref(), Variant::Baseline, make_builder()).0;
+        let replayed = make_builder().replay(&trace).expect("subset replay");
+        assert_eq!(rendered(&live), rendered(&replayed), "{label} subset diverged");
+    }
+}
+
+/// Replaying passes the trace never carried fails with an actionable
+/// error instead of producing an empty report.
+#[test]
+fn replaying_unrecorded_passes_is_an_error() {
+    let spec = DeviceSpec::rtx2080ti();
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    let bytes = record_app(
+        &spec,
+        app.as_ref(),
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    );
+    let trace = read_trace(&bytes).expect("trace decodes");
+    let err = ValueExpert::builder().coarse(true).fine(true).replay(&trace).unwrap_err();
+    assert_eq!(err, ReplayError::FineNotRecorded);
+    assert!(err.to_string().contains("--fine"), "{err}");
+}
+
+/// The same `--fine` trace replays through the GVProf baseline, matching
+/// a live GVProf session's per-kernel results and traffic counters —
+/// both unsampled and under GVProf's hierarchical sampling.
+#[test]
+fn gvprof_replay_matches_live_gvprof() {
+    let spec = DeviceSpec::rtx2080ti();
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    let bytes = record_app(
+        &spec,
+        app.as_ref(),
+        Variant::Baseline,
+        ValueExpert::builder().coarse(false).fine(true),
+    );
+    let trace = read_trace(&bytes).expect("trace decodes");
+
+    {
+        let mut rt = Runtime::new(spec.clone());
+        let gv = GvProfSession::attach(&mut rt);
+        app.run(&mut rt, Variant::Baseline).expect("workload runs");
+        let (results, stats) = vex_gvprof::replay(&trace, 1, 1).expect("gvprof replay");
+        assert_eq!(results, gv.results(), "unsampled GVProf replay diverged");
+        assert_eq!(stats, gv.collector_stats(), "unsampled GVProf traffic diverged");
+    }
+
+    {
+        let mut rt = Runtime::new(spec.clone());
+        let gv = GvProfSession::attach_sampled(&mut rt, 4, 2);
+        app.run(&mut rt, Variant::Baseline).expect("workload runs");
+        let (results, stats) = vex_gvprof::replay(&trace, 4, 2).expect("sampled gvprof replay");
+        assert_eq!(results, gv.results(), "sampled GVProf replay diverged");
+        assert_eq!(stats, gv.collector_stats(), "sampled GVProf traffic diverged");
+    }
+}
+
+/// A coarse-only trace cannot feed the GVProf baseline.
+#[test]
+fn gvprof_replay_requires_fine_records() {
+    let spec = DeviceSpec::rtx2080ti();
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    let bytes = record_app(
+        &spec,
+        app.as_ref(),
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    );
+    let trace = read_trace(&bytes).expect("trace decodes");
+    let err = vex_gvprof::replay(&trace, 1, 1).unwrap_err();
+    assert!(err.to_string().contains("--fine"), "{err}");
+}
