@@ -1,0 +1,162 @@
+//! `vex serve` request throughput over loopback: cold (every request
+//! materializes a report through a full replay) versus warm (served from
+//! the LRU report cache).
+//!
+//! Two servers back the measurement, both loaded with the same recorded
+//! corpus: one with caching disabled (`--cache-entries 0`), one with the
+//! default cache that a warm-up request fills. Besides the Criterion
+//! groups, a `results/serve_throughput.json` artefact records the median
+//! requests/s of each mode and the warm/cold speedup, and asserts the
+//! cache is actually worth its memory (warm ≥ 10× cold).
+//!
+//! Run with `cargo bench --bench serve_throughput`.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Instant;
+use vex_bench::{http_get, median, record_app, write_json};
+use vex_cli::{parse_args, start_server, Command};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_serve::Server;
+use vex_workloads::{all_apps, Variant};
+
+/// The workload served; mid-sized so a cold materialization is real work.
+const APP: &str = "backprop";
+const TARGET: &str = "/traces/backprop/report";
+
+fn corpus_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vex-serve-bench-{}", std::process::id()));
+    if !dir.join("backprop.vex").exists() {
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        let apps = all_apps();
+        let app = apps.iter().find(|a| a.name() == APP).expect("bundled workload");
+        let bytes = record_app(
+            &DeviceSpec::rtx2080ti(),
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false),
+        );
+        std::fs::write(dir.join("backprop.vex"), bytes).expect("write trace");
+    }
+    dir
+}
+
+fn serve(cache_entries: usize) -> Server {
+    let dir = corpus_dir();
+    let entries = cache_entries.to_string();
+    let cmd = parse_args([
+        "serve",
+        dir.to_str().expect("utf8 dir"),
+        "--addr",
+        "127.0.0.1:0",
+        "--cache-entries",
+        &entries,
+    ])
+    .expect("serve command parses");
+    let Command::Serve(args) = cmd else { panic!("parsed {cmd:?}") };
+    start_server(&args).expect("server starts")
+}
+
+fn fetch_ok(addr: SocketAddr, target: &str) -> Vec<u8> {
+    let (status, body) = http_get(addr, target);
+    assert_eq!(status, 200, "{target}");
+    body
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let cold = serve(0);
+    let warm = serve(64);
+    fetch_ok(warm.addr(), TARGET); // fill the cache
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group
+        .bench_function("cold_report", |b| b.iter(|| black_box(fetch_ok(cold.addr(), TARGET))));
+    group
+        .bench_function("warm_report", |b| b.iter(|| black_box(fetch_ok(warm.addr(), TARGET))));
+    group.finish();
+    cold.shutdown();
+    warm.shutdown();
+}
+
+#[derive(serde::Serialize)]
+struct ServeRow {
+    app: String,
+    endpoint: String,
+    cold_requests_per_s: f64,
+    warm_requests_per_s: f64,
+    warm_over_cold: f64,
+    cache_hit_rate: f64,
+}
+
+fn measure_rps(requests: usize, mut one: impl FnMut()) -> f64 {
+    const RUNS: usize = 5;
+    let mut rates = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            one();
+        }
+        rates.push(requests as f64 / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE));
+    }
+    median(rates)
+}
+
+fn artifact() {
+    let cold = serve(0);
+    let warm = serve(64);
+    let reference = fetch_ok(warm.addr(), TARGET); // fill the cache
+
+    let cold_rps = measure_rps(5, || {
+        assert_eq!(fetch_ok(cold.addr(), TARGET), reference, "cold body diverged");
+    });
+    let warm_rps = measure_rps(50, || {
+        assert_eq!(fetch_ok(warm.addr(), TARGET), reference, "warm body diverged");
+    });
+
+    let metrics = String::from_utf8(fetch_ok(warm.addr(), "/metrics")).expect("utf8 metrics");
+    let cache_hit_rate: f64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("vex_cache_hit_rate "))
+        .expect("hit-rate gauge present")
+        .parse()
+        .expect("numeric hit rate");
+
+    let row = ServeRow {
+        app: APP.to_owned(),
+        endpoint: TARGET.to_owned(),
+        cold_requests_per_s: cold_rps,
+        warm_requests_per_s: warm_rps,
+        warm_over_cold: warm_rps / cold_rps.max(f64::MIN_POSITIVE),
+        cache_hit_rate,
+    };
+    println!(
+        "{:<10} cold {:>10.1} req/s  warm {:>10.1} req/s  ({:.1}x, hit rate {:.3})",
+        row.app,
+        row.cold_requests_per_s,
+        row.warm_requests_per_s,
+        row.warm_over_cold,
+        row.cache_hit_rate
+    );
+    assert!(
+        row.warm_over_cold >= 10.0,
+        "cached requests must be >=10x faster than cold materialization, got {:.1}x",
+        row.warm_over_cold
+    );
+    assert!(row.cache_hit_rate > 0.0, "warm server must report cache hits");
+    write_json("serve_throughput", &[row]);
+
+    cold.shutdown();
+    warm.shutdown();
+    std::fs::remove_dir_all(corpus_dir()).ok();
+}
+
+criterion::criterion_group!(benches, bench_serve);
+
+fn main() {
+    benches();
+    artifact();
+}

@@ -192,6 +192,31 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     eprintln!("[wrote {}]", path.display());
 }
 
+/// Issues one `GET` against a loopback `vex-serve` instance and returns
+/// `(status code, body bytes)`. One request per connection, matching the
+/// server's `Connection: close` framing.
+///
+/// # Panics
+///
+/// Panics if the connection fails or the response is not valid HTTP —
+/// the suites using this helper treat that as a dropped response.
+pub fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to vex-serve");
+    conn.write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap_or_else(|| {
+        panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw))
+    }) + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).expect("ASCII response head");
+    assert!(head.starts_with("HTTP/1.1 "), "bad status line: {head}");
+    let status: u16 =
+        head.split(' ').nth(1).expect("status code").parse().expect("numeric status code");
+    (status, raw[head_end..].to_vec())
+}
+
 /// The pattern matrix of Table 1: for each application, the patterns the
 /// paper's run exhibited.
 pub fn table1_expected(app: &str) -> BTreeSet<ValuePattern> {

@@ -14,6 +14,8 @@
 //! vex record darknet --fine -o darknet.vex
 //! vex replay darknet.vex --fine --json out.json
 //! vex replay darknet.vex --gvprof
+//! vex info darknet.vex
+//! vex serve traces/ --addr 127.0.0.1:7070 --workers 8 --cache-entries 64
 //! ```
 //!
 //! The argument parser and command logic live in this library so they are
@@ -71,8 +73,34 @@ pub enum Command {
     Record(RecordArgs),
     /// `vex replay <trace.vex> [options]`.
     Replay(ReplayArgs),
+    /// `vex info <trace.vex>` — print the container header and counts.
+    Info {
+        /// Trace path.
+        path: String,
+    },
+    /// `vex serve <dir> [options]` — serve recorded traces over HTTP.
+    Serve(ServeArgs),
     /// `vex help`.
     Help,
+}
+
+/// Options of `vex serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Directory of `.vex` traces to load.
+    pub dir: String,
+    /// Listen address.
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Report-cache capacity, entries.
+    pub cache_entries: usize,
+}
+
+impl ServeArgs {
+    fn new(dir: String) -> Self {
+        ServeArgs { dir, addr: "127.0.0.1:7070".into(), workers: 4, cache_entries: 64 }
+    }
 }
 
 /// Options of `vex record`.
@@ -238,6 +266,13 @@ usage:
                byte-identical to a live session with the same options
   vex replay <trace.vex> --gvprof [--kernel-sampling N] [--block-sampling N]
                replay a --fine trace through the GVProf baseline
+  vex info <trace.vex>
+               print the container header (format version, device preset)
+               and per-event-type counts without materializing the trace
+  vex serve <dir> [--addr HOST:PORT] [--workers N] [--cache-entries K]
+               load every .vex trace in <dir> and serve profile queries over
+               HTTP: /traces, /traces/{id}/report, /traces/{id}/flowgraph,
+               /traces/{id}/objects, /traces/{id}/kernels, /healthz, /metrics
   vex help";
 
 fn parse_device(v: &str) -> Result<Device, UsageError> {
@@ -432,6 +467,50 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Replay(r))
         }
+        "info" => {
+            let path =
+                it.next().ok_or_else(|| UsageError("info requires a trace path".into()))?;
+            if path == "--help" || path == "-h" {
+                return Ok(Command::Help);
+            }
+            if let Some(flag) = it.next() {
+                return match flag {
+                    "--help" | "-h" => Ok(Command::Help),
+                    other => Err(UsageError(format!("unknown flag '{other}'"))),
+                };
+            }
+            Ok(Command::Info { path: path.to_owned() })
+        }
+        "serve" => {
+            let dir = it
+                .next()
+                .ok_or_else(|| UsageError("serve requires a trace directory".into()))?;
+            if dir == "--help" || dir == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut s = ServeArgs::new(dir.to_owned());
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "--addr" => s.addr = take_value(flag, &mut it)?.to_owned(),
+                    "--workers" => {
+                        s.workers = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid worker count".into()))?;
+                        if s.workers == 0 {
+                            return Err(UsageError("--workers must be at least 1".into()));
+                        }
+                    }
+                    "--cache-entries" => {
+                        s.cache_entries = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid cache capacity".into()))?
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Serve(s))
+        }
         other => Err(UsageError(format!("unknown command '{other}'"))),
     }
 }
@@ -498,7 +577,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             app.run(&mut rt, Variant::Baseline)
                 .map_err(|e| UsageError(format!("workload failed: {e}")))?;
             let profile = vex.report(&rt);
-            writeln!(out, "{}", profile.render_text()).map_err(io_err)?;
+            write!(out, "{}", profile.render_text_document()).map_err(io_err)?;
             if let Some(path) = &p.json {
                 let json = profile
                     .to_json()
@@ -507,8 +586,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 writeln!(out, "wrote {path}").map_err(io_err)?;
             }
             if let Some(path) = &p.dot {
-                std::fs::write(path, profile.flow_graph.to_dot(profile.redundancy_threshold))
-                    .map_err(io_err)?;
+                std::fs::write(path, profile.render_dot_document(None)).map_err(io_err)?;
                 writeln!(out, "wrote {path}").map_err(io_err)?;
             }
             if let Some(path) = &p.md {
@@ -596,7 +674,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 b = b.reuse_distance(line);
             }
             let profile = b.replay(&trace).map_err(|e| UsageError(e.to_string()))?;
-            writeln!(out, "{}", profile.render_text()).map_err(io_err)?;
+            write!(out, "{}", profile.render_text_document()).map_err(io_err)?;
             if let Some(path) = &r.json {
                 let json = profile
                     .to_json()
@@ -605,8 +683,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 writeln!(out, "wrote {path}").map_err(io_err)?;
             }
             if let Some(path) = &r.dot {
-                std::fs::write(path, profile.flow_graph.to_dot(profile.redundancy_threshold))
-                    .map_err(io_err)?;
+                std::fs::write(path, profile.render_dot_document(None)).map_err(io_err)?;
                 writeln!(out, "wrote {path}").map_err(io_err)?;
             }
             if let Some(path) = &r.md {
@@ -615,7 +692,70 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             }
             Ok(())
         }
+        Command::Info { path } => {
+            let s = vex_trace::summary::summarize_file(std::path::Path::new(path))
+                .map_err(|e| UsageError(format!("cannot read trace '{path}': {e}")))?;
+            writeln!(out, "{path}").map_err(io_err)?;
+            writeln!(out, "  format version:        {}", s.version).map_err(io_err)?;
+            writeln!(out, "  device preset:         {}", s.device).map_err(io_err)?;
+            writeln!(
+                out,
+                "  passes:                {}",
+                match (s.flags.coarse, s.flags.fine) {
+                    (true, true) => "coarse + fine",
+                    (true, false) => "coarse",
+                    (false, true) => "fine",
+                    (false, false) => "none",
+                }
+            )
+            .map_err(io_err)?;
+            writeln!(out, "  api events:            {}", s.api_events).map_err(io_err)?;
+            writeln!(out, "  kernel launches:       {}", s.kernel_launches).map_err(io_err)?;
+            writeln!(out, "  instrumented launches: {}", s.instrumented_launches)
+                .map_err(io_err)?;
+            writeln!(out, "  skipped launches:      {}", s.skipped_launches).map_err(io_err)?;
+            writeln!(out, "  record batches:        {}", s.batches).map_err(io_err)?;
+            writeln!(out, "  fine records:          {}", s.records).map_err(io_err)?;
+            writeln!(out, "  call-path contexts:    {}", s.contexts).map_err(io_err)?;
+            writeln!(out, "  app time:              {:.1} us", s.app_us).map_err(io_err)
+        }
+        Command::Serve(s) => {
+            let server = start_server(s)?;
+            writeln!(
+                out,
+                "serving {} trace(s) from {} on http://{}",
+                server.state().store().len(),
+                s.dir,
+                server.addr()
+            )
+            .map_err(io_err)?;
+            out.flush().map_err(io_err)?;
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
     }
+}
+
+/// Loads the trace directory of a `vex serve` invocation and starts the
+/// server (without blocking). `run` blocks on it forever; tests and
+/// benches drive the returned handle directly.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] if the directory cannot be loaded or the
+/// address cannot be bound.
+pub fn start_server(args: &ServeArgs) -> Result<vex_serve::Server, UsageError> {
+    let store = vex_serve::ProfileStore::load_dir(std::path::Path::new(&args.dir))
+        .map_err(|e| UsageError(e.to_string()))?;
+    let config = vex_serve::ServerConfig {
+        workers: args.workers,
+        cache_entries: args.cache_entries,
+        ..vex_serve::ServerConfig::default()
+    };
+    vex_serve::Server::bind(store, &args.addr, config)
+        .map_err(|e| UsageError(format!("cannot bind {}: {e}", args.addr)))
 }
 
 /// Prints per-kernel GVProf results in the format shared by `vex gvprof`
@@ -789,6 +929,83 @@ mod tests {
         assert!(parse_args(["gvprof", "x", "--frob"]).is_err());
         assert!(parse_args(["record", "x", "--frob"]).is_err());
         assert!(parse_args(["replay", "x.vex", "--frob"]).is_err());
+        assert!(parse_args(["info", "x.vex", "--frob"]).is_err());
+        assert!(parse_args(["serve", "traces", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            parse_args(["info", "t.vex"]).unwrap(),
+            Command::Info { path: "t.vex".into() }
+        );
+        assert_eq!(parse_args(["info", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["info", "t.vex", "-h"]).unwrap(), Command::Help);
+        assert!(parse_args(["info"]).is_err());
+        assert!(parse_args(["info", "a.vex", "b.vex"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        // Defaults.
+        match parse_args(["serve", "traces"]).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.dir, "traces");
+                assert_eq!(s.addr, "127.0.0.1:7070");
+                assert_eq!(s.workers, 4);
+                assert_eq!(s.cache_entries, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Every flag, in one invocation.
+        match parse_args([
+            "serve",
+            "run/traces",
+            "--addr",
+            "0.0.0.0:8080",
+            "--workers",
+            "8",
+            "--cache-entries",
+            "16",
+        ])
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.dir, "run/traces");
+                assert_eq!(s.addr, "0.0.0.0:8080");
+                assert_eq!(s.workers, 8);
+                assert_eq!(s.cache_entries, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Each flag alone.
+        match parse_args(["serve", "d", "--addr", "127.0.0.1:0"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s.addr, "127.0.0.1:0"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["serve", "d", "--workers", "1"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s.workers, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["serve", "d", "--cache-entries", "0"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s.cache_entries, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Help at every position.
+        assert_eq!(parse_args(["serve", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["serve", "d", "-h"]).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(["serve", "d", "--workers", "2", "--help"]).unwrap(),
+            Command::Help
+        );
+        // Invalid values.
+        assert!(parse_args(["serve"]).is_err());
+        assert!(parse_args(["serve", "d", "--addr"]).is_err());
+        assert!(parse_args(["serve", "d", "--workers", "zero"]).is_err());
+        assert!(parse_args(["serve", "d", "--workers", "0"]).is_err());
+        assert!(parse_args(["serve", "d", "--cache-entries", "-1"]).is_err());
+        assert!(USAGE.contains("vex serve"), "{USAGE}");
+        assert!(USAGE.contains("vex info"), "{USAGE}");
     }
 
     #[test]
@@ -871,6 +1088,63 @@ mod tests {
             String::from_utf8(replayed).unwrap(),
             "replayed report must be byte-identical to the live one"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_prints_header_and_counts() {
+        let dir = std::env::temp_dir().join(format!("vex-cli-info-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("q.vex").to_str().unwrap().to_owned();
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.fine = true;
+        rec.output = trace.clone();
+        run(&Command::Record(rec), &mut Vec::new()).unwrap();
+
+        let mut out = Vec::new();
+        run(&Command::Info { path: trace.clone() }, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("format version:        1"), "{s}");
+        assert!(s.contains("device preset:"), "{s}");
+        assert!(s.contains("passes:                coarse + fine"), "{s}");
+        assert!(s.contains("instrumented launches:"), "{s}");
+        assert!(s.contains("fine records:"), "{s}");
+
+        // The counts agree with the streaming summary API.
+        let summary = vex_trace::summary::summarize_file(std::path::Path::new(&trace)).unwrap();
+        assert!(s.contains(&format!("fine records:          {}", summary.records)), "{s}");
+        assert!(summary.records > 0, "fine recording produced records");
+
+        let err = run(&Command::Info { path: "missing.vex".into() }, &mut Vec::new())
+            .expect_err("missing file errors");
+        assert!(err.0.contains("missing.vex"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_starts_from_a_recorded_directory() {
+        use std::io::{Read as _, Write as _};
+        let dir = std::env::temp_dir().join(format!("vex-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.output = dir.join("qmcpack.vex").to_str().unwrap().to_owned();
+        run(&Command::Record(rec), &mut Vec::new()).unwrap();
+
+        let mut args = ServeArgs::new(dir.to_str().unwrap().to_owned());
+        args.addr = "127.0.0.1:0".into();
+        args.workers = 2;
+        let server = start_server(&args).unwrap();
+        assert_eq!(server.state().store().ids(), vec!["qmcpack"]);
+
+        let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"GET /traces HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+        assert!(body.contains("qmcpack"), "{body}");
+
+        server.shutdown();
+        assert!(start_server(&ServeArgs::new("no-such-dir".into())).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -169,6 +169,26 @@ impl Profile {
         serde_json::to_string_pretty(self)
     }
 
+    /// The canonical text report document: [`Profile::render_text`]
+    /// terminated by a newline — exactly the bytes `vex profile` and
+    /// `vex replay` write to stdout, and the body `vex serve` returns
+    /// from `GET /traces/{id}/report`. Every consumer goes through this
+    /// one entry point so the surfaces cannot diverge.
+    pub fn render_text_document(&self) -> String {
+        let mut s = self.render_text();
+        s.push('\n');
+        s
+    }
+
+    /// The canonical flow-graph DOT document: the value flow graph
+    /// rendered at `threshold` (defaulting to the profile's own
+    /// redundancy threshold) — exactly the bytes `vex replay --dot`
+    /// writes and `vex serve` returns from
+    /// `GET /traces/{id}/flowgraph?format=dot`.
+    pub fn render_dot_document(&self, threshold: Option<f64>) -> String {
+        self.flow_graph.to_dot(threshold.unwrap_or(self.redundancy_threshold))
+    }
+
     /// Renders a human-readable text report.
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
@@ -448,6 +468,14 @@ mod tests {
         assert!(p.has_pattern(ValuePattern::RedundantValues));
         assert!(!p.has_pattern(ValuePattern::SingleZero));
         assert_eq!(p.detected_patterns().len(), 1);
+    }
+
+    #[test]
+    fn document_entry_points_match_their_parts() {
+        let p = sample_profile();
+        assert_eq!(p.render_text_document(), format!("{}\n", p.render_text()));
+        assert_eq!(p.render_dot_document(None), p.flow_graph.to_dot(p.redundancy_threshold));
+        assert_eq!(p.render_dot_document(Some(0.5)), p.flow_graph.to_dot(0.5));
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! A minimal, hardened HTTP/1.1 surface on top of `std`.
+//!
+//! `vex-serve` refuses external dependencies (offline shim constraint),
+//! so the protocol layer is hand-rolled — and therefore built
+//! defensively: every parse step is bounded, every length is checked,
+//! and malformed input of any shape yields a clean [`ParseError`], never
+//! a panic. `tests/serve_robustness.rs` property-tests this parser
+//! against arbitrary byte soup.
+//!
+//! Scope is deliberately small: the server speaks one request per
+//! connection (`Connection: close`), methods and targets only — request
+//! bodies are rejected, which is all a read-only query API needs.
+
+use std::collections::BTreeMap;
+
+/// Upper bound on the request head (request line + headers), bytes.
+/// Anything longer is answered `431` and the connection is closed.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path component of the target, e.g. `/traces/darknet/report`.
+    pub path: String,
+    /// Query parameters in target order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The path split into non-empty `/`-separated segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request head failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer does not yet hold a complete head (more bytes needed).
+    Incomplete,
+    /// The head exceeds [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The bytes are not a well-formed HTTP/1.x request head.
+    Malformed(&'static str),
+}
+
+impl ParseError {
+    /// The HTTP status this error is answered with.
+    pub fn status(self) -> Status {
+        match self {
+            // An incomplete head that never completes is a timeout /
+            // client hangup; answered 408 when surfaced.
+            ParseError::Incomplete => Status::RequestTimeout,
+            ParseError::TooLarge => Status::HeaderTooLarge,
+            ParseError::Malformed(_) => Status::BadRequest,
+        }
+    }
+}
+
+/// Response status codes the server emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 405.
+    MethodNotAllowed,
+    /// 408.
+    RequestTimeout,
+    /// 431.
+    HeaderTooLarge,
+    /// 500.
+    Internal,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::RequestTimeout => 408,
+            Status::HeaderTooLarge => 431,
+            Status::Internal => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::RequestTimeout => "Request Timeout",
+            Status::HeaderTooLarge => "Request Header Fields Too Large",
+            Status::Internal => "Internal Server Error",
+        }
+    }
+}
+
+/// A complete response: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status line to send.
+    pub status: Status,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: Status, body: impl Into<String>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into().into() }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: Status, body: impl Into<String>) -> Self {
+        Response { status, content_type: "application/json", body: body.into().into() }
+    }
+
+    /// A plain-text error response (`<status reason>: detail\n`).
+    pub fn error(status: Status, detail: impl std::fmt::Display) -> Self {
+        Response::text(status, format!("{}: {detail}\n", status.reason()))
+    }
+
+    /// Serializes the response head + body (`Connection: close` framing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Parses a request head from the start of `buf`.
+///
+/// Returns the request and the number of bytes consumed (through the
+/// terminating blank line). [`ParseError::Incomplete`] asks the caller to
+/// read more; any other error is final.
+///
+/// # Errors
+///
+/// See [`ParseError`]. Never panics, whatever the bytes.
+pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
+    // Locate the end of the head ("\r\n\r\n") within the size limit.
+    let window = &buf[..buf.len().min(MAX_REQUEST_BYTES)];
+    let head_end = match find_head_end(window) {
+        Some(end) => end,
+        None if buf.len() >= MAX_REQUEST_BYTES => return Err(ParseError::TooLarge),
+        None => return Err(ParseError::Incomplete),
+    };
+    let head = &window[..head_end];
+    let head =
+        std::str::from_utf8(head).map_err(|_| ParseError::Malformed("head not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(ParseError::Malformed("missing http version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("bad method"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed("unsupported http version"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed("target is not an absolute path"));
+    }
+
+    // Headers: validated for shape, then ignored except for a body check
+    // — a read-only API has no use for request bodies.
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, _value) =
+            line.split_once(':').ok_or(ParseError::Malformed("header without colon"))?;
+        if name.is_empty()
+            || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(ParseError::Malformed("bad header name"));
+        }
+        let lower = name.to_ascii_lowercase();
+        if lower == "content-length" || lower == "transfer-encoding" {
+            return Err(ParseError::Malformed("request bodies are not accepted"));
+        }
+    }
+
+    let (path, query) = split_target(target)?;
+    Ok((Request { method: method.to_owned(), path, query }, head_end + 4))
+}
+
+/// Byte offset of the head terminator, if present (offset excludes the
+/// `\r\n\r\n` itself).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits `/path?k=v&k2=v2` into a decoded path and query pairs.
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    if path.contains("..") {
+        return Err(ParseError::Malformed("path traversal"));
+    }
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; rejects bad escapes and
+/// control characters.
+fn percent_decode(s: &str) -> Result<String, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi =
+                    bytes.get(i + 1).copied().ok_or(ParseError::Malformed("bad escape"))?;
+                let lo =
+                    bytes.get(i + 2).copied().ok_or(ParseError::Malformed("bad escape"))?;
+                let v = (hex_val(hi).ok_or(ParseError::Malformed("bad escape"))? << 4)
+                    | hex_val(lo).ok_or(ParseError::Malformed("bad escape"))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b if b.is_ascii_control() => {
+                return Err(ParseError::Malformed("control character"))
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    let s = String::from_utf8(out).map_err(|_| ParseError::Malformed("target not utf-8"))?;
+    if s.bytes().any(|b| b.is_ascii_control()) {
+        return Err(ParseError::Malformed("control character"));
+    }
+    Ok(s)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Query parameters as a map, rejecting duplicates and keys outside
+/// `allowed`. Endpoint handlers share this so unknown-parameter
+/// rejection is uniform, mirroring the CLI's unknown-flag errors.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending key.
+pub fn query_map<'a>(
+    req: &'a Request,
+    allowed: &[&str],
+) -> Result<BTreeMap<&'a str, &'a str>, String> {
+    let mut map = BTreeMap::new();
+    for (k, v) in &req.query {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "unknown query parameter '{k}' (allowed: {})",
+                if allowed.is_empty() { "none".to_owned() } else { allowed.join(", ") }
+            ));
+        }
+        if map.insert(k.as_str(), v.as_str()).is_some() {
+            return Err(format!("duplicate query parameter '{k}'"));
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parse(s: &str) -> Result<(Request, usize), ParseError> {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let (req, used) = parse("GET /traces HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/traces");
+        assert!(req.query.is_empty());
+        assert_eq!(used, "GET /traces HTTP/1.1\r\nHost: x\r\n\r\n".len());
+        assert_eq!(req.segments(), vec!["traces"]);
+    }
+
+    #[test]
+    fn parses_query_pairs_in_order() {
+        let (req, _) = parse("GET /traces/d/report?shards=8&fine=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/traces/d/report");
+        assert_eq!(req.query, vec![("shards".into(), "8".into()), ("fine".into(), "1".into())]);
+    }
+
+    #[test]
+    fn decodes_percent_and_plus() {
+        let (req, _) = parse("GET /traces?q=a%20b+c HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query[0].1, "a b c");
+    }
+
+    #[test]
+    fn incomplete_head_asks_for_more() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nHost").unwrap_err(), ParseError::Incomplete);
+        assert_eq!(parse("").unwrap_err(), ParseError::Incomplete);
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        while s.len() <= MAX_REQUEST_BYTES {
+            s.push_str("X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert_eq!(parse(&s).unwrap_err(), ParseError::TooLarge);
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        for bad in [
+            "FROB\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "GET /../etc HTTP/1.1\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nbad header\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(ParseError::Malformed(_))),
+                "{bad:?} parsed: {:?}",
+                parse(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn query_map_rejects_unknown_and_duplicate_keys() {
+        let (req, _) = parse("GET /x?a=1&b=2 HTTP/1.1\r\n\r\n").unwrap();
+        assert!(query_map(&req, &["a", "b"]).is_ok());
+        assert!(query_map(&req, &["a"]).unwrap_err().contains("unknown query parameter 'b'"));
+        let (req, _) = parse("GET /x?a=1&a=2 HTTP/1.1\r\n\r\n").unwrap();
+        assert!(query_map(&req, &["a"]).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn response_bytes_have_exact_framing() {
+        let r = Response::text(Status::Ok, "hello\n");
+        let bytes = r.to_bytes();
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 6\r\n"), "{s}");
+        assert!(s.contains("Connection: close\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nhello\n"), "{s}");
+    }
+
+    proptest! {
+        /// The parser never panics on arbitrary bytes.
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = parse_request(&bytes);
+        }
+
+        /// Valid request lines with arbitrary printable targets either
+        /// parse or fail cleanly — and parsing is deterministic.
+        #[test]
+        fn prop_parse_is_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let mut framed = b"GET /".to_vec();
+            framed.extend_from_slice(&bytes);
+            framed.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+            let a = parse_request(&framed);
+            let b = parse_request(&framed);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

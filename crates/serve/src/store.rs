@@ -1,0 +1,459 @@
+//! The in-memory profile store: every `.vex` trace of a directory,
+//! decoded once at startup and indexed by id.
+//!
+//! A trace's id is its file stem (`darknet.vex` → `darknet`). Loading is
+//! strict — a corrupt or duplicate trace fails the whole load with a
+//! message naming the file, so a serving process never starts with a
+//! partial view of its data directory.
+//!
+//! Static per-trace views (the `/traces` listing row, the object and
+//! kernel breakdowns) are precomputed here; only the analysis-backed
+//! endpoints (`/report`, `/flowgraph`) are materialized on demand, via
+//! [`materialize`], behind the server's cache.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+use vex_core::profiler::{ReplayError, ValueExpert};
+use vex_core::report::Profile;
+use vex_gpu::hooks::ApiKind;
+use vex_trace::container::{read_trace_file, RecordedTrace};
+use vex_trace::event::Event;
+use vex_trace::summary::TraceSummary;
+
+/// One row of the `GET /traces` listing.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceListRow {
+    /// Trace id (file stem).
+    pub id: String,
+    /// Device preset the trace was recorded against.
+    pub device: String,
+    /// Whether coarse capture snapshots were recorded.
+    pub coarse: bool,
+    /// Whether fine-grained access records were recorded.
+    pub fine: bool,
+    /// API events in the stream.
+    pub api_events: u64,
+    /// Instrumented kernel launches.
+    pub instrumented_launches: u64,
+    /// Fine-grained access records.
+    pub records: u64,
+    /// Application time of the recorded run, µs.
+    pub app_us: f64,
+}
+
+/// One row of the `GET /traces/{id}/objects` breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObjectRow {
+    /// Allocation id.
+    pub id: u64,
+    /// Allocation label (the paper's object name).
+    pub label: String,
+    /// Device address.
+    pub addr: u64,
+    /// Size, bytes.
+    pub size_bytes: u64,
+    /// Rendered allocating call path.
+    pub context: String,
+    /// Whether the object was freed before the end of the recording.
+    pub freed: bool,
+}
+
+/// One row of the `GET /traces/{id}/kernels` breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Launches that were instrumented.
+    pub instrumented_launches: u64,
+    /// Launches skipped by sampling/filtering.
+    pub skipped_launches: u64,
+    /// Fine-grained records collected across instrumented launches.
+    pub records: u64,
+}
+
+/// A loaded trace with its precomputed static views.
+#[derive(Debug)]
+pub struct StoredTrace {
+    /// Trace id (file stem).
+    pub id: String,
+    /// The decoded event stream and trailer.
+    pub trace: RecordedTrace,
+    /// Header fields and per-event-type counts.
+    pub summary: TraceSummary,
+    /// Per-object breakdown rows.
+    pub objects: Vec<ObjectRow>,
+    /// Per-kernel breakdown rows.
+    pub kernels: Vec<KernelRow>,
+}
+
+/// Loading the store failed.
+#[derive(Debug)]
+pub struct StoreError(pub String);
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Every trace of one directory, indexed by id.
+#[derive(Debug)]
+pub struct ProfileStore {
+    traces: BTreeMap<String, StoredTrace>,
+}
+
+impl ProfileStore {
+    /// Loads every `*.vex` file under `dir` (non-recursive).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the directory cannot be read, a trace fails to
+    /// decode, or two files share a stem. An empty directory is a valid
+    /// (empty) store.
+    pub fn load_dir(dir: &Path) -> Result<Self, StoreError> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| StoreError(format!("cannot read {}: {e}", dir.display())))?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "vex") && p.is_file())
+            .collect();
+        paths.sort();
+        let mut traces = BTreeMap::new();
+        for path in paths {
+            let id = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| StoreError(format!("non-utf8 trace name: {}", path.display())))?
+                .to_owned();
+            let trace = read_trace_file(&path)
+                .map_err(|e| StoreError(format!("cannot load {}: {e}", path.display())))?;
+            let stored = StoredTrace::new(id.clone(), trace);
+            if traces.insert(id.clone(), stored).is_some() {
+                return Err(StoreError(format!("duplicate trace id '{id}'")));
+            }
+        }
+        Ok(ProfileStore { traces })
+    }
+
+    /// A store over already-decoded traces (tests, embedding).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on duplicate ids.
+    pub fn from_traces(
+        traces: impl IntoIterator<Item = (String, RecordedTrace)>,
+    ) -> Result<Self, StoreError> {
+        let mut map = BTreeMap::new();
+        for (id, trace) in traces {
+            let stored = StoredTrace::new(id.clone(), trace);
+            if map.insert(id.clone(), stored).is_some() {
+                return Err(StoreError(format!("duplicate trace id '{id}'")));
+            }
+        }
+        Ok(ProfileStore { traces: map })
+    }
+
+    /// Number of traces loaded.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Trace ids, sorted.
+    pub fn ids(&self) -> Vec<&str> {
+        self.traces.keys().map(String::as_str).collect()
+    }
+
+    /// Looks a trace up by id.
+    pub fn get(&self, id: &str) -> Option<&StoredTrace> {
+        self.traces.get(id)
+    }
+
+    /// The `GET /traces` listing rows, sorted by id.
+    pub fn list_rows(&self) -> Vec<TraceListRow> {
+        self.traces
+            .values()
+            .map(|t| TraceListRow {
+                id: t.id.clone(),
+                device: t.summary.device.clone(),
+                coarse: t.summary.flags.coarse,
+                fine: t.summary.flags.fine,
+                api_events: t.summary.api_events,
+                instrumented_launches: t.summary.instrumented_launches,
+                records: t.summary.records,
+                app_us: t.summary.app_us,
+            })
+            .collect()
+    }
+}
+
+impl StoredTrace {
+    fn new(id: String, trace: RecordedTrace) -> Self {
+        let summary = summarize_decoded(&trace);
+        let objects = object_rows(&trace);
+        let kernels = kernel_rows(&trace);
+        StoredTrace { id, trace, summary, objects, kernels }
+    }
+}
+
+/// A [`TraceSummary`] over an already-decoded trace (the streaming
+/// variant in `vex_trace::summary` serves `vex info`).
+fn summarize_decoded(trace: &RecordedTrace) -> TraceSummary {
+    let mut s = TraceSummary {
+        version: vex_trace::container::TRACE_VERSION,
+        flags: trace.flags,
+        device: trace.spec.name.clone(),
+        contexts: trace.contexts.len() as u64,
+        stats: trace.stats,
+        app_us: trace.app_us,
+        ..TraceSummary::default()
+    };
+    for event in &trace.events {
+        match event {
+            Event::Api { event, .. } => {
+                s.api_events += 1;
+                if matches!(event.kind, ApiKind::KernelLaunch { .. }) {
+                    s.kernel_launches += 1;
+                }
+            }
+            Event::LaunchBegin { .. } => s.instrumented_launches += 1,
+            Event::SkippedLaunch { .. } => s.skipped_launches += 1,
+            Event::Batch { records, .. } => {
+                s.batches += 1;
+                s.records += records.len() as u64;
+            }
+            Event::LaunchEnd { .. } => {}
+        }
+    }
+    s
+}
+
+fn object_rows(trace: &RecordedTrace) -> Vec<ObjectRow> {
+    let mut rows: Vec<ObjectRow> = Vec::new();
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    for event in &trace.events {
+        if let Event::Api { event, .. } = event {
+            match &event.kind {
+                ApiKind::Malloc { info } => {
+                    index.insert(info.id.0, rows.len());
+                    rows.push(ObjectRow {
+                        id: info.id.0,
+                        label: info.label.clone(),
+                        addr: info.addr,
+                        size_bytes: info.size,
+                        context: trace.contexts.get(&info.context).cloned().unwrap_or_else(
+                            || format!("<unrecorded context {}>", info.context.0),
+                        ),
+                        freed: false,
+                    });
+                }
+                ApiKind::Free { info } => {
+                    if let Some(&i) = index.get(&info.id.0) {
+                        rows[i].freed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    rows
+}
+
+fn kernel_rows(trace: &RecordedTrace) -> Vec<KernelRow> {
+    let mut by_name: BTreeMap<String, KernelRow> = BTreeMap::new();
+    fn row<'a>(by_name: &'a mut BTreeMap<String, KernelRow>, name: &str) -> &'a mut KernelRow {
+        by_name.entry(name.to_owned()).or_insert_with(|| KernelRow {
+            name: name.to_owned(),
+            instrumented_launches: 0,
+            skipped_launches: 0,
+            records: 0,
+        })
+    }
+    for event in &trace.events {
+        match event {
+            Event::LaunchBegin { info } => {
+                row(&mut by_name, &info.kernel_name).instrumented_launches += 1
+            }
+            Event::SkippedLaunch { info } => {
+                row(&mut by_name, &info.kernel_name).skipped_launches += 1
+            }
+            Event::Batch { info, records } => {
+                row(&mut by_name, &info.kernel_name).records += records.len() as u64
+            }
+            _ => {}
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// Analysis parameters of a report/flowgraph materialization — the
+/// `vex replay` flag surface, minus output targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportParams {
+    /// Run the coarse pass (default true).
+    pub coarse: bool,
+    /// Run the fine pass (default false).
+    pub fine: bool,
+    /// Run race detection.
+    pub races: bool,
+    /// Reuse-distance line size, if enabled.
+    pub reuse: Option<u64>,
+    /// Analysis shards (0 = synchronous engine).
+    pub shards: usize,
+}
+
+impl Default for ReportParams {
+    fn default() -> Self {
+        ReportParams { coarse: true, fine: false, races: false, reuse: None, shards: 0 }
+    }
+}
+
+impl ReportParams {
+    /// Canonical cache-key rendering; equal params render equally.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "coarse={},fine={},races={},reuse={:?},shards={}",
+            self.coarse, self.fine, self.races, self.reuse, self.shards
+        )
+    }
+}
+
+/// Replays `trace` under `params` — exactly the engine configuration
+/// `vex replay` builds from the equivalent flags, so every rendered
+/// surface matches the CLI byte for byte.
+///
+/// # Errors
+///
+/// [`ReplayError`] when the requested passes were not recorded.
+pub fn materialize(
+    trace: &RecordedTrace,
+    params: &ReportParams,
+) -> Result<Profile, ReplayError> {
+    let mut b = ValueExpert::builder()
+        .coarse(params.coarse)
+        .fine(params.fine)
+        .race_detection(params.races)
+        .analysis_shards(params.shards);
+    if let Some(line) = params.reuse {
+        b = b.reuse_distance(line);
+    }
+    b.replay(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_gpu::runtime::Runtime;
+    use vex_gpu::timing::DeviceSpec;
+    use vex_trace::container::read_trace;
+    use vex_workloads::{all_apps, Variant};
+
+    fn recorded_bytes(app_name: &str) -> Vec<u8> {
+        let apps = all_apps();
+        let app = apps
+            .iter()
+            .find(|a| a.name().eq_ignore_ascii_case(app_name))
+            .expect("bundled workload");
+        let mut rt = Runtime::new(DeviceSpec::test_small());
+        let rec = ValueExpert::builder()
+            .coarse(true)
+            .fine(true)
+            .record(&mut rt, Vec::new())
+            .expect("header");
+        app.run(&mut rt, Variant::Baseline).expect("workload runs");
+        rec.finish(&mut rt).expect("trailer")
+    }
+
+    fn recorded(app_name: &str) -> RecordedTrace {
+        read_trace(&recorded_bytes(app_name)).expect("decodes")
+    }
+
+    #[test]
+    fn load_dir_indexes_by_stem_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("vex-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bytes = recorded_bytes("QMCPACK");
+        let trace = read_trace(&bytes).expect("decodes");
+        std::fs::write(dir.join("beta.vex"), &bytes).unwrap();
+        std::fs::write(dir.join("alpha.vex"), &bytes).unwrap();
+        std::fs::write(dir.join("notatrace.txt"), b"ignored").unwrap();
+
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ids(), vec!["alpha", "beta"]);
+        let alpha = store.get("alpha").unwrap();
+        assert_eq!(alpha.summary.instrumented_launches, trace_launches(&trace));
+        assert!(store.get("gamma").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn trace_launches(trace: &RecordedTrace) -> u64 {
+        trace.events.iter().filter(|e| matches!(e, Event::LaunchBegin { .. })).count() as u64
+    }
+
+    #[test]
+    fn corrupt_trace_fails_the_load_with_its_path() {
+        let dir = std::env::temp_dir().join(format!("vex-store-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.vex"), b"not a trace").unwrap();
+        let err = ProfileStore::load_dir(&dir).unwrap_err();
+        assert!(err.0.contains("bad.vex"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn static_views_cover_objects_and_kernels() {
+        let trace = recorded("QMCPACK");
+        let store = ProfileStore::from_traces([("q".to_owned(), trace)]).expect("unique ids");
+        let t = store.get("q").unwrap();
+        assert!(!t.objects.is_empty(), "workload allocates");
+        assert!(!t.kernels.is_empty(), "workload launches kernels");
+        assert!(t.objects.iter().all(|o| !o.label.is_empty()));
+        let rows = store.list_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, "q");
+        assert!(rows[0].fine);
+        // Decoded-trace summary agrees with the streaming summarizer's
+        // counts on the same stream.
+        assert_eq!(
+            t.summary.instrumented_launches,
+            t.kernels.iter().map(|k| k.instrumented_launches).sum::<u64>()
+        );
+        assert_eq!(t.summary.records, t.kernels.iter().map(|k| k.records).sum::<u64>());
+    }
+
+    #[test]
+    fn materialize_matches_direct_replay() {
+        let trace = recorded("QMCPACK");
+        let direct = ValueExpert::builder().coarse(true).replay(&trace).unwrap();
+        let served = materialize(&trace, &ReportParams::default()).expect("params replayable");
+        assert_eq!(direct.render_text_document(), served.render_text_document());
+        assert_eq!(direct.render_dot_document(None), served.render_dot_document(None));
+        // Fine pass on, sharded.
+        let p = ReportParams { fine: true, shards: 2, ..ReportParams::default() };
+        let sharded = materialize(&trace, &p).unwrap();
+        let direct = ValueExpert::builder()
+            .coarse(true)
+            .fine(true)
+            .analysis_shards(2)
+            .replay(&trace)
+            .unwrap();
+        assert_eq!(direct.render_text_document(), sharded.render_text_document());
+    }
+
+    #[test]
+    fn cache_keys_are_canonical() {
+        let a = ReportParams::default();
+        let b = ReportParams::default();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = ReportParams { shards: 8, ..ReportParams::default() };
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+}

@@ -41,6 +41,7 @@ pub mod codec;
 pub mod container;
 pub mod event;
 pub mod interval;
+pub mod summary;
 pub mod transport;
 
 use parking_lot::Mutex;

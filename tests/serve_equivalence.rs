@@ -1,0 +1,151 @@
+//! Server ≡ CLI equivalence suite for `vex serve`.
+//!
+//! The query server materializes reports through the same replay
+//! machinery as `vex replay`, via the shared
+//! [`Profile::render_text_document`]/[`Profile::render_dot_document`]
+//! entry points — so for every bundled workload, the bytes served by
+//! `GET /traces/{id}/report` and `GET /traces/{id}/flowgraph?format=dot`
+//! must equal the CLI's output exactly, under the synchronous engine and
+//! the sharded pipeline alike. The suite drives both sides through their
+//! public front doors: traces recorded to disk, the server started from
+//! the parsed `vex serve` command, the reference output produced by the
+//! parsed `vex replay` command.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use vex_bench::{http_get, record_app};
+use vex_cli::{parse_args, run, start_server, Command};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, Variant};
+
+/// Records a coarse-only trace of every bundled workload into `dir`,
+/// named `{lowercase-app-name}.vex`, and returns the ids.
+fn record_corpus(dir: &Path) -> Vec<String> {
+    let spec = DeviceSpec::rtx2080ti();
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let mut ids = Vec::new();
+    for app in all_apps() {
+        let bytes = record_app(
+            &spec,
+            app.as_ref(),
+            Variant::Baseline,
+            ValueExpert::builder().coarse(true).fine(false),
+        );
+        let id = app.name().to_ascii_lowercase();
+        std::fs::write(dir.join(format!("{id}.vex")), bytes).expect("write trace");
+        ids.push(id);
+    }
+    ids
+}
+
+fn serve(dir: &Path) -> (vex_serve::Server, SocketAddr) {
+    let cmd = parse_args(["serve", dir.to_str().expect("utf8 dir"), "--addr", "127.0.0.1:0"])
+        .expect("serve command parses");
+    let Command::Serve(args) = cmd else { panic!("parsed {cmd:?}") };
+    let server = start_server(&args).expect("server starts");
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// `vex replay` stdout for `trace` at `shards` (the report document).
+fn cli_report(trace: &Path, shards: usize) -> Vec<u8> {
+    let shards = shards.to_string();
+    let cmd = parse_args(["replay", trace.to_str().expect("utf8 path"), "--shards", &shards])
+        .expect("replay command parses");
+    let mut out = Vec::new();
+    run(&cmd, &mut out).expect("replay runs");
+    out
+}
+
+/// The DOT document `vex replay --dot` writes for `trace` at `shards`.
+fn cli_dot(trace: &Path, dot: &Path, shards: usize) -> Vec<u8> {
+    let shards = shards.to_string();
+    let cmd = parse_args([
+        "replay",
+        trace.to_str().expect("utf8 path"),
+        "--shards",
+        &shards,
+        "--dot",
+        dot.to_str().expect("utf8 path"),
+    ])
+    .expect("replay command parses");
+    run(&cmd, &mut Vec::new()).expect("replay runs");
+    std::fs::read(dot).expect("dot written")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vex-serve-eq-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn served_bodies_match_the_cli_for_every_workload() {
+    let dir = temp_dir("corpus");
+    let ids = record_corpus(&dir);
+    let (server, addr) = serve(&dir);
+    assert_eq!(server.state().store().len(), ids.len(), "every trace loaded");
+
+    for id in &ids {
+        let trace = dir.join(format!("{id}.vex"));
+        for shards in [1usize, 8] {
+            let (status, body) =
+                http_get(addr, &format!("/traces/{id}/report?shards={shards}"));
+            assert_eq!(status, 200, "{id} report (shards={shards})");
+            assert_eq!(
+                body,
+                cli_report(&trace, shards),
+                "{id}: served report diverged from `vex replay` at {shards} shard(s)"
+            );
+
+            let (status, body) =
+                http_get(addr, &format!("/traces/{id}/flowgraph?format=dot&shards={shards}"));
+            assert_eq!(status, 200, "{id} flowgraph (shards={shards})");
+            let dot = dir.join(format!("{id}-{shards}.dot"));
+            assert_eq!(
+                body,
+                cli_dot(&trace, &dot, shards),
+                "{id}: served DOT diverged from `vex replay --dot` at {shards} shard(s)"
+            );
+        }
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The default request (no query) equals the default `vex replay`
+/// invocation, and the trace index lists the whole corpus.
+#[test]
+fn default_report_and_index_match() {
+    let dir = temp_dir("defaults");
+    let spec = DeviceSpec::rtx2080ti();
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    let bytes = record_app(
+        &spec,
+        app.as_ref(),
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    );
+    let id = app.name().to_ascii_lowercase();
+    let trace = dir.join(format!("{id}.vex"));
+    std::fs::write(&trace, bytes).expect("write trace");
+
+    let (server, addr) = serve(&dir);
+    let (status, body) = http_get(addr, &format!("/traces/{id}/report"));
+    assert_eq!(status, 200);
+    let cmd = parse_args(["replay", trace.to_str().expect("utf8 path")])
+        .expect("replay command parses");
+    let mut expect = Vec::new();
+    run(&cmd, &mut expect).expect("replay runs");
+    assert_eq!(body, expect, "default served report diverged from default `vex replay`");
+
+    let (status, index) = http_get(addr, "/traces");
+    assert_eq!(status, 200);
+    let index = String::from_utf8(index).expect("utf8 index");
+    assert!(index.contains(&format!("\"id\": \"{id}\"")), "{index}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
