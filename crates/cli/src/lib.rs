@@ -716,6 +716,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             writeln!(out, "  skipped launches:      {}", s.skipped_launches).map_err(io_err)?;
             writeln!(out, "  record batches:        {}", s.batches).map_err(io_err)?;
             writeln!(out, "  fine records:          {}", s.records).map_err(io_err)?;
+            writeln!(out, "  record bytes:          {}", s.batch_bytes).map_err(io_err)?;
+            if s.batch_bytes > 0 {
+                let ratio = (s.records * 32) as f64 / s.batch_bytes as f64;
+                writeln!(out, "  compression ratio:     {ratio:.2}x").map_err(io_err)?;
+            }
             writeln!(out, "  call-path contexts:    {}", s.contexts).map_err(io_err)?;
             writeln!(out, "  app time:              {:.1} us", s.app_us).map_err(io_err)
         }
@@ -1104,16 +1109,19 @@ mod tests {
         let mut out = Vec::new();
         run(&Command::Info { path: trace.clone() }, &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
-        assert!(s.contains("format version:        1"), "{s}");
+        assert!(s.contains("format version:        2"), "{s}");
         assert!(s.contains("device preset:"), "{s}");
         assert!(s.contains("passes:                coarse + fine"), "{s}");
         assert!(s.contains("instrumented launches:"), "{s}");
         assert!(s.contains("fine records:"), "{s}");
+        assert!(s.contains("compression ratio:"), "{s}");
 
         // The counts agree with the streaming summary API.
         let summary = vex_trace::summary::summarize_file(std::path::Path::new(&trace)).unwrap();
         assert!(s.contains(&format!("fine records:          {}", summary.records)), "{s}");
         assert!(summary.records > 0, "fine recording produced records");
+        // v2 columnar batches land well under the 32-byte fixed records.
+        assert!(summary.batch_bytes > 0 && summary.batch_bytes < summary.records * 32, "{s}");
 
         let err = run(&Command::Info { path: "missing.vex".into() }, &mut Vec::new())
             .expect_err("missing file errors");

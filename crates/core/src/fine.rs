@@ -8,7 +8,7 @@
 //! [`crate::patterns`] run and produce [`FineFinding`]s.
 
 use crate::access_type::{infer_access_types, AccessTypeMap};
-use crate::patterns::{PatternConfig, PatternHit, ValueStats};
+use crate::patterns::{GroupedAccess, PatternConfig, PatternHit, ValueStats};
 use crate::registry::{ObjectKey, ObjectRegistry};
 use crate::sampling::BlockSampler;
 use serde::{Deserialize, Serialize};
@@ -127,6 +127,11 @@ impl FineState {
             .entry(info.kernel_name.clone())
             .or_insert_with(|| infer_access_types(&info.instr_table))
             .clone();
+        // Group the batch per (object, direction) in record order, then
+        // feed each group through the batched stats kernel. Every engine
+        // (sync, pipeline shard, replay) sees the same groups per batch,
+        // so accumulated stats stay bit-identical across them.
+        let mut groups: BTreeMap<(ObjectKey, Direction), Vec<GroupedAccess>> = BTreeMap::new();
         for rec in records {
             if !self.block_sampler.keep(rec.block) {
                 self.traffic.records_skipped += 1;
@@ -138,10 +143,13 @@ impl FineState {
             self.traffic.records_analyzed += 1;
             let value = types.decode(rec.pc, rec.bits, rec.size);
             let dir = if rec.is_store { Direction::Store } else { Direction::Load };
+            groups.entry((key, dir)).or_default().push((rec.addr, value, rec.pc));
+        }
+        for ((key, dir), accesses) in groups {
             self.current
                 .entry((key, dir))
                 .or_insert_with(|| ValueStats::new(self.config))
-                .record_at(rec.addr, value, rec.pc);
+                .record_batch(&accesses);
         }
     }
 

@@ -18,7 +18,7 @@
 
 use crate::access_type::DecodedValue;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use vex_gpu::ir::{Pc, ScalarType};
 
 /// The eight value patterns of Table 1.
@@ -145,6 +145,159 @@ pub fn truncate_mantissa(value: f64, k: u32) -> f64 {
     f64::from_bits(bits & mask)
 }
 
+/// Inverse of `ty as u8` over the ten scalar types (declaration order).
+fn scalar_type_from_tag(tag: u8) -> ScalarType {
+    use ScalarType::*;
+    [F32, F64, S8, S16, S32, S64, U8, U16, U32, U64][tag as usize]
+}
+
+/// Open-addressing `(type tag, value bits) → count` table.
+///
+/// Replaces `HashMap` on the hot path: one multiply-shift hash, linear
+/// probing over a power-of-two slot array, no per-entry allocation. A
+/// slot with `count == 0` is empty (occupied slots always count ≥ 1).
+#[derive(Debug, Clone, Default)]
+struct ValueTable {
+    tags: Vec<u8>,
+    bits: Vec<u64>,
+    counts: Vec<u64>,
+    len: usize,
+}
+
+impl ValueTable {
+    const INITIAL_CAPACITY: usize = 16;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn hash(tag: u8, bits: u64) -> u64 {
+        let mut h = bits ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tag as u64 + 1);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^ (h >> 33)
+    }
+
+    /// Counts one observation of `(tag, bits)` under the distinct-key cap:
+    /// existing keys always count, new keys only while `len < cap`.
+    /// Returns `false` when the observation was dropped, so the caller can
+    /// tally it in an overflow counter.
+    fn add(&mut self, tag: u8, bits: u64, cap: usize) -> bool {
+        if self.counts.is_empty() {
+            if cap == 0 {
+                return false;
+            }
+            self.grow(Self::INITIAL_CAPACITY);
+        } else if self.len * 8 >= self.counts.len() * 7 {
+            // Keep the load factor under 7/8 so probe chains stay short.
+            self.grow(self.counts.len() * 2);
+        }
+        let mask = self.counts.len() - 1;
+        let mut i = (Self::hash(tag, bits) as usize) & mask;
+        loop {
+            if self.counts[i] == 0 {
+                if self.len >= cap {
+                    return false;
+                }
+                self.tags[i] = tag;
+                self.bits[i] = bits;
+                self.counts[i] = 1;
+                self.len += 1;
+                return true;
+            }
+            if self.tags[i] == tag && self.bits[i] == bits {
+                self.counts[i] += 1;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self, new_cap: usize) {
+        let old_tags = std::mem::replace(&mut self.tags, vec![0; new_cap]);
+        let old_bits = std::mem::replace(&mut self.bits, vec![0; new_cap]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_cap]);
+        let mask = new_cap - 1;
+        for ((tag, bits), count) in old_tags.into_iter().zip(old_bits).zip(old_counts) {
+            if count == 0 {
+                continue;
+            }
+            let mut i = (Self::hash(tag, bits) as usize) & mask;
+            while self.counts[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.tags[i] = tag;
+            self.bits[i] = bits;
+            self.counts[i] = count;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u8, u64, u64)> + '_ {
+        (0..self.counts.len())
+            .filter(|&i| self.counts[i] != 0)
+            .map(|i| (self.tags[i], self.bits[i], self.counts[i]))
+    }
+
+    fn max_count(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// One access as fed to [`ValueStats::record_batch`]: address, decoded
+/// value, and the PC that issued it.
+pub type GroupedAccess = (u64, DecodedValue, Pc);
+
+/// Batch-local regression sums, merged into a [`ValueStats`] once per
+/// [`ValueStats::record_batch`] call.
+#[derive(Debug, Default)]
+struct RegressionAcc {
+    n: u64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_yy: f64,
+    sum_xy: f64,
+}
+
+/// Decodes `bits` exactly like [`DecodedValue::as_f64`] would for the
+/// scalar type whose tag is `TAG`, but with the type dispatch resolved at
+/// compile time.
+#[inline(always)]
+fn decode_tagged<const TAG: u8>(bits: u64) -> f64 {
+    match TAG {
+        0 => f32::from_bits(bits as u32) as f64,
+        1 => f64::from_bits(bits),
+        2 => bits as u8 as i8 as f64,
+        3 => bits as u16 as i16 as f64,
+        4 => bits as u32 as i32 as f64,
+        5 => bits as i64 as f64,
+        6 => (bits & 0xFF) as f64,
+        7 => (bits & 0xFFFF) as f64,
+        8 => (bits & 0xFFFF_FFFF) as f64,
+        _ => bits as f64,
+    }
+}
+
+/// Zero test matching [`DecodedValue::is_zero`], monomorphized like
+/// [`decode_tagged`].
+#[inline(always)]
+fn is_zero_tagged<const TAG: u8>(bits: u64) -> bool {
+    match TAG {
+        0 => f32::from_bits(bits as u32) == 0.0,
+        1 => f64::from_bits(bits) == 0.0,
+        2 | 6 => bits & 0xFF == 0,
+        3 | 7 => bits & 0xFFFF == 0,
+        4 | 8 => bits & 0xFFFF_FFFF == 0,
+        _ => bits == 0,
+    }
+}
+
 /// Streaming per-object, per-direction value statistics.
 ///
 /// One `ValueStats` accumulates all loads *or* all stores of one data
@@ -170,11 +323,14 @@ pub struct ValueStats {
     /// Accesses whose decoded value was zero.
     pub zeros: u64,
     /// Exact-value histogram (bits + type as key) with an overflow guard.
-    histogram: HashMap<(ScalarType, u64), u64>,
+    histogram: ValueTable,
     /// Accesses not individually tracked after the histogram cap hit.
     pub histogram_overflow: u64,
     /// Mantissa-truncated histogram for the approximate view (floats only).
-    approx_histogram: HashMap<u64, u64>,
+    approx_histogram: ValueTable,
+    /// Float accesses the approximate histogram stopped tracking after its
+    /// cap hit.
+    pub approx_histogram_overflow: u64,
     /// Observed value range (for heavy-type detection).
     pub min_value: f64,
     /// Maximum observed value.
@@ -204,9 +360,10 @@ impl ValueStats {
         ValueStats {
             accesses: 0,
             zeros: 0,
-            histogram: HashMap::new(),
+            histogram: ValueTable::default(),
             histogram_overflow: 0,
-            approx_histogram: HashMap::new(),
+            approx_histogram: ValueTable::default(),
+            approx_histogram_overflow: 0,
             min_value: f64::INFINITY,
             max_value: f64::NEG_INFINITY,
             f32_representable: true,
@@ -237,19 +394,13 @@ impl ValueStats {
         if value.is_zero() {
             self.zeros += 1;
         }
-        if self.histogram.len() < self.config.max_distinct_values
-            || self.histogram.contains_key(&(value.ty, value.bits))
-        {
-            *self.histogram.entry((value.ty, value.bits)).or_insert(0) += 1;
-        } else {
+        if !self.histogram.add(value.ty as u8, value.bits, self.config.max_distinct_values) {
             self.histogram_overflow += 1;
         }
         if value.ty.is_float() {
             let t = truncate_mantissa(v, self.config.approx_mantissa_bits);
-            if self.approx_histogram.len() < self.config.max_distinct_values
-                || self.approx_histogram.contains_key(&t.to_bits())
-            {
-                *self.approx_histogram.entry(t.to_bits()).or_insert(0) += 1;
+            if !self.approx_histogram.add(0, t.to_bits(), self.config.max_distinct_values) {
+                self.approx_histogram_overflow += 1;
             }
             if (v as f32) as f64 != v {
                 self.f32_representable = false;
@@ -279,17 +430,131 @@ impl ValueStats {
         self.sum_xy += x * v;
     }
 
+    /// Feeds a batch of accesses through the data-oriented kernel: the
+    /// batch is split into runs of one [`ScalarType`] and each run goes
+    /// through a monomorphized inner loop with the type dispatch, the
+    /// float-only branches, and the regression sums hoisted out of the
+    /// per-access path.
+    ///
+    /// State-equivalent to calling [`ValueStats::record_at`] per element,
+    /// except that regression sums accumulate batch-locally and merge
+    /// once, so their floating-point totals can differ in the last bits
+    /// when several batches of non-exactly-representable sums are fed to
+    /// one `ValueStats`.
+    pub fn record_batch(&mut self, batch: &[GroupedAccess]) {
+        let mut acc = RegressionAcc::default();
+        let mut i = 0;
+        while i < batch.len() {
+            let ty = batch[i].1.ty;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].1.ty == ty {
+                j += 1;
+            }
+            let run = &batch[i..j];
+            match ty {
+                ScalarType::F32 => self.record_run::<0>(run, &mut acc),
+                ScalarType::F64 => self.record_run::<1>(run, &mut acc),
+                ScalarType::S8 => self.record_run::<2>(run, &mut acc),
+                ScalarType::S16 => self.record_run::<3>(run, &mut acc),
+                ScalarType::S32 => self.record_run::<4>(run, &mut acc),
+                ScalarType::S64 => self.record_run::<5>(run, &mut acc),
+                ScalarType::U8 => self.record_run::<6>(run, &mut acc),
+                ScalarType::U16 => self.record_run::<7>(run, &mut acc),
+                ScalarType::U32 => self.record_run::<8>(run, &mut acc),
+                ScalarType::U64 => self.record_run::<9>(run, &mut acc),
+            }
+            i = j;
+        }
+        self.n_xy += acc.n;
+        self.sum_x += acc.sum_x;
+        self.sum_y += acc.sum_y;
+        self.sum_xx += acc.sum_xx;
+        self.sum_yy += acc.sum_yy;
+        self.sum_xy += acc.sum_xy;
+    }
+
+    /// The monomorphized inner loop of [`ValueStats::record_batch`]:
+    /// every element of `run` has the scalar type whose `ty as u8` tag is
+    /// `TAG`, so decode and zero tests compile to straight-line per-type
+    /// code. Integer decodes are always integral, so the `fract` check
+    /// only runs for the two float tags.
+    fn record_run<const TAG: u8>(&mut self, run: &[GroupedAccess], acc: &mut RegressionAcc) {
+        let is_float = TAG <= 1;
+        let cap = self.config.max_distinct_values;
+        let k = self.config.approx_mantissa_bits;
+        let ty = scalar_type_from_tag(TAG);
+        self.observed_type = Some(match self.observed_type {
+            None => ty,
+            Some(t) if t.size_bytes() >= ty.size_bytes() => t,
+            Some(_) => ty,
+        });
+        let mut last_pc = None;
+        for &(addr, value, pc) in run {
+            debug_assert_eq!(value.ty as u8, TAG);
+            if last_pc != Some(pc) {
+                self.pcs.insert(pc);
+                last_pc = Some(pc);
+            }
+            let bits = value.bits;
+            let v = decode_tagged::<TAG>(bits);
+            self.accesses += 1;
+            if is_zero_tagged::<TAG>(bits) {
+                self.zeros += 1;
+            }
+            if !self.histogram.add(TAG, bits, cap) {
+                self.histogram_overflow += 1;
+            }
+            if is_float {
+                let t = truncate_mantissa(v, k);
+                if !self.approx_histogram.add(0, t.to_bits(), cap) {
+                    self.approx_histogram_overflow += 1;
+                }
+                if (v as f32) as f64 != v {
+                    self.f32_representable = false;
+                }
+                if v.fract() != 0.0 {
+                    self.integral_only = false;
+                }
+            }
+            if v < self.min_value {
+                self.min_value = v;
+            }
+            if v > self.max_value {
+                self.max_value = v;
+            }
+            let x = addr as f64;
+            acc.n += 1;
+            acc.sum_x += x;
+            acc.sum_y += v;
+            acc.sum_xx += x * x;
+            acc.sum_yy += v * v;
+            acc.sum_xy += x * v;
+        }
+    }
+
     /// Number of distinct exact values observed (capped).
     pub fn distinct_values(&self) -> usize {
         self.histogram.len()
     }
 
-    /// The most frequent exact value and its count.
+    /// The most frequent exact value and its count. Ties break fully
+    /// deterministically: highest count, then lowest bits, then lowest
+    /// type tag.
     pub fn top_value(&self) -> Option<(ScalarType, u64, u64)> {
-        self.histogram
-            .iter()
-            .max_by_key(|(k, &c)| (c, std::cmp::Reverse(k.1)))
-            .map(|(&(ty, bits), &c)| (ty, bits, c))
+        let mut best: Option<(u8, u64, u64)> = None;
+        for (tag, bits, count) in self.histogram.iter() {
+            let better = match best {
+                None => true,
+                Some((btag, bbits, bcount)) => {
+                    count > bcount
+                        || (count == bcount && (bits < bbits || (bits == bbits && tag < btag)))
+                }
+            };
+            if better {
+                best = Some((tag, bits, count));
+            }
+        }
+        best.map(|(tag, bits, count)| (scalar_type_from_tag(tag), bits, count))
     }
 
     /// Fraction of accesses hitting the most frequent value.
@@ -418,9 +683,9 @@ impl ValueStats {
         if self.observed_type.is_some_and(ScalarType::is_float)
             && !self.approx_histogram.is_empty()
         {
-            let approx_distinct = self.approx_histogram.len();
-            let approx_top = self.approx_histogram.values().copied().max().unwrap_or(0) as f64
-                / self.accesses as f64;
+            let approx_distinct =
+                self.approx_histogram.len() + usize::from(self.approx_histogram_overflow > 0);
+            let approx_top = self.approx_histogram.max_count() as f64 / self.accesses as f64;
             let exact_hits_already =
                 exact_distinct == 1 || top_frac >= self.config.frequent_threshold;
             if !exact_hits_already
@@ -613,6 +878,117 @@ mod tests {
     }
 
     #[test]
+    fn approx_histogram_cap_counts_overflow() {
+        let cfg = PatternConfig { max_distinct_values: 4, ..PatternConfig::default() };
+        let mut s = ValueStats::new(cfg);
+        // Distinct exponents: every truncated value is distinct too.
+        for i in 0..32u64 {
+            rec(&mut s, i * 8, ScalarType::F64, (1u64 << i) as f64);
+        }
+        assert_eq!(s.approx_histogram_overflow, 28);
+        assert_eq!(s.histogram_overflow, 28);
+    }
+
+    #[test]
+    fn approx_histogram_overflow_blocks_false_single() {
+        // Cap 1: the approximate histogram keeps only the first truncated
+        // value, so without overflow accounting the 20 dropped distinct
+        // values would masquerade as an approximate single value.
+        let cfg = PatternConfig { max_distinct_values: 1, ..PatternConfig::default() };
+        let mut s = ValueStats::new(cfg);
+        for i in 0..10u64 {
+            rec(&mut s, i * 8, ScalarType::F64, 330.0 + 1e-9 * i as f64);
+        }
+        for i in 0..20u64 {
+            rec(&mut s, 80 + i * 8, ScalarType::F64, (1u64 << i) as f64 * 1.5);
+        }
+        assert_eq!(s.approx_histogram_overflow, 20);
+        assert!(!has(&s.patterns(), ValuePattern::ApproximateValues));
+    }
+
+    #[test]
+    fn top_value_ties_break_deterministically() {
+        // Two types sharing one bit pattern with equal counts: the winner
+        // is the same whatever the insertion order.
+        let a = DecodedValue::from_bits(ScalarType::U32, 7);
+        let b = DecodedValue::from_bits(ScalarType::S32, 7);
+        let mut s1 = ValueStats::new(PatternConfig::default());
+        s1.record(0, a);
+        s1.record(4, b);
+        let mut s2 = ValueStats::new(PatternConfig::default());
+        s2.record(0, b);
+        s2.record(4, a);
+        assert_eq!(s1.top_value(), s2.top_value());
+        // S32 precedes U32 in declaration order, so it wins the tie.
+        assert_eq!(s1.top_value(), Some((ScalarType::S32, 7, 1)));
+        // Bits still outrank type: the lower bit pattern wins first.
+        let mut s3 = ValueStats::new(PatternConfig::default());
+        s3.record(0, DecodedValue::from_bits(ScalarType::U32, 3));
+        s3.record(4, DecodedValue::from_bits(ScalarType::S32, 9));
+        assert_eq!(s3.top_value(), Some((ScalarType::U32, 3, 1)));
+    }
+
+    #[test]
+    fn scalar_type_tags_match_declaration_order() {
+        use ScalarType::*;
+        for (i, ty) in [F32, F64, S8, S16, S32, S64, U8, U16, U32, U64].into_iter().enumerate()
+        {
+            assert_eq!(ty as usize, i);
+            assert_eq!(scalar_type_from_tag(ty as u8), ty);
+        }
+    }
+
+    fn assert_stats_equal(a: &ValueStats, b: &ValueStats) {
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.zeros, b.zeros);
+        assert_eq!(a.distinct_values(), b.distinct_values());
+        assert_eq!(a.histogram_overflow, b.histogram_overflow);
+        assert_eq!(a.approx_histogram_overflow, b.approx_histogram_overflow);
+        assert_eq!(a.min_value.to_bits(), b.min_value.to_bits());
+        assert_eq!(a.max_value.to_bits(), b.max_value.to_bits());
+        assert_eq!(a.f32_representable, b.f32_representable);
+        assert_eq!(a.integral_only, b.integral_only);
+        assert_eq!(a.observed_type, b.observed_type);
+        assert_eq!(a.pcs, b.pcs);
+        assert_eq!(a.top_value(), b.top_value());
+        assert_eq!(a.top_fraction(), b.top_fraction());
+        // Bit compare: NaN correlations (all-NaN float inputs) are still
+        // expected to match exactly.
+        assert_eq!(
+            a.address_value_correlation().map(f64::to_bits),
+            b.address_value_correlation().map(f64::to_bits)
+        );
+        assert_eq!(a.patterns(), b.patterns());
+    }
+
+    #[test]
+    fn multi_batch_matches_scalar_on_integral_data() {
+        let batch: Vec<(u64, DecodedValue, Pc)> = (0..300u64)
+            .map(|i| {
+                let ty = scalar_type_from_tag((i % 10) as u8);
+                let v = i % 7;
+                let bits = match ty {
+                    ScalarType::F32 => (v as f32).to_bits() as u64,
+                    ScalarType::F64 => (v as f64).to_bits(),
+                    _ => v,
+                };
+                (i * 4, DecodedValue::from_bits(ty, bits), Pc((i % 5) as u32))
+            })
+            .collect();
+        let mut scalar = ValueStats::new(PatternConfig::default());
+        for &(addr, value, pc) in &batch {
+            scalar.record_at(addr, value, pc);
+        }
+        let mut batched = ValueStats::new(PatternConfig::default());
+        for chunk in batch.chunks(70) {
+            batched.record_batch(chunk);
+        }
+        // Small integral inputs: every regression sum is exact, so even
+        // across several batches the states match bit-for-bit.
+        assert_stats_equal(&scalar, &batched);
+    }
+
+    #[test]
     fn empty_stats_no_patterns() {
         let s = ValueStats::new(PatternConfig::default());
         assert!(s.patterns().is_empty());
@@ -665,6 +1041,66 @@ mod tests {
             if let Some(r) = s.address_value_correlation() {
                 prop_assert!((-1.0001..=1.0001).contains(&r));
             }
+        }
+
+        #[test]
+        fn prop_tagged_kernels_match_decoded_value(tag in 0u8..10, bits in any::<u64>()) {
+            let ty = scalar_type_from_tag(tag);
+            let value = DecodedValue::from_bits(ty, bits);
+            let decoded = match tag {
+                0 => decode_tagged::<0>(bits),
+                1 => decode_tagged::<1>(bits),
+                2 => decode_tagged::<2>(bits),
+                3 => decode_tagged::<3>(bits),
+                4 => decode_tagged::<4>(bits),
+                5 => decode_tagged::<5>(bits),
+                6 => decode_tagged::<6>(bits),
+                7 => decode_tagged::<7>(bits),
+                8 => decode_tagged::<8>(bits),
+                _ => decode_tagged::<9>(bits),
+            };
+            prop_assert_eq!(decoded.to_bits(), value.as_f64().to_bits());
+            let zero = match tag {
+                0 => is_zero_tagged::<0>(bits),
+                1 => is_zero_tagged::<1>(bits),
+                2 => is_zero_tagged::<2>(bits),
+                3 => is_zero_tagged::<3>(bits),
+                4 => is_zero_tagged::<4>(bits),
+                5 => is_zero_tagged::<5>(bits),
+                6 => is_zero_tagged::<6>(bits),
+                7 => is_zero_tagged::<7>(bits),
+                8 => is_zero_tagged::<8>(bits),
+                _ => is_zero_tagged::<9>(bits),
+            };
+            prop_assert_eq!(zero, value.is_zero());
+        }
+
+        /// One batch into a fresh `ValueStats` is bit-identical to the
+        /// scalar path for ANY inputs (including NaNs and denormals):
+        /// the batch accumulator folds in the same order and merges into
+        /// zeroed sums.
+        #[test]
+        fn prop_single_batch_matches_scalar(
+            accesses in prop::collection::vec(
+                (any::<u64>(), 0u8..10, any::<u64>(), 0u32..8), 0..200,
+            ),
+            cap_index in 0usize..3,
+        ) {
+            let cap = [1usize, 3, 1 << 16][cap_index];
+            let batch: Vec<(u64, DecodedValue, Pc)> = accesses
+                .into_iter()
+                .map(|(addr, tag, bits, pc)| {
+                    (addr, DecodedValue::from_bits(scalar_type_from_tag(tag), bits), Pc(pc))
+                })
+                .collect();
+            let cfg = PatternConfig { max_distinct_values: cap, ..PatternConfig::default() };
+            let mut scalar = ValueStats::new(cfg);
+            for &(addr, value, pc) in &batch {
+                scalar.record_at(addr, value, pc);
+            }
+            let mut batched = ValueStats::new(cfg);
+            batched.record_batch(&batch);
+            assert_stats_equal(&scalar, &batched);
         }
     }
 }

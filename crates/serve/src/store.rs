@@ -207,10 +207,11 @@ impl StoredTrace {
 /// variant in `vex_trace::summary` serves `vex info`).
 fn summarize_decoded(trace: &RecordedTrace) -> TraceSummary {
     let mut s = TraceSummary {
-        version: vex_trace::container::TRACE_VERSION,
+        version: trace.version,
         flags: trace.flags,
         device: trace.spec.name.clone(),
         contexts: trace.contexts.len() as u64,
+        batch_bytes: trace.batch_bytes,
         stats: trace.stats,
         app_us: trace.app_us,
         ..TraceSummary::default()

@@ -14,7 +14,7 @@
 //! header:
 //!   offset  size  field
 //!        0     8  magic "VEXTRACE"
-//!        8     4  format version (u32, currently 1)
+//!        8     4  format version (u32, currently 2)
 //!       12     4  flags (bit0 coarse captures, bit1 fine records)
 //!       16     …  device preset (DeviceSpec, see below)
 //! frames (repeated until the Finish frame):
@@ -32,13 +32,26 @@
 //!                      arguments, optional kernel summary, capture segments
 //!    2  LaunchBegin    full LaunchInfo (incl. instruction table)
 //!    3  Batch          launch id u64, record count u32, 32-byte records
-//!                      (codec::encode_record)
+//!                      (codec::encode_record) — the v1 batch encoding
 //!    4  LaunchEnd      launch id u64
 //!    5  SkippedLaunch  full LaunchInfo
 //!    6  Contexts       count u32, then (call-path id u32, rendered string)*
 //!    7  Finish         CollectorStats (6 × u64), app time (f64 bits);
 //!                      must be the last frame
+//!    8  BatchColumnar  launch id varint, then the columnar record block
+//!                      (codec::encode_columnar_batch) — v2 files only
 //! ```
+//!
+//! Format v2 differs from v1 only in how record batches are encoded:
+//! records are transposed into per-field columns, sorted-ish columns
+//! (pc, addr, block, thread) carry zigzagged signed deltas, the value
+//! bits column is XORed with its predecessor, size/flags are
+//! run-length encoded, and everything is an LEB128 varint (see
+//! [`codec::encode_columnar_batch`] and DESIGN.md §10). Readers accept
+//! both versions — the header version selects which batch kinds are
+//! legal (kind 8 only in v2 files; kind 3 in either, so a tolerant
+//! reader handles mixed producers) — while [`TraceWriter`] writes the
+//! version chosen by its [`FormatVersion`] knob (v2 by default).
 //!
 //! Launch-referencing frames (`Batch`, `LaunchEnd`) name the launch by id;
 //! the reader resolves it against the preceding `LaunchBegin`. Unknown
@@ -69,7 +82,9 @@ use vex_gpu::timing::DeviceSpec;
 /// Magic bytes opening every `.vex` trace.
 pub const TRACE_MAGIC: [u8; 8] = *b"VEXTRACE";
 /// Newest container format version this build reads and writes.
-pub const TRACE_VERSION: u32 = 1;
+pub const TRACE_VERSION: u32 = 2;
+/// Oldest container format version this build still reads.
+pub const TRACE_VERSION_MIN: u32 = 1;
 
 const FLAG_COARSE: u32 = 1 << 0;
 const FLAG_FINE: u32 = 1 << 1;
@@ -81,6 +96,32 @@ const FRAME_LAUNCH_END: u8 = 4;
 const FRAME_SKIPPED_LAUNCH: u8 = 5;
 const FRAME_CONTEXTS: u8 = 6;
 const FRAME_FINISH: u8 = 7;
+const FRAME_BATCH_COLUMNAR: u8 = 8;
+
+/// On-disk batch encoding a [`TraceWriter`] produces.
+///
+/// v1 stores fixed 32-byte records; v2 stores the columnar delta+varint
+/// form (typically 5–10× smaller, and faster to decode). Readers accept
+/// both; writing v1 remains available for tooling that compares the
+/// formats or feeds older readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatVersion {
+    /// Format v1: fixed 32-byte records in `Batch` frames.
+    V1,
+    /// Format v2: columnar delta+varint `BatchColumnar` frames.
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The header version number this knob writes.
+    pub fn number(self) -> u32 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+        }
+    }
+}
 
 /// Which collection passes the recording session ran — determines which
 /// analyses a replay can drive.
@@ -282,7 +323,71 @@ fn put_spec(out: &mut Vec<u8>, spec: &DeviceSpec) {
     put_u32(out, spec.max_threads_per_block);
 }
 
-fn encode_event(event: &Event) -> (u8, Vec<u8>) {
+/// Largest capture segment the v2 word-RLE mode may describe. RLE breaks
+/// the payload-proportional size bound raw segments have, so the decoder
+/// refuses implausible expansions instead of allocating them; the
+/// encoder stores anything larger raw.
+const MAX_RLE_CAPTURE_BYTES: u64 = 1 << 31;
+
+/// Word-run-length encodes a capture segment: `(u32-le word, varint
+/// run)` pairs covering the whole 4-byte words, then the `len % 4` tail
+/// bytes raw. Returns `None` when RLE would not beat storing raw.
+fn capture_rle(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < 8 || bytes.len() as u64 > MAX_RLE_CAPTURE_BYTES {
+        return None;
+    }
+    let words = bytes.len() / 4;
+    let mut rle = Vec::new();
+    let mut run: Option<([u8; 4], u64)> = None;
+    for word in bytes[..words * 4].chunks_exact(4) {
+        let word: [u8; 4] = word.try_into().expect("4 bytes");
+        match &mut run {
+            Some((value, len)) if *value == word => *len += 1,
+            _ => {
+                if let Some((value, len)) = run.take() {
+                    rle.extend_from_slice(&value);
+                    codec::write_uvarint(&mut rle, len);
+                }
+                // Bail early on incompressible data: one pending run can
+                // add at most 14 more bytes.
+                if rle.len() + 14 >= bytes.len() {
+                    return None;
+                }
+                run = Some((word, 1));
+            }
+        }
+    }
+    if let Some((value, len)) = run {
+        rle.extend_from_slice(&value);
+        codec::write_uvarint(&mut rle, len);
+    }
+    rle.extend_from_slice(&bytes[words * 4..]);
+    if rle.len() < bytes.len() {
+        Some(rle)
+    } else {
+        None
+    }
+}
+
+/// v2 capture segment payload: a mode byte, then either the raw bytes
+/// (mode 0) or the [`capture_rle`] encoding (mode 1). Captured device
+/// memory is overwhelmingly a single repeated word (memset fills,
+/// uniform tensors), so mode 1 collapses megabyte segments to a few
+/// bytes; anything it cannot shrink is stored raw.
+fn put_capture_payload(out: &mut Vec<u8>, bytes: &[u8]) {
+    match capture_rle(bytes) {
+        Some(rle) => {
+            put_u8(out, 1);
+            out.extend_from_slice(&rle);
+        }
+        None => {
+            put_u8(out, 0);
+            out.extend_from_slice(bytes);
+        }
+    }
+}
+
+fn encode_event(event: &Event, version: FormatVersion) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
     match event {
         Event::Api { event, kernel, captured } => {
@@ -342,7 +447,10 @@ fn encode_event(event: &Event) -> (u8, Vec<u8>) {
             for (start, bytes) in segments {
                 put_u64(&mut p, *start);
                 put_u64(&mut p, bytes.len() as u64);
-                p.extend_from_slice(bytes);
+                match version {
+                    FormatVersion::V1 => p.extend_from_slice(bytes),
+                    FormatVersion::V2 => put_capture_payload(&mut p, bytes),
+                }
             }
             (FRAME_API, p)
         }
@@ -350,14 +458,21 @@ fn encode_event(event: &Event) -> (u8, Vec<u8>) {
             put_launch_info(&mut p, info);
             (FRAME_LAUNCH_BEGIN, p)
         }
-        Event::Batch { info, records } => {
-            put_u64(&mut p, info.launch.0);
-            put_u32(&mut p, records.len() as u32);
-            for rec in records.iter() {
-                p.extend_from_slice(&codec::encode_record(rec));
+        Event::Batch { info, records } => match version {
+            FormatVersion::V1 => {
+                put_u64(&mut p, info.launch.0);
+                put_u32(&mut p, records.len() as u32);
+                for rec in records.iter() {
+                    p.extend_from_slice(&codec::encode_record(rec));
+                }
+                (FRAME_BATCH, p)
             }
-            (FRAME_BATCH, p)
-        }
+            FormatVersion::V2 => {
+                codec::write_uvarint(&mut p, info.launch.0);
+                p.extend_from_slice(&codec::encode_columnar_batch(records));
+                (FRAME_BATCH_COLUMNAR, p)
+            }
+        },
         Event::LaunchEnd { info } => {
             put_u64(&mut p, info.launch.0);
             (FRAME_LAUNCH_END, p)
@@ -421,6 +536,10 @@ impl<'a> Payload<'a> {
 
     fn u64(&mut self) -> Result<u64, &'static str> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn uvarint(&mut self) -> Result<u64, &'static str> {
+        codec::read_uvarint(self.buf, &mut self.pos)
     }
 
     fn f64(&mut self) -> Result<f64, &'static str> {
@@ -601,6 +720,7 @@ struct WriterState<W: Write> {
 /// streaming are latched and reported by [`TraceWriter::finish`].
 pub struct TraceWriter<W: Write> {
     state: Mutex<WriterState<W>>,
+    version: FormatVersion,
 }
 
 impl<W: Write> std::fmt::Debug for TraceWriter<W> {
@@ -612,19 +732,39 @@ impl<W: Write> std::fmt::Debug for TraceWriter<W> {
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Writes the container header and returns the streaming writer.
+    /// Writes the container header and returns the streaming writer,
+    /// producing the default (newest) format version.
     ///
     /// # Errors
     ///
     /// Returns the I/O error if writing the header fails.
-    pub fn new(mut out: W, spec: &DeviceSpec, flags: TraceFlags) -> std::io::Result<Self> {
+    pub fn new(out: W, spec: &DeviceSpec, flags: TraceFlags) -> std::io::Result<Self> {
+        Self::with_version(out, spec, flags, FormatVersion::default())
+    }
+
+    /// Like [`TraceWriter::new`], but writing the chosen format version.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if writing the header fails.
+    pub fn with_version(
+        mut out: W,
+        spec: &DeviceSpec,
+        flags: TraceFlags,
+        version: FormatVersion,
+    ) -> std::io::Result<Self> {
         let mut header = Vec::new();
         header.extend_from_slice(&TRACE_MAGIC);
-        put_u32(&mut header, TRACE_VERSION);
+        put_u32(&mut header, version.number());
         put_u32(&mut header, flags.to_bits());
         put_spec(&mut header, spec);
         out.write_all(&header)?;
-        Ok(TraceWriter { state: Mutex::new(WriterState { out, error: None }) })
+        Ok(TraceWriter { state: Mutex::new(WriterState { out, error: None }), version })
+    }
+
+    /// The format version this writer produces.
+    pub fn version(&self) -> FormatVersion {
+        self.version
     }
 
     fn write_frame(st: &mut WriterState<W>, kind: u8, payload: &[u8]) {
@@ -690,7 +830,7 @@ impl<W: Write> TraceWriter<W> {
 
 impl<W: Write + Send> EventSink for TraceWriter<W> {
     fn on_event(&self, event: &Event) {
-        let (kind, payload) = encode_event(event);
+        let (kind, payload) = encode_event(event, self.version);
         let mut st = self.state.lock();
         Self::write_frame(&mut st, kind, &payload);
     }
@@ -722,11 +862,18 @@ pub enum TraceFrame {
 /// `SkippedLaunch` frames.
 pub struct TraceReader<R: Read> {
     input: R,
+    version: u32,
     spec: DeviceSpec,
     flags: TraceFlags,
     launches: HashMap<u64, Arc<LaunchInfo>>,
     offset: u64,
+    batch_bytes: u64,
     finished: bool,
+    /// When set, batch frames are validated structurally but their
+    /// records are not decoded; [`TraceReader::records_scanned`]
+    /// accumulates the counts instead.
+    skip_records: bool,
+    records_scanned: u64,
 }
 
 impl<R: Read> std::fmt::Debug for TraceReader<R> {
@@ -754,7 +901,7 @@ impl<R: Read> TraceReader<R> {
             return Err(DecodeError::BadMagic);
         }
         let version = u32::from_le_bytes(fixed[8..12].try_into().expect("4 bytes"));
-        if version != TRACE_VERSION {
+        if !(TRACE_VERSION_MIN..=TRACE_VERSION).contains(&version) {
             return Err(DecodeError::UnsupportedVersion {
                 found: version,
                 supported: TRACE_VERSION,
@@ -771,11 +918,15 @@ impl<R: Read> TraceReader<R> {
             .map_err(|what| DecodeError::BadFrame { kind: 0, offset: 16, what })?;
         Ok(TraceReader {
             input,
+            version,
             spec,
             flags,
             launches: HashMap::new(),
             offset: 16 + spec_bytes.len() as u64,
+            batch_bytes: 0,
             finished: false,
+            skip_records: false,
+            records_scanned: 0,
         })
     }
 
@@ -787,6 +938,34 @@ impl<R: Read> TraceReader<R> {
     /// Which passes the recording session ran.
     pub fn flags(&self) -> TraceFlags {
         self.flags
+    }
+
+    /// The format version declared in the file's header.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Encoded payload bytes of every record-batch frame decoded so far
+    /// (the on-disk footprint of the access records; compare against
+    /// `records × 32` to get the v2 compression ratio).
+    pub fn batch_bytes(&self) -> u64 {
+        self.batch_bytes
+    }
+
+    /// Switches the reader into scan mode: batch frames are still
+    /// validated structurally, but their records are not decoded —
+    /// `Batch` events arrive with empty record vectors and
+    /// [`TraceReader::records_scanned`] accumulates the counts. Scan
+    /// cost then tracks the encoded (compressed) size of the trace
+    /// rather than its record count, which is what makes summaries of
+    /// v2 traces cheap.
+    pub fn set_skip_records(&mut self, skip: bool) {
+        self.skip_records = skip;
+    }
+
+    /// Records counted by batch frames scanned in skip mode so far.
+    pub fn records_scanned(&self) -> u64 {
+        self.records_scanned
     }
 
     /// Decodes the next frame; `Ok(None)` at a clean end of stream
@@ -884,10 +1063,15 @@ impl<R: Read> TraceReader<R> {
                 for _ in 0..seg_count {
                     let start = p.u64().map_err(bad)?;
                     let len = p.u64().map_err(bad)?;
-                    if (p.remaining() as u64) < len {
-                        return Err(bad("capture segment longer than payload"));
-                    }
-                    segments.push((start, p.bytes(len as usize).map_err(bad)?.to_vec()));
+                    let data = if self.version >= 2 {
+                        read_capture_payload(&mut p, len).map_err(bad)?
+                    } else {
+                        if (p.remaining() as u64) < len {
+                            return Err(bad("capture segment longer than payload"));
+                        }
+                        p.bytes(len as usize).map_err(bad)?.to_vec()
+                    };
+                    segments.push((start, data));
                 }
                 p.finished().map_err(bad)?;
                 TraceFrame::Event(Event::Api {
@@ -907,25 +1091,48 @@ impl<R: Read> TraceReader<R> {
                 }
             }
             FRAME_BATCH => {
+                self.batch_bytes += len as u64;
                 let launch = p.u64().map_err(bad)?;
                 let info = self
                     .launches
                     .get(&launch)
                     .cloned()
                     .ok_or(bad("batch references an undeclared launch"))?;
-                let count = p.u32().map_err(bad)? as usize;
-                if p.remaining() != count * AccessRecord::DEVICE_BYTES as usize {
-                    return Err(bad("record count does not match payload length"));
+                if self.skip_records {
+                    let count = p.u32().map_err(bad)? as u64;
+                    if p.remaining() as u64 != count * AccessRecord::DEVICE_BYTES {
+                        return Err(bad("record count does not match payload length"));
+                    }
+                    self.records_scanned += count;
+                    return Ok(Some(TraceFrame::Event(Event::Batch {
+                        info,
+                        records: Arc::new(Vec::new()),
+                    })));
                 }
-                let mut records = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let chunk: &[u8; 32] =
-                        p.bytes(32).map_err(bad)?.try_into().expect("bytes(32) yields 32");
-                    records.push(
-                        codec::decode_record(chunk)
-                            .map_err(|_| bad("corrupt access record"))?,
-                    );
+                let records = decode_fixed_batch_payload(&mut p).map_err(bad)?;
+                TraceFrame::Event(Event::Batch { info, records: Arc::new(records) })
+            }
+            FRAME_BATCH_COLUMNAR => {
+                if self.version < 2 {
+                    return Err(bad("columnar batch frame in a v1 trace"));
                 }
+                self.batch_bytes += len as u64;
+                let mut pos = 0usize;
+                let launch = codec::read_uvarint(&payload, &mut pos).map_err(bad)?;
+                let info = self
+                    .launches
+                    .get(&launch)
+                    .cloned()
+                    .ok_or(bad("batch references an undeclared launch"))?;
+                if self.skip_records {
+                    let count = codec::scan_columnar_batch(&payload[pos..]).map_err(bad)?;
+                    self.records_scanned += count;
+                    return Ok(Some(TraceFrame::Event(Event::Batch {
+                        info,
+                        records: Arc::new(Vec::new()),
+                    })));
+                }
+                let records = codec::decode_columnar_batch(&payload[pos..]).map_err(bad)?;
                 TraceFrame::Event(Event::Batch { info, records: Arc::new(records) })
             }
             FRAME_LAUNCH_END => {
@@ -965,6 +1172,65 @@ impl<R: Read> TraceReader<R> {
             _ => return Err(DecodeError::UnknownFrameKind { kind, offset: frame_offset }),
         };
         Ok(Some(frame))
+    }
+}
+
+/// Decodes the body of a fixed-record (v1) batch frame — everything
+/// after the launch id: a u32 record count, then 32-byte records.
+fn decode_fixed_batch_payload(p: &mut Payload<'_>) -> Result<Vec<AccessRecord>, &'static str> {
+    let count = p.u32()? as usize;
+    if p.remaining() != count * AccessRecord::DEVICE_BYTES as usize {
+        return Err("record count does not match payload length");
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let chunk: &[u8; 32] = p.bytes(32)?.try_into().expect("bytes(32) yields 32");
+        records.push(codec::decode_record(chunk).map_err(|_| "corrupt access record")?);
+    }
+    Ok(records)
+}
+
+/// Reads one v2 capture segment payload of uncompressed length `len`
+/// (the inverse of [`put_capture_payload`]).
+fn read_capture_payload(p: &mut Payload<'_>, len: u64) -> Result<Vec<u8>, &'static str> {
+    match p.u8()? {
+        0 => {
+            if (p.remaining() as u64) < len {
+                return Err("capture segment longer than payload");
+            }
+            Ok(p.bytes(len as usize)?.to_vec())
+        }
+        1 => {
+            if len > MAX_RLE_CAPTURE_BYTES {
+                return Err("capture segment implausibly large");
+            }
+            let len = len as usize;
+            let words = len / 4;
+            // Capacity is only a hint capped well below `len`: a corrupt
+            // length cannot force a huge up-front allocation, and growth
+            // stops as soon as a run check fails.
+            let mut out: Vec<u8> = Vec::with_capacity(len.min(1 << 20));
+            while out.len() < words * 4 {
+                let word: [u8; 4] = p.bytes(4)?.try_into().expect("4 bytes");
+                let run = p.uvarint()?;
+                let remaining_words = (words - out.len() / 4) as u64;
+                if run == 0 || run > remaining_words {
+                    return Err("capture run length out of range");
+                }
+                // Expand by doubling copies of what is already written.
+                let n = run as usize * 4;
+                let start = out.len();
+                out.extend_from_slice(&word);
+                while out.len() - start < n {
+                    let have = out.len() - start;
+                    let take = have.min(n - have);
+                    out.extend_from_within(start..start + take);
+                }
+            }
+            out.extend_from_slice(p.bytes(len - words * 4)?);
+            Ok(out)
+        }
+        _ => Err("unknown capture segment mode"),
     }
 }
 
@@ -1041,10 +1307,15 @@ fn read_spec<R: Read>(
 /// live report.
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
+    /// Container format version of the file the trace was decoded from.
+    pub version: u32,
     /// Device preset of the recording session.
     pub spec: DeviceSpec,
     /// Which passes were recorded.
     pub flags: TraceFlags,
+    /// Encoded payload bytes of the record-batch frames (on-disk record
+    /// footprint; `records × 32` gives the uncompressed equivalent).
+    pub batch_bytes: u64,
     /// The event stream, in collection order.
     pub events: Vec<Event>,
     /// Rendered call paths (id → string) of the recording session.
@@ -1084,8 +1355,10 @@ pub fn read_trace(bytes: &[u8]) -> Result<RecordedTrace, DecodeError> {
     }
     let (stats, app_us) = trailer.expect("reader yields None only after Finish");
     Ok(RecordedTrace {
+        version: reader.version(),
         spec: reader.spec().clone(),
         flags: reader.flags(),
+        batch_bytes: reader.batch_bytes(),
         events,
         contexts,
         stats,
@@ -1211,9 +1484,13 @@ mod tests {
     }
 
     fn write_sample(events: &[Event]) -> Vec<u8> {
+        write_sample_v(events, FormatVersion::default())
+    }
+
+    fn write_sample_v(events: &[Event], version: FormatVersion) -> Vec<u8> {
         let spec = DeviceSpec::test_small();
         let flags = TraceFlags { coarse: true, fine: true };
-        let writer = TraceWriter::new(Vec::new(), &spec, flags).unwrap();
+        let writer = TraceWriter::with_version(Vec::new(), &spec, flags, version).unwrap();
         for e in events {
             writer.on_event(e);
         }
@@ -1268,23 +1545,164 @@ mod tests {
     #[test]
     fn event_stream_roundtrip_is_bit_exact() {
         let events = sample_events();
-        let bytes = write_sample(&events);
-        let trace = read_trace(&bytes).unwrap();
-        assert_eq!(trace.spec, DeviceSpec::test_small());
-        assert_eq!(trace.flags, TraceFlags { coarse: true, fine: true });
-        assert_eq!(trace.events.len(), events.len());
-        for (a, b) in trace.events.iter().zip(&events) {
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let bytes = write_sample_v(&events, version);
+            let trace = read_trace(&bytes).unwrap();
+            assert_eq!(trace.version, version.number());
+            assert_eq!(trace.spec, DeviceSpec::test_small());
+            assert_eq!(trace.flags, TraceFlags { coarse: true, fine: true });
+            assert_eq!(trace.events.len(), events.len());
+            for (a, b) in trace.events.iter().zip(&events) {
+                assert_event_eq(a, b);
+            }
+            assert_eq!(trace.contexts[&CallPathId(0)], "<root>");
+            assert_eq!(trace.stats.events, 10);
+            assert_eq!(trace.app_us, 123.5);
+            assert!(trace.batch_bytes > 0);
+            // Batches share the LaunchBegin's Arc, like the live source.
+            let (begin, batch) = (&trace.events[2], &trace.events[3]);
+            if let (Event::LaunchBegin { info: a }, Event::Batch { info: b, .. }) =
+                (begin, batch)
+            {
+                assert!(Arc::ptr_eq(a, b));
+            } else {
+                panic!("unexpected event order");
+            }
+        }
+    }
+
+    #[test]
+    fn v2_batches_are_smaller_than_v1() {
+        let info = sample_launch_info(0);
+        let events = vec![
+            Event::LaunchBegin { info: info.clone() },
+            Event::Batch {
+                info: info.clone(),
+                records: Arc::new((0..1000).map(sample_record).collect()),
+            },
+            Event::LaunchEnd { info },
+        ];
+        let v1 = write_sample_v(&events, FormatVersion::V1);
+        let v2 = write_sample_v(&events, FormatVersion::V2);
+        assert!(
+            v2.len() * 2 <= v1.len(),
+            "v2 ({}) should be at most half of v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        let t1 = read_trace(&v1).unwrap();
+        let t2 = read_trace(&v2).unwrap();
+        assert!(t2.batch_bytes < t1.batch_bytes);
+        assert_eq!(t1.batch_bytes, 8 + 4 + 1000 * 32); // launch id + count + records
+    }
+
+    #[test]
+    fn v1_trace_reencodes_to_v2_losslessly() {
+        let events = sample_events();
+        let v1_bytes = write_sample_v(&events, FormatVersion::V1);
+        let v1 = read_trace(&v1_bytes).unwrap();
+        assert_eq!(v1.version, 1);
+        // Re-encode the decoded v1 stream as v2 and compare event-by-event.
+        let spec = DeviceSpec::test_small();
+        let writer =
+            TraceWriter::with_version(Vec::new(), &spec, v1.flags, FormatVersion::V2).unwrap();
+        for e in &v1.events {
+            writer.on_event(e);
+        }
+        let contexts: Vec<_> = v1.contexts.iter().map(|(id, s)| (*id, s.clone())).collect();
+        let v2_bytes = writer.finish(&contexts, &v1.stats, v1.app_us).unwrap();
+        let v2 = read_trace(&v2_bytes).unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(v1.events.len(), v2.events.len());
+        for (a, b) in v1.events.iter().zip(&v2.events) {
             assert_event_eq(a, b);
         }
-        assert_eq!(trace.contexts[&CallPathId(0)], "<root>");
-        assert_eq!(trace.stats.events, 10);
-        assert_eq!(trace.app_us, 123.5);
-        // Batches share the LaunchBegin's Arc, like the live source.
-        let (begin, batch) = (&trace.events[2], &trace.events[3]);
-        if let (Event::LaunchBegin { info: a }, Event::Batch { info: b, .. }) = (begin, batch) {
-            assert!(Arc::ptr_eq(a, b));
-        } else {
-            panic!("unexpected event order");
+        assert_eq!(v1.contexts, v2.contexts);
+        assert_eq!(v1.stats, v2.stats);
+        assert_eq!(v1.app_us, v2.app_us);
+    }
+
+    #[test]
+    fn skip_records_scan_counts_without_decoding() {
+        let events = sample_events();
+        let expected: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch { records, .. } => Some(records.len() as u64),
+                _ => None,
+            })
+            .sum();
+        assert!(expected > 0, "sample events must contain batch records");
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let bytes = write_sample_v(&events, version);
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            reader.set_skip_records(true);
+            let mut batches = 0u64;
+            while let Some(frame) = reader.next_frame().unwrap() {
+                if let TraceFrame::Event(Event::Batch { records, .. }) = frame {
+                    batches += 1;
+                    assert!(records.is_empty(), "scan mode must not materialize records");
+                }
+            }
+            assert!(batches > 0);
+            assert_eq!(reader.records_scanned(), expected);
+        }
+    }
+
+    #[test]
+    fn columnar_frame_in_v1_file_is_rejected() {
+        // A v2 file whose header claims v1: the columnar frame must be
+        // refused rather than silently accepted. Api events are dropped
+        // so their (also version-dependent) capture payloads don't trip
+        // the reader before it reaches the columnar frame.
+        let events: Vec<Event> =
+            sample_events().into_iter().filter(|e| !matches!(e, Event::Api { .. })).collect();
+        let mut bytes = write_sample(&events);
+        assert_eq!(bytes[8..12], TRACE_VERSION.to_le_bytes());
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = read_trace(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::BadFrame { what: "columnar batch frame in a v1 trace", .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn v2_capture_segments_compress_and_roundtrip() {
+        // One big uniform segment (word-RLE), one incompressible segment
+        // (raw fallback), and one odd-length segment exercising the
+        // non-word tail.
+        let noisy: Vec<u8> =
+            (0..257u32).flat_map(|i| i.wrapping_mul(2_654_435_761).to_le_bytes()).collect();
+        let captured = CapturedView::from_segments(vec![
+            (4096, vec![0x42u8; 1 << 16]),
+            (1 << 20, noisy),
+            (1 << 21, vec![7u8; 7]),
+        ]);
+        let events = vec![Event::Api {
+            event: ApiEvent {
+                seq: 0,
+                kind: ApiKind::Memset { dst: DevicePtr(4096), value: 0x42, bytes: 1 << 16 },
+                context: CallPathId(1),
+                stream: StreamId(0),
+            },
+            kernel: None,
+            captured: Arc::new(captured),
+        }];
+        let v1 = write_sample_v(&events, FormatVersion::V1);
+        let v2 = write_sample_v(&events, FormatVersion::V2);
+        // The uniform 64 KiB segment dominates v1 and collapses in v2.
+        assert!(v2.len() * 10 <= v1.len(), "v2 {} bytes vs v1 {} bytes", v2.len(), v1.len());
+        let (t1, t2) = (read_trace(&v1).unwrap(), read_trace(&v2).unwrap());
+        for trace in [&t1, &t2] {
+            let Event::Api { captured, .. } = &trace.events[0] else {
+                panic!("expected an api event");
+            };
+            let Event::Api { captured: original, .. } = &events[0] else { unreachable!() };
+            assert_eq!(captured.segments(), original.segments());
         }
     }
 
@@ -1300,16 +1718,28 @@ mod tests {
             read_trace(&future),
             Err(DecodeError::UnsupportedVersion { found: 99, supported: TRACE_VERSION })
         ));
+        let mut ancient = bytes.clone();
+        ancient[8] = 0;
+        assert!(matches!(
+            read_trace(&ancient),
+            Err(DecodeError::UnsupportedVersion { found: 0, supported: TRACE_VERSION })
+        ));
     }
 
     #[test]
     fn every_truncation_point_errors_never_panics() {
-        let bytes = write_sample(&sample_events());
-        for cut in 0..bytes.len() {
-            let result = read_trace(&bytes[..cut]);
-            assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let bytes = write_sample_v(&sample_events(), version);
+            for cut in 0..bytes.len() {
+                let result = read_trace(&bytes[..cut]);
+                assert!(
+                    result.is_err(),
+                    "prefix of {cut} bytes decoded successfully (v{})",
+                    version.number()
+                );
+            }
+            assert!(read_trace(&bytes).is_ok());
         }
-        assert!(read_trace(&bytes).is_ok());
     }
 
     #[test]
@@ -1356,7 +1786,8 @@ mod tests {
                 (any::<u32>(), any::<u64>(), any::<u64>(), 1u8..=8, any::<bool>(),
                  any::<bool>(), any::<u32>(), any::<u32>(), any::<bool>()),
                 0..100,
-            )
+            ),
+            v2 in any::<bool>(),
         ) {
             let records: Vec<AccessRecord> = records
                 .into_iter()
@@ -1378,7 +1809,8 @@ mod tests {
                 Event::Batch { info: info.clone(), records: Arc::new(records.clone()) },
                 Event::LaunchEnd { info },
             ];
-            let bytes = write_sample(&events);
+            let version = if v2 { FormatVersion::V2 } else { FormatVersion::V1 };
+            let bytes = write_sample_v(&events, version);
             let trace = read_trace(&bytes).unwrap();
             let Event::Batch { records: decoded, .. } = &trace.events[1] else {
                 panic!("expected batch");
@@ -1391,8 +1823,10 @@ mod tests {
             index in 0usize..4096,
             value in any::<u8>(),
             cut in 0usize..8192,
+            v2 in any::<bool>(),
         ) {
-            let mut bytes = write_sample(&sample_events());
+            let version = if v2 { FormatVersion::V2 } else { FormatVersion::V1 };
+            let mut bytes = write_sample_v(&sample_events(), version);
             let index = index % bytes.len();
             bytes[index] = value;
             // Upper half of the range means "no cut".

@@ -2,9 +2,12 @@
 //! without materializing the event stream.
 //!
 //! `vex info` prints a [`TraceSummary`], and `vex-serve` indexes every
-//! trace of its store with one. Summarizing decodes each frame exactly
-//! once through [`TraceReader`] and keeps only counters, so it works on
-//! traces far larger than memory would allow for a full
+//! trace of its store with one. Summarizing walks each frame exactly
+//! once through [`TraceReader`] in skip-records scan mode and keeps
+//! only counters: batch frames are validated structurally but never
+//! expanded into access records, so the cost tracks the encoded
+//! (compressed) trace size rather than the record count, and it works
+//! on traces far larger than memory would allow for a full
 //! [`crate::container::RecordedTrace`].
 
 use crate::codec::DecodeError;
@@ -36,6 +39,9 @@ pub struct TraceSummary {
     pub records: u64,
     /// Interned call paths in the context table.
     pub contexts: u64,
+    /// Encoded payload bytes of the record-batch frames; `records × 32`
+    /// gives the uncompressed (v1 fixed-record) equivalent.
+    pub batch_bytes: u64,
     /// Collector traffic counters of the recording session.
     pub stats: CollectorStats,
     /// Application time of the recorded run, µs.
@@ -50,8 +56,12 @@ pub struct TraceSummary {
 /// trailer is [`DecodeError::TruncatedFrame`].
 pub fn summarize<R: Read>(input: R) -> Result<TraceSummary, DecodeError> {
     let mut reader = TraceReader::new(input)?;
+    // Scan mode: batch frames are validated structurally and counted,
+    // but no access record is materialized, so summarizing costs
+    // encoded (compressed) bytes, not records.
+    reader.set_skip_records(true);
     let mut s = TraceSummary {
-        version: crate::container::TRACE_VERSION,
+        version: reader.version(),
         flags: reader.flags(),
         device: reader.spec().name.clone(),
         ..TraceSummary::default()
@@ -67,10 +77,7 @@ pub fn summarize<R: Read>(input: R) -> Result<TraceSummary, DecodeError> {
                 }
                 crate::event::Event::LaunchBegin { .. } => s.instrumented_launches += 1,
                 crate::event::Event::SkippedLaunch { .. } => s.skipped_launches += 1,
-                crate::event::Event::Batch { records, .. } => {
-                    s.batches += 1;
-                    s.records += records.len() as u64;
-                }
+                crate::event::Event::Batch { .. } => s.batches += 1,
                 crate::event::Event::LaunchEnd { .. } => {}
             },
             TraceFrame::Contexts(map) => s.contexts = map.len() as u64,
@@ -80,6 +87,8 @@ pub fn summarize<R: Read>(input: R) -> Result<TraceSummary, DecodeError> {
             }
         }
     }
+    s.records = reader.records_scanned();
+    s.batch_bytes = reader.batch_bytes();
     Ok(s)
 }
 
@@ -207,6 +216,8 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.records, 8);
         assert_eq!(s.contexts, 2);
+        assert!(s.batch_bytes > 0);
+        assert!(s.batch_bytes < s.records * 32, "columnar batches should beat fixed records");
         assert_eq!(s.stats.events, 8);
         assert_eq!(s.app_us, 42.5);
     }
@@ -221,6 +232,8 @@ mod tests {
         assert_eq!(s.batches, batches);
         assert_eq!(s.contexts, trace.contexts.len() as u64);
         assert_eq!(s.app_us, trace.app_us);
+        assert_eq!(s.version, trace.version);
+        assert_eq!(s.batch_bytes, trace.batch_bytes);
     }
 
     #[test]
