@@ -1,18 +1,28 @@
 //! Replay-path throughput: how fast can a recorded `.vex` trace be
 //! decoded and dispatched back through the analysis engines?
 //!
-//! Three stages are measured per workload, each in events per second:
+//! Five stages are measured per workload, each in events per second:
 //!
 //! * **decode** — parsing the container bytes into [`RecordedTrace`]
-//!   (header, frames, record batches);
+//!   sequentially (header, frames, record batches);
+//! * **decode_parallel** — the same full decode with columnar batches
+//!   spread over a worker pool ([`read_trace_with`], one worker per
+//!   available core);
+//! * **decode_projected** — the parallel decode additionally projected
+//!   onto the fine-pass [`ColumnSet`] (the `vex replay
+//!   --decode-threads N` path);
 //! * **dispatch** — fanning the decoded events into an [`EventSink`]
 //!   (the fixed per-event cost every replay consumer pays);
 //! * **replay_analysis** — a full offline ValueExpert replay (decode
 //!   cost excluded), the `vex replay` end-to-end path.
 //!
 //! Besides the Criterion groups, a `results/replay_throughput.json`
-//! artefact records median events/s for the decode and decode+dispatch
-//! paths.
+//! artefact records median events/s for every decode path plus the
+//! parallel and projected speedups over the sequential decode. On
+//! machines with at least [`GATE_MIN_CORES`] cores the artefact pass
+//! *gates* the projected parallel decode at ≥ [`GATED_SPEEDUP`]× the
+//! sequential decode (the non-gated target is 4×); below that core
+//! count the ratio is reported but not asserted.
 //!
 //! Run with `cargo bench --bench replay_throughput`.
 
@@ -24,9 +34,28 @@ use std::time::Instant;
 use vex_bench::{median, record_app, write_json};
 use vex_core::prelude::*;
 use vex_gpu::timing::DeviceSpec;
-use vex_trace::container::{read_trace, RecordedTrace};
+use vex_trace::codec::ColumnSet;
+use vex_trace::container::{read_trace, read_trace_with, DecodeOptions, RecordedTrace};
 use vex_trace::event::{Event, EventSink};
 use vex_workloads::{all_apps, GpuApp, Variant};
+
+/// Minimum speedup of the projected parallel decode over the
+/// sequential decode, asserted when the host has enough cores.
+const GATED_SPEEDUP: f64 = 3.0;
+
+/// Cores required before the speedup gate is asserted (CI runners have
+/// 4; a 1–2 core box cannot demonstrate parallel speedup).
+const GATE_MIN_CORES: usize = 4;
+
+/// Worker threads for the parallel decode paths: one per core.
+fn decode_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The column demand of a coarse+fine ValueExpert replay.
+fn fine_replay_columns() -> ColumnSet {
+    ValueExpert::builder().coarse(true).fine(true).required_columns()
+}
 
 /// The workloads measured — one small, one large event stream.
 const SELECTION: [&str; 2] = ["backprop", "Darknet"];
@@ -67,6 +96,31 @@ fn bench_replay(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decode", app.name()), &bytes, |b, bytes| {
             b.iter(|| black_box(read_trace(black_box(bytes)).expect("trace decodes")))
         });
+        let parallel = DecodeOptions { threads: decode_threads(), columns: ColumnSet::ALL };
+        group.bench_with_input(
+            BenchmarkId::new("decode_parallel", app.name()),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    black_box(
+                        read_trace_with(black_box(bytes), &parallel).expect("trace decodes"),
+                    )
+                })
+            },
+        );
+        let projected =
+            DecodeOptions { threads: decode_threads(), columns: fine_replay_columns() };
+        group.bench_with_input(
+            BenchmarkId::new("decode_projected", app.name()),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    black_box(
+                        read_trace_with(black_box(bytes), &projected).expect("trace decodes"),
+                    )
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("dispatch", app.name()), &trace, |b, trace| {
             b.iter(|| black_box(dispatch_count(trace)))
         });
@@ -95,7 +149,12 @@ struct ThroughputRow {
     app: String,
     trace_bytes: usize,
     events: usize,
+    decode_threads: usize,
     decode_events_per_s: f64,
+    parallel_decode_events_per_s: f64,
+    projected_decode_events_per_s: f64,
+    parallel_speedup: f64,
+    projected_speedup: f64,
     decode_plus_dispatch_events_per_s: f64,
 }
 
@@ -120,6 +179,19 @@ fn artifact() {
         let decode = measure_events_per_s(events, || {
             black_box(read_trace(black_box(&bytes)).expect("trace decodes"));
         });
+        let threads = decode_threads();
+        let parallel_opts = DecodeOptions { threads, columns: ColumnSet::ALL };
+        let parallel = measure_events_per_s(events, || {
+            black_box(
+                read_trace_with(black_box(&bytes), &parallel_opts).expect("trace decodes"),
+            );
+        });
+        let projected_opts = DecodeOptions { threads, columns: fine_replay_columns() };
+        let projected = measure_events_per_s(events, || {
+            black_box(
+                read_trace_with(black_box(&bytes), &projected_opts).expect("trace decodes"),
+            );
+        });
         let decode_dispatch = measure_events_per_s(events, || {
             let t = read_trace(black_box(&bytes)).expect("trace decodes");
             black_box(dispatch_count(&t));
@@ -128,15 +200,51 @@ fn artifact() {
             app: app.name().to_owned(),
             trace_bytes: bytes.len(),
             events,
+            decode_threads: threads,
             decode_events_per_s: decode,
+            parallel_decode_events_per_s: parallel,
+            projected_decode_events_per_s: projected,
+            parallel_speedup: parallel / decode,
+            projected_speedup: projected / decode,
             decode_plus_dispatch_events_per_s: decode_dispatch,
         });
     }
     for r in &rows {
         println!(
-            "{:<10} {:>10} events {:>12} bytes  decode {:>12.0} ev/s  decode+dispatch {:>12.0} ev/s",
-            r.app, r.events, r.trace_bytes, r.decode_events_per_s,
+            "{:<10} {:>10} events {:>12} bytes  decode {:>12.0} ev/s  parallel({}) {:>12.0} ev/s \
+             ({:.2}x)  projected {:>12.0} ev/s ({:.2}x)  decode+dispatch {:>12.0} ev/s",
+            r.app,
+            r.events,
+            r.trace_bytes,
+            r.decode_events_per_s,
+            r.decode_threads,
+            r.parallel_decode_events_per_s,
+            r.parallel_speedup,
+            r.projected_decode_events_per_s,
+            r.projected_speedup,
             r.decode_plus_dispatch_events_per_s
+        );
+    }
+    // Speedup gate: the projected parallel decode (the `vex replay
+    // --decode-threads` path) must beat the sequential decode by
+    // GATED_SPEEDUP× on every selected workload. Only asserted where
+    // enough cores exist to demonstrate parallelism.
+    if decode_threads() >= GATE_MIN_CORES {
+        for r in &rows {
+            assert!(
+                r.projected_speedup >= GATED_SPEEDUP,
+                "{}: projected parallel decode regressed to {:.2}x over sequential \
+                 (gate {GATED_SPEEDUP}x, {} threads)",
+                r.app,
+                r.projected_speedup,
+                r.decode_threads,
+            );
+        }
+    } else {
+        println!(
+            "speedup gate skipped: {} core(s) available, {} required",
+            decode_threads(),
+            GATE_MIN_CORES
         );
     }
     write_json("replay_throughput", &rows);

@@ -95,11 +95,20 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Report-cache capacity, entries.
     pub cache_entries: usize,
+    /// Worker threads decoding each trace's columnar batches at startup
+    /// (1 = sequential decode).
+    pub decode_threads: usize,
 }
 
 impl ServeArgs {
     fn new(dir: String) -> Self {
-        ServeArgs { dir, addr: "127.0.0.1:7070".into(), workers: 4, cache_entries: 64 }
+        ServeArgs {
+            dir,
+            addr: "127.0.0.1:7070".into(),
+            workers: 4,
+            cache_entries: 64,
+            decode_threads: 1,
+        }
     }
 }
 
@@ -166,6 +175,9 @@ pub struct ReplayArgs {
     pub dot: Option<String>,
     /// Write a Markdown report here.
     pub md: Option<String>,
+    /// Worker threads decoding the trace's columnar batches (1 =
+    /// sequential decode).
+    pub decode_threads: usize,
 }
 
 impl ReplayArgs {
@@ -183,6 +195,7 @@ impl ReplayArgs {
             json: None,
             dot: None,
             md: None,
+            decode_threads: 1,
         }
     }
 }
@@ -261,15 +274,18 @@ usage:
                record the canonical event stream to a .vex trace (default trace.vex);
                sampling and filters are baked into the trace
   vex replay <trace.vex> [--no-coarse] [--fine] [--races] [--reuse LINE_BYTES]
-               [--shards N] [--json PATH] [--dot PATH] [--md PATH]
+               [--shards N] [--decode-threads N] [--json PATH] [--dot PATH] [--md PATH]
                re-run analyses offline from a recorded trace; reports are
-               byte-identical to a live session with the same options
+               byte-identical to a live session with the same options;
+               --decode-threads decodes columnar batches on N workers
   vex replay <trace.vex> --gvprof [--kernel-sampling N] [--block-sampling N]
+               [--decode-threads N]
                replay a --fine trace through the GVProf baseline
   vex info <trace.vex>
                print the container header (format version, device preset)
                and per-event-type counts without materializing the trace
   vex serve <dir> [--addr HOST:PORT] [--workers N] [--cache-entries K]
+               [--decode-threads N]
                load every .vex trace in <dir> and serve profile queries over
                HTTP: /traces, /traces/{id}/report, /traces/{id}/flowgraph,
                /traces/{id}/objects, /traces/{id}/kernels, /healthz, /metrics
@@ -444,6 +460,16 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     "--json" => r.json = Some(take_value(flag, &mut it)?.to_owned()),
                     "--dot" => r.dot = Some(take_value(flag, &mut it)?.to_owned()),
                     "--md" => r.md = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--decode-threads" => {
+                        r.decode_threads = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid decode thread count".into()))?;
+                        if r.decode_threads == 0 {
+                            return Err(UsageError(
+                                "--decode-threads must be at least 1".into(),
+                            ));
+                        }
+                    }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -505,6 +531,16 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                         s.cache_entries = take_value(flag, &mut it)?
                             .parse()
                             .map_err(|_| UsageError("invalid cache capacity".into()))?
+                    }
+                    "--decode-threads" => {
+                        s.decode_threads = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid decode thread count".into()))?;
+                        if s.decode_threads == 0 {
+                            return Err(UsageError(
+                                "--decode-threads must be at least 1".into(),
+                            ));
+                        }
                     }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
@@ -657,9 +693,17 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             .map_err(io_err)
         }
         Command::Replay(r) => {
-            let trace = vex_trace::container::read_trace_file(std::path::Path::new(&r.path))
-                .map_err(|e| UsageError(format!("cannot read trace '{}': {e}", r.path)))?;
             if r.gvprof {
+                // The GVProf baseline declares its own column demand.
+                let opts = vex_trace::container::DecodeOptions {
+                    threads: r.decode_threads,
+                    columns: vex_gvprof::REPLAY_COLUMNS,
+                };
+                let trace = vex_trace::container::read_trace_file_with(
+                    std::path::Path::new(&r.path),
+                    &opts,
+                )
+                .map_err(|e| UsageError(format!("cannot read trace '{}': {e}", r.path)))?;
                 let (results, _) =
                     vex_gvprof::replay(&trace, r.kernel_sampling, r.block_sampling)
                         .map_err(|e| UsageError(e.to_string()))?;
@@ -669,10 +713,18 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 .coarse(r.coarse)
                 .fine(r.fine)
                 .race_detection(r.races)
-                .analysis_shards(r.shards);
+                .analysis_shards(r.shards)
+                .decode_threads(r.decode_threads);
             if let Some(line) = r.reuse {
                 b = b.reuse_distance(line);
             }
+            // Projected parallel decode: only the columns the configured
+            // passes read are materialized, on the requested workers.
+            let trace = vex_trace::container::read_trace_file_with(
+                std::path::Path::new(&r.path),
+                &b.decode_options(),
+            )
+            .map_err(|e| UsageError(format!("cannot read trace '{}': {e}", r.path)))?;
             let profile = b.replay(&trace).map_err(|e| UsageError(e.to_string()))?;
             write!(out, "{}", profile.render_text_document()).map_err(io_err)?;
             if let Some(path) = &r.json {
@@ -752,8 +804,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
 /// Returns [`UsageError`] if the directory cannot be loaded or the
 /// address cannot be bound.
 pub fn start_server(args: &ServeArgs) -> Result<vex_serve::Server, UsageError> {
-    let store = vex_serve::ProfileStore::load_dir(std::path::Path::new(&args.dir))
-        .map_err(|e| UsageError(e.to_string()))?;
+    let store = vex_serve::ProfileStore::load_dir_with(
+        std::path::Path::new(&args.dir),
+        args.decode_threads,
+    )
+    .map_err(|e| UsageError(e.to_string()))?;
     let config = vex_serve::ServerConfig {
         workers: args.workers,
         cache_entries: args.cache_entries,
@@ -925,6 +980,48 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_decode_threads_flag() {
+        // Default: single-threaded decode on both subcommands.
+        match parse_args(["replay", "t.vex"]).unwrap() {
+            Command::Replay(r) => assert_eq!(r.decode_threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["serve", "traces"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s.decode_threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Explicit values.
+        match parse_args(["replay", "t.vex", "--decode-threads", "8"]).unwrap() {
+            Command::Replay(r) => assert_eq!(r.decode_threads, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["serve", "traces", "--decode-threads", "4"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s.decode_threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Valid alongside --gvprof (it is a decode knob, not an analysis).
+        match parse_args(["replay", "t.vex", "--gvprof", "--decode-threads", "2"]).unwrap() {
+            Command::Replay(r) => {
+                assert!(r.gvprof);
+                assert_eq!(r.decode_threads, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invalid values: zero, garbage, missing.
+        for sub in [["replay", "t.vex"], ["serve", "traces"]] {
+            let base = sub.to_vec();
+            let err =
+                parse_args(base.iter().copied().chain(["--decode-threads", "0"])).unwrap_err();
+            assert!(err.0.contains("at least 1"), "{err:?}");
+            let err = parse_args(base.iter().copied().chain(["--decode-threads", "many"]))
+                .unwrap_err();
+            assert!(err.0.contains("invalid decode thread count"), "{err:?}");
+            assert!(parse_args(base.iter().copied().chain(["--decode-threads"])).is_err());
+        }
+        assert!(USAGE.contains("--decode-threads"), "{USAGE}");
     }
 
     #[test]

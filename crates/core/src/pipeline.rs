@@ -64,7 +64,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use vex_gpu::alloc::{AllocId, AllocationInfo};
 use vex_gpu::hooks::{ApiEvent, ApiKind, CapturedView, LaunchInfo};
-use vex_trace::event::{Event, EventSink, KernelSummary};
+use vex_trace::event::{ColumnSet, Event, EventSink, KernelSummary};
 use vex_trace::AccessRecord;
 
 /// Static configuration of a pipelined session, filled in by
@@ -86,6 +86,37 @@ pub(crate) struct PipelineSpec {
     pub reuse_line_bytes: Option<u64>,
     /// Race detection enabled.
     pub races: bool,
+}
+
+impl PipelineSpec {
+    /// Columns of the fine record stream the pipeline's workers read —
+    /// the union of the demands of every enabled pass. A replay decode
+    /// projected onto this set feeds the pipeline byte-identically.
+    ///
+    /// The fine shards read pc/value/size for type decoding, addresses
+    /// for object attribution, the flags byte for direction and space,
+    /// and block ids for sampling; reuse distance needs only addresses
+    /// (plus flags for the global-space filter); race detection adds
+    /// pcs and block ids. Thread ids are never consulted. The router
+    /// itself shards on `(space, addr)`, covered by the fine demand.
+    pub fn required_columns(&self) -> ColumnSet {
+        let mut cols = ColumnSet::NONE;
+        if self.fine {
+            cols |= ColumnSet::PC
+                | ColumnSet::ADDR
+                | ColumnSet::BITS
+                | ColumnSet::SIZE
+                | ColumnSet::FLAGS
+                | ColumnSet::BLOCK;
+        }
+        if self.reuse_line_bytes.is_some() {
+            cols |= ColumnSet::ADDR | ColumnSet::FLAGS;
+        }
+        if self.races {
+            cols |= ColumnSet::PC | ColumnSet::ADDR | ColumnSet::FLAGS | ColumnSet::BLOCK;
+        }
+        cols
+    }
 }
 
 /// Messages consumed by the router thread. Trace events and registry

@@ -51,8 +51,10 @@ use vex_gpu::ir::MemSpace;
 use vex_gpu::runtime::Runtime;
 use vex_gpu::timing::DeviceSpec;
 use vex_trace::codec::DecodeError;
-use vex_trace::container::{RecordedTrace, TraceFlags, TraceWriter};
-use vex_trace::event::{AnalysisPass, Event, EventSink, EventSource, EventSourceConfig};
+use vex_trace::container::{DecodeOptions, RecordedTrace, TraceFlags, TraceWriter};
+use vex_trace::event::{
+    AnalysisPass, ColumnSet, Event, EventSink, EventSource, EventSourceConfig,
+};
 use vex_trace::{CollectorStats, LaunchFilter};
 
 /// A spawned analysis engine: the sink fed to the [`EventSource`] plus
@@ -76,6 +78,7 @@ pub struct ProfilerBuilder {
     warp_compaction: bool,
     analysis_shards: usize,
     analysis_queue_depth: usize,
+    decode_threads: usize,
 }
 
 impl Default for ProfilerBuilder {
@@ -95,6 +98,7 @@ impl Default for ProfilerBuilder {
             warp_compaction: true,
             analysis_shards: 0,
             analysis_queue_depth: 64,
+            decode_threads: 1,
         }
     }
 }
@@ -220,6 +224,42 @@ impl ProfilerBuilder {
     pub fn analysis_queue_depth(mut self, depth: usize) -> Self {
         self.analysis_queue_depth = depth.max(1);
         self
+    }
+
+    /// Worker threads for decoding a recorded trace's columnar batch
+    /// frames before replay (`vex replay --decode-threads`). Values ≤ 1
+    /// decode on the calling thread. Only consulted through
+    /// [`ProfilerBuilder::decode_options`]; [`ProfilerBuilder::replay`]
+    /// takes an already-decoded trace.
+    #[must_use]
+    pub fn decode_threads(mut self, threads: usize) -> Self {
+        self.decode_threads = threads.max(1);
+        self
+    }
+
+    /// Columns of the fine record stream the configured passes read —
+    /// what a projected trace decode must materialize so this builder's
+    /// replay stays byte-identical to a full decode. Coarse-only
+    /// configurations demand no batch columns at all.
+    pub fn required_columns(&self) -> ColumnSet {
+        PipelineSpec {
+            shards: self.analysis_shards.max(1),
+            queue_depth: self.analysis_queue_depth,
+            coarse: self.coarse,
+            fine: self.fine,
+            pattern: self.pattern,
+            policy: self.copy_policy,
+            reuse_line_bytes: self.reuse_line_bytes.filter(|_| self.fine),
+            races: self.race_detection && self.fine,
+        }
+        .required_columns()
+    }
+
+    /// The [`DecodeOptions`] this builder implies for reading a trace it
+    /// will replay: its decode thread count and its per-pass column
+    /// projection.
+    pub fn decode_options(&self) -> DecodeOptions {
+        DecodeOptions { threads: self.decode_threads, columns: self.required_columns() }
     }
 
     /// The collector configuration this builder implies. The API stream
@@ -520,6 +560,26 @@ impl EventSink for SyncEngine {
 impl AnalysisPass for SyncEngine {
     fn name(&self) -> &'static str {
         "valueexpert"
+    }
+
+    fn columns(&self) -> ColumnSet {
+        let inner = self.inner.lock();
+        let mut cols = ColumnSet::NONE;
+        if inner.fine.is_some() {
+            cols |= ColumnSet::PC
+                | ColumnSet::ADDR
+                | ColumnSet::BITS
+                | ColumnSet::SIZE
+                | ColumnSet::FLAGS
+                | ColumnSet::BLOCK;
+        }
+        if inner.reuse.is_some() {
+            cols |= ColumnSet::ADDR | ColumnSet::FLAGS;
+        }
+        if inner.races.is_some() {
+            cols |= ColumnSet::PC | ColumnSet::ADDR | ColumnSet::FLAGS | ColumnSet::BLOCK;
+        }
+        cols
     }
 }
 

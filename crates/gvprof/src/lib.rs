@@ -32,7 +32,9 @@ use std::sync::Arc;
 use vex_gpu::hooks::LaunchInfo;
 use vex_gpu::runtime::Runtime;
 use vex_trace::container::RecordedTrace;
-use vex_trace::event::{AnalysisPass, Event, EventSink, EventSource, EventSourceConfig};
+use vex_trace::event::{
+    AnalysisPass, ColumnSet, Event, EventSink, EventSource, EventSourceConfig,
+};
 use vex_trace::{AcceptAll, AccessRecord, CollectorStats};
 
 /// Per-kernel redundancy metrics, GVProf's unit of reporting.
@@ -240,7 +242,19 @@ impl AnalysisPass for GvProf {
     fn name(&self) -> &'static str {
         "gvprof"
     }
+
+    fn columns(&self) -> ColumnSet {
+        REPLAY_COLUMNS
+    }
 }
+
+/// Columns of the fine record stream GVProf reads: addresses and value
+/// bits for the redundancy maps, the flags byte for load/store
+/// direction, and block ids for hierarchical block sampling. PCs,
+/// access sizes, and thread ids are never consulted, so a projected
+/// decode may skip them.
+pub const REPLAY_COLUMNS: ColumnSet =
+    ColumnSet::ADDR.union(ColumnSet::BITS).union(ColumnSet::FLAGS).union(ColumnSet::BLOCK);
 
 /// Replaying a trace through GVProf failed before any analysis ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

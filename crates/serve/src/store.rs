@@ -17,7 +17,7 @@ use std::path::Path;
 use vex_core::profiler::{ReplayError, ValueExpert};
 use vex_core::report::Profile;
 use vex_gpu::hooks::ApiKind;
-use vex_trace::container::{read_trace_file, RecordedTrace};
+use vex_trace::container::{read_trace_file_with, DecodeOptions, RecordedTrace};
 use vex_trace::event::Event;
 use vex_trace::summary::TraceSummary;
 
@@ -114,6 +114,20 @@ impl ProfileStore {
     /// decode, or two files share a stem. An empty directory is a valid
     /// (empty) store.
     pub fn load_dir(dir: &Path) -> Result<Self, StoreError> {
+        Self::load_dir_with(dir, 1)
+    }
+
+    /// [`load_dir`](Self::load_dir), decoding each trace's columnar
+    /// batches on `decode_threads` workers. All columns are materialized
+    /// — the server answers arbitrary `ReportParams` later, so no
+    /// projection is safe here — but batch decode parallelizes the cold
+    /// startup path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`load_dir`](Self::load_dir).
+    pub fn load_dir_with(dir: &Path, decode_threads: usize) -> Result<Self, StoreError> {
+        let opts = DecodeOptions { threads: decode_threads, ..DecodeOptions::default() };
         let entries = std::fs::read_dir(dir)
             .map_err(|e| StoreError(format!("cannot read {}: {e}", dir.display())))?;
         let mut paths: Vec<std::path::PathBuf> = entries
@@ -128,7 +142,7 @@ impl ProfileStore {
                 .and_then(|s| s.to_str())
                 .ok_or_else(|| StoreError(format!("non-utf8 trace name: {}", path.display())))?
                 .to_owned();
-            let trace = read_trace_file(&path)
+            let trace = read_trace_file_with(&path, &opts)
                 .map_err(|e| StoreError(format!("cannot load {}: {e}", path.display())))?;
             let stored = StoredTrace::new(id.clone(), trace);
             if traces.insert(id.clone(), stored).is_some() {

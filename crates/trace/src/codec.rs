@@ -21,9 +21,200 @@
 use crate::AccessRecord;
 use vex_gpu::ir::{MemSpace, Pc};
 
-const FLAG_STORE: u8 = 1 << 0;
-const FLAG_SHARED: u8 = 1 << 1;
-const FLAG_ATOMIC: u8 = 1 << 2;
+/// Flags-byte bit: the access is a store.
+pub const FLAG_STORE: u8 = 1 << 0;
+/// Flags-byte bit: the access targets shared memory.
+pub const FLAG_SHARED: u8 = 1 << 1;
+/// Flags-byte bit: the access is a hardware atomic.
+pub const FLAG_ATOMIC: u8 = 1 << 2;
+
+/// A set of access-record columns, used to project a v2 columnar batch
+/// decode onto the fields an analysis actually reads. Undemanded
+/// columns are skipped structurally (their length prefix is honoured
+/// but their contents are never bit-unpacked) and come back zero-filled
+/// in [`DecodedBatch::into_records`].
+///
+/// The address column is delta-coded against a per-pc predictor, so
+/// demanding [`ColumnSet::ADDR`] implies decoding the pc *index*
+/// column; the pc dictionary values themselves are only materialized
+/// under [`ColumnSet::PC`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnSet(u8);
+
+impl ColumnSet {
+    /// No columns: structural validation only.
+    pub const NONE: ColumnSet = ColumnSet(0);
+    /// The program counter of each access.
+    pub const PC: ColumnSet = ColumnSet(1 << 0);
+    /// The device address of each access.
+    pub const ADDR: ColumnSet = ColumnSet(1 << 1);
+    /// The raw value bits of each access.
+    pub const BITS: ColumnSet = ColumnSet(1 << 2);
+    /// The access width in bytes.
+    pub const SIZE: ColumnSet = ColumnSet(1 << 3);
+    /// The flags byte (store/shared/atomic).
+    pub const FLAGS: ColumnSet = ColumnSet(1 << 4);
+    /// The flat block id.
+    pub const BLOCK: ColumnSet = ColumnSet(1 << 5);
+    /// The in-block thread id.
+    pub const THREAD: ColumnSet = ColumnSet(1 << 6);
+    /// Every column — full-fidelity decode.
+    pub const ALL: ColumnSet = ColumnSet(0x7F);
+    /// Each single-column set, in column order (tests iterate these).
+    pub const EACH: [ColumnSet; 7] = [
+        ColumnSet::PC,
+        ColumnSet::ADDR,
+        ColumnSet::BITS,
+        ColumnSet::SIZE,
+        ColumnSet::FLAGS,
+        ColumnSet::BLOCK,
+        ColumnSet::THREAD,
+    ];
+
+    /// Whether every column of `other` is in `self`.
+    pub const fn contains(self, other: ColumnSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any column of `other` is in `self`.
+    pub const fn intersects(self, other: ColumnSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Const union (the `|` operator, usable in const contexts).
+    pub const fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for ColumnSet {
+    type Output = ColumnSet;
+    fn bitor(self, rhs: ColumnSet) -> ColumnSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for ColumnSet {
+    fn bitor_assign(&mut self, rhs: ColumnSet) {
+        *self = self.union(rhs);
+    }
+}
+
+/// A structure-of-arrays view of one decoded columnar batch: the
+/// demanded columns as parallel vectors, each either empty (column not
+/// in [`DecodedBatch::columns`]) or exactly [`DecodedBatch::count`]
+/// long. Column-at-a-time consumers (`ValueStats::record_batch`-style
+/// hot paths) index the vectors directly; row-at-a-time consumers call
+/// [`DecodedBatch::into_records`], which zero-fills undemanded fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodedBatch {
+    /// Records in the batch.
+    pub count: usize,
+    /// Which columns were materialized.
+    pub columns: ColumnSet,
+    /// Program counters ([`ColumnSet::PC`]).
+    pub pcs: Vec<Pc>,
+    /// Device addresses ([`ColumnSet::ADDR`]).
+    pub addrs: Vec<u64>,
+    /// Raw value bits ([`ColumnSet::BITS`]).
+    pub bits: Vec<u64>,
+    /// Access widths ([`ColumnSet::SIZE`]).
+    pub sizes: Vec<u8>,
+    /// Flags bytes ([`ColumnSet::FLAGS`]; see [`FLAG_STORE`] etc.).
+    pub flags: Vec<u8>,
+    /// Flat block ids ([`ColumnSet::BLOCK`]).
+    pub blocks: Vec<u32>,
+    /// In-block thread ids ([`ColumnSet::THREAD`]).
+    pub threads: Vec<u32>,
+}
+
+impl Default for ColumnSet {
+    fn default() -> Self {
+        ColumnSet::ALL
+    }
+}
+
+impl DecodedBatch {
+    /// Builds the SoA view of an in-memory record slice (all columns).
+    pub fn from_records(records: &[AccessRecord]) -> Self {
+        DecodedBatch {
+            count: records.len(),
+            columns: ColumnSet::ALL,
+            pcs: records.iter().map(|r| r.pc).collect(),
+            addrs: records.iter().map(|r| r.addr).collect(),
+            bits: records.iter().map(|r| r.bits).collect(),
+            sizes: records.iter().map(|r| r.size).collect(),
+            flags: records.iter().map(record_flags).collect(),
+            blocks: records.iter().map(|r| r.block).collect(),
+            threads: records.iter().map(|r| r.thread).collect(),
+        }
+    }
+
+    /// Row-assembles the batch into [`AccessRecord`]s. Undemanded
+    /// columns come back zero-filled (`Pc(0)`, address 0, a load of
+    /// global memory, …) — consumers that declared their [`ColumnSet`]
+    /// never read those fields.
+    pub fn into_records(self) -> Vec<AccessRecord> {
+        let count = self.count;
+        if self.columns == ColumnSet::ALL {
+            // Full-fidelity fast path: every column proved it holds
+            // exactly `count` values, so the row assembly below runs
+            // without bounds checks after re-slicing.
+            let pcs = &self.pcs[..count];
+            let addrs = &self.addrs[..count];
+            let bits = &self.bits[..count];
+            let sizes = &self.sizes[..count];
+            let flags = &self.flags[..count];
+            let blocks = &self.blocks[..count];
+            let threads = &self.threads[..count];
+            return (0..count)
+                .map(|i| {
+                    let f = flags[i];
+                    AccessRecord {
+                        pc: pcs[i],
+                        addr: addrs[i],
+                        bits: bits[i],
+                        size: sizes[i],
+                        is_store: f & FLAG_STORE != 0,
+                        space: if f & FLAG_SHARED != 0 {
+                            MemSpace::Shared
+                        } else {
+                            MemSpace::Global
+                        },
+                        block: blocks[i],
+                        thread: threads[i],
+                        is_atomic: f & FLAG_ATOMIC != 0,
+                    }
+                })
+                .collect();
+        }
+        (0..count)
+            .map(|i| {
+                let f = self.flags.get(i).copied().unwrap_or(0);
+                AccessRecord {
+                    pc: self.pcs.get(i).copied().unwrap_or(Pc(0)),
+                    addr: self.addrs.get(i).copied().unwrap_or(0),
+                    bits: self.bits.get(i).copied().unwrap_or(0),
+                    size: self.sizes.get(i).copied().unwrap_or(0),
+                    is_store: f & FLAG_STORE != 0,
+                    space: if f & FLAG_SHARED != 0 {
+                        MemSpace::Shared
+                    } else {
+                        MemSpace::Global
+                    },
+                    block: self.blocks.get(i).copied().unwrap_or(0),
+                    thread: self.threads.get(i).copied().unwrap_or(0),
+                    is_atomic: f & FLAG_ATOMIC != 0,
+                }
+            })
+            .collect()
+    }
+}
 
 /// Errors decoding a device buffer or a `.vex` trace container
 /// ([`crate::container`]).
@@ -539,6 +730,30 @@ pub fn scan_columnar_batch(buf: &[u8]) -> Result<u64, &'static str> {
 /// dictionary entries or indices out of range, deltas escaping their
 /// column's range, invalid flags, bad run lengths, or trailing bytes.
 pub fn decode_columnar_batch(buf: &[u8]) -> Result<Vec<AccessRecord>, &'static str> {
+    Ok(decode_columnar_batch_projected(buf, ColumnSet::ALL)?.into_records())
+}
+
+/// Decodes a v2 columnar batch payload, materializing only the columns
+/// in `cols` (the full decode is the [`ColumnSet::ALL`] projection).
+/// The batch is always walked structurally — record count, the seven
+/// column length prefixes, the trailing-bytes check — but the contents
+/// of an undemanded column are never bit-unpacked or validated; the
+/// corresponding [`DecodedBatch`] vectors come back empty.
+///
+/// Because addresses are delta-coded against a per-pc predictor,
+/// demanding [`ColumnSet::ADDR`] decodes the pc index column too (the
+/// dictionary values themselves are materialized only under
+/// [`ColumnSet::PC`]).
+///
+/// # Errors
+///
+/// As [`decode_columnar_batch`] for the structural checks and for every
+/// demanded column; a corruption confined to an undemanded column's
+/// contents is not detected.
+pub fn decode_columnar_batch_projected(
+    buf: &[u8],
+    cols: ColumnSet,
+) -> Result<DecodedBatch, &'static str> {
     let mut pos = 0usize;
     let count = read_uvarint(buf, &mut pos)?;
     // RLE breaks the payload-proportional size bound fixed records have,
@@ -549,11 +764,12 @@ pub fn decode_columnar_batch(buf: &[u8]) -> Result<Vec<AccessRecord>, &'static s
         return Err("record count exceeds limit");
     }
     let count = count as usize;
+    let mut batch = DecodedBatch { count, columns: cols, ..DecodedBatch::default() };
     if count == 0 {
         if pos != buf.len() {
             return Err("trailing bytes after columnar batch");
         }
-        return Ok(Vec::new());
+        return Ok(batch);
     }
     let pc_col = take_column(buf, &mut pos)?;
     let addr_col = take_column(buf, &mut pos)?;
@@ -566,123 +782,124 @@ pub fn decode_columnar_batch(buf: &[u8]) -> Result<Vec<AccessRecord>, &'static s
         return Err("trailing bytes after columnar batch");
     }
 
-    // pc column: dictionary, then fixed-width bit-packed indices.
-    let mut pc_pos = 0usize;
-    let dict_len = read_uvarint(pc_col, &mut pc_pos)?;
-    if dict_len == 0 || dict_len > count as u64 {
-        return Err("pc dictionary size out of range");
-    }
-    // Capacity hints are capped: `count` and `dict_len` are attacker
-    // data until the columns prove they account for every record.
-    let mut dict: Vec<u32> = Vec::with_capacity((dict_len as usize).min(1 << 16));
-    for _ in 0..dict_len {
-        let v = read_uvarint(pc_col, &mut pc_pos)?;
-        if v > u32::MAX as u64 {
-            return Err("pc dictionary entry exceeds u32 range");
+    // pc column: dictionary, then fixed-width bit-packed indices. The
+    // indices drive the address predictor, so ADDR demands them too.
+    let (dict, idxs) = if cols.intersects(ColumnSet::PC.union(ColumnSet::ADDR)) {
+        let mut pc_pos = 0usize;
+        let dict_len = read_uvarint(pc_col, &mut pc_pos)?;
+        if dict_len == 0 || dict_len > count as u64 {
+            return Err("pc dictionary size out of range");
         }
-        dict.push(v as u32);
-    }
-    let bpi = bits_per_index(dict_len);
-    let packed = &pc_col[pc_pos..];
-    if packed.len() as u64 != (count as u64 * bpi as u64).div_ceil(8) {
-        return Err("column length does not match contents");
-    }
-    // Unpack the per-record dictionary indices, validating each one, so
-    // every later use of an index is known in-range.
-    let mut idxs: Vec<u32> = Vec::with_capacity(count.min(1 << 16));
-    if bpi == 0 {
-        idxs.resize(count, 0);
-    } else {
-        let mask = (1u64 << bpi) - 1;
-        let (mut acc, mut nbits, mut ppos) = (0u64, 0u32, 0usize);
-        for _ in 0..count {
-            while nbits < bpi {
-                acc |= (packed[ppos] as u64) << nbits;
-                ppos += 1;
-                nbits += 8;
+        // Capacity hints are capped: `count` and `dict_len` are attacker
+        // data until the columns prove they account for every record.
+        let mut dict: Vec<u32> = Vec::with_capacity((dict_len as usize).min(1 << 16));
+        for _ in 0..dict_len {
+            let v = read_uvarint(pc_col, &mut pc_pos)?;
+            if v > u32::MAX as u64 {
+                return Err("pc dictionary entry exceeds u32 range");
             }
-            let idx = (acc & mask) as u32;
-            acc >>= bpi;
-            nbits -= bpi;
-            if idx as u64 >= dict_len {
-                return Err("pc index out of dictionary range");
-            }
-            idxs.push(idx);
+            dict.push(v as u32);
         }
-    }
-
-    // addr and bits span the full u64 range, so wrapping reconstruction
-    // is lossless and cannot be "out of range". The address predictor is
-    // a flat per-dictionary-index array of last addresses.
-    let mut addrs: Vec<u64> = Vec::with_capacity(count.min(1 << 16));
-    let mut pred = vec![0u64; dict.len()];
-    for_each_rle_run(addr_col, count, |value, run| {
-        let residual = zigzag_decode(value) as u64;
-        let start = addrs.len();
-        for &idx in &idxs[start..start + run] {
-            let addr = pred[idx as usize].wrapping_add(residual);
-            pred[idx as usize] = addr;
-            addrs.push(addr);
+        let bpi = bits_per_index(dict_len);
+        let packed = &pc_col[pc_pos..];
+        if packed.len() as u64 != (count as u64 * bpi as u64).div_ceil(8) {
+            return Err("column length does not match contents");
         }
-        Ok(())
-    })?;
-
-    let mut bits: Vec<u64> = Vec::with_capacity(count.min(1 << 16));
-    let mut prev_bits = 0u64;
-    for_each_rle_run(bits_col, count, |x, run| {
-        if x == 0 {
-            // Repeated values are by far the common case: constant fill.
-            bits.resize(bits.len() + run, prev_bits);
+        // Unpack the per-record dictionary indices, validating each one,
+        // so every later use of an index is known in-range.
+        let mut idxs: Vec<u32> = Vec::with_capacity(count.min(1 << 16));
+        if bpi == 0 {
+            idxs.resize(count, 0);
         } else {
-            for _ in 0..run {
-                prev_bits ^= x;
-                bits.push(prev_bits);
+            let mask = (1u64 << bpi) - 1;
+            let (mut acc, mut nbits, mut ppos) = (0u64, 0u32, 0usize);
+            for _ in 0..count {
+                while nbits < bpi {
+                    acc |= (packed[ppos] as u64) << nbits;
+                    ppos += 1;
+                    nbits += 8;
+                }
+                let idx = (acc & mask) as u32;
+                acc >>= bpi;
+                nbits -= bpi;
+                if idx as u64 >= dict_len {
+                    return Err("pc index out of dictionary range");
+                }
+                idxs.push(idx);
             }
         }
-        Ok(())
-    })?;
+        (dict, idxs)
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
-    let sizes = decode_rle_u8_column(size_col, count, |v| {
-        if v > u8::MAX as u64 {
-            return Err("rle value exceeds one byte");
-        }
-        Ok(v as u8)
-    })?;
-    let flags = decode_rle_u8_column(flags_col, count, |v| {
-        if v & !((FLAG_STORE | FLAG_SHARED | FLAG_ATOMIC) as u64) != 0 {
-            return Err("reserved flag bits set");
-        }
-        Ok(v as u8)
-    })?;
-    let blocks = decode_delta_rle_u32_column(block_col, count)?;
-    let threads = decode_delta_rle_u32_column(thread_col, count)?;
-
-    // Re-slicing to `count` (every column proved it holds exactly that
-    // many values) lets the row assembly below run without bounds checks.
-    let idxs = &idxs[..count];
-    let addrs = &addrs[..count];
-    let bits = &bits[..count];
-    let sizes = &sizes[..count];
-    let flags = &flags[..count];
-    let blocks = &blocks[..count];
-    let threads = &threads[..count];
-    let records: Vec<AccessRecord> = (0..count)
-        .map(|i| {
-            let f = flags[i];
-            AccessRecord {
-                pc: Pc(dict[idxs[i] as usize]),
-                addr: addrs[i],
-                bits: bits[i],
-                size: sizes[i],
-                is_store: f & FLAG_STORE != 0,
-                space: if f & FLAG_SHARED != 0 { MemSpace::Shared } else { MemSpace::Global },
-                block: blocks[i],
-                thread: threads[i],
-                is_atomic: f & FLAG_ATOMIC != 0,
+    if cols.contains(ColumnSet::ADDR) {
+        // addr and bits span the full u64 range, so wrapping
+        // reconstruction is lossless and cannot be "out of range". The
+        // address predictor is a flat per-dictionary-index array of last
+        // addresses.
+        let mut addrs: Vec<u64> = Vec::with_capacity(count.min(1 << 16));
+        let mut pred = vec![0u64; dict.len()];
+        for_each_rle_run(addr_col, count, |value, run| {
+            let residual = zigzag_decode(value) as u64;
+            let start = addrs.len();
+            for &idx in &idxs[start..start + run] {
+                let addr = pred[idx as usize].wrapping_add(residual);
+                pred[idx as usize] = addr;
+                addrs.push(addr);
             }
-        })
-        .collect();
-    Ok(records)
+            Ok(())
+        })?;
+        batch.addrs = addrs;
+    }
+
+    if cols.contains(ColumnSet::BITS) {
+        let mut bits: Vec<u64> = Vec::with_capacity(count.min(1 << 16));
+        let mut prev_bits = 0u64;
+        for_each_rle_run(bits_col, count, |x, run| {
+            if x == 0 {
+                // Repeated values are by far the common case: constant
+                // fill.
+                bits.resize(bits.len() + run, prev_bits);
+            } else {
+                for _ in 0..run {
+                    prev_bits ^= x;
+                    bits.push(prev_bits);
+                }
+            }
+            Ok(())
+        })?;
+        batch.bits = bits;
+    }
+
+    if cols.contains(ColumnSet::SIZE) {
+        batch.sizes = decode_rle_u8_column(size_col, count, |v| {
+            if v > u8::MAX as u64 {
+                return Err("rle value exceeds one byte");
+            }
+            Ok(v as u8)
+        })?;
+    }
+    if cols.contains(ColumnSet::FLAGS) {
+        batch.flags = decode_rle_u8_column(flags_col, count, |v| {
+            if v & !((FLAG_STORE | FLAG_SHARED | FLAG_ATOMIC) as u64) != 0 {
+                return Err("reserved flag bits set");
+            }
+            Ok(v as u8)
+        })?;
+    }
+    if cols.contains(ColumnSet::BLOCK) {
+        batch.blocks = decode_delta_rle_u32_column(block_col, count)?;
+    }
+    if cols.contains(ColumnSet::THREAD) {
+        batch.threads = decode_delta_rle_u32_column(thread_col, count)?;
+    }
+    if cols.contains(ColumnSet::PC) {
+        // Indices were validated against `dict_len` above, so the
+        // dictionary lookup cannot go out of bounds.
+        batch.pcs = idxs.iter().map(|&i| Pc(dict[i as usize])).collect();
+    }
+    Ok(batch)
 }
 
 /// Encodes one record into its 32-byte wire form.

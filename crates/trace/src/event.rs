@@ -31,6 +31,7 @@
 //! Memory-management APIs (malloc/free/memcpy/memset) emit a single
 //! [`Event::Api`] each.
 
+pub use crate::codec::{ColumnSet, DecodedBatch};
 use crate::interval::{merge_parallel, warp_compact, Interval};
 use crate::{AccessRecord, CollectorStats, DeviceBuffer, LaunchFilter};
 use parking_lot::Mutex;
@@ -200,6 +201,16 @@ pub trait EventSink: Send + Sync {
 pub trait AnalysisPass: EventSink {
     /// Human-readable pass name, for diagnostics and replay banners.
     fn name(&self) -> &'static str;
+
+    /// Columns of the fine-grained record stream this pass reads from
+    /// [`Event::Batch`]. A projected decode
+    /// ([`crate::container::DecodeOptions`]) zero-fills every other
+    /// field, so a pass that reads only its declared columns produces
+    /// byte-identical results under any covering projection. The
+    /// default is full fidelity.
+    fn columns(&self) -> ColumnSet {
+        ColumnSet::ALL
+    }
 }
 
 /// Broadcasts each event to several sinks, in registration order.

@@ -15,7 +15,7 @@ use vex_core::profiler::ProfilerBuilder;
 use vex_gpu::runtime::Runtime;
 use vex_gpu::timing::DeviceSpec;
 use vex_gvprof::GvProfSession;
-use vex_trace::container::read_trace;
+use vex_trace::container::{read_trace, read_trace_with};
 use vex_workloads::{all_apps, GpuApp, Variant};
 
 /// Every byte-comparable rendering of a profile.
@@ -51,6 +51,40 @@ fn assert_replay_equivalent(app: &dyn GpuApp, make_builder: &dyn Fn() -> Profile
     }
 }
 
+/// Records `app` once and checks that replaying from a *projected,
+/// parallel* decode — only the columns the configured passes declare,
+/// decoded on a worker pool — reproduces the full sequential decode's
+/// report byte-for-byte, under the synchronous engine and 1/8 pipeline
+/// shards.
+fn assert_projected_replay_equivalent(
+    app: &dyn GpuApp,
+    make_builder: &dyn Fn() -> ProfilerBuilder,
+) {
+    let spec = DeviceSpec::rtx2080ti();
+    let bytes = record_app(&spec, app, Variant::Baseline, make_builder());
+    let full = read_trace(&bytes).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+
+    for shards in [0usize, 1, 8] {
+        let make_sharded = || make_builder().analysis_shards(shards).decode_threads(8);
+        let baseline = make_sharded()
+            .replay(&full)
+            .unwrap_or_else(|e| panic!("{}: full replay failed: {e}", app.name()));
+        let opts = make_sharded().decode_options();
+        let projected = read_trace_with(&bytes, &opts)
+            .unwrap_or_else(|e| panic!("{}: projected decode failed: {e}", app.name()));
+        let replayed = make_sharded()
+            .replay(&projected)
+            .unwrap_or_else(|e| panic!("{}: projected replay failed: {e}", app.name()));
+        assert_eq!(
+            rendered(&baseline),
+            rendered(&replayed),
+            "{}: report diverged between full and projected decode ({shards} shards, {:?})",
+            app.name(),
+            opts.columns,
+        );
+    }
+}
+
 /// Coarse + fine on every bundled workload, through every engine.
 #[test]
 fn every_workload_replays_byte_identically() {
@@ -59,6 +93,41 @@ fn every_workload_replays_byte_identically() {
             ValueExpert::builder().coarse(true).fine(true).block_sampling(4)
         });
     }
+}
+
+/// Every workload's report is byte-identical between a full decode and
+/// the per-pass projected parallel decode (`ProfilerBuilder`'s declared
+/// columns on 8 worker threads), at sync and 1/8 shards.
+#[test]
+fn every_workload_replays_projected_byte_identically() {
+    for app in all_apps() {
+        assert_projected_replay_equivalent(app.as_ref(), &|| {
+            ValueExpert::builder().coarse(true).fine(true).block_sampling(4)
+        });
+    }
+}
+
+/// The projected decode of the aux analyses (reuse distance, race
+/// detection) also reproduces the full decode byte-for-byte — these
+/// passes widen the demanded column set.
+#[test]
+fn aux_analyses_replay_projected_byte_identically() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_projected_replay_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(true).fine(true).reuse_distance(32).race_detection(true)
+    });
+}
+
+/// Coarse-only replay demands no access columns at all: the projected
+/// decode drops every record column yet the report still matches.
+#[test]
+fn coarse_only_replay_projected_byte_identically() {
+    let apps = all_apps();
+    let app = apps.first().expect("bundled workloads");
+    assert_projected_replay_equivalent(app.as_ref(), &|| {
+        ValueExpert::builder().coarse(true).fine(false)
+    });
 }
 
 /// Record-time sampling and filtering are baked into the trace; a replay
