@@ -217,6 +217,37 @@ pub fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, Vec<u8>) {
     (status, raw[head_end..].to_vec())
 }
 
+/// Issues one `POST` with a `Content-Length` body against a loopback
+/// `vex-serve` instance and returns `(status code, body bytes)`. Used by
+/// the ingest suites and the ingest-rate benchmark.
+///
+/// # Panics
+///
+/// Panics if the connection fails or the response is not valid HTTP.
+pub fn http_post(addr: std::net::SocketAddr, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to vex-serve");
+    conn.write_all(
+        format!("POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n", body.len())
+            .as_bytes(),
+    )
+    .expect("send request head");
+    // An early error response (e.g. 413 on an over-cap Content-Length)
+    // may arrive while the body is still in flight; a write failure here
+    // is that response racing the upload, not a test failure.
+    let _ = conn.write_all(body);
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap_or_else(|| {
+        panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw))
+    }) + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).expect("ASCII response head");
+    assert!(head.starts_with("HTTP/1.1 "), "bad status line: {head}");
+    let status: u16 =
+        head.split(' ').nth(1).expect("status code").parse().expect("numeric status code");
+    (status, raw[head_end..].to_vec())
+}
+
 /// The pattern matrix of Table 1: for each application, the patterns the
 /// paper's run exhibited.
 pub fn table1_expected(app: &str) -> BTreeSet<ValuePattern> {

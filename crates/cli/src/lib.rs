@@ -80,6 +80,16 @@ pub enum Command {
     },
     /// `vex serve <dir> [options]` — serve recorded traces over HTTP.
     Serve(ServeArgs),
+    /// `vex push <trace.vex> [--url URL] [--id ID]` — stream a recorded
+    /// trace to a running `vex serve --ingest`.
+    Push {
+        /// Trace path to push.
+        path: String,
+        /// Server base URL.
+        url: String,
+        /// Trace id on the server (default: the file stem).
+        id: Option<String>,
+    },
     /// `vex help`.
     Help,
 }
@@ -95,9 +105,21 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Report-cache capacity, entries.
     pub cache_entries: usize,
-    /// Worker threads decoding each trace's columnar batches at startup
-    /// (1 = sequential decode).
+    /// Worker threads decoding a trace's columnar batches when it is
+    /// materialized (1 = sequential decode).
     pub decode_threads: usize,
+    /// Upper bound on resident decoded trace bytes (`None` =
+    /// unbounded); least-recently-used decoded traces are evicted to
+    /// stay under it.
+    pub memory_budget: Option<u64>,
+    /// Enable the mutation endpoints (`POST /ingest/{id}`,
+    /// `DELETE /traces/{id}`).
+    pub ingest: bool,
+    /// Per-request cap on an ingest body, bytes.
+    pub max_ingest_bytes: u64,
+    /// Fail startup on the first corrupt trace instead of quarantining
+    /// it.
+    pub strict: bool,
 }
 
 impl ServeArgs {
@@ -108,6 +130,10 @@ impl ServeArgs {
             workers: 4,
             cache_entries: 64,
             decode_threads: 1,
+            memory_budget: None,
+            ingest: false,
+            max_ingest_bytes: 64 * 1024 * 1024,
+            strict: false,
         }
     }
 }
@@ -131,6 +157,10 @@ pub struct RecordArgs {
     pub filters: Vec<String>,
     /// Output trace path.
     pub output: String,
+    /// Stream the finished trace to this `vex serve --ingest` URL
+    /// instead of writing it to disk; the trace id is the output file
+    /// stem.
+    pub push: Option<String>,
 }
 
 impl RecordArgs {
@@ -144,6 +174,7 @@ impl RecordArgs {
             block_sampling: 1,
             filters: Vec::new(),
             output: "trace.vex".into(),
+            push: None,
         }
     }
 }
@@ -271,8 +302,11 @@ usage:
   vex gvprof <app>
   vex record <app> [-o|--output PATH] [--device 2080ti|a100] [--no-coarse] [--fine]
                [--kernel-sampling N] [--block-sampling N] [--filter SUBSTR]...
+               [--push URL]
                record the canonical event stream to a .vex trace (default trace.vex);
-               sampling and filters are baked into the trace
+               sampling and filters are baked into the trace; --push streams
+               the finished trace to a running `vex serve --ingest` (id = the
+               output file stem) instead of writing it to disk
   vex replay <trace.vex> [--no-coarse] [--fine] [--races] [--reuse LINE_BYTES]
                [--shards N] [--decode-threads N] [--json PATH] [--dot PATH] [--md PATH]
                re-run analyses offline from a recorded trace; reports are
@@ -285,10 +319,20 @@ usage:
                print the container header (format version, device preset)
                and per-event-type counts without materializing the trace
   vex serve <dir> [--addr HOST:PORT] [--workers N] [--cache-entries K]
-               [--decode-threads N]
-               load every .vex trace in <dir> and serve profile queries over
-               HTTP: /traces, /traces/{id}/report, /traces/{id}/flowgraph,
-               /traces/{id}/objects, /traces/{id}/kernels, /healthz, /metrics
+               [--decode-threads N] [--memory-budget BYTES[k|m|g]] [--ingest]
+               [--max-ingest-bytes BYTES[k|m|g]] [--strict]
+               index every .vex trace in <dir> (cheap skip-scan, no full
+               decode) and serve profile queries over HTTP: /traces,
+               /traces/{id}/report, /traces/{id}/flowgraph,
+               /traces/{id}/objects, /traces/{id}/kernels, /healthz, /metrics;
+               traces decode lazily per report and --memory-budget bounds the
+               resident decoded bytes (LRU eviction); --ingest enables
+               POST /ingest/{id} and DELETE /traces/{id} (bodies capped by
+               --max-ingest-bytes, default 64m); corrupt traces are
+               quarantined unless --strict
+  vex push <trace.vex> [--url http://HOST:PORT] [--id ID]
+               stream a recorded trace to a running `vex serve --ingest`
+               (default url http://127.0.0.1:7070, default id = file stem)
   vex help";
 
 fn parse_device(v: &str) -> Result<Device, UsageError> {
@@ -304,6 +348,35 @@ fn take_value<'a, I: Iterator<Item = &'a str>>(
     it: &mut I,
 ) -> Result<&'a str, UsageError> {
     it.next().ok_or_else(|| UsageError(format!("{flag} requires a value")))
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `64m`, `2g`, `1048576`.
+fn parse_byte_size(v: &str) -> Result<u64, UsageError> {
+    let lower = v.to_ascii_lowercase();
+    let (digits, unit) = if let Some(n) = lower.strip_suffix('g') {
+        (n, 1u64 << 30)
+    } else if let Some(n) = lower.strip_suffix('m') {
+        (n, 1 << 20)
+    } else if let Some(n) = lower.strip_suffix('k') {
+        (n, 1 << 10)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| UsageError(format!("invalid byte size '{v}' (expected N[k|m|g])")))?;
+    n.checked_mul(unit).ok_or_else(|| UsageError(format!("byte size '{v}' overflows")))
+}
+
+/// Derives a trace id from an output path: its file stem.
+fn trace_id_from_path(path: &str) -> Result<String, UsageError> {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .ok_or_else(|| UsageError(format!("cannot derive a trace id from '{path}'")))
 }
 
 /// Parses an argument vector (without the program name).
@@ -413,6 +486,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                             .map_err(|_| UsageError("invalid block sampling period".into()))?
                     }
                     "--filter" => r.filters.push(take_value(flag, &mut it)?.to_owned()),
+                    "--push" => r.push = Some(take_value(flag, &mut it)?.to_owned()),
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -542,10 +616,41 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                             ));
                         }
                     }
+                    "--memory-budget" => {
+                        s.memory_budget = Some(parse_byte_size(take_value(flag, &mut it)?)?)
+                    }
+                    "--ingest" => s.ingest = true,
+                    "--max-ingest-bytes" => {
+                        s.max_ingest_bytes = parse_byte_size(take_value(flag, &mut it)?)?;
+                        if s.max_ingest_bytes == 0 {
+                            return Err(UsageError(
+                                "--max-ingest-bytes must be at least 1".into(),
+                            ));
+                        }
+                    }
+                    "--strict" => s.strict = true,
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
             Ok(Command::Serve(s))
+        }
+        "push" => {
+            let path =
+                it.next().ok_or_else(|| UsageError("push requires a trace path".into()))?;
+            if path == "--help" || path == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut url = "http://127.0.0.1:7070".to_owned();
+            let mut id = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "--url" => url = take_value(flag, &mut it)?.to_owned(),
+                    "--id" => id = Some(take_value(flag, &mut it)?.to_owned()),
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Push { path: path.to_owned(), url, id })
         }
         other => Err(UsageError(format!("unknown command '{other}'"))),
     }
@@ -671,7 +776,6 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
         Command::Record(r) => {
             let app = find_app(&r.app)?;
             let mut rt = Runtime::new(r.device.spec());
-            let file = std::fs::File::create(&r.output).map_err(io_err)?;
             let mut b = ValueExpert::builder()
                 .coarse(r.coarse)
                 .fine(r.fine)
@@ -680,6 +784,29 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             if !r.filters.is_empty() {
                 b = b.filter_kernels(r.filters.clone());
             }
+            if let Some(url) = &r.push {
+                // Push mode: record into memory and stream the finished
+                // trace to the server — no local file is written.
+                let rec = b.record(&mut rt, Vec::new()).map_err(io_err)?;
+                app.run(&mut rt, Variant::Baseline)
+                    .map_err(|e| UsageError(format!("workload failed: {e}")))?;
+                let stats = rec.stats();
+                let bytes = rec
+                    .finish(&mut rt)
+                    .map_err(|e| UsageError(format!("trace write failed: {e}")))?;
+                let id = trace_id_from_path(&r.output)?;
+                vex_serve::push_trace(url, &id, &bytes)
+                    .map_err(|e| UsageError(e.to_string()))?;
+                return writeln!(
+                    out,
+                    "pushed {id} to {url} ({} bytes, {} fine records, {} instrumented launches)",
+                    bytes.len(),
+                    stats.events,
+                    stats.instrumented_launches
+                )
+                .map_err(io_err);
+            }
+            let file = std::fs::File::create(&r.output).map_err(io_err)?;
             let rec = b.record(&mut rt, std::io::BufWriter::new(file)).map_err(io_err)?;
             app.run(&mut rt, Variant::Baseline)
                 .map_err(|e| UsageError(format!("workload failed: {e}")))?;
@@ -691,6 +818,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 r.output, stats.events, stats.instrumented_launches
             )
             .map_err(io_err)
+        }
+        Command::Push { path, url, id } => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| UsageError(format!("cannot read trace '{path}': {e}")))?;
+            let id = match id {
+                Some(id) => id.clone(),
+                None => trace_id_from_path(path)?,
+            };
+            vex_serve::push_trace(url, &id, &bytes).map_err(|e| UsageError(e.to_string()))?;
+            writeln!(out, "pushed {id} ({} bytes) to {url}", bytes.len()).map_err(io_err)
         }
         Command::Replay(r) => {
             if r.gvprof {
@@ -804,14 +941,18 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
 /// Returns [`UsageError`] if the directory cannot be loaded or the
 /// address cannot be bound.
 pub fn start_server(args: &ServeArgs) -> Result<vex_serve::Server, UsageError> {
-    let store = vex_serve::ProfileStore::load_dir_with(
-        std::path::Path::new(&args.dir),
-        args.decode_threads,
-    )
-    .map_err(|e| UsageError(e.to_string()))?;
+    let opts = vex_serve::StoreOptions {
+        decode_threads: args.decode_threads,
+        memory_budget: args.memory_budget,
+        strict: args.strict,
+    };
+    let store = vex_serve::ProfileStore::load_dir_with(std::path::Path::new(&args.dir), &opts)
+        .map_err(|e| UsageError(e.to_string()))?;
     let config = vex_serve::ServerConfig {
         workers: args.workers,
         cache_entries: args.cache_entries,
+        ingest_enabled: args.ingest,
+        max_ingest_bytes: args.max_ingest_bytes,
         ..vex_serve::ServerConfig::default()
     };
     vex_serve::Server::bind(store, &args.addr, config)
@@ -1108,6 +1249,169 @@ mod tests {
         assert!(parse_args(["serve", "d", "--cache-entries", "-1"]).is_err());
         assert!(USAGE.contains("vex serve"), "{USAGE}");
         assert!(USAGE.contains("vex info"), "{USAGE}");
+    }
+
+    #[test]
+    fn parses_store_and_ingest_flags() {
+        // Defaults: unbounded, read-only, lenient.
+        match parse_args(["serve", "traces"]).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.memory_budget, None);
+                assert!(!s.ingest);
+                assert_eq!(s.max_ingest_bytes, 64 * 1024 * 1024);
+                assert!(!s.strict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args([
+            "serve",
+            "traces",
+            "--memory-budget",
+            "64m",
+            "--ingest",
+            "--max-ingest-bytes",
+            "128k",
+            "--strict",
+        ])
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.memory_budget, Some(64 * 1024 * 1024));
+                assert!(s.ingest);
+                assert_eq!(s.max_ingest_bytes, 128 * 1024);
+                assert!(s.strict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(["serve", "d", "--max-ingest-bytes", "0"]).is_err());
+        // Every suffix plus a bare byte count.
+        for (arg, want) in
+            [("1024", 1024u64), ("8k", 8 << 10), ("2M", 2 << 20), ("1g", 1 << 30)]
+        {
+            match parse_args(["serve", "d", "--memory-budget", arg]).unwrap() {
+                Command::Serve(s) => assert_eq!(s.memory_budget, Some(want), "{arg}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Invalid sizes.
+        for bad in ["", "lots", "1t", "99999999999999999999g"] {
+            assert!(parse_args(["serve", "d", "--memory-budget", bad]).is_err(), "{bad}");
+        }
+        assert!(parse_args(["serve", "d", "--memory-budget"]).is_err());
+        assert!(USAGE.contains("--memory-budget"), "{USAGE}");
+        assert!(USAGE.contains("--ingest"), "{USAGE}");
+        assert!(USAGE.contains("--max-ingest-bytes"), "{USAGE}");
+        assert!(USAGE.contains("--strict"), "{USAGE}");
+    }
+
+    #[test]
+    fn parses_push_command_and_record_push_flag() {
+        // Defaults.
+        assert_eq!(
+            parse_args(["push", "t.vex"]).unwrap(),
+            Command::Push {
+                path: "t.vex".into(),
+                url: "http://127.0.0.1:7070".into(),
+                id: None
+            }
+        );
+        assert_eq!(
+            parse_args(["push", "runs/a.vex", "--url", "http://10.0.0.1:9000", "--id", "b"])
+                .unwrap(),
+            Command::Push {
+                path: "runs/a.vex".into(),
+                url: "http://10.0.0.1:9000".into(),
+                id: Some("b".into())
+            }
+        );
+        assert_eq!(parse_args(["push", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["push", "t.vex", "-h"]).unwrap(), Command::Help);
+        assert!(parse_args(["push"]).is_err());
+        assert!(parse_args(["push", "t.vex", "--frob"]).is_err());
+        assert!(parse_args(["push", "t.vex", "--url"]).is_err());
+        // record --push.
+        match parse_args(["record", "darknet", "--push", "http://127.0.0.1:7070"]).unwrap() {
+            Command::Record(r) => {
+                assert_eq!(r.push.as_deref(), Some("http://127.0.0.1:7070"));
+                assert_eq!(r.output, "trace.vex");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(["record", "darknet", "--push"]).is_err());
+        assert!(USAGE.contains("vex push"), "{USAGE}");
+        assert!(USAGE.contains("--push"), "{USAGE}");
+    }
+
+    #[test]
+    fn record_push_streams_into_a_serving_store() {
+        use std::io::{Read as _, Write as _};
+        let dir = std::env::temp_dir().join(format!("vex-cli-push-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut args = ServeArgs::new(dir.to_str().unwrap().to_owned());
+        args.addr = "127.0.0.1:0".into();
+        args.workers = 2;
+        args.ingest = true;
+        let server = start_server(&args).unwrap();
+        assert!(server.state().store().is_empty());
+        let url = format!("http://{}", server.addr());
+
+        // `vex record --push` — no local file, trace lands on the server.
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.output = "pushed-q.vex".into();
+        rec.push = Some(url.clone());
+        let mut out = Vec::new();
+        run(&Command::Record(rec), &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("pushed pushed-q to"), "{s}");
+        assert!(!std::path::Path::new("pushed-q.vex").exists());
+        assert!(dir.join("pushed-q.vex").is_file(), "trace persisted server-side");
+
+        // Queryable without restart.
+        let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"GET /traces/pushed-q/report HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+        assert!(body.contains("ValueExpert profile"), "{body}");
+
+        // `vex push <file>` of an existing trace, custom id. The local
+        // file lives outside the served directory.
+        let outside = std::env::temp_dir()
+            .join(format!("vex-cli-push-src-{}", std::process::id()));
+        std::fs::create_dir_all(&outside).unwrap();
+        let local = outside.join("local.vex");
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.output = local.to_str().unwrap().to_owned();
+        run(&Command::Record(rec), &mut Vec::new()).unwrap();
+        let mut out = Vec::new();
+        run(
+            &Command::Push {
+                path: local.to_str().unwrap().to_owned(),
+                url: url.clone(),
+                id: Some("renamed".into()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("pushed renamed"), "push output");
+        assert_eq!(server.state().store().ids(), vec!["pushed-q", "renamed"]);
+
+        // Duplicate push is refused with the server's detail.
+        let err = run(
+            &Command::Push {
+                path: local.to_str().unwrap().to_owned(),
+                url,
+                id: Some("renamed".into()),
+            },
+            &mut Vec::new(),
+        )
+        .expect_err("duplicate id");
+        assert!(err.0.contains("409"), "{err:?}");
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&outside).ok();
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! A minimal push client for the ingest endpoint.
+//!
+//! `vex record --push <url>` and `vex push <file>` stream a recorded
+//! trace to a running `vex serve --ingest` instead of relying on shared
+//! disk. The wire protocol is one `POST /ingest/{id}` with a
+//! `Content-Length` body over a fresh connection (the server speaks one
+//! request per connection), so the client needs nothing beyond
+//! `std::net` — matching the server's no-dependency posture.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a push failed.
+#[derive(Debug)]
+pub enum PushError {
+    /// The URL is not `http://host:port[/]`.
+    BadUrl(String),
+    /// Connecting or talking to the server failed.
+    Io(String),
+    /// The server answered, but not with `201 Created`.
+    Rejected {
+        /// HTTP status code of the refusal.
+        status: u16,
+        /// The response body (the server's error detail).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::BadUrl(url) => {
+                write!(f, "cannot parse '{url}' (expected http://host:port)")
+            }
+            PushError::Io(e) => write!(f, "push failed: {e}"),
+            PushError::Rejected { status, detail } => {
+                write!(f, "server refused the push ({status}): {}", detail.trim_end())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Pushes `bytes` (a complete `.vex` trace) to `url` as trace `id`.
+///
+/// Returns the server's response body (the JSON listing row of the
+/// ingested trace) on `201 Created`.
+///
+/// # Errors
+///
+/// [`PushError`] for a malformed URL, connection failure, or any
+/// non-201 answer — the server's detail is passed through.
+pub fn push_trace(url: &str, id: &str, bytes: &[u8]) -> Result<String, PushError> {
+    let authority = url
+        .strip_prefix("http://")
+        .ok_or_else(|| PushError::BadUrl(url.to_owned()))?
+        .trim_end_matches('/');
+    if authority.is_empty() || authority.contains('/') {
+        return Err(PushError::BadUrl(url.to_owned()));
+    }
+    let mut conn =
+        TcpStream::connect(authority).map_err(|e| PushError::Io(format!("{authority}: {e}")))?;
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
+    let head = format!(
+        "POST /ingest/{id} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        bytes.len()
+    );
+    conn.write_all(head.as_bytes()).map_err(|e| PushError::Io(e.to_string()))?;
+    conn.write_all(bytes).map_err(|e| PushError::Io(e.to_string()))?;
+    conn.flush().map_err(|e| PushError::Io(e.to_string()))?;
+
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response).map_err(|e| PushError::Io(e.to_string()))?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| PushError::Io(format!("unparseable response: {:.80}", text)))?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    if status == 201 {
+        Ok(body)
+    } else {
+        Err(PushError::Rejected { status, detail: body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_urls_are_rejected_before_connecting() {
+        for url in ["ftp://x:1", "127.0.0.1:7070", "http://", "http://host:1/path"] {
+            assert!(matches!(push_trace(url, "t", b""), Err(PushError::BadUrl(_))), "{url}");
+        }
+    }
+
+    #[test]
+    fn connection_refused_is_an_io_error() {
+        // Port 1 on loopback is essentially never listening.
+        match push_trace("http://127.0.0.1:1", "t", b"x") {
+            Err(PushError::Io(_)) => {}
+            other => panic!("expected an io error, got {other:?}"),
+        }
+    }
+}

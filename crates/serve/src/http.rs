@@ -8,14 +8,21 @@
 //! against arbitrary byte soup.
 //!
 //! Scope is deliberately small: the server speaks one request per
-//! connection (`Connection: close`), methods and targets only — request
-//! bodies are rejected, which is all a read-only query API needs.
+//! connection (`Connection: close`). Request bodies are parsed only as
+//! far as the ingest path needs them: a declared `Content-Length` or
+//! `Transfer-Encoding: chunked` framing, both bounded by a per-request
+//! cap the caller supplies to [`decode_chunked`] / enforces before
+//! reading a sized body.
 
 use std::collections::BTreeMap;
 
 /// Upper bound on the request head (request line + headers), bytes.
 /// Anything longer is answered `431` and the connection is closed.
 pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The [`decode_chunked`] error for a body over the caller's cap —
+/// matched by the server to answer `413` instead of `400`.
+pub const BODY_TOO_LARGE: &str = "body exceeds the size cap";
 
 /// A parsed HTTP request head.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +33,10 @@ pub struct Request {
     pub path: String,
     /// Query parameters in target order.
     pub query: Vec<(String, String)>,
+    /// Declared `Content-Length`, if any.
+    pub content_length: Option<u64>,
+    /// Whether the body uses `Transfer-Encoding: chunked`.
+    pub chunked: bool,
 }
 
 impl Request {
@@ -64,6 +75,8 @@ impl ParseError {
 pub enum Status {
     /// 200.
     Ok,
+    /// 201.
+    Created,
     /// 400.
     BadRequest,
     /// 404.
@@ -72,6 +85,10 @@ pub enum Status {
     MethodNotAllowed,
     /// 408.
     RequestTimeout,
+    /// 409.
+    Conflict,
+    /// 413.
+    PayloadTooLarge,
     /// 431.
     HeaderTooLarge,
     /// 500.
@@ -83,10 +100,13 @@ impl Status {
     pub fn code(self) -> u16 {
         match self {
             Status::Ok => 200,
+            Status::Created => 201,
             Status::BadRequest => 400,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
             Status::RequestTimeout => 408,
+            Status::Conflict => 409,
+            Status::PayloadTooLarge => 413,
             Status::HeaderTooLarge => 431,
             Status::Internal => 500,
         }
@@ -96,13 +116,21 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self {
             Status::Ok => "OK",
+            Status::Created => "Created",
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::RequestTimeout => "Request Timeout",
+            Status::Conflict => "Conflict",
+            Status::PayloadTooLarge => "Payload Too Large",
             Status::HeaderTooLarge => "Request Header Fields Too Large",
             Status::Internal => "Internal Server Error",
         }
+    }
+
+    /// Whether this status denotes success (2xx).
+    pub fn is_success(self) -> bool {
+        matches!(self, Status::Ok | Status::Created)
     }
 }
 
@@ -188,13 +216,16 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
         return Err(ParseError::Malformed("target is not an absolute path"));
     }
 
-    // Headers: validated for shape, then ignored except for a body check
-    // — a read-only API has no use for request bodies.
+    // Headers: validated for shape; the only values the server reads
+    // are the body-framing pair (Content-Length / Transfer-Encoding),
+    // which the ingest path needs.
+    let mut content_length: Option<u64> = None;
+    let mut chunked = false;
     for line in lines {
         if line.is_empty() {
             continue;
         }
-        let (name, _value) =
+        let (name, value) =
             line.split_once(':').ok_or(ParseError::Malformed("header without colon"))?;
         if name.is_empty()
             || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
@@ -202,13 +233,103 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
             return Err(ParseError::Malformed("bad header name"));
         }
         let lower = name.to_ascii_lowercase();
-        if lower == "content-length" || lower == "transfer-encoding" {
-            return Err(ParseError::Malformed("request bodies are not accepted"));
+        if lower == "content-length" {
+            if content_length.is_some() {
+                return Err(ParseError::Malformed("duplicate content-length"));
+            }
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            content_length = Some(n);
+        } else if lower == "transfer-encoding" {
+            if chunked {
+                return Err(ParseError::Malformed("duplicate transfer-encoding"));
+            }
+            if !value.trim().eq_ignore_ascii_case("chunked") {
+                return Err(ParseError::Malformed("unsupported transfer-encoding"));
+            }
+            chunked = true;
         }
+    }
+    if content_length.is_some() && chunked {
+        return Err(ParseError::Malformed("conflicting body framing"));
     }
 
     let (path, query) = split_target(target)?;
-    Ok((Request { method: method.to_owned(), path, query }, head_end + 4))
+    Ok((
+        Request { method: method.to_owned(), path, query, content_length, chunked },
+        head_end + 4,
+    ))
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body from the start of `buf`.
+///
+/// Incremental: `Ok(None)` means the buffer does not yet hold the full
+/// body (read more and call again); `Ok(Some((body, consumed)))` returns
+/// the reassembled body and the bytes consumed through the terminating
+/// `0\r\n\r\n`. Chunk extensions and trailers are rejected — profilers
+/// pushing traces have no use for either.
+///
+/// # Errors
+///
+/// A static description of the framing error, or of the body exceeding
+/// `max_bytes` (detected as early as the declared sizes allow).
+pub fn decode_chunked(
+    buf: &[u8],
+    max_bytes: u64,
+) -> Result<Option<(Vec<u8>, usize)>, &'static str> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        // Chunk-size line.
+        let line_end = match find_crlf(&buf[pos.min(buf.len())..]) {
+            Some(off) => pos + off,
+            None => {
+                // An absurdly long size line is malformed, not pending.
+                if buf.len() - pos > 18 {
+                    return Err("chunk size line too long");
+                }
+                return Ok(None);
+            }
+        };
+        let line = std::str::from_utf8(&buf[pos..line_end])
+            .map_err(|_| "chunk size not utf-8")?;
+        if line.contains(';') {
+            return Err("chunk extensions are not accepted");
+        }
+        if line.is_empty() || line.len() > 16 || !line.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err("bad chunk size");
+        }
+        let size = u64::from_str_radix(line, 16).map_err(|_| "bad chunk size")?;
+        if body.len() as u64 + size > max_bytes {
+            return Err(BODY_TOO_LARGE);
+        }
+        let data_start = line_end + 2;
+        if size == 0 {
+            // Last chunk: expect the bare terminating CRLF (no trailers).
+            match buf.get(data_start..data_start + 2) {
+                Some(b"\r\n") => return Ok(Some((body, data_start + 2))),
+                Some(_) => return Err("trailers are not accepted"),
+                None => return Ok(None),
+            }
+        }
+        let size = usize::try_from(size).map_err(|_| "chunk too large")?;
+        let data_end = data_start.checked_add(size).ok_or("chunk too large")?;
+        let Some(data) = buf.get(data_start..data_end) else { return Ok(None) };
+        match buf.get(data_end..data_end + 2) {
+            Some(b"\r\n") => {}
+            Some(_) => return Err("chunk data not followed by crlf"),
+            None => return Ok(None),
+        }
+        body.extend_from_slice(data);
+        pos = data_end + 2;
+    }
+}
+
+/// Byte offset of the first `\r\n`, if present.
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 /// Byte offset of the head terminator, if present (offset excludes the
@@ -370,14 +491,78 @@ mod tests {
             "GET /../etc HTTP/1.1\r\n\r\n",
             "GET /%zz HTTP/1.1\r\n\r\n",
             "GET / HTTP/1.1\r\nbad header\r\n\r\n",
-            "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n",
-            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 1\r\nTransfer-Encoding: chunked\r\n\r\n",
         ] {
             assert!(
                 matches!(parse(bad), Err(ParseError::Malformed(_))),
                 "{bad:?} parsed: {:?}",
                 parse(bad)
             );
+        }
+    }
+
+    #[test]
+    fn body_framing_headers_are_captured() {
+        let (req, used) = parse("POST /ingest/x HTTP/1.1\r\nContent-Length: 42\r\n\r\n").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.content_length, Some(42));
+        assert!(!req.chunked);
+        assert_eq!(used, "POST /ingest/x HTTP/1.1\r\nContent-Length: 42\r\n\r\n".len());
+        let (req, _) =
+            parse("POST /ingest/x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+        assert!(req.chunked);
+        assert_eq!(req.content_length, None);
+        let (req, _) = parse("GET /traces HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.content_length, None);
+        assert!(!req.chunked);
+    }
+
+    #[test]
+    fn chunked_bodies_reassemble_incrementally() {
+        let wire = b"4\r\nVEXT\r\n5\r\nRACE!\r\n0\r\n\r\n";
+        // Whole buffer at once.
+        let (body, consumed) = decode_chunked(wire, 1024).unwrap().unwrap();
+        assert_eq!(body, b"VEXTRACE!");
+        assert_eq!(consumed, wire.len());
+        // Every prefix short of the end asks for more bytes.
+        for cut in 0..wire.len() {
+            assert_eq!(decode_chunked(&wire[..cut], 1024).unwrap(), None, "cut at {cut}");
+        }
+        // Empty body.
+        let (body, consumed) = decode_chunked(b"0\r\n\r\n", 1024).unwrap().unwrap();
+        assert!(body.is_empty());
+        assert_eq!(consumed, 5);
+    }
+
+    #[test]
+    fn chunked_bodies_enforce_the_cap_and_reject_garbage() {
+        // Cap enforced from the declared size, before the data arrives.
+        assert!(decode_chunked(b"FFFFFFFF\r\n", 1024).is_err());
+        assert!(decode_chunked(b"5\r\nhello\r\n0\r\n\r\n", 4).is_err());
+        for bad in [
+            &b"zz\r\nxx\r\n0\r\n\r\n"[..],         // non-hex size
+            &b"\r\n\r\n"[..],                       // empty size line
+            &b"4;ext=1\r\nVEXT\r\n0\r\n\r\n"[..],   // chunk extension
+            &b"4\r\nVEXTxx0\r\n\r\n"[..],           // data not closed by crlf
+            &b"0\r\nX-Trailer: 1\r\n\r\n"[..],      // trailers
+            &b"11111111111111111\r\n"[..],          // size line too long
+        ] {
+            assert!(decode_chunked(bad, 1 << 20).is_err(), "{bad:?}");
+        }
+    }
+
+    proptest! {
+        /// The chunked decoder never panics and a decoded body respects
+        /// the cap, whatever the bytes.
+        #[test]
+        fn prop_chunked_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+            if let Ok(Some((body, consumed))) = decode_chunked(&bytes, 256) {
+                prop_assert!(body.len() <= 256);
+                prop_assert!(consumed <= bytes.len());
+            }
         }
     }
 

@@ -4,20 +4,24 @@
 //! Recording and analysis are decoupled in ValueExpert: `vex record`
 //! captures a compact replayable trace, and every analysis runs later,
 //! off the critical path. This crate takes the final step and makes the
-//! recorded corpus *queryable*: it loads a directory of `.vex` traces
-//! into an indexed in-memory [`store::ProfileStore`] and serves profile
-//! views over plain HTTP/1.1 — no external dependencies, just
-//! `std::net` and the workspace's vendored shims.
+//! recorded corpus *queryable*: it opens a directory of `.vex` traces as
+//! a two-tier [`store::ProfileStore`] — a resident index tier built by a
+//! cheap skip-records scan, and a decoded tier materialized lazily per
+//! report and evicted LRU under a memory budget — and serves profile
+//! views over plain HTTP/1.1, no external dependencies, just `std::net`
+//! and the workspace's vendored shims.
 //!
 //! | Endpoint | Body |
 //! |---|---|
-//! | `GET /traces` | JSON index of the loaded traces |
+//! | `GET /traces?offset=&limit=` | JSON page of the trace index (+ total, quarantine list) |
 //! | `GET /traces/{id}/report` | canonical text report (byte-equal to `vex replay`) |
 //! | `GET /traces/{id}/flowgraph?threshold=X&format=dot\|json` | value-flow graph |
 //! | `GET /traces/{id}/objects` | JSON rows of recorded data objects |
 //! | `GET /traces/{id}/kernels` | JSON per-kernel launch/record counts |
+//! | `POST /ingest/{id}` | push a recorded trace (requires `--ingest`) |
+//! | `DELETE /traces/{id}` | delete a trace (requires `--ingest`) |
 //! | `GET /healthz` | liveness probe |
-//! | `GET /metrics` | Prometheus-style request/cache metrics |
+//! | `GET /metrics` | Prometheus-style request/cache/store metrics |
 //!
 //! Reports and flowgraphs additionally accept the `vex replay` analysis
 //! parameters (`shards`, `coarse`, `fine`, `races`, `reuse`) and are
@@ -25,18 +29,28 @@
 //! uses, behind an LRU + single-flight cache ([`cache::ReportCache`]).
 //! The serving loop ([`server::Server`]) is a bounded worker pool with a
 //! backpressure accept loop, per-connection timeouts, request-size
-//! limits, and graceful drain on shutdown.
+//! limits, and graceful drain on shutdown. Ingest bodies arrive as
+//! `Content-Length` or chunked uploads, capped per request, validated
+//! by the trace decoder, and written atomically into the store's
+//! directory — a pushed trace is queryable without a restart.
+//! [`client::push_trace`] is the matching minimal client, used by
+//! `vex push` and `vex record --push`.
 
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod store;
 
 pub use cache::ReportCache;
+pub use client::{push_trace, PushError};
 pub use http::{Request, Response, Status};
 pub use metrics::Metrics;
 pub use server::{ServeState, Server, ServerConfig};
-pub use store::{ProfileStore, ReportParams};
+pub use store::{
+    MutationError, ProfileStore, QuarantineRow, ReportParams, StoreOptions, StoreStats,
+    TraceEntry, TraceListRow,
+};

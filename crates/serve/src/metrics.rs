@@ -61,8 +61,12 @@ impl Metrics {
     }
 
     /// Renders the Prometheus-style exposition, including the cache
-    /// section from `cache`.
-    pub fn render(&self, cache: &crate::cache::CacheStats) -> String {
+    /// section from `cache` and the two-tier store section from `store`.
+    pub fn render(
+        &self,
+        cache: &crate::cache::CacheStats,
+        store: &crate::store::StoreStats,
+    ) -> String {
         use std::fmt::Write;
         use std::sync::atomic::Ordering;
         let mut s = String::new();
@@ -112,6 +116,63 @@ impl Metrics {
         let _ = writeln!(s, "vex_cache_evictions_total {evictions}");
         let _ = writeln!(s, "# TYPE vex_cache_hit_rate gauge");
         let _ = writeln!(s, "vex_cache_hit_rate {:.6}", cache.hit_rate());
+        let _ = writeln!(s, "# TYPE vex_store gauge");
+        let _ = writeln!(
+            s,
+            "vex_store_resident_bytes {}",
+            store.resident_bytes.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_resident_traces {}",
+            store.resident_traces.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_memory_budget_bytes {}",
+            store.memory_budget_bytes.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_quarantined_traces {}",
+            store.quarantined.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(s, "# TYPE vex_store_ops counter");
+        let _ = writeln!(
+            s,
+            "vex_store_decodes_total {}",
+            store.decodes_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_evictions_total {}",
+            store.evictions_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_evicted_bytes_total {}",
+            store.evicted_bytes_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_ingest_total {}",
+            store.ingested_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_ingest_errors_total {}",
+            store.ingest_errors_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_ingest_bytes_total {}",
+            store.ingested_bytes_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_deletes_total {}",
+            store.deleted_total.load(Ordering::Relaxed)
+        );
         s
     }
 }
@@ -134,7 +195,11 @@ mod tests {
         let stats = CacheStats::default();
         stats.hits.fetch_add(3, Ordering::Relaxed);
         stats.misses.fetch_add(1, Ordering::Relaxed);
-        let text = m.render(&stats);
+        let store = crate::store::StoreStats::default();
+        store.resident_bytes.store(12345, Ordering::Relaxed);
+        store.evictions_total.store(2, Ordering::Relaxed);
+        store.ingested_total.store(7, Ordering::Relaxed);
+        let text = m.render(&stats, &store);
         assert!(text.contains("vex_requests_total{endpoint=\"report\"} 3"), "{text}");
         assert!(text.contains("vex_request_errors_total{endpoint=\"report\"} 1"), "{text}");
         // 50us lands in every bucket; 10s only in +Inf.
@@ -152,6 +217,10 @@ mod tests {
         );
         assert!(text.contains("vex_cache_hits_total 3"), "{text}");
         assert!(text.contains("vex_cache_hit_rate 0.75"), "{text}");
+        assert!(text.contains("vex_store_resident_bytes 12345"), "{text}");
+        assert!(text.contains("vex_store_evictions_total 2"), "{text}");
+        assert!(text.contains("vex_ingest_total 7"), "{text}");
+        assert!(text.contains("vex_store_memory_budget_bytes 0"), "{text}");
     }
 
     #[test]
@@ -160,7 +229,7 @@ mod tests {
         for us in [50u64, 400, 900, 4000, 20_000] {
             m.record("e", Duration::from_micros(us), false);
         }
-        let text = m.render(&CacheStats::default());
+        let text = m.render(&CacheStats::default(), &crate::store::StoreStats::default());
         let count_for = |bound: &str| -> u64 {
             let needle =
                 format!("vex_request_duration_us_bucket{{endpoint=\"e\",le=\"{bound}\"}} ");

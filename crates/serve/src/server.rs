@@ -20,9 +20,15 @@
 //!   threads before returning.
 
 use crate::cache::ReportCache;
-use crate::http::{parse_request, query_map, ParseError, Request, Response, Status};
+use crate::http::{
+    decode_chunked, parse_request, query_map, ParseError, Request, Response, Status,
+    BODY_TOO_LARGE,
+};
 use crate::metrics::Metrics;
-use crate::store::{materialize, ProfileStore, ReportParams, StoredTrace};
+use crate::store::{
+    materialize, MutationError, ProfileStore, QuarantineRow, ReportParams, TraceEntry,
+    TraceListRow,
+};
 use crossbeam::channel;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +47,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Whether mutation endpoints (`POST /ingest/{id}`,
+    /// `DELETE /traces/{id}`) are enabled. Off by default: a query
+    /// server stays read-only unless started with `--ingest`.
+    pub ingest_enabled: bool,
+    /// Per-request cap on an ingest body, bytes.
+    pub max_ingest_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +62,8 @@ impl Default for ServerConfig {
             cache_entries: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            ingest_enabled: false,
+            max_ingest_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -60,13 +74,27 @@ pub struct ServeState {
     store: ProfileStore,
     cache: ReportCache,
     metrics: Metrics,
+    ingest_enabled: bool,
 }
 
 impl ServeState {
     /// Builds the shared state for `store` with a cache of
-    /// `cache_entries`.
+    /// `cache_entries`. Mutation endpoints start disabled; see
+    /// [`ServeState::with_ingest`].
     pub fn new(store: ProfileStore, cache_entries: usize) -> Self {
-        ServeState { store, cache: ReportCache::new(cache_entries), metrics: Metrics::new() }
+        ServeState {
+            store,
+            cache: ReportCache::new(cache_entries),
+            metrics: Metrics::new(),
+            ingest_enabled: false,
+        }
+    }
+
+    /// Enables/disables the mutation endpoints.
+    #[must_use]
+    pub fn with_ingest(mut self, enabled: bool) -> Self {
+        self.ingest_enabled = enabled;
+        self
     }
 
     /// The trace store being served.
@@ -84,27 +112,77 @@ impl ServeState {
         &self.metrics
     }
 
+    /// Routes one parsed request (with no body) to its endpoint — the
+    /// read-only surface. Ingest requests carry a body; see
+    /// [`ServeState::handle_with_body`].
+    pub fn handle(&self, req: &Request) -> (&'static str, Response) {
+        self.handle_with_body(req, &[])
+    }
+
     /// Routes one parsed request to its endpoint. Returns the static
     /// endpoint label (for metrics) and the response. Infallible: every
     /// failure mode is a 4xx/5xx response.
-    pub fn handle(&self, req: &Request) -> (&'static str, Response) {
-        if req.method != "GET" {
-            return ("other", Response::error(Status::MethodNotAllowed, "only GET is served"));
-        }
+    pub fn handle_with_body(&self, req: &Request, body: &[u8]) -> (&'static str, Response) {
         let segments = req.segments();
-        match segments.as_slice() {
-            ["healthz"] => ("healthz", self.healthz(req)),
-            ["metrics"] => ("metrics", self.render_metrics(req)),
-            ["traces"] => ("traces", self.list_traces(req)),
-            ["traces", id, "report"] => ("report", self.report(req, id)),
-            ["traces", id, "flowgraph"] => ("flowgraph", self.flowgraph(req, id)),
-            ["traces", id, "objects"] => {
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => ("healthz", self.healthz(req)),
+            ("GET", ["metrics"]) => ("metrics", self.render_metrics(req)),
+            ("GET", ["traces"]) => ("traces", self.list_traces(req)),
+            ("GET", ["traces", id, "report"]) => ("report", self.report(req, id)),
+            ("GET", ["traces", id, "flowgraph"]) => ("flowgraph", self.flowgraph(req, id)),
+            ("GET", ["traces", id, "objects"]) => {
                 ("objects", self.static_json(req, id, |t| json_rows(&t.objects)))
             }
-            ["traces", id, "kernels"] => {
+            ("GET", ["traces", id, "kernels"]) => {
                 ("kernels", self.static_json(req, id, |t| json_rows(&t.kernels)))
             }
-            _ => ("other", Response::error(Status::NotFound, format!("no route {}", req.path))),
+            ("POST", ["ingest", id]) => ("ingest", self.ingest(req, id, body)),
+            ("DELETE", ["traces", id]) => ("delete", self.delete(req, id)),
+            ("GET", _) => {
+                ("other", Response::error(Status::NotFound, format!("no route {}", req.path)))
+            }
+            _ => (
+                "other",
+                Response::error(
+                    Status::MethodNotAllowed,
+                    "only GET, POST /ingest/{id}, and DELETE /traces/{id} are served",
+                ),
+            ),
+        }
+    }
+
+    /// `POST /ingest/{id}` — validate, persist, and index a pushed
+    /// trace; queryable immediately, no restart.
+    fn ingest(&self, req: &Request, id: &str, body: &[u8]) -> Response {
+        if !self.ingest_enabled {
+            return Response::error(
+                Status::MethodNotAllowed,
+                "ingest is disabled (restart with --ingest)",
+            );
+        }
+        if let Err(e) = query_map(req, &[]) {
+            return Response::error(Status::BadRequest, e);
+        }
+        match self.store.ingest(id, body) {
+            Ok(row) => Response::json(Status::Created, to_pretty_json(&row)),
+            Err(e) => mutation_response(e),
+        }
+    }
+
+    /// `DELETE /traces/{id}` — drop a trace from every tier and disk.
+    fn delete(&self, req: &Request, id: &str) -> Response {
+        if !self.ingest_enabled {
+            return Response::error(
+                Status::MethodNotAllowed,
+                "ingest is disabled (restart with --ingest)",
+            );
+        }
+        if let Err(e) = query_map(req, &[]) {
+            return Response::error(Status::BadRequest, e);
+        }
+        match self.store.remove(id) {
+            Ok(()) => Response::text(Status::Ok, format!("deleted '{id}'\n")),
+            Err(e) => mutation_response(e),
         }
     }
 
@@ -117,20 +195,61 @@ impl ServeState {
 
     fn render_metrics(&self, req: &Request) -> Response {
         match query_map(req, &[]) {
-            Ok(_) => Response::text(Status::Ok, self.metrics.render(self.cache.stats())),
+            Ok(_) => Response::text(
+                Status::Ok,
+                self.metrics.render(self.cache.stats(), self.store.stats()),
+            ),
             Err(e) => Response::error(Status::BadRequest, e),
         }
     }
 
+    /// `GET /traces?offset=N&limit=M` — a stable (id-sorted) page of the
+    /// listing plus the total count, so 10k-trace stores don't ship
+    /// megabyte responses; the quarantine list rides along.
     fn list_traces(&self, req: &Request) -> Response {
-        match query_map(req, &[]) {
-            Ok(_) => Response::json(Status::Ok, json_rows(&self.store.list_rows())),
-            Err(e) => Response::error(Status::BadRequest, e),
-        }
+        let map = match query_map(req, &["offset", "limit"]) {
+            Ok(m) => m,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let offset = match map.get("offset").map(|v| v.parse::<usize>()) {
+            None => 0,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => {
+                return Response::error(
+                    Status::BadRequest,
+                    "offset must be a non-negative integer",
+                )
+            }
+        };
+        let limit = match map.get("limit").map(|v| v.parse::<usize>()) {
+            None => None,
+            Some(Ok(n)) => Some(n),
+            Some(Err(_)) => {
+                return Response::error(
+                    Status::BadRequest,
+                    "limit must be a non-negative integer",
+                )
+            }
+        };
+        let rows = self.store.list_rows();
+        let total = rows.len();
+        let traces: Vec<TraceListRow> = rows
+            .into_iter()
+            .skip(offset)
+            .take(limit.unwrap_or(usize::MAX))
+            .collect();
+        let listing = TraceListing {
+            total,
+            offset,
+            count: traces.len(),
+            traces,
+            quarantined: self.store.quarantined().to_vec(),
+        };
+        Response::json(Status::Ok, to_pretty_json(&listing))
     }
 
-    fn lookup(&self, id: &str) -> Result<&StoredTrace, Response> {
-        self.store.get(id).ok_or_else(|| {
+    fn lookup(&self, id: &str) -> Result<Arc<TraceEntry>, Response> {
+        self.store.entry(id).ok_or_else(|| {
             Response::error(
                 Status::NotFound,
                 format!("no trace '{id}' (loaded: {})", self.store.ids().join(", ")),
@@ -142,13 +261,13 @@ impl ServeState {
         &self,
         req: &Request,
         id: &str,
-        rows: impl Fn(&StoredTrace) -> String,
+        rows: impl Fn(&TraceEntry) -> String,
     ) -> Response {
         if let Err(e) = query_map(req, &[]) {
             return Response::error(Status::BadRequest, e);
         }
         match self.lookup(id) {
-            Ok(t) => Response::json(Status::Ok, rows(t)),
+            Ok(t) => Response::json(Status::Ok, rows(&t)),
             Err(resp) => resp,
         }
     }
@@ -162,13 +281,15 @@ impl ServeState {
             Ok(p) => p,
             Err(e) => return Response::error(Status::BadRequest, e),
         };
-        let trace = match self.lookup(id) {
-            Ok(t) => t,
-            Err(resp) => return resp,
-        };
+        if let Err(resp) = self.lookup(id) {
+            return resp;
+        }
         let key = format!("{id}/report?{}", params.cache_key());
         let value = self.cache.get_or_compute(&key, || {
-            let profile = materialize(&trace.trace, &params).map_err(|e| e.to_string())?;
+            // The decoded tier materializes the trace on first use; a
+            // cache hit never touches it.
+            let trace = self.store.decoded(id).map_err(|e| e.to_string())?;
+            let profile = materialize(&trace, &params).map_err(|e| e.to_string())?;
             Ok(Response::text(Status::Ok, profile.render_text_document()))
         });
         unwrap_cached(&value)
@@ -207,16 +328,16 @@ impl ServeState {
                 )
             }
         };
-        let trace = match self.lookup(id) {
-            Ok(t) => t,
-            Err(resp) => return resp,
-        };
+        if let Err(resp) = self.lookup(id) {
+            return resp;
+        }
         let key = format!(
             "{id}/flowgraph?{},threshold={threshold:?},format={format:?}",
             params.cache_key()
         );
         let value = self.cache.get_or_compute(&key, || {
-            let profile = materialize(&trace.trace, &params).map_err(|e| e.to_string())?;
+            let trace = self.store.decoded(id).map_err(|e| e.to_string())?;
+            let profile = materialize(&trace, &params).map_err(|e| e.to_string())?;
             Ok(match format {
                 FlowFormat::Dot => Response {
                     status: Status::Ok,
@@ -236,6 +357,28 @@ impl ServeState {
 enum FlowFormat {
     Dot,
     Json,
+}
+
+/// The `GET /traces` response document.
+#[derive(Debug, serde::Serialize)]
+struct TraceListing {
+    total: usize,
+    offset: usize,
+    count: usize,
+    traces: Vec<TraceListRow>,
+    quarantined: Vec<QuarantineRow>,
+}
+
+/// Maps a store mutation failure onto its HTTP status.
+fn mutation_response(e: MutationError) -> Response {
+    let status = match &e {
+        MutationError::BadId(_) | MutationError::InvalidTrace(_) => Status::BadRequest,
+        MutationError::Duplicate(_) => Status::Conflict,
+        MutationError::NotFound(_) => Status::NotFound,
+        MutationError::ReadOnly => Status::MethodNotAllowed,
+        MutationError::Io(_) => Status::Internal,
+    };
+    Response::error(status, e)
 }
 
 /// Serializes rows as a pretty JSON document terminated by a newline.
@@ -330,7 +473,8 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServeState::new(store, config.cache_entries));
+        let state =
+            Arc::new(ServeState::new(store, config.cache_entries).with_ingest(config.ingest_enabled));
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = config.workers.max(1);
         // Cap queued-but-unserved connections at one per worker; beyond
@@ -463,8 +607,26 @@ fn serve_connection(mut conn: TcpStream, state: &ServeState, config: &ServerConf
     };
 
     match parsed {
-        Ok((request, _consumed)) => {
-            let (endpoint, response) = state.handle(&request);
+        Ok((request, consumed)) => {
+            // Only POSTs carry a body the server reads; any declared
+            // body on other methods is left unread (the connection
+            // closes after one response anyway).
+            let body = if request.method == "POST" {
+                match read_body(&mut conn, &buf[consumed..], &request, config) {
+                    Ok(body) => body,
+                    Err(response) => {
+                        respond(state, &mut conn, "ingest", started, response);
+                        // The client may still be mid-body; a hard close
+                        // now would RST the connection and can destroy
+                        // the error response before the client reads it.
+                        drain_request(&mut conn);
+                        return;
+                    }
+                }
+            } else {
+                Vec::new()
+            };
+            let (endpoint, response) = state.handle_with_body(&request, &body);
             respond(state, &mut conn, endpoint, started, response);
         }
         Err(e) => {
@@ -479,6 +641,100 @@ fn serve_connection(mut conn: TcpStream, state: &ServeState, config: &ServerConf
     }
 }
 
+/// Finishes an early-error connection whose request body was never
+/// fully read: half-close the write side, then discard (bounded) what
+/// the client is still sending, so the response already on the wire is
+/// not destroyed by a TCP reset when the socket closes with unread
+/// bytes pending.
+fn drain_request(conn: &mut TcpStream) {
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+    let mut chunk = [0u8; 8 * 1024];
+    let mut drained = 0usize;
+    // Per-read timeouts still apply; the bound keeps a hostile client
+    // from feeding a worker forever.
+    while drained < 16 * 1024 * 1024 {
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Reads a POST body according to the request's declared framing:
+/// `Content-Length` (capped before the bytes are read) or chunked
+/// (capped incrementally by [`decode_chunked`]). `leftover` is whatever
+/// the head read already pulled off the socket.
+fn read_body(
+    conn: &mut TcpStream,
+    leftover: &[u8],
+    request: &Request,
+    config: &ServerConfig,
+) -> Result<Vec<u8>, Response> {
+    let max = config.max_ingest_bytes;
+    let mut chunk = [0u8; 8 * 1024];
+    if let Some(declared) = request.content_length {
+        if declared > max {
+            return Err(Response::error(
+                Status::PayloadTooLarge,
+                format!("body of {declared} bytes exceeds the {max}-byte cap"),
+            ));
+        }
+        let declared = declared as usize;
+        let mut body = Vec::with_capacity(declared.min(1 << 20));
+        body.extend_from_slice(&leftover[..leftover.len().min(declared)]);
+        while body.len() < declared {
+            match conn.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(Response::error(
+                        Status::BadRequest,
+                        "connection closed mid-body",
+                    ))
+                }
+                Ok(n) => {
+                    let want = declared - body.len();
+                    body.extend_from_slice(&chunk[..n.min(want)]);
+                }
+                Err(_) => {
+                    return Err(Response::error(
+                        Status::RequestTimeout,
+                        "timed out reading the request body",
+                    ))
+                }
+            }
+        }
+        Ok(body)
+    } else if request.chunked {
+        let mut raw = leftover.to_vec();
+        loop {
+            match decode_chunked(&raw, max) {
+                Ok(Some((body, _consumed))) => return Ok(body),
+                Ok(None) => {}
+                Err(e) if e == BODY_TOO_LARGE => {
+                    return Err(Response::error(Status::PayloadTooLarge, e))
+                }
+                Err(e) => return Err(Response::error(Status::BadRequest, e)),
+            }
+            match conn.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(Response::error(
+                        Status::BadRequest,
+                        "connection closed mid-body",
+                    ))
+                }
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(_) => {
+                    return Err(Response::error(
+                        Status::RequestTimeout,
+                        "timed out reading the request body",
+                    ))
+                }
+            }
+        }
+    } else {
+        Ok(Vec::new())
+    }
+}
+
 fn respond(
     state: &ServeState,
     conn: &mut TcpStream,
@@ -486,7 +742,7 @@ fn respond(
     started: Instant,
     response: Response,
 ) {
-    let is_error = response.status != Status::Ok;
+    let is_error = !response.status.is_success();
     // A client that vanished mid-write is not a server failure; the
     // metrics entry still records the request.
     let _ = conn.write_all(&response.to_bytes());
@@ -558,17 +814,75 @@ mod tests {
     #[test]
     fn non_get_is_405() {
         let state = qmcpack_state();
-        let (req, _) = parse_request(b"DELETE /traces HTTP/1.1\r\n\r\n").unwrap();
-        let (_, resp) = state.handle(&req);
-        assert_eq!(resp.status, Status::MethodNotAllowed);
+        for head in [
+            &b"DELETE /traces HTTP/1.1\r\n\r\n"[..],
+            &b"PUT /traces/qmcpack/report HTTP/1.1\r\n\r\n"[..],
+            &b"POST /traces HTTP/1.1\r\n\r\n"[..],
+            // The mutation routes themselves stay 405 until --ingest.
+            &b"POST /ingest/x HTTP/1.1\r\n\r\n"[..],
+            &b"DELETE /traces/qmcpack HTTP/1.1\r\n\r\n"[..],
+        ] {
+            let (req, _) = parse_request(head).unwrap();
+            let (_, resp) = state.handle(&req);
+            assert_eq!(
+                resp.status,
+                Status::MethodNotAllowed,
+                "{}",
+                String::from_utf8_lossy(head)
+            );
+        }
+    }
+
+    #[test]
+    fn traces_listing_paginates_with_stable_totals() {
+        let apps = all_apps();
+        let app = apps.iter().find(|a| a.name() == "QMCPACK").unwrap();
+        let mut traces = Vec::new();
+        for id in ["a", "b", "c", "d"] {
+            let mut rt = Runtime::new(DeviceSpec::test_small());
+            let rec = ValueExpert::builder()
+                .coarse(true)
+                .record(&mut rt, Vec::new())
+                .unwrap();
+            app.run(&mut rt, Variant::Baseline).unwrap();
+            let bytes = rec.finish(&mut rt).unwrap();
+            traces.push((id.to_owned(), read_trace(&bytes).unwrap()));
+        }
+        let state = ServeState::new(ProfileStore::from_traces(traces).unwrap(), 4);
+        let body = |target: &str| -> String {
+            let (_, resp) = get(&state, target);
+            assert_eq!(resp.status, Status::Ok, "{target}");
+            String::from_utf8(resp.body).unwrap()
+        };
+        let all = body("/traces");
+        assert!(all.contains("\"total\": 4"), "{all}");
+        assert!(all.contains("\"count\": 4"), "{all}");
+        for id in ["a", "b", "c", "d"] {
+            assert!(all.contains(&format!("\"id\": \"{id}\"")), "{all}");
+        }
+        let page = body("/traces?offset=1&limit=2");
+        assert!(page.contains("\"total\": 4"), "{page}");
+        assert!(page.contains("\"count\": 2"), "{page}");
+        assert!(!page.contains("\"id\": \"a\""), "{page}");
+        assert!(page.contains("\"id\": \"b\""), "{page}");
+        assert!(page.contains("\"id\": \"c\""), "{page}");
+        assert!(!page.contains("\"id\": \"d\""), "{page}");
+        // Past-the-end page is empty but well-formed.
+        let empty = body("/traces?offset=10");
+        assert!(empty.contains("\"count\": 0"), "{empty}");
+        // Bad pagination parameters are rejected.
+        let (_, resp) = get(&state, "/traces?offset=-1");
+        assert_eq!(resp.status, Status::BadRequest);
+        let (_, resp) = get(&state, "/traces?limit=lots");
+        assert_eq!(resp.status, Status::BadRequest);
     }
 
     #[test]
     fn report_bytes_match_replay_and_cache_hits() {
         let state = qmcpack_state();
-        let trace = &state.store().get("qmcpack").unwrap().trace;
+        let trace = state.store().decoded("qmcpack").unwrap();
         let expect =
-            ValueExpert::builder().coarse(true).replay(trace).unwrap().render_text_document();
+            ValueExpert::builder().coarse(true).replay(&trace).unwrap().render_text_document();
         let (_, first) = get(&state, "/traces/qmcpack/report");
         assert_eq!(String::from_utf8(first.body.clone()).unwrap(), expect);
         let (_, second) = get(&state, "/traces/qmcpack/report");
@@ -581,10 +895,10 @@ mod tests {
     #[test]
     fn flowgraph_dot_matches_replay() {
         let state = qmcpack_state();
-        let trace = &state.store().get("qmcpack").unwrap().trace;
+        let trace = state.store().decoded("qmcpack").unwrap();
         let expect = ValueExpert::builder()
             .coarse(true)
-            .replay(trace)
+            .replay(&trace)
             .unwrap()
             .render_dot_document(None);
         let (_, resp) = get(&state, "/traces/qmcpack/flowgraph?format=dot");
@@ -593,7 +907,7 @@ mod tests {
         let (_, resp) = get(&state, "/traces/qmcpack/flowgraph?threshold=0.9");
         let expect_t = ValueExpert::builder()
             .coarse(true)
-            .replay(trace)
+            .replay(&trace)
             .unwrap()
             .render_dot_document(Some(0.9));
         assert_eq!(String::from_utf8(resp.body).unwrap(), expect_t);
@@ -604,7 +918,7 @@ mod tests {
         let state = qmcpack_state();
         // Rebuild a store for the server (ServeState is not Clone).
         let server = {
-            let trace = state.store().get("qmcpack").unwrap().trace.clone();
+            let trace = (*state.store().decoded("qmcpack").unwrap()).clone();
             let store = ProfileStore::from_traces([("qmcpack".to_owned(), trace)]).unwrap();
             Server::bind(store, "127.0.0.1:0", ServerConfig::default()).unwrap()
         };

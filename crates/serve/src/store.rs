@@ -1,25 +1,39 @@
-//! The in-memory profile store: every `.vex` trace of a directory,
-//! decoded once at startup and indexed by id.
+//! The two-tier profile store: every `.vex` trace of a directory,
+//! indexed at startup and decoded on demand under a memory budget.
 //!
-//! A trace's id is its file stem (`darknet.vex` → `darknet`). Loading is
-//! strict — a corrupt or duplicate trace fails the whole load with a
-//! message naming the file, so a serving process never starts with a
-//! partial view of its data directory.
+//! A trace's id is its file stem (`darknet.vex` → `darknet`). Loading
+//! builds only the **index tier** — summary counts plus the object and
+//! kernel breakdowns, folded out of one cheap skip-records scan
+//! ([`vex_trace::index`]) — so startup cost tracks encoded bytes, never
+//! record counts, and the resident footprint of an idle store is a few
+//! KiB per trace. The **decoded tier** materializes a full
+//! [`RecordedTrace`] lazily on the first report/flowgraph request,
+//! accounts it in bytes, and evicts least-recently-used entries when a
+//! configured memory budget is exceeded; a re-request transparently
+//! re-decodes from disk. Reports are byte-identical whichever tier
+//! state they are served from.
 //!
-//! Static per-trace views (the `/traces` listing row, the object and
-//! kernel breakdowns) are precomputed here; only the analysis-backed
-//! endpoints (`/report`, `/flowgraph`) are materialized on demand, via
-//! [`materialize`], behind the server's cache.
+//! Loading is lenient by default: a corrupt trace is quarantined (and
+//! surfaced in `/traces` + `/metrics`) instead of failing the whole
+//! startup; [`StoreOptions::strict`] restores fail-fast. The store is
+//! also *mutable* while serving: [`ProfileStore::ingest`] validates
+//! pushed trace bytes, writes them atomically (tmp file + rename) into
+//! the backing directory, and indexes them without a restart;
+//! [`ProfileStore::remove`] deletes a trace from both tiers and disk.
 
 use serde::Serialize;
-use std::collections::BTreeMap;
-use std::path::Path;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use vex_core::profiler::{ReplayError, ValueExpert};
 use vex_core::report::Profile;
 use vex_gpu::hooks::ApiKind;
-use vex_trace::container::{read_trace_file_with, DecodeOptions, RecordedTrace};
+use vex_trace::container::{read_trace_file_with, DecodeOptions, RecordedTrace, TraceFrame};
 use vex_trace::event::Event;
+use vex_trace::index::{index_trace_with, FrameEntry, TraceIndex};
 use vex_trace::summary::TraceSummary;
+use vex_trace::AccessRecord;
 
 /// One row of the `GET /traces` listing.
 #[derive(Debug, Clone, Serialize)]
@@ -72,22 +86,35 @@ pub struct KernelRow {
     pub records: u64,
 }
 
-/// A loaded trace with its precomputed static views.
+/// A quarantined trace file: present in the directory, skipped at load.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuarantineRow {
+    /// File name (not the full path — the directory is the store's).
+    pub file: String,
+    /// The decode error that disqualified it.
+    pub error: String,
+}
+
+/// The always-resident index tier of one trace: everything the static
+/// endpoints serve, built by a single skip-records scan — never the
+/// decoded event stream.
 #[derive(Debug)]
-pub struct StoredTrace {
+pub struct TraceEntry {
     /// Trace id (file stem).
     pub id: String,
-    /// The decoded event stream and trailer.
-    pub trace: RecordedTrace,
     /// Header fields and per-event-type counts.
     pub summary: TraceSummary,
     /// Per-object breakdown rows.
     pub objects: Vec<ObjectRow>,
     /// Per-kernel breakdown rows.
     pub kernels: Vec<KernelRow>,
+    /// Backing file, when the store is disk-backed (`None` for traces
+    /// handed in pre-decoded via [`ProfileStore::from_traces`], which
+    /// stay pinned in the decoded tier).
+    path: Option<PathBuf>,
 }
 
-/// Loading the store failed.
+/// Loading or serving the store failed.
 #[derive(Debug)]
 pub struct StoreError(pub String);
 
@@ -99,60 +126,214 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// Every trace of one directory, indexed by id.
+/// Why an ingest or delete was refused; each variant maps onto one HTTP
+/// status so the server's error surface stays uniform.
 #[derive(Debug)]
+pub enum MutationError {
+    /// The id is not a valid trace id (charset/length). → 400
+    BadId(String),
+    /// A trace with this id already exists. → 409
+    Duplicate(String),
+    /// No trace with this id. → 404
+    NotFound(String),
+    /// The uploaded bytes are not a valid trace. → 400
+    InvalidTrace(String),
+    /// The store has no backing directory to write into. → 405
+    ReadOnly,
+    /// Disk I/O failed. → 500
+    Io(String),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::BadId(id) => write!(
+                f,
+                "invalid trace id '{id}' (1-64 chars of [A-Za-z0-9_-])"
+            ),
+            MutationError::Duplicate(id) => write!(f, "trace '{id}' already exists"),
+            MutationError::NotFound(id) => write!(f, "no trace '{id}'"),
+            MutationError::InvalidTrace(e) => write!(f, "not a valid trace: {e}"),
+            MutationError::ReadOnly => {
+                write!(f, "store is not disk-backed; ingest needs a trace directory")
+            }
+            MutationError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Load/serve knobs of a [`ProfileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Worker threads decoding a trace's columnar batches when it is
+    /// materialized (1 = sequential decode).
+    pub decode_threads: usize,
+    /// Upper bound on resident decoded bytes (`None` = unbounded).
+    /// Least-recently-used decoded traces are evicted to stay under it;
+    /// the trace currently being served is never evicted, so a single
+    /// trace larger than the budget still serves.
+    pub memory_budget: Option<u64>,
+    /// Fail the whole load on the first corrupt trace instead of
+    /// quarantining it.
+    pub strict: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { decode_threads: 1, memory_budget: None, strict: false }
+    }
+}
+
+/// Gauges and counters of the two-tier store, rendered into `/metrics`.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Bytes of decoded traces currently resident (gauge).
+    pub resident_bytes: AtomicU64,
+    /// Decoded traces currently resident (gauge).
+    pub resident_traces: AtomicU64,
+    /// Configured memory budget, bytes (gauge; 0 = unbounded).
+    pub memory_budget_bytes: AtomicU64,
+    /// Full decodes performed (cold materializations, including
+    /// re-decodes after eviction).
+    pub decodes_total: AtomicU64,
+    /// Decoded traces evicted to stay under the budget.
+    pub evictions_total: AtomicU64,
+    /// Bytes released by evictions.
+    pub evicted_bytes_total: AtomicU64,
+    /// Traces accepted via ingest.
+    pub ingested_total: AtomicU64,
+    /// Ingest requests refused (bad id, duplicate, invalid bytes, io).
+    pub ingest_errors_total: AtomicU64,
+    /// Trace bytes accepted via ingest.
+    pub ingested_bytes_total: AtomicU64,
+    /// Traces deleted.
+    pub deleted_total: AtomicU64,
+    /// Trace files quarantined at load (gauge).
+    pub quarantined: AtomicU64,
+}
+
+/// One resident decoded trace.
+struct Resident {
+    trace: Arc<RecordedTrace>,
+    bytes: u64,
+    last_use: u64,
+    /// Pinned entries ([`ProfileStore::from_traces`]) have no backing
+    /// file to re-decode from and are never evicted.
+    pinned: bool,
+}
+
+/// The decoded tier: id → resident trace, LRU-ordered by use tick.
+#[derive(Default)]
+struct DecodedTier {
+    map: HashMap<String, Resident>,
+    tick: u64,
+}
+
+/// Every trace of one directory: a resident index tier plus a bounded
+/// decoded tier.
 pub struct ProfileStore {
-    traces: BTreeMap<String, StoredTrace>,
+    entries: RwLock<BTreeMap<String, Arc<TraceEntry>>>,
+    decoded: Mutex<DecodedTier>,
+    /// Serializes cold decodes: one materialization at a time bounds the
+    /// store's peak transient memory (decode scratch + the new trace)
+    /// regardless of how many cold traces are requested concurrently.
+    decode_flight: Mutex<()>,
+    quarantined: Vec<QuarantineRow>,
+    dir: Option<PathBuf>,
+    opts: StoreOptions,
+    stats: StoreStats,
+}
+
+impl std::fmt::Debug for ProfileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileStore")
+            .field("traces", &self.len())
+            .field("quarantined", &self.quarantined.len())
+            .field("dir", &self.dir)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ProfileStore {
-    /// Loads every `*.vex` file under `dir` (non-recursive).
+    /// Loads every `*.vex` file under `dir` (non-recursive) with default
+    /// options: lenient loading, sequential decode, no memory budget.
     ///
     /// # Errors
     ///
-    /// [`StoreError`] if the directory cannot be read, a trace fails to
-    /// decode, or two files share a stem. An empty directory is a valid
-    /// (empty) store.
+    /// [`StoreError`] if the directory cannot be read. Corrupt traces
+    /// are quarantined, not fatal (see [`StoreOptions::strict`]). An
+    /// empty directory is a valid (empty) store.
     pub fn load_dir(dir: &Path) -> Result<Self, StoreError> {
-        Self::load_dir_with(dir, 1)
+        Self::load_dir_with(dir, &StoreOptions::default())
     }
 
-    /// [`load_dir`](Self::load_dir), decoding each trace's columnar
-    /// batches on `decode_threads` workers. All columns are materialized
-    /// — the server answers arbitrary `ReportParams` later, so no
-    /// projection is safe here — but batch decode parallelizes the cold
-    /// startup path.
+    /// [`load_dir`](Self::load_dir) with explicit [`StoreOptions`].
+    ///
+    /// Startup indexes each trace with one skip-records scan — no trace
+    /// is fully decoded until its first report/flowgraph request.
     ///
     /// # Errors
     ///
-    /// Same as [`load_dir`](Self::load_dir).
-    pub fn load_dir_with(dir: &Path, decode_threads: usize) -> Result<Self, StoreError> {
-        let opts = DecodeOptions { threads: decode_threads, ..DecodeOptions::default() };
-        let entries = std::fs::read_dir(dir)
+    /// [`StoreError`] if the directory cannot be read, a file stem is
+    /// not UTF-8, or (under [`StoreOptions::strict`]) a trace fails to
+    /// decode.
+    pub fn load_dir_with(dir: &Path, opts: &StoreOptions) -> Result<Self, StoreError> {
+        let read = std::fs::read_dir(dir)
             .map_err(|e| StoreError(format!("cannot read {}: {e}", dir.display())))?;
-        let mut paths: Vec<std::path::PathBuf> = entries
+        let mut paths: Vec<PathBuf> = read
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "vex") && p.is_file())
             .collect();
         paths.sort();
-        let mut traces = BTreeMap::new();
+        let mut entries = BTreeMap::new();
+        let mut quarantined = Vec::new();
         for path in paths {
             let id = path
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .ok_or_else(|| StoreError(format!("non-utf8 trace name: {}", path.display())))?
                 .to_owned();
-            let trace = read_trace_file_with(&path, &opts)
-                .map_err(|e| StoreError(format!("cannot load {}: {e}", path.display())))?;
-            let stored = StoredTrace::new(id.clone(), trace);
-            if traces.insert(id.clone(), stored).is_some() {
-                return Err(StoreError(format!("duplicate trace id '{id}'")));
+            match index_entry(id.clone(), &path) {
+                Ok(entry) => {
+                    if entries.insert(id.clone(), Arc::new(entry)).is_some() {
+                        return Err(StoreError(format!("duplicate trace id '{id}'")));
+                    }
+                }
+                Err(e) if opts.strict => {
+                    return Err(StoreError(format!("cannot load {}: {e}", path.display())));
+                }
+                Err(e) => quarantined.push(QuarantineRow {
+                    file: path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string()),
+                    error: e.to_string(),
+                }),
             }
         }
-        Ok(ProfileStore { traces })
+        let store = ProfileStore {
+            entries: RwLock::new(entries),
+            decoded: Mutex::new(DecodedTier::default()),
+            decode_flight: Mutex::new(()),
+            quarantined,
+            dir: Some(dir.to_path_buf()),
+            opts: *opts,
+            stats: StoreStats::default(),
+        };
+        store.stats.quarantined.store(store.quarantined.len() as u64, Ordering::Relaxed);
+        store
+            .stats
+            .memory_budget_bytes
+            .store(opts.memory_budget.unwrap_or(0), Ordering::Relaxed);
+        Ok(store)
     }
 
-    /// A store over already-decoded traces (tests, embedding).
+    /// A store over already-decoded traces (tests, embedding). The
+    /// traces have no backing file, so they are pinned resident in the
+    /// decoded tier and exempt from eviction.
     ///
     /// # Errors
     ///
@@ -160,39 +341,93 @@ impl ProfileStore {
     pub fn from_traces(
         traces: impl IntoIterator<Item = (String, RecordedTrace)>,
     ) -> Result<Self, StoreError> {
-        let mut map = BTreeMap::new();
+        let mut entries = BTreeMap::new();
+        let mut tier = DecodedTier::default();
         for (id, trace) in traces {
-            let stored = StoredTrace::new(id.clone(), trace);
-            if map.insert(id.clone(), stored).is_some() {
+            let entry = TraceEntry {
+                id: id.clone(),
+                summary: summarize_decoded(&trace),
+                objects: object_rows(&trace),
+                kernels: kernel_rows(&trace),
+                path: None,
+            };
+            if entries.insert(id.clone(), Arc::new(entry)).is_some() {
                 return Err(StoreError(format!("duplicate trace id '{id}'")));
             }
+            tier.tick += 1;
+            let tick = tier.tick;
+            tier.map.insert(
+                id,
+                Resident {
+                    bytes: approx_resident_bytes(&trace),
+                    trace: Arc::new(trace),
+                    last_use: tick,
+                    pinned: true,
+                },
+            );
         }
-        Ok(ProfileStore { traces: map })
+        let store = ProfileStore {
+            entries: RwLock::new(entries),
+            decoded: Mutex::new(tier),
+            decode_flight: Mutex::new(()),
+            quarantined: Vec::new(),
+            dir: None,
+            opts: StoreOptions::default(),
+            stats: StoreStats::default(),
+        };
+        let tier = store.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        let bytes: u64 = tier.map.values().map(|r| r.bytes).sum();
+        store.stats.resident_bytes.store(bytes, Ordering::Relaxed);
+        store.stats.resident_traces.store(tier.map.len() as u64, Ordering::Relaxed);
+        drop(tier);
+        Ok(store)
     }
 
-    /// Number of traces loaded.
+    /// Number of traces indexed.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.entries.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.len() == 0
     }
 
     /// Trace ids, sorted.
-    pub fn ids(&self) -> Vec<&str> {
-        self.traces.keys().map(String::as_str).collect()
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect()
     }
 
-    /// Looks a trace up by id.
-    pub fn get(&self, id: &str) -> Option<&StoredTrace> {
-        self.traces.get(id)
+    /// Looks the index tier up by id.
+    pub fn entry(&self, id: &str) -> Option<Arc<TraceEntry>> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner()).get(id).cloned()
+    }
+
+    /// The quarantine list: trace files skipped at load.
+    pub fn quarantined(&self) -> &[QuarantineRow] {
+        &self.quarantined
+    }
+
+    /// The store's tier gauges and counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Bytes of decoded traces currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.stats.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Decoded traces currently resident.
+    pub fn resident_traces(&self) -> usize {
+        self.stats.resident_traces.load(Ordering::Relaxed) as usize
     }
 
     /// The `GET /traces` listing rows, sorted by id.
     pub fn list_rows(&self) -> Vec<TraceListRow> {
-        self.traces
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(|t| TraceListRow {
                 id: t.id.clone(),
@@ -206,19 +441,323 @@ impl ProfileStore {
             })
             .collect()
     }
-}
 
-impl StoredTrace {
-    fn new(id: String, trace: RecordedTrace) -> Self {
-        let summary = summarize_decoded(&trace);
-        let objects = object_rows(&trace);
-        let kernels = kernel_rows(&trace);
-        StoredTrace { id, trace, summary, objects, kernels }
+    /// The decoded event stream of `id`, materializing it on first use.
+    ///
+    /// A resident trace is returned immediately (and its LRU tick
+    /// bumped). A cold one is decoded from its backing file through the
+    /// projected/parallel [`read_trace_file_with`] path, inserted into
+    /// the decoded tier, and the tier is evicted down to the memory
+    /// budget — never evicting the trace just requested.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the id is unknown or the backing file fails to
+    /// decode (e.g. it was corrupted or removed after indexing).
+    pub fn decoded(&self, id: &str) -> Result<Arc<RecordedTrace>, StoreError> {
+        if let Some(trace) = self.lookup_resident(id) {
+            return Ok(trace);
+        }
+        // One cold decode at a time; losers of the race find the trace
+        // resident on the second lookup.
+        let _flight = self.decode_flight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(trace) = self.lookup_resident(id) {
+            return Ok(trace);
+        }
+        let entry = self.entry(id).ok_or_else(|| StoreError(format!("no trace '{id}'")))?;
+        let path = entry.path.as_ref().ok_or_else(|| {
+            // Pinned traces are inserted resident at construction; a
+            // pathless entry missing from the tier means it was deleted
+            // concurrently.
+            StoreError(format!("trace '{id}' is gone"))
+        })?;
+        let opts =
+            DecodeOptions { threads: self.opts.decode_threads, ..DecodeOptions::default() };
+        let trace = Arc::new(
+            read_trace_file_with(path, &opts)
+                .map_err(|e| StoreError(format!("cannot decode {}: {e}", path.display())))?,
+        );
+        self.stats.decodes_total.fetch_add(1, Ordering::Relaxed);
+        let bytes = approx_resident_bytes(&trace);
+        let mut tier = self.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        tier.tick += 1;
+        let tick = tier.tick;
+        tier.map.insert(
+            id.to_owned(),
+            Resident { trace: trace.clone(), bytes, last_use: tick, pinned: false },
+        );
+        self.evict_over_budget(&mut tier, id);
+        self.sync_tier_gauges(&tier);
+        Ok(trace)
+    }
+
+    /// Validates `bytes` as a trace, writes them atomically into the
+    /// backing directory as `{id}.vex`, and indexes the new trace — it
+    /// is queryable as soon as this returns, no restart needed.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError`]; on any error the store and directory are
+    /// unchanged.
+    pub fn ingest(&self, id: &str, bytes: &[u8]) -> Result<TraceListRow, MutationError> {
+        let result = self.ingest_inner(id, bytes);
+        match &result {
+            Ok(_) => {
+                self.stats.ingested_total.fetch_add(1, Ordering::Relaxed);
+                self.stats.ingested_bytes_total.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.ingest_errors_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn ingest_inner(&self, id: &str, bytes: &[u8]) -> Result<TraceListRow, MutationError> {
+        if !valid_trace_id(id) {
+            return Err(MutationError::BadId(id.to_owned()));
+        }
+        let dir = self.dir.as_ref().ok_or(MutationError::ReadOnly)?;
+        // Validate before taking the write lock: a skip-records scan of
+        // the bytes, folding the index-tier views in the same pass.
+        let entry = index_entry_bytes(id.to_owned(), bytes, Some(dir.join(format!("{id}.vex"))))
+            .map_err(|e| MutationError::InvalidTrace(e.to_string()))?;
+        // The write lock serializes the duplicate check, the file write,
+        // and the index insert — a concurrent ingest of the same id
+        // cannot interleave.
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        if entries.contains_key(id) {
+            return Err(MutationError::Duplicate(id.to_owned()));
+        }
+        let tmp = dir.join(format!(".{id}.vex.tmp"));
+        let dst = dir.join(format!("{id}.vex"));
+        std::fs::write(&tmp, bytes).map_err(|e| MutationError::Io(e.to_string()))?;
+        if let Err(e) = std::fs::rename(&tmp, &dst) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(MutationError::Io(e.to_string()));
+        }
+        let row = list_row(&entry);
+        entries.insert(id.to_owned(), Arc::new(entry));
+        Ok(row)
+    }
+
+    /// Deletes `id` from the index tier, the decoded tier, and (when
+    /// disk-backed) the directory.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::NotFound`] if the id is unknown;
+    /// [`MutationError::Io`] if the backing file cannot be removed.
+    pub fn remove(&self, id: &str) -> Result<(), MutationError> {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        let entry = entries.remove(id).ok_or_else(|| MutationError::NotFound(id.to_owned()))?;
+        if let Some(path) = &entry.path {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    // Roll the index entry back: the file is still there.
+                    entries.insert(id.to_owned(), entry);
+                    return Err(MutationError::Io(e.to_string()));
+                }
+            }
+        }
+        drop(entries);
+        let mut tier = self.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        tier.map.remove(id);
+        self.sync_tier_gauges(&tier);
+        drop(tier);
+        self.stats.deleted_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn lookup_resident(&self, id: &str) -> Option<Arc<RecordedTrace>> {
+        let mut tier = self.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        tier.tick += 1;
+        let tick = tier.tick;
+        let resident = tier.map.get_mut(id)?;
+        resident.last_use = tick;
+        Some(resident.trace.clone())
+    }
+
+    /// Evicts least-recently-used unpinned traces until the tier fits
+    /// the budget; `keep` (the trace being served right now) is exempt,
+    /// so one trace larger than the whole budget still serves.
+    fn evict_over_budget(&self, tier: &mut DecodedTier, keep: &str) {
+        let Some(budget) = self.opts.memory_budget else { return };
+        loop {
+            let resident: u64 = tier.map.values().map(|r| r.bytes).sum();
+            if resident <= budget {
+                return;
+            }
+            let coldest = tier
+                .map
+                .iter()
+                .filter(|(id, r)| !r.pinned && id.as_str() != keep)
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(id, _)| id.clone());
+            let Some(coldest) = coldest else { return };
+            if let Some(evicted) = tier.map.remove(&coldest) {
+                self.stats.evictions_total.fetch_add(1, Ordering::Relaxed);
+                self.stats.evicted_bytes_total.fetch_add(evicted.bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn sync_tier_gauges(&self, tier: &DecodedTier) {
+        let bytes: u64 = tier.map.values().map(|r| r.bytes).sum();
+        self.stats.resident_bytes.store(bytes, Ordering::Relaxed);
+        self.stats.resident_traces.store(tier.map.len() as u64, Ordering::Relaxed);
     }
 }
 
+/// Valid ingest ids: non-empty, ≤ 64 chars, `[A-Za-z0-9_-]` — exactly
+/// the stems `load_dir` would accept without surprises, and nothing
+/// that can traverse paths.
+fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+fn list_row(entry: &TraceEntry) -> TraceListRow {
+    TraceListRow {
+        id: entry.id.clone(),
+        device: entry.summary.device.clone(),
+        coarse: entry.summary.flags.coarse,
+        fine: entry.summary.flags.fine,
+        api_events: entry.summary.api_events,
+        instrumented_launches: entry.summary.instrumented_launches,
+        records: entry.summary.records,
+        app_us: entry.summary.app_us,
+    }
+}
+
+/// Builds one index-tier entry from a trace file: a single
+/// skip-records scan yielding the summary plus the object and kernel
+/// views through the frame visitor.
+fn index_entry(id: String, path: &Path) -> Result<TraceEntry, vex_trace::codec::DecodeError> {
+    let file = std::fs::File::open(path)?;
+    let mut views = ViewScan::default();
+    let index = index_trace_with(std::io::BufReader::new(file), |entry, frame| {
+        views.visit(entry, frame);
+    })?;
+    Ok(views.into_entry(id, index, Some(path.to_path_buf())))
+}
+
+/// [`index_entry`] over in-memory bytes (the ingest path).
+fn index_entry_bytes(
+    id: String,
+    bytes: &[u8],
+    path: Option<PathBuf>,
+) -> Result<TraceEntry, vex_trace::codec::DecodeError> {
+    let mut views = ViewScan::default();
+    let index = index_trace_with(bytes, |entry, frame| views.visit(entry, frame))?;
+    Ok(views.into_entry(id, index, path))
+}
+
+/// Folds the object and kernel views out of the skip-records scan.
+/// Batch frames arrive with empty record vectors in scan mode; their
+/// counts come from the per-frame [`FrameEntry::records`]. Malloc
+/// contexts are interned ids until the `Contexts` frame arrives near
+/// the end of the stream, then resolved.
+#[derive(Default)]
+struct ViewScan {
+    objects: Vec<ObjectRow>,
+    object_contexts: Vec<vex_gpu::callpath::CallPathId>,
+    object_index: BTreeMap<u64, usize>,
+    kernels: BTreeMap<String, KernelRow>,
+    contexts: BTreeMap<vex_gpu::callpath::CallPathId, String>,
+}
+
+impl ViewScan {
+    fn visit(&mut self, entry: &FrameEntry, frame: &TraceFrame) {
+        match frame {
+            TraceFrame::Event(Event::Api { event, .. }) => match &event.kind {
+                ApiKind::Malloc { info } => {
+                    self.object_index.insert(info.id.0, self.objects.len());
+                    self.object_contexts.push(info.context);
+                    self.objects.push(ObjectRow {
+                        id: info.id.0,
+                        label: info.label.clone(),
+                        addr: info.addr,
+                        size_bytes: info.size,
+                        context: String::new(),
+                        freed: false,
+                    });
+                }
+                ApiKind::Free { info } => {
+                    if let Some(&i) = self.object_index.get(&info.id.0) {
+                        self.objects[i].freed = true;
+                    }
+                }
+                _ => {}
+            },
+            TraceFrame::Event(Event::LaunchBegin { info }) => {
+                self.kernel(&info.kernel_name).instrumented_launches += 1;
+            }
+            TraceFrame::Event(Event::SkippedLaunch { info }) => {
+                self.kernel(&info.kernel_name).skipped_launches += 1;
+            }
+            TraceFrame::Event(Event::Batch { info, .. }) => {
+                self.kernel(&info.kernel_name).records += entry.records;
+            }
+            TraceFrame::Contexts(map) => self.contexts = map.clone(),
+            _ => {}
+        }
+    }
+
+    fn kernel(&mut self, name: &str) -> &mut KernelRow {
+        self.kernels.entry(name.to_owned()).or_insert_with(|| KernelRow {
+            name: name.to_owned(),
+            instrumented_launches: 0,
+            skipped_launches: 0,
+            records: 0,
+        })
+    }
+
+    fn into_entry(mut self, id: String, index: TraceIndex, path: Option<PathBuf>) -> TraceEntry {
+        for (row, ctx) in self.objects.iter_mut().zip(&self.object_contexts) {
+            row.context = self
+                .contexts
+                .get(ctx)
+                .cloned()
+                .unwrap_or_else(|| format!("<unrecorded context {}>", ctx.0));
+        }
+        TraceEntry {
+            id,
+            summary: index.summary,
+            objects: self.objects,
+            kernels: self.kernels.into_values().collect(),
+            path,
+        }
+    }
+}
+
+/// A measured estimate of one decoded trace's in-memory footprint,
+/// bytes — the decoded tier's accounting unit. Deterministic for a
+/// given trace, so budget behaviour is reproducible.
+fn approx_resident_bytes(trace: &RecordedTrace) -> u64 {
+    let record = std::mem::size_of::<AccessRecord>() as u64;
+    let mut total = std::mem::size_of::<RecordedTrace>() as u64;
+    for event in &trace.events {
+        // Event enum + one Arc indirection of bookkeeping.
+        total += 64;
+        match event {
+            Event::Batch { records, .. } => total += records.len() as u64 * record,
+            Event::Api { captured, .. } => total += captured.captured_bytes() + 64,
+            _ => {}
+        }
+    }
+    for ctx in trace.contexts.values() {
+        total += ctx.len() as u64 + 48;
+    }
+    total
+}
+
 /// A [`TraceSummary`] over an already-decoded trace (the streaming
-/// variant in `vex_trace::summary` serves `vex info`).
+/// variant in `vex_trace::summary` serves `vex info`; the index scan in
+/// [`vex_trace::index`] serves disk-backed loading).
 fn summarize_decoded(trace: &RecordedTrace) -> TraceSummary {
     let mut s = TraceSummary {
         version: trace.version,
@@ -390,10 +929,15 @@ mod tests {
         read_trace(&recorded_bytes(app_name)).expect("decodes")
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vex-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn load_dir_indexes_by_stem_and_sorts() {
-        let dir = std::env::temp_dir().join(format!("vex-store-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("basic");
         let bytes = recorded_bytes("QMCPACK");
         let trace = read_trace(&bytes).expect("decodes");
         std::fs::write(dir.join("beta.vex"), &bytes).unwrap();
@@ -403,9 +947,12 @@ mod tests {
         let store = ProfileStore::load_dir(&dir).unwrap();
         assert_eq!(store.len(), 2);
         assert_eq!(store.ids(), vec!["alpha", "beta"]);
-        let alpha = store.get("alpha").unwrap();
+        let alpha = store.entry("alpha").unwrap();
         assert_eq!(alpha.summary.instrumented_launches, trace_launches(&trace));
-        assert!(store.get("gamma").is_none());
+        assert!(store.entry("gamma").is_none());
+        // Startup is index-only: nothing decoded yet.
+        assert_eq!(store.resident_traces(), 0);
+        assert_eq!(store.resident_bytes(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -414,11 +961,23 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_trace_fails_the_load_with_its_path() {
-        let dir = std::env::temp_dir().join(format!("vex-store-bad-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn corrupt_trace_is_quarantined_by_default_and_fatal_under_strict() {
+        let dir = temp_dir("bad");
         std::fs::write(dir.join("bad.vex"), b"not a trace").unwrap();
-        let err = ProfileStore::load_dir(&dir).unwrap_err();
+        std::fs::write(dir.join("good.vex"), recorded_bytes("QMCPACK")).unwrap();
+
+        // Default (lenient): the good trace loads, the bad one is
+        // quarantined with its file name and error.
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        assert_eq!(store.ids(), vec!["good"]);
+        assert_eq!(store.quarantined().len(), 1);
+        assert_eq!(store.quarantined()[0].file, "bad.vex");
+        assert!(!store.quarantined()[0].error.is_empty());
+        assert_eq!(store.stats().quarantined.load(Ordering::Relaxed), 1);
+
+        // Strict restores fail-fast, naming the file.
+        let opts = StoreOptions { strict: true, ..StoreOptions::default() };
+        let err = ProfileStore::load_dir_with(&dir, &opts).unwrap_err();
         assert!(err.0.contains("bad.vex"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -427,7 +986,7 @@ mod tests {
     fn static_views_cover_objects_and_kernels() {
         let trace = recorded("QMCPACK");
         let store = ProfileStore::from_traces([("q".to_owned(), trace)]).expect("unique ids");
-        let t = store.get("q").unwrap();
+        let t = store.entry("q").unwrap();
         assert!(!t.objects.is_empty(), "workload allocates");
         assert!(!t.kernels.is_empty(), "workload launches kernels");
         assert!(t.objects.iter().all(|o| !o.label.is_empty()));
@@ -435,13 +994,141 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].id, "q");
         assert!(rows[0].fine);
-        // Decoded-trace summary agrees with the streaming summarizer's
-        // counts on the same stream.
         assert_eq!(
             t.summary.instrumented_launches,
             t.kernels.iter().map(|k| k.instrumented_launches).sum::<u64>()
         );
         assert_eq!(t.summary.records, t.kernels.iter().map(|k| k.records).sum::<u64>());
+        // Pinned traces are resident from construction.
+        assert_eq!(store.resident_traces(), 1);
+        assert!(store.decoded("q").is_ok());
+    }
+
+    #[test]
+    fn index_tier_matches_eager_views() {
+        // The skip-scan index tier must produce exactly the views the
+        // old eager loader computed from the decoded stream.
+        let dir = temp_dir("views");
+        let bytes = recorded_bytes("QMCPACK");
+        std::fs::write(dir.join("q.vex"), &bytes).unwrap();
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        let scanned = store.entry("q").unwrap();
+
+        let trace = read_trace(&bytes).unwrap();
+        let eager_objects = object_rows(&trace);
+        let eager_kernels = kernel_rows(&trace);
+        let eager_summary = summarize_decoded(&trace);
+
+        assert_eq!(scanned.summary, eager_summary);
+        assert_eq!(scanned.objects.len(), eager_objects.len());
+        for (a, b) in scanned.objects.iter().zip(&eager_objects) {
+            assert_eq!((a.id, &a.label, a.addr, a.size_bytes, &a.context, a.freed),
+                       (b.id, &b.label, b.addr, b.size_bytes, &b.context, b.freed));
+        }
+        assert_eq!(scanned.kernels.len(), eager_kernels.len());
+        for (a, b) in scanned.kernels.iter().zip(&eager_kernels) {
+            assert_eq!(
+                (&a.name, a.instrumented_launches, a.skipped_launches, a.records),
+                (&b.name, b.instrumented_launches, b.skipped_launches, b.records)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_decode_then_evict_under_budget() {
+        let dir = temp_dir("evict");
+        let bytes = recorded_bytes("QMCPACK");
+        std::fs::write(dir.join("a.vex"), &bytes).unwrap();
+        std::fs::write(dir.join("b.vex"), &bytes).unwrap();
+        std::fs::write(dir.join("c.vex"), &bytes).unwrap();
+        // Budget of one byte: only the trace under active service stays.
+        let opts = StoreOptions { memory_budget: Some(1), ..StoreOptions::default() };
+        let store = ProfileStore::load_dir_with(&dir, &opts).unwrap();
+        assert_eq!(store.resident_traces(), 0);
+
+        let a = store.decoded("a").unwrap();
+        assert_eq!(store.resident_traces(), 1, "the requested trace is never evicted");
+        let a_bytes = store.resident_bytes();
+        assert!(a_bytes > 0);
+        let direct = read_trace(&bytes).unwrap();
+        assert_eq!(a.events.len(), direct.events.len());
+
+        store.decoded("b").unwrap();
+        assert_eq!(store.resident_traces(), 1, "a evicted for b under the budget");
+        store.decoded("c").unwrap();
+        assert_eq!(store.resident_traces(), 1);
+        assert_eq!(store.stats().evictions_total.load(Ordering::Relaxed), 2);
+        // Re-requesting a re-decodes transparently.
+        let a2 = store.decoded("a").unwrap();
+        assert_eq!(a2.events.len(), a.events.len());
+        assert_eq!(store.stats().decodes_total.load(Ordering::Relaxed), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unbounded_store_keeps_everything_resident() {
+        let dir = temp_dir("unbounded");
+        let bytes = recorded_bytes("QMCPACK");
+        std::fs::write(dir.join("a.vex"), &bytes).unwrap();
+        std::fs::write(dir.join("b.vex"), &bytes).unwrap();
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        store.decoded("a").unwrap();
+        store.decoded("b").unwrap();
+        assert_eq!(store.resident_traces(), 2);
+        assert_eq!(store.stats().evictions_total.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_validates_persists_and_indexes() {
+        let dir = temp_dir("ingest");
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        assert!(store.is_empty());
+        let bytes = recorded_bytes("QMCPACK");
+
+        let row = store.ingest("pushed", &bytes).unwrap();
+        assert_eq!(row.id, "pushed");
+        assert!(dir.join("pushed.vex").is_file());
+        assert_eq!(store.ids(), vec!["pushed"]);
+        // Queryable without restart: decoded tier materializes from the
+        // file just written.
+        let trace = store.decoded("pushed").unwrap();
+        assert!(!trace.events.is_empty());
+
+        // Duplicate id is refused, store unchanged.
+        assert!(matches!(store.ingest("pushed", &bytes), Err(MutationError::Duplicate(_))));
+        // Garbage bytes are refused before touching disk.
+        assert!(matches!(
+            store.ingest("junk", b"not a trace"),
+            Err(MutationError::InvalidTrace(_))
+        ));
+        assert!(!dir.join("junk.vex").exists());
+        // Invalid ids are refused.
+        for bad in ["", "a/b", "../x", "a b", &"x".repeat(65)] {
+            assert!(matches!(store.ingest(bad, &bytes), Err(MutationError::BadId(_))), "{bad}");
+        }
+        assert_eq!(store.stats().ingested_total.load(Ordering::Relaxed), 1);
+        assert!(store.stats().ingest_errors_total.load(Ordering::Relaxed) >= 6);
+
+        // Delete removes every tier and the file.
+        store.remove("pushed").unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.join("pushed.vex").exists());
+        assert_eq!(store.resident_traces(), 0);
+        assert!(matches!(store.remove("pushed"), Err(MutationError::NotFound(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_traces_store_is_read_only_for_ingest() {
+        let store =
+            ProfileStore::from_traces([("q".to_owned(), recorded("QMCPACK"))]).unwrap();
+        let bytes = recorded_bytes("QMCPACK");
+        assert!(matches!(store.ingest("x", &bytes), Err(MutationError::ReadOnly)));
+        // Deleting a pinned trace still works (no file involved).
+        store.remove("q").unwrap();
+        assert!(store.is_empty());
     }
 
     #[test]

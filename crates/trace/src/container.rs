@@ -984,6 +984,14 @@ impl<R: Read> TraceReader<R> {
         self.records_scanned
     }
 
+    /// Byte offset of the next frame in the stream (immediately after
+    /// the last frame returned by [`TraceReader::next_frame`]). Sampling
+    /// this before and after each `next_frame` call yields per-frame
+    /// byte extents — the basis of [`crate::index::TraceIndex`].
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
     /// Switches the reader into deferred mode: columnar batch payloads
     /// queue internally instead of decoding inline, and their `Batch`
     /// events arrive with empty record vectors. [`read_trace_with`]

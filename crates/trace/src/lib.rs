@@ -40,6 +40,7 @@
 pub mod codec;
 pub mod container;
 pub mod event;
+pub mod index;
 pub mod interval;
 pub mod summary;
 pub mod transport;

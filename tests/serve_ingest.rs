@@ -1,0 +1,372 @@
+//! Ingest and eviction suite for `vex serve --ingest --memory-budget`.
+//!
+//! The push path gets the same adversarial treatment the read path gets
+//! in `serve_robustness`: truncated chunked uploads, oversized bodies,
+//! garbage payloads, duplicate and malformed ids, and concurrent pushes
+//! must all end in the right 4xx — never a partial trace in the store,
+//! never a dead server. A property test then pins the bounded-memory
+//! contract: a store under a budget too small for the whole corpus
+//! serves byte-identical report bodies to an unbounded store across
+//! random request orders, while its resident decoded bytes never exceed
+//! the budget.
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use vex_bench::{http_get, http_post, record_app};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_serve::{push_trace, ProfileStore, PushError, Server, ServerConfig, StoreOptions};
+use vex_workloads::{apps::qmcpack::Qmcpack, Variant};
+
+/// A small QMCPACK trace; `walkers` varies the content and size.
+fn qmcpack_trace(walkers: usize) -> Vec<u8> {
+    let app = Qmcpack { walkers, setup_elems: 64, steps: 1 };
+    record_app(
+        &DeviceSpec::rtx2080ti(),
+        &app,
+        Variant::Baseline,
+        ValueExpert::builder().coarse(true).fine(false),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vex-serve-ingest-{tag}-{}", std::process::id()))
+}
+
+/// Starts a server over `dir` with the given store options and config.
+fn serve(dir: &Path, opts: StoreOptions, config: ServerConfig) -> Server {
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let store = ProfileStore::load_dir_with(dir, &opts).expect("store loads");
+    Server::bind(store, "127.0.0.1:0", config).expect("server binds")
+}
+
+fn ingest_config() -> ServerConfig {
+    ServerConfig { ingest_enabled: true, ..ServerConfig::default() }
+}
+
+/// Sends raw bytes, half-closes, returns the response bytes.
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let _ = conn.write_all(bytes);
+    let _ = conn.shutdown(Shutdown::Write);
+    let mut resp = Vec::new();
+    let _ = conn.read_to_end(&mut resp);
+    resp
+}
+
+fn http_delete(addr: SocketAddr, target: &str) -> Vec<u8> {
+    send_raw(addr, format!("DELETE {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+}
+
+/// Wraps `body` in chunked transfer coding, `chunk` bytes per chunk.
+fn chunked(body: &[u8], chunk: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in body.chunks(chunk.max(1)) {
+        out.extend_from_slice(format!("{:x}\r\n", part.len()).as_bytes());
+        out.extend_from_slice(part);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+fn chunked_post(addr: SocketAddr, target: &str, body: &[u8], chunk: usize) -> Vec<u8> {
+    let mut raw = format!("POST {target} HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .into_bytes();
+    raw.extend_from_slice(&chunked(body, chunk));
+    send_raw(addr, &raw)
+}
+
+/// Push → query → duplicate-409 → delete → 404 → re-push, end to end
+/// through the public client.
+#[test]
+fn push_lifecycle_with_duplicates_and_deletes() {
+    let dir = temp_dir("lifecycle");
+    let server = serve(&dir, StoreOptions::default(), ingest_config());
+    let addr = server.addr();
+    let url = format!("http://{addr}");
+    let bytes = qmcpack_trace(512);
+
+    let row = push_trace(&url, "qmc", &bytes).expect("first push lands");
+    assert!(row.contains("\"id\": \"qmc\""), "{row}");
+    assert!(dir.join("qmc.vex").is_file(), "push persists the container");
+    let (status, body) = http_get(addr, "/traces/qmc/report");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+
+    match push_trace(&url, "qmc", &bytes) {
+        Err(PushError::Rejected { status: 409, .. }) => {}
+        other => panic!("duplicate push must 409, got {other:?}"),
+    }
+
+    let resp = http_delete(addr, "/traces/qmc");
+    assert!(resp.starts_with(b"HTTP/1.1 200 "), "{}", String::from_utf8_lossy(&resp));
+    assert!(!dir.join("qmc.vex").exists(), "delete removes the container");
+    let (status, _) = http_get(addr, "/traces/qmc/report");
+    assert_eq!(status, 404, "deleted trace is gone");
+    let resp = http_delete(addr, "/traces/qmc");
+    assert!(resp.starts_with(b"HTTP/1.1 404 "), "{}", String::from_utf8_lossy(&resp));
+
+    // The id is free again after deletion.
+    push_trace(&url, "qmc", &bytes).expect("re-push after delete lands");
+    let (status, _) = http_get(addr, "/traces/qmc/kernels");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A chunked upload reassembles into the identical trace a
+/// `Content-Length` push produces.
+#[test]
+fn chunked_uploads_reassemble_exactly() {
+    let dir = temp_dir("chunked");
+    let server = serve(&dir, StoreOptions::default(), ingest_config());
+    let addr = server.addr();
+    let bytes = qmcpack_trace(640);
+
+    let resp = chunked_post(addr, "/ingest/streamed", &bytes, 1021);
+    assert!(resp.starts_with(b"HTTP/1.1 201 "), "{}", String::from_utf8_lossy(&resp));
+    assert_eq!(
+        std::fs::read(dir.join("streamed.vex")).expect("persisted"),
+        bytes,
+        "chunk reassembly must be byte-exact"
+    );
+    let (status, _) = http_get(addr, "/traces/streamed/report");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Malformed pushes: every abuse gets its 4xx, nothing lands in the
+/// store, and the server stays alive.
+#[test]
+fn malformed_pushes_are_rejected_without_side_effects() {
+    let dir = temp_dir("malformed");
+    // Cap sized so a whole trace fits but a padded body does not.
+    let real = qmcpack_trace(512);
+    let cap = real.len() as u64 + 1024;
+    let config = ServerConfig { max_ingest_bytes: cap, ..ingest_config() };
+    let server = serve(&dir, StoreOptions::default(), config);
+    let addr = server.addr();
+
+    // Garbage payload: parses as HTTP, fails trace validation.
+    let (status, body) = http_post(addr, "/ingest/garbage", b"VEXTRACE junk after magic");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+
+    // Truncated trace: a valid prefix of a real container.
+    let (status, _) = http_post(addr, "/ingest/truncated", &real[..real.len() / 2]);
+    assert_eq!(status, 400);
+
+    // Malformed ids: bad characters and overlong. (An encoded slash —
+    // `%2F` — decodes into a path separator and dies in routing as 405,
+    // so it never reaches id validation.)
+    for id in ["has.dot", "has~tilde", &"x".repeat(65)] {
+        let (status, _) = http_post(addr, &format!("/ingest/{id}"), &real);
+        assert_eq!(status, 400, "id {id:?} must be rejected");
+    }
+
+    // Over the per-request cap, via Content-Length and via chunks.
+    let oversized = vec![0u8; cap as usize + 1];
+    let (status, _) = http_post(addr, "/ingest/big", &oversized);
+    assert_eq!(status, 413);
+    let resp = chunked_post(addr, "/ingest/big", &oversized, 4096);
+    assert!(resp.starts_with(b"HTTP/1.1 413 "), "{}", String::from_utf8_lossy(&resp));
+
+    // Truncated chunked upload: connection dies mid-chunk.
+    let resp = send_raw(
+        addr,
+        b"POST /ingest/cut HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nonly-a-few",
+    );
+    assert!(
+        resp.is_empty() || resp.starts_with(b"HTTP/1.1 4"),
+        "{}",
+        String::from_utf8_lossy(&resp)
+    );
+
+    // Chunked garbage framing: non-hex size line.
+    let resp = send_raw(
+        addr,
+        b"POST /ingest/frame HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nnope\r\n0\r\n\r\n",
+    );
+    assert!(resp.starts_with(b"HTTP/1.1 400 "), "{}", String::from_utf8_lossy(&resp));
+
+    // Nothing landed; the server still answers.
+    assert_eq!(server.state().store().len(), 0, "no rejected push may persist");
+    assert!(std::fs::read_dir(&dir).expect("dir").next().is_none(), "no stray files");
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n".to_vec());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `--ingest`, mutation endpoints answer 405 and mutate nothing.
+#[test]
+fn read_only_server_refuses_mutations() {
+    let dir = temp_dir("readonly");
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    std::fs::write(dir.join("keep.vex"), qmcpack_trace(512)).expect("seed trace");
+    let server = serve(&dir, StoreOptions::default(), ServerConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = http_post(addr, "/ingest/nope", b"x");
+    assert_eq!(status, 405, "{}", String::from_utf8_lossy(&body));
+    let resp = http_delete(addr, "/traces/keep");
+    assert!(resp.starts_with(b"HTTP/1.1 405 "), "{}", String::from_utf8_lossy(&resp));
+    assert!(dir.join("keep.vex").is_file(), "read-only delete must not remove the file");
+    assert_eq!(server.state().store().len(), 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// 8 concurrent pushes to distinct ids all land, each queryable.
+#[test]
+fn concurrent_pushes_to_distinct_ids_all_land() {
+    let dir = temp_dir("concurrent");
+    let server = serve(&dir, StoreOptions::default(), ingest_config());
+    let addr = server.addr();
+    let url = format!("http://{addr}");
+
+    const PUSHERS: usize = 8;
+    let mut handles = Vec::new();
+    for i in 0..PUSHERS {
+        let url = url.clone();
+        handles.push(std::thread::spawn(move || {
+            let bytes = qmcpack_trace(256 + 64 * i);
+            push_trace(&url, &format!("t{i}"), &bytes).expect("concurrent push lands");
+        }));
+    }
+    for h in handles {
+        h.join().expect("pusher panicked");
+    }
+
+    assert_eq!(server.state().store().len(), PUSHERS);
+    for i in 0..PUSHERS {
+        let (status, _) = http_get(addr, &format!("/traces/t{i}/kernels"));
+        assert_eq!(status, 200, "t{i} queryable after concurrent ingest");
+    }
+    let stats = server.state().store().stats();
+    assert_eq!(stats.ingested_total.load(std::sync::atomic::Ordering::Relaxed), PUSHERS as u64);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The shared fixture of the eviction property: one corpus served twice,
+/// once unbounded and once under a budget that admits the largest single
+/// trace but not the whole corpus.
+struct EvictionRig {
+    budget: u64,
+    budgeted: Server,
+    unbounded: Server,
+}
+
+const RIG_IDS: [&str; 3] = ["q1", "q2", "q3"];
+
+fn eviction_rig() -> &'static EvictionRig {
+    static RIG: OnceLock<EvictionRig> = OnceLock::new();
+    RIG.get_or_init(|| {
+        let dir = temp_dir("evict");
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        for (id, walkers) in RIG_IDS.iter().zip([384usize, 768, 1536]) {
+            std::fs::write(dir.join(format!("{id}.vex")), qmcpack_trace(walkers))
+                .expect("write trace");
+        }
+
+        // Probe the per-trace decoded sizes: under a 1-byte budget only
+        // the just-requested trace stays resident, so the gauge after
+        // each decode is exactly that trace's accounted size.
+        let probe = ProfileStore::load_dir_with(
+            &dir,
+            &StoreOptions { memory_budget: Some(1), ..StoreOptions::default() },
+        )
+        .expect("probe store");
+        let mut largest = 0u64;
+        let mut total = 0u64;
+        for id in RIG_IDS {
+            probe.decoded(id).expect("probe decode");
+            let single = probe.resident_bytes();
+            largest = largest.max(single);
+            total += single;
+        }
+        assert!(total > largest, "corpus must not fit in the budget");
+
+        let budget = largest;
+        let budgeted = serve(
+            &dir,
+            StoreOptions { memory_budget: Some(budget), ..StoreOptions::default() },
+            // A one-entry report cache so nearly every request walks the
+            // store's decode/evict path instead of replaying from cache.
+            ServerConfig { cache_entries: 1, ..ServerConfig::default() },
+        );
+        let unbounded = serve(&dir, StoreOptions::default(), ServerConfig::default());
+        EvictionRig { budget, budgeted, unbounded }
+    })
+}
+
+const RIG_TARGETS: [&str; 6] = [
+    "/traces/q1/report",
+    "/traces/q2/report",
+    "/traces/q3/report",
+    "/traces/q1/report?shards=2",
+    "/traces/q2/flowgraph?format=dot",
+    "/traces/q3/report",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Across random request orders, the budgeted server's responses
+    /// are byte-identical to the unbounded server's, and its resident
+    /// decoded bytes never exceed the budget.
+    #[test]
+    fn budgeted_responses_match_unbounded(
+        order in prop::collection::vec(0usize..RIG_TARGETS.len(), 1..10),
+    ) {
+        let rig = eviction_rig();
+        for &i in &order {
+            let target = RIG_TARGETS[i];
+            let got = http_get(rig.budgeted.addr(), target);
+            let want = http_get(rig.unbounded.addr(), target);
+            prop_assert_eq!(got.0, 200u16, "{}", target);
+            prop_assert!(
+                got == want,
+                "{} diverged under the memory budget ({} vs {} bytes)",
+                target, got.1.len(), want.1.len()
+            );
+            let resident = rig.budgeted.state().store().resident_bytes();
+            prop_assert!(
+                resident <= rig.budget,
+                "resident {} bytes exceeds budget {} after {}",
+                resident, rig.budget, target
+            );
+        }
+    }
+}
+
+/// The budget actually bites: after the property runs (or on its own),
+/// touching every trace forces evictions and re-decodes, yet the store
+/// keeps answering from a bounded footprint.
+#[test]
+fn eviction_churn_is_observable_in_stats() {
+    let rig = eviction_rig();
+    for target in RIG_TARGETS {
+        let (status, _) = http_get(rig.budgeted.addr(), target);
+        assert_eq!(status, 200, "{target}");
+    }
+    let store = rig.budgeted.state().store();
+    let stats = store.stats();
+    let evictions = stats.evictions_total.load(std::sync::atomic::Ordering::Relaxed);
+    let decodes = stats.decodes_total.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(evictions > 0, "three over-budget traces must evict at least once");
+    assert!(decodes > evictions, "every eviction implies an earlier decode");
+    assert!(store.resident_bytes() <= rig.budget);
+    assert!(store.resident_traces() >= 1, "the last-served trace stays resident");
+}

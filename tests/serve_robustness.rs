@@ -124,7 +124,7 @@ fn oversized_head_is_rejected() {
 #[test]
 fn structured_abuse_is_rejected() {
     for (raw, expect) in [
-        (&b"POST /traces HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"[..], "HTTP/1.1 400 "),
+        (&b"POST /traces HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"[..], "HTTP/1.1 405 "),
         (b"GET /traces/../secrets HTTP/1.1\r\n\r\n", "HTTP/1.1 400 "),
         (b"GET /traces HTTP/2\r\n\r\n", "HTTP/1.1 400 "),
         (b"DELETE /traces HTTP/1.1\r\n\r\n", "HTTP/1.1 405 "),
