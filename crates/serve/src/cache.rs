@@ -1,8 +1,10 @@
 //! The report cache: bounded LRU + single-flight computation.
 //!
 //! Materializing a report replays a full analysis, so the server caches
-//! rendered bodies keyed by `(trace, endpoint, params)`. Two production
-//! behaviours matter beyond the map itself:
+//! rendered bodies keyed by `(trace incarnation, endpoint, params)` —
+//! the trace's id plus its [`crate::store::TraceEntry::generation`], so
+//! an id reused after a delete never aliases the old entries. Two
+//! production behaviours matter beyond the map itself:
 //!
 //! * **LRU bound** — at most `capacity` entries stay resident; the least
 //!   recently *used* entry is evicted, so a hot report stays hot however

@@ -14,14 +14,16 @@
 //!   resources any single client can hold.
 //! * **Caching** — report/flowgraph bodies go through the LRU +
 //!   single-flight [`ReportCache`], so hot reports skip analysis and a
-//!   cold thundering herd analyzes once.
+//!   cold thundering herd analyzes once. Cache keys fold in the trace
+//!   entry's generation, so a delete + re-ingest under the same id can
+//!   never serve the previous trace's cached bodies.
 //! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, lets
 //!   the workers drain every already-accepted connection, and joins all
 //!   threads before returning.
 
 use crate::cache::ReportCache;
 use crate::http::{
-    decode_chunked, parse_request, query_map, ParseError, Request, Response, Status,
+    parse_request, query_map, ChunkedDecoder, ParseError, Request, Response, Status,
     BODY_TOO_LARGE,
 };
 use crate::metrics::Metrics;
@@ -243,7 +245,7 @@ impl ServeState {
             offset,
             count: traces.len(),
             traces,
-            quarantined: self.store.quarantined().to_vec(),
+            quarantined: self.store.quarantined(),
         };
         Response::json(Status::Ok, to_pretty_json(&listing))
     }
@@ -281,10 +283,16 @@ impl ServeState {
             Ok(p) => p,
             Err(e) => return Response::error(Status::BadRequest, e),
         };
-        if let Err(resp) = self.lookup(id) {
-            return resp;
-        }
-        let key = format!("{id}/report?{}", params.cache_key());
+        let entry = match self.lookup(id) {
+            Ok(entry) => entry,
+            Err(resp) => return resp,
+        };
+        // The entry's generation folds the trace *incarnation* into the
+        // key: after a delete + re-ingest under the same id, the new
+        // entry gets a fresh generation, so cached bodies of the old
+        // trace can never be served for the new one (stale keys age out
+        // of the LRU).
+        let key = format!("{id}@{}/report?{}", entry.generation, params.cache_key());
         let value = self.cache.get_or_compute(&key, || {
             // The decoded tier materializes the trace on first use; a
             // cache hit never touches it.
@@ -328,11 +336,13 @@ impl ServeState {
                 )
             }
         };
-        if let Err(resp) = self.lookup(id) {
-            return resp;
-        }
+        let entry = match self.lookup(id) {
+            Ok(entry) => entry,
+            Err(resp) => return resp,
+        };
         let key = format!(
-            "{id}/flowgraph?{},threshold={threshold:?},format={format:?}",
+            "{id}@{}/flowgraph?{},threshold={threshold:?},format={format:?}",
+            entry.generation,
             params.cache_key()
         );
         let value = self.cache.get_or_compute(&key, || {
@@ -704,16 +714,11 @@ fn read_body(
         }
         Ok(body)
     } else if request.chunked {
-        let mut raw = leftover.to_vec();
-        loop {
-            match decode_chunked(&raw, max) {
-                Ok(Some((body, _consumed))) => return Ok(body),
-                Ok(None) => {}
-                Err(e) if e == BODY_TOO_LARGE => {
-                    return Err(Response::error(Status::PayloadTooLarge, e))
-                }
-                Err(e) => return Err(Response::error(Status::BadRequest, e)),
-            }
+        // Resumable decode: each socket read advances the decoder from
+        // where it stopped, so reassembly is O(body), not O(body²).
+        let mut decoder = ChunkedDecoder::new(max);
+        let mut complete = decoder.extend(leftover).map_err(chunk_error)?;
+        while !complete {
             match conn.read(&mut chunk) {
                 Ok(0) => {
                     return Err(Response::error(
@@ -721,7 +726,7 @@ fn read_body(
                         "connection closed mid-body",
                     ))
                 }
-                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Ok(n) => complete = decoder.extend(&chunk[..n]).map_err(chunk_error)?,
                 Err(_) => {
                     return Err(Response::error(
                         Status::RequestTimeout,
@@ -730,8 +735,19 @@ fn read_body(
                 }
             }
         }
+        Ok(decoder.into_body())
     } else {
         Ok(Vec::new())
+    }
+}
+
+/// Maps a chunked-framing error onto its response (`413` for the size
+/// cap, `400` for everything else).
+fn chunk_error(e: &'static str) -> Response {
+    if e == BODY_TOO_LARGE {
+        Response::error(Status::PayloadTooLarge, e)
+    } else {
+        Response::error(Status::BadRequest, e)
     }
 }
 

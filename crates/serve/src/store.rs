@@ -102,6 +102,12 @@ pub struct QuarantineRow {
 pub struct TraceEntry {
     /// Trace id (file stem).
     pub id: String,
+    /// Incarnation token: process-unique, assigned when the entry is
+    /// indexed. A delete + re-ingest under the same id yields a new
+    /// entry with a different generation, so report-cache keys and the
+    /// decoded tier can distinguish the incarnations and never serve a
+    /// previous trace's data for the new one.
+    pub generation: u64,
     /// Header fields and per-event-type counts.
     pub summary: TraceSummary,
     /// Per-object breakdown rows.
@@ -112,6 +118,12 @@ pub struct TraceEntry {
     /// handed in pre-decoded via [`ProfileStore::from_traces`], which
     /// stay pinned in the decoded tier).
     path: Option<PathBuf>,
+}
+
+/// The next process-unique [`TraceEntry::generation`].
+fn next_generation() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Loading or serving the store failed.
@@ -240,7 +252,10 @@ pub struct ProfileStore {
     /// store's peak transient memory (decode scratch + the new trace)
     /// regardless of how many cold traces are requested concurrently.
     decode_flight: Mutex<()>,
-    quarantined: Vec<QuarantineRow>,
+    /// Trace files skipped at load. Mutable: a successful ingest under a
+    /// quarantined file's id replaces the corrupt bytes and clears its
+    /// row, so `/traces` never lists an id as both valid and quarantined.
+    quarantined: RwLock<Vec<QuarantineRow>>,
     dir: Option<PathBuf>,
     opts: StoreOptions,
     stats: StoreStats,
@@ -250,7 +265,7 @@ impl std::fmt::Debug for ProfileStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProfileStore")
             .field("traces", &self.len())
-            .field("quarantined", &self.quarantined.len())
+            .field("quarantined", &self.quarantined().len())
             .field("dir", &self.dir)
             .field("opts", &self.opts)
             .finish_non_exhaustive()
@@ -318,12 +333,12 @@ impl ProfileStore {
             entries: RwLock::new(entries),
             decoded: Mutex::new(DecodedTier::default()),
             decode_flight: Mutex::new(()),
-            quarantined,
+            quarantined: RwLock::new(quarantined),
             dir: Some(dir.to_path_buf()),
             opts: *opts,
             stats: StoreStats::default(),
         };
-        store.stats.quarantined.store(store.quarantined.len() as u64, Ordering::Relaxed);
+        store.stats.quarantined.store(store.quarantined().len() as u64, Ordering::Relaxed);
         store
             .stats
             .memory_budget_bytes
@@ -346,6 +361,7 @@ impl ProfileStore {
         for (id, trace) in traces {
             let entry = TraceEntry {
                 id: id.clone(),
+                generation: next_generation(),
                 summary: summarize_decoded(&trace),
                 objects: object_rows(&trace),
                 kernels: kernel_rows(&trace),
@@ -370,7 +386,7 @@ impl ProfileStore {
             entries: RwLock::new(entries),
             decoded: Mutex::new(tier),
             decode_flight: Mutex::new(()),
-            quarantined: Vec::new(),
+            quarantined: RwLock::new(Vec::new()),
             dir: None,
             opts: StoreOptions::default(),
             stats: StoreStats::default(),
@@ -403,9 +419,10 @@ impl ProfileStore {
         self.entries.read().unwrap_or_else(|e| e.into_inner()).get(id).cloned()
     }
 
-    /// The quarantine list: trace files skipped at load.
-    pub fn quarantined(&self) -> &[QuarantineRow] {
-        &self.quarantined
+    /// The quarantine list: trace files skipped at load and not yet
+    /// replaced by a successful ingest.
+    pub fn quarantined(&self) -> Vec<QuarantineRow> {
+        self.quarantined.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The store's tier gauges and counters.
@@ -486,14 +503,33 @@ impl ProfileStore {
             id.to_owned(),
             Resident { trace: trace.clone(), bytes, last_use: tick, pinned: false },
         );
-        self.evict_over_budget(&mut tier, id);
+        // A concurrent delete (or delete + re-ingest under the same id)
+        // may have raced this decode: [`Self::remove`] cleared the tier
+        // before our insert landed. If the index no longer holds the
+        // entry we decoded from, the resident is a ghost — drop it
+        // instead of letting it hold memory (or serve a previous
+        // incarnation's data) indefinitely. The in-flight request still
+        // gets the trace it asked for.
+        let current = self
+            .entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .map(|e| e.generation);
+        if current == Some(entry.generation) {
+            self.evict_over_budget(&mut tier, id);
+        } else {
+            tier.map.remove(id);
+        }
         self.sync_tier_gauges(&tier);
         Ok(trace)
     }
 
     /// Validates `bytes` as a trace, writes them atomically into the
     /// backing directory as `{id}.vex`, and indexes the new trace — it
-    /// is queryable as soon as this returns, no restart needed.
+    /// is queryable as soon as this returns, no restart needed. An id
+    /// whose file was quarantined at load may be pushed: the valid bytes
+    /// replace the corrupt file and its quarantine row is cleared.
     ///
     /// # Errors
     ///
@@ -518,27 +554,60 @@ impl ProfileStore {
             return Err(MutationError::BadId(id.to_owned()));
         }
         let dir = self.dir.as_ref().ok_or(MutationError::ReadOnly)?;
+        // Cheap duplicate pre-check so an obvious conflict skips the
+        // scan and the disk write; the authoritative check repeats under
+        // the write lock below.
+        if self.entries.read().unwrap_or_else(|e| e.into_inner()).contains_key(id) {
+            return Err(MutationError::Duplicate(id.to_owned()));
+        }
         // Validate before taking the write lock: a skip-records scan of
         // the bytes, folding the index-tier views in the same pass.
         let entry = index_entry_bytes(id.to_owned(), bytes, Some(dir.join(format!("{id}.vex"))))
             .map_err(|e| MutationError::InvalidTrace(e.to_string()))?;
-        // The write lock serializes the duplicate check, the file write,
-        // and the index insert — a concurrent ingest of the same id
-        // cannot interleave.
+        // Write the tmp file before taking the lock, so read endpoints
+        // never block behind a multi-MB disk write. The nonce keeps
+        // concurrent ingests of the same id off each other's tmp file.
+        static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".{id}.{nonce}.vex.tmp"));
+        let dst = dir.join(format!("{id}.vex"));
+        if let Err(e) = std::fs::write(&tmp, bytes) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(MutationError::Io(e.to_string()));
+        }
+        // The write lock serializes only the duplicate check, the
+        // rename, and the index insert — a concurrent ingest of the same
+        // id cannot interleave, and losers clean their tmp file up.
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
         if entries.contains_key(id) {
+            drop(entries);
+            let _ = std::fs::remove_file(&tmp);
             return Err(MutationError::Duplicate(id.to_owned()));
         }
-        let tmp = dir.join(format!(".{id}.vex.tmp"));
-        let dst = dir.join(format!("{id}.vex"));
-        std::fs::write(&tmp, bytes).map_err(|e| MutationError::Io(e.to_string()))?;
         if let Err(e) = std::fs::rename(&tmp, &dst) {
+            drop(entries);
             let _ = std::fs::remove_file(&tmp);
             return Err(MutationError::Io(e.to_string()));
         }
         let row = list_row(&entry);
         entries.insert(id.to_owned(), Arc::new(entry));
+        drop(entries);
+        // A valid push under a quarantined file's id replaced the
+        // corrupt bytes on disk; clear its quarantine row so the id is
+        // not listed as both valid and quarantined.
+        self.clear_quarantined(&format!("{id}.vex"));
         Ok(row)
+    }
+
+    /// Drops `file` from the quarantine list (if present) and refreshes
+    /// the gauge.
+    fn clear_quarantined(&self, file: &str) {
+        let mut quarantined = self.quarantined.write().unwrap_or_else(|e| e.into_inner());
+        let before = quarantined.len();
+        quarantined.retain(|row| row.file != file);
+        if quarantined.len() != before {
+            self.stats.quarantined.store(quarantined.len() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Deletes `id` from the index tier, the decoded tier, and (when
@@ -726,6 +795,7 @@ impl ViewScan {
         }
         TraceEntry {
             id,
+            generation: next_generation(),
             summary: index.summary,
             objects: self.objects,
             kernels: self.kernels.into_values().collect(),
@@ -979,6 +1049,27 @@ mod tests {
         let opts = StoreOptions { strict: true, ..StoreOptions::default() };
         let err = ProfileStore::load_dir_with(&dir, &opts).unwrap_err();
         assert!(err.0.contains("bad.vex"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_repairs_a_quarantined_id() {
+        let dir = temp_dir("repair");
+        std::fs::write(dir.join("broken.vex"), b"not a trace").unwrap();
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        assert_eq!(store.quarantined().len(), 1);
+        assert!(store.entry("broken").is_none());
+
+        // Pushing valid bytes under the quarantined id replaces the
+        // corrupt file and clears the quarantine row — the id must never
+        // be listed as both valid and quarantined.
+        let bytes = recorded_bytes("QMCPACK");
+        store.ingest("broken", &bytes).expect("repair push lands");
+        assert_eq!(store.ids(), vec!["broken"]);
+        assert!(store.quarantined().is_empty());
+        assert_eq!(store.stats().quarantined.load(Ordering::Relaxed), 0);
+        assert_eq!(std::fs::read(dir.join("broken.vex")).unwrap(), bytes);
+        assert!(store.decoded("broken").is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

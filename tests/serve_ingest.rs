@@ -119,6 +119,48 @@ fn push_lifecycle_with_duplicates_and_deletes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Delete + re-ingest of *different* bytes under the same id must serve
+/// the new trace's reports — the report cache may never replay the old
+/// incarnation (cache keys fold in the entry's generation).
+#[test]
+fn reingest_under_same_id_invalidates_cached_reports() {
+    let dir = temp_dir("reingest");
+    let server = serve(&dir, StoreOptions::default(), ingest_config());
+    let addr = server.addr();
+    let url = format!("http://{addr}");
+    let old_bytes = qmcpack_trace(512);
+    let new_bytes = qmcpack_trace(1536);
+
+    // `ref` pins what the new trace's report must look like; its content
+    // differs from the old trace's.
+    push_trace(&url, "swap", &old_bytes).expect("first push lands");
+    push_trace(&url, "ref", &new_bytes).expect("reference push lands");
+    let (status, old_report) = http_get(addr, "/traces/swap/report");
+    assert_eq!(status, 200);
+    let (status, want) = http_get(addr, "/traces/ref/report");
+    assert_eq!(status, 200);
+    assert_ne!(old_report, want, "fixture traces must render different reports");
+
+    // Warm the cache again (hit), then swap the trace behind the id.
+    let (_, cached) = http_get(addr, "/traces/swap/report");
+    assert_eq!(cached, old_report, "second read is the cached body");
+    let resp = http_delete(addr, "/traces/swap");
+    assert!(resp.starts_with(b"HTTP/1.1 200 "), "{}", String::from_utf8_lossy(&resp));
+    push_trace(&url, "swap", &new_bytes).expect("re-push different bytes lands");
+
+    let (status, got) = http_get(addr, "/traces/swap/report");
+    assert_eq!(status, 200);
+    assert_eq!(got, want, "report after re-ingest must be the new trace's, not the cached old one");
+    // Flowgraphs go through the same keyed cache.
+    let (_, old_flow) = http_get(addr, "/traces/ref/flowgraph?format=dot");
+    let (status, new_flow) = http_get(addr, "/traces/swap/flowgraph?format=dot");
+    assert_eq!(status, 200);
+    assert_eq!(new_flow, old_flow, "flowgraph after re-ingest must match the new trace");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A chunked upload reassembles into the identical trace a
 /// `Content-Length` push produces.
 #[test]
