@@ -217,7 +217,8 @@ fn startup_row(dir: &Path) -> StartupRow {
 
 /// Push rate through `POST /ingest/{id}` into an empty `--ingest` store.
 fn ingest_row() -> IngestRow {
-    let dir = std::env::temp_dir().join(format!("vex-serve-bench-ingest-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("vex-serve-bench-ingest-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create ingest dir");
     let bytes = std::fs::read(corpus_dir().join(format!("{APP}.vex"))).expect("corpus trace");
     let cmd = parse_args([
@@ -282,12 +283,7 @@ fn budget_gate(dir: &Path) -> BudgetGateRow {
     );
 
     let budget = largest;
-    let budgeted = serve(&[
-        "--cache-entries",
-        "0",
-        "--memory-budget",
-        &budget.to_string(),
-    ]);
+    let budgeted = serve(&["--cache-entries", "0", "--memory-budget", &budget.to_string()]);
     let unbounded = serve(&[]);
 
     let mut peak_resident = 0u64;

@@ -228,8 +228,11 @@ pub fn http_post(addr: std::net::SocketAddr, target: &str, body: &[u8]) -> (u16,
     use std::io::{Read, Write};
     let mut conn = std::net::TcpStream::connect(addr).expect("connect to vex-serve");
     conn.write_all(
-        format!("POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n", body.len())
-            .as_bytes(),
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
     )
     .expect("send request head");
     // An early error response (e.g. 413 on an over-cap Content-Length)

@@ -78,10 +78,19 @@ pub enum Command {
         /// Trace path.
         path: String,
     },
+    /// `vex repair <trace.vex> [<out.vex>]` — salvage the longest valid
+    /// prefix of a truncated/corrupt trace into a new valid container.
+    Repair {
+        /// Damaged trace path.
+        input: String,
+        /// Output path (default: `<stem>.repaired.vex` next to the
+        /// input).
+        output: Option<String>,
+    },
     /// `vex serve <dir> [options]` — serve recorded traces over HTTP.
     Serve(ServeArgs),
-    /// `vex push <trace.vex> [--url URL] [--id ID]` — stream a recorded
-    /// trace to a running `vex serve --ingest`.
+    /// `vex push <trace.vex> [--url URL] [--id ID] [--spool-dir DIR]` —
+    /// stream a recorded trace to a running `vex serve --ingest`.
     Push {
         /// Trace path to push.
         path: String,
@@ -89,6 +98,17 @@ pub enum Command {
         url: String,
         /// Trace id on the server (default: the file stem).
         id: Option<String>,
+        /// Spool the trace here instead of failing when the server
+        /// stays unreachable after retries.
+        spool_dir: Option<String>,
+    },
+    /// `vex push --drain <dir> [--url URL]` — re-push every spooled
+    /// trace, removing each from the spool once it lands.
+    Drain {
+        /// Spool directory to drain.
+        dir: String,
+        /// Server base URL.
+        url: String,
     },
     /// `vex help`.
     Help,
@@ -161,6 +181,10 @@ pub struct RecordArgs {
     /// instead of writing it to disk; the trace id is the output file
     /// stem.
     pub push: Option<String>,
+    /// With `--push`: spool the trace to this directory instead of
+    /// failing when the server stays unreachable after retries
+    /// (`vex push --drain` re-pushes it later).
+    pub spool_dir: Option<String>,
 }
 
 impl RecordArgs {
@@ -175,6 +199,7 @@ impl RecordArgs {
             filters: Vec::new(),
             output: "trace.vex".into(),
             push: None,
+            spool_dir: None,
         }
     }
 }
@@ -302,11 +327,14 @@ usage:
   vex gvprof <app>
   vex record <app> [-o|--output PATH] [--device 2080ti|a100] [--no-coarse] [--fine]
                [--kernel-sampling N] [--block-sampling N] [--filter SUBSTR]...
-               [--push URL]
+               [--push URL] [--spool-dir DIR]
                record the canonical event stream to a .vex trace (default trace.vex);
                sampling and filters are baked into the trace; --push streams
                the finished trace to a running `vex serve --ingest` (id = the
-               output file stem) instead of writing it to disk
+               output file stem) instead of writing it to disk, retrying with
+               backoff on transient failures; with --spool-dir the trace is
+               spooled there instead of lost when the server stays down
+               (`vex push --drain DIR` re-pushes it later)
   vex replay <trace.vex> [--no-coarse] [--fine] [--races] [--reuse LINE_BYTES]
                [--shards N] [--decode-threads N] [--json PATH] [--dot PATH] [--md PATH]
                re-run analyses offline from a recorded trace; reports are
@@ -317,7 +345,13 @@ usage:
                replay a --fine trace through the GVProf baseline
   vex info <trace.vex>
                print the container header (format version, device preset)
-               and per-event-type counts without materializing the trace
+               and per-event-type counts without materializing the trace;
+               a damaged trace reports its salvageable prefix instead
+  vex repair <trace.vex> [<out.vex>]
+               recover the longest valid frame prefix of a truncated or
+               corrupt trace (e.g. from a recording killed mid-run) into a
+               new valid container (default out: <stem>.repaired.vex) and
+               print a loss report
   vex serve <dir> [--addr HOST:PORT] [--workers N] [--cache-entries K]
                [--decode-threads N] [--memory-budget BYTES[k|m|g]] [--ingest]
                [--max-ingest-bytes BYTES[k|m|g]] [--strict]
@@ -330,9 +364,15 @@ usage:
                POST /ingest/{id} and DELETE /traces/{id} (bodies capped by
                --max-ingest-bytes, default 64m); corrupt traces are
                quarantined unless --strict
-  vex push <trace.vex> [--url http://HOST:PORT] [--id ID]
+  vex push <trace.vex> [--url http://HOST:PORT] [--id ID] [--spool-dir DIR]
                stream a recorded trace to a running `vex serve --ingest`
-               (default url http://127.0.0.1:7070, default id = file stem)
+               (default url http://127.0.0.1:7070, default id = file stem),
+               retrying transient failures with backoff; --spool-dir keeps
+               the trace locally instead of failing when the server stays
+               unreachable
+  vex push --drain DIR [--url http://HOST:PORT]
+               re-push every trace spooled in DIR, removing each from the
+               spool once it lands; traces that still fail stay spooled
   vex help";
 
 fn parse_device(v: &str) -> Result<Device, UsageError> {
@@ -487,11 +527,15 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     }
                     "--filter" => r.filters.push(take_value(flag, &mut it)?.to_owned()),
                     "--push" => r.push = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--spool-dir" => r.spool_dir = Some(take_value(flag, &mut it)?.to_owned()),
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
             if !r.coarse && !r.fine {
                 return Err(UsageError("at least one of coarse/fine must stay enabled".into()));
+            }
+            if r.spool_dir.is_some() && r.push.is_none() {
+                return Err(UsageError("--spool-dir only applies with --push".into()));
             }
             Ok(Command::Record(r))
         }
@@ -581,6 +625,31 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Info { path: path.to_owned() })
         }
+        "repair" => {
+            let input =
+                it.next().ok_or_else(|| UsageError("repair requires a trace path".into()))?;
+            if input == "--help" || input == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut output = None;
+            for arg in it {
+                match arg {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    other if other.starts_with('-') => {
+                        return Err(UsageError(format!("unknown flag '{other}'")))
+                    }
+                    other => {
+                        if output.is_some() {
+                            return Err(UsageError(
+                                "repair takes at most an input and an output path".into(),
+                            ));
+                        }
+                        output = Some(other.to_owned());
+                    }
+                }
+            }
+            Ok(Command::Repair { input: input.to_owned(), output })
+        }
         "serve" => {
             let dir = it
                 .next()
@@ -635,22 +704,37 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             Ok(Command::Serve(s))
         }
         "push" => {
-            let path =
-                it.next().ok_or_else(|| UsageError("push requires a trace path".into()))?;
-            if path == "--help" || path == "-h" {
+            let first = it
+                .next()
+                .ok_or_else(|| UsageError("push requires a trace path or --drain".into()))?;
+            if first == "--help" || first == "-h" {
                 return Ok(Command::Help);
             }
             let mut url = "http://127.0.0.1:7070".to_owned();
+            if first == "--drain" {
+                let dir = take_value("--drain", &mut it)?.to_owned();
+                while let Some(flag) = it.next() {
+                    match flag {
+                        "--help" | "-h" => return Ok(Command::Help),
+                        "--url" => url = take_value(flag, &mut it)?.to_owned(),
+                        other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                    }
+                }
+                return Ok(Command::Drain { dir, url });
+            }
+            let path = first;
             let mut id = None;
+            let mut spool_dir = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--help" | "-h" => return Ok(Command::Help),
                     "--url" => url = take_value(flag, &mut it)?.to_owned(),
                     "--id" => id = Some(take_value(flag, &mut it)?.to_owned()),
+                    "--spool-dir" => spool_dir = Some(take_value(flag, &mut it)?.to_owned()),
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
-            Ok(Command::Push { path: path.to_owned(), url, id })
+            Ok(Command::Push { path: path.to_owned(), url, id, spool_dir })
         }
         other => Err(UsageError(format!("unknown command '{other}'"))),
     }
@@ -795,6 +879,34 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                     .finish(&mut rt)
                     .map_err(|e| UsageError(format!("trace write failed: {e}")))?;
                 let id = trace_id_from_path(&r.output)?;
+                if let Some(spool_dir) = &r.spool_dir {
+                    let outcome = vex_serve::push_or_spool(
+                        url,
+                        &id,
+                        &bytes,
+                        std::path::Path::new(spool_dir),
+                        &vex_serve::PushOptions::default(),
+                    )
+                    .map_err(|e| UsageError(e.to_string()))?;
+                    return match outcome {
+                        vex_serve::PushOutcome::Pushed(_) => writeln!(
+                            out,
+                            "pushed {id} to {url} ({} bytes, {} fine records, {} \
+                             instrumented launches)",
+                            bytes.len(),
+                            stats.events,
+                            stats.instrumented_launches
+                        )
+                        .map_err(io_err),
+                        vex_serve::PushOutcome::Spooled(path, e) => writeln!(
+                            out,
+                            "server unreachable ({e}); spooled {id} to {} — run \
+                             `vex push --drain {spool_dir}` once the server is back",
+                            path.display()
+                        )
+                        .map_err(io_err),
+                    };
+                }
                 vex_serve::push_trace(url, &id, &bytes)
                     .map_err(|e| UsageError(e.to_string()))?;
                 return writeln!(
@@ -819,15 +931,67 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             )
             .map_err(io_err)
         }
-        Command::Push { path, url, id } => {
+        Command::Push { path, url, id, spool_dir } => {
             let bytes = std::fs::read(path)
                 .map_err(|e| UsageError(format!("cannot read trace '{path}': {e}")))?;
             let id = match id {
                 Some(id) => id.clone(),
                 None => trace_id_from_path(path)?,
             };
+            if let Some(spool_dir) = spool_dir {
+                let outcome = vex_serve::push_or_spool(
+                    url,
+                    &id,
+                    &bytes,
+                    std::path::Path::new(spool_dir),
+                    &vex_serve::PushOptions::default(),
+                )
+                .map_err(|e| UsageError(e.to_string()))?;
+                return match outcome {
+                    vex_serve::PushOutcome::Pushed(_) => {
+                        writeln!(out, "pushed {id} ({} bytes) to {url}", bytes.len())
+                            .map_err(io_err)
+                    }
+                    vex_serve::PushOutcome::Spooled(spooled, e) => writeln!(
+                        out,
+                        "server unreachable ({e}); spooled {id} to {} — run \
+                         `vex push --drain {spool_dir}` once the server is back",
+                        spooled.display()
+                    )
+                    .map_err(io_err),
+                };
+            }
             vex_serve::push_trace(url, &id, &bytes).map_err(|e| UsageError(e.to_string()))?;
             writeln!(out, "pushed {id} ({} bytes) to {url}", bytes.len()).map_err(io_err)
+        }
+        Command::Drain { dir, url } => {
+            let outcome = vex_serve::drain_spool(
+                std::path::Path::new(dir),
+                url,
+                &vex_serve::PushOptions::default(),
+            )
+            .map_err(|e| UsageError(e.to_string()))?;
+            for id in &outcome.pushed {
+                writeln!(out, "pushed {id} to {url}").map_err(io_err)?;
+            }
+            for (id, e) in &outcome.failed {
+                writeln!(out, "failed {id}: {e} (left in spool)").map_err(io_err)?;
+            }
+            writeln!(
+                out,
+                "drained {dir}: {} pushed, {} still spooled",
+                outcome.pushed.len(),
+                outcome.failed.len()
+            )
+            .map_err(io_err)?;
+            if outcome.failed.is_empty() {
+                Ok(())
+            } else {
+                Err(UsageError(format!(
+                    "{} spooled trace(s) could not be pushed",
+                    outcome.failed.len()
+                )))
+            }
         }
         Command::Replay(r) => {
             if r.gvprof {
@@ -882,8 +1046,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             Ok(())
         }
         Command::Info { path } => {
-            let s = vex_trace::summary::summarize_file(std::path::Path::new(path))
-                .map_err(|e| UsageError(format!("cannot read trace '{path}': {e}")))?;
+            let s = match vex_trace::summary::summarize_file(std::path::Path::new(path)) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Decode failed — probe for a salvageable prefix (a
+                    // crashed recording usually leaves one) before giving
+                    // up, so the operator learns what `vex repair` would
+                    // recover instead of just seeing the error.
+                    return info_salvage_fallback(path, &e, out);
+                }
+            };
             writeln!(out, "{path}").map_err(io_err)?;
             writeln!(out, "  format version:        {}", s.version).map_err(io_err)?;
             writeln!(out, "  device preset:         {}", s.device).map_err(io_err)?;
@@ -913,6 +1085,43 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             writeln!(out, "  call-path contexts:    {}", s.contexts).map_err(io_err)?;
             writeln!(out, "  app time:              {:.1} us", s.app_us).map_err(io_err)
         }
+        Command::Repair { input, output } => {
+            let bytes = std::fs::read(input)
+                .map_err(|e| UsageError(format!("cannot read trace '{input}': {e}")))?;
+            let (repaired, report) = vex_trace::salvage::repair_trace(&bytes).map_err(|e| {
+                UsageError(format!(
+                    "cannot salvage '{input}': {e} (the container header is unreadable)"
+                ))
+            })?;
+            let output = match output {
+                Some(o) => o.clone(),
+                None => default_repair_output(input),
+            };
+            std::fs::write(&output, &repaired).map_err(io_err)?;
+            writeln!(out, "wrote {output} ({} bytes)", repaired.len()).map_err(io_err)?;
+            writeln!(out, "  frames recovered:      {}", report.frames_recovered)
+                .map_err(io_err)?;
+            writeln!(
+                out,
+                "  bytes recovered:       {} of {} ({:.1}%)",
+                report.bytes_recovered,
+                report.bytes_total,
+                report.recoverable_percent()
+            )
+            .map_err(io_err)?;
+            writeln!(out, "  bytes discarded:       {}", report.bytes_discarded)
+                .map_err(io_err)?;
+            match &report.first_error {
+                None if report.complete() => {
+                    writeln!(out, "  input was already complete; output is a clean rewrite")
+                        .map_err(io_err)
+                }
+                None => {
+                    writeln!(out, "  input ended cleanly but without a trailer").map_err(io_err)
+                }
+                Some(e) => writeln!(out, "  stopped at:            {e}").map_err(io_err),
+            }
+        }
         Command::Serve(s) => {
             let server = start_server(s)?;
             writeln!(
@@ -930,6 +1139,46 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             }
         }
     }
+}
+
+/// `vex info` on a trace that failed to decode: salvage-probe it and
+/// report what `vex repair` would recover. Returns `Ok` when a
+/// recoverable prefix exists (the command did produce useful output);
+/// propagates the original error otherwise (missing file, garbage
+/// bytes).
+fn info_salvage_fallback(
+    path: &str,
+    error: &vex_trace::codec::DecodeError,
+    out: &mut dyn std::io::Write,
+) -> Result<(), UsageError> {
+    let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
+    let cannot = || UsageError(format!("cannot read trace '{path}': {error}"));
+    let salvaged = vex_trace::salvage::salvage_trace_file(std::path::Path::new(path))
+        .map_err(|_| cannot())?;
+    if salvaged.report.frames_recovered == 0 {
+        return Err(cannot());
+    }
+    writeln!(out, "{path}: damaged trace ({error})").map_err(io_err)?;
+    writeln!(out, "  format version:        {}", salvaged.version).map_err(io_err)?;
+    writeln!(out, "  frames recovered:      {}", salvaged.report.frames_recovered)
+        .map_err(io_err)?;
+    writeln!(out, "  events recovered:      {}", salvaged.events.len()).map_err(io_err)?;
+    writeln!(
+        out,
+        "  bytes recovered:       {} of {} ({:.1}%)",
+        salvaged.report.bytes_recovered,
+        salvaged.report.bytes_total,
+        salvaged.report.recoverable_percent()
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  run `vex repair {path}` to rewrite the recoverable prefix").map_err(io_err)
+}
+
+/// `foo/bar.vex` → `foo/bar.repaired.vex`.
+fn default_repair_output(input: &str) -> String {
+    let p = std::path::Path::new(input);
+    let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    p.with_file_name(format!("{stem}.repaired.vex")).display().to_string()
 }
 
 /// Loads the trace directory of a `vex serve` invocation and starts the
@@ -1173,7 +1422,9 @@ mod tests {
         assert!(parse_args(["record", "x", "--frob"]).is_err());
         assert!(parse_args(["replay", "x.vex", "--frob"]).is_err());
         assert!(parse_args(["info", "x.vex", "--frob"]).is_err());
+        assert!(parse_args(["repair", "x.vex", "--frob"]).is_err());
         assert!(parse_args(["serve", "traces", "--frob"]).is_err());
+        assert!(parse_args(["push", "x.vex", "--frob"]).is_err());
     }
 
     #[test]
@@ -1312,7 +1563,8 @@ mod tests {
             Command::Push {
                 path: "t.vex".into(),
                 url: "http://127.0.0.1:7070".into(),
-                id: None
+                id: None,
+                spool_dir: None
             }
         );
         assert_eq!(
@@ -1321,9 +1573,29 @@ mod tests {
             Command::Push {
                 path: "runs/a.vex".into(),
                 url: "http://10.0.0.1:9000".into(),
-                id: Some("b".into())
+                id: Some("b".into()),
+                spool_dir: None
             }
         );
+        assert_eq!(
+            parse_args(["push", "t.vex", "--spool-dir", "spool"]).unwrap(),
+            Command::Push {
+                path: "t.vex".into(),
+                url: "http://127.0.0.1:7070".into(),
+                id: None,
+                spool_dir: Some("spool".into())
+            }
+        );
+        assert_eq!(
+            parse_args(["push", "--drain", "spool", "--url", "http://10.0.0.1:9000"]).unwrap(),
+            Command::Drain { dir: "spool".into(), url: "http://10.0.0.1:9000".into() }
+        );
+        assert_eq!(
+            parse_args(["push", "--drain", "spool"]).unwrap(),
+            Command::Drain { dir: "spool".into(), url: "http://127.0.0.1:7070".into() }
+        );
+        assert!(parse_args(["push", "--drain"]).is_err());
+        assert!(parse_args(["push", "--drain", "spool", "--id", "x"]).is_err());
         assert_eq!(parse_args(["push", "--help"]).unwrap(), Command::Help);
         assert_eq!(parse_args(["push", "t.vex", "-h"]).unwrap(), Command::Help);
         assert!(parse_args(["push"]).is_err());
@@ -1338,8 +1610,43 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(["record", "darknet", "--push"]).is_err());
+        // record --spool-dir rides on --push.
+        match parse_args([
+            "record",
+            "darknet",
+            "--push",
+            "http://127.0.0.1:7070",
+            "--spool-dir",
+            "spool",
+        ])
+        .unwrap()
+        {
+            Command::Record(r) => assert_eq!(r.spool_dir.as_deref(), Some("spool")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(["record", "darknet", "--spool-dir", "spool"]).is_err());
         assert!(USAGE.contains("vex push"), "{USAGE}");
         assert!(USAGE.contains("--push"), "{USAGE}");
+        assert!(USAGE.contains("--spool-dir"), "{USAGE}");
+        assert!(USAGE.contains("--drain"), "{USAGE}");
+    }
+
+    #[test]
+    fn parses_repair_command() {
+        assert_eq!(
+            parse_args(["repair", "t.vex"]).unwrap(),
+            Command::Repair { input: "t.vex".into(), output: None }
+        );
+        assert_eq!(
+            parse_args(["repair", "t.vex", "fixed.vex"]).unwrap(),
+            Command::Repair { input: "t.vex".into(), output: Some("fixed.vex".into()) }
+        );
+        assert_eq!(parse_args(["repair", "--help"]).unwrap(), Command::Help);
+        assert!(parse_args(["repair"]).is_err());
+        assert!(parse_args(["repair", "a.vex", "b.vex", "c.vex"]).is_err());
+        assert!(parse_args(["repair", "t.vex", "--frob"]).is_err());
+        assert!(USAGE.contains("vex repair"), "{USAGE}");
+        assert_eq!(default_repair_output("runs/cut.vex"), "runs/cut.repaired.vex");
     }
 
     #[test]
@@ -1377,8 +1684,8 @@ mod tests {
 
         // `vex push <file>` of an existing trace, custom id. The local
         // file lives outside the served directory.
-        let outside = std::env::temp_dir()
-            .join(format!("vex-cli-push-src-{}", std::process::id()));
+        let outside =
+            std::env::temp_dir().join(format!("vex-cli-push-src-{}", std::process::id()));
         std::fs::create_dir_all(&outside).unwrap();
         let local = outside.join("local.vex");
         let mut rec = RecordArgs::new("QMCPACK".into());
@@ -1390,6 +1697,7 @@ mod tests {
                 path: local.to_str().unwrap().to_owned(),
                 url: url.clone(),
                 id: Some("renamed".into()),
+                spool_dir: None,
             },
             &mut out,
         )
@@ -1403,6 +1711,7 @@ mod tests {
                 path: local.to_str().unwrap().to_owned(),
                 url,
                 id: Some("renamed".into()),
+                spool_dir: None,
             },
             &mut Vec::new(),
         )
@@ -1412,6 +1721,104 @@ mod tests {
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&outside).ok();
+    }
+
+    #[test]
+    fn push_spools_when_down_and_drain_lands_byte_identical() {
+        let base = std::env::temp_dir().join(format!("vex-cli-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let local = base.join("run1.vex");
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.output = local.to_str().unwrap().to_owned();
+        run(&Command::Record(rec), &mut Vec::new()).unwrap();
+        let original = std::fs::read(&local).unwrap();
+
+        // Push with the server down (port 1 never listens): after the
+        // retries the trace must land in the spool, not be lost.
+        let spool = base.join("spool");
+        let mut out = Vec::new();
+        run(
+            &Command::Push {
+                path: local.to_str().unwrap().to_owned(),
+                url: "http://127.0.0.1:1".into(),
+                id: None,
+                spool_dir: Some(spool.to_str().unwrap().to_owned()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("spooled run1"), "{s}");
+        assert_eq!(std::fs::read(spool.join("run1.vex")).unwrap(), original);
+
+        // The server comes back; drain re-pushes and empties the spool.
+        let served = base.join("served");
+        std::fs::create_dir_all(&served).unwrap();
+        let mut args = ServeArgs::new(served.to_str().unwrap().to_owned());
+        args.addr = "127.0.0.1:0".into();
+        args.workers = 2;
+        args.ingest = true;
+        let server = start_server(&args).unwrap();
+        let url = format!("http://{}", server.addr());
+        let mut out = Vec::new();
+        run(&Command::Drain { dir: spool.to_str().unwrap().to_owned(), url }, &mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("pushed run1"), "{s}");
+        assert!(s.contains("1 pushed, 0 still spooled"), "{s}");
+        assert!(!spool.join("run1.vex").exists(), "drained from the spool");
+        // The recording landed byte-identically server-side.
+        assert_eq!(std::fs::read(served.join("run1.vex")).unwrap(), original);
+        server.shutdown();
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn repair_recovers_a_truncated_recording() {
+        let base = std::env::temp_dir().join(format!("vex-cli-repair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let trace = base.join("run.vex");
+        let mut rec = RecordArgs::new("QMCPACK".into());
+        rec.output = trace.to_str().unwrap().to_owned();
+        run(&Command::Record(rec), &mut Vec::new()).unwrap();
+        let full = std::fs::read(&trace).unwrap();
+
+        // Emulate a recording killed mid-run: drop the last third.
+        let cut = base.join("cut.vex");
+        std::fs::write(&cut, &full[..full.len() - full.len() / 3]).unwrap();
+
+        // `vex info` reports the salvageable prefix, not a bare error.
+        let mut out = Vec::new();
+        run(&Command::Info { path: cut.to_str().unwrap().to_owned() }, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("damaged trace"), "{s}");
+        assert!(s.contains("frames recovered"), "{s}");
+        assert!(s.contains("vex repair"), "{s}");
+
+        // `vex repair` writes a valid container next to the input.
+        let mut out = Vec::new();
+        run(
+            &Command::Repair { input: cut.to_str().unwrap().to_owned(), output: None },
+            &mut out,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("frames recovered"), "{s}");
+        assert!(s.contains("bytes discarded"), "{s}");
+        let repaired = base.join("cut.repaired.vex");
+        assert!(repaired.is_file());
+        // The repaired trace now summarizes cleanly.
+        let mut out = Vec::new();
+        run(&Command::Info { path: repaired.to_str().unwrap().to_owned() }, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("format version"), "{s}");
+        assert!(!s.contains("damaged"), "{s}");
+        // A missing file still errors — salvage only softens decode
+        // failures, not i/o ones.
+        assert!(run(&Command::Info { path: "missing.vex".into() }, &mut Vec::new()).is_err());
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

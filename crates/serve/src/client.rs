@@ -1,4 +1,4 @@
-//! A minimal push client for the ingest endpoint.
+//! A fault-tolerant push client for the ingest endpoint.
 //!
 //! `vex record --push <url>` and `vex push <file>` stream a recorded
 //! trace to a running `vex serve --ingest` instead of relying on shared
@@ -6,9 +6,28 @@
 //! `Content-Length` body over a fresh connection (the server speaks one
 //! request per connection), so the client needs nothing beyond
 //! `std::net` — matching the server's no-dependency posture.
+//!
+//! A fleet collector cannot assume the aggregation server is up when a
+//! run finishes, so the client is built around three layers:
+//!
+//! 1. **Retry with backoff** — [`push_trace_with`] classifies failures
+//!    as *retryable* (connect refused, timeouts, dropped connections,
+//!    `5xx`/`429` answers — the server may be restarting or shedding
+//!    load) or *terminal* (malformed URL, `4xx` rejections — retrying
+//!    cannot help) and retries the former with exponential backoff and
+//!    jitter, honouring a server-sent `Retry-After`.
+//! 2. **Durable spooling** — [`push_or_spool`] falls back to writing
+//!    the trace into a local spool directory when retries are
+//!    exhausted, so the recording is never lost; [`drain_spool`]
+//!    re-pushes spooled traces once the server is reachable again.
+//! 3. **Fault injection** — the connect/send paths consult
+//!    [`crate::fault`] failpoints so the crash-safety suite can prove
+//!    the retry and spool behaviour against injected connection drops.
 
+use crate::fault;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Why a push failed.
@@ -16,7 +35,8 @@ use std::time::Duration;
 pub enum PushError {
     /// The URL is not `http://host:port[/]`.
     BadUrl(String),
-    /// Connecting or talking to the server failed.
+    /// Connecting or talking to the server failed (after retries, if
+    /// any were configured).
     Io(String),
     /// The server answered, but not with `201 Created`.
     Rejected {
@@ -24,6 +44,9 @@ pub enum PushError {
         status: u16,
         /// The response body (the server's error detail).
         detail: String,
+        /// The server's `Retry-After` header, seconds, if it sent one
+        /// (shed responses do).
+        retry_after: Option<u64>,
     },
 }
 
@@ -34,8 +57,12 @@ impl std::fmt::Display for PushError {
                 write!(f, "cannot parse '{url}' (expected http://host:port)")
             }
             PushError::Io(e) => write!(f, "push failed: {e}"),
-            PushError::Rejected { status, detail } => {
-                write!(f, "server refused the push ({status}): {}", detail.trim_end())
+            PushError::Rejected { status, detail, retry_after } => {
+                write!(f, "server refused the push ({status}): {}", detail.trim_end())?;
+                if let Some(secs) = retry_after {
+                    write!(f, " (retry after {secs}s)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -43,16 +70,236 @@ impl std::fmt::Display for PushError {
 
 impl std::error::Error for PushError {}
 
-/// Pushes `bytes` (a complete `.vex` trace) to `url` as trace `id`.
+impl PushError {
+    /// Whether retrying the same push could plausibly succeed.
+    ///
+    /// Connection-level failures and `5xx`/`429` answers are transient
+    /// (the server may be down, restarting, or shedding load); a
+    /// malformed URL or any other `4xx` is the client's fault and will
+    /// fail identically every time.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PushError::BadUrl(_) => false,
+            PushError::Io(_) => true,
+            PushError::Rejected { status, .. } => *status >= 500 || *status == 429,
+        }
+    }
+}
+
+/// Tunables for [`push_trace_with`] and friends.
+#[derive(Debug, Clone)]
+pub struct PushOptions {
+    /// Total attempts (≥1); retries happen only on
+    /// [retryable](PushError::is_retryable) failures.
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Upper bound on any single delay (also caps a server-sent
+    /// `Retry-After`).
+    pub max_backoff: Duration,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the established connection.
+    pub io_timeout: Duration,
+    /// Cap on the bytes read from the server's response; a misbehaving
+    /// endpoint cannot balloon the client's memory.
+    pub max_response_bytes: u64,
+}
+
+impl Default for PushOptions {
+    fn default() -> Self {
+        PushOptions {
+            attempts: 3,
+            backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            max_response_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// What [`push_or_spool`] did with the trace.
+#[derive(Debug)]
+pub enum PushOutcome {
+    /// The push landed; the server's `201` body (the JSON listing row).
+    Pushed(String),
+    /// Retries were exhausted on a transient failure; the trace was
+    /// written to the spool at this path. The final push error is kept
+    /// for reporting.
+    Spooled(PathBuf, PushError),
+}
+
+/// Result of draining a spool directory.
+#[derive(Debug, Default)]
+pub struct DrainOutcome {
+    /// Trace ids pushed (and removed from the spool), in order.
+    pub pushed: Vec<String>,
+    /// Traces that still failed, left in the spool for a later drain.
+    pub failed: Vec<(String, PushError)>,
+}
+
+/// Pushes `bytes` (a complete `.vex` trace) to `url` as trace `id`
+/// with default [`PushOptions`] (3 attempts, exponential backoff).
 ///
 /// Returns the server's response body (the JSON listing row of the
 /// ingested trace) on `201 Created`.
 ///
 /// # Errors
 ///
-/// [`PushError`] for a malformed URL, connection failure, or any
-/// non-201 answer — the server's detail is passed through.
+/// [`PushError`] for a malformed URL, connection failure after
+/// retries, or any non-201 answer — the server's detail is passed
+/// through.
 pub fn push_trace(url: &str, id: &str, bytes: &[u8]) -> Result<String, PushError> {
+    push_trace_with(url, id, bytes, &PushOptions::default())
+}
+
+/// [`push_trace`] with explicit retry/timeout tunables.
+///
+/// # Errors
+///
+/// The last [`PushError`] once attempts are exhausted, or immediately
+/// on a terminal (non-retryable) failure.
+pub fn push_trace_with(
+    url: &str,
+    id: &str,
+    bytes: &[u8],
+    opts: &PushOptions,
+) -> Result<String, PushError> {
+    let authority = parse_authority(url)?;
+    let attempts = opts.attempts.max(1);
+    let mut delay = opts.backoff;
+    let mut last = None;
+    for attempt in 0..attempts {
+        match push_once(authority, id, bytes, opts) {
+            Ok(body) => return Ok(body),
+            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                let mut wait = delay;
+                if let PushError::Rejected { retry_after: Some(secs), .. } = &e {
+                    wait = wait.max(Duration::from_secs(*secs));
+                }
+                wait = wait.min(opts.max_backoff);
+                std::thread::sleep(with_jitter(wait));
+                delay = (delay * 2).min(opts.max_backoff);
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| PushError::Io("no attempts configured".into())))
+}
+
+/// Pushes with retries, then falls back to spooling `bytes` as
+/// `{id}.vex` under `spool_dir` if the failure was transient. Terminal
+/// failures (bad URL, `4xx`) are returned as errors without spooling —
+/// a rejected trace would be rejected again at drain time.
+///
+/// # Errors
+///
+/// A terminal [`PushError`], or [`PushError::Io`] if spooling itself
+/// fails (the original push error is folded into the message).
+pub fn push_or_spool(
+    url: &str,
+    id: &str,
+    bytes: &[u8],
+    spool_dir: &Path,
+    opts: &PushOptions,
+) -> Result<PushOutcome, PushError> {
+    match push_trace_with(url, id, bytes, opts) {
+        Ok(body) => Ok(PushOutcome::Pushed(body)),
+        Err(e) if e.is_retryable() => match spool_trace(spool_dir, id, bytes) {
+            Ok(path) => Ok(PushOutcome::Spooled(path, e)),
+            Err(spool_err) => Err(PushError::Io(format!(
+                "push failed ({e}) and spooling to {} also failed: {spool_err}",
+                spool_dir.display()
+            ))),
+        },
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes `bytes` durably as `{id}.vex` under `dir` (created if
+/// missing), via a hidden temp file and an atomic rename — a crash
+/// mid-spool can strand a temp file but never a torn `.vex`.
+///
+/// # Errors
+///
+/// Any I/O error creating, writing, or renaming.
+pub fn spool_trace(dir: &Path, id: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ u64::from(std::process::id());
+    let tmp = dir.join(format!(".{id}.{nonce:016x}.spool.tmp"));
+    let final_path = dir.join(format!("{id}.vex"));
+    let write_result = (|| -> std::io::Result<()> {
+        match fault::fire("client.spool.write") {
+            Some(fault::Action::Partial(n)) => {
+                std::fs::write(&tmp, &bytes[..n.min(bytes.len())])?;
+                return Err(fault::Action::Partial(n).to_io_error("client.spool.write"));
+            }
+            Some(action) => return Err(action.to_io_error("client.spool.write")),
+            None => {}
+        }
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &final_path)
+    })();
+    if let Err(e) = write_result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(final_path)
+}
+
+/// Re-pushes every `*.vex` file in `dir` to `url`, removing each from
+/// the spool once its push lands. Files that still fail are left in
+/// place and reported in [`DrainOutcome::failed`]; one bad trace does
+/// not block the rest of the spool.
+///
+/// # Errors
+///
+/// [`PushError::BadUrl`] up front, or [`PushError::Io`] if the spool
+/// directory itself cannot be read. Per-trace failures are *not*
+/// errors — they come back in the outcome.
+pub fn drain_spool(
+    dir: &Path,
+    url: &str,
+    opts: &PushOptions,
+) -> Result<DrainOutcome, PushError> {
+    parse_authority(url)?;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| PushError::Io(format!("cannot read spool {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "vex"))
+        .collect();
+    entries.sort();
+    let mut outcome = DrainOutcome::default();
+    for path in entries {
+        let Some(id) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+            continue;
+        };
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                outcome.failed.push((id, PushError::Io(e.to_string())));
+                continue;
+            }
+        };
+        match push_trace_with(url, &id, &bytes, opts) {
+            Ok(_) => {
+                let _ = std::fs::remove_file(&path);
+                outcome.pushed.push(id);
+            }
+            Err(e) => outcome.failed.push((id, e)),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Validates `http://host:port[/]` and returns the authority.
+fn parse_authority(url: &str) -> Result<&str, PushError> {
     let authority = url
         .strip_prefix("http://")
         .ok_or_else(|| PushError::BadUrl(url.to_owned()))?
@@ -60,51 +307,229 @@ pub fn push_trace(url: &str, id: &str, bytes: &[u8]) -> Result<String, PushError
     if authority.is_empty() || authority.contains('/') {
         return Err(PushError::BadUrl(url.to_owned()));
     }
-    let mut conn =
-        TcpStream::connect(authority).map_err(|e| PushError::Io(format!("{authority}: {e}")))?;
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
+    Ok(authority)
+}
+
+/// One connect-send-read round trip. No retries at this layer.
+fn push_once(
+    authority: &str,
+    id: &str,
+    bytes: &[u8],
+    opts: &PushOptions,
+) -> Result<String, PushError> {
+    if let Some(action) = fault::fire("client.connect") {
+        return Err(PushError::Io(action.to_io_error("client.connect").to_string()));
+    }
+    let addr = authority
+        .to_socket_addrs()
+        .map_err(|e| PushError::Io(format!("{authority}: {e}")))?
+        .next()
+        .ok_or_else(|| PushError::Io(format!("{authority}: no address")))?;
+    let mut conn = TcpStream::connect_timeout(&addr, opts.connect_timeout)
+        .map_err(|e| PushError::Io(format!("{authority}: {e}")))?;
+    let _ = conn.set_read_timeout(Some(opts.io_timeout));
+    let _ = conn.set_write_timeout(Some(opts.io_timeout));
     let head = format!(
         "POST /ingest/{id} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         bytes.len()
     );
     conn.write_all(head.as_bytes()).map_err(|e| PushError::Io(e.to_string()))?;
+    match fault::fire("client.send") {
+        Some(fault::Action::Partial(n)) => {
+            let _ = conn.write_all(&bytes[..n.min(bytes.len())]);
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+            return Err(PushError::Io(
+                fault::Action::Partial(n).to_io_error("client.send").to_string(),
+            ));
+        }
+        Some(action) => {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+            return Err(PushError::Io(action.to_io_error("client.send").to_string()));
+        }
+        None => {}
+    }
     conn.write_all(bytes).map_err(|e| PushError::Io(e.to_string()))?;
     conn.flush().map_err(|e| PushError::Io(e.to_string()))?;
 
     let mut response = Vec::new();
-    conn.read_to_end(&mut response).map_err(|e| PushError::Io(e.to_string()))?;
+    conn.take(opts.max_response_bytes)
+        .read_to_end(&mut response)
+        .map_err(|e| PushError::Io(e.to_string()))?;
     let text = String::from_utf8_lossy(&response);
     let status: u16 = text
         .strip_prefix("HTTP/1.1 ")
         .and_then(|rest| rest.split(' ').next())
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| PushError::Io(format!("unparseable response: {:.80}", text)))?;
-    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h, b.to_owned()),
+        None => (&*text, String::new()),
+    };
     if status == 201 {
         Ok(body)
     } else {
-        Err(PushError::Rejected { status, detail: body })
+        let retry_after = head
+            .lines()
+            .find_map(|line| line.split_once(':').map(|(k, v)| (k.trim(), v.trim())))
+            .filter(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+            .and_then(|(_, v)| v.parse().ok());
+        Err(PushError::Rejected { status, detail: body, retry_after })
     }
+}
+
+/// Adds up to +50% random jitter so a fleet of collectors retrying
+/// against one recovering server does not re-synchronise into bursts.
+/// A time-seeded LCG keeps this dependency-free; statistical quality
+/// is irrelevant here.
+fn with_jitter(base: Duration) -> Duration {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0)
+        ^ (u64::from(std::process::id()) << 32);
+    let x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let base_us = base.as_micros().min(u128::from(u64::MAX)) as u64;
+    let jitter_us = if base_us == 0 { 0 } else { x % (base_us / 2 + 1) };
+    base + Duration::from_micros(jitter_us)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Options that keep failure-path tests fast: one attempt, no
+    /// backoff sleeping.
+    fn fast() -> PushOptions {
+        PushOptions {
+            attempts: 1,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(500),
+            ..PushOptions::default()
+        }
+    }
+
     #[test]
     fn bad_urls_are_rejected_before_connecting() {
         for url in ["ftp://x:1", "127.0.0.1:7070", "http://", "http://host:1/path"] {
-            assert!(matches!(push_trace(url, "t", b""), Err(PushError::BadUrl(_))), "{url}");
+            assert!(
+                matches!(push_trace_with(url, "t", b"", &fast()), Err(PushError::BadUrl(_))),
+                "{url}"
+            );
         }
     }
 
     #[test]
     fn connection_refused_is_an_io_error() {
         // Port 1 on loopback is essentially never listening.
-        match push_trace("http://127.0.0.1:1", "t", b"x") {
+        match push_trace_with("http://127.0.0.1:1", "t", b"x", &fast()) {
             Err(PushError::Io(_)) => {}
             other => panic!("expected an io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(!PushError::BadUrl("x".into()).is_retryable());
+        assert!(PushError::Io("refused".into()).is_retryable());
+        let rejected =
+            |status| PushError::Rejected { status, detail: String::new(), retry_after: None };
+        assert!(!rejected(400).is_retryable());
+        assert!(!rejected(404).is_retryable());
+        assert!(rejected(429).is_retryable());
+        assert!(rejected(500).is_retryable());
+        assert!(rejected(503).is_retryable());
+    }
+
+    #[test]
+    fn injected_connect_failures_consume_retry_attempts() {
+        let _s = fault::session();
+        fault::arm_times("client.connect", fault::Action::Disconnect, 10);
+        let opts = PushOptions { attempts: 3, ..fast() };
+        // All three attempts hit the failpoint; three charges consumed.
+        match push_trace_with("http://127.0.0.1:1", "t", b"x", &opts) {
+            Err(PushError::Io(e)) => assert!(e.contains("client.connect"), "{e}"),
+            other => panic!("expected io error, got {other:?}"),
+        }
+        let mut left = 0;
+        while fault::fire("client.connect").is_some() {
+            left += 1;
+        }
+        assert_eq!(left, 7, "3 of 10 charges should have been consumed");
+    }
+
+    #[test]
+    fn spool_roundtrip_is_byte_identical_and_drain_removes() {
+        let dir = std::env::temp_dir().join(format!("vex-spool-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = spool_trace(&dir, "t1", b"payload-bytes").expect("spool");
+        assert_eq!(path, dir.join("t1.vex"));
+        assert_eq!(std::fs::read(&path).expect("read back"), b"payload-bytes");
+        // No temp litter after a clean spool.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(litter.is_empty(), "{litter:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_spool_write_leaves_no_partial_file() {
+        let _s = fault::session();
+        let dir = std::env::temp_dir().join(format!("vex-spool-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        fault::arm_times("client.spool.write", fault::Action::Partial(3), 1);
+        let err = spool_trace(&dir, "t1", b"payload-bytes").expect_err("injected failure");
+        assert!(err.to_string().contains("client.spool.write"), "{err}");
+        assert!(!dir.join("t1.vex").exists(), "no torn final file");
+        let leftovers: Vec<_> =
+            std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()).collect();
+        assert!(leftovers.is_empty(), "temp cleaned up: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn push_or_spool_spools_on_transient_failure_only() {
+        let dir = std::env::temp_dir().join(format!("vex-spool-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Connection refused (transient) → spooled.
+        match push_or_spool("http://127.0.0.1:1", "t9", b"bytes", &dir, &fast()) {
+            Ok(PushOutcome::Spooled(path, PushError::Io(_))) => {
+                assert_eq!(std::fs::read(path).unwrap(), b"bytes");
+            }
+            other => panic!("expected spooled, got {other:?}"),
+        }
+        // Bad URL (terminal) → error, nothing new spooled.
+        assert!(matches!(
+            push_or_spool("not-a-url", "t10", b"bytes", &dir, &fast()),
+            Err(PushError::BadUrl(_))
+        ));
+        assert!(!dir.join("t10.vex").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_reports_per_trace_failures_and_keeps_files() {
+        let dir = std::env::temp_dir().join(format!("vex-spool-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        spool_trace(&dir, "a", b"aa").unwrap();
+        spool_trace(&dir, "b", b"bb").unwrap();
+        let outcome = drain_spool(&dir, "http://127.0.0.1:1", &fast()).expect("drain runs");
+        assert!(outcome.pushed.is_empty());
+        assert_eq!(outcome.failed.len(), 2);
+        assert!(dir.join("a.vex").exists() && dir.join("b.vex").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jitter_never_shrinks_the_delay() {
+        for _ in 0..32 {
+            let base = Duration::from_millis(100);
+            let j = with_jitter(base);
+            assert!(j >= base && j <= base + Duration::from_millis(51), "{j:?}");
         }
     }
 }

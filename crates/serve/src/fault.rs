@@ -1,0 +1,285 @@
+//! Fault-injection failpoints for crash and partial-failure testing.
+//!
+//! A *failpoint* is a named site in production code (ingest persist,
+//! spool writes, client push I/O) that consults a process-wide registry
+//! before doing its real work. In normal operation the registry is
+//! empty and the check is one cheap atomic load; under test an
+//! [`Action`] armed at that site makes the real code path fail exactly
+//! the way a crashing disk, torn write, or dropped connection would —
+//! through the same error-handling code the production failure takes.
+//!
+//! Failpoints are armed either programmatically ([`arm`] /
+//! [`arm_times`]) or from the `VEX_FAILPOINTS` environment variable at
+//! first use, e.g.:
+//!
+//! ```text
+//! VEX_FAILPOINTS="store.ingest.write=io_error;client.send=disconnect*2"
+//! ```
+//!
+//! Each clause is `site=action` with an optional `*N` suffix meaning
+//! "fire N times, then behave normally" (no suffix = fire forever).
+//! Actions: `io_error`, `partial:<bytes>`, `disconnect`, `kill`.
+//!
+//! Tests that arm failpoints must hold a [`session`] guard: it
+//! serialises failpoint users across threads (the registry is
+//! process-global) and clears the registry when dropped, so a panicking
+//! test cannot leak armed faults into the next one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when its site is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Fail with an injected I/O error (emulates disk-full / EIO).
+    IoError,
+    /// Write only the first `n` bytes of the payload, then fail
+    /// (emulates a torn write: power loss mid-`write(2)`).
+    Partial(usize),
+    /// Drop the connection mid-transfer (emulates a network fault).
+    Disconnect,
+    /// Stop before the final atomic step and leave temporary state
+    /// behind (emulates a process kill; the site must skip cleanup).
+    Kill,
+}
+
+impl Action {
+    /// The injected error for this action, tagged with the site name so
+    /// test assertions can tell injected failures from real ones.
+    pub fn to_io_error(&self, site: &str) -> std::io::Error {
+        let (kind, what) = match self {
+            Action::IoError => (std::io::ErrorKind::Other, "injected i/o error"),
+            Action::Partial(_) => (std::io::ErrorKind::WriteZero, "injected torn write"),
+            Action::Disconnect => (std::io::ErrorKind::ConnectionReset, "injected disconnect"),
+            Action::Kill => (std::io::ErrorKind::Other, "injected kill"),
+        };
+        std::io::Error::new(kind, format!("failpoint {site}: {what}"))
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    action: Action,
+    /// `None` = fire forever; `Some(n)` = fire `n` more times.
+    remaining: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    sites: Mutex<HashMap<String, Armed>>,
+    /// Bumped on every arm/clear so `fire` can skip the mutex entirely
+    /// when nothing has ever been armed (the overwhelmingly common
+    /// production case).
+    generation: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let reg = Registry::default();
+        if let Ok(spec) = std::env::var("VEX_FAILPOINTS") {
+            let mut sites = reg.sites.lock().unwrap_or_else(|e| e.into_inner());
+            for (site, armed) in parse_spec(&spec) {
+                sites.insert(site, armed);
+            }
+            if !sites.is_empty() {
+                reg.generation.store(1, Ordering::SeqCst);
+            }
+        }
+        reg
+    })
+}
+
+/// Parses a `VEX_FAILPOINTS`-style spec. Malformed clauses are skipped:
+/// a fault harness must never turn a typo into a silent production
+/// failure, and tests arm programmatically anyway.
+fn parse_spec(spec: &str) -> Vec<(String, Armed)> {
+    let mut out = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let Some((site, rhs)) = clause.split_once('=') else {
+            continue;
+        };
+        let (action_str, remaining) = match rhs.split_once('*') {
+            Some((a, n)) => match n.trim().parse::<u64>() {
+                Ok(n) => (a.trim(), Some(n)),
+                Err(_) => continue,
+            },
+            None => (rhs.trim(), None),
+        };
+        let action = match action_str.split_once(':') {
+            Some(("partial", n)) => match n.trim().parse::<usize>() {
+                Ok(n) => Action::Partial(n),
+                Err(_) => continue,
+            },
+            None => match action_str {
+                "io_error" => Action::IoError,
+                "disconnect" => Action::Disconnect,
+                "kill" => Action::Kill,
+                _ => continue,
+            },
+            Some(_) => continue,
+        };
+        out.push((site.trim().to_string(), Armed { action, remaining }));
+    }
+    out
+}
+
+/// Arms `site` to fire `action` on every hit until cleared.
+pub fn arm(site: &str, action: Action) {
+    arm_inner(site, action, None);
+}
+
+/// Arms `site` to fire `action` for the next `times` hits, then behave
+/// normally (the failpoint disarms itself). Useful for "flaky, then
+/// recovers" scenarios.
+pub fn arm_times(site: &str, action: Action, times: u64) {
+    arm_inner(site, action, Some(times));
+}
+
+fn arm_inner(site: &str, action: Action, remaining: Option<u64>) {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|e| e.into_inner());
+    sites.insert(site.to_string(), Armed { action, remaining });
+    reg.generation.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Disarms `site`.
+pub fn clear(site: &str) {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|e| e.into_inner());
+    sites.remove(site);
+    reg.generation.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Disarms every failpoint.
+pub fn clear_all() {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|e| e.into_inner());
+    sites.clear();
+    reg.generation.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Consults the registry at `site`. Returns the armed [`Action`] if
+/// the failpoint should fire on this hit (decrementing a `*N` budget),
+/// or `None` to proceed normally. When nothing has ever been armed
+/// this is a single relaxed atomic load — safe to leave in hot paths.
+pub fn fire(site: &str) -> Option<Action> {
+    let reg = registry();
+    if reg.generation.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let mut sites = reg.sites.lock().unwrap_or_else(|e| e.into_inner());
+    let armed = sites.get_mut(site)?;
+    let action = armed.action.clone();
+    match &mut armed.remaining {
+        None => {}
+        Some(0) => {
+            sites.remove(site);
+            return None;
+        }
+        Some(n) => {
+            *n -= 1;
+            if *n == 0 {
+                sites.remove(site);
+            }
+        }
+    }
+    Some(action)
+}
+
+/// Exclusive failpoint session for tests.
+///
+/// Holding the guard serialises all failpoint-arming tests in the
+/// process; the registry is cleared both on acquisition (stale state
+/// from a panicked predecessor) and on drop.
+#[derive(Debug)]
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+/// Acquires the exclusive failpoint [`Session`]. Call first in any
+/// test that arms failpoints.
+pub fn session() -> Session {
+    static GATE: Mutex<()> = Mutex::new(());
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    clear_all();
+    Session { _guard: guard }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _s = session();
+        assert_eq!(fire("store.ingest.write"), None);
+    }
+
+    #[test]
+    fn armed_site_fires_until_cleared() {
+        let _s = session();
+        arm("x", Action::IoError);
+        assert_eq!(fire("x"), Some(Action::IoError));
+        assert_eq!(fire("x"), Some(Action::IoError));
+        clear("x");
+        assert_eq!(fire("x"), None);
+    }
+
+    #[test]
+    fn counted_failpoint_disarms_itself() {
+        let _s = session();
+        arm_times("y", Action::Disconnect, 2);
+        assert_eq!(fire("y"), Some(Action::Disconnect));
+        assert_eq!(fire("y"), Some(Action::Disconnect));
+        assert_eq!(fire("y"), None);
+        assert_eq!(fire("y"), None);
+    }
+
+    #[test]
+    fn session_drop_clears_everything() {
+        {
+            let _s = session();
+            arm("z", Action::Kill);
+        }
+        let _s = session();
+        assert_eq!(fire("z"), None);
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let parsed = parse_spec("a=io_error; b=partial:64*3 ;c=disconnect;d=kill*1");
+        let by_name: HashMap<_, _> = parsed.into_iter().collect();
+        assert_eq!(by_name["a"].action, Action::IoError);
+        assert_eq!(by_name["a"].remaining, None);
+        assert_eq!(by_name["b"].action, Action::Partial(64));
+        assert_eq!(by_name["b"].remaining, Some(3));
+        assert_eq!(by_name["c"].action, Action::Disconnect);
+        assert_eq!(by_name["d"].action, Action::Kill);
+        assert_eq!(by_name["d"].remaining, Some(1));
+    }
+
+    #[test]
+    fn malformed_spec_clauses_are_skipped() {
+        let parsed = parse_spec("ok=kill;bad;worse=;x=partial:abc;y=io_error*z");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "ok");
+    }
+
+    #[test]
+    fn injected_errors_name_their_site() {
+        let e = Action::IoError.to_io_error("store.ingest.write");
+        assert!(e.to_string().contains("store.ingest.write"), "{e}");
+    }
+}

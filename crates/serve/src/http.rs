@@ -93,6 +93,8 @@ pub enum Status {
     HeaderTooLarge,
     /// 500.
     Internal,
+    /// 503.
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -109,6 +111,7 @@ impl Status {
             Status::PayloadTooLarge => 413,
             Status::HeaderTooLarge => 431,
             Status::Internal => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -125,6 +128,7 @@ impl Status {
             Status::PayloadTooLarge => "Payload Too Large",
             Status::HeaderTooLarge => "Request Header Fields Too Large",
             Status::Internal => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -143,17 +147,30 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Optional `Retry-After` header value, seconds — emitted on 503
+    /// shed responses so well-behaved clients back off.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A `text/plain` response.
     pub fn text(status: Status, body: impl Into<String>) -> Self {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into().into() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into(),
+            retry_after: None,
+        }
     }
 
     /// An `application/json` response.
     pub fn json(status: Status, body: impl Into<String>) -> Self {
-        Response { status, content_type: "application/json", body: body.into().into() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into(),
+            retry_after: None,
+        }
     }
 
     /// A plain-text error response (`<status reason>: detail\n`).
@@ -161,15 +178,27 @@ impl Response {
         Response::text(status, format!("{}: {detail}\n", status.reason()))
     }
 
+    /// Adds a `Retry-After: secs` header to the response.
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
     /// Serializes the response head + body (`Connection: close` framing).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        use std::fmt::Write;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status.code(),
             self.status.reason(),
             self.content_type,
             self.body.len()
         );
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        head.push_str("Connection: close\r\n\r\n");
         let mut out = head.into_bytes();
         out.extend_from_slice(&self.body);
         out
@@ -622,7 +651,8 @@ mod tests {
 
     #[test]
     fn body_framing_headers_are_captured() {
-        let (req, used) = parse("POST /ingest/x HTTP/1.1\r\nContent-Length: 42\r\n\r\n").unwrap();
+        let (req, used) =
+            parse("POST /ingest/x HTTP/1.1\r\nContent-Length: 42\r\n\r\n").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.content_length, Some(42));
         assert!(!req.chunked);
@@ -659,12 +689,12 @@ mod tests {
         assert!(decode_chunked(b"FFFFFFFF\r\n", 1024).is_err());
         assert!(decode_chunked(b"5\r\nhello\r\n0\r\n\r\n", 4).is_err());
         for bad in [
-            &b"zz\r\nxx\r\n0\r\n\r\n"[..],         // non-hex size
-            &b"\r\n\r\n"[..],                       // empty size line
-            &b"4;ext=1\r\nVEXT\r\n0\r\n\r\n"[..],   // chunk extension
-            &b"4\r\nVEXTxx0\r\n\r\n"[..],           // data not closed by crlf
-            &b"0\r\nX-Trailer: 1\r\n\r\n"[..],      // trailers
-            &b"11111111111111111\r\n"[..],          // size line too long
+            &b"zz\r\nxx\r\n0\r\n\r\n"[..],        // non-hex size
+            &b"\r\n\r\n"[..],                     // empty size line
+            &b"4;ext=1\r\nVEXT\r\n0\r\n\r\n"[..], // chunk extension
+            &b"4\r\nVEXTxx0\r\n\r\n"[..],         // data not closed by crlf
+            &b"0\r\nX-Trailer: 1\r\n\r\n"[..],    // trailers
+            &b"11111111111111111\r\n"[..],        // size line too long
         ] {
             assert!(decode_chunked(bad, 1 << 20).is_err(), "{bad:?}");
         }
@@ -774,6 +804,19 @@ mod tests {
         assert!(s.contains("Content-Length: 6\r\n"), "{s}");
         assert!(s.contains("Connection: close\r\n"), "{s}");
         assert!(s.ends_with("\r\n\r\nhello\n"), "{s}");
+        assert!(!s.contains("Retry-After"), "{s}");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_demand() {
+        let r = Response::error(Status::ServiceUnavailable, "overloaded").with_retry_after(2);
+        let s = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 2\r\n"), "{s}");
+        assert!(s.contains("Connection: close\r\n"), "{s}");
+        // The header sits inside the head, before the blank line.
+        let head_end = s.find("\r\n\r\n").unwrap();
+        assert!(s.find("Retry-After").unwrap() < head_end, "{s}");
     }
 
     proptest! {

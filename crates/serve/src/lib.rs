@@ -28,25 +28,38 @@
 //! materialized on demand through the same replay machinery the CLI
 //! uses, behind an LRU + single-flight cache ([`cache::ReportCache`]).
 //! The serving loop ([`server::Server`]) is a bounded worker pool with a
-//! backpressure accept loop, per-connection timeouts, request-size
-//! limits, and graceful drain on shutdown. Ingest bodies arrive as
-//! `Content-Length` or chunked uploads, capped per request, validated
-//! by the trace decoder, and written atomically into the store's
-//! directory — a pushed trace is queryable without a restart.
+//! backpressure accept loop that sheds overload (`503` + `Retry-After`
+//! once the worker queue stays saturated past a grace period),
+//! per-connection timeouts, request-size limits, and graceful drain on
+//! shutdown. Ingest bodies arrive as `Content-Length` or chunked
+//! uploads, capped per request, validated by the trace decoder, and
+//! written atomically into the store's directory — a pushed trace is
+//! queryable without a restart; interrupted uploads leave only
+//! temporary files that the store sweeps at startup.
 //! [`client::push_trace`] is the matching minimal client, used by
-//! `vex push` and `vex record --push`.
+//! `vex push` and `vex record --push`; [`client::push_or_spool`] adds
+//! retry with backoff and a durable local spool for fleet runs where
+//! the collector must not lose traces while the server is unreachable
+//! ([`client::drain_spool`] re-pushes them later). [`fault`] provides
+//! the failpoint registry the crash-safety test-suite uses to inject
+//! torn writes, disk errors, kills, and connection drops into these
+//! paths.
 
 #![deny(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod store;
 
 pub use cache::ReportCache;
-pub use client::{push_trace, PushError};
+pub use client::{
+    drain_spool, push_or_spool, push_trace, push_trace_with, spool_trace, DrainOutcome,
+    PushError, PushOptions, PushOutcome,
+};
 pub use http::{Request, Response, Status};
 pub use metrics::Metrics;
 pub use server::{ServeState, Server, ServerConfig};

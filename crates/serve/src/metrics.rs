@@ -7,6 +7,7 @@
 //! response is written.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -27,6 +28,9 @@ struct EndpointStats {
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+    /// Connections answered with a shed `503` by the accept thread
+    /// because the worker queue stayed saturated past the shed wait.
+    sheds: AtomicU64,
 }
 
 impl Metrics {
@@ -54,6 +58,16 @@ impl Metrics {
         *e.buckets.last_mut().expect("bucket array non-empty") += 1;
     }
 
+    /// Counts one connection shed with `503` before reaching a worker.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Total requests recorded across all endpoints.
     pub fn total_requests(&self) -> u64 {
         let map = self.endpoints.lock().unwrap_or_else(|e| e.into_inner());
@@ -79,6 +93,8 @@ impl Metrics {
         for (name, e) in map.iter() {
             let _ = writeln!(s, "vex_request_errors_total{{endpoint=\"{name}\"}} {}", e.errors);
         }
+        let _ = writeln!(s, "# TYPE vex_requests_shed_total counter");
+        let _ = writeln!(s, "vex_requests_shed_total {}", self.sheds());
         let _ = writeln!(s, "# TYPE vex_request_duration_us histogram");
         for (name, e) in map.iter() {
             for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
@@ -153,11 +169,8 @@ impl Metrics {
             "vex_store_evicted_bytes_total {}",
             store.evicted_bytes_total.load(Ordering::Relaxed)
         );
-        let _ = writeln!(
-            s,
-            "vex_ingest_total {}",
-            store.ingested_total.load(Ordering::Relaxed)
-        );
+        let _ =
+            writeln!(s, "vex_ingest_total {}", store.ingested_total.load(Ordering::Relaxed));
         let _ = writeln!(
             s,
             "vex_ingest_errors_total {}",
@@ -168,10 +181,12 @@ impl Metrics {
             "vex_ingest_bytes_total {}",
             store.ingested_bytes_total.load(Ordering::Relaxed)
         );
+        let _ =
+            writeln!(s, "vex_deletes_total {}", store.deleted_total.load(Ordering::Relaxed));
         let _ = writeln!(
             s,
-            "vex_deletes_total {}",
-            store.deleted_total.load(Ordering::Relaxed)
+            "vex_store_orphans_swept_total {}",
+            store.orphans_swept.load(Ordering::Relaxed)
         );
         s
     }
@@ -190,7 +205,10 @@ mod tests {
         m.record("report", Duration::from_micros(700), false);
         m.record("report", Duration::from_secs(10), true);
         m.record("healthz", Duration::from_micros(10), false);
+        m.record_shed();
+        m.record_shed();
         assert_eq!(m.total_requests(), 4);
+        assert_eq!(m.sheds(), 2);
 
         let stats = CacheStats::default();
         stats.hits.fetch_add(3, Ordering::Relaxed);
@@ -221,6 +239,7 @@ mod tests {
         assert!(text.contains("vex_store_evictions_total 2"), "{text}");
         assert!(text.contains("vex_ingest_total 7"), "{text}");
         assert!(text.contains("vex_store_memory_budget_bytes 0"), "{text}");
+        assert!(text.contains("vex_requests_shed_total 2"), "{text}");
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //!
 //! ## Production posture
 //!
-//! * **Backpressure accept loop** — one accept thread feeds accepted
-//!   connections into a *bounded* channel; when every worker is busy and
-//!   the queue is full, the accept loop blocks, which pushes queueing
-//!   into the kernel's listen backlog instead of growing memory.
+//! * **Backpressure accept loop with overload shedding** — one accept
+//!   thread feeds accepted connections into a *bounded* channel; when
+//!   every worker is busy and the queue is full, the accept thread
+//!   waits at most [`ServerConfig::shed_wait`] for space, then answers
+//!   the connection itself with `503 Service Unavailable` +
+//!   `Retry-After` and closes it. The accept loop is never blocked
+//!   indefinitely by saturated workers, and sheds are counted in
+//!   `/metrics` (`vex_requests_shed_total`).
 //! * **Bounded worker pool** — `workers` threads each serve one
 //!   connection at a time: read (bounded, with a timeout), route,
 //!   respond, close. One request per connection (`Connection: close`).
@@ -55,6 +59,14 @@ pub struct ServerConfig {
     pub ingest_enabled: bool,
     /// Per-request cap on an ingest body, bytes.
     pub max_ingest_bytes: u64,
+    /// How long the accept thread waits for worker-queue space before
+    /// shedding the connection with `503` + `Retry-After`. Long enough
+    /// to absorb ordinary bursts (workers turn requests around in
+    /// micro- to milliseconds), short enough that saturated workers
+    /// never stall accepting.
+    pub shed_wait: Duration,
+    /// `Retry-After` value advertised on shed responses, seconds.
+    pub shed_retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +78,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             ingest_enabled: false,
             max_ingest_bytes: 64 * 1024 * 1024,
+            shed_wait: Duration::from_millis(100),
+            shed_retry_after_secs: 1,
         }
     }
 }
@@ -235,11 +249,8 @@ impl ServeState {
         };
         let rows = self.store.list_rows();
         let total = rows.len();
-        let traces: Vec<TraceListRow> = rows
-            .into_iter()
-            .skip(offset)
-            .take(limit.unwrap_or(usize::MAX))
-            .collect();
+        let traces: Vec<TraceListRow> =
+            rows.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect();
         let listing = TraceListing {
             total,
             offset,
@@ -353,6 +364,7 @@ impl ServeState {
                     status: Status::Ok,
                     content_type: "text/vnd.graphviz; charset=utf-8",
                     body: profile.render_dot_document(threshold).into_bytes(),
+                    retry_after: None,
                 },
                 FlowFormat::Json => {
                     Response::json(Status::Ok, to_pretty_json(&profile.flow_graph))
@@ -483,25 +495,33 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state =
-            Arc::new(ServeState::new(store, config.cache_entries).with_ingest(config.ingest_enabled));
+        let state = Arc::new(
+            ServeState::new(store, config.cache_entries).with_ingest(config.ingest_enabled),
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = config.workers.max(1);
         // Cap queued-but-unserved connections at one per worker; beyond
-        // that the accept loop blocks (backpressure into the kernel
-        // backlog) instead of buffering unboundedly.
+        // that the accept thread waits up to `shed_wait` for space and
+        // then sheds the connection with a 503 instead of buffering
+        // unboundedly or stalling the accept loop.
         let (tx, rx) = channel::bounded::<TcpStream>(workers);
 
         let accept_thread = {
             let shutdown = shutdown.clone();
+            let state = state.clone();
+            let config = config.clone();
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
-                    if tx.send(conn).is_err() {
-                        break;
+                    match tx.send_timeout(conn, config.shed_wait) {
+                        Ok(()) => {}
+                        Err(channel::SendTimeoutError::Timeout(conn)) => {
+                            shed_connection(conn, &state, &config);
+                        }
+                        Err(channel::SendTimeoutError::Disconnected(_)) => break,
                     }
                 }
                 // Dropping `tx` disconnects the channel; workers drain
@@ -566,6 +586,21 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Answers a connection the worker pool could not absorb within
+/// [`ServerConfig::shed_wait`]: a canned `503 Service Unavailable` with
+/// `Retry-After`, written from the accept thread under the ordinary
+/// write timeout so a slow client cannot stall accepting for long.
+fn shed_connection(mut conn: TcpStream, state: &ServeState, config: &ServerConfig) {
+    state.metrics().record_shed();
+    let _ = conn.set_write_timeout(Some(config.write_timeout));
+    let _ = conn.set_nodelay(true);
+    let resp =
+        Response::error(Status::ServiceUnavailable, "worker queue saturated; retry later")
+            .with_retry_after(config.shed_retry_after_secs);
+    let _ = conn.write_all(&resp.to_bytes());
+    let _ = conn.shutdown(std::net::Shutdown::Both);
 }
 
 /// Serves one connection: bounded read, parse, route, respond, close.
@@ -856,10 +891,7 @@ mod tests {
         let mut traces = Vec::new();
         for id in ["a", "b", "c", "d"] {
             let mut rt = Runtime::new(DeviceSpec::test_small());
-            let rec = ValueExpert::builder()
-                .coarse(true)
-                .record(&mut rt, Vec::new())
-                .unwrap();
+            let rec = ValueExpert::builder().coarse(true).record(&mut rt, Vec::new()).unwrap();
             app.run(&mut rt, Variant::Baseline).unwrap();
             let bytes = rec.finish(&mut rt).unwrap();
             traces.push((id.to_owned(), read_trace(&bytes).unwrap()));
@@ -963,5 +995,47 @@ mod tests {
                 true
             }
         );
+    }
+
+    #[test]
+    fn saturated_workers_shed_with_503_and_retry_after() {
+        let state = qmcpack_state();
+        let server = {
+            let trace = (*state.store().decoded("qmcpack").unwrap()).clone();
+            let store = ProfileStore::from_traces([("qmcpack".to_owned(), trace)]).unwrap();
+            let config = ServerConfig {
+                workers: 1,
+                shed_wait: Duration::from_millis(20),
+                read_timeout: Duration::from_secs(2),
+                ..ServerConfig::default()
+            };
+            Server::bind(store, "127.0.0.1:0", config).unwrap()
+        };
+        let addr = server.addr();
+        // Occupy the single worker and the single queue slot with
+        // connections that send nothing: the worker blocks in its
+        // bounded read until `read_timeout` expires.
+        let stall1 = TcpStream::connect(addr).unwrap();
+        let stall2 = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // The next connection cannot reach the queue within
+        // `shed_wait`: the accept thread itself must answer 503 with a
+        // Retry-After, well before the stalled worker frees up.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut out = String::new();
+        let _ = conn.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{out}");
+        assert!(out.contains("Retry-After: 1\r\n"), "{out}");
+        assert_eq!(server.state().metrics().sheds(), 1);
+        let metrics = server
+            .state()
+            .metrics()
+            .render(server.state().cache().stats(), server.state().store().stats());
+        assert!(metrics.contains("vex_requests_shed_total 1"), "{metrics}");
+        drop(stall1);
+        drop(stall2);
+        server.shutdown();
     }
 }

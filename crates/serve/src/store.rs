@@ -87,12 +87,47 @@ pub struct KernelRow {
 }
 
 /// A quarantined trace file: present in the directory, skipped at load.
+///
+/// Besides the disqualifying error, the row reports what a salvage
+/// pass ([`vex_trace::salvage`]) could still recover — a truncated
+/// trace from a crashed recording is usually mostly intact, and
+/// surfacing that here lets an operator decide between `vex repair`
+/// and deletion without leaving the listing.
 #[derive(Debug, Clone, Serialize)]
 pub struct QuarantineRow {
     /// File name (not the full path — the directory is the store's).
     pub file: String,
     /// The decode error that disqualified it.
     pub error: String,
+    /// Whether salvage recovered at least one frame (`vex repair` would
+    /// produce a non-empty valid trace).
+    pub salvageable: bool,
+    /// Percent of the file's bytes inside the recoverable prefix.
+    pub recoverable_percent: f64,
+    /// Frames in the longest valid prefix.
+    pub frames_recovered: u64,
+}
+
+impl QuarantineRow {
+    /// Builds the row for `path`, running a salvage probe over the file
+    /// to fill the recoverability fields. A file whose header cannot be
+    /// parsed (or that vanished) reports as unsalvageable.
+    fn probe(path: &Path, error: String) -> QuarantineRow {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let (salvageable, recoverable_percent, frames_recovered) =
+            match vex_trace::salvage::salvage_trace_file(path) {
+                Ok(s) => (
+                    s.report.frames_recovered > 0,
+                    s.report.recoverable_percent(),
+                    s.report.frames_recovered,
+                ),
+                Err(_) => (false, 0.0, 0),
+            };
+        QuarantineRow { file, error, salvageable, recoverable_percent, frames_recovered }
+    }
 }
 
 /// The always-resident index tier of one trace: everything the static
@@ -159,10 +194,9 @@ pub enum MutationError {
 impl std::fmt::Display for MutationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MutationError::BadId(id) => write!(
-                f,
-                "invalid trace id '{id}' (1-64 chars of [A-Za-z0-9_-])"
-            ),
+            MutationError::BadId(id) => {
+                write!(f, "invalid trace id '{id}' (1-64 chars of [A-Za-z0-9_-])")
+            }
             MutationError::Duplicate(id) => write!(f, "trace '{id}' already exists"),
             MutationError::NotFound(id) => write!(f, "no trace '{id}'"),
             MutationError::InvalidTrace(e) => write!(f, "not a valid trace: {e}"),
@@ -224,6 +258,11 @@ pub struct StoreStats {
     pub deleted_total: AtomicU64,
     /// Trace files quarantined at load (gauge).
     pub quarantined: AtomicU64,
+    /// Orphaned ingest temp files (`.{id}.{nonce}.vex.tmp`) swept at
+    /// startup — litter from a crash mid-ingest; the atomic
+    /// tmp+rename protocol guarantees they were never visible to
+    /// readers.
+    pub orphans_swept: AtomicU64,
 }
 
 /// One resident decoded trace.
@@ -298,8 +337,20 @@ impl ProfileStore {
     pub fn load_dir_with(dir: &Path, opts: &StoreOptions) -> Result<Self, StoreError> {
         let read = std::fs::read_dir(dir)
             .map_err(|e| StoreError(format!("cannot read {}: {e}", dir.display())))?;
-        let mut paths: Vec<PathBuf> = read
-            .filter_map(|e| e.ok().map(|e| e.path()))
+        let all: Vec<PathBuf> = read.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        // Sweep orphaned ingest temp files first: a crash between the
+        // tmp write and the rename leaves `.{id}.{nonce}.vex.tmp`
+        // behind. The rename is the commit point, so an orphan was
+        // never visible to readers and can never become one — deleting
+        // it is always safe, and keeps crashes from leaking disk.
+        let mut orphans_swept = 0u64;
+        for path in &all {
+            if is_orphan_tmp(path) && std::fs::remove_file(path).is_ok() {
+                orphans_swept += 1;
+            }
+        }
+        let mut paths: Vec<PathBuf> = all
+            .into_iter()
             .filter(|p| p.extension().is_some_and(|x| x == "vex") && p.is_file())
             .collect();
         paths.sort();
@@ -320,13 +371,7 @@ impl ProfileStore {
                 Err(e) if opts.strict => {
                     return Err(StoreError(format!("cannot load {}: {e}", path.display())));
                 }
-                Err(e) => quarantined.push(QuarantineRow {
-                    file: path
-                        .file_name()
-                        .map(|n| n.to_string_lossy().into_owned())
-                        .unwrap_or_else(|| path.display().to_string()),
-                    error: e.to_string(),
-                }),
+                Err(e) => quarantined.push(QuarantineRow::probe(&path, e.to_string())),
             }
         }
         let store = ProfileStore {
@@ -339,6 +384,7 @@ impl ProfileStore {
             stats: StoreStats::default(),
         };
         store.stats.quarantined.store(store.quarantined().len() as u64, Ordering::Relaxed);
+        store.stats.orphans_swept.store(orphans_swept, Ordering::Relaxed);
         store
             .stats
             .memory_budget_bytes
@@ -540,7 +586,9 @@ impl ProfileStore {
         match &result {
             Ok(_) => {
                 self.stats.ingested_total.fetch_add(1, Ordering::Relaxed);
-                self.stats.ingested_bytes_total.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.stats
+                    .ingested_bytes_total
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
             }
             Err(_) => {
                 self.stats.ingest_errors_total.fetch_add(1, Ordering::Relaxed);
@@ -562,8 +610,9 @@ impl ProfileStore {
         }
         // Validate before taking the write lock: a skip-records scan of
         // the bytes, folding the index-tier views in the same pass.
-        let entry = index_entry_bytes(id.to_owned(), bytes, Some(dir.join(format!("{id}.vex"))))
-            .map_err(|e| MutationError::InvalidTrace(e.to_string()))?;
+        let entry =
+            index_entry_bytes(id.to_owned(), bytes, Some(dir.join(format!("{id}.vex"))))
+                .map_err(|e| MutationError::InvalidTrace(e.to_string()))?;
         // Write the tmp file before taking the lock, so read endpoints
         // never block behind a multi-MB disk write. The nonce keeps
         // concurrent ingests of the same id off each other's tmp file.
@@ -571,6 +620,28 @@ impl ProfileStore {
         let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
         let tmp = dir.join(format!(".{id}.{nonce}.vex.tmp"));
         let dst = dir.join(format!("{id}.vex"));
+        // Failpoint: disk faults at the tmp write. `Kill` emulates a
+        // process death mid-write — the partial tmp file stays on disk
+        // (a dead process cannot clean up) for the startup sweep to
+        // find; every other action takes the production error path.
+        match crate::fault::fire("store.ingest.write") {
+            None => {}
+            Some(crate::fault::Action::Kill) => {
+                let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                return Err(MutationError::Io(
+                    crate::fault::Action::Kill.to_io_error("store.ingest.write").to_string(),
+                ));
+            }
+            Some(action) => {
+                if let crate::fault::Action::Partial(n) = action {
+                    let _ = std::fs::write(&tmp, &bytes[..n.min(bytes.len())]);
+                }
+                let _ = std::fs::remove_file(&tmp);
+                return Err(MutationError::Io(
+                    action.to_io_error("store.ingest.write").to_string(),
+                ));
+            }
+        }
         if let Err(e) = std::fs::write(&tmp, bytes) {
             let _ = std::fs::remove_file(&tmp);
             return Err(MutationError::Io(e.to_string()));
@@ -583,6 +654,18 @@ impl ProfileStore {
             drop(entries);
             let _ = std::fs::remove_file(&tmp);
             return Err(MutationError::Duplicate(id.to_owned()));
+        }
+        // Failpoint: death at the commit point. The fully-written tmp
+        // file is orphaned (`Kill` skips cleanup) — the worst-possible
+        // crash window for the atomic protocol.
+        if let Some(action) = crate::fault::fire("store.ingest.rename") {
+            drop(entries);
+            if action != crate::fault::Action::Kill {
+                let _ = std::fs::remove_file(&tmp);
+            }
+            return Err(MutationError::Io(
+                action.to_io_error("store.ingest.rename").to_string(),
+            ));
         }
         if let Err(e) = std::fs::rename(&tmp, &dst) {
             drop(entries);
@@ -689,6 +772,17 @@ fn valid_trace_id(id: &str) -> bool {
         && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
 }
 
+/// Matches the `.{id}.{nonce}.vex.tmp` names `ingest_inner` writes:
+/// hidden (leading dot) and double-suffixed, so no legitimate `*.vex`
+/// trace can collide with the pattern.
+fn is_orphan_tmp(path: &Path) -> bool {
+    path.is_file()
+        && path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with('.') && n.ends_with(".vex.tmp"))
+}
+
 fn list_row(entry: &TraceEntry) -> TraceListRow {
     TraceListRow {
         id: entry.id.clone(),
@@ -785,7 +879,12 @@ impl ViewScan {
         })
     }
 
-    fn into_entry(mut self, id: String, index: TraceIndex, path: Option<PathBuf>) -> TraceEntry {
+    fn into_entry(
+        mut self,
+        id: String,
+        index: TraceIndex,
+        path: Option<PathBuf>,
+    ) -> TraceEntry {
         for (row, ctx) in self.objects.iter_mut().zip(&self.object_contexts) {
             row.context = self
                 .contexts
@@ -1043,12 +1142,82 @@ mod tests {
         assert_eq!(store.quarantined().len(), 1);
         assert_eq!(store.quarantined()[0].file, "bad.vex");
         assert!(!store.quarantined()[0].error.is_empty());
+        // Garbage bytes have no parseable header: nothing to salvage.
+        assert!(!store.quarantined()[0].salvageable);
+        assert_eq!(store.quarantined()[0].frames_recovered, 0);
         assert_eq!(store.stats().quarantined.load(Ordering::Relaxed), 1);
 
         // Strict restores fail-fast, naming the file.
         let opts = StoreOptions { strict: true, ..StoreOptions::default() };
         let err = ProfileStore::load_dir_with(&dir, &opts).unwrap_err();
         assert!(err.0.contains("bad.vex"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_trace_quarantines_as_salvageable() {
+        let dir = temp_dir("salv");
+        let bytes = recorded_bytes("QMCPACK");
+        // Cut inside the Finish trailer: every earlier frame is intact,
+        // so the quarantine row must advertise a recoverable prefix.
+        std::fs::write(dir.join("cut.vex"), &bytes[..bytes.len() - 7]).unwrap();
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        let rows = store.quarantined();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].salvageable, "{rows:?}");
+        assert!(rows[0].frames_recovered > 0, "{rows:?}");
+        assert!(
+            rows[0].recoverable_percent > 0.0 && rows[0].recoverable_percent < 100.0,
+            "{rows:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn startup_sweeps_orphaned_ingest_temp_files() {
+        let dir = temp_dir("sweep");
+        std::fs::write(dir.join("good.vex"), recorded_bytes("QMCPACK")).unwrap();
+        std::fs::write(dir.join(".good.3.vex.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join(".other.12.vex.tmp"), b"").unwrap();
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        assert_eq!(store.ids(), vec!["good"]);
+        assert_eq!(store.stats().orphans_swept.load(Ordering::Relaxed), 2);
+        assert!(!dir.join(".good.3.vex.tmp").exists());
+        assert!(!dir.join(".other.12.vex.tmp").exists());
+        assert!(store.quarantined().is_empty(), "tmp litter is not quarantine material");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_ingest_never_corrupts_store_or_directory() {
+        let _s = crate::fault::session();
+        let dir = temp_dir("torn");
+        let store = ProfileStore::load_dir(&dir).unwrap();
+        let bytes = recorded_bytes("QMCPACK");
+
+        // Torn tmp write: the production error path cleans up.
+        crate::fault::arm_times("store.ingest.write", crate::fault::Action::Partial(10), 1);
+        let err = store.ingest("t", &bytes).unwrap_err();
+        assert!(matches!(err, MutationError::Io(_)), "{err:?}");
+        assert!(store.entry("t").is_none());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "no litter on error path");
+
+        // Kill at the commit point: the fully-written tmp is orphaned,
+        // invisible to a reload, and swept by it.
+        crate::fault::arm_times("store.ingest.rename", crate::fault::Action::Kill, 1);
+        let err = store.ingest("t", &bytes).unwrap_err();
+        assert!(matches!(err, MutationError::Io(_)), "{err:?}");
+        assert!(store.entry("t").is_none());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "orphan tmp left behind");
+        let reloaded = ProfileStore::load_dir(&dir).unwrap();
+        assert!(reloaded.ids().is_empty());
+        assert_eq!(reloaded.stats().orphans_swept.load(Ordering::Relaxed), 1);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+
+        // Faults exhausted: the same ingest now lands byte-identically.
+        store.ingest("t", &bytes).expect("clean ingest");
+        assert_eq!(store.ids(), vec!["t"]);
+        assert_eq!(std::fs::read(dir.join("t.vex")).unwrap(), bytes);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1113,8 +1282,10 @@ mod tests {
         assert_eq!(scanned.summary, eager_summary);
         assert_eq!(scanned.objects.len(), eager_objects.len());
         for (a, b) in scanned.objects.iter().zip(&eager_objects) {
-            assert_eq!((a.id, &a.label, a.addr, a.size_bytes, &a.context, a.freed),
-                       (b.id, &b.label, b.addr, b.size_bytes, &b.context, b.freed));
+            assert_eq!(
+                (a.id, &a.label, a.addr, a.size_bytes, &a.context, a.freed),
+                (b.id, &b.label, b.addr, b.size_bytes, &b.context, b.freed)
+            );
         }
         assert_eq!(scanned.kernels.len(), eager_kernels.len());
         for (a, b) in scanned.kernels.iter().zip(&eager_kernels) {
@@ -1213,8 +1384,7 @@ mod tests {
 
     #[test]
     fn from_traces_store_is_read_only_for_ingest() {
-        let store =
-            ProfileStore::from_traces([("q".to_owned(), recorded("QMCPACK"))]).unwrap();
+        let store = ProfileStore::from_traces([("q".to_owned(), recorded("QMCPACK"))]).unwrap();
         let bytes = recorded_bytes("QMCPACK");
         assert!(matches!(store.ingest("x", &bytes), Err(MutationError::ReadOnly)));
         // Deleting a pinned trace still works (no file involved).

@@ -84,6 +84,84 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent
+    /// message back to the caller.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Consumes the error, yielding the message it carries.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send_timeout`]. Carries the unsent
+    /// message back to the caller.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed at capacity past the deadline.
+        Timeout(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> SendTimeoutError<T> {
+        /// Consumes the error, yielding the message it carries.
+        pub fn into_inner(self) -> T {
+            match self {
+                SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,6 +330,66 @@ pub mod channel {
                     st = self.shared.not_full.wait(st).unwrap();
                 }
             }
+            Ok(())
+        }
+
+        /// Enqueues the message without blocking. Returns
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// (capacity 0 is treated as capacity 1, matching [`send`]'s
+        /// effective bound) and [`TrySendError::Disconnected`] when all
+        /// receivers are gone.
+        ///
+        /// [`send`]: Sender::send
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if st.queue.len() >= cap.max(1) {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.queue.push_back(value);
+            st.pushed += 1;
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Like [`send`], but waits at most `timeout` for queue space.
+        /// Rendezvous channels (capacity 0) are treated as capacity 1:
+        /// the message is enqueued without waiting for a receiver to
+        /// take it.
+        ///
+        /// [`send`]: Sender::send
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(cap) = self.shared.cap {
+                let effective = cap.max(1);
+                while st.queue.len() >= effective {
+                    if st.receivers == 0 {
+                        return Err(SendTimeoutError::Disconnected(value));
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    let (guard, _) =
+                        self.shared.not_full.wait_timeout(st, deadline - now).unwrap();
+                    st = guard;
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            st.queue.push_back(value);
+            st.pushed += 1;
+            self.shared.not_empty.notify_one();
             Ok(())
         }
 

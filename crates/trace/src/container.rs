@@ -1952,6 +1952,60 @@ mod tests {
     }
 
     #[test]
+    fn salvage_recovers_the_longest_valid_prefix_at_every_cut() {
+        use crate::salvage::{repair_trace, salvage_trace};
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let events = sample_events();
+            let bytes = write_sample_v(&events, version);
+            // Frame extents of the intact trace: each entry is (end
+            // offset, cumulative event count up to that frame).
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            let header = reader.offset() as usize;
+            let mut extents = Vec::new();
+            let mut n_events = 0usize;
+            while let Some(frame) = reader.next_frame().unwrap() {
+                if matches!(frame, TraceFrame::Event(_)) {
+                    n_events += 1;
+                }
+                extents.push((reader.offset() as usize, n_events));
+            }
+            for cut in 0..=bytes.len() {
+                if cut < header {
+                    assert!(
+                        salvage_trace(&bytes[..cut]).is_err(),
+                        "cut {cut} inside the header salvaged (v{})",
+                        version.number()
+                    );
+                    continue;
+                }
+                let s = salvage_trace(&bytes[..cut])
+                    .unwrap_or_else(|e| panic!("cut {cut} unsalvageable: {e}"));
+                let expect =
+                    extents.iter().rev().find(|(end, _)| *end <= cut).map_or(0, |(_, n)| *n);
+                assert_eq!(s.events.len(), expect, "cut {cut} (v{})", version.number());
+                for (got, want) in s.events.iter().zip(events.iter()) {
+                    assert_event_eq(got, want);
+                }
+                // The repaired container re-reads as a valid trace
+                // carrying exactly the recovered prefix.
+                let (repaired, report) = repair_trace(&bytes[..cut]).unwrap();
+                assert_eq!(
+                    report.bytes_recovered + report.bytes_discarded,
+                    cut as u64,
+                    "cut {cut}"
+                );
+                let reread = read_trace(&repaired)
+                    .unwrap_or_else(|e| panic!("cut {cut} repaired trace invalid: {e}"));
+                assert_eq!(reread.version, version.number());
+                assert_eq!(reread.events.len(), expect, "cut {cut}");
+                for (got, want) in reread.events.iter().zip(events.iter()) {
+                    assert_event_eq(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unknown_frame_kind_is_rejected_with_offset() {
         let spec = DeviceSpec::test_small();
         let writer = TraceWriter::new(Vec::new(), &spec, TraceFlags::default()).unwrap();

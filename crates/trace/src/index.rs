@@ -92,7 +92,8 @@ impl TraceIndex {
         // padded in-memory struct (~48 bytes). Everything else
         // (events, contexts, capture segments) is bounded by its
         // encoded size times a small expansion factor.
-        self.summary.records * 48 + self.encoded_bytes.saturating_sub(self.summary.batch_bytes) * 2
+        self.summary.records * 48
+            + self.encoded_bytes.saturating_sub(self.summary.batch_bytes) * 2
     }
 }
 
@@ -308,18 +309,11 @@ mod tests {
         assert_eq!(cursor, bytes.len() as u64);
         assert_eq!(index.frames.last().unwrap().kind, FrameKind::Finish);
         // Per-frame record counts roll up to the summary.
-        let batch_records: u64 = index
-            .frames
-            .iter()
-            .filter(|f| f.kind == FrameKind::Batch)
-            .map(|f| f.records)
-            .sum();
+        let batch_records: u64 =
+            index.frames.iter().filter(|f| f.kind == FrameKind::Batch).map(|f| f.records).sum();
         assert_eq!(batch_records, index.summary.records);
         assert_eq!(batch_records, 8);
-        assert!(index
-            .frames
-            .iter()
-            .all(|f| f.kind == FrameKind::Batch || f.records == 0));
+        assert!(index.frames.iter().all(|f| f.kind == FrameKind::Batch || f.records == 0));
         let kinds: Vec<FrameKind> = index.frames.iter().map(|f| f.kind).collect();
         assert_eq!(
             kinds,

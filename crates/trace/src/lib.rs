@@ -28,6 +28,9 @@
 //!   feeds them all,
 //! * [`container`] — the versioned, length-framed `.vex` trace container:
 //!   record an event stream to disk, replay it later through any sink,
+//! * [`salvage`] — crash recovery for torn containers: recover the
+//!   longest valid frame prefix of a truncated trace with a loss
+//!   report, and re-encode it into a fresh valid container,
 //! * [`interval`] — the §6.1 interval representation and merge
 //!   algorithms the coarse pass and the container share.
 //!
@@ -42,6 +45,7 @@ pub mod container;
 pub mod event;
 pub mod index;
 pub mod interval;
+pub mod salvage;
 pub mod summary;
 pub mod transport;
 

@@ -74,8 +74,9 @@ fn chunked(body: &[u8], chunk: usize) -> Vec<u8> {
 }
 
 fn chunked_post(addr: SocketAddr, target: &str, body: &[u8], chunk: usize) -> Vec<u8> {
-    let mut raw = format!("POST {target} HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n")
-        .into_bytes();
+    let mut raw =
+        format!("POST {target} HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .into_bytes();
     raw.extend_from_slice(&chunked(body, chunk));
     send_raw(addr, &raw)
 }
@@ -150,7 +151,10 @@ fn reingest_under_same_id_invalidates_cached_reports() {
 
     let (status, got) = http_get(addr, "/traces/swap/report");
     assert_eq!(status, 200);
-    assert_eq!(got, want, "report after re-ingest must be the new trace's, not the cached old one");
+    assert_eq!(
+        got, want,
+        "report after re-ingest must be the new trace's, not the cached old one"
+    );
     // Flowgraphs go through the same keyed cache.
     let (_, old_flow) = http_get(addr, "/traces/ref/flowgraph?format=dot");
     let (status, new_flow) = http_get(addr, "/traces/swap/flowgraph?format=dot");
