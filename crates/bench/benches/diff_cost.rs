@@ -1,0 +1,170 @@
+//! Differential-profiling cost: what does `vex diff` add on top of the
+//! two replays it necessarily performs?
+//!
+//! Three stages are measured on a recorded baseline/optimized pair:
+//!
+//! * **two_replays** — decoding and replaying both traces (the floor any
+//!   comparison pays);
+//! * **diff_only** — [`diff_profiles`] plus both render entry points on
+//!   already-materialized profiles (the differ's own work);
+//! * **end_to_end** — the full `vex diff` path, replays included.
+//!
+//! Besides the Criterion groups, a `results/diff_cost.json` artefact
+//! records median wall-clock per stage and *gates* the differ's own cost
+//! at under [`MAX_OVERHEAD`] of the two replays: structural comparison
+//! is bookkeeping over already-computed reports and must stay noise
+//! against the replay floor.
+//!
+//! Run with `cargo bench --bench diff_cost`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use vex_bench::{median, record_app, write_json};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_trace::container::read_trace;
+use vex_workloads::{all_apps, Variant};
+
+/// The differ's own cost (compare + render both formats) as a fraction
+/// of the two replays it rides on.
+const MAX_OVERHEAD: f64 = 0.10;
+
+/// The workload measured — the largest bundled pair.
+const SELECTION: &str = "LAMMPS";
+
+fn recorded_pair() -> (Vec<u8>, Vec<u8>) {
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name() == SELECTION)
+        .unwrap_or_else(|| panic!("no bundled workload named {SELECTION}"));
+    let spec = DeviceSpec::rtx2080ti();
+    let builder = || ValueExpert::builder().coarse(true).fine(true).block_sampling(4);
+    (
+        record_app(&spec, app.as_ref(), Variant::Baseline, builder()),
+        record_app(&spec, app.as_ref(), Variant::Optimized, builder()),
+    )
+}
+
+fn replay(bytes: &[u8]) -> Profile {
+    let trace = read_trace(bytes).expect("trace decodes");
+    ValueExpert::builder().coarse(true).fine(true).replay(&trace).expect("replay succeeds")
+}
+
+fn diff_and_render(a: &Profile, b: &Profile) -> usize {
+    let diff = diff_profiles(a, b, &DiffOptions::default());
+    let text = diff.render_text_document();
+    let json = diff.render_json_document().expect("diff serializes");
+    text.len() + json.len()
+}
+
+fn bench_diff_cost(c: &mut Criterion) {
+    let (base, opt) = recorded_pair();
+    let profile_a = replay(&base);
+    let profile_b = replay(&opt);
+    let mut group = c.benchmark_group("diff_cost");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("two_replays", SELECTION),
+        &(&base, &opt),
+        |b, (base, opt)| b.iter(|| (black_box(replay(base)), black_box(replay(opt)))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("diff_only", SELECTION),
+        &(&profile_a, &profile_b),
+        |b, (a, pb)| b.iter(|| black_box(diff_and_render(a, pb))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("end_to_end", SELECTION),
+        &(&base, &opt),
+        |b, (base, opt)| {
+            b.iter(|| {
+                let a = replay(base);
+                let pb = replay(opt);
+                black_box(diff_and_render(&a, &pb))
+            })
+        },
+    );
+    group.finish();
+}
+
+/// The JSON artefact.
+#[derive(Serialize)]
+struct DiffCostRow {
+    app: String,
+    trace_bytes_baseline: usize,
+    trace_bytes_optimized: usize,
+    two_replays_ms: f64,
+    diff_only_ms: f64,
+    end_to_end_ms: f64,
+    overhead_fraction: f64,
+    max_overhead_fraction: f64,
+}
+
+fn measure_ms(mut routine: impl FnMut()) -> f64 {
+    const RUNS: usize = 5;
+    let mut times = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        routine();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    median(times)
+}
+
+fn artifact() {
+    let (base, opt) = recorded_pair();
+    let profile_a = replay(&base);
+    let profile_b = replay(&opt);
+    let two_replays_ms = measure_ms(|| {
+        black_box(replay(&base));
+        black_box(replay(&opt));
+    });
+    let diff_only_ms = measure_ms(|| {
+        black_box(diff_and_render(&profile_a, &profile_b));
+    });
+    let end_to_end_ms = measure_ms(|| {
+        let a = replay(&base);
+        let b = replay(&opt);
+        black_box(diff_and_render(&a, &b));
+    });
+    let row = DiffCostRow {
+        app: SELECTION.to_owned(),
+        trace_bytes_baseline: base.len(),
+        trace_bytes_optimized: opt.len(),
+        two_replays_ms,
+        diff_only_ms,
+        end_to_end_ms,
+        overhead_fraction: diff_only_ms / two_replays_ms,
+        max_overhead_fraction: MAX_OVERHEAD,
+    };
+    println!(
+        "{:<10} two replays {:>8.2} ms  diff+render {:>8.3} ms  end-to-end {:>8.2} ms  \
+         overhead {:.2}% (gate {:.0}%)",
+        row.app,
+        row.two_replays_ms,
+        row.diff_only_ms,
+        row.end_to_end_ms,
+        row.overhead_fraction * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    assert!(
+        row.overhead_fraction < MAX_OVERHEAD,
+        "{}: diffing cost {:.2} ms is {:.1}% of the {:.2} ms replay floor (gate {:.0}%)",
+        row.app,
+        row.diff_only_ms,
+        row.overhead_fraction * 100.0,
+        row.two_replays_ms,
+        MAX_OVERHEAD * 100.0
+    );
+    write_json("diff_cost", &row);
+}
+
+criterion_group!(benches, bench_diff_cost);
+
+fn main() {
+    benches();
+    artifact();
+}

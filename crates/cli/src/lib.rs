@@ -73,10 +73,14 @@ pub enum Command {
     Record(RecordArgs),
     /// `vex replay <trace.vex> [options]`.
     Replay(ReplayArgs),
+    /// `vex diff <a.vex> <b.vex> [options]` — compare two traces.
+    Diff(DiffArgs),
     /// `vex info <trace.vex>` — print the container header and counts.
     Info {
         /// Trace path.
         path: String,
+        /// Emit the summary as JSON (`--format json`).
+        json: bool,
     },
     /// `vex repair <trace.vex> [<out.vex>]` — salvage the longest valid
     /// prefix of a truncated/corrupt trace into a new valid container.
@@ -140,6 +144,9 @@ pub struct ServeArgs {
     /// Fail startup on the first corrupt trace instead of quarantining
     /// it.
     pub strict: bool,
+    /// Evict decoded traces idle for this many seconds ahead of LRU
+    /// pressure (`None` = keep until the memory budget forces eviction).
+    pub trace_ttl: Option<u64>,
 }
 
 impl ServeArgs {
@@ -154,6 +161,7 @@ impl ServeArgs {
             ingest: false,
             max_ingest_bytes: 64 * 1024 * 1024,
             strict: false,
+            trace_ttl: None,
         }
     }
 }
@@ -169,6 +177,8 @@ pub struct RecordArgs {
     pub coarse: bool,
     /// Record fine-grained access records (default false).
     pub fine: bool,
+    /// Workload variant to run (default baseline).
+    pub variant: Variant,
     /// Kernel sampling period applied while recording.
     pub kernel_sampling: u64,
     /// Block sampling period applied while recording.
@@ -194,6 +204,7 @@ impl RecordArgs {
             device: Device::default(),
             coarse: true,
             fine: false,
+            variant: Variant::Baseline,
             kernel_sampling: 1,
             block_sampling: 1,
             filters: Vec::new(),
@@ -251,6 +262,65 @@ impl ReplayArgs {
             json: None,
             dot: None,
             md: None,
+            decode_threads: 1,
+        }
+    }
+}
+
+/// Output format of `vex diff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiffFormat {
+    /// Human-readable text report (default).
+    #[default]
+    Text,
+    /// Machine-readable JSON document.
+    Json,
+}
+
+/// Options of `vex diff`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffArgs {
+    /// "Before" trace path.
+    pub path_a: String,
+    /// "After" trace path.
+    pub path_b: String,
+    /// Relative-change significance threshold in `[0, 1]`.
+    pub threshold: f64,
+    /// Output format.
+    pub format: DiffFormat,
+    /// CI gate mode: append a PASS/FAIL line and exit 1 on regressions,
+    /// 2 on errors.
+    pub ci: bool,
+    /// Per-category threshold overrides (`--ci-threshold CAT=FRACTION`).
+    pub category_thresholds: Vec<(DeltaCategory, f64)>,
+    /// Run the coarse pass on both traces (default true).
+    pub coarse: bool,
+    /// Run the fine pass on both traces (default false).
+    pub fine: bool,
+    /// Run race detection on both traces.
+    pub races: bool,
+    /// Reuse-distance line size, if enabled.
+    pub reuse: Option<u64>,
+    /// Number of analysis shards (0 = synchronous engine).
+    pub shards: usize,
+    /// Worker threads decoding each trace's columnar batches.
+    pub decode_threads: usize,
+}
+
+impl DiffArgs {
+    fn new(path_a: String, path_b: String) -> Self {
+        DiffArgs {
+            path_a,
+            path_b,
+            threshold: 0.10,
+            format: DiffFormat::Text,
+            ci: false,
+            category_thresholds: Vec::new(),
+            coarse: true,
+            fine: false,
+            races: false,
+            reuse: None,
+            shards: 0,
             decode_threads: 1,
         }
     }
@@ -326,10 +396,13 @@ usage:
   vex speedup <app> [--device 2080ti|a100]
   vex gvprof <app>
   vex record <app> [-o|--output PATH] [--device 2080ti|a100] [--no-coarse] [--fine]
+               [--variant baseline|optimized]
                [--kernel-sampling N] [--block-sampling N] [--filter SUBSTR]...
                [--push URL] [--spool-dir DIR]
                record the canonical event stream to a .vex trace (default trace.vex);
-               sampling and filters are baked into the trace; --push streams
+               sampling and filters are baked into the trace; --variant
+               optimized runs the workload with the paper's fix applied
+               (the natural after-side input for `vex diff`); --push streams
                the finished trace to a running `vex serve --ingest` (id = the
                output file stem) instead of writing it to disk, retrying with
                backoff on transient failures; with --spool-dir the trace is
@@ -343,24 +416,43 @@ usage:
   vex replay <trace.vex> --gvprof [--kernel-sampling N] [--block-sampling N]
                [--decode-threads N]
                replay a --fine trace through the GVProf baseline
-  vex info <trace.vex>
+  vex diff <a.vex> <b.vex> [--threshold FRACTION] [--format text|json] [--ci]
+               [--ci-threshold CATEGORY=FRACTION]... [--no-coarse] [--fine]
+               [--races] [--reuse LINE_BYTES] [--shards N] [--decode-threads N]
+               replay both traces with identical options and report what
+               changed: per-object pattern appearances/disappearances,
+               redundancy / dead-store / duplicate byte swings, access-count
+               swings, copy-strategy recommendation changes, and new/removed
+               objects and kernels, ranked by estimated byte cost; changes
+               below --threshold (default 0.10 relative) are noise and
+               dropped; --ci appends a PASS/FAIL line and exits 1 when any
+               regression survives the thresholds (0 clean, 2 error) —
+               --ci-threshold overrides the gate per category (categories:
+               pattern redundancy dead-store duplicate access copy-strategy
+               invocations traffic object-set kernel-set)
+  vex info <trace.vex> [--format text|json]
                print the container header (format version, device preset)
                and per-event-type counts without materializing the trace;
-               a damaged trace reports its salvageable prefix instead
+               a damaged trace reports its salvageable prefix instead;
+               --format json emits the same summary machine-readably
   vex repair <trace.vex> [<out.vex>]
                recover the longest valid frame prefix of a truncated or
                corrupt trace (e.g. from a recording killed mid-run) into a
                new valid container (default out: <stem>.repaired.vex) and
                print a loss report
   vex serve <dir> [--addr HOST:PORT] [--workers N] [--cache-entries K]
-               [--decode-threads N] [--memory-budget BYTES[k|m|g]] [--ingest]
+               [--decode-threads N] [--memory-budget BYTES[k|m|g]]
+               [--trace-ttl SECS] [--ingest]
                [--max-ingest-bytes BYTES[k|m|g]] [--strict]
                index every .vex trace in <dir> (cheap skip-scan, no full
                decode) and serve profile queries over HTTP: /traces,
                /traces/{id}/report, /traces/{id}/flowgraph,
                /traces/{id}/objects, /traces/{id}/kernels, /healthz, /metrics;
                traces decode lazily per report and --memory-budget bounds the
-               resident decoded bytes (LRU eviction); --ingest enables
+               resident decoded bytes (LRU eviction); --trace-ttl evicts
+               decoded traces idle longer than SECS seconds ahead of LRU
+               pressure (GET /traces/{a}/diff/{b} compares two traces);
+               --ingest enables
                POST /ingest/{id} and DELETE /traces/{id} (bodies capped by
                --max-ingest-bytes, default 64m); corrupt traces are
                quarantined unless --strict
@@ -380,6 +472,26 @@ fn parse_device(v: &str) -> Result<Device, UsageError> {
         "2080ti" | "rtx2080ti" | "rtx-2080-ti" => Ok(Device::Rtx2080Ti),
         "a100" => Ok(Device::A100),
         other => Err(UsageError(format!("unknown device '{other}'"))),
+    }
+}
+
+fn parse_variant(v: &str) -> Result<Variant, UsageError> {
+    match v.to_ascii_lowercase().as_str() {
+        "baseline" | "base" => Ok(Variant::Baseline),
+        "optimized" | "opt" => Ok(Variant::Optimized),
+        other => Err(UsageError(format!(
+            "unknown variant '{other}' (expected baseline or optimized)"
+        ))),
+    }
+}
+
+fn parse_diff_format(v: &str) -> Result<DiffFormat, UsageError> {
+    match v {
+        "text" => Ok(DiffFormat::Text),
+        "json" => Ok(DiffFormat::Json),
+        other => {
+            Err(UsageError(format!("unknown diff format '{other}' (expected text or json)")))
+        }
     }
 }
 
@@ -515,6 +627,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     "--device" => r.device = parse_device(take_value(flag, &mut it)?)?,
                     "--no-coarse" => r.coarse = false,
                     "--fine" => r.fine = true,
+                    "--variant" => r.variant = parse_variant(take_value(flag, &mut it)?)?,
                     "--kernel-sampling" => {
                         r.kernel_sampling = take_value(flag, &mut it)?
                             .parse()
@@ -611,19 +724,112 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
             }
             Ok(Command::Replay(r))
         }
+        "diff" => {
+            let path_a =
+                it.next().ok_or_else(|| UsageError("diff requires two trace paths".into()))?;
+            if path_a == "--help" || path_a == "-h" {
+                return Ok(Command::Help);
+            }
+            let path_b =
+                it.next().ok_or_else(|| UsageError("diff requires two trace paths".into()))?;
+            if path_b == "--help" || path_b == "-h" {
+                return Ok(Command::Help);
+            }
+            let mut d = DiffArgs::new(path_a.to_owned(), path_b.to_owned());
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "--threshold" => {
+                        d.threshold = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid threshold".into()))?;
+                        if !(0.0..=1.0).contains(&d.threshold) {
+                            return Err(UsageError("--threshold must be within [0, 1]".into()));
+                        }
+                    }
+                    "--format" => d.format = parse_diff_format(take_value(flag, &mut it)?)?,
+                    "--ci" => d.ci = true,
+                    "--ci-threshold" => {
+                        let spec = take_value(flag, &mut it)?;
+                        let (cat, frac) = spec.split_once('=').ok_or_else(|| {
+                            UsageError(format!(
+                                "--ci-threshold takes CATEGORY=FRACTION, got '{spec}'"
+                            ))
+                        })?;
+                        let cat = DeltaCategory::parse(cat).ok_or_else(|| {
+                            UsageError(format!("unknown diff category '{cat}'"))
+                        })?;
+                        let frac: f64 = frac
+                            .parse()
+                            .map_err(|_| UsageError("invalid threshold fraction".into()))?;
+                        if !(0.0..=1.0).contains(&frac) {
+                            return Err(UsageError(
+                                "--ci-threshold fraction must be within [0, 1]".into(),
+                            ));
+                        }
+                        d.category_thresholds.push((cat, frac));
+                    }
+                    "--no-coarse" => d.coarse = false,
+                    "--fine" => d.fine = true,
+                    "--races" => d.races = true,
+                    "--reuse" => {
+                        d.reuse = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|_| UsageError("invalid reuse line size".into()))?,
+                        )
+                    }
+                    "--shards" => {
+                        d.shards = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid shard count".into()))?
+                    }
+                    "--decode-threads" => {
+                        d.decode_threads = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid decode thread count".into()))?;
+                        if d.decode_threads == 0 {
+                            return Err(UsageError(
+                                "--decode-threads must be at least 1".into(),
+                            ));
+                        }
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if !d.coarse && !d.fine {
+                return Err(UsageError("at least one of coarse/fine must stay enabled".into()));
+            }
+            if !d.category_thresholds.is_empty() && !d.ci {
+                return Err(UsageError("--ci-threshold only applies with --ci".into()));
+            }
+            Ok(Command::Diff(d))
+        }
         "info" => {
             let path =
                 it.next().ok_or_else(|| UsageError("info requires a trace path".into()))?;
             if path == "--help" || path == "-h" {
                 return Ok(Command::Help);
             }
-            if let Some(flag) = it.next() {
-                return match flag {
-                    "--help" | "-h" => Ok(Command::Help),
-                    other => Err(UsageError(format!("unknown flag '{other}'"))),
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--help" | "-h" => return Ok(Command::Help),
+                    "--format" => {
+                        json = match take_value(flag, &mut it)? {
+                            "text" => false,
+                            "json" => true,
+                            other => {
+                                return Err(UsageError(format!(
+                                    "unknown info format '{other}' (expected text or json)"
+                                )))
+                            }
+                        }
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 };
             }
-            Ok(Command::Info { path: path.to_owned() })
+            Ok(Command::Info { path: path.to_owned(), json })
         }
         "repair" => {
             let input =
@@ -687,6 +893,17 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     }
                     "--memory-budget" => {
                         s.memory_budget = Some(parse_byte_size(take_value(flag, &mut it)?)?)
+                    }
+                    "--trace-ttl" => {
+                        let secs: u64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| UsageError("invalid trace TTL".into()))?;
+                        if secs == 0 {
+                            return Err(UsageError(
+                                "--trace-ttl must be at least 1 second".into(),
+                            ));
+                        }
+                        s.trace_ttl = Some(secs);
                     }
                     "--ingest" => s.ingest = true,
                     "--max-ingest-bytes" => {
@@ -756,16 +973,30 @@ pub fn find_app(name: &str) -> Result<Box<dyn GpuApp>, UsageError> {
     Err(UsageError(format!("unknown app '{name}'; available: {}", names.join(", "))))
 }
 
-/// Executes a parsed command, writing human output to `out`.
+/// Executes a parsed command, writing human output to `out`, and
+/// returns the process exit code: `0` on success, and for
+/// `vex diff --ci` `1` when the regression gate trips and `2` when the
+/// comparison itself failed (missing trace, decode error).
 ///
 /// # Errors
 ///
 /// Returns [`UsageError`] for unknown app names; I/O failures writing
 /// requested artefacts are reported as usage errors too (the path was the
 /// user's input).
-pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError> {
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<i32, UsageError> {
+    match cmd {
+        Command::Diff(d) => run_diff(d, out),
+        other => run_unit(other, out).map(|()| 0),
+    }
+}
+
+/// The commands whose only outcomes are "worked" (exit 0) or a
+/// [`UsageError`]; `vex diff` carries real exit codes and lives in
+/// [`run_diff`].
+fn run_unit(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError> {
     let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
     match cmd {
+        Command::Diff(_) => unreachable!("diff is dispatched by run()"),
         Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
         Command::List => {
             for app in all_apps() {
@@ -872,7 +1103,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                 // Push mode: record into memory and stream the finished
                 // trace to the server — no local file is written.
                 let rec = b.record(&mut rt, Vec::new()).map_err(io_err)?;
-                app.run(&mut rt, Variant::Baseline)
+                app.run(&mut rt, r.variant)
                     .map_err(|e| UsageError(format!("workload failed: {e}")))?;
                 let stats = rec.stats();
                 let bytes = rec
@@ -920,7 +1151,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             }
             let file = std::fs::File::create(&r.output).map_err(io_err)?;
             let rec = b.record(&mut rt, std::io::BufWriter::new(file)).map_err(io_err)?;
-            app.run(&mut rt, Variant::Baseline)
+            app.run(&mut rt, r.variant)
                 .map_err(|e| UsageError(format!("workload failed: {e}")))?;
             let stats = rec.stats();
             rec.finish(&mut rt).map_err(|e| UsageError(format!("trace write failed: {e}")))?;
@@ -1045,7 +1276,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
             }
             Ok(())
         }
-        Command::Info { path } => {
+        Command::Info { path, json } => {
             let s = match vex_trace::summary::summarize_file(std::path::Path::new(path)) {
                 Ok(s) => s,
                 Err(e) => {
@@ -1053,9 +1284,12 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
                     // crashed recording usually leaves one) before giving
                     // up, so the operator learns what `vex repair` would
                     // recover instead of just seeing the error.
-                    return info_salvage_fallback(path, &e, out);
+                    return info_salvage_fallback(path, &e, *json, out);
                 }
             };
+            if *json {
+                return write_info_json(path, &s, out);
+            }
             writeln!(out, "{path}").map_err(io_err)?;
             writeln!(out, "  format version:        {}", s.version).map_err(io_err)?;
             writeln!(out, "  device preset:         {}", s.device).map_err(io_err)?;
@@ -1149,6 +1383,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), UsageError
 fn info_salvage_fallback(
     path: &str,
     error: &vex_trace::codec::DecodeError,
+    json: bool,
     out: &mut dyn std::io::Write,
 ) -> Result<(), UsageError> {
     let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
@@ -1157,6 +1392,36 @@ fn info_salvage_fallback(
         .map_err(|_| cannot())?;
     if salvaged.report.frames_recovered == 0 {
         return Err(cannot());
+    }
+    if json {
+        let doc = serde_json::Value::Object(vec![
+            ("path".into(), serde_json::Value::Str(path.to_owned())),
+            ("format_version".into(), serde_json::Value::U64(u64::from(salvaged.version))),
+            (
+                "salvage".into(),
+                serde_json::Value::Object(vec![
+                    ("error".into(), serde_json::Value::Str(error.to_string())),
+                    (
+                        "frames_recovered".into(),
+                        serde_json::Value::U64(salvaged.report.frames_recovered),
+                    ),
+                    (
+                        "events_recovered".into(),
+                        serde_json::Value::U64(salvaged.events.len() as u64),
+                    ),
+                    (
+                        "bytes_recovered".into(),
+                        serde_json::Value::U64(salvaged.report.bytes_recovered),
+                    ),
+                    ("bytes_total".into(), serde_json::Value::U64(salvaged.report.bytes_total)),
+                    (
+                        "recoverable_percent".into(),
+                        serde_json::Value::F64(salvaged.report.recoverable_percent()),
+                    ),
+                ]),
+            ),
+        ]);
+        return write_json_doc(&doc, out);
     }
     writeln!(out, "{path}: damaged trace ({error})").map_err(io_err)?;
     writeln!(out, "  format version:        {}", salvaged.version).map_err(io_err)?;
@@ -1172,6 +1437,116 @@ fn info_salvage_fallback(
     )
     .map_err(io_err)?;
     writeln!(out, "  run `vex repair {path}` to rewrite the recoverable prefix").map_err(io_err)
+}
+
+/// Serializes a hand-built JSON document and writes it
+/// newline-terminated.
+fn write_json_doc(
+    doc: &serde_json::Value,
+    out: &mut dyn std::io::Write,
+) -> Result<(), UsageError> {
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| UsageError(format!("serialize failed: {e}")))?;
+    writeln!(out, "{json}").map_err(|e| UsageError(format!("i/o error: {e}")))
+}
+
+/// `vex info --format json`: the text summary as one JSON object.
+fn write_info_json(
+    path: &str,
+    s: &vex_trace::summary::TraceSummary,
+    out: &mut dyn std::io::Write,
+) -> Result<(), UsageError> {
+    use serde_json::Value;
+    let compression_ratio = if s.batch_bytes > 0 {
+        Value::F64((s.records * 32) as f64 / s.batch_bytes as f64)
+    } else {
+        Value::Null
+    };
+    let doc = Value::Object(vec![
+        ("path".into(), Value::Str(path.to_owned())),
+        ("format_version".into(), Value::U64(u64::from(s.version))),
+        ("device".into(), Value::Str(s.device.to_string())),
+        ("coarse".into(), Value::Bool(s.flags.coarse)),
+        ("fine".into(), Value::Bool(s.flags.fine)),
+        ("api_events".into(), Value::U64(s.api_events)),
+        ("kernel_launches".into(), Value::U64(s.kernel_launches)),
+        ("instrumented_launches".into(), Value::U64(s.instrumented_launches)),
+        ("skipped_launches".into(), Value::U64(s.skipped_launches)),
+        ("record_batches".into(), Value::U64(s.batches)),
+        ("fine_records".into(), Value::U64(s.records)),
+        ("record_bytes".into(), Value::U64(s.batch_bytes)),
+        ("compression_ratio".into(), compression_ratio),
+        ("call_path_contexts".into(), Value::U64(s.contexts)),
+        ("app_us".into(), Value::F64(s.app_us)),
+        ("salvage".into(), Value::Null),
+    ]);
+    write_json_doc(&doc, out)
+}
+
+/// Replays one trace for `vex diff` with the shared replay machinery.
+fn diff_replay(d: &DiffArgs, path: &str) -> Result<Profile, UsageError> {
+    let mut b = ValueExpert::builder()
+        .coarse(d.coarse)
+        .fine(d.fine)
+        .race_detection(d.races)
+        .analysis_shards(d.shards)
+        .decode_threads(d.decode_threads);
+    if let Some(line) = d.reuse {
+        b = b.reuse_distance(line);
+    }
+    let trace = vex_trace::container::read_trace_file_with(
+        std::path::Path::new(path),
+        &b.decode_options(),
+    )
+    .map_err(|e| UsageError(format!("cannot read trace '{path}': {e}")))?;
+    b.replay(&trace).map_err(|e| UsageError(e.to_string()))
+}
+
+/// `vex diff`: replay both traces with identical options, diff the
+/// profiles, render, and in `--ci` mode gate on regressions.
+fn run_diff(d: &DiffArgs, out: &mut dyn std::io::Write) -> Result<i32, UsageError> {
+    let io_err = |e: std::io::Error| UsageError(format!("i/o error: {e}"));
+    let compared = diff_replay(d, &d.path_a).and_then(|a| {
+        let b = diff_replay(d, &d.path_b)?;
+        let mut opts = DiffOptions { threshold: d.threshold, ..DiffOptions::default() };
+        for (cat, frac) in &d.category_thresholds {
+            opts.category_thresholds.insert(*cat, *frac);
+        }
+        Ok(diff_profiles(&a, &b, &opts))
+    });
+    let diff = match compared {
+        Ok(diff) => diff,
+        // The CI contract reserves exit 1 for "regression detected"; a
+        // comparison that never ran is reported as exit 2 instead.
+        Err(e) if d.ci => {
+            writeln!(out, "ci: ERROR — {}", e.0).map_err(io_err)?;
+            return Ok(2);
+        }
+        Err(e) => return Err(e),
+    };
+    match d.format {
+        DiffFormat::Text => write!(out, "{}", diff.render_text_document()).map_err(io_err)?,
+        DiffFormat::Json => {
+            let json = diff
+                .render_json_document()
+                .map_err(|e| UsageError(format!("serialize failed: {e}")))?;
+            write!(out, "{json}").map_err(io_err)?;
+        }
+    }
+    if d.ci {
+        if diff.has_regressions() {
+            writeln!(
+                out,
+                "ci: FAIL — {} regression(s) ({})",
+                diff.summary.regressions,
+                diff.summary.regression_categories.join(", ")
+            )
+            .map_err(io_err)?;
+            return Ok(1);
+        }
+        writeln!(out, "ci: PASS — no regressions above thresholds").map_err(io_err)?;
+    }
+    Ok(0)
 }
 
 /// `foo/bar.vex` → `foo/bar.repaired.vex`.
@@ -1194,6 +1569,7 @@ pub fn start_server(args: &ServeArgs) -> Result<vex_serve::Server, UsageError> {
         decode_threads: args.decode_threads,
         memory_budget: args.memory_budget,
         strict: args.strict,
+        trace_ttl: args.trace_ttl.map(std::time::Duration::from_secs),
     };
     let store = vex_serve::ProfileStore::load_dir_with(std::path::Path::new(&args.dir), &opts)
         .map_err(|e| UsageError(e.to_string()))?;
@@ -1431,7 +1807,7 @@ mod tests {
     fn parses_info() {
         assert_eq!(
             parse_args(["info", "t.vex"]).unwrap(),
-            Command::Info { path: "t.vex".into() }
+            Command::Info { path: "t.vex".into(), json: false }
         );
         assert_eq!(parse_args(["info", "--help"]).unwrap(), Command::Help);
         assert_eq!(parse_args(["info", "t.vex", "-h"]).unwrap(), Command::Help);
@@ -1625,6 +2001,17 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(["record", "darknet", "--spool-dir", "spool"]).is_err());
+        // record --variant selects the workload variant (default baseline).
+        match parse_args(["record", "backprop", "--variant", "optimized"]).unwrap() {
+            Command::Record(r) => assert_eq!(r.variant, Variant::Optimized),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(["record", "backprop"]).unwrap() {
+            Command::Record(r) => assert_eq!(r.variant, Variant::Baseline),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(["record", "backprop", "--variant", "frobnicated"]).is_err());
+        assert!(parse_args(["record", "backprop", "--variant"]).is_err());
         assert!(USAGE.contains("vex push"), "{USAGE}");
         assert!(USAGE.contains("--push"), "{USAGE}");
         assert!(USAGE.contains("--spool-dir"), "{USAGE}");
@@ -1791,7 +2178,8 @@ mod tests {
 
         // `vex info` reports the salvageable prefix, not a bare error.
         let mut out = Vec::new();
-        run(&Command::Info { path: cut.to_str().unwrap().to_owned() }, &mut out).unwrap();
+        run(&Command::Info { path: cut.to_str().unwrap().to_owned(), json: false }, &mut out)
+            .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("damaged trace"), "{s}");
         assert!(s.contains("frames recovered"), "{s}");
@@ -1811,13 +2199,21 @@ mod tests {
         assert!(repaired.is_file());
         // The repaired trace now summarizes cleanly.
         let mut out = Vec::new();
-        run(&Command::Info { path: repaired.to_str().unwrap().to_owned() }, &mut out).unwrap();
+        run(
+            &Command::Info { path: repaired.to_str().unwrap().to_owned(), json: false },
+            &mut out,
+        )
+        .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("format version"), "{s}");
         assert!(!s.contains("damaged"), "{s}");
         // A missing file still errors — salvage only softens decode
         // failures, not i/o ones.
-        assert!(run(&Command::Info { path: "missing.vex".into() }, &mut Vec::new()).is_err());
+        assert!(run(
+            &Command::Info { path: "missing.vex".into(), json: false },
+            &mut Vec::new()
+        )
+        .is_err());
         std::fs::remove_dir_all(&base).ok();
     }
 
@@ -1915,7 +2311,7 @@ mod tests {
         run(&Command::Record(rec), &mut Vec::new()).unwrap();
 
         let mut out = Vec::new();
-        run(&Command::Info { path: trace.clone() }, &mut out).unwrap();
+        run(&Command::Info { path: trace.clone(), json: false }, &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("format version:        2"), "{s}");
         assert!(s.contains("device preset:"), "{s}");
@@ -1931,8 +2327,9 @@ mod tests {
         // v2 columnar batches land well under the 32-byte fixed records.
         assert!(summary.batch_bytes > 0 && summary.batch_bytes < summary.records * 32, "{s}");
 
-        let err = run(&Command::Info { path: "missing.vex".into() }, &mut Vec::new())
-            .expect_err("missing file errors");
+        let err =
+            run(&Command::Info { path: "missing.vex".into(), json: false }, &mut Vec::new())
+                .expect_err("missing file errors");
         assert!(err.0.contains("missing.vex"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,8 +10,14 @@ fn main() {
         }
     };
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) = vex_cli::run(&parsed, &mut stdout) {
-        eprintln!("{e}");
-        std::process::exit(1);
+    match vex_cli::run(&parsed, &mut stdout) {
+        Ok(code) => {
+            drop(stdout);
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     }
 }

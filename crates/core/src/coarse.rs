@@ -12,7 +12,7 @@
 //!
 //! The same pass constructs the value flow graph of §5.2.
 
-use crate::copy_strategy::{plan_adaptive, AdaptivePolicy, CopyPlan};
+use crate::copy_strategy::{plan_adaptive, AdaptivePolicy, CopyPlan, ObjectCopyPlan};
 use crate::flowgraph::{AccessKind, FlowGraph, VertexId, VertexKind};
 use crate::interval::{merge_parallel, Interval};
 // The warp-level interval monitor now lives with the canonical event model
@@ -113,6 +113,7 @@ pub struct CoarseState {
     redundancies: Vec<RedundancyFinding>,
     duplicates: Vec<DuplicateFinding>,
     seen_duplicates: BTreeSet<(AllocId, AllocId, VertexId)>,
+    copy_plans: BTreeMap<String, ObjectCopyPlan>,
     traffic: CoarseTraffic,
     /// Intervals of the in-flight kernel (if any).
     pub(crate) current_kernel: Option<KernelIntervals>,
@@ -130,6 +131,7 @@ impl CoarseState {
             redundancies: Vec::new(),
             duplicates: Vec::new(),
             seen_duplicates: BTreeSet::new(),
+            copy_plans: BTreeMap::new(),
             traffic: CoarseTraffic::default(),
             current_kernel: None,
         }
@@ -150,16 +152,29 @@ impl CoarseState {
         &self.duplicates
     }
 
+    /// Per-object copy-strategy tallies, sorted by allocation label.
+    pub fn copy_plans(&self) -> Vec<ObjectCopyPlan> {
+        self.copy_plans.values().cloned().collect()
+    }
+
     /// Measurement traffic counters.
     pub fn traffic(&self) -> CoarseTraffic {
         self.traffic
     }
 
     /// Consumes the analyzer, returning its products.
+    #[allow(clippy::type_complexity)]
     pub fn into_parts(
         self,
-    ) -> (FlowGraph, Vec<RedundancyFinding>, Vec<DuplicateFinding>, CoarseTraffic) {
-        (self.flow, self.redundancies, self.duplicates, self.traffic)
+    ) -> (
+        FlowGraph,
+        Vec<RedundancyFinding>,
+        Vec<DuplicateFinding>,
+        Vec<ObjectCopyPlan>,
+        CoarseTraffic,
+    ) {
+        let plans = self.copy_plans.into_values().collect();
+        (self.flow, self.redundancies, self.duplicates, plans, self.traffic)
     }
 
     /// Handles one API event (after execution).
@@ -305,6 +320,10 @@ impl CoarseState {
         let plan: CopyPlan = plan_adaptive(intervals, state.shadow.len() as u64, &self.policy);
         self.traffic.snapshot_bytes += plan.bytes;
         self.traffic.snapshot_calls += plan.calls;
+        self.copy_plans
+            .entry(label.to_owned())
+            .or_insert_with(|| ObjectCopyPlan::new(label))
+            .tally(&plan);
 
         let mut written = 0u64;
         let mut unchanged = 0u64;

@@ -60,6 +60,64 @@ impl CopyPlan {
     }
 }
 
+/// Per-object tally of the adaptive policy's choices across a session:
+/// how many snapshot updates picked each strategy and what the transfers
+/// cost. The dominant choice is the object's *recommended* copy strategy
+/// — the knob a user would bake into a custom capture config — and the
+/// quantity `vex diff` compares across builds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectCopyPlan {
+    /// Allocation label of the object.
+    pub label: String,
+    /// Updates that chose the direct strategy.
+    pub direct: u64,
+    /// Updates that chose the min–max strategy.
+    pub min_max: u64,
+    /// Updates that chose the segment strategy.
+    pub segment: u64,
+    /// Bytes transferred across all updates.
+    pub bytes: u64,
+    /// Transferred bytes no access touched.
+    pub wasted_bytes: u64,
+}
+
+impl ObjectCopyPlan {
+    /// An empty tally for `label`.
+    pub fn new(label: &str) -> Self {
+        ObjectCopyPlan { label: label.to_owned(), ..ObjectCopyPlan::default() }
+    }
+
+    /// Records one executed plan.
+    pub fn tally(&mut self, plan: &CopyPlan) {
+        match plan.strategy {
+            CopyStrategy::Direct => self.direct += 1,
+            CopyStrategy::MinMax => self.min_max += 1,
+            CopyStrategy::Segment => self.segment += 1,
+        }
+        self.bytes += plan.bytes;
+        self.wasted_bytes += plan.wasted_bytes;
+    }
+
+    /// Total snapshot updates tallied.
+    pub fn updates(&self) -> u64 {
+        self.direct + self.min_max + self.segment
+    }
+
+    /// The dominant strategy. Ties prefer the fewer-calls option, in
+    /// `Direct` < `MinMax` < `Segment` order, so the recommendation is
+    /// deterministic.
+    pub fn recommended(&self) -> CopyStrategy {
+        let mut best = (CopyStrategy::Direct, self.direct);
+        if self.min_max > best.1 {
+            best = (CopyStrategy::MinMax, self.min_max);
+        }
+        if self.segment > best.1 {
+            best = (CopyStrategy::Segment, self.segment);
+        }
+        best.0
+    }
+}
+
 /// Tuning knobs of the adaptive policy.
 ///
 /// The policy realizes the paper's rule — "segment copy when the

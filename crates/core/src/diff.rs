@@ -1,0 +1,945 @@
+//! Differential profiling — structural comparison of two [`Profile`]s.
+//!
+//! A production profiling fleet rarely asks "what is slow?" once; it asks
+//! "what *changed* since the last build?". This module compares two
+//! profiles structurally rather than textually: data objects are matched
+//! across traces by allocation label + allocation callpath, kernels by
+//! name, and each matched pair is reduced to a set of typed deltas —
+//! patterns appearing or disappearing, redundancy/dead-store byte swings,
+//! duplicate-byte swings, per-(kernel, direction) access-count swings,
+//! and adaptive copy-strategy recommendation changes — ranked by
+//! estimated byte cost. Unmatched (new/removed) objects and kernels get
+//! their own sections.
+//!
+//! The comparison is *oriented*: `diff(before, after)` classifies a
+//! disappearing inefficiency as an improvement and an appearing one as a
+//! regression, so the same engine drives both the interactive `vex diff`
+//! report and the CI gate (`--ci`: exit 1 when any regression survives
+//! the thresholds).
+//!
+//! Like every other rendered surface, the diff has exactly one text and
+//! one JSON entry point ([`ProfileDiff::render_text_document`],
+//! [`ProfileDiff::render_json_document`]); the CLI and `vex serve` both
+//! call them, so their outputs are byte-identical by construction.
+
+use crate::copy_strategy::ObjectCopyPlan;
+use crate::fine::Direction;
+use crate::flowgraph::VertexKind;
+use crate::patterns::ValuePattern;
+use crate::report::{human_bytes, Profile};
+use serde::{Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Metric family of one delta. Categories are the unit of CI gating:
+/// each can carry its own significance threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeltaCategory {
+    /// A fine-grained value pattern appeared or disappeared on an
+    /// object.
+    Pattern,
+    /// Redundant-write bytes of an object changed.
+    Redundancy,
+    /// Dead-store bytes (writes that left *every* byte unchanged)
+    /// changed.
+    DeadStore,
+    /// Duplicated bytes of an object changed.
+    Duplicate,
+    /// Analyzed access count of one (kernel, object, direction) changed.
+    Access,
+    /// The recommended adaptive copy strategy of an object changed.
+    CopyStrategy,
+    /// A kernel's invocation count changed.
+    Invocations,
+    /// A trace-global traffic counter changed.
+    Traffic,
+    /// An object exists in only one of the two profiles.
+    ObjectSet,
+    /// A kernel exists in only one of the two profiles.
+    KernelSet,
+}
+
+impl DeltaCategory {
+    /// Every category, in rendering order.
+    pub const ALL: [DeltaCategory; 10] = [
+        DeltaCategory::Pattern,
+        DeltaCategory::Redundancy,
+        DeltaCategory::DeadStore,
+        DeltaCategory::Duplicate,
+        DeltaCategory::Access,
+        DeltaCategory::CopyStrategy,
+        DeltaCategory::Invocations,
+        DeltaCategory::Traffic,
+        DeltaCategory::ObjectSet,
+        DeltaCategory::KernelSet,
+    ];
+
+    /// Stable kebab-case name (JSON value and CLI `--ci-threshold` key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaCategory::Pattern => "pattern",
+            DeltaCategory::Redundancy => "redundancy",
+            DeltaCategory::DeadStore => "dead-store",
+            DeltaCategory::Duplicate => "duplicate",
+            DeltaCategory::Access => "access",
+            DeltaCategory::CopyStrategy => "copy-strategy",
+            DeltaCategory::Invocations => "invocations",
+            DeltaCategory::Traffic => "traffic",
+            DeltaCategory::ObjectSet => "object-set",
+            DeltaCategory::KernelSet => "kernel-set",
+        }
+    }
+
+    /// Parses a kebab-case category name.
+    pub fn parse(s: &str) -> Option<DeltaCategory> {
+        DeltaCategory::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for DeltaCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for DeltaCategory {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_owned())
+    }
+}
+
+/// Whether a delta moves the profile toward or away from the paper's
+/// recommendations — the CI gate trips on regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeltaDirection {
+    /// An inefficiency shrank or vanished.
+    Improvement,
+    /// An inefficiency grew or appeared.
+    Regression,
+    /// A structural change with no inherent sign.
+    Info,
+}
+
+impl DeltaDirection {
+    /// Stable lowercase name (JSON value and text tag).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaDirection::Improvement => "improvement",
+            DeltaDirection::Regression => "regression",
+            DeltaDirection::Info => "info",
+        }
+    }
+}
+
+impl std::fmt::Display for DeltaDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for DeltaDirection {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_owned())
+    }
+}
+
+/// One significant change, attributed to an object, kernel, or the
+/// whole trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Delta {
+    /// Metric family.
+    pub category: DeltaCategory,
+    /// Improvement / regression / informational.
+    pub direction: DeltaDirection,
+    /// Human-readable description of the change.
+    pub detail: String,
+    /// Metric value in the first (before) profile.
+    pub before: u64,
+    /// Metric value in the second (after) profile.
+    pub after: u64,
+    /// Estimated bytes at stake — the ranking key.
+    pub cost: u64,
+}
+
+/// All significant deltas of one object matched across both profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObjectDelta {
+    /// Allocation label.
+    pub label: String,
+    /// Rendered allocation callpath (the match key's second half).
+    pub context: String,
+    /// Total estimated cost (sum of delta costs) — the ranking key.
+    pub cost: u64,
+    /// Significant deltas, ranked by cost.
+    pub deltas: Vec<Delta>,
+}
+
+/// All significant deltas of one kernel matched across both profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelDelta {
+    /// Kernel name (the match key).
+    pub name: String,
+    /// Total estimated cost — the ranking key.
+    pub cost: u64,
+    /// Significant deltas, ranked by cost.
+    pub deltas: Vec<Delta>,
+}
+
+/// An object present in only one of the two profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnmatchedObject {
+    /// Allocation label.
+    pub label: String,
+    /// Rendered allocation callpath.
+    pub context: String,
+    /// Regression when a *new* object carries findings, improvement when
+    /// a *removed* object carried findings, info otherwise.
+    pub direction: DeltaDirection,
+    /// Fine-grained patterns the object's accesses exhibited.
+    pub patterns: Vec<String>,
+    /// Redundant-write bytes attributed to the object.
+    pub redundant_bytes: u64,
+    /// Analyzed accesses touching the object.
+    pub accesses: u64,
+    /// Estimated bytes at stake.
+    pub cost: u64,
+}
+
+/// A kernel present in only one of the two profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnmatchedKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Launch count in the profile that has it.
+    pub invocations: u64,
+    /// Bytes accessed in the profile that has it.
+    pub bytes: u64,
+}
+
+/// Roll-up counts over every section.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DiffSummary {
+    /// Deltas classified as improvements.
+    pub improvements: u64,
+    /// Deltas classified as regressions — the CI gate trips when > 0.
+    pub regressions: u64,
+    /// Informational deltas.
+    pub infos: u64,
+    /// Categories with at least one regression, sorted.
+    pub regression_categories: Vec<String>,
+}
+
+/// The structural difference between two profiles — `vex diff`'s data
+/// model and the JSON schema of `GET /traces/{a}/diff/{b}?format=json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileDiff {
+    /// Global significance threshold (relative change) applied where no
+    /// per-category override was given.
+    pub threshold: f64,
+    /// Roll-up counts.
+    pub summary: DiffSummary,
+    /// Matched objects with significant deltas, ranked by cost.
+    pub objects: Vec<ObjectDelta>,
+    /// Matched kernels with significant deltas, ranked by cost.
+    pub kernels: Vec<KernelDelta>,
+    /// Objects only in the second profile.
+    pub new_objects: Vec<UnmatchedObject>,
+    /// Objects only in the first profile.
+    pub removed_objects: Vec<UnmatchedObject>,
+    /// Kernels only in the second profile.
+    pub new_kernels: Vec<UnmatchedKernel>,
+    /// Kernels only in the first profile.
+    pub removed_kernels: Vec<UnmatchedKernel>,
+    /// Trace-global traffic deltas (informational).
+    pub traffic: Vec<Delta>,
+}
+
+/// Tuning of [`diff_profiles`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative-change significance threshold in `[0, 1]`: a metric
+    /// delta below it is noise and dropped. Presence changes (patterns,
+    /// strategy recommendations, object/kernel sets) ignore it.
+    pub threshold: f64,
+    /// Per-category overrides of `threshold` (CI gating knobs).
+    pub category_thresholds: BTreeMap<DeltaCategory, f64>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { threshold: 0.10, category_thresholds: BTreeMap::new() }
+    }
+}
+
+impl DiffOptions {
+    fn threshold_for(&self, category: DeltaCategory) -> f64 {
+        self.category_thresholds.get(&category).copied().unwrap_or(self.threshold)
+    }
+}
+
+/// One profile reduced to diffable per-object / per-kernel views.
+struct SideView {
+    /// (label, rendered allocation context) → object view.
+    objects: BTreeMap<(String, String), ObjectView>,
+    /// kernel name → view.
+    kernels: BTreeMap<String, KernelView>,
+    /// Trace-global counters, in fixed order.
+    traffic: Vec<(&'static str, u64)>,
+}
+
+#[derive(Default)]
+struct ObjectView {
+    /// (kernel, direction, pattern) → analyzed accesses of the finding.
+    patterns: BTreeMap<(String, Direction, ValuePattern), u64>,
+    /// (kernel, direction) → analyzed accesses.
+    accesses: BTreeMap<(String, Direction), u64>,
+    /// Redundant (unchanged) write bytes, summed over findings.
+    redundant: u64,
+    /// Bytes of writes that left every byte unchanged.
+    dead_store: u64,
+    /// Duplicated bytes, summed over duplicate findings.
+    duplicate: u64,
+    /// Copy-strategy tally, when the coarse pass ran.
+    copy: Option<ObjectCopyPlan>,
+}
+
+struct KernelView {
+    invocations: u64,
+    bytes: u64,
+}
+
+fn side_view(p: &Profile) -> SideView {
+    // Object inventory and match keys come from Alloc vertices: label +
+    // rendered allocation callpath. Labels are unique per application in
+    // practice; a duplicated label under a different callpath is a
+    // distinct object.
+    let mut alloc_context: BTreeMap<String, String> = BTreeMap::new();
+    let mut kernels: BTreeMap<String, KernelView> = BTreeMap::new();
+    for v in p.flow_graph.vertices() {
+        match v.kind {
+            VertexKind::Alloc => {
+                let ctx = p.contexts.get(&v.context).cloned().unwrap_or_default();
+                alloc_context.entry(v.name.clone()).or_insert(ctx);
+            }
+            VertexKind::Kernel => {
+                let k = kernels
+                    .entry(v.name.clone())
+                    .or_insert(KernelView { invocations: 0, bytes: 0 });
+                k.invocations += v.invocations;
+                k.bytes += v.bytes;
+            }
+            _ => {}
+        }
+    }
+    let key_of = |label: &str| -> (String, String) {
+        (label.to_owned(), alloc_context.get(label).cloned().unwrap_or_default())
+    };
+
+    let mut objects: BTreeMap<(String, String), ObjectView> = BTreeMap::new();
+    for label in alloc_context.keys() {
+        objects.entry(key_of(label)).or_default();
+    }
+    for f in &p.fine_findings {
+        let view = objects.entry(key_of(&f.object)).or_default();
+        *view.accesses.entry((f.kernel.clone(), f.direction)).or_insert(0) += f.accesses;
+        for h in &f.hits {
+            let slot =
+                view.patterns.entry((f.kernel.clone(), f.direction, h.pattern)).or_insert(0);
+            *slot = (*slot).max(f.accesses);
+        }
+    }
+    for r in &p.redundancies {
+        let view = objects.entry(key_of(&r.object_label)).or_default();
+        view.redundant += r.unchanged_bytes;
+        if r.unchanged_bytes == r.written_bytes {
+            view.dead_store += r.written_bytes;
+        }
+    }
+    for d in &p.duplicates {
+        for label in [&d.labels.0, &d.labels.1] {
+            objects.entry(key_of(label)).or_default().duplicate += d.bytes;
+        }
+    }
+    for plan in &p.copy_plans {
+        objects.entry(key_of(&plan.label)).or_default().copy = Some(plan.clone());
+    }
+
+    let traffic = vec![
+        ("raw access intervals", p.coarse_traffic.raw_intervals),
+        ("snapshot bytes", p.coarse_traffic.snapshot_bytes),
+        ("snapshot copy calls", p.coarse_traffic.snapshot_calls),
+        ("bytes hashed", p.coarse_traffic.bytes_hashed),
+        ("bytes compared", p.coarse_traffic.bytes_compared),
+        ("fine records analyzed", p.fine_traffic.records_analyzed),
+        ("instrumented launches", p.fine_traffic.launches),
+    ];
+    SideView { objects, kernels, traffic }
+}
+
+/// Relative change of a metric: `|a - b| / max(a, b)`; 0 when equal.
+fn relative_change(a: u64, b: u64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let hi = a.max(b) as f64;
+    (a.abs_diff(b)) as f64 / hi
+}
+
+/// Renders `before -> after` with a signed percentage.
+fn change_detail(what: &str, before: u64, after: u64, bytes: bool) -> String {
+    let render = |v: u64| if bytes { human_bytes(v) } else { v.to_string() };
+    let pct = if before == 0 {
+        "new".to_owned()
+    } else {
+        format!("{:+.1}%", (after as f64 - before as f64) / before as f64 * 100.0)
+    };
+    format!("{what}: {} -> {} ({pct})", render(before), render(after))
+}
+
+/// Improvement when the metric shrank, regression when it grew.
+fn shrink_is_good(before: u64, after: u64) -> DeltaDirection {
+    if after < before {
+        DeltaDirection::Improvement
+    } else {
+        DeltaDirection::Regression
+    }
+}
+
+/// Pushes a counter delta when it clears the category's threshold.
+#[allow(clippy::too_many_arguments)]
+fn push_metric_delta(
+    deltas: &mut Vec<Delta>,
+    opts: &DiffOptions,
+    category: DeltaCategory,
+    what: &str,
+    before: u64,
+    after: u64,
+    bytes: bool,
+    direction: Option<DeltaDirection>,
+) {
+    if relative_change(before, after) < opts.threshold_for(category) || before == after {
+        return;
+    }
+    let cost = if bytes { before.abs_diff(after) } else { before.abs_diff(after) * 4 };
+    deltas.push(Delta {
+        category,
+        direction: direction.unwrap_or_else(|| shrink_is_good(before, after)),
+        detail: change_detail(what, before, after, bytes),
+        before,
+        after,
+        cost,
+    });
+}
+
+fn object_deltas(opts: &DiffOptions, a: &ObjectView, b: &ObjectView) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+
+    // Patterns appearing / disappearing per (kernel, direction).
+    let keys: BTreeSet<_> = a.patterns.keys().chain(b.patterns.keys()).cloned().collect();
+    for key in keys {
+        let (kernel, direction, pattern) = &key;
+        match (a.patterns.get(&key), b.patterns.get(&key)) {
+            (Some(&acc), None) => deltas.push(Delta {
+                category: DeltaCategory::Pattern,
+                direction: DeltaDirection::Improvement,
+                detail: format!("{pattern} ({direction} in {kernel}) disappeared"),
+                before: 1,
+                after: 0,
+                cost: acc.saturating_mul(4),
+            }),
+            (None, Some(&acc)) => deltas.push(Delta {
+                category: DeltaCategory::Pattern,
+                direction: DeltaDirection::Regression,
+                detail: format!("{pattern} ({direction} in {kernel}) appeared"),
+                before: 0,
+                after: 1,
+                cost: acc.saturating_mul(4),
+            }),
+            _ => {}
+        }
+    }
+
+    push_metric_delta(
+        &mut deltas,
+        opts,
+        DeltaCategory::Redundancy,
+        "redundant write bytes",
+        a.redundant,
+        b.redundant,
+        true,
+        None,
+    );
+    push_metric_delta(
+        &mut deltas,
+        opts,
+        DeltaCategory::DeadStore,
+        "dead-store bytes",
+        a.dead_store,
+        b.dead_store,
+        true,
+        None,
+    );
+    push_metric_delta(
+        &mut deltas,
+        opts,
+        DeltaCategory::Duplicate,
+        "duplicated bytes",
+        a.duplicate,
+        b.duplicate,
+        true,
+        None,
+    );
+
+    // Access-count swings per (kernel, direction), only where both sides
+    // observed the tuple (one-sided tuples surface as pattern deltas).
+    for (key, &before) in &a.accesses {
+        let Some(&after) = b.accesses.get(key) else { continue };
+        let (kernel, direction) = key;
+        push_metric_delta(
+            &mut deltas,
+            opts,
+            DeltaCategory::Access,
+            &format!("accesses ({direction} in {kernel})"),
+            before,
+            after,
+            false,
+            None,
+        );
+    }
+
+    // Copy-strategy recommendation changes (structural: threshold-free).
+    if let (Some(pa), Some(pb)) = (&a.copy, &b.copy) {
+        let (ra, rb) = (pa.recommended(), pb.recommended());
+        if ra != rb {
+            deltas.push(Delta {
+                category: DeltaCategory::CopyStrategy,
+                direction: DeltaDirection::Info,
+                detail: format!(
+                    "recommended snapshot copy strategy changed: {ra} -> {rb} \
+                     ({} of {} updates -> {} of {})",
+                    strategy_count(pa, ra),
+                    pa.updates(),
+                    strategy_count(pb, rb),
+                    pb.updates()
+                ),
+                before: pa.bytes,
+                after: pb.bytes,
+                cost: pa.bytes.max(pb.bytes),
+            });
+        }
+    }
+
+    deltas.sort_by(|x, y| y.cost.cmp(&x.cost).then_with(|| x.detail.cmp(&y.detail)));
+    deltas
+}
+
+fn strategy_count(p: &ObjectCopyPlan, s: crate::copy_strategy::CopyStrategy) -> u64 {
+    match s {
+        crate::copy_strategy::CopyStrategy::Direct => p.direct,
+        crate::copy_strategy::CopyStrategy::MinMax => p.min_max,
+        crate::copy_strategy::CopyStrategy::Segment => p.segment,
+    }
+}
+
+fn unmatched_object(
+    key: &(String, String),
+    view: &ObjectView,
+    removed: bool,
+) -> UnmatchedObject {
+    let patterns: BTreeSet<String> =
+        view.patterns.keys().map(|(_, _, p)| p.to_string()).collect();
+    let accesses: u64 = view.accesses.values().sum();
+    let has_findings = !patterns.is_empty() || view.redundant > 0 || view.duplicate > 0;
+    let direction = match (has_findings, removed) {
+        (false, _) => DeltaDirection::Info,
+        (true, true) => DeltaDirection::Improvement,
+        (true, false) => DeltaDirection::Regression,
+    };
+    UnmatchedObject {
+        label: key.0.clone(),
+        context: key.1.clone(),
+        direction,
+        patterns: patterns.into_iter().collect(),
+        redundant_bytes: view.redundant,
+        accesses,
+        cost: view.redundant + view.duplicate + accesses.saturating_mul(4),
+    }
+}
+
+/// Compares two profiles structurally. `a` is the "before" side and `b`
+/// the "after": inefficiencies present only in `a` count as
+/// improvements, only in `b` as regressions.
+pub fn diff_profiles(a: &Profile, b: &Profile, opts: &DiffOptions) -> ProfileDiff {
+    let va = side_view(a);
+    let vb = side_view(b);
+
+    let mut objects = Vec::new();
+    let mut new_objects = Vec::new();
+    let mut removed_objects = Vec::new();
+    let object_keys: BTreeSet<_> = va.objects.keys().chain(vb.objects.keys()).collect();
+    for key in object_keys {
+        match (va.objects.get(key), vb.objects.get(key)) {
+            (Some(oa), Some(ob)) => {
+                let deltas = object_deltas(opts, oa, ob);
+                if !deltas.is_empty() {
+                    objects.push(ObjectDelta {
+                        label: key.0.clone(),
+                        context: key.1.clone(),
+                        cost: deltas.iter().map(|d| d.cost).sum(),
+                        deltas,
+                    });
+                }
+            }
+            (Some(oa), None) => removed_objects.push(unmatched_object(key, oa, true)),
+            (None, Some(ob)) => new_objects.push(unmatched_object(key, ob, false)),
+            (None, None) => unreachable!("key came from one of the maps"),
+        }
+    }
+    objects.sort_by(|x, y| {
+        y.cost.cmp(&x.cost).then_with(|| (&x.label, &x.context).cmp(&(&y.label, &y.context)))
+    });
+    for list in [&mut new_objects, &mut removed_objects] {
+        list.sort_by(|x, y| {
+            y.cost
+                .cmp(&x.cost)
+                .then_with(|| (&x.label, &x.context).cmp(&(&y.label, &y.context)))
+        });
+    }
+
+    let mut kernels = Vec::new();
+    let mut new_kernels = Vec::new();
+    let mut removed_kernels = Vec::new();
+    let kernel_names: BTreeSet<_> = va.kernels.keys().chain(vb.kernels.keys()).collect();
+    for name in kernel_names {
+        match (va.kernels.get(name), vb.kernels.get(name)) {
+            (Some(ka), Some(kb)) => {
+                let mut deltas = Vec::new();
+                push_metric_delta(
+                    &mut deltas,
+                    opts,
+                    DeltaCategory::Invocations,
+                    "invocations",
+                    ka.invocations,
+                    kb.invocations,
+                    false,
+                    Some(DeltaDirection::Info),
+                );
+                push_metric_delta(
+                    &mut deltas,
+                    opts,
+                    DeltaCategory::Traffic,
+                    "bytes accessed",
+                    ka.bytes,
+                    kb.bytes,
+                    true,
+                    Some(DeltaDirection::Info),
+                );
+                if !deltas.is_empty() {
+                    kernels.push(KernelDelta {
+                        name: name.clone(),
+                        cost: deltas.iter().map(|d| d.cost).sum(),
+                        deltas,
+                    });
+                }
+            }
+            (Some(ka), None) => removed_kernels.push(UnmatchedKernel {
+                name: name.clone(),
+                invocations: ka.invocations,
+                bytes: ka.bytes,
+            }),
+            (None, Some(kb)) => new_kernels.push(UnmatchedKernel {
+                name: name.clone(),
+                invocations: kb.invocations,
+                bytes: kb.bytes,
+            }),
+            (None, None) => unreachable!("name came from one of the maps"),
+        }
+    }
+    kernels.sort_by(|x, y| y.cost.cmp(&x.cost).then_with(|| x.name.cmp(&y.name)));
+
+    let mut traffic = Vec::new();
+    for ((name, before), (_, after)) in va.traffic.iter().zip(vb.traffic.iter()) {
+        let bytes = name.contains("bytes");
+        push_metric_delta(
+            &mut traffic,
+            opts,
+            DeltaCategory::Traffic,
+            name,
+            *before,
+            *after,
+            bytes,
+            Some(DeltaDirection::Info),
+        );
+    }
+
+    let mut summary = DiffSummary::default();
+    let mut regression_categories: BTreeSet<&'static str> = BTreeSet::new();
+    {
+        let mut count = |direction: DeltaDirection, category: DeltaCategory| match direction {
+            DeltaDirection::Improvement => summary.improvements += 1,
+            DeltaDirection::Regression => {
+                summary.regressions += 1;
+                regression_categories.insert(category.as_str());
+            }
+            DeltaDirection::Info => summary.infos += 1,
+        };
+        for o in &objects {
+            for d in &o.deltas {
+                count(d.direction, d.category);
+            }
+        }
+        for k in &kernels {
+            for d in &k.deltas {
+                count(d.direction, d.category);
+            }
+        }
+        for o in &new_objects {
+            count(o.direction, DeltaCategory::ObjectSet);
+        }
+        for o in &removed_objects {
+            count(o.direction, DeltaCategory::ObjectSet);
+        }
+        for _ in &new_kernels {
+            count(DeltaDirection::Info, DeltaCategory::KernelSet);
+        }
+        for _ in &removed_kernels {
+            count(DeltaDirection::Info, DeltaCategory::KernelSet);
+        }
+        for d in &traffic {
+            count(d.direction, d.category);
+        }
+    }
+    summary.regression_categories =
+        regression_categories.into_iter().map(str::to_owned).collect();
+
+    ProfileDiff {
+        threshold: opts.threshold,
+        summary,
+        objects,
+        kernels,
+        new_objects,
+        removed_objects,
+        new_kernels,
+        removed_kernels,
+        traffic,
+    }
+}
+
+impl ProfileDiff {
+    /// No significant change anywhere — `diff(a, a)` must satisfy this.
+    pub fn is_empty(&self) -> bool {
+        self.summary.improvements == 0
+            && self.summary.regressions == 0
+            && self.summary.infos == 0
+    }
+
+    /// Whether the CI gate trips (exit code 1).
+    pub fn has_regressions(&self) -> bool {
+        self.summary.regressions > 0
+    }
+
+    /// The canonical text diff document — exactly the bytes `vex diff`
+    /// writes and `GET /traces/{a}/diff/{b}` returns. One entry point,
+    /// so the surfaces cannot diverge.
+    pub fn render_text_document(&self) -> String {
+        let mut s = self.render_text();
+        s.push('\n');
+        s
+    }
+
+    /// The canonical JSON diff document (pretty, newline-terminated) —
+    /// shared by `vex diff --format json` and the server's
+    /// `format=json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails (it cannot
+    /// for this type in practice).
+    pub fn render_json_document(&self) -> Result<String, serde_json::Error> {
+        let mut s = serde_json::to_string_pretty(self)?;
+        s.push('\n');
+        Ok(s)
+    }
+
+    /// Renders the human-readable diff report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ =
+            writeln!(s, "=== ValueExpert diff (threshold {:.0}%) ===", self.threshold * 100.0);
+        let _ = writeln!(
+            s,
+            "summary: {} improvement(s), {} regression(s), {} informational",
+            self.summary.improvements, self.summary.regressions, self.summary.infos
+        );
+        if self.is_empty() {
+            let _ = writeln!(s, "\nno significant differences");
+            return s;
+        }
+        if !self.objects.is_empty() {
+            let _ = writeln!(s, "\nchanged objects ({}):", self.objects.len());
+            for o in &self.objects {
+                let _ = writeln!(
+                    s,
+                    "  '{}' @ {} — cost {}",
+                    o.label,
+                    if o.context.is_empty() { "<unknown>" } else { &o.context },
+                    human_bytes(o.cost)
+                );
+                for d in &o.deltas {
+                    let _ = writeln!(
+                        s,
+                        "    ~ [{}] {}: {} — cost {}",
+                        d.direction,
+                        d.category,
+                        d.detail,
+                        human_bytes(d.cost)
+                    );
+                }
+            }
+        }
+        if !self.kernels.is_empty() {
+            let _ = writeln!(s, "\nchanged kernels ({}):", self.kernels.len());
+            for k in &self.kernels {
+                let _ = writeln!(s, "  {} — cost {}", k.name, human_bytes(k.cost));
+                for d in &k.deltas {
+                    let _ = writeln!(
+                        s,
+                        "    ~ [{}] {}: {} — cost {}",
+                        d.direction,
+                        d.category,
+                        d.detail,
+                        human_bytes(d.cost)
+                    );
+                }
+            }
+        }
+        let mut object_section = |title: &str, sign: char, list: &[UnmatchedObject]| {
+            if list.is_empty() {
+                return;
+            }
+            let _ = writeln!(s, "\n{title} ({}):", list.len());
+            for o in list {
+                let tail = if o.patterns.is_empty() {
+                    String::new()
+                } else {
+                    format!(" patterns: {}", o.patterns.join(", "))
+                };
+                let _ = writeln!(
+                    s,
+                    "  {sign} '{}' @ {} [{}]{tail} ({} redundant, {} accesses)",
+                    o.label,
+                    if o.context.is_empty() { "<unknown>" } else { &o.context },
+                    o.direction,
+                    human_bytes(o.redundant_bytes),
+                    o.accesses
+                );
+            }
+        };
+        object_section("new objects", '+', &self.new_objects);
+        object_section("removed objects", '-', &self.removed_objects);
+        let mut kernel_section = |title: &str, sign: char, list: &[UnmatchedKernel]| {
+            if list.is_empty() {
+                return;
+            }
+            let _ = writeln!(s, "\n{title} ({}):", list.len());
+            for k in list {
+                let _ = writeln!(
+                    s,
+                    "  {sign} {} ({} invocation(s), {})",
+                    k.name,
+                    k.invocations,
+                    human_bytes(k.bytes)
+                );
+            }
+        };
+        kernel_section("new kernels", '+', &self.new_kernels);
+        kernel_section("removed kernels", '-', &self.removed_kernels);
+        if !self.traffic.is_empty() {
+            let _ = writeln!(s, "\ntraffic:");
+            for d in &self.traffic {
+                let _ = writeln!(s, "  ~ [{}] {}", d.direction, d.detail);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use vex_gpu::runtime::Runtime;
+    use vex_gpu::timing::DeviceSpec;
+
+    fn profile_session(redundant: bool) -> Profile {
+        let mut rt = Runtime::new(DeviceSpec::rtx2080ti());
+        let vex = ValueExpert::builder().coarse(true).attach(&mut rt);
+        let buf = rt.malloc(1024, "buf").expect("malloc");
+        rt.memset(buf, 0, 1024).expect("memset");
+        if redundant {
+            rt.memset(buf, 0, 1024).expect("memset");
+        } else {
+            rt.memset(buf, 1, 1024).expect("memset");
+        }
+        vex.report(&rt)
+    }
+
+    #[test]
+    fn self_diff_is_empty_and_clean() {
+        let p = profile_session(true);
+        let d = diff_profiles(&p, &p, &DiffOptions::default());
+        assert!(d.is_empty(), "{}", d.render_text());
+        assert!(!d.has_regressions());
+        assert!(d.render_text().contains("no significant differences"));
+    }
+
+    #[test]
+    fn removed_redundancy_is_an_improvement_and_reverse_a_regression() {
+        let bad = profile_session(true);
+        let good = profile_session(false);
+        let fwd = diff_profiles(&bad, &good, &DiffOptions::default());
+        assert!(fwd.summary.improvements > 0, "{}", fwd.render_text());
+        let rev = diff_profiles(&good, &bad, &DiffOptions::default());
+        assert!(rev.has_regressions(), "{}", rev.render_text());
+        assert!(rev
+            .summary
+            .regression_categories
+            .iter()
+            .any(|c| c == "redundancy" || c == "dead-store"));
+    }
+
+    #[test]
+    fn category_threshold_overrides_global() {
+        let bad = profile_session(true);
+        let good = profile_session(false);
+        let mut opts = DiffOptions::default();
+        // Impossible thresholds silence the byte-metric categories.
+        for c in [DeltaCategory::Redundancy, DeltaCategory::DeadStore, DeltaCategory::Traffic] {
+            opts.category_thresholds.insert(c, 2.0);
+        }
+        let d = diff_profiles(&good, &bad, &opts);
+        assert!(
+            !d.summary.regression_categories.iter().any(|c| c == "redundancy"),
+            "{}",
+            d.render_text()
+        );
+    }
+
+    #[test]
+    fn document_entry_point_appends_newline() {
+        let p = profile_session(true);
+        let d = diff_profiles(&p, &p, &DiffOptions::default());
+        assert_eq!(d.render_text_document(), format!("{}\n", d.render_text()));
+        let json = d.render_json_document().expect("serializes");
+        assert!(json.ends_with('\n'));
+        assert!(json.contains("\"summary\""));
+    }
+
+    #[test]
+    fn category_names_roundtrip() {
+        for c in DeltaCategory::ALL {
+            assert_eq!(DeltaCategory::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(DeltaCategory::parse("nope"), None);
+    }
+}

@@ -56,6 +56,7 @@ pub mod access_type;
 pub mod cluster;
 pub mod coarse;
 pub mod copy_strategy;
+pub mod diff;
 pub mod fine;
 pub mod flowgraph;
 pub mod interval;
@@ -74,7 +75,10 @@ pub mod sha256;
 pub mod prelude {
     pub use crate::cluster::{ClusterReport, ClusterSession};
     pub use crate::coarse::{DuplicateFinding, RedundancyFinding};
-    pub use crate::copy_strategy::{AdaptivePolicy, CopyStrategy};
+    pub use crate::copy_strategy::{AdaptivePolicy, CopyStrategy, ObjectCopyPlan};
+    pub use crate::diff::{
+        diff_profiles, DeltaCategory, DeltaDirection, DiffOptions, ProfileDiff,
+    };
     pub use crate::fine::{Direction, FineFinding};
     pub use crate::flowgraph::{AccessKind, FlowGraph, VertexId, VertexKind};
     pub use crate::interval::Interval;

@@ -566,6 +566,13 @@ impl ValueStats {
     }
 
     /// Pearson correlation between addresses and values.
+    ///
+    /// `None` when fewer than two accesses were seen, when addresses or
+    /// values are constant, or when the regression accumulators are
+    /// non-finite (values overflowed the sums or contained NaNs) — a
+    /// correlation computed from such sums is meaningless, and NaN
+    /// payloads are codegen-dependent, so surfacing them would break the
+    /// scalar/batch bit-equivalence the recognizers rely on.
     pub fn address_value_correlation(&self) -> Option<f64> {
         if self.n_xy < 2 {
             return None;
@@ -574,6 +581,9 @@ impl ValueStats {
         let cov = self.sum_xy - self.sum_x * self.sum_y / n;
         let var_x = self.sum_xx - self.sum_x * self.sum_x / n;
         let var_y = self.sum_yy - self.sum_y * self.sum_y / n;
+        if !cov.is_finite() || !var_x.is_finite() || !var_y.is_finite() {
+            return None; // accumulators overflowed or saw NaN values
+        }
         if var_x <= 0.0 || var_y <= 0.0 {
             return None; // constant addresses or constant values
         }
@@ -952,8 +962,9 @@ mod tests {
         assert_eq!(a.pcs, b.pcs);
         assert_eq!(a.top_value(), b.top_value());
         assert_eq!(a.top_fraction(), b.top_fraction());
-        // Bit compare: NaN correlations (all-NaN float inputs) are still
-        // expected to match exactly.
+        // Bit compare is safe: non-finite accumulators (NaN inputs or
+        // overflowed sums) yield `None` on both sides, and finite sums
+        // fold in the same order, so the bits match exactly.
         assert_eq!(
             a.address_value_correlation().map(f64::to_bits),
             b.address_value_correlation().map(f64::to_bits)

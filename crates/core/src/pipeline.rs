@@ -50,7 +50,7 @@
 
 use crate::coarse::{CoarseState, CoarseTraffic, KernelIntervals};
 use crate::coarse::{DuplicateFinding, RedundancyFinding};
-use crate::copy_strategy::AdaptivePolicy;
+use crate::copy_strategy::{AdaptivePolicy, ObjectCopyPlan};
 use crate::fine::{FineFinding, FineState, FineTraffic};
 use crate::flowgraph::FlowGraph;
 use crate::patterns::PatternConfig;
@@ -203,6 +203,8 @@ pub(crate) struct CoarseSnapshot {
     pub redundancies: Vec<RedundancyFinding>,
     /// Duplicate-object findings.
     pub duplicates: Vec<DuplicateFinding>,
+    /// Per-object copy-strategy tallies.
+    pub copy_plans: Vec<ObjectCopyPlan>,
     /// Measurement traffic counters.
     pub traffic: CoarseTraffic,
 }
@@ -600,6 +602,7 @@ fn coarse_worker(rx: Receiver<CoarseMsg>, pattern: PatternConfig, policy: Adapti
                     flow: coarse.flow_graph().clone(),
                     redundancies: coarse.redundancies().to_vec(),
                     duplicates: coarse.duplicates().to_vec(),
+                    copy_plans: coarse.copy_plans(),
                     traffic: coarse.traffic(),
                 });
             }

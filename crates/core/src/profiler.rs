@@ -32,7 +32,7 @@
 use crate::coarse::{
     CoarseState, CoarseTraffic, DuplicateFinding, KernelIntervals, RedundancyFinding,
 };
-use crate::copy_strategy::AdaptivePolicy;
+use crate::copy_strategy::{AdaptivePolicy, ObjectCopyPlan};
 use crate::fine::{FineFinding, FineState, FineTraffic};
 use crate::flowgraph::FlowGraph;
 use crate::overhead::{OverheadModel, OverheadReport};
@@ -588,6 +588,7 @@ struct EngineProducts {
     flow: FlowGraph,
     redundancies: Vec<RedundancyFinding>,
     duplicates: Vec<DuplicateFinding>,
+    copy_plans: Vec<ObjectCopyPlan>,
     coarse_traffic: CoarseTraffic,
     fine_findings: Vec<FineFinding>,
     fine_traffic: FineTraffic,
@@ -658,10 +659,17 @@ impl ValueExpert {
     fn products(&self) -> EngineProducts {
         if let Some(p) = &self.pipeline {
             let products = p.flush();
-            let (flow, redundancies, duplicates, coarse_traffic) = match products.coarse {
-                Some(c) => (c.flow, c.redundancies, c.duplicates, c.traffic),
-                None => (FlowGraph::new(), Vec::new(), Vec::new(), CoarseTraffic::default()),
-            };
+            let (flow, redundancies, duplicates, copy_plans, coarse_traffic) =
+                match products.coarse {
+                    Some(c) => (c.flow, c.redundancies, c.duplicates, c.copy_plans, c.traffic),
+                    None => (
+                        FlowGraph::new(),
+                        Vec::new(),
+                        Vec::new(),
+                        Vec::new(),
+                        CoarseTraffic::default(),
+                    ),
+                };
             let (fine_findings, fine_traffic) = match products.fine {
                 Some((raw, traffic)) => (crate::fine::merge_findings(&raw), traffic),
                 None => (Vec::new(), FineTraffic::default()),
@@ -670,6 +678,7 @@ impl ValueExpert {
                 flow,
                 redundancies,
                 duplicates,
+                copy_plans,
                 coarse_traffic,
                 fine_findings,
                 fine_traffic,
@@ -679,14 +688,17 @@ impl ValueExpert {
         }
 
         let inner = self.sync.as_ref().expect("one engine is always built").inner.lock();
-        let (flow, redundancies, duplicates, coarse_traffic) = match &inner.coarse {
+        let (flow, redundancies, duplicates, copy_plans, coarse_traffic) = match &inner.coarse {
             Some(c) => (
                 c.flow_graph().clone(),
                 c.redundancies().to_vec(),
                 c.duplicates().to_vec(),
+                c.copy_plans(),
                 c.traffic(),
             ),
-            None => (FlowGraph::new(), Vec::new(), Vec::new(), CoarseTraffic::default()),
+            None => {
+                (FlowGraph::new(), Vec::new(), Vec::new(), Vec::new(), CoarseTraffic::default())
+            }
         };
         let (fine_findings, fine_traffic) = match &inner.fine {
             Some(f) => (f.merged_findings(), f.traffic()),
@@ -696,6 +708,7 @@ impl ValueExpert {
             flow,
             redundancies,
             duplicates,
+            copy_plans,
             coarse_traffic,
             fine_findings,
             fine_traffic,
@@ -742,6 +755,7 @@ impl ValueExpert {
             flow_graph: products.flow,
             redundancies: products.redundancies,
             duplicates: products.duplicates,
+            copy_plans: products.copy_plans,
             fine_findings: products.fine_findings,
             reuse: products.reuse,
             races: products.races,

@@ -7,6 +7,7 @@
 //! (for the examples).
 
 use crate::coarse::{CoarseTraffic, DuplicateFinding, RedundancyFinding};
+use crate::copy_strategy::ObjectCopyPlan;
 use crate::fine::{FineFinding, FineTraffic};
 use crate::flowgraph::FlowGraph;
 use crate::overhead::OverheadReport;
@@ -60,6 +61,11 @@ pub struct Profile {
     pub redundancies: Vec<RedundancyFinding>,
     /// Duplicate-values findings (coarse).
     pub duplicates: Vec<DuplicateFinding>,
+    /// Per-object adaptive copy-strategy tallies (coarse), sorted by
+    /// allocation label. The dominant choice is the object's recommended
+    /// strategy; `vex diff` flags recommendation changes across builds.
+    #[serde(default)]
+    pub copy_plans: Vec<ObjectCopyPlan>,
     /// Fine-grained findings, merged per GPU API.
     pub fine_findings: Vec<FineFinding>,
     /// Reuse-distance histogram, when the analysis was enabled (§9).
@@ -396,6 +402,7 @@ mod markdown_tests {
                 unchanged_bytes: 2048,
             }],
             duplicates: Vec::new(),
+            copy_plans: Vec::new(),
             fine_findings: Vec::new(),
             reuse: None,
             races: Vec::new(),
@@ -450,6 +457,7 @@ mod tests {
                 unchanged_bytes: 1024,
             }],
             duplicates: Vec::new(),
+            copy_plans: Vec::new(),
             fine_findings: Vec::new(),
             reuse: None,
             races: Vec::new(),

@@ -153,6 +153,11 @@ impl Metrics {
             "vex_store_quarantined_traces {}",
             store.quarantined.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            s,
+            "vex_store_trace_ttl_seconds {}",
+            store.trace_ttl_seconds.load(Ordering::Relaxed)
+        );
         let _ = writeln!(s, "# TYPE vex_store_ops counter");
         let _ = writeln!(
             s,
@@ -168,6 +173,11 @@ impl Metrics {
             s,
             "vex_store_evicted_bytes_total {}",
             store.evicted_bytes_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            s,
+            "vex_store_ttl_evictions_total {}",
+            store.ttl_evictions_total.load(Ordering::Relaxed)
         );
         let _ =
             writeln!(s, "vex_ingest_total {}", store.ingested_total.load(Ordering::Relaxed));
@@ -239,6 +249,8 @@ mod tests {
         assert!(text.contains("vex_store_evictions_total 2"), "{text}");
         assert!(text.contains("vex_ingest_total 7"), "{text}");
         assert!(text.contains("vex_store_memory_budget_bytes 0"), "{text}");
+        assert!(text.contains("vex_store_trace_ttl_seconds 0"), "{text}");
+        assert!(text.contains("vex_store_ttl_evictions_total 0"), "{text}");
         assert!(text.contains("vex_requests_shed_total 2"), "{text}");
     }
 

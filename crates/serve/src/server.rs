@@ -41,6 +41,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vex_core::diff::{diff_profiles, DiffOptions};
 
 /// Tunables of a serving process.
 #[derive(Debug, Clone)]
@@ -145,6 +146,7 @@ impl ServeState {
             ("GET", ["metrics"]) => ("metrics", self.render_metrics(req)),
             ("GET", ["traces"]) => ("traces", self.list_traces(req)),
             ("GET", ["traces", id, "report"]) => ("report", self.report(req, id)),
+            ("GET", ["traces", a, "diff", b]) => ("diff", self.diff(req, a, b)),
             ("GET", ["traces", id, "flowgraph"]) => ("flowgraph", self.flowgraph(req, id)),
             ("GET", ["traces", id, "objects"]) => {
                 ("objects", self.static_json(req, id, |t| json_rows(&t.objects)))
@@ -211,10 +213,16 @@ impl ServeState {
 
     fn render_metrics(&self, req: &Request) -> Response {
         match query_map(req, &[]) {
-            Ok(_) => Response::text(
-                Status::Ok,
-                self.metrics.render(self.cache.stats(), self.store.stats()),
-            ),
+            Ok(_) => {
+                // Piggyback the idle-TTL sweep on the scrape: a store
+                // whose hot set never touches an expired trace still
+                // releases it within one scrape interval.
+                self.store.sweep_expired();
+                Response::text(
+                    Status::Ok,
+                    self.metrics.render(self.cache.stats(), self.store.stats()),
+                )
+            }
             Err(e) => Response::error(Status::BadRequest, e),
         }
     }
@@ -310,6 +318,76 @@ impl ServeState {
             let trace = self.store.decoded(id).map_err(|e| e.to_string())?;
             let profile = materialize(&trace, &params).map_err(|e| e.to_string())?;
             Ok(Response::text(Status::Ok, profile.render_text_document()))
+        });
+        unwrap_cached(&value)
+    }
+
+    /// `GET /traces/{a}/diff/{b}?threshold=X&format=text|json` — the
+    /// structural diff of two traces replayed under identical
+    /// parameters, byte-equal to `vex diff a.vex b.vex` with the same
+    /// options. Cached under BOTH trace generations, so re-ingesting
+    /// either side invalidates the pair.
+    fn diff(&self, req: &Request, a: &str, b: &str) -> Response {
+        let allowed = ["shards", "coarse", "fine", "races", "reuse", "threshold", "format"];
+        let map = match query_map(req, &allowed) {
+            Ok(m) => m,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let params = match parse_report_params(&map) {
+            Ok(p) => p,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let threshold = match map.get("threshold") {
+            None => 0.10,
+            Some(v) => match v.parse::<f64>() {
+                Ok(t) if (0.0..=1.0).contains(&t) => t,
+                _ => {
+                    return Response::error(
+                        Status::BadRequest,
+                        format!("threshold must be a number in [0, 1], got '{v}'"),
+                    )
+                }
+            },
+        };
+        let json = match map.get("format").copied().unwrap_or("text") {
+            "text" => false,
+            "json" => true,
+            other => {
+                return Response::error(
+                    Status::BadRequest,
+                    format!("format must be 'text' or 'json', got '{other}'"),
+                )
+            }
+        };
+        let entry_a = match self.lookup(a) {
+            Ok(entry) => entry,
+            Err(resp) => return resp,
+        };
+        let entry_b = match self.lookup(b) {
+            Ok(entry) => entry,
+            Err(resp) => return resp,
+        };
+        let key = format!(
+            "{a}@{}+{b}@{}/diff?{},threshold={threshold:?},json={json}",
+            entry_a.generation,
+            entry_b.generation,
+            params.cache_key()
+        );
+        let value = self.cache.get_or_compute(&key, || {
+            let trace_a = self.store.decoded(a).map_err(|e| e.to_string())?;
+            let trace_b = self.store.decoded(b).map_err(|e| e.to_string())?;
+            let profile_a = materialize(&trace_a, &params).map_err(|e| e.to_string())?;
+            let profile_b = materialize(&trace_b, &params).map_err(|e| e.to_string())?;
+            let opts = DiffOptions { threshold, ..DiffOptions::default() };
+            let diff = diff_profiles(&profile_a, &profile_b, &opts);
+            Ok(if json {
+                Response::json(
+                    Status::Ok,
+                    diff.render_json_document().map_err(|e| e.to_string())?,
+                )
+            } else {
+                Response::text(Status::Ok, diff.render_text_document())
+            })
         });
         unwrap_cached(&value)
     }
@@ -838,6 +916,11 @@ mod tests {
             ("/traces", "traces", Status::Ok),
             ("/traces/qmcpack/report", "report", Status::Ok),
             ("/traces/qmcpack/report?shards=2&fine=1", "report", Status::Ok),
+            ("/traces/qmcpack/diff/qmcpack", "diff", Status::Ok),
+            ("/traces/qmcpack/diff/qmcpack?format=json&threshold=0.5", "diff", Status::Ok),
+            ("/traces/qmcpack/diff/missing", "diff", Status::NotFound),
+            ("/traces/qmcpack/diff/qmcpack?threshold=2", "diff", Status::BadRequest),
+            ("/traces/qmcpack/diff/qmcpack?format=xml", "diff", Status::BadRequest),
             ("/traces/qmcpack/flowgraph", "flowgraph", Status::Ok),
             ("/traces/qmcpack/flowgraph?format=json", "flowgraph", Status::Ok),
             ("/traces/qmcpack/objects", "objects", Status::Ok),

@@ -224,11 +224,17 @@ pub struct StoreOptions {
     /// Fail the whole load on the first corrupt trace instead of
     /// quarantining it.
     pub strict: bool,
+    /// Evict a decoded trace idle for this long even while the tier fits
+    /// the memory budget (`None` = keep until LRU pressure). A fleet
+    /// backend's working set is bursty: a trace queried once at ingest
+    /// time would otherwise stay resident until enough *other* traffic
+    /// pushes it out. Pinned traces are exempt.
+    pub trace_ttl: Option<std::time::Duration>,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { decode_threads: 1, memory_budget: None, strict: false }
+        StoreOptions { decode_threads: 1, memory_budget: None, strict: false, trace_ttl: None }
     }
 }
 
@@ -248,6 +254,10 @@ pub struct StoreStats {
     pub evictions_total: AtomicU64,
     /// Bytes released by evictions.
     pub evicted_bytes_total: AtomicU64,
+    /// Decoded traces evicted for sitting idle past the TTL.
+    pub ttl_evictions_total: AtomicU64,
+    /// Configured idle TTL, seconds (gauge; 0 = disabled).
+    pub trace_ttl_seconds: AtomicU64,
     /// Traces accepted via ingest.
     pub ingested_total: AtomicU64,
     /// Ingest requests refused (bad id, duplicate, invalid bytes, io).
@@ -270,6 +280,9 @@ struct Resident {
     trace: Arc<RecordedTrace>,
     bytes: u64,
     last_use: u64,
+    /// Wall-clock of the last lookup, for idle-TTL eviction (the `u64`
+    /// tick above orders LRU eviction; it carries no wall time).
+    last_touch: std::time::Instant,
     /// Pinned entries ([`ProfileStore::from_traces`]) have no backing
     /// file to re-decode from and are never evicted.
     pinned: bool,
@@ -389,6 +402,10 @@ impl ProfileStore {
             .stats
             .memory_budget_bytes
             .store(opts.memory_budget.unwrap_or(0), Ordering::Relaxed);
+        store
+            .stats
+            .trace_ttl_seconds
+            .store(opts.trace_ttl.map(|d| d.as_secs()).unwrap_or(0), Ordering::Relaxed);
         Ok(store)
     }
 
@@ -424,6 +441,7 @@ impl ProfileStore {
                     bytes: approx_resident_bytes(&trace),
                     trace: Arc::new(trace),
                     last_use: tick,
+                    last_touch: std::time::Instant::now(),
                     pinned: true,
                 },
             );
@@ -547,7 +565,13 @@ impl ProfileStore {
         let tick = tier.tick;
         tier.map.insert(
             id.to_owned(),
-            Resident { trace: trace.clone(), bytes, last_use: tick, pinned: false },
+            Resident {
+                trace: trace.clone(),
+                bytes,
+                last_use: tick,
+                last_touch: std::time::Instant::now(),
+                pinned: false,
+            },
         );
         // A concurrent delete (or delete + re-ingest under the same id)
         // may have raced this decode: [`Self::remove`] cleared the tier
@@ -725,11 +749,45 @@ impl ProfileStore {
 
     fn lookup_resident(&self, id: &str) -> Option<Arc<RecordedTrace>> {
         let mut tier = self.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        self.sweep_expired_locked(&mut tier, Some(id));
         tier.tick += 1;
         let tick = tier.tick;
         let resident = tier.map.get_mut(id)?;
         resident.last_use = tick;
+        resident.last_touch = std::time::Instant::now();
         Some(resident.trace.clone())
+    }
+
+    /// Evicts decoded traces idle longer than the configured TTL.
+    /// Returns how many were evicted. Called on every tier lookup and
+    /// by the server's `/metrics` handler, so idle traces are released
+    /// even on a store that only ever serves one hot id — the scrape
+    /// interval bounds how long an expired trace can linger.
+    pub fn sweep_expired(&self) -> usize {
+        let mut tier = self.decoded.lock().unwrap_or_else(|e| e.into_inner());
+        self.sweep_expired_locked(&mut tier, None)
+    }
+
+    fn sweep_expired_locked(&self, tier: &mut DecodedTier, keep: Option<&str>) -> usize {
+        let Some(ttl) = self.opts.trace_ttl else { return 0 };
+        let expired: Vec<String> = tier
+            .map
+            .iter()
+            .filter(|(id, r)| {
+                !r.pinned && Some(id.as_str()) != keep && r.last_touch.elapsed() >= ttl
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &expired {
+            if let Some(evicted) = tier.map.remove(id) {
+                self.stats.ttl_evictions_total.fetch_add(1, Ordering::Relaxed);
+                self.stats.evicted_bytes_total.fetch_add(evicted.bytes, Ordering::Relaxed);
+            }
+        }
+        if !expired.is_empty() {
+            self.sync_tier_gauges(tier);
+        }
+        expired.len()
     }
 
     /// Evicts least-recently-used unpinned traces until the tier fits

@@ -1,0 +1,197 @@
+//! Ground-truth suite for `vex diff` and `GET /traces/{a}/diff/{b}`.
+//!
+//! Every bundled workload ships a Baseline variant exhibiting value
+//! inefficiencies and an Optimized variant with the documented fix
+//! applied. That gives the differ a labelled corpus: diffing baseline →
+//! optimized must report at least one improvement, diffing the other way
+//! must trip the CI gate (exit 1), and diffing a trace against itself
+//! must be empty — under the synchronous engine and the sharded pipeline
+//! alike. The server's diff endpoint renders through the same
+//! [`ProfileDiff`] entry points as the CLI, so its bytes must equal the
+//! CLI's exactly in both formats.
+//!
+//! [`ProfileDiff`]: vex_core::diff::ProfileDiff
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use vex_bench::{http_get, record_app};
+use vex_cli::{parse_args, run, start_server, Command};
+use vex_core::prelude::*;
+use vex_gpu::timing::DeviceSpec;
+use vex_workloads::{all_apps, Variant};
+
+/// Number of `#[test]` functions sharing the corpus; the last one to
+/// finish removes the trace directory.
+const SUITE_TESTS: usize = 4;
+
+static FINISHED: AtomicUsize = AtomicUsize::new(0);
+
+/// Records `{id}-base.vex` / `{id}-opt.vex` for every bundled workload,
+/// once per process, with both passes enabled (block sampling keeps the
+/// fine corpus small).
+fn corpus() -> &'static (PathBuf, Vec<String>) {
+    static CORPUS: OnceLock<(PathBuf, Vec<String>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("vex-diff-gt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        let spec = DeviceSpec::rtx2080ti();
+        let mut ids = Vec::new();
+        for app in all_apps() {
+            let id = app.name().to_ascii_lowercase();
+            for (variant, tag) in [(Variant::Baseline, "base"), (Variant::Optimized, "opt")] {
+                let bytes = record_app(
+                    &spec,
+                    app.as_ref(),
+                    variant,
+                    ValueExpert::builder().coarse(true).fine(true).block_sampling(4),
+                );
+                std::fs::write(dir.join(format!("{id}-{tag}.vex")), bytes)
+                    .expect("write trace");
+            }
+            ids.push(id);
+        }
+        (dir, ids)
+    })
+}
+
+/// Paths of one baseline/optimized trace pair.
+fn pair(id: &str) -> (String, String) {
+    let (dir, _) = corpus();
+    (
+        dir.join(format!("{id}-base.vex")).display().to_string(),
+        dir.join(format!("{id}-opt.vex")).display().to_string(),
+    )
+}
+
+fn finished() {
+    if FINISHED.fetch_add(1, Ordering::SeqCst) + 1 == SUITE_TESTS {
+        std::fs::remove_dir_all(&corpus().0).ok();
+    }
+}
+
+/// Runs a parsed `vex diff` invocation and returns (exit code, stdout).
+fn cli_diff(args: &[&str]) -> (i32, Vec<u8>) {
+    let cmd = parse_args(args.iter().copied()).expect("diff command parses");
+    assert!(matches!(cmd, Command::Diff(_)), "parsed {cmd:?}");
+    let mut out = Vec::new();
+    let code = run(&cmd, &mut out).expect("diff runs");
+    (code, out)
+}
+
+/// The improvement count from the rendered summary line.
+fn improvements(text: &str) -> u64 {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("summary: "))
+        .unwrap_or_else(|| panic!("no summary line in:\n{text}"));
+    line["summary: ".len()..]
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable summary line: {line}"))
+}
+
+/// Baseline → optimized reports at least one improvement for every
+/// bundled pair, and optimized → baseline trips the CI gate.
+#[test]
+fn forward_improves_and_reverse_fails_ci_for_every_pair() {
+    let ids = corpus().1.clone();
+    for id in &ids {
+        let (base, opt) = pair(id);
+        let (code, out) = cli_diff(&["diff", &base, &opt, "--fine"]);
+        let text = String::from_utf8(out).expect("utf8 diff");
+        assert_eq!(code, 0, "{id}: plain diff must exit 0");
+        assert!(
+            improvements(&text) > 0,
+            "{id}: baseline → optimized found no improvement:\n{text}"
+        );
+
+        let (code, out) = cli_diff(&["diff", &opt, &base, "--fine", "--ci"]);
+        let text = String::from_utf8(out).expect("utf8 diff");
+        assert_eq!(code, 1, "{id}: optimized → baseline must fail the CI gate:\n{text}");
+        assert!(text.contains("ci: FAIL — "), "{id}: missing gate verdict:\n{text}");
+    }
+    finished();
+}
+
+/// `diff(a, a)` is empty and passes the gate, under the synchronous
+/// engine and the sharded pipeline alike.
+#[test]
+fn self_diff_is_empty_at_one_and_eight_shards() {
+    let ids = corpus().1.clone();
+    for id in &ids {
+        let (base, _) = pair(id);
+        for shards in ["1", "8"] {
+            let (code, out) =
+                cli_diff(&["diff", &base, &base, "--fine", "--shards", shards, "--ci"]);
+            let text = String::from_utf8(out).expect("utf8 diff");
+            assert_eq!(code, 0, "{id}: self diff must pass at {shards} shard(s):\n{text}");
+            assert!(
+                text.contains("no significant differences"),
+                "{id}: self diff not empty at {shards} shard(s):\n{text}"
+            );
+            assert!(text.contains("ci: PASS — "), "{id}: missing gate verdict:\n{text}");
+        }
+    }
+    finished();
+}
+
+/// The server's diff endpoint returns byte-identical documents to the
+/// CLI, in both text and JSON, for every pair.
+#[test]
+fn served_diff_bytes_match_the_cli() {
+    let (dir, ids) = corpus();
+    let cmd = parse_args(["serve", dir.to_str().expect("utf8 dir"), "--addr", "127.0.0.1:0"])
+        .expect("serve command parses");
+    let Command::Serve(args) = cmd else { panic!("parsed {cmd:?}") };
+    let server = start_server(&args).expect("server starts");
+    let addr = server.addr();
+
+    for id in ids {
+        let (base, opt) = pair(id);
+        for format in ["text", "json"] {
+            let (status, body) = http_get(
+                addr,
+                &format!("/traces/{id}-base/diff/{id}-opt?fine=1&format={format}"),
+            );
+            assert_eq!(status, 200, "{id} served diff ({format})");
+            let (code, out) = cli_diff(&["diff", &base, &opt, "--fine", "--format", format]);
+            assert_eq!(code, 0, "{id}: plain diff must exit 0");
+            assert_eq!(body, out, "{id}: served {format} diff diverged from `vex diff`");
+        }
+    }
+
+    // A non-default threshold flows through both surfaces identically.
+    let id = &ids[0];
+    let (base, opt) = pair(id);
+    let (status, body) = http_get(
+        addr,
+        &format!("/traces/{id}-base/diff/{id}-opt?fine=1&threshold=0.02&format=json"),
+    );
+    assert_eq!(status, 200);
+    let (code, out) =
+        cli_diff(&["diff", &base, &opt, "--fine", "--threshold", "0.02", "--format", "json"]);
+    assert_eq!(code, 0);
+    assert_eq!(body, out, "{id}: thresholded served diff diverged from `vex diff`");
+
+    server.shutdown();
+    finished();
+}
+
+/// The CI contract reserves exit 2 for comparisons that never ran.
+#[test]
+fn ci_mode_reports_unreadable_traces_as_exit_two() {
+    let (dir, ids) = corpus();
+    let (base, _) = pair(&ids[0]);
+    let missing = dir.join("no-such-trace.vex").display().to_string();
+    let (code, out) = cli_diff(&["diff", &base, &missing, "--ci"]);
+    let text = String::from_utf8(out).expect("utf8 diff");
+    assert_eq!(code, 2, "unreadable input must exit 2 under --ci:\n{text}");
+    assert!(text.contains("ci: ERROR — "), "missing error verdict:\n{text}");
+
+    // Without --ci the same failure is a plain usage error.
+    let cmd = parse_args(["diff", &base, &missing]).expect("diff command parses");
+    assert!(run(&cmd, &mut Vec::new()).is_err(), "non-ci diff must error");
+    finished();
+}
